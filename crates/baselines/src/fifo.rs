@@ -1,0 +1,108 @@
+//! FIFO cache replacement adapted to rate-based demand.
+//!
+//! Each slot, the items that *would* be cached by instantaneous ranking
+//! (top-`C` by demand) but are missing from the cache are admitted in
+//! demand order, each evicting the oldest-admitted resident.
+
+use crate::rule::CacheRule;
+use jocal_sim::topology::SbsId;
+use std::collections::{HashMap, VecDeque};
+
+/// First-In First-Out replacement.
+#[derive(Debug, Clone, Default)]
+pub struct FifoRule {
+    /// Per SBS: admission queue (front = oldest).
+    queues: HashMap<usize, VecDeque<usize>>,
+}
+
+impl FifoRule {
+    /// Creates the rule.
+    #[must_use]
+    pub fn new() -> Self {
+        FifoRule::default()
+    }
+}
+
+impl CacheRule for FifoRule {
+    fn name(&self) -> &str {
+        "FIFO"
+    }
+
+    fn place(
+        &mut self,
+        _t: usize,
+        n: SbsId,
+        capacity: usize,
+        demand_per_content: &[f64],
+        _current: &[bool],
+    ) -> Vec<bool> {
+        let k_total = demand_per_content.len();
+        let queue = self.queues.entry(n.0).or_default();
+        queue.retain(|&k| k < k_total);
+
+        // Wanted set: top-capacity by demand.
+        let mut order: Vec<usize> = (0..k_total).collect();
+        order.sort_by(|&a, &b| {
+            demand_per_content[b]
+                .partial_cmp(&demand_per_content[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(&b))
+        });
+        let wanted: Vec<usize> = order.into_iter().take(capacity).collect();
+
+        for &k in &wanted {
+            if !queue.contains(&k) {
+                if queue.len() >= capacity {
+                    queue.pop_front();
+                }
+                queue.push_back(k);
+            }
+        }
+        while queue.len() > capacity {
+            queue.pop_front();
+        }
+        let mut placement = vec![false; k_total];
+        for &k in queue.iter() {
+            placement[k] = true;
+        }
+        placement
+    }
+
+    fn reset(&mut self) {
+        self.queues.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_in_demand_order_and_evicts_oldest() {
+        let mut rule = FifoRule::new();
+        // t=0: items 0,1 admitted.
+        let p = rule.place(0, SbsId(0), 2, &[9.0, 8.0, 0.0, 0.0], &[false; 4]);
+        assert_eq!(p, vec![true, true, false, false]);
+        // t=1: item 2 now wanted; evicts the oldest (item 0).
+        let p = rule.place(1, SbsId(0), 2, &[0.0, 8.0, 9.0, 0.0], &[false; 4]);
+        assert_eq!(p, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn residents_in_wanted_set_are_not_reordered() {
+        let mut rule = FifoRule::new();
+        rule.place(0, SbsId(0), 2, &[9.0, 8.0, 0.0], &[false; 3]);
+        // Same wanted set: no churn.
+        let p = rule.place(1, SbsId(0), 2, &[8.0, 9.0, 0.0], &[false; 3]);
+        assert_eq!(p, vec![true, true, false]);
+    }
+
+    #[test]
+    fn reset_empties_queue() {
+        let mut rule = FifoRule::new();
+        rule.place(0, SbsId(0), 1, &[5.0, 0.0], &[false; 2]);
+        rule.reset();
+        let p = rule.place(1, SbsId(0), 1, &[0.0, 5.0], &[false; 2]);
+        assert_eq!(p, vec![false, true]);
+    }
+}

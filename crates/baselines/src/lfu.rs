@@ -1,0 +1,80 @@
+//! LFU — cache the most frequently requested items over the whole past.
+
+use crate::rule::{top_k_placement, CacheRule};
+use jocal_sim::topology::SbsId;
+use std::collections::HashMap;
+
+/// Least Frequently Used (inverted: cache the *most* frequently used):
+/// ranks items by cumulative request volume since the start of the run.
+#[derive(Debug, Clone, Default)]
+pub struct LfuRule {
+    cumulative: HashMap<usize, Vec<f64>>,
+}
+
+impl LfuRule {
+    /// Creates the rule.
+    #[must_use]
+    pub fn new() -> Self {
+        LfuRule::default()
+    }
+}
+
+impl CacheRule for LfuRule {
+    fn name(&self) -> &str {
+        "LFU"
+    }
+
+    fn place(
+        &mut self,
+        _t: usize,
+        n: SbsId,
+        capacity: usize,
+        demand_per_content: &[f64],
+        _current: &[bool],
+    ) -> Vec<bool> {
+        let totals = self
+            .cumulative
+            .entry(n.0)
+            .or_insert_with(|| vec![0.0; demand_per_content.len()]);
+        for (acc, &d) in totals.iter_mut().zip(demand_per_content) {
+            *acc += d;
+        }
+        top_k_placement(totals, capacity)
+    }
+
+    fn reset(&mut self) {
+        self.cumulative.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfu_uses_cumulative_counts() {
+        let mut rule = LfuRule::new();
+        rule.place(0, SbsId(0), 1, &[10.0, 0.0], &[false; 2]);
+        rule.place(1, SbsId(0), 1, &[0.0, 6.0], &[false; 2]);
+        // Totals: item0 = 10, item1 = 12 → item1 wins at t=2.
+        let p = rule.place(2, SbsId(0), 1, &[0.0, 6.0], &[false; 2]);
+        assert_eq!(p, vec![false, true]);
+    }
+
+    #[test]
+    fn per_sbs_counters_are_independent() {
+        let mut rule = LfuRule::new();
+        rule.place(0, SbsId(0), 1, &[10.0, 0.0], &[false; 2]);
+        let p = rule.place(0, SbsId(1), 1, &[0.0, 1.0], &[false; 2]);
+        assert_eq!(p, vec![false, true]);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut rule = LfuRule::new();
+        rule.place(0, SbsId(0), 1, &[10.0, 0.0], &[false; 2]);
+        rule.reset();
+        let p = rule.place(0, SbsId(0), 1, &[0.0, 1.0], &[false; 2]);
+        assert_eq!(p, vec![false, true]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Baseline caching policies for the `jocal` workspace.
+//!
+//! The paper's comparator is **LRFU** (Section V-A): each slot, every SBS
+//! caches the contents with the highest request volume, up to its cache
+//! size. This crate implements LRFU plus the classic rule-based
+//! replacement policies the related-work section surveys (LRU, LFU,
+//! FIFO), a random policy, and a static top-popularity policy.
+//!
+//! All baselines are *caching rules* ([`rule::CacheRule`]): they decide
+//! only `X^t`. The adapter [`rule::BaselinePolicy`] turns a rule into a
+//! full [`jocal_online::policy::OnlinePolicy`] by computing the load
+//! split `Y^t` given the chosen cache — either the exact optimal convex
+//! solve (default, the fair comparison used in the evaluation) or a
+//! greedy proportional split.
+//!
+//! # Example
+//!
+//! ```
+//! use jocal_baselines::lrfu::LrfuRule;
+//! use jocal_baselines::rule::BaselinePolicy;
+//! use jocal_core::{CacheState, CostModel};
+//! use jocal_online::runner::run_policy;
+//! use jocal_sim::predictor::PerfectPredictor;
+//! use jocal_sim::scenario::ScenarioConfig;
+//!
+//! let s = ScenarioConfig::tiny().build(1)?;
+//! let predictor = PerfectPredictor::new(s.demand.clone());
+//! let mut policy = BaselinePolicy::optimal_lb(LrfuRule::new());
+//! let outcome = run_policy(
+//!     &s.network,
+//!     &CostModel::paper(),
+//!     &predictor,
+//!     &mut policy,
+//!     CacheState::empty(&s.network),
+//! )?;
+//! assert!(outcome.breakdown.total().is_finite());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod fifo;
+pub mod lfu;
+pub mod lrfu;
+pub mod lru;
+pub mod random;
+pub mod rule;
+pub mod static_top;
+
+pub use lrfu::LrfuRule;
+pub use rule::{BaselinePolicy, CacheRule, LoadBalanceMode};

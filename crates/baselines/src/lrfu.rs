@@ -1,0 +1,144 @@
+//! LRFU — the paper's baseline (Section V-A).
+//!
+//! "At each timeslot, SBSs cache the contents ranking by the MUs'
+//! requests number from high to low with the limitation of the cache
+//! size." A generalized variant with exponential smoothing between
+//! frequency (LFU) and recency (LRU) is also provided, matching the
+//! classical LRFU family the acronym comes from.
+
+use crate::rule::{top_k_placement, CacheRule};
+use jocal_sim::topology::SbsId;
+use std::collections::HashMap;
+
+/// The paper's LRFU: rank by current-slot request volume.
+#[derive(Debug, Clone, Default)]
+pub struct LrfuRule {
+    _private: (),
+}
+
+impl LrfuRule {
+    /// Creates the rule.
+    #[must_use]
+    pub fn new() -> Self {
+        LrfuRule::default()
+    }
+}
+
+impl CacheRule for LrfuRule {
+    fn name(&self) -> &str {
+        "LRFU"
+    }
+
+    fn place(
+        &mut self,
+        _t: usize,
+        _n: SbsId,
+        capacity: usize,
+        demand_per_content: &[f64],
+        _current: &[bool],
+    ) -> Vec<bool> {
+        top_k_placement(demand_per_content, capacity)
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Smoothed LRFU: scores are an exponential moving average of request
+/// volumes, `score ← decay · score + λ^t`, interpolating between LFU
+/// (`decay = 1`) and the paper's instantaneous ranking (`decay = 0`).
+#[derive(Debug, Clone)]
+pub struct SmoothedLrfuRule {
+    decay: f64,
+    scores: HashMap<usize, Vec<f64>>,
+}
+
+impl SmoothedLrfuRule {
+    /// Creates the rule with smoothing factor `decay ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(decay: f64) -> Self {
+        assert!((0.0..=1.0).contains(&decay), "decay must lie in [0,1]");
+        SmoothedLrfuRule {
+            decay,
+            scores: HashMap::new(),
+        }
+    }
+}
+
+impl CacheRule for SmoothedLrfuRule {
+    fn name(&self) -> &str {
+        "LRFU-smoothed"
+    }
+
+    fn place(
+        &mut self,
+        _t: usize,
+        n: SbsId,
+        capacity: usize,
+        demand_per_content: &[f64],
+        _current: &[bool],
+    ) -> Vec<bool> {
+        let scores = self
+            .scores
+            .entry(n.0)
+            .or_insert_with(|| vec![0.0; demand_per_content.len()]);
+        for (s, &d) in scores.iter_mut().zip(demand_per_content) {
+            *s = self.decay * *s + d;
+        }
+        top_k_placement(scores, capacity)
+    }
+
+    fn reset(&mut self) {
+        self.scores.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lrfu_caches_top_items_each_slot() {
+        let mut rule = LrfuRule::new();
+        let p = rule.place(0, SbsId(0), 2, &[5.0, 1.0, 9.0, 3.0], &[false; 4]);
+        assert_eq!(p, vec![true, false, true, false]);
+        // Next slot a different ranking: rule follows instantly.
+        let p = rule.place(1, SbsId(0), 2, &[0.0, 9.0, 1.0, 8.0], &[false; 4]);
+        assert_eq!(p, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn smoothed_lrfu_is_sticky() {
+        let mut rule = SmoothedLrfuRule::new(0.9);
+        // Build history favouring items 0 and 1.
+        for t in 0..10 {
+            rule.place(t, SbsId(0), 2, &[10.0, 8.0, 0.0, 0.0], &[false; 4]);
+        }
+        // One anomalous slot should not displace the leaders.
+        let p = rule.place(10, SbsId(0), 2, &[0.0, 0.0, 9.0, 0.0], &[false; 4]);
+        assert!(p[0] && p[1], "{p:?}");
+    }
+
+    #[test]
+    fn smoothed_with_zero_decay_matches_plain() {
+        let mut smoothed = SmoothedLrfuRule::new(0.0);
+        let mut plain = LrfuRule::new();
+        let demand = [2.0, 7.0, 4.0];
+        assert_eq!(
+            smoothed.place(0, SbsId(0), 1, &demand, &[false; 3]),
+            plain.place(0, SbsId(0), 1, &demand, &[false; 3])
+        );
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut rule = SmoothedLrfuRule::new(1.0);
+        rule.place(0, SbsId(0), 1, &[100.0, 0.0], &[false; 2]);
+        rule.reset();
+        let p = rule.place(1, SbsId(0), 1, &[0.0, 1.0], &[false; 2]);
+        assert_eq!(p, vec![false, true]);
+    }
+}

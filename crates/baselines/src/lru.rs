@@ -1,0 +1,116 @@
+//! LRU adapted to rate-based demand.
+//!
+//! Classic LRU tracks discrete accesses. With mean arrival rates, we
+//! mark an item "accessed" in a slot when its aggregated demand exceeds
+//! the slot's mean demand across items (an above-average burst), then
+//! cache the `C` most recently accessed items. Ties (equal recency) are
+//! broken by the current slot's demand.
+
+use crate::rule::CacheRule;
+use jocal_sim::topology::SbsId;
+use std::collections::HashMap;
+
+/// Least Recently Used over rate-based accesses.
+#[derive(Debug, Clone, Default)]
+pub struct LruRule {
+    /// Per SBS: last slot each item was "accessed" (above-mean demand).
+    last_access: HashMap<usize, Vec<Option<usize>>>,
+}
+
+impl LruRule {
+    /// Creates the rule.
+    #[must_use]
+    pub fn new() -> Self {
+        LruRule::default()
+    }
+}
+
+impl CacheRule for LruRule {
+    fn name(&self) -> &str {
+        "LRU"
+    }
+
+    fn place(
+        &mut self,
+        t: usize,
+        n: SbsId,
+        capacity: usize,
+        demand_per_content: &[f64],
+        _current: &[bool],
+    ) -> Vec<bool> {
+        let k_total = demand_per_content.len();
+        let recency = self
+            .last_access
+            .entry(n.0)
+            .or_insert_with(|| vec![None; k_total]);
+        let mean = if k_total > 0 {
+            demand_per_content.iter().sum::<f64>() / k_total as f64
+        } else {
+            0.0
+        };
+        for (k, &d) in demand_per_content.iter().enumerate() {
+            if d > mean {
+                recency[k] = Some(t);
+            }
+        }
+        // Rank: most recent access first, demand as tiebreak; items never
+        // accessed rank last.
+        let mut order: Vec<usize> = (0..k_total).collect();
+        order.sort_by(|&a, &b| {
+            let ra = recency[a].map_or(-1_isize, |v| v as isize);
+            let rb = recency[b].map_or(-1_isize, |v| v as isize);
+            rb.cmp(&ra).then_with(|| {
+                demand_per_content[b]
+                    .partial_cmp(&demand_per_content[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        });
+        let mut placement = vec![false; k_total];
+        for &k in order.iter().take(capacity) {
+            placement[k] = true;
+        }
+        placement
+    }
+
+    fn reset(&mut self) {
+        self.last_access.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recently_bursty_items_stay_cached() {
+        let mut rule = LruRule::new();
+        // t=0: item 0 bursts.
+        rule.place(0, SbsId(0), 1, &[10.0, 1.0, 1.0], &[false; 3]);
+        // t=1: item 1 bursts; item 0 quiet → item 1 most recent.
+        let p = rule.place(1, SbsId(0), 1, &[1.0, 10.0, 1.0], &[false; 3]);
+        assert_eq!(p, vec![false, true, false]);
+        // t=2: all quiet/equal (nothing above mean) → recency preserved.
+        let p = rule.place(2, SbsId(0), 1, &[2.0, 2.0, 2.0], &[false; 3]);
+        assert_eq!(p, vec![false, true, false]);
+    }
+
+    #[test]
+    fn never_accessed_items_rank_last() {
+        let mut rule = LruRule::new();
+        let p = rule.place(0, SbsId(0), 2, &[9.0, 1.0, 1.0], &[false; 3]);
+        // Only item 0 is above mean; the second slot goes to the highest
+        // current demand among the never-accessed (tie → item 1).
+        assert!(p[0]);
+        assert!(p[1]);
+        assert!(!p[2]);
+    }
+
+    #[test]
+    fn reset_forgets_recency() {
+        let mut rule = LruRule::new();
+        rule.place(0, SbsId(0), 1, &[10.0, 0.1], &[false; 2]);
+        rule.reset();
+        let p = rule.place(5, SbsId(0), 1, &[0.1, 10.0], &[false; 2]);
+        assert_eq!(p, vec![false, true]);
+    }
+}

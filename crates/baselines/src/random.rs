@@ -1,0 +1,97 @@
+//! Random caching — a sanity-check lower baseline.
+
+use crate::rule::CacheRule;
+use jocal_sim::topology::SbsId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Caches `C` uniformly random items; with probability `1 − churn` it
+/// keeps the previous placement (so `churn` controls replacement
+/// traffic).
+#[derive(Debug, Clone)]
+pub struct RandomRule {
+    rng: StdRng,
+    seed: u64,
+    churn: f64,
+}
+
+impl RandomRule {
+    /// Creates the rule with a deterministic seed and churn probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `churn` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(seed: u64, churn: f64) -> Self {
+        assert!((0.0..=1.0).contains(&churn), "churn must lie in [0,1]");
+        RandomRule {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            churn,
+        }
+    }
+}
+
+impl CacheRule for RandomRule {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn place(
+        &mut self,
+        t: usize,
+        _n: SbsId,
+        capacity: usize,
+        demand_per_content: &[f64],
+        current: &[bool],
+    ) -> Vec<bool> {
+        let k_total = demand_per_content.len();
+        let occupied = current.iter().filter(|&&b| b).count();
+        if t > 0 && occupied > 0 && self.rng.gen::<f64>() > self.churn {
+            return current.to_vec();
+        }
+        let mut items: Vec<usize> = (0..k_total).collect();
+        items.shuffle(&mut self.rng);
+        let mut placement = vec![false; k_total];
+        for &k in items.iter().take(capacity) {
+            placement[k] = true;
+        }
+        placement
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_capacity() {
+        let mut rule = RandomRule::new(1, 1.0);
+        for t in 0..5 {
+            let p = rule.place(t, SbsId(0), 3, &[1.0; 10], &[false; 10]);
+            assert_eq!(p.iter().filter(|&&b| b).count(), 3);
+        }
+    }
+
+    #[test]
+    fn zero_churn_keeps_placement() {
+        let mut rule = RandomRule::new(2, 0.0);
+        let first = rule.place(0, SbsId(0), 2, &[1.0; 6], &[false; 6]);
+        let second = rule.place(1, SbsId(0), 2, &[1.0; 6], &first);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn reset_restores_determinism() {
+        let mut rule = RandomRule::new(3, 1.0);
+        let a = rule.place(0, SbsId(0), 2, &[1.0; 8], &[false; 8]);
+        rule.reset();
+        let b = rule.place(0, SbsId(0), 2, &[1.0; 8], &[false; 8]);
+        assert_eq!(a, b);
+    }
+}

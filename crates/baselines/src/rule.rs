@@ -1,0 +1,224 @@
+//! The caching-rule abstraction and the adapter to a full online policy.
+
+use jocal_core::loadbalance::solve_load_slot;
+use jocal_core::plan::{CacheState, LoadPlan};
+use jocal_core::CoreError;
+use jocal_online::policy::{Action, OnlinePolicy, PolicyContext};
+use jocal_sim::topology::{ClassId, ContentId, SbsId};
+use std::fmt;
+
+/// A rule deciding which contents one SBS caches for the next slot.
+///
+/// Rules see only the aggregated per-content demand of the current slot
+/// (classic cache-replacement inputs) and their own previous placement.
+pub trait CacheRule: fmt::Debug {
+    /// Scheme name (e.g. `"LRFU"`).
+    fn name(&self) -> &str;
+
+    /// Chooses the contents to cache at SBS `n` for slot `t`.
+    ///
+    /// * `demand_per_content[k]` — Σ over classes of `λ_{m,k}^t`.
+    /// * `current[k]` — the placement executed in slot `t − 1`.
+    ///
+    /// Must return at most `capacity` `true` entries; the adapter
+    /// truncates (by demand, descending) if a rule misbehaves.
+    fn place(
+        &mut self,
+        t: usize,
+        n: SbsId,
+        capacity: usize,
+        demand_per_content: &[f64],
+        current: &[bool],
+    ) -> Vec<bool>;
+
+    /// Clears accumulated statistics for a fresh run.
+    fn reset(&mut self);
+}
+
+/// How the adapter computes the load split for a rule's cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadBalanceMode {
+    /// The exact optimal convex load balancing given the cache (the fair
+    /// comparison: baselines differ from the proposed schemes only in
+    /// their caching decisions).
+    Optimal,
+    /// Greedy: serve cached items at `y = 1` in decreasing demand order
+    /// until the bandwidth budget is exhausted (the last item gets a
+    /// fractional share).
+    Greedy,
+}
+
+/// Adapter turning a [`CacheRule`] into an [`OnlinePolicy`].
+#[derive(Debug)]
+pub struct BaselinePolicy<R> {
+    rule: R,
+    mode: LoadBalanceMode,
+}
+
+impl<R: CacheRule> BaselinePolicy<R> {
+    /// Wraps `rule` with the given load-balancing mode.
+    #[must_use]
+    pub fn new(rule: R, mode: LoadBalanceMode) -> Self {
+        BaselinePolicy { rule, mode }
+    }
+
+    /// Wraps `rule` with exact optimal load balancing (default in the
+    /// evaluation).
+    #[must_use]
+    pub fn optimal_lb(rule: R) -> Self {
+        BaselinePolicy::new(rule, LoadBalanceMode::Optimal)
+    }
+
+    /// Wraps `rule` with greedy load balancing.
+    #[must_use]
+    pub fn greedy_lb(rule: R) -> Self {
+        BaselinePolicy::new(rule, LoadBalanceMode::Greedy)
+    }
+
+    /// The wrapped rule.
+    #[must_use]
+    pub fn rule(&self) -> &R {
+        &self.rule
+    }
+}
+
+impl<R: CacheRule> OnlinePolicy for BaselinePolicy<R> {
+    fn name(&self) -> &str {
+        self.rule.name()
+    }
+
+    fn decide(&mut self, t: usize, ctx: &PolicyContext<'_>) -> Result<Action, CoreError> {
+        // Baselines look one slot ahead only; offset 0 is exact under the
+        // default predictor, matching the paper ("LRFU implements the
+        // data of requests without noise").
+        let demand = ctx.predictor.predict(t, 1);
+        let network = ctx.network;
+        let k_total = network.num_contents();
+        let mut cache = CacheState::empty(network);
+        let mut load = LoadPlan::zeros(network, 1);
+
+        for (n, sbs) in network.iter_sbs() {
+            let per_content = demand.per_content_at(0, n);
+            let current: Vec<bool> = (0..k_total)
+                .map(|k| ctx.current_cache.contains(n, ContentId(k)))
+                .collect();
+            let mut placement =
+                self.rule
+                    .place(t, n, sbs.cache_capacity(), &per_content, &current);
+            placement.resize(k_total, false);
+            // Enforce capacity: keep the highest-demand items.
+            let mut chosen: Vec<usize> = (0..k_total).filter(|&k| placement[k]).collect();
+            if chosen.len() > sbs.cache_capacity() {
+                chosen.sort_by(|&a, &b| {
+                    per_content[b]
+                        .partial_cmp(&per_content[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                chosen.truncate(sbs.cache_capacity());
+            }
+            for &k in &chosen {
+                cache.set(n, ContentId(k), true);
+            }
+
+            // Load split for the chosen cache.
+            let m_total = sbs.num_classes();
+            match self.mode {
+                LoadBalanceMode::Optimal => {
+                    let mut omega_bs = Vec::with_capacity(m_total);
+                    let mut omega_sbs = Vec::with_capacity(m_total);
+                    for class in sbs.classes() {
+                        omega_bs.push(class.omega_bs);
+                        omega_sbs.push(class.omega_sbs);
+                    }
+                    let mut lambda = vec![0.0; m_total * k_total];
+                    let mut upper = vec![0.0; m_total * k_total];
+                    for m in 0..m_total {
+                        for k in 0..k_total {
+                            lambda[m * k_total + k] =
+                                demand.lambda(0, n, ClassId(m), ContentId(k));
+                            if cache.contains(n, ContentId(k)) {
+                                upper[m * k_total + k] = 1.0;
+                            }
+                        }
+                    }
+                    let linear = vec![0.0; m_total * k_total];
+                    let (y, _) = solve_load_slot(
+                        ctx.cost_model,
+                        &omega_bs,
+                        &omega_sbs,
+                        &lambda,
+                        &linear,
+                        &upper,
+                        sbs.bandwidth(),
+                        None,
+                    )?;
+                    load.tensor_mut().set_sbs_slot(0, n, &y);
+                }
+                LoadBalanceMode::Greedy => {
+                    let mut budget = sbs.bandwidth();
+                    // Serve cached items in decreasing aggregate demand.
+                    let mut order: Vec<usize> =
+                        (0..k_total).filter(|&k| cache.contains(n, ContentId(k))).collect();
+                    order.sort_by(|&a, &b| {
+                        per_content[b]
+                            .partial_cmp(&per_content[a])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    for k in order {
+                        if budget <= 0.0 {
+                            break;
+                        }
+                        let item_demand = per_content[k];
+                        let share = if item_demand <= budget || item_demand == 0.0 {
+                            1.0
+                        } else {
+                            budget / item_demand
+                        };
+                        for m in 0..m_total {
+                            load.set_y(0, n, ClassId(m), ContentId(k), share);
+                        }
+                        budget -= item_demand * share;
+                    }
+                }
+            }
+        }
+        Ok(Action { cache, load })
+    }
+
+    fn reset(&mut self) {
+        self.rule.reset();
+    }
+}
+
+/// Helper shared by rules: indices of the `capacity` largest entries of
+/// `scores` (ties broken toward lower index), as a boolean placement.
+#[must_use]
+pub fn top_k_placement(scores: &[f64], capacity: usize) -> Vec<bool> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    });
+    let mut placement = vec![false; scores.len()];
+    for &k in order.iter().take(capacity) {
+        placement[k] = true;
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_selects_largest_with_stable_ties() {
+        let p = top_k_placement(&[1.0, 3.0, 3.0, 0.5], 2);
+        assert_eq!(p, vec![false, true, true, false]);
+        let p = top_k_placement(&[2.0, 2.0, 2.0], 2);
+        assert_eq!(p, vec![true, true, false]);
+        let p = top_k_placement(&[1.0], 5);
+        assert_eq!(p, vec![true]);
+    }
+}

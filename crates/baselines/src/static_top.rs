@@ -1,0 +1,71 @@
+//! Static top-popularity caching: pick once, never replace.
+//!
+//! Caches the top-`C` items by the first observed slot's demand and
+//! holds them for the whole run — the zero-replacement-cost extreme
+//! against which churning policies are compared.
+
+use crate::rule::{top_k_placement, CacheRule};
+use jocal_sim::topology::SbsId;
+use std::collections::HashMap;
+
+/// Cache the initially most popular items forever.
+#[derive(Debug, Clone, Default)]
+pub struct StaticTopRule {
+    frozen: HashMap<usize, Vec<bool>>,
+}
+
+impl StaticTopRule {
+    /// Creates the rule.
+    #[must_use]
+    pub fn new() -> Self {
+        StaticTopRule::default()
+    }
+}
+
+impl CacheRule for StaticTopRule {
+    fn name(&self) -> &str {
+        "StaticTop"
+    }
+
+    fn place(
+        &mut self,
+        _t: usize,
+        n: SbsId,
+        capacity: usize,
+        demand_per_content: &[f64],
+        _current: &[bool],
+    ) -> Vec<bool> {
+        self.frozen
+            .entry(n.0)
+            .or_insert_with(|| top_k_placement(demand_per_content, capacity))
+            .clone()
+    }
+
+    fn reset(&mut self) {
+        self.frozen.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freezes_first_slot_choice() {
+        let mut rule = StaticTopRule::new();
+        let first = rule.place(0, SbsId(0), 2, &[5.0, 9.0, 1.0], &[false; 3]);
+        assert_eq!(first, vec![true, true, false]);
+        // Demand shifts, placement does not.
+        let later = rule.place(7, SbsId(0), 2, &[0.0, 0.0, 99.0], &[false; 3]);
+        assert_eq!(later, first);
+    }
+
+    #[test]
+    fn reset_unfreezes() {
+        let mut rule = StaticTopRule::new();
+        rule.place(0, SbsId(0), 1, &[9.0, 1.0], &[false; 2]);
+        rule.reset();
+        let p = rule.place(0, SbsId(0), 1, &[1.0, 9.0], &[false; 2]);
+        assert_eq!(p, vec![false, true]);
+    }
+}

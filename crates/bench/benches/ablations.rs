@@ -1,0 +1,42 @@
+//! Ablation benchmarks: the cost of one CHC run at each design point
+//! (rounding threshold ρ, commitment level r). The full ablation sweeps
+//! live in `results/ablation_*.csv` via the experiments binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jocal_experiments::schemes::{run_scheme, RunConfig, Scheme};
+use jocal_online::rounding::optimal_rho;
+use jocal_sim::scenario::ScenarioConfig;
+
+fn bench_ablation_points(c: &mut Criterion) {
+    let scenario = ScenarioConfig::paper_default()
+        .with_horizon(10)
+        .with_beta(25.0)
+        .with_eta(0.3)
+        .build(42)
+        .expect("scenario builds");
+    let base = RunConfig {
+        window: 5,
+        ..RunConfig::from_scenario(&scenario)
+    };
+    let mut group = c.benchmark_group("ablation_point");
+    group.sample_size(10);
+    for rho in [0.2, optimal_rho(), 0.8] {
+        let config = RunConfig { rho, ..base };
+        group.bench_with_input(
+            BenchmarkId::new("chc_rho", format!("{rho:.3}")),
+            &config,
+            |b, config| {
+                b.iter(|| run_scheme(Scheme::Chc { commitment: 3 }, &scenario, config).unwrap())
+            },
+        );
+    }
+    for r in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("chc_commitment", r), &r, |b, &r| {
+            b.iter(|| run_scheme(Scheme::Chc { commitment: r }, &scenario, &base).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_points);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure-pipeline benchmarks: one representative point of every paper
+//! figure, per scheme. Full sweeps at `T = 100` are produced by the
+//! `jocal-experiments` binaries and recorded in EXPERIMENTS.md; these
+//! benches track the per-point cost of each reproduction pipeline so
+//! regressions in the solvers show up immediately.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jocal_experiments::figures::{headline, EvalOptions};
+use jocal_experiments::schemes::{run_scheme, RunConfig, Scheme};
+use jocal_sim::scenario::ScenarioConfig;
+
+fn bench_scheme_points(c: &mut Criterion) {
+    // One fig2-style point: β = 50, T = 12 (reduced from the paper's 100).
+    let scenario = ScenarioConfig::paper_default()
+        .with_horizon(12)
+        .with_beta(50.0)
+        .build(42)
+        .expect("scenario builds");
+    let config = RunConfig {
+        window: 6,
+        ..RunConfig::from_scenario(&scenario)
+    };
+    let mut group = c.benchmark_group("figure_point");
+    group.sample_size(10);
+    for scheme in [
+        Scheme::Offline,
+        Scheme::Rhc,
+        Scheme::Chc { commitment: 3 },
+        Scheme::Afhc,
+        Scheme::Lrfu,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("beta50_T12", scheme.label()),
+            &scheme,
+            |b, &scheme| b.iter(|| run_scheme(scheme, &scenario, &config).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_headline_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("headline_pipeline");
+    group.sample_size(10);
+    group.bench_function("T8_all_schemes", |b| {
+        let opts = EvalOptions {
+            horizon: 8,
+            seed: 42,
+        };
+        b.iter(|| headline(&opts).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheme_points, bench_headline_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Cost of a single online decision step (RHC window solve + commit;
+//! CHC staggered replan + average + round).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jocal_core::primal_dual::PrimalDualOptions;
+use jocal_core::{CacheState, CostModel};
+use jocal_online::chc::ChcPolicy;
+use jocal_online::policy::{OnlinePolicy, PolicyContext};
+use jocal_online::rhc::RhcPolicy;
+use jocal_online::rounding::RoundingPolicy;
+use jocal_sim::predictor::NoisyPredictor;
+
+fn bench_online_step(c: &mut Criterion) {
+    let scenario = jocal_bench::bench_scenario(20);
+    let predictor = NoisyPredictor::new(scenario.demand.clone(), 0.1, 5);
+    let cache = CacheState::empty(&scenario.network);
+    let model = CostModel::paper();
+    let mut group = c.benchmark_group("online_step");
+    group.sample_size(10);
+    for w in [4usize, 10] {
+        group.bench_with_input(BenchmarkId::new("rhc_decide", w), &w, |b, &w| {
+            b.iter(|| {
+                let mut policy = RhcPolicy::new(w, PrimalDualOptions::online());
+                let ctx = PolicyContext {
+                    network: &scenario.network,
+                    cost_model: &model,
+                    predictor: &predictor,
+                    current_cache: &cache,
+                    horizon: scenario.demand.horizon(),
+                };
+                policy.decide(0, &ctx).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("chc_decide", w), &w, |b, &w| {
+            b.iter(|| {
+                let mut policy = ChcPolicy::new(
+                    w,
+                    (w / 2).max(1),
+                    RoundingPolicy::default(),
+                    PrimalDualOptions::online(),
+                );
+                let ctx = PolicyContext {
+                    network: &scenario.network,
+                    cost_model: &model,
+                    predictor: &predictor,
+                    current_cache: &cache,
+                    horizon: scenario.demand.horizon(),
+                };
+                policy.decide(0, &ctx).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_step);
+criterion_main!(benches);

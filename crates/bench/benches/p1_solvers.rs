@@ -1,0 +1,37 @@
+//! Ablation A3: the caching sub-problem `P1` solved by min-cost flow vs
+//! the paper's literal simplex formulation. Both are exact (Theorem 1);
+//! the flow path is the production default because of the gap this bench
+//! demonstrates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jocal_core::caching::{solve_caching_lp, solve_caching_mcmf};
+
+fn bench_p1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1");
+    for (t, k, cap) in [(4usize, 8usize, 2usize), (8, 15, 4), (10, 30, 5)] {
+        let rewards = jocal_bench::reward_matrix(t, k, 9);
+        let initially = vec![false; k];
+        group.bench_with_input(
+            BenchmarkId::new("mcmf", format!("T{t}_K{k}")),
+            &(),
+            |b, ()| b.iter(|| solve_caching_mcmf(cap, 25.0, &initially, &rewards).unwrap()),
+        );
+        // The simplex path is too slow for the largest instance in a
+        // bench loop; keep it to the small/medium ones.
+        if t * k <= 150 {
+            group.bench_with_input(
+                BenchmarkId::new("simplex", format!("T{t}_K{k}")),
+                &(),
+                |b, ()| b.iter(|| solve_caching_lp(cap, 25.0, &initially, &rewards).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_p1
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! The load-balancing slot solve: knapsack fast path (+ polish) vs cold
+//! projected gradient.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jocal_core::loadbalance::solve_load_slot;
+use jocal_core::CostModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct SlotInstance {
+    omega_bs: Vec<f64>,
+    omega_sbs: Vec<f64>,
+    lambda: Vec<f64>,
+    linear: Vec<f64>,
+    upper: Vec<f64>,
+    bandwidth: f64,
+}
+
+fn instance(m: usize, k: usize, with_mu: bool, seed: u64) -> SlotInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let omega_bs: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let lambda: Vec<f64> = (0..m * k).map(|_| rng.gen_range(0.0..0.3)).collect();
+    let linear: Vec<f64> = (0..m * k)
+        .map(|_| if with_mu { rng.gen_range(0.0..5.0) } else { 0.0 })
+        .collect();
+    SlotInstance {
+        omega_bs,
+        omega_sbs: vec![0.0; m],
+        lambda,
+        linear,
+        upper: vec![1.0; m * k],
+        bandwidth: 30.0,
+    }
+}
+
+fn bench_p2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2_slot");
+    for (m, k) in [(10usize, 10usize), (30, 30)] {
+        let inst = instance(m, k, true, 4);
+        group.bench_with_input(
+            BenchmarkId::new("fast_path_cold", format!("M{m}_K{k}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    solve_load_slot(
+                        &CostModel::paper(),
+                        &inst.omega_bs,
+                        &inst.omega_sbs,
+                        &inst.lambda,
+                        &inst.linear,
+                        &inst.upper,
+                        inst.bandwidth,
+                        None,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        // Warm start from the solution itself: the steady-state cost in
+        // the primal-dual loop.
+        let (warm, _) = solve_load_slot(
+            &CostModel::paper(),
+            &inst.omega_bs,
+            &inst.omega_sbs,
+            &inst.lambda,
+            &inst.linear,
+            &inst.upper,
+            inst.bandwidth,
+            None,
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("warm_start", format!("M{m}_K{k}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    solve_load_slot(
+                        &CostModel::paper(),
+                        &inst.omega_bs,
+                        &inst.omega_sbs,
+                        &inst.lambda,
+                        &inst.linear,
+                        &inst.upper,
+                        inst.bandwidth,
+                        Some(&warm),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        // PGD-only path (forced by an epsilon SBS weight).
+        let eps_sbs = vec![1e-12; m];
+        group.bench_with_input(
+            BenchmarkId::new("pgd_cold", format!("M{m}_K{k}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    solve_load_slot(
+                        &CostModel::paper(),
+                        &inst.omega_bs,
+                        &eps_sbs,
+                        &inst.lambda,
+                        &inst.linear,
+                        &inst.upper,
+                        inst.bandwidth,
+                        None,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_p2
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Algorithm 1 (primal-dual decomposition) end-to-end benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver};
+use jocal_core::problem::ProblemInstance;
+
+fn bench_primal_dual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primal_dual");
+    group.sample_size(10);
+    for horizon in [5usize, 10, 20] {
+        let scenario = jocal_bench::bench_scenario(horizon);
+        let problem =
+            ProblemInstance::fresh(scenario.network.clone(), scenario.demand.clone()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("window_solve", format!("T{horizon}")),
+            &(),
+            |b, ()| {
+                let solver = PrimalDualSolver::new(PrimalDualOptions::online());
+                b.iter(|| solver.solve(&problem).unwrap())
+            },
+        );
+    }
+    // Offline-grade accuracy on a short horizon.
+    let scenario = jocal_bench::bench_scenario(10);
+    let problem =
+        ProblemInstance::fresh(scenario.network.clone(), scenario.demand.clone()).unwrap();
+    group.bench_function("offline_grade_T10", |b| {
+        let solver = PrimalDualSolver::new(PrimalDualOptions {
+            max_iterations: 40,
+            ..Default::default()
+        });
+        b.iter(|| solver.solve(&problem).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primal_dual);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Micro-benchmarks of the optimization substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jocal_optim::mcmf::{FlowGoal, FlowNetwork};
+use jocal_optim::pgd::{minimize, PgdOptions};
+use jocal_optim::projection::{project_box_budget, project_box_budget_bisect};
+use jocal_optim::simplex::{LinearProgram, Sense};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("projection");
+    for n in [30usize, 300, 900] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let point: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..2.0)).collect();
+        let lo = vec![0.0; n];
+        let hi = vec![1.0; n];
+        let w: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..2.0)).collect();
+        let budget = 0.2 * w.iter().sum::<f64>();
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| project_box_budget(black_box(&point), &lo, &hi, &w, budget).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bisect", n), &n, |b, _| {
+            b.iter(|| {
+                project_box_budget_bisect(black_box(&point), &lo, &hi, &w, budget).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mcmf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcmf");
+    for (t, k) in [(10usize, 30usize), (50, 30), (100, 30)] {
+        group.bench_with_input(
+            BenchmarkId::new("caching_network", format!("T{t}_K{k}")),
+            &(t, k),
+            |b, &(t, k)| {
+                let rewards = jocal_bench::reward_matrix(t, k, 3);
+                let initially = vec![false; k];
+                b.iter(|| {
+                    jocal_core::caching::solve_caching_mcmf(5, 50.0, &initially, &rewards)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    // A raw flow network solve for reference.
+    group.bench_function("raw_parallel_arcs", |b| {
+        b.iter(|| {
+            let mut net = FlowNetwork::new(2);
+            for i in 0..200 {
+                net.add_edge(0, 1, 2, (i % 17) as f64).unwrap();
+            }
+            net.solve(0, 1, FlowGoal::Exact(100)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    c.bench_function("simplex/caching_lp_T4_K6", |b| {
+        let rewards = jocal_bench::reward_matrix(4, 6, 5);
+        let initially = vec![false; 6];
+        b.iter(|| {
+            jocal_core::caching::solve_caching_lp(2, 10.0, &initially, &rewards).unwrap()
+        })
+    });
+    c.bench_function("simplex/random_lp_20x12", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|_| (0..12).map(|_| rng.gen_range(0.0..2.0)).collect())
+            .collect();
+        let c_vec: Vec<f64> = (0..12).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        b.iter(|| {
+            let mut lp = LinearProgram::new(12, Sense::Minimize);
+            lp.set_objective(c_vec.clone());
+            for j in 0..12 {
+                lp.set_bounds(j, 0.0, 1.0);
+            }
+            for row in &rows {
+                lp.add_le_constraint(row.iter().cloned().enumerate().collect(), 3.0);
+            }
+            lp.solve().unwrap()
+        })
+    });
+}
+
+fn bench_pgd(c: &mut Criterion) {
+    c.bench_function("pgd/quadratic_100d_box", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let target: Vec<f64> = (0..100).map(|_| rng.gen_range(-1.0..2.0)).collect();
+        b.iter(|| {
+            let t = target.clone();
+            minimize(
+                move |x| {
+                    x.iter()
+                        .zip(&t)
+                        .map(|(xi, ti)| (xi - ti).powi(2))
+                        .sum::<f64>()
+                },
+                {
+                    let t = target.clone();
+                    move |x, g| {
+                        for i in 0..x.len() {
+                            g[i] = 2.0 * (x[i] - t[i]);
+                        }
+                    }
+                },
+                |x| {
+                    for v in x.iter_mut() {
+                        *v = v.clamp(0.0, 1.0);
+                    }
+                },
+                vec![0.5; 100],
+                PgdOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_projection, bench_mcmf, bench_simplex, bench_pgd
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Shared fixtures for the `jocal` Criterion benchmarks.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `substrates` — micro-benchmarks of the optimization substrate
+//!   (min-cost flow, simplex, projection, projected gradient).
+//! * `p1_solvers` — ablation A3: the caching sub-problem solved by
+//!   min-cost flow vs the paper's simplex formulation.
+//! * `p2_solvers` — the load-balancing slot solve: knapsack fast path vs
+//!   cold projected gradient.
+//! * `primal_dual` — Algorithm 1 end-to-end on reduced scenarios.
+//! * `online_step` — one RHC / CHC decision step.
+//! * `figures` — reduced-scale versions of every paper figure sweep
+//!   (the full-scale numbers live in `results/` and EXPERIMENTS.md).
+//! * `ablations` — reduced-scale ρ and commitment-level sweeps.
+
+use jocal_sim::scenario::{Scenario, ScenarioConfig};
+
+/// A reduced paper scenario sized for benchmarking (seconds, not
+/// minutes).
+#[must_use]
+pub fn bench_scenario(horizon: usize) -> Scenario {
+    ScenarioConfig::paper_default()
+        .with_horizon(horizon)
+        .with_beta(50.0)
+        .build(42)
+        .expect("bench scenario builds")
+}
+
+/// Deterministic pseudo-random rewards matrix for P1 benches.
+#[must_use]
+pub fn reward_matrix(horizon: usize, contents: usize, seed: u64) -> Vec<Vec<f64>> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..horizon)
+        .map(|_| (0..contents).map(|_| rng.gen_range(0.0..20.0)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let s = bench_scenario(4);
+        assert_eq!(s.demand.horizon(), 4);
+        let r = reward_matrix(3, 5, 1);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].len(), 5);
+    }
+}

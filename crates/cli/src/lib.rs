@@ -1,0 +1,385 @@
+//! Library backing the `jocal` command-line tool.
+//!
+//! The CLI drives the workspace end-to-end from JSON scenario configs:
+//!
+//! ```sh
+//! jocal example-config > scenario.json
+//! jocal generate --config scenario.json --seed 7 --output trace.csv
+//! jocal run --config scenario.json --scheme rhc --seed 7
+//! jocal schemes
+//! ```
+//!
+//! All parsing/dispatch logic lives here (unit-testable); `main.rs` is a
+//! thin shim.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use jocal_experiments::schemes::{run_scheme, RunConfig, Scheme};
+use jocal_sim::scenario::ScenarioConfig;
+use jocal_sim::trace::write_trace;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+
+/// CLI usage string.
+pub const USAGE: &str = "\
+jocal — joint online edge caching and load balancing (ICDCS 2019)
+
+USAGE:
+    jocal <COMMAND> [OPTIONS]
+
+COMMANDS:
+    run             run one scheme on a scenario
+    generate        generate a demand trace as CSV
+    schemes         list available schemes
+    example-config  print a sample scenario JSON to stdout
+    help            show this message
+
+OPTIONS (run / generate):
+    --config <path>   scenario JSON (default: the paper's setup)
+    --seed <u64>      scenario seed (default 42)
+    --output <path>   write CSV output here
+    --scheme <name>   offline|rhc|chc|afhc|lrfu|lfu|lru|fifo|static
+    --window <w>      prediction window (default from config)
+    --eta <f64>       prediction noise (default from config)
+    --commitment <r>  CHC commitment level (default 3)
+    --horizon <T>     override the scenario horizon
+";
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for CliError {}
+
+impl CliError {
+    fn boxed(msg: impl Into<String>) -> Box<dyn Error> {
+        Box::new(CliError(msg.into()))
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct CliArgs {
+    /// Sub-command name.
+    pub command: String,
+    /// `--config`
+    pub config: Option<PathBuf>,
+    /// `--seed`
+    pub seed: u64,
+    /// `--output`
+    pub output: Option<PathBuf>,
+    /// `--scheme`
+    pub scheme: Option<String>,
+    /// `--window`
+    pub window: Option<usize>,
+    /// `--eta`
+    pub eta: Option<f64>,
+    /// `--commitment`
+    pub commitment: usize,
+    /// `--horizon`
+    pub horizon: Option<usize>,
+}
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a message for unknown flags or unparsable values.
+pub fn parse_args(args: &[String]) -> Result<CliArgs, Box<dyn Error>> {
+    let mut out = CliArgs {
+        command: args.first().cloned().unwrap_or_else(|| "help".into()),
+        seed: 42,
+        commitment: 3,
+        ..Default::default()
+    };
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> Result<&String, Box<dyn Error>> {
+            args.get(i + 1)
+                .ok_or_else(|| CliError::boxed(format!("flag {flag} needs a value")))
+        };
+        match flag {
+            "--config" => {
+                out.config = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
+            "--seed" => {
+                out.seed = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--seed expects a u64"))?;
+                i += 2;
+            }
+            "--output" => {
+                out.output = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
+            "--scheme" => {
+                out.scheme = Some(value(i)?.to_lowercase());
+                i += 2;
+            }
+            "--window" => {
+                out.window = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|_| CliError::boxed("--window expects a usize"))?,
+                );
+                i += 2;
+            }
+            "--eta" => {
+                out.eta = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|_| CliError::boxed("--eta expects a float"))?,
+                );
+                i += 2;
+            }
+            "--commitment" => {
+                out.commitment = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--commitment expects a usize"))?;
+                i += 2;
+            }
+            "--horizon" => {
+                out.horizon = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|_| CliError::boxed("--horizon expects a usize"))?,
+                );
+                i += 2;
+            }
+            other => return Err(CliError::boxed(format!("unknown flag {other}"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Resolves a scheme name.
+///
+/// # Errors
+///
+/// Returns a message listing valid names when unknown.
+pub fn parse_scheme(name: &str, commitment: usize) -> Result<Scheme, Box<dyn Error>> {
+    Ok(match name {
+        "offline" => Scheme::Offline,
+        "rhc" => Scheme::Rhc,
+        "chc" => Scheme::Chc { commitment },
+        "afhc" => Scheme::Afhc,
+        "lrfu" => Scheme::Lrfu,
+        "lfu" => Scheme::Lfu,
+        "lru" => Scheme::Lru,
+        "fifo" => Scheme::Fifo,
+        "static" | "statictop" => Scheme::StaticTop,
+        other => {
+            return Err(CliError::boxed(format!(
+                "unknown scheme `{other}` (try: offline rhc chc afhc lrfu lfu lru fifo static)"
+            )))
+        }
+    })
+}
+
+fn load_config(args: &CliArgs) -> Result<ScenarioConfig, Box<dyn Error>> {
+    let mut config = match &args.config {
+        Some(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| CliError::boxed(format!("cannot read {}: {e}", path.display())))?;
+            serde_json::from_str(&text)
+                .map_err(|e| CliError::boxed(format!("bad scenario JSON: {e}")))?
+        }
+        None => ScenarioConfig::paper_default(),
+    };
+    if let Some(h) = args.horizon {
+        config = config.with_horizon(h);
+    }
+    if let Some(w) = args.window {
+        config = config.with_prediction_window(w);
+    }
+    if let Some(eta) = args.eta {
+        config = config.with_eta(eta);
+    }
+    Ok(config)
+}
+
+/// Executes a parsed command, writing human output to `out`.
+///
+/// # Errors
+///
+/// Propagates I/O, parsing and solver failures with user-readable
+/// messages.
+pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+        }
+        "schemes" => {
+            for s in [
+                Scheme::Offline,
+                Scheme::Rhc,
+                Scheme::Chc { commitment: 3 },
+                Scheme::Afhc,
+                Scheme::Lrfu,
+                Scheme::Lfu,
+                Scheme::Lru,
+                Scheme::Fifo,
+                Scheme::StaticTop,
+            ] {
+                writeln!(out, "{}", s.label())?;
+            }
+        }
+        "example-config" => {
+            let text = serde_json::to_string_pretty(&ScenarioConfig::paper_default())
+                .expect("config serializes");
+            writeln!(out, "{text}")?;
+        }
+        "generate" => {
+            let config = load_config(args)?;
+            let scenario = config.build(args.seed)?;
+            match &args.output {
+                Some(path) => {
+                    let mut file = fs::File::create(path).map_err(|e| {
+                        CliError::boxed(format!("cannot create {}: {e}", path.display()))
+                    })?;
+                    write_trace(&scenario.demand, &mut file)?;
+                    writeln!(
+                        out,
+                        "wrote {} slots x {} contents to {}",
+                        scenario.demand.horizon(),
+                        scenario.demand.num_contents(),
+                        path.display()
+                    )?;
+                }
+                None => {
+                    write_trace(&scenario.demand, &mut *out)?;
+                }
+            }
+        }
+        "run" => {
+            let scheme_name = args
+                .scheme
+                .as_deref()
+                .ok_or_else(|| CliError::boxed("run requires --scheme"))?;
+            let scheme = parse_scheme(scheme_name, args.commitment)?;
+            let config = load_config(args)?;
+            let scenario = config.build(args.seed)?;
+            let run_cfg = RunConfig::from_scenario(&scenario);
+            let outcome = run_scheme(scheme, &scenario, &run_cfg)?;
+            writeln!(out, "scheme            {}", outcome.label)?;
+            writeln!(out, "total cost        {:.3}", outcome.breakdown.total())?;
+            writeln!(out, "bs operating      {:.3}", outcome.breakdown.bs_operating)?;
+            writeln!(out, "sbs operating     {:.3}", outcome.breakdown.sbs_operating)?;
+            writeln!(out, "replacement cost  {:.3}", outcome.breakdown.replacement)?;
+            writeln!(
+                out,
+                "replacements      {}",
+                outcome.breakdown.replacement_count
+            )?;
+            if let Some(path) = &args.output {
+                let json = serde_json::to_string_pretty(&outcome).expect("outcome serializes");
+                fs::write(path, json).map_err(|e| {
+                    CliError::boxed(format!("cannot write {}: {e}", path.display()))
+                })?;
+                writeln!(out, "wrote {}", path.display())?;
+            }
+        }
+        other => {
+            return Err(CliError::boxed(format!(
+                "unknown command `{other}`; run `jocal help`"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_command() {
+        let args = parse_args(&strings(&[
+            "run", "--scheme", "rhc", "--seed", "7", "--window", "4", "--eta", "0.2",
+        ]))
+        .unwrap();
+        assert_eq!(args.command, "run");
+        assert_eq!(args.scheme.as_deref(), Some("rhc"));
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.window, Some(4));
+        assert_eq!(args.eta, Some(0.2));
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_missing_value() {
+        assert!(parse_args(&strings(&["run", "--bogus", "1"])).is_err());
+        assert!(parse_args(&strings(&["run", "--seed"])).is_err());
+        assert!(parse_args(&strings(&["run", "--seed", "abc"])).is_err());
+    }
+
+    #[test]
+    fn scheme_names_resolve() {
+        assert_eq!(parse_scheme("rhc", 3).unwrap().label(), "RHC");
+        assert_eq!(parse_scheme("chc", 5).unwrap().label(), "CHC(r=5)");
+        assert_eq!(parse_scheme("static", 1).unwrap().label(), "StaticTop");
+        assert!(parse_scheme("nope", 1).is_err());
+    }
+
+    #[test]
+    fn help_and_schemes_commands() {
+        let mut buf = Vec::new();
+        execute(&parse_args(&strings(&["help"])).unwrap(), &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+        let mut buf = Vec::new();
+        execute(&parse_args(&strings(&["schemes"])).unwrap(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("RHC") && text.contains("LRFU"));
+    }
+
+    #[test]
+    fn example_config_roundtrips() {
+        let mut buf = Vec::new();
+        execute(&parse_args(&strings(&["example-config"])).unwrap(), &mut buf).unwrap();
+        let cfg: ScenarioConfig =
+            serde_json::from_slice(&buf).expect("example config is valid JSON");
+        assert_eq!(cfg, ScenarioConfig::paper_default());
+    }
+
+    #[test]
+    fn generate_to_stdout_produces_trace() {
+        let args = parse_args(&strings(&["generate", "--horizon", "3", "--seed", "1"])).unwrap();
+        let mut buf = Vec::new();
+        execute(&args, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with(jocal_sim::trace::TRACE_MAGIC));
+    }
+
+    #[test]
+    fn run_lrfu_small() {
+        let args = parse_args(&strings(&[
+            "run", "--scheme", "lrfu", "--horizon", "4", "--seed", "3",
+        ]))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(&args, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("total cost"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let args = parse_args(&strings(&["frobnicate"])).unwrap();
+        let mut buf = Vec::new();
+        assert!(execute(&args, &mut buf).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Cost accounting: decompose a plan's total cost into the paper's
+//! reported quantities.
+//!
+//! The evaluation section reports, per scheme: total operating cost
+//! (Fig. 2a/3a/4a/5), cache replacement cost (Fig. 2b), number of cache
+//! replacements (Fig. 2c/3b/4b), and BS operating cost (Fig. 2d).
+//! [`CostBreakdown`] carries exactly those numbers.
+
+use crate::plan::{CachePlan, CacheState, LoadPlan};
+use crate::problem::ProblemInstance;
+use serde::{Deserialize, Serialize};
+use std::ops::Add;
+
+/// Decomposition of a plan's total cost.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// `Σ_t f_t` — BS operating cost (Fig. 2d).
+    pub bs_operating: f64,
+    /// `Σ_t g_t` — SBS operating cost.
+    pub sbs_operating: f64,
+    /// `Σ_t h` — cache replacement cost (Fig. 2b).
+    pub replacement: f64,
+    /// Number of item fetches `Σ (x^t − x^{t−1})⁺` (Fig. 2c).
+    pub replacement_count: usize,
+}
+
+impl CostBreakdown {
+    /// Total operating cost (the paper's objective, eq. 9).
+    #[inline]
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.bs_operating + self.sbs_operating + self.replacement
+    }
+}
+
+impl Add for CostBreakdown {
+    type Output = CostBreakdown;
+
+    fn add(self, rhs: CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            bs_operating: self.bs_operating + rhs.bs_operating,
+            sbs_operating: self.sbs_operating + rhs.sbs_operating,
+            replacement: self.replacement + rhs.replacement,
+            replacement_count: self.replacement_count + rhs.replacement_count,
+        }
+    }
+}
+
+/// Evaluates a full plan against ground-truth demand.
+///
+/// `problem` supplies the network, demand, cost model and initial cache
+/// state; `x`/`y` are the executed decisions. Plans shorter than the
+/// demand horizon are evaluated over their own length.
+#[must_use]
+pub fn evaluate_plan(problem: &ProblemInstance, x: &CachePlan, y: &LoadPlan) -> CostBreakdown {
+    let network = problem.network();
+    let demand = problem.demand();
+    let model = problem.cost_model();
+    let mut breakdown = CostBreakdown::default();
+    let mut prev: &CacheState = problem.initial_cache();
+    for t in 0..x.horizon().min(y.horizon()) {
+        breakdown.bs_operating += model.f_t(network, demand, y, t);
+        breakdown.sbs_operating += model.g_t(network, demand, y, t);
+        for (n, sbs) in network.iter_sbs() {
+            let fetches = x.state(t).fetches_from(prev, n);
+            breakdown.replacement += sbs.replacement_cost() * fetches as f64;
+            breakdown.replacement_count += fetches;
+        }
+        prev = x.state(t);
+    }
+    breakdown
+}
+
+/// Per-slot cost decomposition (useful for time-series plots).
+#[must_use]
+pub fn evaluate_per_slot(
+    problem: &ProblemInstance,
+    x: &CachePlan,
+    y: &LoadPlan,
+) -> Vec<CostBreakdown> {
+    let network = problem.network();
+    let demand = problem.demand();
+    let model = problem.cost_model();
+    let mut out = Vec::with_capacity(x.horizon());
+    let mut prev: &CacheState = problem.initial_cache();
+    for t in 0..x.horizon().min(y.horizon()) {
+        let mut slot = CostBreakdown {
+            bs_operating: model.f_t(network, demand, y, t),
+            sbs_operating: model.g_t(network, demand, y, t),
+            ..Default::default()
+        };
+        for (n, sbs) in network.iter_sbs() {
+            let fetches = x.state(t).fetches_from(prev, n);
+            slot.replacement += sbs.replacement_cost() * fetches as f64;
+            slot.replacement_count += fetches;
+        }
+        prev = x.state(t);
+        out.push(slot);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocal_sim::demand::DemandTrace;
+    use jocal_sim::topology::{ClassId, ContentId, MuClass, Network, SbsId};
+
+    fn setup() -> ProblemInstance {
+        let net = Network::builder(2)
+            .sbs(1, 10.0, 3.0, vec![MuClass::new(1.0, 0.0, 1.0).unwrap()])
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut d = DemandTrace::zeros(&net, 2);
+        for t in 0..2 {
+            d.set_lambda(t, SbsId(0), ClassId(0), ContentId(0), 2.0)
+                .unwrap();
+            d.set_lambda(t, SbsId(0), ClassId(0), ContentId(1), 1.0)
+                .unwrap();
+        }
+        ProblemInstance::fresh(net, d).unwrap()
+    }
+
+    #[test]
+    fn breakdown_matches_cost_model_total() {
+        let p = setup();
+        let mut x = CachePlan::empty(p.network(), 2);
+        x.state_mut(0).set(SbsId(0), ContentId(0), true);
+        x.state_mut(1).set(SbsId(0), ContentId(1), true);
+        let mut y = LoadPlan::zeros(p.network(), 2);
+        y.set_y(0, SbsId(0), ClassId(0), ContentId(0), 1.0);
+        y.set_y(1, SbsId(0), ClassId(0), ContentId(1), 0.5);
+        let b = evaluate_plan(&p, &x, &y);
+        let direct = p
+            .cost_model()
+            .total(p.network(), p.demand(), p.initial_cache(), &x, &y);
+        assert!((b.total() - direct).abs() < 1e-9);
+        // Two fetches: item 0 at t=0, item 1 at t=1.
+        assert_eq!(b.replacement_count, 2);
+        assert!((b.replacement - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_slot_sums_to_total() {
+        let p = setup();
+        let mut x = CachePlan::empty(p.network(), 2);
+        x.state_mut(0).set(SbsId(0), ContentId(0), true);
+        let y = LoadPlan::zeros(p.network(), 2);
+        let slots = evaluate_per_slot(&p, &x, &y);
+        let summed = slots
+            .into_iter()
+            .fold(CostBreakdown::default(), CostBreakdown::add);
+        let whole = evaluate_plan(&p, &x, &y);
+        assert!((summed.total() - whole.total()).abs() < 1e-9);
+        assert_eq!(summed.replacement_count, whole.replacement_count);
+    }
+
+    #[test]
+    fn empty_plan_costs_only_bs() {
+        let p = setup();
+        let x = CachePlan::empty(p.network(), 2);
+        let y = LoadPlan::zeros(p.network(), 2);
+        let b = evaluate_plan(&p, &x, &y);
+        assert_eq!(b.replacement_count, 0);
+        assert_eq!(b.replacement, 0.0);
+        assert_eq!(b.sbs_operating, 0.0);
+        // f per slot: (1·(2+1))² = 9, two slots.
+        assert!((b.bs_operating - 18.0).abs() < 1e-9);
+    }
+}

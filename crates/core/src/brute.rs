@@ -1,0 +1,215 @@
+//! Brute-force exact solver for tiny instances (test oracle).
+//!
+//! The joint objective decomposes per SBS (both `f` and `g` are sums of
+//! per-SBS terms and caching couples only within an SBS), so the oracle
+//! enumerates, independently per SBS, every capacity-feasible cache
+//! subset sequence by dynamic programming over timeslots. The stage cost
+//! of a subset is the *exact* optimal load-balancing cost given that
+//! cache (a convex solve), so the result is the true global optimum of
+//! eq. 9 up to the convex-solver tolerance.
+//!
+//! Complexity is `O(T · S²)` per SBS with `S = Σ_{i≤C} (K choose i)`
+//! subsets — only usable for small catalogs (`K ≤ 12` enforced).
+
+use crate::accounting::evaluate_plan;
+use crate::loadbalance::solve_load_slot;
+use crate::plan::{CachePlan, LoadPlan};
+use crate::problem::ProblemInstance;
+use crate::CoreError;
+use jocal_sim::topology::{ClassId, ContentId};
+
+/// Result of a brute-force solve.
+#[derive(Debug, Clone)]
+pub struct BruteForceSolution {
+    /// Optimal caching plan.
+    pub cache_plan: CachePlan,
+    /// Optimal load plan.
+    pub load_plan: LoadPlan,
+    /// Total cost (eq. 9).
+    pub total_cost: f64,
+}
+
+/// Maximum catalog size accepted by the oracle.
+pub const MAX_BRUTE_CONTENTS: usize = 12;
+
+/// Exhaustively solves `problem`.
+///
+/// # Errors
+///
+/// * [`CoreError::ShapeMismatch`] if the catalog exceeds
+///   [`MAX_BRUTE_CONTENTS`].
+/// * Propagates convex-solver failures for the stage costs.
+pub fn solve_brute_force(problem: &ProblemInstance) -> Result<BruteForceSolution, CoreError> {
+    let network = problem.network();
+    let k_total = network.num_contents();
+    if k_total > MAX_BRUTE_CONTENTS {
+        return Err(CoreError::shape(format!(
+            "brute force limited to K <= {MAX_BRUTE_CONTENTS}, got {k_total}"
+        )));
+    }
+    let horizon = problem.horizon();
+    let mut cache_plan = CachePlan::empty(network, horizon);
+    let mut load_plan = LoadPlan::zeros(network, horizon);
+
+    for (n, sbs) in network.iter_sbs() {
+        let capacity = sbs.cache_capacity();
+        let beta = sbs.replacement_cost();
+        let subsets: Vec<u32> = (0u32..(1 << k_total))
+            .filter(|s| (s.count_ones() as usize) <= capacity)
+            .collect();
+        let m_total = sbs.num_classes();
+        let mut omega_bs = Vec::with_capacity(m_total);
+        let mut omega_sbs = Vec::with_capacity(m_total);
+        for class in sbs.classes() {
+            omega_bs.push(class.omega_bs);
+            omega_sbs.push(class.omega_sbs);
+        }
+
+        // Stage costs and the associated optimal y per (t, subset).
+        let mut stage_cost = vec![vec![0.0; subsets.len()]; horizon];
+        let mut stage_y: Vec<Vec<Vec<f64>>> = vec![Vec::new(); horizon];
+        for t in 0..horizon {
+            let mut lambda = vec![0.0; m_total * k_total];
+            for m in 0..m_total {
+                for k in 0..k_total {
+                    lambda[m * k_total + k] =
+                        problem.demand().lambda(t, n, ClassId(m), ContentId(k));
+                }
+            }
+            let linear = vec![0.0; m_total * k_total];
+            for (j, &subset) in subsets.iter().enumerate() {
+                let mut upper = vec![0.0; m_total * k_total];
+                for m in 0..m_total {
+                    for k in 0..k_total {
+                        if subset & (1 << k) != 0 {
+                            upper[m * k_total + k] = 1.0;
+                        }
+                    }
+                }
+                let (y, obj) = solve_load_slot(
+                    problem.cost_model(),
+                    &omega_bs,
+                    &omega_sbs,
+                    &lambda,
+                    &linear,
+                    &upper,
+                    sbs.bandwidth(),
+                    None,
+                )?;
+                stage_cost[t][j] = obj;
+                stage_y[t].push(y);
+            }
+        }
+
+        let initial_mask: u32 = (0..k_total)
+            .filter(|&k| problem.initial_cache().contains(n, ContentId(k)))
+            .map(|k| 1u32 << k)
+            .sum();
+        let switch = |prev: u32, next: u32| -> f64 { beta * (next & !prev).count_ones() as f64 };
+
+        // DP over time.
+        let mut cost: Vec<f64> = subsets
+            .iter()
+            .enumerate()
+            .map(|(j, &s)| switch(initial_mask, s) + stage_cost[0][j])
+            .collect();
+        let mut parents: Vec<Vec<usize>> = vec![vec![usize::MAX; subsets.len()]];
+        for t in 1..horizon {
+            let mut next = vec![f64::INFINITY; subsets.len()];
+            let mut parent = vec![usize::MAX; subsets.len()];
+            for (j, &s) in subsets.iter().enumerate() {
+                for (i, &p) in subsets.iter().enumerate() {
+                    let cand = cost[i] + switch(p, s) + stage_cost[t][j];
+                    if cand < next[j] {
+                        next[j] = cand;
+                        parent[j] = i;
+                    }
+                }
+            }
+            parents.push(parent);
+            cost = next;
+        }
+        let mut idx = cost
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite costs"))
+            .map(|(i, _)| i)
+            .expect("non-empty subset list");
+
+        // Reconstruct the trajectory.
+        let mut chosen = vec![0usize; horizon];
+        for t in (0..horizon).rev() {
+            chosen[t] = idx;
+            if t > 0 {
+                idx = parents[t][idx];
+            }
+        }
+        for t in 0..horizon {
+            let subset = subsets[chosen[t]];
+            for k in 0..k_total {
+                cache_plan
+                    .state_mut(t)
+                    .set(n, ContentId(k), subset & (1 << k) != 0);
+            }
+            load_plan
+                .tensor_mut()
+                .set_sbs_slot(t, n, &stage_y[t][chosen[t]]);
+        }
+    }
+
+    let total_cost = evaluate_plan(problem, &cache_plan, &load_plan).total();
+    Ok(BruteForceSolution {
+        cache_plan,
+        load_plan,
+        total_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::verify_feasible;
+    use jocal_sim::demand::DemandTrace;
+    use jocal_sim::topology::{MuClass, Network, SbsId};
+
+    fn tiny_problem() -> ProblemInstance {
+        let net = Network::builder(3)
+            .sbs(1, 10.0, 2.0, vec![MuClass::new(1.0, 0.0, 1.0).unwrap()])
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut d = DemandTrace::zeros(&net, 3);
+        for t in 0..3 {
+            d.set_lambda(t, SbsId(0), ClassId(0), ContentId(0), 4.0)
+                .unwrap();
+            d.set_lambda(t, SbsId(0), ClassId(0), ContentId(1), 1.0)
+                .unwrap();
+        }
+        ProblemInstance::fresh(net, d).unwrap()
+    }
+
+    #[test]
+    fn brute_force_caches_dominant_item() {
+        let p = tiny_problem();
+        let sol = solve_brute_force(&p).unwrap();
+        verify_feasible(p.network(), p.demand(), &sol.cache_plan, &sol.load_plan).unwrap();
+        // Item 0 (λ=4) should be cached every slot; capacity is 1.
+        for t in 0..3 {
+            assert!(sol.cache_plan.state(t).contains(SbsId(0), ContentId(0)));
+        }
+        // Cost: fetch once (2.0) + per-slot residual f = (1·1)² = 1 × 3.
+        assert!((sol.total_cost - 5.0).abs() < 1e-4, "{}", sol.total_cost);
+    }
+
+    #[test]
+    fn rejects_large_catalogs() {
+        let net = Network::builder(16)
+            .sbs(1, 1.0, 1.0, vec![MuClass::new(1.0, 0.0, 1.0).unwrap()])
+            .unwrap()
+            .build()
+            .unwrap();
+        let d = DemandTrace::zeros(&net, 1);
+        let p = ProblemInstance::fresh(net, d).unwrap();
+        assert!(solve_brute_force(&p).is_err());
+    }
+}

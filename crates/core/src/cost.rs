@@ -1,0 +1,315 @@
+//! The cost model: BS/SBS operating costs and cache replacement cost.
+//!
+//! The paper requires `f_t(·)` and `g_t(·)` to be non-decreasing and
+//! jointly convex in the `y` variables and uses per-SBS quadratics as the
+//! representative instances (eq. 5–6):
+//!
+//! ```text
+//! f_t(Y) = Σ_n ( Σ_m ω_m Σ_k (1 − y_{m,k}) λ_{m,k} )²     (BS cost)
+//! g_t(Y) = Σ_n ( Σ_m ω̂_m Σ_k y_{m,k} λ_{m,k} )²           (SBS cost)
+//! ```
+//!
+//! Both reduce to a scalar convex function of a per-SBS aggregate load;
+//! [`CostFunction`] captures that scalar function (quadratic by default,
+//! linear and general power variants provided), and [`CostModel`] pairs
+//! one for the BS with one for the SBSs. The cache replacement cost is
+//! `h(X^t, X^{t−1}) = Σ_n β_n Σ_k (x^t − x^{t−1})⁺` (eq. 8).
+
+use crate::plan::{CachePlan, CacheState, LoadPlan};
+use jocal_sim::demand::DemandTrace;
+use jocal_sim::topology::{ClassId, ContentId, Network, SbsId};
+use serde::{Deserialize, Serialize};
+
+/// A non-decreasing convex scalar cost applied to an aggregate load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CostFunction {
+    /// `cost(u) = u²` — the paper's representative choice.
+    Quadratic,
+    /// `cost(u) = slope · u` — the linear energy model of reference \[23\] in the
+    /// paper's discussion.
+    Linear {
+        /// Marginal cost per unit load.
+        slope: f64,
+    },
+    /// `cost(u) = u^p` with `p ≥ 1` — interpolates between the two.
+    Power {
+        /// Exponent `p ≥ 1`.
+        exponent: f64,
+    },
+}
+
+impl CostFunction {
+    /// Cost at aggregate load `u ≥ 0`.
+    ///
+    /// ```
+    /// use jocal_core::cost::CostFunction;
+    /// assert_eq!(CostFunction::Quadratic.value(3.0), 9.0);
+    /// assert_eq!(CostFunction::Linear { slope: 2.0 }.value(3.0), 6.0);
+    /// ```
+    #[must_use]
+    pub fn value(&self, u: f64) -> f64 {
+        let u = u.max(0.0);
+        match *self {
+            CostFunction::Quadratic => u * u,
+            CostFunction::Linear { slope } => slope * u,
+            CostFunction::Power { exponent } => u.powf(exponent),
+        }
+    }
+
+    /// Derivative `d cost / d u` at `u ≥ 0`.
+    #[must_use]
+    pub fn derivative(&self, u: f64) -> f64 {
+        let u = u.max(0.0);
+        match *self {
+            CostFunction::Quadratic => 2.0 * u,
+            CostFunction::Linear { slope } => slope,
+            CostFunction::Power { exponent } => {
+                if u == 0.0 && exponent < 1.0 {
+                    0.0
+                } else {
+                    exponent * u.powf(exponent - 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// The full cost model: scalar costs for BS and SBS operating load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Applied to each SBS's residual BS load `Σ_m ω_m Σ_k (1−y)λ`.
+    pub bs_cost: CostFunction,
+    /// Applied to each SBS's served load `Σ_m ω̂_m Σ_k yλ`.
+    pub sbs_cost: CostFunction,
+}
+
+impl Default for CostModel {
+    /// The paper's evaluation model: quadratic for both (eq. 5–6).
+    fn default() -> Self {
+        CostModel {
+            bs_cost: CostFunction::Quadratic,
+            sbs_cost: CostFunction::Quadratic,
+        }
+    }
+}
+
+impl CostModel {
+    /// The paper's quadratic model.
+    #[must_use]
+    pub fn paper() -> Self {
+        CostModel::default()
+    }
+
+    /// Weighted residual BS load for SBS `n` at slot `t`:
+    /// `u_n = Σ_m ω_m Σ_k (1 − y_{m,k}) λ_{m,k}`.
+    #[must_use]
+    pub fn bs_load(
+        &self,
+        network: &Network,
+        demand: &DemandTrace,
+        y: &LoadPlan,
+        t: usize,
+        n: SbsId,
+    ) -> f64 {
+        let sbs = network.sbs(n).expect("sbs id validated by caller");
+        let mut u = 0.0;
+        for (m, class) in sbs.classes().iter().enumerate() {
+            let mut inner = 0.0;
+            for k in 0..network.num_contents() {
+                let lam = demand.lambda(t, n, ClassId(m), ContentId(k));
+                inner += (1.0 - y.y(t, n, ClassId(m), ContentId(k))) * lam;
+            }
+            u += class.omega_bs * inner;
+        }
+        u
+    }
+
+    /// Weighted served SBS load for SBS `n` at slot `t`:
+    /// `v_n = Σ_m ω̂_m Σ_k y_{m,k} λ_{m,k}`.
+    #[must_use]
+    pub fn sbs_load(
+        &self,
+        network: &Network,
+        demand: &DemandTrace,
+        y: &LoadPlan,
+        t: usize,
+        n: SbsId,
+    ) -> f64 {
+        let sbs = network.sbs(n).expect("sbs id validated by caller");
+        let mut v = 0.0;
+        for (m, class) in sbs.classes().iter().enumerate() {
+            let mut inner = 0.0;
+            for k in 0..network.num_contents() {
+                let lam = demand.lambda(t, n, ClassId(m), ContentId(k));
+                inner += y.y(t, n, ClassId(m), ContentId(k)) * lam;
+            }
+            v += class.omega_sbs * inner;
+        }
+        v
+    }
+
+    /// BS operating cost `f_t(Y^t)` (eq. 5 generalized).
+    #[must_use]
+    pub fn f_t(&self, network: &Network, demand: &DemandTrace, y: &LoadPlan, t: usize) -> f64 {
+        network
+            .iter_sbs()
+            .map(|(n, _)| self.bs_cost.value(self.bs_load(network, demand, y, t, n)))
+            .sum()
+    }
+
+    /// SBS operating cost `g_t(Y^t)` (eq. 6 generalized).
+    #[must_use]
+    pub fn g_t(&self, network: &Network, demand: &DemandTrace, y: &LoadPlan, t: usize) -> f64 {
+        network
+            .iter_sbs()
+            .map(|(n, _)| self.sbs_cost.value(self.sbs_load(network, demand, y, t, n)))
+            .sum()
+    }
+
+    /// Cache replacement cost `h(X^t, X^{t−1})` between two states
+    /// (eq. 8).
+    #[must_use]
+    pub fn h(&self, network: &Network, prev: &CacheState, next: &CacheState) -> f64 {
+        network
+            .iter_sbs()
+            .map(|(n, sbs)| sbs.replacement_cost() * next.fetches_from(prev, n) as f64)
+            .sum()
+    }
+
+    /// Total objective (eq. 9) of a full plan starting from `initial`.
+    #[must_use]
+    pub fn total(
+        &self,
+        network: &Network,
+        demand: &DemandTrace,
+        initial: &CacheState,
+        x: &CachePlan,
+        y: &LoadPlan,
+    ) -> f64 {
+        let mut total = 0.0;
+        let mut prev = initial;
+        for t in 0..x.horizon() {
+            total += self.f_t(network, demand, y, t);
+            total += self.g_t(network, demand, y, t);
+            total += self.h(network, prev, x.state(t));
+            prev = x.state(t);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocal_sim::topology::MuClass;
+
+    fn net() -> Network {
+        Network::builder(2)
+            .sbs(
+                1,
+                10.0,
+                5.0,
+                vec![
+                    MuClass::new(1.0, 0.5, 1.0).unwrap(),
+                    MuClass::new(2.0, 0.0, 1.0).unwrap(),
+                ],
+            )
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn demand(net: &Network) -> DemandTrace {
+        let mut d = DemandTrace::zeros(net, 2);
+        // λ[m][k] at t=0: [[1, 2], [3, 4]]; t=1 zeros.
+        d.set_lambda(0, SbsId(0), ClassId(0), ContentId(0), 1.0).unwrap();
+        d.set_lambda(0, SbsId(0), ClassId(0), ContentId(1), 2.0).unwrap();
+        d.set_lambda(0, SbsId(0), ClassId(1), ContentId(0), 3.0).unwrap();
+        d.set_lambda(0, SbsId(0), ClassId(1), ContentId(1), 4.0).unwrap();
+        d
+    }
+
+    #[test]
+    fn cost_function_values_and_derivatives() {
+        assert_eq!(CostFunction::Quadratic.value(4.0), 16.0);
+        assert_eq!(CostFunction::Quadratic.derivative(4.0), 8.0);
+        assert_eq!(CostFunction::Linear { slope: 3.0 }.value(2.0), 6.0);
+        assert_eq!(CostFunction::Linear { slope: 3.0 }.derivative(99.0), 3.0);
+        let p = CostFunction::Power { exponent: 3.0 };
+        assert_eq!(p.value(2.0), 8.0);
+        assert_eq!(p.derivative(2.0), 12.0);
+        // Negative loads are clamped.
+        assert_eq!(CostFunction::Quadratic.value(-1.0), 0.0);
+    }
+
+    #[test]
+    fn bs_load_matches_hand_computation() {
+        let n = net();
+        let d = demand(&n);
+        let model = CostModel::paper();
+        let y = LoadPlan::zeros(&n, 2);
+        // u = ω0(1+2) + ω1(3+4) = 1·3 + 2·7 = 17.
+        let u = model.bs_load(&n, &d, &y, 0, SbsId(0));
+        assert!((u - 17.0).abs() < 1e-12);
+        assert!((model.f_t(&n, &d, &y, 0) - 289.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serving_from_sbs_reduces_bs_load() {
+        let n = net();
+        let d = demand(&n);
+        let model = CostModel::paper();
+        let mut y = LoadPlan::zeros(&n, 2);
+        y.set_y(0, SbsId(0), ClassId(1), ContentId(1), 1.0);
+        // u drops by ω1·λ = 2·4 = 8 → 9; v = ω̂1·4 = 0.
+        assert!((model.bs_load(&n, &d, &y, 0, SbsId(0)) - 9.0).abs() < 1e-12);
+        assert!((model.f_t(&n, &d, &y, 0) - 81.0).abs() < 1e-9);
+        assert_eq!(model.g_t(&n, &d, &y, 0), 0.0);
+        // Serving class 0 (ω̂ = 0.5) creates SBS cost.
+        y.set_y(0, SbsId(0), ClassId(0), ContentId(0), 1.0);
+        let v = model.sbs_load(&n, &d, &y, 0, SbsId(0));
+        assert!((v - 0.5).abs() < 1e-12);
+        assert!((model.g_t(&n, &d, &y, 0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replacement_cost_counts_fetches() {
+        let n = net();
+        let model = CostModel::paper();
+        let empty = CacheState::empty(&n);
+        let mut a = CacheState::empty(&n);
+        a.set(SbsId(0), ContentId(0), true);
+        // β = 5, one fetch.
+        assert_eq!(model.h(&n, &empty, &a), 5.0);
+        assert_eq!(model.h(&n, &a, &a), 0.0);
+        // Eviction alone is free.
+        assert_eq!(model.h(&n, &a, &empty), 0.0);
+    }
+
+    #[test]
+    fn total_sums_components_over_time() {
+        let n = net();
+        let d = demand(&n);
+        let model = CostModel::paper();
+        let mut x = CachePlan::empty(&n, 2);
+        x.state_mut(0).set(SbsId(0), ContentId(1), true);
+        // Slot 1 keeps the item: no extra h.
+        x.state_mut(1).set(SbsId(0), ContentId(1), true);
+        let mut y = LoadPlan::zeros(&n, 2);
+        y.set_y(0, SbsId(0), ClassId(1), ContentId(1), 1.0);
+        let total = model.total(&n, &d, &CacheState::empty(&n), &x, &y);
+        // t=0: f = (1·3 + 2·3)² = 81, g = 0, h = 5. t=1: demand zero → 0.
+        assert!((total - 86.0).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn zero_demand_slots_cost_nothing() {
+        let n = net();
+        let d = demand(&n);
+        let model = CostModel::paper();
+        let y = LoadPlan::zeros(&n, 2);
+        assert_eq!(model.f_t(&n, &d, &y, 1), 0.0);
+        assert_eq!(model.g_t(&n, &d, &y, 1), 0.0);
+    }
+}

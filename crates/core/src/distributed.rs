@@ -1,0 +1,166 @@
+//! Distributed per-SBS solver — the paper's stated future work
+//! (Section VII: "we plan to develop distributed algorithms").
+//!
+//! The objective (eq. 9) is a sum of per-SBS terms and every constraint
+//! (eq. 1–3) involves exactly one SBS, so the joint problem decomposes
+//! **exactly**: each SBS can run Algorithm 1 on its own restriction
+//! (its classes, demand and cache state) with no coordination, and the
+//! concatenation of the per-SBS optima is a global optimum. This module
+//! implements that decomposition; a test in `tests/` verifies it
+//! produces the same cost as the centralized solver.
+//!
+//! Beyond fidelity, the decomposition is the practical deployment story:
+//! each SBS's mobile-computing board solves a problem whose size is
+//! independent of the number of SBSs in the cell.
+
+use crate::accounting::{evaluate_plan, CostBreakdown};
+use crate::plan::{CachePlan, CacheState, LoadPlan};
+use crate::primal_dual::{PrimalDualOptions, PrimalDualSolver};
+use crate::problem::ProblemInstance;
+use crate::CoreError;
+use jocal_sim::topology::{ClassId, ContentId, SbsId};
+
+/// Result of a distributed solve.
+#[derive(Debug, Clone)]
+pub struct DistributedSolution {
+    /// Combined caching plan across SBSs.
+    pub cache_plan: CachePlan,
+    /// Combined load plan across SBSs.
+    pub load_plan: LoadPlan,
+    /// Cost decomposition of the combined plan.
+    pub breakdown: CostBreakdown,
+    /// Sum of the per-SBS dual lower bounds (a valid global bound).
+    pub lower_bound: f64,
+    /// Largest per-SBS relative duality gap.
+    pub max_gap: f64,
+    /// Per-SBS iteration counts.
+    pub iterations: Vec<usize>,
+}
+
+/// Distributed solver: one independent Algorithm 1 instance per SBS.
+#[derive(Debug, Clone, Default)]
+pub struct DistributedSolver {
+    options: PrimalDualOptions,
+}
+
+impl DistributedSolver {
+    /// Creates a solver with per-SBS primal-dual options.
+    #[must_use]
+    pub fn new(options: PrimalDualOptions) -> Self {
+        DistributedSolver { options }
+    }
+
+    /// Solves `problem` by per-SBS decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates restriction and sub-solver failures.
+    pub fn solve(&self, problem: &ProblemInstance) -> Result<DistributedSolution, CoreError> {
+        let network = problem.network();
+        let horizon = problem.horizon();
+        let mut cache_plan = CachePlan::empty(network, horizon);
+        let mut load_plan = LoadPlan::zeros(network, horizon);
+        let mut lower_bound = 0.0;
+        let mut max_gap: f64 = 0.0;
+        let mut iterations = Vec::with_capacity(network.num_sbs());
+
+        for (n, sbs) in network.iter_sbs() {
+            // Build the single-SBS restriction.
+            let sub_network = network.restrict_to(n)?;
+            let sub_demand = problem.demand().restrict_to(n);
+            let mut sub_initial = CacheState::empty(&sub_network);
+            for k in 0..network.num_contents() {
+                if problem.initial_cache().contains(n, ContentId(k)) {
+                    sub_initial.set(SbsId(0), ContentId(k), true);
+                }
+            }
+            let sub_problem = ProblemInstance::new(
+                sub_network,
+                sub_demand,
+                *problem.cost_model(),
+                sub_initial,
+            )?;
+            let solution = PrimalDualSolver::new(self.options).solve(&sub_problem)?;
+            lower_bound += solution.lower_bound;
+            max_gap = max_gap.max(solution.gap);
+            iterations.push(solution.iterations);
+
+            // Scatter the sub-plan into the global plan.
+            for t in 0..horizon {
+                for k in 0..network.num_contents() {
+                    let cached = solution.cache_plan.state(t).contains(SbsId(0), ContentId(k));
+                    cache_plan.state_mut(t).set(n, ContentId(k), cached);
+                }
+                for m in 0..sbs.num_classes() {
+                    for k in 0..network.num_contents() {
+                        let y = solution.load_plan.y(t, SbsId(0), ClassId(m), ContentId(k));
+                        load_plan.set_y(t, n, ClassId(m), ContentId(k), y);
+                    }
+                }
+            }
+        }
+
+        let breakdown = evaluate_plan(problem, &cache_plan, &load_plan);
+        Ok(DistributedSolution {
+            cache_plan,
+            load_plan,
+            breakdown,
+            lower_bound,
+            max_gap,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::verify_feasible;
+    use jocal_sim::scenario::ScenarioConfig;
+
+    fn multi_sbs_problem(seed: u64) -> ProblemInstance {
+        let cfg = ScenarioConfig {
+            num_sbs: 3,
+            ..ScenarioConfig::tiny()
+        };
+        let s = cfg.build(seed).unwrap();
+        ProblemInstance::fresh(s.network, s.demand).unwrap()
+    }
+
+    #[test]
+    fn distributed_solution_is_feasible() {
+        let problem = multi_sbs_problem(4);
+        let sol = DistributedSolver::new(PrimalDualOptions {
+            max_iterations: 30,
+            ..Default::default()
+        })
+        .solve(&problem)
+        .unwrap();
+        verify_feasible(
+            problem.network(),
+            problem.demand(),
+            &sol.cache_plan,
+            &sol.load_plan,
+        )
+        .unwrap();
+        assert_eq!(sol.iterations.len(), 3);
+        assert!(sol.lower_bound <= sol.breakdown.total() + 1e-6);
+    }
+
+    #[test]
+    fn distributed_matches_centralized() {
+        let problem = multi_sbs_problem(6);
+        let opts = PrimalDualOptions {
+            max_iterations: 60,
+            ..Default::default()
+        };
+        let central = PrimalDualSolver::new(opts).solve(&problem).unwrap();
+        let distributed = DistributedSolver::new(opts).solve(&problem).unwrap();
+        let c = central.breakdown.total();
+        let d = distributed.breakdown.total();
+        assert!(
+            (c - d).abs() <= 0.03 * c.max(d),
+            "centralized {c} vs distributed {d}"
+        );
+    }
+}

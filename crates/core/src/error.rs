@@ -1,0 +1,117 @@
+//! Error type for the core joint-optimization crate.
+
+use jocal_optim::OptimError;
+use jocal_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while formulating or solving the joint caching and
+/// load-balancing problem.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A numerical sub-solver failed.
+    Solver(OptimError),
+    /// A simulator object was malformed.
+    Sim(SimError),
+    /// Dimensions of plans/demand/network disagree.
+    ShapeMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// A produced or supplied plan violates a constraint.
+    InfeasiblePlan {
+        /// Which constraint is violated.
+        constraint: &'static str,
+        /// Human-readable location/context.
+        detail: String,
+    },
+    /// The primal-dual loop failed to produce any feasible solution.
+    NoFeasibleSolution {
+        /// Iterations attempted.
+        iterations: usize,
+    },
+}
+
+impl CoreError {
+    /// Convenience constructor for [`CoreError::ShapeMismatch`].
+    pub fn shape(detail: impl Into<String>) -> Self {
+        CoreError::ShapeMismatch {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`CoreError::InfeasiblePlan`].
+    pub fn infeasible(constraint: &'static str, detail: impl Into<String>) -> Self {
+        CoreError::InfeasiblePlan {
+            constraint,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Solver(e) => write!(f, "solver failure: {e}"),
+            CoreError::Sim(e) => write!(f, "simulator failure: {e}"),
+            CoreError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            CoreError::InfeasiblePlan { constraint, detail } => {
+                write!(f, "plan violates {constraint}: {detail}")
+            }
+            CoreError::NoFeasibleSolution { iterations } => {
+                write!(f, "no feasible solution found in {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Solver(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OptimError> for CoreError {
+    fn from(e: OptimError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(OptimError::invalid("boom"));
+        assert!(e.to_string().contains("solver failure"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = CoreError::shape("T=3 vs T=4");
+        assert!(e.to_string().contains("shape mismatch"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = CoreError::infeasible("cache capacity", "sbs 0 slot 2");
+        assert!(e.to_string().contains("cache capacity"));
+
+        let e = CoreError::NoFeasibleSolution { iterations: 9 };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn conversions() {
+        let _: CoreError = SimError::config("x", "bad").into();
+        let _: CoreError = OptimError::Unbounded { ray: None }.into();
+    }
+}

@@ -1,0 +1,65 @@
+//! Core library of the `jocal` workspace: the joint online edge caching
+//! and load balancing problem of the ICDCS 2019 paper, its offline
+//! primal-dual solver and the supporting machinery.
+//!
+//! # Structure
+//!
+//! * [`problem`] — the optimization instance (network + demand + cost
+//!   model + initial cache state), eq. 9–11.
+//! * [`cost`] — the cost model: BS/SBS operating costs (eq. 5–6) and the
+//!   cache replacement cost (eq. 7–8).
+//! * [`plan`] — decision trajectories `X` (caching) and `Y` (load
+//!   balancing), plus full feasibility verification of eq. 1–4.
+//! * [`caching`] — the `P1` sub-problem (eq. 18/21–22): min-cost-flow
+//!   and simplex solvers, both exact by Theorem 1.
+//! * [`loadbalance`] — the `P2` sub-problem (eq. 19): projected-gradient
+//!   solver, plus the exact optimal load balancing for a fixed cache.
+//! * [`primal_dual`] — Algorithm 1: the dual-decomposition loop with
+//!   subgradient multiplier updates (eq. 15–17) and primal recovery.
+//! * [`offline`] — the offline optimal scheme of the evaluation.
+//! * [`brute`] — an exhaustive oracle for tiny instances (tests).
+//! * [`accounting`] — cost decomposition matching the paper's reported
+//!   metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use jocal_core::offline::OfflineSolver;
+//! use jocal_core::primal_dual::PrimalDualOptions;
+//! use jocal_core::problem::ProblemInstance;
+//! use jocal_sim::scenario::ScenarioConfig;
+//!
+//! let scenario = ScenarioConfig::tiny().build(7)?;
+//! let problem = ProblemInstance::fresh(scenario.network, scenario.demand)?;
+//! let solution = OfflineSolver::new(PrimalDualOptions {
+//!     max_iterations: 30,
+//!     ..Default::default()
+//! })
+//! .solve(&problem)?;
+//! assert!(solution.breakdown.total().is_finite());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod accounting;
+pub mod brute;
+pub mod caching;
+pub mod cost;
+pub mod distributed;
+pub mod error;
+pub mod fastslot;
+pub mod loadbalance;
+pub mod offline;
+pub mod overlap;
+pub mod plan;
+pub mod primal_dual;
+pub mod problem;
+pub mod tensor;
+
+pub use accounting::CostBreakdown;
+pub use cost::{CostFunction, CostModel};
+pub use error::CoreError;
+pub use plan::{CachePlan, CacheState, LoadPlan};
+pub use problem::ProblemInstance;

@@ -1,0 +1,553 @@
+//! The load-balancing sub-problem `P2` (eq. 19) and its solvers.
+//!
+//! Given multipliers `μ`, `P2` decomposes per SBS `n` and timeslot `t`:
+//!
+//! ```text
+//! min_y  φ(u_n) + ψ(v_n) + Σ_{m,k} μ_{n,m,k} y_{m,k}
+//! s.t.   Σ_{m,k} λ_{m,k} y_{m,k} ≤ B_n,   0 ≤ y ≤ ub,
+//! ```
+//!
+//! where `u_n = Σ_m ω_m Σ_k (1−y)λ` is the residual BS load and
+//! `v_n = Σ_m ω̂_m Σ_k yλ` the served SBS load. The objective is smooth
+//! and convex; we solve it by projected gradient (FISTA) with the exact
+//! box-∩-budget projection from `jocal-optim`.
+//!
+//! Two entry points:
+//!
+//! * [`solve_load_all`] — `P2` proper (upper bound `1`, `μ` as linear
+//!   term), used inside the primal-dual loop;
+//! * [`solve_load_given_cache`] — the *exact* optimal load balancing for
+//!   a fixed integer caching plan (`ub = x`, no `μ`), used for primal
+//!   recovery, for evaluating baselines fairly, and for the final plan.
+
+use crate::cost::CostModel;
+use crate::plan::{CachePlan, LoadPlan};
+use crate::problem::ProblemInstance;
+use crate::tensor::Tensor4;
+use crate::CoreError;
+use jocal_optim::pgd::{minimize, PgdOptions};
+use jocal_optim::projection::project_box_budget;
+use jocal_sim::topology::{ClassId, ContentId, SbsId};
+
+/// Tolerance/iteration budget used for the per-slot convex solves.
+fn slot_pgd_options() -> PgdOptions {
+    PgdOptions {
+        max_iters: 600,
+        tol: 1e-7,
+        initial_step: 1.0,
+        backtrack: 0.5,
+        min_step: 1e-16,
+        accelerated: true,
+    }
+}
+
+/// Solves one `(n, t)` slot of `P2`.
+///
+/// * `omega_bs`/`omega_sbs` — per-class weights `ω`, `ω̂` (length `M`).
+/// * `lambda` — demand flattened as `m·K + k` (length `M·K`).
+/// * `linear` — linear coefficients (the multipliers `μ`), same layout.
+/// * `upper` — per-entry upper bounds (`1` for `P2`, `x_{n,k}` when the
+///   cache is fixed).
+/// * `bandwidth` — the budget `B_n`.
+/// * `warm` — optional warm start.
+///
+/// Returns `(y, objective)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeMismatch`] on inconsistent lengths and
+/// propagates solver failures.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_load_slot(
+    cost_model: &CostModel,
+    omega_bs: &[f64],
+    omega_sbs: &[f64],
+    lambda: &[f64],
+    linear: &[f64],
+    upper: &[f64],
+    bandwidth: f64,
+    warm: Option<&[f64]>,
+) -> Result<(Vec<f64>, f64), CoreError> {
+    let m_total = omega_bs.len();
+    if omega_sbs.len() != m_total {
+        return Err(CoreError::shape("omega_sbs length mismatch"));
+    }
+    if m_total == 0 || lambda.is_empty() {
+        return Ok((Vec::new(), 0.0));
+    }
+    if lambda.len() % m_total != 0 {
+        return Err(CoreError::shape(format!(
+            "lambda length {} not a multiple of {m_total} classes",
+            lambda.len()
+        )));
+    }
+    let n_entries = lambda.len();
+    if linear.len() != n_entries || upper.len() != n_entries {
+        return Err(CoreError::shape("linear/upper length mismatch"));
+    }
+    let k_total = n_entries / m_total;
+
+    // Per-entry aggregate coefficients (ω λ toward the BS, ω̂ λ toward the
+    // SBS) and the total weighted demand u₀ = Σ ω λ.
+    let mut a = vec![0.0; n_entries];
+    let mut b = vec![0.0; n_entries];
+    for m in 0..m_total {
+        for k in 0..k_total {
+            let i = m * k_total + k;
+            a[i] = omega_bs[m] * lambda[i];
+            b[i] = omega_sbs[m] * lambda[i];
+        }
+    }
+    let u0: f64 = a.iter().sum();
+
+    // Entries pinned at 0 by their upper bound (or carrying zero demand
+    // and a non-negative price) cannot improve the objective: compress
+    // them out. This is a large win when a fixed cache zeroes most items.
+    let free: Vec<usize> = (0..n_entries)
+        .filter(|&i| upper[i] > 0.0 && (lambda[i] > 0.0 || linear[i] < 0.0))
+        .collect();
+
+    if free.is_empty() {
+        return Ok((
+            vec![0.0; n_entries],
+            cost_model.bs_cost.value(u0) + cost_model.sbs_cost.value(0.0),
+        ));
+    }
+
+    let fa: Vec<f64> = free.iter().map(|&i| a[i]).collect();
+    let fb: Vec<f64> = free.iter().map(|&i| b[i]).collect();
+    let flinear: Vec<f64> = free.iter().map(|&i| linear[i]).collect();
+    let fupper: Vec<f64> = free.iter().map(|&i| upper[i]).collect();
+    let flambda: Vec<f64> = free.iter().map(|&i| lambda[i]).collect();
+
+    // Fast path (the paper's evaluation setting): with no SBS-side cost
+    // the slot problem is a knapsack-structured scalar fixed point. The
+    // closed-form point is optimal up to knapsack-jump corner cases, so
+    // it is used as a warm start for a short projected-gradient polish —
+    // replacing hundreds of cold iterations with a handful.
+    let mut pgd_opts = slot_pgd_options();
+    let have_warm = matches!(warm, Some(w0) if w0.len() == n_entries);
+    let fwarm: Vec<f64> = if !have_warm
+        && fb.iter().all(|&v| v == 0.0)
+        && flinear.iter().all(|&v| v >= 0.0)
+    {
+        let fast = crate::fastslot::solve_bs_only_slot(
+            cost_model.bs_cost,
+            u0,
+            &fa,
+            &flinear,
+            &flambda,
+            &fupper,
+            bandwidth,
+        );
+        pgd_opts.max_iters = 80;
+        fast.y
+    } else {
+        match warm {
+            Some(w0) if w0.len() == n_entries => free.iter().map(|&i| w0[i]).collect(),
+            _ => vec![0.0; free.len()],
+        }
+    };
+
+    let bs = cost_model.bs_cost;
+    let sbs = cost_model.sbs_cost;
+    let objective = {
+        let fa = fa.clone();
+        let fb = fb.clone();
+        let flinear = flinear.clone();
+        move |y: &[f64]| -> f64 {
+            let served_bs: f64 = fa.iter().zip(y).map(|(ai, yi)| ai * yi).sum();
+            let served_sbs: f64 = fb.iter().zip(y).map(|(bi, yi)| bi * yi).sum();
+            let lin: f64 = flinear.iter().zip(y).map(|(ci, yi)| ci * yi).sum();
+            bs.value(u0 - served_bs) + sbs.value(served_sbs) + lin
+        }
+    };
+    let gradient = {
+        let fa = fa.clone();
+        let fb = fb.clone();
+        let flinear = flinear.clone();
+        move |y: &[f64], g: &mut [f64]| {
+            let served_bs: f64 = fa.iter().zip(y.iter()).map(|(ai, yi)| ai * yi).sum();
+            let served_sbs: f64 = fb.iter().zip(y.iter()).map(|(bi, yi)| bi * yi).sum();
+            let dphi = bs.derivative(u0 - served_bs);
+            let dpsi = sbs.derivative(served_sbs);
+            for i in 0..g.len() {
+                g[i] = -dphi * fa[i] + dpsi * fb[i] + flinear[i];
+            }
+        }
+    };
+
+    let lo = vec![0.0; free.len()];
+    let project = {
+        let fupper = fupper.clone();
+        let flambda = flambda.clone();
+        move |y: &mut [f64]| {
+            let p = project_box_budget(y, &lo, &fupper, &flambda, bandwidth)
+                .expect("box-budget projection cannot fail: 0 is feasible");
+            y.copy_from_slice(&p);
+        }
+    };
+
+    let result = minimize(objective, gradient, project, fwarm, pgd_opts)?;
+    let mut y = vec![0.0; n_entries];
+    for (slot, &i) in free.iter().enumerate() {
+        y[i] = result.x[slot];
+    }
+    Ok((y, result.objective))
+}
+
+/// Internal helper gathering the flat per-slot inputs for SBS `n`.
+fn slot_inputs(
+    problem: &ProblemInstance,
+    t: usize,
+    n: SbsId,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let network = problem.network();
+    let sbs = network.sbs(n).expect("validated");
+    let k_total = network.num_contents();
+    let m_total = sbs.num_classes();
+    let mut omega_bs = Vec::with_capacity(m_total);
+    let mut omega_sbs = Vec::with_capacity(m_total);
+    for class in sbs.classes() {
+        omega_bs.push(class.omega_bs);
+        omega_sbs.push(class.omega_sbs);
+    }
+    let mut lambda = vec![0.0; m_total * k_total];
+    for m in 0..m_total {
+        for k in 0..k_total {
+            lambda[m * k_total + k] = problem.demand().lambda(t, n, ClassId(m), ContentId(k));
+        }
+    }
+    (omega_bs, omega_sbs, lambda)
+}
+
+/// Solves `P2` over all SBSs and slots given multipliers `mu`.
+///
+/// Returns the load plan and the `P2` objective
+/// `Σ_t (f_t + g_t + Σ μ y)`.
+///
+/// # Errors
+///
+/// Propagates sub-solver failures.
+pub fn solve_load_all(
+    problem: &ProblemInstance,
+    mu: &Tensor4,
+    warm: Option<&LoadPlan>,
+) -> Result<(LoadPlan, f64), CoreError> {
+    let network = problem.network();
+    let horizon = problem.horizon();
+    let k_total = network.num_contents();
+    let mut plan = LoadPlan::zeros(network, horizon);
+    let mut objective = 0.0;
+    for t in 0..horizon {
+        for (n, sbs) in network.iter_sbs() {
+            let (omega_bs, omega_sbs, lambda) = slot_inputs(problem, t, n);
+            let m_total = sbs.num_classes();
+            let mut linear = vec![0.0; m_total * k_total];
+            for m in 0..m_total {
+                for k in 0..k_total {
+                    linear[m * k_total + k] = mu.get(t, n, ClassId(m), ContentId(k));
+                }
+            }
+            let upper = vec![1.0; m_total * k_total];
+            let warm_slot = warm.map(|w| w.tensor().sbs_slot(t, n));
+            let (y, obj) = solve_load_slot(
+                problem.cost_model(),
+                &omega_bs,
+                &omega_sbs,
+                &lambda,
+                &linear,
+                &upper,
+                sbs.bandwidth(),
+                warm_slot.as_deref(),
+            )?;
+            plan.tensor_mut().set_sbs_slot(t, n, &y);
+            objective += obj;
+        }
+    }
+    Ok((plan, objective))
+}
+
+/// Solves the exact optimal load balancing for a **fixed** caching plan:
+/// the upper bound of `y_{m,k}` is `x_{n,k}` and there is no multiplier
+/// term, so the result is the true `f + g` minimizer subject to all
+/// constraints.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeMismatch`] if the plan horizon differs and
+/// propagates solver failures.
+pub fn solve_load_given_cache(
+    problem: &ProblemInstance,
+    x: &CachePlan,
+    warm: Option<&LoadPlan>,
+) -> Result<(LoadPlan, f64), CoreError> {
+    if x.horizon() != problem.horizon() {
+        return Err(CoreError::shape(format!(
+            "cache plan horizon {} != problem horizon {}",
+            x.horizon(),
+            problem.horizon()
+        )));
+    }
+    let network = problem.network();
+    let horizon = problem.horizon();
+    let k_total = network.num_contents();
+    let mut plan = LoadPlan::zeros(network, horizon);
+    let mut objective = 0.0;
+    for t in 0..horizon {
+        for (n, sbs) in network.iter_sbs() {
+            let (omega_bs, omega_sbs, lambda) = slot_inputs(problem, t, n);
+            let m_total = sbs.num_classes();
+            let linear = vec![0.0; m_total * k_total];
+            let mut upper = vec![0.0; m_total * k_total];
+            for m in 0..m_total {
+                for k in 0..k_total {
+                    if x.state(t).contains(n, ContentId(k)) {
+                        upper[m * k_total + k] = 1.0;
+                    }
+                }
+            }
+            let warm_slot = warm.map(|w| w.tensor().sbs_slot(t, n));
+            let (y, obj) = solve_load_slot(
+                problem.cost_model(),
+                &omega_bs,
+                &omega_sbs,
+                &lambda,
+                &linear,
+                &upper,
+                sbs.bandwidth(),
+                warm_slot.as_deref(),
+            )?;
+            plan.tensor_mut().set_sbs_slot(t, n, &y);
+            objective += obj;
+        }
+    }
+    Ok((plan, objective))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::verify_feasible;
+    use jocal_sim::demand::DemandTrace;
+    use jocal_sim::topology::{MuClass, Network};
+
+    fn simple_net(bandwidth: f64) -> Network {
+        Network::builder(2)
+            .sbs(
+                2,
+                bandwidth,
+                1.0,
+                vec![
+                    MuClass::new(1.0, 0.0, 1.0).unwrap(),
+                    MuClass::new(2.0, 0.0, 1.0).unwrap(),
+                ],
+            )
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn uniform_demand(net: &Network, rate: f64) -> DemandTrace {
+        let mut d = DemandTrace::zeros(net, 1);
+        for m in 0..2 {
+            for k in 0..2 {
+                d.set_lambda(0, SbsId(0), ClassId(m), ContentId(k), rate)
+                    .unwrap();
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn unconstrained_slot_offloads_everything() {
+        // Huge bandwidth, everything cached: optimal y = 1 everywhere
+        // (u → 0 minimizes the quadratic; ω̂ = 0 so SBS serving is free).
+        let (y, obj) = solve_load_slot(
+            &CostModel::paper(),
+            &[1.0, 2.0],
+            &[0.0, 0.0],
+            &[3.0, 3.0, 3.0, 3.0],
+            &[0.0; 4],
+            &[1.0; 4],
+            1e6,
+            None,
+        )
+        .unwrap();
+        for v in &y {
+            assert!((v - 1.0).abs() < 1e-4, "y={v}");
+        }
+        assert!(obj.abs() < 1e-4);
+    }
+
+    #[test]
+    fn bandwidth_binds_and_prefers_heavy_classes() {
+        // Bandwidth only allows half the demand; serving class 1 (ω = 2)
+        // reduces u twice as fast, so it should be served first.
+        let (y, _) = solve_load_slot(
+            &CostModel::paper(),
+            &[1.0, 2.0],
+            &[0.0, 0.0],
+            &[1.0, 1.0, 1.0, 1.0], // λ = 1 each, total 4
+            &[0.0; 4],
+            &[1.0; 4],
+            2.0,
+            None,
+        )
+        .unwrap();
+        let class0: f64 = y[0] + y[1];
+        let class1: f64 = y[2] + y[3];
+        assert!(class1 > class0 + 0.5, "class1={class1} class0={class0}");
+        let used: f64 = y.iter().sum();
+        assert!((used - 2.0).abs() < 1e-5, "budget should bind, used {used}");
+    }
+
+    #[test]
+    fn multiplier_discourages_offloading() {
+        // With a large μ on every entry, serving from the SBS costs more
+        // than it saves: y = 0.
+        let (y, obj) = solve_load_slot(
+            &CostModel::paper(),
+            &[1.0],
+            &[0.0],
+            &[1.0, 1.0],
+            &[1e6, 1e6],
+            &[1.0, 1.0],
+            10.0,
+            None,
+        )
+        .unwrap();
+        assert!(y.iter().all(|&v| v < 1e-6), "{y:?}");
+        // objective = φ(u0) = (1·2)² = 4.
+        assert!((obj - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn upper_bound_zero_blocks_entry() {
+        let (y, _) = solve_load_slot(
+            &CostModel::paper(),
+            &[1.0],
+            &[0.0],
+            &[5.0, 5.0],
+            &[0.0, 0.0],
+            &[0.0, 1.0],
+            100.0,
+            None,
+        )
+        .unwrap();
+        assert!(y[0].abs() < 1e-9);
+        assert!((y[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sbs_cost_creates_interior_optimum() {
+        // With ω̂ = ω, offloading trades u² for v²; the optimum splits the
+        // load: u = v → y = 0.5.
+        let (y, _) = solve_load_slot(
+            &CostModel::paper(),
+            &[1.0],
+            &[1.0],
+            &[4.0],
+            &[0.0],
+            &[1.0],
+            100.0,
+            None,
+        )
+        .unwrap();
+        assert!((y[0] - 0.5).abs() < 1e-4, "y={}", y[0]);
+    }
+
+    #[test]
+    fn empty_slot_is_trivial() {
+        let (y, obj) = solve_load_slot(
+            &CostModel::paper(),
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+            1.0,
+            None,
+        )
+        .unwrap();
+        assert!(y.is_empty());
+        assert_eq!(obj, 0.0);
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(solve_load_slot(
+            &CostModel::paper(),
+            &[1.0],
+            &[],
+            &[1.0],
+            &[0.0],
+            &[1.0],
+            1.0,
+            None
+        )
+        .is_err());
+        assert!(solve_load_slot(
+            &CostModel::paper(),
+            &[1.0, 1.0],
+            &[0.0, 0.0],
+            &[1.0, 1.0, 1.0],
+            &[0.0; 3],
+            &[1.0; 3],
+            1.0,
+            None
+        )
+        .is_err());
+        assert!(solve_load_slot(
+            &CostModel::paper(),
+            &[1.0],
+            &[0.0],
+            &[1.0],
+            &[0.0, 0.0],
+            &[1.0],
+            1.0,
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn given_cache_respects_coupling_and_is_feasible() {
+        let net = simple_net(3.0);
+        let demand = uniform_demand(&net, 2.0);
+        let problem = ProblemInstance::fresh(net.clone(), demand.clone()).unwrap();
+        let mut x = CachePlan::empty(&net, 1);
+        x.state_mut(0).set(SbsId(0), ContentId(0), true);
+        let (y, _) = solve_load_given_cache(&problem, &x, None).unwrap();
+        verify_feasible(&net, &demand, &x, &y).unwrap();
+        // Item 1 not cached → y must be 0.
+        for m in 0..2 {
+            assert!(y.y(0, SbsId(0), ClassId(m), ContentId(1)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn given_cache_objective_matches_cost_model() {
+        let net = simple_net(100.0);
+        let demand = uniform_demand(&net, 1.0);
+        let problem = ProblemInstance::fresh(net.clone(), demand.clone()).unwrap();
+        let mut x = CachePlan::empty(&net, 1);
+        x.state_mut(0).set(SbsId(0), ContentId(0), true);
+        x.state_mut(0).set(SbsId(0), ContentId(1), true);
+        let (y, obj) = solve_load_given_cache(&problem, &x, None).unwrap();
+        let model = CostModel::paper();
+        let direct = model.f_t(&net, &demand, &y, 0) + model.g_t(&net, &demand, &y, 0);
+        assert!((obj - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_reaches_same_objective() {
+        let net = simple_net(2.0);
+        let demand = uniform_demand(&net, 2.0);
+        let problem = ProblemInstance::fresh(net.clone(), demand).unwrap();
+        let mu = Tensor4::zeros(&net, 1);
+        let (y_cold, obj_cold) = solve_load_all(&problem, &mu, None).unwrap();
+        let (_, obj_warm) = solve_load_all(&problem, &mu, Some(&y_cold)).unwrap();
+        assert!((obj_cold - obj_warm).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,599 @@
+//! Overlapping-coverage extension.
+//!
+//! Section II-A of the paper assumes disjoint SBS coverage but notes the
+//! model "can be readily extended to SBSs with overlaps in coverage".
+//! This module is that extension: an MU class may be covered by several
+//! SBSs, and its load split becomes `y_{m,n,k}` with
+//!
+//! ```text
+//! Σ_{n ∈ cover(m)} y_{m,n,k} ≤ 1           (the BS serves the rest)
+//! Σ_{m,k} λ_{m,k} y_{m,n,k} ≤ B_n          (per-SBS bandwidth)
+//! y_{m,n,k} ≤ x_{n,k}                       (coupling)
+//! ```
+//!
+//! The BS cost keeps the paper's per-home-SBS quadratic form (each class
+//! has a home SBS for accounting); SBS serving remains free (`ω̂ = 0`)
+//! as in the evaluation. Load balancing for fixed caches is solved
+//! exactly by projected gradient with a **Dykstra** projection onto the
+//! intersection of the two budget families; caching uses the same
+//! min-cost-flow machinery as the core problem with coverage-aggregated
+//! rewards.
+
+use crate::caching::solve_caching_mcmf;
+use crate::cost::CostFunction;
+use crate::CoreError;
+use jocal_optim::pgd::{minimize, PgdOptions};
+use jocal_optim::projection::project_box_budget;
+
+/// An SBS in the overlap model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapSbs {
+    /// Cache capacity `C_n`.
+    pub cache_capacity: usize,
+    /// Bandwidth `B_n`.
+    pub bandwidth: f64,
+    /// Replacement cost `β_n`.
+    pub beta: f64,
+}
+
+/// An MU class in the overlap model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapClass {
+    /// BS transmission weight `ω_m`.
+    pub omega_bs: f64,
+    /// Home SBS (for the per-SBS BS-cost aggregation).
+    pub home: usize,
+    /// Indices of the SBSs covering this class (must include `home`).
+    pub coverage: Vec<usize>,
+}
+
+/// A complete overlap-model instance.
+#[derive(Debug, Clone)]
+pub struct OverlapInstance {
+    num_contents: usize,
+    horizon: usize,
+    sbs: Vec<OverlapSbs>,
+    classes: Vec<OverlapClass>,
+    /// `demand[t][m][k]`.
+    demand: Vec<Vec<Vec<f64>>>,
+    bs_cost: CostFunction,
+}
+
+impl OverlapInstance {
+    /// Builds and validates an instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] or
+    /// [`CoreError::InfeasiblePlan`]-style validation failures for
+    /// malformed inputs.
+    pub fn new(
+        num_contents: usize,
+        sbs: Vec<OverlapSbs>,
+        classes: Vec<OverlapClass>,
+        demand: Vec<Vec<Vec<f64>>>,
+    ) -> Result<Self, CoreError> {
+        if num_contents == 0 || sbs.is_empty() || classes.is_empty() || demand.is_empty() {
+            return Err(CoreError::shape("overlap instance must be non-empty"));
+        }
+        for (m, class) in classes.iter().enumerate() {
+            if class.home >= sbs.len() {
+                return Err(CoreError::shape(format!("class {m} home out of range")));
+            }
+            if class.coverage.is_empty() || !class.coverage.contains(&class.home) {
+                return Err(CoreError::shape(format!(
+                    "class {m} coverage must include its home SBS"
+                )));
+            }
+            if class.coverage.iter().any(|&n| n >= sbs.len()) {
+                return Err(CoreError::shape(format!("class {m} coverage out of range")));
+            }
+            if !(class.omega_bs.is_finite() && class.omega_bs >= 0.0) {
+                return Err(CoreError::shape(format!("class {m} omega invalid")));
+            }
+        }
+        for (t, slot) in demand.iter().enumerate() {
+            if slot.len() != classes.len() {
+                return Err(CoreError::shape(format!("slot {t} class count mismatch")));
+            }
+            for (m, row) in slot.iter().enumerate() {
+                if row.len() != num_contents {
+                    return Err(CoreError::shape(format!(
+                        "slot {t} class {m} catalog mismatch"
+                    )));
+                }
+                if row.iter().any(|v| !v.is_finite() || *v < 0.0) {
+                    return Err(CoreError::shape(format!(
+                        "slot {t} class {m} has invalid demand"
+                    )));
+                }
+            }
+        }
+        Ok(OverlapInstance {
+            num_contents,
+            horizon: demand.len(),
+            sbs,
+            classes,
+            demand,
+            bs_cost: CostFunction::Quadratic,
+        })
+    }
+
+    /// Catalog size.
+    #[must_use]
+    pub fn num_contents(&self) -> usize {
+        self.num_contents
+    }
+
+    /// Horizon `T`.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// SBS count.
+    #[must_use]
+    pub fn num_sbs(&self) -> usize {
+        self.sbs.len()
+    }
+
+    /// Class count.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// A solution of the overlap problem.
+#[derive(Debug, Clone)]
+pub struct OverlapSolution {
+    /// `x[t][n][k]`.
+    pub cache: Vec<Vec<Vec<bool>>>,
+    /// `y[t][m][slot][k]` where `slot` indexes `classes[m].coverage`.
+    pub load: Vec<Vec<Vec<Vec<f64>>>>,
+    /// Total cost (BS operating + replacement).
+    pub total_cost: f64,
+    /// BS operating component.
+    pub bs_cost: f64,
+    /// Replacement component.
+    pub replacement_cost: f64,
+}
+
+/// Exactly solves the load balancing of one slot for fixed caches.
+///
+/// Variables are flattened as `(m, c, k)` with `c` indexing the class's
+/// coverage list. Projection onto the intersection of the per-`(m,k)`
+/// total-fraction caps and the per-SBS bandwidth budgets uses Dykstra's
+/// algorithm with the exact single-budget projector as the sub-step.
+///
+/// Returns `(y, bs_cost)`.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+#[allow(clippy::too_many_lines)]
+pub fn solve_overlap_load_slot(
+    instance: &OverlapInstance,
+    t: usize,
+    cache: &[Vec<bool>],
+) -> Result<(Vec<Vec<Vec<f64>>>, f64), CoreError> {
+    let k_total = instance.num_contents;
+    let classes = &instance.classes;
+    // Flatten index map.
+    let mut offsets = Vec::with_capacity(classes.len());
+    let mut n_vars = 0usize;
+    for class in classes {
+        offsets.push(n_vars);
+        n_vars += class.coverage.len() * k_total;
+    }
+    let offsets_ref = offsets.clone();
+    let idx = move |m: usize, c: usize, k: usize| offsets_ref[m] + c * k_total + k;
+
+    // Per-variable coefficients.
+    let mut lam = vec![0.0; n_vars]; // demand weight for budgets
+    let mut upper = vec![0.0; n_vars];
+    for (m, class) in classes.iter().enumerate() {
+        for (c, &n) in class.coverage.iter().enumerate() {
+            for k in 0..k_total {
+                let i = idx(m, c, k);
+                lam[i] = instance.demand[t][m][k];
+                upper[i] = if cache[n][k] { 1.0 } else { 0.0 };
+            }
+        }
+    }
+
+    // Objective: Σ_home ( Σ_{m: home} ω_m Σ_k (1 − Σ_c y) λ )².
+    let bs = instance.bs_cost;
+    let home_of: Vec<usize> = classes.iter().map(|c| c.home).collect();
+    let omega: Vec<f64> = classes.iter().map(|c| c.omega_bs).collect();
+    let n_sbs = instance.sbs.len();
+    let demand_t = instance.demand[t].clone();
+    let coverage_sizes: Vec<usize> = classes.iter().map(|c| c.coverage.len()).collect();
+
+    let residuals = {
+        let home_of = home_of.clone();
+        let omega = omega.clone();
+        let demand_t = demand_t.clone();
+        let coverage_sizes = coverage_sizes.clone();
+        let offsets = offsets.clone();
+        move |y: &[f64]| -> Vec<f64> {
+            let mut u = vec![0.0; n_sbs];
+            for m in 0..home_of.len() {
+                let mut served = 0.0;
+                let mut total = 0.0;
+                for k in 0..k_total {
+                    let lambda = demand_t[m][k];
+                    total += lambda;
+                    for c in 0..coverage_sizes[m] {
+                        served += lambda * y[offsets[m] + c * k_total + k];
+                    }
+                }
+                u[home_of[m]] += omega[m] * (total - served);
+            }
+            u
+        }
+    };
+
+    let objective = {
+        let residuals = residuals.clone();
+        move |y: &[f64]| -> f64 {
+            residuals(y).iter().map(|&u| bs.value(u)).sum()
+        }
+    };
+    let gradient = {
+        let residuals = residuals.clone();
+        let home_of = home_of.clone();
+        let omega = omega.clone();
+        let demand_t = demand_t.clone();
+        let coverage_sizes = coverage_sizes.clone();
+        let offsets = offsets.clone();
+        move |y: &[f64], g: &mut [f64]| {
+            let u = residuals(y);
+            let du: Vec<f64> = u.iter().map(|&v| bs.derivative(v)).collect();
+            for m in 0..home_of.len() {
+                let d = du[home_of[m]] * omega[m];
+                for k in 0..k_total {
+                    let lambda = demand_t[m][k];
+                    for c in 0..coverage_sizes[m] {
+                        g[offsets[m] + c * k_total + k] = -d * lambda;
+                    }
+                }
+            }
+        }
+    };
+
+    // Dykstra projection onto {0 ≤ y ≤ ub} ∩ {Σ_c y_{m,·,k} ≤ 1}
+    // ∩ {per-SBS budgets}.
+    let sbs_vars: Vec<Vec<usize>> = {
+        let mut v = vec![Vec::new(); n_sbs];
+        for (m, class) in classes.iter().enumerate() {
+            for (c, &n) in class.coverage.iter().enumerate() {
+                for k in 0..k_total {
+                    v[n].push(idx(m, c, k));
+                }
+            }
+        }
+        v
+    };
+    let bandwidths: Vec<f64> = instance.sbs.iter().map(|s| s.bandwidth).collect();
+    let classes_snapshot: Vec<(usize, usize)> = classes
+        .iter()
+        .enumerate()
+        .map(|(m, c)| (m, c.coverage.len()))
+        .collect();
+    let upper_c = upper.clone();
+    let lam_c = lam.clone();
+    let project = move |y: &mut [f64]| {
+        // Dykstra's algorithm over the constraint families; each family
+        // projection is exact, 12 rounds suffice at these scales.
+        let mut p_frac = vec![0.0; y.len()];
+        let mut p_bud = vec![0.0; y.len()];
+        for _ in 0..12 {
+            // Family A: per-(m,k) box + total-fraction cap (weights 1).
+            for i in 0..y.len() {
+                y[i] += p_frac[i];
+            }
+            let before: Vec<f64> = y.to_vec();
+            for &(m, cov) in &classes_snapshot {
+                for k in 0..k_total {
+                    let ids: Vec<usize> = (0..cov).map(|c| offsets[m] + c * k_total + k).collect();
+                    let point: Vec<f64> = ids.iter().map(|&i| y[i]).collect();
+                    let lo = vec![0.0; cov];
+                    let hi: Vec<f64> = ids.iter().map(|&i| upper_c[i]).collect();
+                    let w = vec![1.0; cov];
+                    let proj = project_box_budget(&point, &lo, &hi, &w, 1.0)
+                        .expect("fraction projection feasible");
+                    for (slot, &i) in ids.iter().enumerate() {
+                        y[i] = proj[slot];
+                    }
+                }
+            }
+            for i in 0..y.len() {
+                p_frac[i] = before[i] - y[i];
+            }
+            // Family B: per-SBS bandwidth budgets (box kept implicitly).
+            for i in 0..y.len() {
+                y[i] += p_bud[i];
+            }
+            let before: Vec<f64> = y.to_vec();
+            for (n, ids) in sbs_vars.iter().enumerate() {
+                if ids.is_empty() {
+                    continue;
+                }
+                let point: Vec<f64> = ids.iter().map(|&i| y[i]).collect();
+                let lo = vec![0.0; ids.len()];
+                let hi: Vec<f64> = ids.iter().map(|&i| upper_c[i]).collect();
+                let w: Vec<f64> = ids.iter().map(|&i| lam_c[i]).collect();
+                let proj = project_box_budget(&point, &lo, &hi, &w, bandwidths[n])
+                    .expect("budget projection feasible");
+                for (slot, &i) in ids.iter().enumerate() {
+                    y[i] = proj[slot];
+                }
+            }
+            for i in 0..y.len() {
+                p_bud[i] = before[i] - y[i];
+            }
+        }
+    };
+
+    let result = minimize(
+        objective,
+        gradient,
+        project,
+        vec![0.0; n_vars],
+        PgdOptions {
+            max_iters: 300,
+            tol: 1e-6,
+            ..Default::default()
+        },
+    )?;
+
+    // Unflatten.
+    let mut y_out = Vec::with_capacity(classes.len());
+    for (m, class) in classes.iter().enumerate() {
+        let mut per_class = Vec::with_capacity(class.coverage.len());
+        for c in 0..class.coverage.len() {
+            per_class.push(
+                (0..k_total)
+                    .map(|k| result.x[idx(m, c, k)])
+                    .collect::<Vec<f64>>(),
+            );
+        }
+        y_out.push(per_class);
+    }
+    Ok((y_out, result.objective))
+}
+
+/// Solves the full overlap problem: caching by coverage-aggregated
+/// min-cost flow per SBS, then exact load balancing per slot.
+///
+/// The caching rewards approximate each item's marginal BS-cost saving
+/// at the zero-offload point (`φ'(u₀)·ω·λ` summed over covered classes),
+/// the same first-order score Algorithm 1's first multiplier updates
+/// produce; per-SBS flow then optimizes the fetch/hold trade-off exactly
+/// for those rewards.
+///
+/// # Errors
+///
+/// Propagates sub-solver failures.
+pub fn solve_overlap(instance: &OverlapInstance) -> Result<OverlapSolution, CoreError> {
+    let k_total = instance.num_contents;
+    let n_sbs = instance.sbs.len();
+    let horizon = instance.horizon;
+
+    // Residual BS load with no offloading, per home SBS and slot.
+    let mut u0 = vec![vec![0.0; n_sbs]; horizon];
+    for t in 0..horizon {
+        for (m, class) in instance.classes.iter().enumerate() {
+            let total: f64 = instance.demand[t][m].iter().sum();
+            u0[t][class.home] += class.omega_bs * total;
+        }
+    }
+
+    // Per-SBS caching via min-cost flow on aggregated rewards.
+    let mut cache = vec![vec![vec![false; k_total]; n_sbs]; horizon];
+    let mut replacement_cost = 0.0;
+    for n in 0..n_sbs {
+        let mut rewards = vec![vec![0.0; k_total]; horizon];
+        for t in 0..horizon {
+            for (m, class) in instance.classes.iter().enumerate() {
+                if !class.coverage.contains(&n) {
+                    continue;
+                }
+                let d = instance.bs_cost.derivative(u0[t][class.home]);
+                for k in 0..k_total {
+                    rewards[t][k] += d * class.omega_bs * instance.demand[t][m][k];
+                }
+            }
+        }
+        let sol = solve_caching_mcmf(
+            instance.sbs[n].cache_capacity,
+            instance.sbs[n].beta,
+            &vec![false; k_total],
+            &rewards,
+        )?;
+        let mut prev = vec![false; k_total];
+        for t in 0..horizon {
+            for k in 0..k_total {
+                cache[t][n][k] = sol.x[t][k];
+                if sol.x[t][k] && !prev[k] {
+                    replacement_cost += instance.sbs[n].beta;
+                }
+            }
+            prev = sol.x[t].clone();
+        }
+    }
+
+    // Exact load balancing per slot.
+    let mut load = Vec::with_capacity(horizon);
+    let mut bs_cost = 0.0;
+    for t in 0..horizon {
+        let (y, cost) = solve_overlap_load_slot(instance, t, &cache[t])?;
+        bs_cost += cost;
+        load.push(y);
+    }
+
+    Ok(OverlapSolution {
+        cache,
+        load,
+        total_cost: bs_cost + replacement_cost,
+        bs_cost,
+        replacement_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_demand(horizon: usize, m: usize, k: usize, rate: f64) -> Vec<Vec<Vec<f64>>> {
+        vec![vec![vec![rate; k]; m]; horizon]
+    }
+
+    fn sbs(capacity: usize, bandwidth: f64, beta: f64) -> OverlapSbs {
+        OverlapSbs {
+            cache_capacity: capacity,
+            bandwidth,
+            beta,
+        }
+    }
+
+    #[test]
+    fn validates_instances() {
+        // Home outside coverage.
+        let bad = OverlapInstance::new(
+            2,
+            vec![sbs(1, 5.0, 1.0), sbs(1, 5.0, 1.0)],
+            vec![OverlapClass {
+                omega_bs: 1.0,
+                home: 0,
+                coverage: vec![1],
+            }],
+            uniform_demand(1, 1, 2, 1.0),
+        );
+        assert!(bad.is_err());
+        // Demand shape mismatch.
+        let bad = OverlapInstance::new(
+            2,
+            vec![sbs(1, 5.0, 1.0)],
+            vec![OverlapClass {
+                omega_bs: 1.0,
+                home: 0,
+                coverage: vec![0],
+            }],
+            vec![vec![vec![1.0; 3]]],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn single_sbs_reduces_to_core_behaviour() {
+        // One SBS, one class, two items, ample bandwidth: caching both
+        // items and serving fully drives the BS cost to zero.
+        let inst = OverlapInstance::new(
+            2,
+            vec![sbs(2, 100.0, 0.1)],
+            vec![OverlapClass {
+                omega_bs: 1.0,
+                home: 0,
+                coverage: vec![0],
+            }],
+            uniform_demand(3, 1, 2, 4.0),
+        )
+        .unwrap();
+        let sol = solve_overlap(&inst).unwrap();
+        assert!(sol.bs_cost < 1e-4, "bs_cost={}", sol.bs_cost);
+        // 2 fetches at 0.1 each.
+        assert!((sol.replacement_cost - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coupling_respected_for_uncached_items() {
+        let inst = OverlapInstance::new(
+            2,
+            vec![sbs(1, 100.0, 0.1)],
+            vec![OverlapClass {
+                omega_bs: 1.0,
+                home: 0,
+                coverage: vec![0],
+            }],
+            // Item 0 much more valuable.
+            vec![vec![vec![9.0, 1.0]]],
+        )
+        .unwrap();
+        let sol = solve_overlap(&inst).unwrap();
+        assert!(sol.cache[0][0][0]);
+        assert!(!sol.cache[0][0][1]);
+        // y for the uncached item must be 0.
+        assert!(sol.load[0][0][0][1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_spreads_load_across_bandwidths() {
+        // One class covered by two SBSs, each with half the bandwidth the
+        // class needs: together they serve everything; alone they cannot.
+        let demand = uniform_demand(1, 1, 1, 10.0);
+        let overlap = OverlapInstance::new(
+            1,
+            vec![sbs(1, 5.0, 0.0), sbs(1, 5.0, 0.0)],
+            vec![OverlapClass {
+                omega_bs: 1.0,
+                home: 0,
+                coverage: vec![0, 1],
+            }],
+            demand.clone(),
+        )
+        .unwrap();
+        let solo = OverlapInstance::new(
+            1,
+            vec![sbs(1, 5.0, 0.0)],
+            vec![OverlapClass {
+                omega_bs: 1.0,
+                home: 0,
+                coverage: vec![0],
+            }],
+            demand,
+        )
+        .unwrap();
+        let with_overlap = solve_overlap(&overlap).unwrap();
+        let without = solve_overlap(&solo).unwrap();
+        assert!(
+            with_overlap.bs_cost < without.bs_cost * 0.5,
+            "overlap {} vs solo {}",
+            with_overlap.bs_cost,
+            without.bs_cost
+        );
+        // Both SBS budgets respected.
+        for (c, &n) in overlap.classes[0].coverage.iter().enumerate() {
+            let used: f64 = (0..1)
+                .map(|k| with_overlap.load[0][0][c][k] * 10.0)
+                .sum();
+            assert!(used <= overlap.sbs[n].bandwidth + 1e-5);
+        }
+        // Total fraction cap respected.
+        let total_frac: f64 = (0..2).map(|c| with_overlap.load[0][0][c][0]).sum();
+        assert!(total_frac <= 1.0 + 1e-6, "total fraction {total_frac}");
+    }
+
+    #[test]
+    fn fraction_cap_binds_when_bandwidth_ample() {
+        // Two SBSs with huge bandwidth: serving more than 100% of the
+        // class's requests is impossible.
+        let inst = OverlapInstance::new(
+            1,
+            vec![sbs(1, 1e6, 0.0), sbs(1, 1e6, 0.0)],
+            vec![OverlapClass {
+                omega_bs: 1.0,
+                home: 0,
+                coverage: vec![0, 1],
+            }],
+            uniform_demand(1, 1, 1, 3.0),
+        )
+        .unwrap();
+        let sol = solve_overlap(&inst).unwrap();
+        let total_frac: f64 = (0..2).map(|c| sol.load[0][0][c][0]).sum();
+        assert!(total_frac <= 1.0 + 1e-5);
+        // And the optimum drives the BS residual to ~0.
+        assert!(sol.bs_cost < 1e-3, "bs_cost={}", sol.bs_cost);
+    }
+}

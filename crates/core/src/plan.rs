@@ -1,0 +1,578 @@
+//! Decision plans: cache placements `X` and load-balancing fractions `Y`.
+
+use crate::tensor::Tensor4;
+use crate::CoreError;
+use jocal_sim::demand::DemandTrace;
+use jocal_sim::topology::{ClassId, ContentId, Network, SbsId};
+use serde::{Deserialize, Serialize};
+
+/// Cache contents of every SBS at one instant: `state[n][k] == true` iff
+/// content `k` is cached at SBS `n` (the paper's `x_{n,k}`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheState {
+    per_sbs: Vec<Vec<bool>>,
+}
+
+impl CacheState {
+    /// All caches empty (the paper's initial condition `x^t = 0, t ≤ 0`).
+    #[must_use]
+    pub fn empty(network: &Network) -> Self {
+        CacheState {
+            per_sbs: network
+                .sbss()
+                .iter()
+                .map(|_| vec![false; network.num_contents()])
+                .collect(),
+        }
+    }
+
+    /// Builds a state from explicit per-SBS boolean vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if the shape disagrees with
+    /// `network`, or [`CoreError::InfeasiblePlan`] if any SBS exceeds its
+    /// cache capacity.
+    pub fn from_bools(network: &Network, per_sbs: Vec<Vec<bool>>) -> Result<Self, CoreError> {
+        if per_sbs.len() != network.num_sbs() {
+            return Err(CoreError::shape(format!(
+                "{} SBS vectors for a {}-SBS network",
+                per_sbs.len(),
+                network.num_sbs()
+            )));
+        }
+        for (n, v) in per_sbs.iter().enumerate() {
+            if v.len() != network.num_contents() {
+                return Err(CoreError::shape(format!(
+                    "SBS {n} vector has {} entries for a {}-item catalog",
+                    v.len(),
+                    network.num_contents()
+                )));
+            }
+            let used = v.iter().filter(|&&b| b).count();
+            let cap = network.sbs(SbsId(n))?.cache_capacity();
+            if used > cap {
+                return Err(CoreError::infeasible(
+                    "cache capacity",
+                    format!("SBS {n} caches {used} items, capacity {cap}"),
+                ));
+            }
+        }
+        Ok(CacheState { per_sbs })
+    }
+
+    /// Whether content `k` is cached at SBS `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, n: SbsId, k: ContentId) -> bool {
+        self.per_sbs[n.0][k.0]
+    }
+
+    /// Sets the cached flag for `(n, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[inline]
+    pub fn set(&mut self, n: SbsId, k: ContentId, cached: bool) {
+        self.per_sbs[n.0][k.0] = cached;
+    }
+
+    /// Items cached at SBS `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn cached_items(&self, n: SbsId) -> Vec<ContentId> {
+        self.per_sbs[n.0]
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &b)| b.then_some(ContentId(k)))
+            .collect()
+    }
+
+    /// Number of cached items at SBS `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn occupancy(&self, n: SbsId) -> usize {
+        self.per_sbs[n.0].iter().filter(|&&b| b).count()
+    }
+
+    /// Number of SBSs in this state.
+    #[inline]
+    #[must_use]
+    pub fn num_sbs(&self) -> usize {
+        self.per_sbs.len()
+    }
+
+    /// Catalog size.
+    #[inline]
+    #[must_use]
+    pub fn num_contents(&self) -> usize {
+        self.per_sbs.first().map_or(0, Vec::len)
+    }
+
+    /// Items newly fetched when moving `prev → self` at SBS `n`, i.e.
+    /// `Σ_k (x^t − x^{t−1})⁺` of the replacement cost (eq. 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or `n` is out of range.
+    #[must_use]
+    pub fn fetches_from(&self, prev: &CacheState, n: SbsId) -> usize {
+        assert_eq!(self.per_sbs[n.0].len(), prev.per_sbs[n.0].len());
+        self.per_sbs[n.0]
+            .iter()
+            .zip(&prev.per_sbs[n.0])
+            .filter(|&(&now, &before)| now && !before)
+            .count()
+    }
+}
+
+/// A cache placement trajectory `X^1, …, X^T`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachePlan {
+    slots: Vec<CacheState>,
+}
+
+impl CachePlan {
+    /// A plan of `horizon` all-empty states.
+    #[must_use]
+    pub fn empty(network: &Network, horizon: usize) -> Self {
+        CachePlan {
+            slots: (0..horizon).map(|_| CacheState::empty(network)).collect(),
+        }
+    }
+
+    /// Builds a plan from explicit states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] when the slot list is empty or
+    /// states have inconsistent shapes.
+    pub fn from_states(slots: Vec<CacheState>) -> Result<Self, CoreError> {
+        let Some(first) = slots.first() else {
+            return Err(CoreError::shape("cache plan needs >= 1 slot"));
+        };
+        let (n, k) = (first.num_sbs(), first.num_contents());
+        for (t, s) in slots.iter().enumerate() {
+            if s.num_sbs() != n || s.num_contents() != k {
+                return Err(CoreError::shape(format!(
+                    "slot {t} has shape ({}, {}) expected ({n}, {k})",
+                    s.num_sbs(),
+                    s.num_contents()
+                )));
+            }
+        }
+        Ok(CachePlan { slots })
+    }
+
+    /// Number of timeslots.
+    #[inline]
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// State at slot `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn state(&self, t: usize) -> &CacheState {
+        &self.slots[t]
+    }
+
+    /// Mutable state at slot `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[inline]
+    pub fn state_mut(&mut self, t: usize) -> &mut CacheState {
+        &mut self.slots[t]
+    }
+
+    /// Iterator over states in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &CacheState> {
+        self.slots.iter()
+    }
+
+    /// Appends a state at the end of the plan.
+    pub fn push(&mut self, state: CacheState) {
+        self.slots.push(state);
+    }
+
+    /// Total item fetches over the horizon starting from `initial`
+    /// (the plan-wide `Σ_t Σ_n Σ_k (x^t − x^{t−1})⁺`).
+    #[must_use]
+    pub fn total_fetches(&self, initial: &CacheState) -> usize {
+        let mut prev = initial;
+        let mut total = 0usize;
+        for state in &self.slots {
+            for n in 0..state.num_sbs() {
+                total += state.fetches_from(prev, SbsId(n));
+            }
+            prev = state;
+        }
+        total
+    }
+}
+
+/// The load-balancing trajectory `y_{m_n,k}^t ∈ [0, 1]` (fraction of each
+/// class's requests served by the local SBS; the BS serves `1 − y`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadPlan {
+    tensor: Tensor4,
+}
+
+impl LoadPlan {
+    /// An all-zero plan (everything served by the BS).
+    #[must_use]
+    pub fn zeros(network: &Network, horizon: usize) -> Self {
+        LoadPlan {
+            tensor: Tensor4::zeros(network, horizon),
+        }
+    }
+
+    /// Wraps an existing tensor.
+    #[must_use]
+    pub fn from_tensor(tensor: Tensor4) -> Self {
+        LoadPlan { tensor }
+    }
+
+    /// The SBS-served fraction `y_{m_n,k}^t`.
+    #[inline]
+    #[must_use]
+    pub fn y(&self, t: usize, n: SbsId, m: ClassId, k: ContentId) -> f64 {
+        self.tensor.get(t, n, m, k)
+    }
+
+    /// The BS-served fraction `z = 1 − y` (eq. 4).
+    #[inline]
+    #[must_use]
+    pub fn z(&self, t: usize, n: SbsId, m: ClassId, k: ContentId) -> f64 {
+        1.0 - self.tensor.get(t, n, m, k)
+    }
+
+    /// Sets `y_{m_n,k}^t`.
+    #[inline]
+    pub fn set_y(&mut self, t: usize, n: SbsId, m: ClassId, k: ContentId, value: f64) {
+        self.tensor.set(t, n, m, k, value);
+    }
+
+    /// The underlying tensor.
+    #[inline]
+    #[must_use]
+    pub fn tensor(&self) -> &Tensor4 {
+        &self.tensor
+    }
+
+    /// Mutable underlying tensor.
+    #[inline]
+    pub fn tensor_mut(&mut self) -> &mut Tensor4 {
+        &mut self.tensor
+    }
+
+    /// Number of timeslots.
+    #[inline]
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.tensor.horizon()
+    }
+
+    /// SBS bandwidth used at `(t, n)`: `Σ_{m,k} λ y`.
+    #[must_use]
+    pub fn bandwidth_used(&self, demand: &DemandTrace, t: usize, n: SbsId) -> f64 {
+        let mut used = 0.0;
+        for m in 0..self.tensor.num_classes(n) {
+            for k in 0..self.tensor.num_contents() {
+                used += demand.lambda(t, n, ClassId(m), ContentId(k))
+                    * self.tensor.get(t, n, ClassId(m), ContentId(k));
+            }
+        }
+        used
+    }
+}
+
+/// Tolerance used by [`verify_feasible`] for continuous constraints.
+pub const FEASIBILITY_TOL: f64 = 1e-6;
+
+/// Checks every constraint of the optimization problem (eq. 1–4, 10, 11)
+/// for the pair `(x, y)` against `network`/`demand`.
+///
+/// # Errors
+///
+/// Returns the first violated constraint as
+/// [`CoreError::InfeasiblePlan`], or [`CoreError::ShapeMismatch`] when
+/// the shapes disagree.
+pub fn verify_feasible(
+    network: &Network,
+    demand: &DemandTrace,
+    x: &CachePlan,
+    y: &LoadPlan,
+) -> Result<(), CoreError> {
+    if x.horizon() != y.horizon() {
+        return Err(CoreError::shape(format!(
+            "cache plan horizon {} != load plan horizon {}",
+            x.horizon(),
+            y.horizon()
+        )));
+    }
+    if x.horizon() > demand.horizon() {
+        return Err(CoreError::shape(format!(
+            "plan horizon {} exceeds demand horizon {}",
+            x.horizon(),
+            demand.horizon()
+        )));
+    }
+    for t in 0..x.horizon() {
+        let state = x.state(t);
+        if state.num_sbs() != network.num_sbs() || state.num_contents() != network.num_contents() {
+            return Err(CoreError::shape(format!("slot {t} state shape mismatch")));
+        }
+        for (n, sbs) in network.iter_sbs() {
+            // (1) cache capacity.
+            let used = state.occupancy(n);
+            if used > sbs.cache_capacity() {
+                return Err(CoreError::infeasible(
+                    "cache capacity",
+                    format!("t={t} {n}: {used} > {}", sbs.cache_capacity()),
+                ));
+            }
+            // (2) bandwidth.
+            let bw = y.bandwidth_used(demand, t, n);
+            if bw > sbs.bandwidth() + FEASIBILITY_TOL {
+                return Err(CoreError::infeasible(
+                    "bandwidth",
+                    format!("t={t} {n}: {bw:.6} > {}", sbs.bandwidth()),
+                ));
+            }
+            for m in 0..sbs.num_classes() {
+                for k in 0..network.num_contents() {
+                    let yv = y.y(t, n, ClassId(m), ContentId(k));
+                    // (11) box.
+                    if !(-FEASIBILITY_TOL..=1.0 + FEASIBILITY_TOL).contains(&yv) {
+                        return Err(CoreError::infeasible(
+                            "y in [0,1]",
+                            format!("t={t} {n} m={m} k={k}: y={yv}"),
+                        ));
+                    }
+                    // (3) coupling y <= x.
+                    let xv = if state.contains(n, ContentId(k)) {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    if yv > xv + FEASIBILITY_TOL {
+                        return Err(CoreError::infeasible(
+                            "y <= x",
+                            format!("t={t} {n} m={m} k={k}: y={yv} > x={xv}"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocal_sim::topology::MuClass;
+
+    fn net() -> Network {
+        Network::builder(4)
+            .sbs(
+                2,
+                3.0,
+                1.0,
+                vec![
+                    MuClass::new(0.5, 0.0, 4.0).unwrap(),
+                    MuClass::new(0.5, 0.0, 4.0).unwrap(),
+                ],
+            )
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn uniform_demand(net: &Network, horizon: usize, rate: f64) -> DemandTrace {
+        let mut d = DemandTrace::zeros(net, horizon);
+        for t in 0..horizon {
+            for m in 0..2 {
+                for k in 0..4 {
+                    d.set_lambda(t, SbsId(0), ClassId(m), ContentId(k), rate)
+                        .unwrap();
+                }
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn cache_state_basics() {
+        let n = net();
+        let mut s = CacheState::empty(&n);
+        assert_eq!(s.occupancy(SbsId(0)), 0);
+        s.set(SbsId(0), ContentId(2), true);
+        assert!(s.contains(SbsId(0), ContentId(2)));
+        assert_eq!(s.cached_items(SbsId(0)), vec![ContentId(2)]);
+        assert_eq!(s.occupancy(SbsId(0)), 1);
+    }
+
+    #[test]
+    fn from_bools_validates() {
+        let n = net();
+        assert!(CacheState::from_bools(&n, vec![vec![true, false, false, false]]).is_ok());
+        // Over capacity (C = 2).
+        assert!(CacheState::from_bools(&n, vec![vec![true, true, true, false]]).is_err());
+        // Wrong catalog width.
+        assert!(CacheState::from_bools(&n, vec![vec![true]]).is_err());
+        // Wrong SBS count.
+        assert!(CacheState::from_bools(&n, vec![]).is_err());
+    }
+
+    #[test]
+    fn fetches_counted_one_way() {
+        let n = net();
+        let mut a = CacheState::empty(&n);
+        a.set(SbsId(0), ContentId(0), true);
+        a.set(SbsId(0), ContentId(1), true);
+        let mut b = CacheState::empty(&n);
+        b.set(SbsId(0), ContentId(1), true);
+        b.set(SbsId(0), ContentId(2), true);
+        // b fetches item 2 (item 1 stays, item 0 evicted at no charge).
+        assert_eq!(b.fetches_from(&a, SbsId(0)), 1);
+        assert_eq!(a.fetches_from(&b, SbsId(0)), 1);
+        assert_eq!(a.fetches_from(&a, SbsId(0)), 0);
+    }
+
+    #[test]
+    fn plan_total_fetches() {
+        let n = net();
+        let mut plan = CachePlan::empty(&n, 3);
+        plan.state_mut(0).set(SbsId(0), ContentId(0), true);
+        plan.state_mut(1).set(SbsId(0), ContentId(0), true);
+        plan.state_mut(1).set(SbsId(0), ContentId(1), true);
+        plan.state_mut(2).set(SbsId(0), ContentId(2), true);
+        // t0: fetch {0}; t1: fetch {1}; t2: fetch {2}, drop {0,1}.
+        assert_eq!(plan.total_fetches(&CacheState::empty(&n)), 3);
+    }
+
+    #[test]
+    fn from_states_validates_shape() {
+        let n = net();
+        assert!(CachePlan::from_states(vec![]).is_err());
+        let ok = CachePlan::from_states(vec![CacheState::empty(&n); 2]).unwrap();
+        assert_eq!(ok.horizon(), 2);
+    }
+
+    #[test]
+    fn load_plan_accessors() {
+        let n = net();
+        let mut y = LoadPlan::zeros(&n, 2);
+        y.set_y(1, SbsId(0), ClassId(1), ContentId(3), 0.4);
+        assert_eq!(y.y(1, SbsId(0), ClassId(1), ContentId(3)), 0.4);
+        assert!((y.z(1, SbsId(0), ClassId(1), ContentId(3)) - 0.6).abs() < 1e-12);
+        assert_eq!(y.horizon(), 2);
+    }
+
+    #[test]
+    fn bandwidth_used_sums_lambda_y() {
+        let n = net();
+        let d = uniform_demand(&n, 1, 2.0);
+        let mut y = LoadPlan::zeros(&n, 1);
+        y.set_y(0, SbsId(0), ClassId(0), ContentId(0), 0.5);
+        y.set_y(0, SbsId(0), ClassId(1), ContentId(1), 1.0);
+        assert!((y.bandwidth_used(&d, 0, SbsId(0)) - (2.0 * 0.5 + 2.0 * 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verify_feasible_accepts_valid_plan() {
+        let n = net();
+        let d = uniform_demand(&n, 2, 0.5);
+        let mut x = CachePlan::empty(&n, 2);
+        x.state_mut(0).set(SbsId(0), ContentId(0), true);
+        x.state_mut(1).set(SbsId(0), ContentId(0), true);
+        let mut y = LoadPlan::zeros(&n, 2);
+        y.set_y(0, SbsId(0), ClassId(0), ContentId(0), 1.0);
+        verify_feasible(&n, &d, &x, &y).unwrap();
+    }
+
+    #[test]
+    fn verify_feasible_catches_coupling_violation() {
+        let n = net();
+        let d = uniform_demand(&n, 1, 0.5);
+        let x = CachePlan::empty(&n, 1);
+        let mut y = LoadPlan::zeros(&n, 1);
+        y.set_y(0, SbsId(0), ClassId(0), ContentId(0), 0.5);
+        let err = verify_feasible(&n, &d, &x, &y).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InfeasiblePlan {
+                constraint: "y <= x",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn verify_feasible_catches_bandwidth_violation() {
+        let n = net(); // bandwidth 3
+        let d = uniform_demand(&n, 1, 2.0);
+        let mut x = CachePlan::empty(&n, 1);
+        x.state_mut(0).set(SbsId(0), ContentId(0), true);
+        x.state_mut(0).set(SbsId(0), ContentId(1), true);
+        let mut y = LoadPlan::zeros(&n, 1);
+        // 2 classes × 2 items × λ=2 × y=1 = 8 > 3.
+        for m in 0..2 {
+            for k in 0..2 {
+                y.set_y(0, SbsId(0), ClassId(m), ContentId(k), 1.0);
+            }
+        }
+        let err = verify_feasible(&n, &d, &x, &y).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InfeasiblePlan {
+                constraint: "bandwidth",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn verify_feasible_catches_box_violation() {
+        let n = net();
+        let d = uniform_demand(&n, 1, 0.1);
+        let mut x = CachePlan::empty(&n, 1);
+        x.state_mut(0).set(SbsId(0), ContentId(0), true);
+        let mut y = LoadPlan::zeros(&n, 1);
+        y.set_y(0, SbsId(0), ClassId(0), ContentId(0), 1.5);
+        assert!(verify_feasible(&n, &d, &x, &y).is_err());
+    }
+
+    #[test]
+    fn verify_feasible_catches_horizon_mismatch() {
+        let n = net();
+        let d = uniform_demand(&n, 2, 0.1);
+        let x = CachePlan::empty(&n, 2);
+        let y = LoadPlan::zeros(&n, 1);
+        assert!(matches!(
+            verify_feasible(&n, &d, &x, &y),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+}

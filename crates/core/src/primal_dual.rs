@@ -1,0 +1,438 @@
+//! Algorithm 1: the primal-dual decomposition solver.
+//!
+//! Relaxes the coupling constraint `y ≤ x` (eq. 3) with multipliers
+//! `μ ≥ 0` and alternates:
+//!
+//! 1. **P1** (caching) — solved exactly per SBS by min-cost flow
+//!    ([`crate::caching`]); integrality is guaranteed by Theorem 1.
+//! 2. **P2** (load balancing) — solved per SBS/slot by projected
+//!    gradient ([`crate::loadbalance`]).
+//! 3. **Dual update** — `μ ← [μ + δ_l (y − x)]⁺` with the paper's
+//!    diminishing step `δ_l = scale/(1 + α l)` (eq. 15–17).
+//!
+//! Each iteration also performs **primal recovery**: the integral `X`
+//! from P1 is fixed and the exact optimal `Y|X` is computed, yielding a
+//! feasible plan and an upper bound (Algorithm 1 line 8). The dual value
+//! `P1 + P2` is a lower bound (weak duality); the loop stops when the
+//! relative gap drops below `ε` (Algorithm 1 line 2) or the iteration
+//! budget is exhausted, returning the best feasible plan found.
+
+use crate::accounting::{evaluate_plan, CostBreakdown};
+use crate::caching::solve_caching_all;
+use crate::loadbalance::{solve_load_all, solve_load_given_cache};
+use crate::plan::{verify_feasible, CachePlan, LoadPlan};
+use crate::problem::ProblemInstance;
+use crate::tensor::Tensor4;
+use crate::CoreError;
+use jocal_optim::subgradient::{DualAscent, StepSchedule};
+use jocal_sim::topology::{ClassId, ContentId};
+
+/// Options controlling the primal-dual loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrimalDualOptions {
+    /// Relative duality-gap target `ε` (the paper uses `10⁻⁴`).
+    pub epsilon: f64,
+    /// Maximum number of iterations `L`.
+    pub max_iterations: usize,
+    /// Step-decay slope `α` in `δ_l = scale/(1 + α l)`.
+    pub step_alpha: f64,
+    /// Step magnitude prefactor; `None` auto-scales from the instance's
+    /// cost gradients (required because optimal multipliers scale with
+    /// the marginal BS cost, which depends on the demand volume).
+    pub step_scale: Option<f64>,
+    /// Run the (relatively expensive) primal recovery every this many
+    /// iterations. `1` recovers every iteration.
+    pub recovery_every: usize,
+}
+
+impl Default for PrimalDualOptions {
+    fn default() -> Self {
+        PrimalDualOptions {
+            epsilon: 1e-4,
+            max_iterations: 100,
+            step_alpha: 0.05,
+            step_scale: None,
+            recovery_every: 1,
+        }
+    }
+}
+
+impl PrimalDualOptions {
+    /// A cheaper profile for the per-step window solves of the online
+    /// algorithms. Because successive windows warm-start each other's
+    /// multipliers, a short loop per window reaches the same quality as a
+    /// long one (validated against the offline optimum in the benches).
+    #[must_use]
+    pub fn online() -> Self {
+        PrimalDualOptions {
+            epsilon: 1e-3,
+            max_iterations: 15,
+            step_alpha: 0.05,
+            step_scale: None,
+            recovery_every: 3,
+        }
+    }
+}
+
+/// Warm-start state carried between consecutive solves (e.g. successive
+/// RHC windows).
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Multipliers from the previous solve.
+    pub mu: Tensor4,
+    /// Load plan from the previous solve.
+    pub y: LoadPlan,
+}
+
+/// Per-iteration convergence record of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationStats {
+    /// Iteration counter `l` (1-based).
+    pub iteration: usize,
+    /// Best dual lower bound after this iteration.
+    pub lower_bound: f64,
+    /// Best feasible upper bound after this iteration.
+    pub upper_bound: f64,
+    /// Relative duality gap after this iteration.
+    pub gap: f64,
+}
+
+/// Result of a primal-dual solve.
+#[derive(Debug, Clone)]
+pub struct PrimalDualSolution {
+    /// Best feasible caching plan found.
+    pub cache_plan: CachePlan,
+    /// Exact optimal load plan for that caching plan.
+    pub load_plan: LoadPlan,
+    /// Cost breakdown of the returned plan (against the instance demand).
+    pub breakdown: CostBreakdown,
+    /// Best dual lower bound.
+    pub lower_bound: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative duality gap.
+    pub gap: f64,
+    /// Whether the gap target was met.
+    pub converged: bool,
+    /// Final multipliers (for warm starting subsequent solves).
+    pub mu: Tensor4,
+    /// Per-iteration convergence history (LB/UB/gap), for diagnostics
+    /// and the convergence plots in EXPERIMENTS.md.
+    pub history: Vec<IterationStats>,
+}
+
+/// The primal-dual solver (Algorithm 1 of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct PrimalDualSolver {
+    options: PrimalDualOptions,
+}
+
+impl PrimalDualSolver {
+    /// Creates a solver with the given options.
+    #[must_use]
+    pub fn new(options: PrimalDualOptions) -> Self {
+        PrimalDualSolver { options }
+    }
+
+    /// The configured options.
+    #[must_use]
+    pub fn options(&self) -> &PrimalDualOptions {
+        &self.options
+    }
+
+    /// Estimates the multiplier scale: the largest marginal BS-cost
+    /// saving `φ'(u₀)·ω_m·λ_{m,k}` over all entries, damped by 1/10 so
+    /// early steps do not overshoot.
+    fn auto_step_scale(problem: &ProblemInstance) -> f64 {
+        let network = problem.network();
+        let demand = problem.demand();
+        let model = problem.cost_model();
+        let mut max_grad = 0.0_f64;
+        for t in 0..problem.horizon() {
+            for (n, sbs) in network.iter_sbs() {
+                let mut u0 = 0.0;
+                for (m, class) in sbs.classes().iter().enumerate() {
+                    for k in 0..network.num_contents() {
+                        u0 += class.omega_bs * demand.lambda(t, n, ClassId(m), ContentId(k));
+                    }
+                }
+                let dphi = model.bs_cost.derivative(u0);
+                for (m, class) in sbs.classes().iter().enumerate() {
+                    for k in 0..network.num_contents() {
+                        let g = dphi
+                            * class.omega_bs
+                            * demand.lambda(t, n, ClassId(m), ContentId(k));
+                        max_grad = max_grad.max(g);
+                    }
+                }
+            }
+        }
+        (max_grad / 10.0).max(1e-6)
+    }
+
+    /// Runs Algorithm 1 on `problem`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-solver failures;
+    /// [`CoreError::NoFeasibleSolution`] if no recovery step succeeded
+    /// (cannot happen for well-formed instances since `X = 0, Y = 0` is
+    /// feasible).
+    pub fn solve(&self, problem: &ProblemInstance) -> Result<PrimalDualSolution, CoreError> {
+        self.solve_with_warm(problem, None)
+    }
+
+    /// Runs Algorithm 1 with an optional warm start (multipliers and load
+    /// plan from a related instance, e.g. the previous receding-horizon
+    /// window).
+    ///
+    /// # Errors
+    ///
+    /// See [`PrimalDualSolver::solve`].
+    pub fn solve_with_warm(
+        &self,
+        problem: &ProblemInstance,
+        warm: Option<&WarmStart>,
+    ) -> Result<PrimalDualSolution, CoreError> {
+        let opts = &self.options;
+        let network = problem.network();
+        let horizon = problem.horizon();
+        let scale = opts
+            .step_scale
+            .unwrap_or_else(|| Self::auto_step_scale(problem));
+        let template = Tensor4::zeros(network, horizon);
+
+        let mut ascent = DualAscent::new(
+            template.len(),
+            StepSchedule::ScaledHarmonic {
+                scale,
+                alpha: opts.step_alpha,
+            },
+        );
+        let mut mu = template.clone();
+        let mut warm_y: Option<LoadPlan> = None;
+        if let Some(w) = warm {
+            if w.mu.same_shape(&template) {
+                mu = w.mu.clone();
+            }
+            if w.y.tensor().same_shape(&template) {
+                warm_y = Some(w.y.clone());
+            }
+        }
+
+        let mut last_x: Option<CachePlan> = None;
+        let mut recovery_warm: Option<LoadPlan> = None;
+        let mut iterations = 0usize;
+
+        // Primal seeding: evaluate the "hold the inherited cache" plan so
+        // that a no-churn solution always competes against the recovered
+        // candidates. Without it, near-tied window solves can churn on
+        // arbitrary tie-breaking and pay unwarranted replacement cost.
+        let mut best: Option<(CachePlan, LoadPlan, CostBreakdown)> = {
+            let hold = CachePlan::from_states(vec![
+                problem.initial_cache().clone();
+                horizon
+            ])?;
+            let (y_hold, _) = solve_load_given_cache(problem, &hold, None)?;
+            let breakdown = evaluate_plan(problem, &hold, &y_hold);
+            ascent.record_primal_value(breakdown.total());
+            Some((hold, y_hold, breakdown))
+        };
+
+        let mut history = Vec::with_capacity(opts.max_iterations);
+        for l in 0..opts.max_iterations {
+            iterations = l + 1;
+            // --- Primal step: solve P1 and P2 under current μ. ----------
+            let (x_plan, p1_obj) = solve_caching_all(problem, &mu)?;
+            let (y_plan, p2_obj) = solve_load_all(problem, &mu, warm_y.as_ref())?;
+            warm_y = Some(y_plan.clone());
+
+            // Dual (lower) bound: the Lagrangian minimum at μ.
+            ascent.record_dual_value(p1_obj + p2_obj);
+
+            // --- Primal recovery: exact Y for the integral X. ------------
+            if l % opts.recovery_every.max(1) == 0 || l + 1 == opts.max_iterations {
+                let (y_feas, _) =
+                    solve_load_given_cache(problem, &x_plan, recovery_warm.as_ref())?;
+                recovery_warm = Some(y_feas.clone());
+                let breakdown = evaluate_plan(problem, &x_plan, &y_feas);
+                debug_assert!(
+                    verify_feasible(network, problem.demand(), &x_plan, &y_feas).is_ok()
+                );
+                ascent.record_primal_value(breakdown.total());
+                let improved = best
+                    .as_ref()
+                    .map_or(true, |(_, _, b)| breakdown.total() < b.total());
+                if improved {
+                    best = Some((x_plan.clone(), y_feas, breakdown));
+                }
+            }
+
+            history.push(IterationStats {
+                iteration: iterations,
+                lower_bound: ascent.lower_bound(),
+                upper_bound: ascent.upper_bound(),
+                gap: ascent.relative_gap(),
+            });
+
+            if ascent.relative_gap() <= opts.epsilon {
+                last_x = Some(x_plan);
+                break;
+            }
+
+            // --- Dual update (eq. 15–17). --------------------------------
+            let mut violation = vec![0.0; template.len()];
+            let y_data = y_plan.tensor().as_slice();
+            // x needs expanding to the (t, n, m, k) layout.
+            let mut idx = 0usize;
+            for t in 0..horizon {
+                for (n, sbs) in network.iter_sbs() {
+                    for _m in 0..sbs.num_classes() {
+                        for k in 0..network.num_contents() {
+                            let xv = if x_plan.state(t).contains(n, ContentId(k)) {
+                                1.0
+                            } else {
+                                0.0
+                            };
+                            violation[idx] = y_data[idx] - xv;
+                            idx += 1;
+                        }
+                    }
+                }
+            }
+            ascent.ascend(&violation);
+            mu.as_mut_slice().copy_from_slice(ascent.multipliers());
+            last_x = Some(x_plan);
+        }
+        let _ = last_x;
+
+        let Some((cache_plan, load_plan, breakdown)) = best else {
+            return Err(CoreError::NoFeasibleSolution { iterations });
+        };
+        let gap = ascent.relative_gap();
+        Ok(PrimalDualSolution {
+            cache_plan,
+            load_plan,
+            breakdown,
+            lower_bound: ascent.lower_bound(),
+            iterations,
+            gap,
+            converged: gap <= opts.epsilon,
+            mu,
+            history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocal_sim::demand::DemandTrace;
+    use jocal_sim::scenario::ScenarioConfig;
+    use jocal_sim::topology::{MuClass, Network, SbsId};
+
+    /// One SBS, one class, two items, flat demand: the solver should
+    /// cache the items (bandwidth permitting) and serve them locally.
+    #[test]
+    fn caches_popular_items_when_beta_small() {
+        let net = Network::builder(2)
+            .sbs(2, 100.0, 0.1, vec![MuClass::new(1.0, 0.0, 1.0).unwrap()])
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut d = DemandTrace::zeros(&net, 3);
+        for t in 0..3 {
+            for k in 0..2 {
+                d.set_lambda(t, SbsId(0), ClassId(0), ContentId(k), 5.0)
+                    .unwrap();
+            }
+        }
+        let problem = ProblemInstance::fresh(net.clone(), d).unwrap();
+        let sol = PrimalDualSolver::new(PrimalDualOptions {
+            max_iterations: 60,
+            ..Default::default()
+        })
+        .solve(&problem)
+        .unwrap();
+        // Optimal: cache both items every slot (cost 0.2 total) and serve
+        // all demand from the SBS (f = 0).
+        assert!(sol.breakdown.total() < 1.0, "total={}", sol.breakdown.total());
+        assert_eq!(sol.cache_plan.state(1).occupancy(SbsId(0)), 2);
+        verify_feasible(&net, problem.demand(), &sol.cache_plan, &sol.load_plan).unwrap();
+    }
+
+    #[test]
+    fn huge_beta_means_no_caching() {
+        let net = Network::builder(2)
+            .sbs(2, 100.0, 1e9, vec![MuClass::new(1.0, 0.0, 1.0).unwrap()])
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut d = DemandTrace::zeros(&net, 2);
+        for t in 0..2 {
+            d.set_lambda(t, SbsId(0), ClassId(0), ContentId(0), 2.0)
+                .unwrap();
+        }
+        let problem = ProblemInstance::fresh(net, d).unwrap();
+        let sol = PrimalDualSolver::default().solve(&problem).unwrap();
+        assert_eq!(sol.breakdown.replacement_count, 0);
+        // All served by BS: f = (2)² per slot = 8.
+        assert!((sol.breakdown.total() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solution_feasible_on_random_scenario() {
+        let s = ScenarioConfig::tiny().build(9).unwrap();
+        let problem = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+        let sol = PrimalDualSolver::new(PrimalDualOptions {
+            max_iterations: 50,
+            ..Default::default()
+        })
+        .solve(&problem)
+        .unwrap();
+        verify_feasible(&s.network, &s.demand, &sol.cache_plan, &sol.load_plan).unwrap();
+        assert!(sol.lower_bound <= sol.breakdown.total() + 1e-6);
+        assert!(sol.iterations >= 1);
+    }
+
+    #[test]
+    fn history_tracks_monotone_bounds() {
+        let s = ScenarioConfig::tiny().build(8).unwrap();
+        let problem = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+        let sol = PrimalDualSolver::new(PrimalDualOptions {
+            max_iterations: 25,
+            ..Default::default()
+        })
+        .solve(&problem)
+        .unwrap();
+        assert!(!sol.history.is_empty());
+        for pair in sol.history.windows(2) {
+            // LB non-decreasing, UB non-increasing by construction.
+            assert!(pair[1].lower_bound >= pair[0].lower_bound - 1e-9);
+            assert!(pair[1].upper_bound <= pair[0].upper_bound + 1e-9);
+        }
+        let last = sol.history.last().unwrap();
+        assert!((last.gap - sol.gap).abs() < 1e-9 || sol.converged);
+    }
+
+    #[test]
+    fn warm_start_does_not_hurt() {
+        let s = ScenarioConfig::tiny().build(4).unwrap();
+        let problem = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+        let solver = PrimalDualSolver::new(PrimalDualOptions {
+            max_iterations: 30,
+            ..Default::default()
+        });
+        let cold = solver.solve(&problem).unwrap();
+        let warm = solver
+            .solve_with_warm(
+                &problem,
+                Some(&WarmStart {
+                    mu: cold.mu.clone(),
+                    y: cold.load_plan.clone(),
+                }),
+            )
+            .unwrap();
+        assert!(warm.breakdown.total() <= cold.breakdown.total() * 1.05 + 1e-6);
+    }
+}

@@ -1,0 +1,224 @@
+//! The joint optimization problem instance (Section II-C, eq. 9–11).
+
+use crate::cost::CostModel;
+use crate::plan::CacheState;
+use crate::CoreError;
+use jocal_sim::demand::DemandTrace;
+use jocal_sim::topology::Network;
+
+/// One instance of the joint caching and load-balancing problem: a
+/// network, a demand trace over the decision horizon, the cost model and
+/// the cache state inherited from before the horizon (`X^0`).
+///
+/// For the offline problem the demand is the ground truth over all of
+/// `T`; for the online algorithms each decision step builds an instance
+/// from the *predicted* window and the current cache state.
+#[derive(Debug, Clone)]
+pub struct ProblemInstance {
+    network: Network,
+    demand: DemandTrace,
+    cost_model: CostModel,
+    initial_cache: CacheState,
+}
+
+impl ProblemInstance {
+    /// Creates an instance after validating that all shapes agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] when the demand tensor or the
+    /// initial cache state does not match the network.
+    pub fn new(
+        network: Network,
+        demand: DemandTrace,
+        cost_model: CostModel,
+        initial_cache: CacheState,
+    ) -> Result<Self, CoreError> {
+        if demand.num_sbs() != network.num_sbs() {
+            return Err(CoreError::shape(format!(
+                "demand covers {} SBSs, network has {}",
+                demand.num_sbs(),
+                network.num_sbs()
+            )));
+        }
+        if demand.num_contents() != network.num_contents() {
+            return Err(CoreError::shape(format!(
+                "demand catalog {} != network catalog {}",
+                demand.num_contents(),
+                network.num_contents()
+            )));
+        }
+        for (n, sbs) in network.iter_sbs() {
+            if demand.num_classes(n) != sbs.num_classes() {
+                return Err(CoreError::shape(format!(
+                    "demand has {} classes at {n}, network has {}",
+                    demand.num_classes(n),
+                    sbs.num_classes()
+                )));
+            }
+        }
+        if initial_cache.num_sbs() != network.num_sbs()
+            || initial_cache.num_contents() != network.num_contents()
+        {
+            return Err(CoreError::shape(
+                "initial cache state shape does not match the network",
+            ));
+        }
+        if demand.horizon() == 0 {
+            return Err(CoreError::shape("demand horizon must be positive"));
+        }
+        Ok(ProblemInstance {
+            network,
+            demand,
+            cost_model,
+            initial_cache,
+        })
+    }
+
+    /// Convenience constructor with empty initial caches and the paper's
+    /// quadratic cost model.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProblemInstance::new`].
+    pub fn fresh(network: Network, demand: DemandTrace) -> Result<Self, CoreError> {
+        let initial = CacheState::empty(&network);
+        ProblemInstance::new(network, demand, CostModel::paper(), initial)
+    }
+
+    /// The network topology.
+    #[inline]
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The demand over the decision horizon.
+    #[inline]
+    #[must_use]
+    pub fn demand(&self) -> &DemandTrace {
+        &self.demand
+    }
+
+    /// The cost model.
+    #[inline]
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// The cache state before the first slot.
+    #[inline]
+    #[must_use]
+    pub fn initial_cache(&self) -> &CacheState {
+        &self.initial_cache
+    }
+
+    /// Decision horizon `T`.
+    #[inline]
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.demand.horizon()
+    }
+
+    /// Builds the instance for a sub-window `[start, start+len)` of this
+    /// instance's demand, inheriting `initial` as the pre-window state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if the window is empty.
+    pub fn window(
+        &self,
+        start: usize,
+        len: usize,
+        initial: CacheState,
+    ) -> Result<ProblemInstance, CoreError> {
+        if len == 0 {
+            return Err(CoreError::shape("window length must be positive"));
+        }
+        ProblemInstance::new(
+            self.network.clone(),
+            self.demand.window(start, len),
+            self.cost_model,
+            initial,
+        )
+    }
+
+    /// Replaces the demand (e.g. with a predicted window), keeping the
+    /// other fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if the new demand shape does
+    /// not match.
+    pub fn with_demand(&self, demand: DemandTrace) -> Result<ProblemInstance, CoreError> {
+        ProblemInstance::new(
+            self.network.clone(),
+            demand,
+            self.cost_model,
+            self.initial_cache.clone(),
+        )
+    }
+
+    /// Replaces the initial cache state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if the state shape does not
+    /// match.
+    pub fn with_initial_cache(&self, initial: CacheState) -> Result<ProblemInstance, CoreError> {
+        ProblemInstance::new(
+            self.network.clone(),
+            self.demand.clone(),
+            self.cost_model,
+            initial,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocal_sim::scenario::ScenarioConfig;
+    use jocal_sim::topology::{MuClass, SbsId};
+
+    #[test]
+    fn builds_from_scenario() {
+        let s = ScenarioConfig::tiny().build(1).unwrap();
+        let p = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+        assert_eq!(p.horizon(), s.config.horizon);
+        assert_eq!(p.initial_cache().occupancy(SbsId(0)), 0);
+    }
+
+    #[test]
+    fn window_inherits_state() {
+        let s = ScenarioConfig::tiny().build(1).unwrap();
+        let p = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+        let mut state = CacheState::empty(&s.network);
+        state.set(SbsId(0), jocal_sim::ContentId(1), true);
+        let w = p.window(3, 4, state.clone()).unwrap();
+        assert_eq!(w.horizon(), 4);
+        assert_eq!(w.initial_cache(), &state);
+        assert!(p.window(0, 0, state).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_mismatches() {
+        let s = ScenarioConfig::tiny().build(1).unwrap();
+        let other = Network::builder(9)
+            .sbs(1, 1.0, 1.0, vec![MuClass::new(0.1, 0.0, 1.0).unwrap()])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(ProblemInstance::fresh(other, s.demand.clone()).is_err());
+    }
+
+    #[test]
+    fn with_demand_checks_shape() {
+        let s = ScenarioConfig::tiny().build(1).unwrap();
+        let p = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+        let shorter = s.demand.window(0, 3);
+        let w = p.with_demand(shorter).unwrap();
+        assert_eq!(w.horizon(), 3);
+    }
+}

@@ -1,0 +1,179 @@
+//! Cross-validates the exact knapsack fast path for the `P2` slot
+//! problem against the projected-gradient reference on random instances.
+
+use jocal_core::cost::{CostFunction, CostModel};
+use jocal_core::fastslot::solve_bs_only_slot;
+use jocal_optim::pgd::{minimize, PgdOptions};
+use jocal_optim::projection::project_box_budget;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reference solve of the BS-only slot problem by PGD.
+fn pgd_reference(
+    bs: CostFunction,
+    u0: f64,
+    a: &[f64],
+    c: &[f64],
+    lambda: &[f64],
+    ub: &[f64],
+    budget: f64,
+) -> f64 {
+    let n = a.len();
+    let obj = {
+        let a = a.to_vec();
+        let c = c.to_vec();
+        move |y: &[f64]| {
+            let served: f64 = a.iter().zip(y).map(|(ai, yi)| ai * yi).sum();
+            let lin: f64 = c.iter().zip(y).map(|(ci, yi)| ci * yi).sum();
+            bs.value(u0 - served) + lin
+        }
+    };
+    let grad = {
+        let a = a.to_vec();
+        let c = c.to_vec();
+        move |y: &[f64], g: &mut [f64]| {
+            let served: f64 = a.iter().zip(y.iter()).map(|(ai, yi)| ai * yi).sum();
+            let d = bs.derivative(u0 - served);
+            for i in 0..g.len() {
+                g[i] = -d * a[i] + c[i];
+            }
+        }
+    };
+    let lo = vec![0.0; n];
+    let hi = ub.to_vec();
+    let w = lambda.to_vec();
+    let proj = move |y: &mut [f64]| {
+        let p = project_box_budget(y, &lo, &hi, &w, budget).unwrap();
+        y.copy_from_slice(&p);
+    };
+    minimize(
+        obj,
+        grad,
+        proj,
+        vec![0.0; n],
+        PgdOptions {
+            max_iters: 20_000,
+            tol: 1e-10,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .objective
+}
+
+#[test]
+fn fast_path_matches_pgd_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for trial in 0..150 {
+        let n = rng.gen_range(1..12);
+        let omega: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let lambda: Vec<f64> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.1) {
+                    0.0
+                } else {
+                    rng.gen_range(0.1..5.0)
+                }
+            })
+            .collect();
+        let a: Vec<f64> = omega.iter().zip(&lambda).map(|(o, l)| o * l).collect();
+        let c: Vec<f64> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.4) {
+                    0.0
+                } else {
+                    rng.gen_range(0.0..8.0)
+                }
+            })
+            .collect();
+        let ub: Vec<f64> = (0..n)
+            .map(|_| if rng.gen_bool(0.2) { 0.0 } else { 1.0 })
+            .collect();
+        let extra_mass = rng.gen_range(0.0..5.0);
+        let u0: f64 = a.iter().sum::<f64>() + extra_mass;
+        let budget = rng.gen_range(0.5..8.0);
+
+        let fast = solve_bs_only_slot(
+            CostFunction::Quadratic,
+            u0,
+            &a,
+            &c,
+            &lambda,
+            &ub,
+            budget,
+        );
+        let reference = pgd_reference(
+            CostFunction::Quadratic,
+            u0,
+            &a,
+            &c,
+            &lambda,
+            &ub,
+            budget,
+        );
+        // Feasibility of the fast solution.
+        let used: f64 = lambda.iter().zip(&fast.y).map(|(l, y)| l * y).sum();
+        assert!(used <= budget + 1e-7, "trial {trial}: budget violated");
+        for (i, &y) in fast.y.iter().enumerate() {
+            assert!(
+                (0.0..=ub[i] + 1e-9).contains(&y),
+                "trial {trial} entry {i}: y={y} ub={}",
+                ub[i]
+            );
+        }
+        // The raw fast point may sit a knapsack jump away from optimal
+        // (the dispatch layer polishes it with PGD); 0.1 % is its
+        // documented standalone accuracy.
+        let scale = reference.abs().max(1.0);
+        assert!(
+            fast.objective <= reference + 1e-3 * scale,
+            "trial {trial}: fast {} worse than pgd {}",
+            fast.objective,
+            reference
+        );
+    }
+}
+
+#[test]
+fn dispatch_in_solve_load_slot_agrees_with_pgd_setting() {
+    // ω̂ = 0 triggers the fast path; ω̂ > 0 uses PGD. Both must agree on
+    // an instance where the SBS cost is negligible.
+    let model_fast = CostModel {
+        bs_cost: CostFunction::Quadratic,
+        sbs_cost: CostFunction::Quadratic,
+    };
+    let omega_bs = [0.7, 0.3];
+    let lambda = [2.0, 1.0, 0.5, 3.0];
+    let linear = [0.0, 1.0, 0.5, 0.0];
+    let upper = [1.0, 1.0, 0.0, 1.0];
+
+    let (y_fast, obj_fast) = jocal_core::loadbalance::solve_load_slot(
+        &model_fast,
+        &omega_bs,
+        &[0.0, 0.0],
+        &lambda,
+        &linear,
+        &upper,
+        3.0,
+        None,
+    )
+    .unwrap();
+    let (y_pgd, obj_pgd) = jocal_core::loadbalance::solve_load_slot(
+        &model_fast,
+        &omega_bs,
+        &[1e-12, 1e-12], // epsilon SBS weight forces the PGD path
+        &lambda,
+        &linear,
+        &upper,
+        3.0,
+        None,
+    )
+    .unwrap();
+    assert!(
+        (obj_fast - obj_pgd).abs() < 1e-3 * obj_pgd.abs().max(1.0),
+        "fast {obj_fast} vs pgd {obj_pgd}"
+    );
+    for (a, b) in y_fast.iter().zip(&y_pgd) {
+        assert!((a - b).abs() < 0.05, "{y_fast:?} vs {y_pgd:?}");
+    }
+}

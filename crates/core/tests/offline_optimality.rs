@@ -1,0 +1,120 @@
+//! Validates the primal-dual offline solver (Algorithm 1) against the
+//! exhaustive oracle on small instances, and checks its structural
+//! guarantees on larger ones.
+
+use jocal_core::brute::solve_brute_force;
+use jocal_core::offline::OfflineSolver;
+use jocal_core::plan::verify_feasible;
+use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver};
+use jocal_core::problem::ProblemInstance;
+use jocal_sim::demand::TemporalPattern;
+use jocal_sim::scenario::ScenarioConfig;
+
+fn near_optimal_options() -> PrimalDualOptions {
+    PrimalDualOptions {
+        epsilon: 1e-4,
+        max_iterations: 250,
+        step_alpha: 0.05,
+        step_scale: None,
+        recovery_every: 1,
+    }
+}
+
+/// Primal-dual must land within a small factor of the brute-force
+/// optimum on random tiny scenarios.
+#[test]
+fn primal_dual_matches_brute_force_on_tiny_scenarios() {
+    for seed in [1_u64, 2, 3, 4, 5] {
+        let s = ScenarioConfig::tiny().build(seed).unwrap();
+        let problem = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+        let brute = solve_brute_force(&problem).unwrap();
+        let pd = OfflineSolver::new(near_optimal_options())
+            .solve(&problem)
+            .unwrap();
+        let ratio = pd.breakdown.total() / brute.total_cost.max(1e-9);
+        assert!(
+            ratio < 1.05,
+            "seed {seed}: primal-dual {} vs brute {} (ratio {ratio:.4})",
+            pd.breakdown.total(),
+            brute.total_cost
+        );
+        // And never better than the true optimum (sanity of the oracle).
+        assert!(
+            pd.breakdown.total() >= brute.total_cost - 1e-4 * brute.total_cost.abs() - 1e-6,
+            "seed {seed}: pd {} below brute-force optimum {}",
+            pd.breakdown.total(),
+            brute.total_cost
+        );
+    }
+}
+
+/// The dual lower bound must never exceed the brute-force optimum.
+#[test]
+fn dual_bound_is_valid_lower_bound() {
+    for seed in [11_u64, 12, 13] {
+        let s = ScenarioConfig::tiny().build(seed).unwrap();
+        let problem = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+        let brute = solve_brute_force(&problem).unwrap();
+        let pd = PrimalDualSolver::new(near_optimal_options())
+            .solve(&problem)
+            .unwrap();
+        assert!(
+            pd.lower_bound <= brute.total_cost + 1e-4 * brute.total_cost.abs() + 1e-6,
+            "seed {seed}: LB {} exceeds optimum {}",
+            pd.lower_bound,
+            brute.total_cost
+        );
+    }
+}
+
+/// On a medium scenario the solution must be feasible, the gap sane, and
+/// the cost ordering LB <= cost must hold.
+#[test]
+fn medium_scenario_feasible_with_certified_gap() {
+    let cfg = ScenarioConfig {
+        num_contents: 10,
+        classes_per_sbs: 6,
+        cache_capacity: 3,
+        bandwidth: 15.0,
+        horizon: 12,
+        beta: 20.0,
+        ..ScenarioConfig::tiny()
+    };
+    let s = cfg.build(42).unwrap();
+    let problem = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+    let pd = OfflineSolver::new(PrimalDualOptions {
+        max_iterations: 120,
+        ..Default::default()
+    })
+    .solve(&problem)
+    .unwrap();
+    verify_feasible(&s.network, &s.demand, &pd.cache_plan, &pd.load_plan).unwrap();
+    assert!(pd.lower_bound <= pd.breakdown.total() + 1e-6);
+    assert!(pd.gap < 0.25, "gap {} unexpectedly large", pd.gap);
+}
+
+/// Offline cost must be monotone non-decreasing in the replacement cost
+/// β (larger switching penalties can only hurt).
+#[test]
+fn offline_cost_monotone_in_beta() {
+    let mut last = None;
+    for beta in [0.0, 10.0, 40.0] {
+        let s = ScenarioConfig::tiny()
+            .with_beta(beta)
+            .with_temporal(TemporalPattern::Jitter { sigma: 0.2 })
+            .build(33)
+            .unwrap();
+        let problem = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+        let pd = OfflineSolver::new(near_optimal_options())
+            .solve(&problem)
+            .unwrap();
+        let total = pd.breakdown.total();
+        if let Some(prev) = last {
+            assert!(
+                total >= prev - 0.02 * total.abs(),
+                "cost decreased from {prev} to {total} as beta rose to {beta}"
+            );
+        }
+        last = Some(total);
+    }
+}

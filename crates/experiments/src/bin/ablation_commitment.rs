@@ -1,0 +1,22 @@
+//! Ablation A2: sweep of the CHC commitment level r from 1 (RHC-like)
+//! to w (AFHC).
+
+use jocal_experiments::figures::ablation_commitment;
+use jocal_experiments::report::{render_table, write_csv, write_json};
+use std::path::PathBuf;
+
+fn main() {
+    let opts = jocal_experiments::cli_options();
+    let points = ablation_commitment(&opts).expect("commitment ablation failed");
+    let dir = PathBuf::from("results");
+    write_csv(&points, &dir.join("ablation_commitment.csv")).expect("write csv");
+    write_json(&points, &dir.join("ablation_commitment.json")).expect("write json");
+    println!(
+        "{}",
+        render_table(
+            &points,
+            |p| p.total_cost,
+            "Ablation A2 — total cost vs commitment level r"
+        )
+    );
+}

@@ -1,0 +1,30 @@
+//! Ablation A1: sweep of the CHC rounding threshold ρ around the paper's
+//! optimum (3−√5)/2 ≈ 0.382.
+
+use jocal_experiments::figures::ablation_rho;
+use jocal_experiments::report::{render_table, write_csv, write_json};
+use std::path::PathBuf;
+
+fn main() {
+    let opts = jocal_experiments::cli_options();
+    let points = ablation_rho(&opts).expect("rho ablation failed");
+    let dir = PathBuf::from("results");
+    write_csv(&points, &dir.join("ablation_rho.csv")).expect("write csv");
+    write_json(&points, &dir.join("ablation_rho.json")).expect("write json");
+    println!(
+        "{}",
+        render_table(
+            &points,
+            |p| p.total_cost,
+            "Ablation A1 — total cost vs rounding threshold rho"
+        )
+    );
+    println!(
+        "{}",
+        render_table(
+            &points,
+            |p| p.replacement_count as f64,
+            "Ablation A1 — replacements vs rounding threshold rho"
+        )
+    );
+}

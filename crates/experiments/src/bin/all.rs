@@ -1,0 +1,54 @@
+//! Runs every figure and the headline comparison in sequence, writing
+//! all artifacts under `results/`.
+
+use jocal_experiments::figures::{
+    ablation_commitment, ablation_rho, fig2_beta_sweep, fig3_window_sweep,
+    fig4_bandwidth_sweep, fig5_noise_sweep, headline,
+};
+use jocal_experiments::report::{render_table, write_csv, write_json};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let opts = jocal_experiments::cli_options();
+    let dir = PathBuf::from("results");
+    let started = Instant::now();
+
+    let report = headline(&opts).expect("headline");
+    write_csv(&report.points, &dir.join("headline.csv")).unwrap();
+    write_json(&report.points, &dir.join("headline.json")).unwrap();
+    println!("## Headline (β = 50)");
+    for (scheme, reduction, ratio) in &report.summary {
+        println!("{scheme:<12} reduction={reduction:>6.1}%  ratio={ratio:>6.3}");
+    }
+
+    let fig2 = fig2_beta_sweep(&opts).expect("fig2");
+    write_csv(&fig2, &dir.join("fig2.csv")).unwrap();
+    write_json(&fig2, &dir.join("fig2.json")).unwrap();
+    println!("{}", render_table(&fig2, |p| p.total_cost, "Fig. 2a"));
+
+    let fig3 = fig3_window_sweep(&opts).expect("fig3");
+    write_csv(&fig3, &dir.join("fig3.csv")).unwrap();
+    write_json(&fig3, &dir.join("fig3.json")).unwrap();
+    println!("{}", render_table(&fig3, |p| p.total_cost, "Fig. 3a"));
+
+    let fig4 = fig4_bandwidth_sweep(&opts).expect("fig4");
+    write_csv(&fig4, &dir.join("fig4.csv")).unwrap();
+    write_json(&fig4, &dir.join("fig4.json")).unwrap();
+    println!("{}", render_table(&fig4, |p| p.total_cost, "Fig. 4a"));
+
+    let fig5 = fig5_noise_sweep(&opts).expect("fig5");
+    write_csv(&fig5, &dir.join("fig5.csv")).unwrap();
+    write_json(&fig5, &dir.join("fig5.json")).unwrap();
+    println!("{}", render_table(&fig5, |p| p.total_cost, "Fig. 5"));
+
+    let a1 = ablation_rho(&opts).expect("ablation rho");
+    write_csv(&a1, &dir.join("ablation_rho.csv")).unwrap();
+    write_json(&a1, &dir.join("ablation_rho.json")).unwrap();
+
+    let a2 = ablation_commitment(&opts).expect("ablation commitment");
+    write_csv(&a2, &dir.join("ablation_commitment.csv")).unwrap();
+    write_json(&a2, &dir.join("ablation_commitment.json")).unwrap();
+
+    println!("all figures done in {:?}", started.elapsed());
+}

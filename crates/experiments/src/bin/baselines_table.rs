@@ -1,0 +1,57 @@
+//! Extended baseline comparison (beyond the paper's LRFU): every scheme
+//! in the repository at the paper's operating point.
+
+use jocal_experiments::report::{write_csv, write_json, FigurePoint};
+use jocal_experiments::schemes::{run_scheme, RunConfig, Scheme};
+use jocal_sim::scenario::ScenarioConfig;
+use std::path::PathBuf;
+
+fn main() {
+    let opts = jocal_experiments::cli_options();
+    let scenario = ScenarioConfig::paper_default()
+        .with_horizon(opts.horizon)
+        .with_beta(50.0)
+        .build(opts.seed)
+        .expect("scenario builds");
+    let config = RunConfig::from_scenario(&scenario);
+    let schemes = [
+        Scheme::Offline,
+        Scheme::Rhc,
+        Scheme::Chc { commitment: 3 },
+        Scheme::Afhc,
+        Scheme::Lrfu,
+        Scheme::Lfu,
+        Scheme::Lru,
+        Scheme::Fifo,
+        Scheme::StaticTop,
+    ];
+    let mut points = Vec::new();
+    println!(
+        "{:<12} {:>13} {:>13} {:>13} {:>9}",
+        "scheme", "total", "bs cost", "replacement", "fetches"
+    );
+    for scheme in schemes {
+        let out = run_scheme(scheme, &scenario, &config).expect("scheme runs");
+        println!(
+            "{:<12} {:>13.1} {:>13.1} {:>13.1} {:>9}",
+            out.label,
+            out.breakdown.total(),
+            out.breakdown.bs_operating,
+            out.breakdown.replacement,
+            out.breakdown.replacement_count,
+        );
+        points.push(FigurePoint {
+            parameter: "beta".into(),
+            x: 50.0,
+            scheme: out.label,
+            total_cost: out.breakdown.total(),
+            replacement_cost: out.breakdown.replacement,
+            replacement_count: out.breakdown.replacement_count,
+            bs_cost: out.breakdown.bs_operating,
+            sbs_cost: out.breakdown.sbs_operating,
+        });
+    }
+    let dir = PathBuf::from("results");
+    write_csv(&points, &dir.join("baselines.csv")).expect("write csv");
+    write_json(&points, &dir.join("baselines.json")).expect("write json");
+}

@@ -1,0 +1,38 @@
+//! Reproduces Fig. 2 (a–d): the impact of the cache replacement cost β.
+
+use jocal_experiments::figures::{fig2_beta_sweep, EvalOptions};
+use jocal_experiments::report::{render_table, write_csv, write_json};
+use std::path::PathBuf;
+
+fn main() {
+    let opts = jocal_experiments::cli_options();
+    let points = fig2_beta_sweep(&opts).expect("fig2 sweep failed");
+    let dir = PathBuf::from("results");
+    write_csv(&points, &dir.join("fig2.csv")).expect("write csv");
+    write_json(&points, &dir.join("fig2.json")).expect("write json");
+    println!(
+        "{}",
+        render_table(&points, |p| p.total_cost, "Fig. 2a — total operating cost vs beta")
+    );
+    println!(
+        "{}",
+        render_table(
+            &points,
+            |p| p.replacement_cost,
+            "Fig. 2b — cache replacement cost vs beta"
+        )
+    );
+    println!(
+        "{}",
+        render_table(
+            &points,
+            |p| p.replacement_count as f64,
+            "Fig. 2c — number of cache replacements vs beta"
+        )
+    );
+    println!(
+        "{}",
+        render_table(&points, |p| p.bs_cost, "Fig. 2d — BS operating cost vs beta")
+    );
+    let _ = EvalOptions::default();
+}

@@ -1,0 +1,25 @@
+//! Reproduces Fig. 3 (a–b): the impact of the prediction window w.
+
+use jocal_experiments::figures::fig3_window_sweep;
+use jocal_experiments::report::{render_table, write_csv, write_json};
+use std::path::PathBuf;
+
+fn main() {
+    let opts = jocal_experiments::cli_options();
+    let points = fig3_window_sweep(&opts).expect("fig3 sweep failed");
+    let dir = PathBuf::from("results");
+    write_csv(&points, &dir.join("fig3.csv")).expect("write csv");
+    write_json(&points, &dir.join("fig3.json")).expect("write json");
+    println!(
+        "{}",
+        render_table(&points, |p| p.total_cost, "Fig. 3a — total operating cost vs w")
+    );
+    println!(
+        "{}",
+        render_table(
+            &points,
+            |p| p.replacement_count as f64,
+            "Fig. 3b — number of cache replacements vs w"
+        )
+    );
+}

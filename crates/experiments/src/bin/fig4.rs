@@ -1,0 +1,25 @@
+//! Reproduces Fig. 4 (a–b): the impact of the SBS bandwidth capacity B.
+
+use jocal_experiments::figures::fig4_bandwidth_sweep;
+use jocal_experiments::report::{render_table, write_csv, write_json};
+use std::path::PathBuf;
+
+fn main() {
+    let opts = jocal_experiments::cli_options();
+    let points = fig4_bandwidth_sweep(&opts).expect("fig4 sweep failed");
+    let dir = PathBuf::from("results");
+    write_csv(&points, &dir.join("fig4.csv")).expect("write csv");
+    write_json(&points, &dir.join("fig4.json")).expect("write json");
+    println!(
+        "{}",
+        render_table(&points, |p| p.total_cost, "Fig. 4a — total operating cost vs B")
+    );
+    println!(
+        "{}",
+        render_table(
+            &points,
+            |p| p.replacement_count as f64,
+            "Fig. 4b — number of cache replacements vs B"
+        )
+    );
+}

@@ -1,0 +1,17 @@
+//! Reproduces Fig. 5: the impact of the prediction perturbation η.
+
+use jocal_experiments::figures::fig5_noise_sweep;
+use jocal_experiments::report::{render_table, write_csv, write_json};
+use std::path::PathBuf;
+
+fn main() {
+    let opts = jocal_experiments::cli_options();
+    let points = fig5_noise_sweep(&opts).expect("fig5 sweep failed");
+    let dir = PathBuf::from("results");
+    write_csv(&points, &dir.join("fig5.csv")).expect("write csv");
+    write_json(&points, &dir.join("fig5.json")).expect("write json");
+    println!(
+        "{}",
+        render_table(&points, |p| p.total_cost, "Fig. 5 — total operating cost vs eta")
+    );
+}

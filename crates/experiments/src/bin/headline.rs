@@ -1,0 +1,32 @@
+//! Reproduces the headline comparison of §V-C.1: cost reduction vs LRFU
+//! and cost ratio vs the offline optimum at β = 50.
+
+use jocal_experiments::figures::headline;
+use jocal_experiments::report::{write_csv, write_json};
+use std::path::PathBuf;
+
+fn main() {
+    let opts = jocal_experiments::cli_options();
+    let report = headline(&opts).expect("headline run failed");
+    let dir = PathBuf::from("results");
+    write_csv(&report.points, &dir.join("headline.csv")).expect("write csv");
+    write_json(&report.points, &dir.join("headline.json")).expect("write json");
+
+    println!("## Headline (β = 50, w = 10, η = 0.1) — paper §V-C.1");
+    println!(
+        "{:<12} {:>16} {:>22} {:>18}",
+        "scheme", "total cost", "reduction vs LRFU %", "ratio to offline"
+    );
+    for (scheme, reduction, ratio) in &report.summary {
+        let total = report
+            .points
+            .iter()
+            .find(|p| &p.scheme == scheme)
+            .map(|p| p.total_cost)
+            .unwrap_or(f64::NAN);
+        println!("{scheme:<12} {total:>16.1} {reduction:>22.1} {ratio:>18.3}");
+    }
+    println!();
+    println!("Paper reference: RHC −27%, CHC −20%, AFHC −17% vs LRFU;");
+    println!("ratios to offline 1.02 (RHC), 1.08 (CHC), 1.11 (AFHC), 1.30 (LRFU).");
+}

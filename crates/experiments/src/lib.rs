@@ -1,0 +1,64 @@
+//! Experiment harness reproducing the paper's numerical evaluation
+//! (Section V).
+//!
+//! * [`schemes`] — the scheme registry: Offline optimal, RHC, CHC, AFHC,
+//!   LRFU (paper comparator) and the extra classic baselines, all run
+//!   through a single entry point with consistent accounting.
+//! * [`figures`] — one function per paper artifact: the headline numbers
+//!   (§V-C.1), Fig. 2 (β sweep, four panels), Fig. 3 (window sweep),
+//!   Fig. 4 (bandwidth sweep), Fig. 5 (noise sweep), plus two ablations
+//!   the paper motivates but does not plot (rounding threshold ρ,
+//!   commitment level r).
+//! * [`report`] — ASCII tables, CSV and JSON writers so every number in
+//!   `EXPERIMENTS.md` regenerates from a committed artifact.
+//!
+//! Binaries: `cargo run --release -p jocal-experiments --bin <fig2|fig3|
+//! fig4|fig5|headline|ablation_rho|ablation_commitment|all>`.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod figures;
+pub mod report;
+pub mod schemes;
+
+pub use schemes::{RunConfig, Scheme, SchemeOutcome};
+
+/// Parses the common binary options from the environment/CLI:
+/// `--horizon N` and `--seed S` (defaults: the paper's `T = 100`, seed
+/// 42). `JOCAL_HORIZON`/`JOCAL_SEED` environment variables are honoured
+/// when flags are absent, which is how the smoke tests shrink the runs.
+#[must_use]
+pub fn cli_options() -> figures::EvalOptions {
+    let mut opts = figures::EvalOptions::default();
+    if let Ok(v) = std::env::var("JOCAL_HORIZON") {
+        if let Ok(h) = v.parse() {
+            opts.horizon = h;
+        }
+    }
+    if let Ok(v) = std::env::var("JOCAL_SEED") {
+        if let Ok(s) = v.parse() {
+            opts.seed = s;
+        }
+    }
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        match args[i].as_str() {
+            "--horizon" => {
+                if let Ok(h) = args[i + 1].parse() {
+                    opts.horizon = h;
+                }
+                i += 2;
+            }
+            "--seed" => {
+                if let Ok(s) = args[i + 1].parse() {
+                    opts.seed = s;
+                }
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    opts
+}

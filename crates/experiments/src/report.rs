@@ -1,0 +1,183 @@
+//! Reporting: ASCII tables, CSV and JSON artifacts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One data point of a figure: a scheme evaluated at a swept parameter
+/// value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigurePoint {
+    /// Name of the swept parameter (`beta`, `w`, `bandwidth`, `eta`, …).
+    pub parameter: String,
+    /// Value of the swept parameter.
+    pub x: f64,
+    /// Scheme label.
+    pub scheme: String,
+    /// Total operating cost (eq. 9).
+    pub total_cost: f64,
+    /// Cache replacement cost component.
+    pub replacement_cost: f64,
+    /// Number of cache replacements (item fetches).
+    pub replacement_count: usize,
+    /// BS operating cost component.
+    pub bs_cost: f64,
+    /// SBS operating cost component.
+    pub sbs_cost: f64,
+}
+
+/// Writes points as CSV (stable column order, header included).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(points: &[FigurePoint], path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = String::from(
+        "parameter,x,scheme,total_cost,replacement_cost,replacement_count,bs_cost,sbs_cost\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            p.parameter,
+            p.x,
+            p.scheme,
+            p.total_cost,
+            p.replacement_cost,
+            p.replacement_count,
+            p.bs_cost,
+            p.sbs_cost
+        );
+    }
+    fs::write(path, out)
+}
+
+/// Writes points as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization errors.
+pub fn write_json(points: &[FigurePoint], path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(points)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Renders one metric of a point set as an ASCII table: rows = swept
+/// values, columns = schemes.
+#[must_use]
+pub fn render_table(
+    points: &[FigurePoint],
+    metric: impl Fn(&FigurePoint) -> f64,
+    title: &str,
+) -> String {
+    let mut xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite sweep values"));
+    xs.dedup();
+    let mut schemes: Vec<String> = Vec::new();
+    for p in points {
+        if !schemes.contains(&p.scheme) {
+            schemes.push(p.scheme.clone());
+        }
+    }
+    let param = points
+        .first()
+        .map_or_else(|| "x".to_string(), |p| p.parameter.clone());
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let _ = write!(out, "{param:>12}");
+    for s in &schemes {
+        let _ = write!(out, " {s:>14}");
+    }
+    let _ = writeln!(out);
+    for &x in &xs {
+        let _ = write!(out, "{x:>12.3}");
+        for s in &schemes {
+            let value = points
+                .iter()
+                .find(|p| p.x == x && &p.scheme == s)
+                .map(&metric);
+            match value {
+                Some(v) => {
+                    let _ = write!(out, " {v:>14.1}");
+                }
+                None => {
+                    let _ = write!(out, " {:>14}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<FigurePoint> {
+        vec![
+            FigurePoint {
+                parameter: "beta".into(),
+                x: 50.0,
+                scheme: "RHC".into(),
+                total_cost: 100.0,
+                replacement_cost: 10.0,
+                replacement_count: 2,
+                bs_cost: 90.0,
+                sbs_cost: 0.0,
+            },
+            FigurePoint {
+                parameter: "beta".into(),
+                x: 50.0,
+                scheme: "LRFU".into(),
+                total_cost: 130.0,
+                replacement_cost: 30.0,
+                replacement_count: 6,
+                bs_cost: 100.0,
+                sbs_cost: 0.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn csv_roundtrip_layout() {
+        let dir = std::env::temp_dir().join("jocal_report_test");
+        let path = dir.join("points.csv");
+        write_csv(&sample(), &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("parameter,x,scheme"));
+        assert_eq!(text.lines().count(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("jocal_report_json_test");
+        let path = dir.join("points.json");
+        write_json(&sample(), &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: Vec<FigurePoint> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].scheme, "LRFU");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn table_contains_schemes_and_values() {
+        let table = render_table(&sample(), |p| p.total_cost, "total cost vs beta");
+        assert!(table.contains("RHC"));
+        assert!(table.contains("LRFU"));
+        assert!(table.contains("100.0"));
+        assert!(table.contains("130.0"));
+    }
+}

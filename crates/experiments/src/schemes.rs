@@ -1,0 +1,298 @@
+//! Scheme registry: every competitor of the paper's evaluation behind
+//! one entry point.
+
+use jocal_baselines::fifo::FifoRule;
+use jocal_baselines::lfu::LfuRule;
+use jocal_baselines::lru::LruRule;
+use jocal_baselines::lrfu::LrfuRule;
+use jocal_baselines::rule::BaselinePolicy;
+use jocal_baselines::static_top::StaticTopRule;
+use jocal_core::accounting::CostBreakdown;
+use jocal_core::offline::OfflineSolver;
+use jocal_core::primal_dual::PrimalDualOptions;
+use jocal_core::problem::ProblemInstance;
+use jocal_core::{CacheState, CoreError, CostModel};
+use jocal_online::afhc::afhc_policy;
+use jocal_online::chc::ChcPolicy;
+use jocal_online::policy::OnlinePolicy;
+use jocal_online::rhc::RhcPolicy;
+use jocal_online::rounding::RoundingPolicy;
+use jocal_online::runner::run_policy;
+use jocal_sim::predictor::NoisyPredictor;
+use jocal_sim::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// A competitor scheme from Section V-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Scheme {
+    /// Offline optimal (Algorithm 1 on the full horizon with truth).
+    Offline,
+    /// Receding Horizon Control (Algorithm 2).
+    Rhc,
+    /// Committed Horizon Control (Algorithm 3) at a commitment level.
+    Chc {
+        /// Commitment level `r`.
+        commitment: usize,
+    },
+    /// Averaging Fixed Horizon Control (CHC with `r = w`).
+    Afhc,
+    /// The paper's LRFU baseline.
+    Lrfu,
+    /// Cumulative-frequency LFU.
+    Lfu,
+    /// Recency-based LRU.
+    Lru,
+    /// FIFO replacement.
+    Fifo,
+    /// Static top-popularity cache.
+    StaticTop,
+}
+
+impl Scheme {
+    /// Scheme label used in tables and CSV.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Offline => "Offline".into(),
+            Scheme::Rhc => "RHC".into(),
+            Scheme::Chc { commitment } => format!("CHC(r={commitment})"),
+            Scheme::Afhc => "AFHC".into(),
+            Scheme::Lrfu => "LRFU".into(),
+            Scheme::Lfu => "LFU".into(),
+            Scheme::Lru => "LRU".into(),
+            Scheme::Fifo => "FIFO".into(),
+            Scheme::StaticTop => "StaticTop".into(),
+        }
+    }
+
+    /// The scheme set the paper's figures compare.
+    #[must_use]
+    pub fn paper_set() -> Vec<Scheme> {
+        vec![
+            Scheme::Offline,
+            Scheme::Rhc,
+            Scheme::Chc { commitment: 3 },
+            Scheme::Afhc,
+            Scheme::Lrfu,
+        ]
+    }
+
+    /// The online-only subset (for sweeps over prediction parameters).
+    #[must_use]
+    pub fn online_set() -> Vec<Scheme> {
+        vec![Scheme::Rhc, Scheme::Chc { commitment: 3 }, Scheme::Afhc]
+    }
+}
+
+/// Shared run parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Prediction window `w`.
+    pub window: usize,
+    /// Prediction perturbation `η`.
+    pub eta: f64,
+    /// Seed for the prediction-noise stream.
+    pub predictor_seed: u64,
+    /// Rounding threshold `ρ` for CHC/AFHC.
+    pub rho: f64,
+    /// Primal-dual options for the offline solve.
+    pub offline_opts: PrimalDualOptions,
+    /// Primal-dual options for the per-window online solves.
+    pub online_opts: PrimalDualOptions,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            window: 10,
+            eta: 0.1,
+            predictor_seed: 1_000_003,
+            rho: jocal_online::rounding::optimal_rho(),
+            offline_opts: PrimalDualOptions {
+                epsilon: 1e-4,
+                max_iterations: 80,
+                ..Default::default()
+            },
+            online_opts: PrimalDualOptions::online(),
+        }
+    }
+}
+
+impl RunConfig {
+    /// Builds a config whose window/η come from the scenario config.
+    #[must_use]
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        RunConfig {
+            window: scenario.config.prediction_window,
+            eta: scenario.config.eta,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of running one scheme on one scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchemeOutcome {
+    /// Scheme label.
+    pub label: String,
+    /// Cost decomposition against ground truth.
+    pub breakdown: CostBreakdown,
+}
+
+/// Runs `scheme` on `scenario` under `config`.
+///
+/// # Errors
+///
+/// Propagates solver failures from the underlying algorithms.
+pub fn run_scheme(
+    scheme: Scheme,
+    scenario: &Scenario,
+    config: &RunConfig,
+) -> Result<SchemeOutcome, CoreError> {
+    let cost_model = CostModel::paper();
+    let initial = CacheState::empty(&scenario.network);
+    let breakdown = match scheme {
+        Scheme::Offline => {
+            let problem =
+                ProblemInstance::fresh(scenario.network.clone(), scenario.demand.clone())?;
+            OfflineSolver::new(config.offline_opts)
+                .solve(&problem)?
+                .breakdown
+        }
+        Scheme::Rhc => {
+            let predictor = NoisyPredictor::new(
+                scenario.demand.clone(),
+                config.eta,
+                config.predictor_seed,
+            );
+            let mut policy = RhcPolicy::new(config.window, config.online_opts);
+            run_policy(
+                &scenario.network,
+                &cost_model,
+                &predictor,
+                &mut policy,
+                initial,
+            )?
+            .breakdown
+        }
+        Scheme::Chc { commitment } => {
+            let predictor = NoisyPredictor::new(
+                scenario.demand.clone(),
+                config.eta,
+                config.predictor_seed,
+            );
+            let r = commitment.clamp(1, config.window);
+            let mut policy = ChcPolicy::new(
+                config.window,
+                r,
+                RoundingPolicy::new(config.rho),
+                config.online_opts,
+            );
+            run_policy(
+                &scenario.network,
+                &cost_model,
+                &predictor,
+                &mut policy,
+                initial,
+            )?
+            .breakdown
+        }
+        Scheme::Afhc => {
+            let predictor = NoisyPredictor::new(
+                scenario.demand.clone(),
+                config.eta,
+                config.predictor_seed,
+            );
+            let mut policy = afhc_policy(
+                config.window,
+                RoundingPolicy::new(config.rho),
+                config.online_opts,
+            );
+            run_policy(
+                &scenario.network,
+                &cost_model,
+                &predictor,
+                &mut policy,
+                initial,
+            )?
+            .breakdown
+        }
+        Scheme::Lrfu | Scheme::Lfu | Scheme::Lru | Scheme::Fifo | Scheme::StaticTop => {
+            let predictor = NoisyPredictor::new(
+                scenario.demand.clone(),
+                config.eta,
+                config.predictor_seed,
+            );
+            let mut policy: Box<dyn OnlinePolicy> = match scheme {
+                Scheme::Lrfu => Box::new(BaselinePolicy::optimal_lb(LrfuRule::new())),
+                Scheme::Lfu => Box::new(BaselinePolicy::optimal_lb(LfuRule::new())),
+                Scheme::Lru => Box::new(BaselinePolicy::optimal_lb(LruRule::new())),
+                Scheme::Fifo => Box::new(BaselinePolicy::optimal_lb(FifoRule::new())),
+                Scheme::StaticTop => Box::new(BaselinePolicy::optimal_lb(StaticTopRule::new())),
+                _ => unreachable!("outer match restricts to baselines"),
+            };
+            run_policy(
+                &scenario.network,
+                &cost_model,
+                &predictor,
+                policy.as_mut(),
+                initial,
+            )?
+            .breakdown
+        }
+    };
+    Ok(SchemeOutcome {
+        label: scheme.label(),
+        breakdown,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocal_sim::scenario::ScenarioConfig;
+
+    #[test]
+    fn all_schemes_run_on_tiny_scenario() {
+        let scenario = ScenarioConfig::tiny().build(3).unwrap();
+        let config = RunConfig {
+            window: 3,
+            online_opts: PrimalDualOptions {
+                max_iterations: 8,
+                ..PrimalDualOptions::online()
+            },
+            offline_opts: PrimalDualOptions {
+                max_iterations: 20,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        for scheme in [
+            Scheme::Offline,
+            Scheme::Rhc,
+            Scheme::Chc { commitment: 2 },
+            Scheme::Afhc,
+            Scheme::Lrfu,
+            Scheme::Lfu,
+            Scheme::Lru,
+            Scheme::Fifo,
+            Scheme::StaticTop,
+        ] {
+            let out = run_scheme(scheme, &scenario, &config).unwrap();
+            assert!(
+                out.breakdown.total().is_finite() && out.breakdown.total() >= 0.0,
+                "{}: bad total",
+                out.label
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = Scheme::paper_set().iter().map(Scheme::label).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+}

@@ -1,0 +1,45 @@
+//! Averaging Fixed Horizon Control: the `r = w` extreme of CHC.
+//!
+//! Each of the `w` staggered fixed-horizon controllers commits its whole
+//! window, and every slot averages `w` plans. The paper treats AFHC as a
+//! special case of CHC and applies the same rounding policy and bound
+//! (end of Section IV-B).
+
+use crate::chc::ChcPolicy;
+use crate::rounding::RoundingPolicy;
+use jocal_core::primal_dual::PrimalDualOptions;
+
+/// Builds the AFHC policy: CHC with commitment level `r = w`.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+///
+/// ```
+/// use jocal_online::afhc::afhc_policy;
+/// use jocal_online::RoundingPolicy;
+/// let policy = afhc_policy(5, RoundingPolicy::default(), Default::default());
+/// assert_eq!(policy.commitment(), 5);
+/// ```
+#[must_use]
+pub fn afhc_policy(
+    window: usize,
+    rounding: RoundingPolicy,
+    options: PrimalDualOptions,
+) -> ChcPolicy {
+    ChcPolicy::new(window, window, rounding, options).with_name("AFHC")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::OnlinePolicy;
+
+    #[test]
+    fn afhc_is_full_commitment_chc() {
+        let p = afhc_policy(4, RoundingPolicy::default(), PrimalDualOptions::online());
+        assert_eq!(p.window(), 4);
+        assert_eq!(p.commitment(), 4);
+        assert_eq!(p.name(), "AFHC");
+    }
+}

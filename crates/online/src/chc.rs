@@ -1,0 +1,317 @@
+//! Committed Horizon Control (Algorithm 3 of the paper).
+//!
+//! CHC runs `r` staggered fixed-horizon controllers (`FHC^(v)`,
+//! `v = 0..r−1`). Version `v` re-solves the `w`-slot window at every
+//! `τ ≡ v (mod r)` starting from **its own** virtual cache trajectory
+//! (eq. 34–35) and commits the next `r` actions. At each slot CHC
+//! averages the `r` versions' actions (eq. 36–37); because the averaged
+//! caching variables are fractional, the ρ-threshold
+//! [`RoundingPolicy`] of Theorem 3
+//! restores integrality (approximation factor ≈ 2.618 at the optimal
+//! `ρ = (3−√5)/2`).
+//!
+//! `r = 1` recovers RHC (up to the no-op rounding of an integral plan);
+//! `r = w` is AFHC (see [`crate::afhc`]).
+
+use crate::policy::{Action, OnlinePolicy, PolicyContext};
+use crate::rounding::RoundingPolicy;
+use jocal_core::plan::{CacheState, LoadPlan};
+use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver, WarmStart};
+use jocal_core::problem::ProblemInstance;
+use jocal_core::CoreError;
+use jocal_sim::topology::{ClassId, ContentId};
+use std::collections::VecDeque;
+
+/// One staggered fixed-horizon controller.
+#[derive(Debug, Clone)]
+struct FhcVersion {
+    /// Committed actions for upcoming slots (front = next slot).
+    planned: VecDeque<(CacheState, LoadPlan)>,
+    /// The version's own cache trajectory state.
+    virtual_cache: CacheState,
+    /// Dual warm start for its next window solve.
+    warm: Option<WarmStart>,
+}
+
+/// Committed Horizon Control with rounding.
+#[derive(Debug, Clone)]
+pub struct ChcPolicy {
+    window: usize,
+    commitment: usize,
+    rounding: RoundingPolicy,
+    solver: PrimalDualSolver,
+    versions: Vec<FhcVersion>,
+    started: bool,
+    name: String,
+}
+
+impl ChcPolicy {
+    /// Creates CHC with window `w`, commitment level `r ∈ [1, w]` and a
+    /// rounding policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `commitment ∉ [1, window]`.
+    #[must_use]
+    pub fn new(
+        window: usize,
+        commitment: usize,
+        rounding: RoundingPolicy,
+        options: PrimalDualOptions,
+    ) -> Self {
+        assert!(window >= 1, "CHC window must be at least 1 slot");
+        assert!(
+            (1..=window).contains(&commitment),
+            "CHC commitment level must lie in [1, window], got {commitment}"
+        );
+        ChcPolicy {
+            window,
+            commitment,
+            rounding,
+            solver: PrimalDualSolver::new(options),
+            versions: Vec::new(),
+            started: false,
+            name: format!("CHC(w={window},r={commitment})"),
+        }
+    }
+
+    /// Window size `w`.
+    #[inline]
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Commitment level `r`.
+    #[inline]
+    #[must_use]
+    pub fn commitment(&self) -> usize {
+        self.commitment
+    }
+
+    /// The rounding policy in use.
+    #[inline]
+    #[must_use]
+    pub fn rounding(&self) -> &RoundingPolicy {
+        &self.rounding
+    }
+
+    /// Renames the scheme as reported by [`OnlinePolicy::name`].
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Solves version `v`'s window at absolute slot `t` and commits
+    /// `commit` actions.
+    fn replan_version(
+        &mut self,
+        v: usize,
+        t: usize,
+        commit: usize,
+        ctx: &PolicyContext<'_>,
+    ) -> Result<(), CoreError> {
+        let len = self.window.min(ctx.horizon.saturating_sub(t)).max(1);
+        let predicted = ctx.predictor.predict(t, len);
+        let version = &mut self.versions[v];
+        let problem = ProblemInstance::new(
+            ctx.network.clone(),
+            predicted,
+            *ctx.cost_model,
+            version.virtual_cache.clone(),
+        )?;
+        let solution = self.solver.solve_with_warm(&problem, version.warm.as_ref())?;
+        let commit = commit.min(len);
+        for s in 0..commit {
+            let cache = solution.cache_plan.state(s).clone();
+            let mut load = LoadPlan::zeros(ctx.network, 1);
+            for (n, _) in ctx.network.iter_sbs() {
+                let block = solution.load_plan.tensor().sbs_slot(s, n);
+                load.tensor_mut().set_sbs_slot(0, n, &block);
+            }
+            version.planned.push_back((cache, load));
+        }
+        version.warm = Some(WarmStart {
+            mu: solution.mu.shift_time(commit),
+            y: LoadPlan::from_tensor(solution.load_plan.tensor().shift_time(commit)),
+        });
+        Ok(())
+    }
+}
+
+impl OnlinePolicy for ChcPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, t: usize, ctx: &PolicyContext<'_>) -> Result<Action, CoreError> {
+        let r = self.commitment;
+        if !self.started {
+            self.versions = (0..r)
+                .map(|_| FhcVersion {
+                    planned: VecDeque::new(),
+                    virtual_cache: ctx.current_cache.clone(),
+                    warm: None,
+                })
+                .collect();
+            self.started = true;
+        }
+
+        // Re-plan any version whose committed actions ran out. The
+        // bootstrap staggers them: version v first commits only v slots
+        // (r for v = 0) so its later solves land at τ ≡ v (mod r).
+        for v in 0..r {
+            if self.versions[v].planned.is_empty() {
+                let commit = if t == 0 && v > 0 { v } else { r };
+                self.replan_version(v, t, commit, ctx)?;
+            }
+        }
+
+        // Consume each version's slot-t action and advance its virtual
+        // trajectory.
+        let mut actions = Vec::with_capacity(r);
+        for version in &mut self.versions {
+            let (cache, load) = version
+                .planned
+                .pop_front()
+                .expect("replanned above; queue non-empty");
+            version.virtual_cache = cache.clone();
+            actions.push((cache, load));
+        }
+
+        // Average (eq. 36–37).
+        let network = ctx.network;
+        let k_total = network.num_contents();
+        let mut x_avg = vec![vec![0.0; k_total]; network.num_sbs()];
+        let mut y_avg = LoadPlan::zeros(network, 1);
+        let weight = 1.0 / r as f64;
+        for (cache, load) in &actions {
+            for (n, sbs) in network.iter_sbs() {
+                for k in 0..k_total {
+                    if cache.contains(n, ContentId(k)) {
+                        x_avg[n.0][k] += weight;
+                    }
+                }
+                for m in 0..sbs.num_classes() {
+                    for k in 0..k_total {
+                        let cur = y_avg.y(0, n, ClassId(m), ContentId(k));
+                        y_avg.set_y(
+                            0,
+                            n,
+                            ClassId(m),
+                            ContentId(k),
+                            cur + weight * load.y(0, n, ClassId(m), ContentId(k)),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Round (Theorem 3).
+        let (cache, load) = self.rounding.round_slot(network, &x_avg, &y_avg);
+        Ok(Action { cache, load })
+    }
+
+    fn reset(&mut self) {
+        self.versions.clear();
+        self.started = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocal_core::CostModel;
+    use jocal_sim::predictor::PerfectPredictor;
+    use jocal_sim::scenario::ScenarioConfig;
+    use jocal_sim::SbsId;
+
+    fn run_steps(policy: &mut ChcPolicy, steps: usize) -> Vec<Action> {
+        let s = ScenarioConfig::tiny().build(8).unwrap();
+        let predictor = PerfectPredictor::new(s.demand.clone());
+        let model = CostModel::paper();
+        let mut cache = jocal_core::CacheState::empty(&s.network);
+        let mut out = Vec::new();
+        for t in 0..steps {
+            let ctx = PolicyContext {
+                network: &s.network,
+                cost_model: &model,
+                predictor: &predictor,
+                current_cache: &cache,
+                horizon: s.demand.horizon(),
+            };
+            let action = policy.decide(t, &ctx).unwrap();
+            cache = action.cache.clone();
+            out.push(action);
+        }
+        out
+    }
+
+    #[test]
+    fn chc_produces_capacity_feasible_actions() {
+        let mut chc = ChcPolicy::new(
+            3,
+            2,
+            RoundingPolicy::default(),
+            PrimalDualOptions::online(),
+        );
+        let actions = run_steps(&mut chc, 5);
+        for a in &actions {
+            assert!(a.cache.occupancy(SbsId(0)) <= 2);
+        }
+    }
+
+    #[test]
+    fn commitment_one_behaves_like_rhc_schedule() {
+        // r = 1: a single version replanned every slot.
+        let mut chc = ChcPolicy::new(
+            3,
+            1,
+            RoundingPolicy::default(),
+            PrimalDualOptions::online(),
+        );
+        let actions = run_steps(&mut chc, 3);
+        assert_eq!(actions.len(), 3);
+        assert_eq!(chc.commitment(), 1);
+    }
+
+    #[test]
+    fn full_commitment_is_afhc() {
+        let mut chc = ChcPolicy::new(
+            3,
+            3,
+            RoundingPolicy::default(),
+            PrimalDualOptions::online(),
+        );
+        let actions = run_steps(&mut chc, 4);
+        assert_eq!(actions.len(), 4);
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let mut chc = ChcPolicy::new(
+            2,
+            2,
+            RoundingPolicy::default(),
+            PrimalDualOptions::online(),
+        );
+        let first = run_steps(&mut chc, 3);
+        chc.reset();
+        let second = run_steps(&mut chc, 3);
+        assert_eq!(first.len(), second.len());
+        // Deterministic: identical runs after reset.
+        assert_eq!(first[0].cache, second[0].cache);
+    }
+
+    #[test]
+    #[should_panic(expected = "commitment level must lie in [1, window]")]
+    fn rejects_bad_commitment() {
+        let _ = ChcPolicy::new(
+            3,
+            4,
+            RoundingPolicy::default(),
+            PrimalDualOptions::online(),
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Online control algorithms for joint edge caching and load balancing
+//! (Section IV of the ICDCS 2019 paper).
+//!
+//! Three controllers are provided, all consuming a `w`-slot prediction
+//! window from a [`jocal_sim::predictor::Predictor`] and re-using the
+//! primal-dual window solver from `jocal-core`:
+//!
+//! * [`rhc`] — Receding Horizon Control (Algorithm 2): solve the window,
+//!   commit the first action. Competitive ratio `O(1 + 1/w)` carries over
+//!   to the mixed-integer problem (Theorem 2).
+//! * [`chc`] — Committed Horizon Control (Algorithm 3): run `r` staggered
+//!   fixed-horizon controllers, average their actions, and restore
+//!   integrality with the ρ-threshold **rounding policy** of Theorem 3
+//!   (approximation factor `(3+√5)/2 ≈ 2.618` at `ρ = (3−√5)/2`).
+//! * [`afhc`] — Averaging Fixed Horizon Control: the `r = w` special case
+//!   of CHC.
+//!
+//! [`runner`] executes any [`policy::OnlinePolicy`] against ground-truth
+//! demand, repairing the (possibly prediction-based) load decisions to
+//! realized feasibility and producing the same cost accounting the paper
+//! reports. [`theory`] exposes the closed-form bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use jocal_online::rhc::RhcPolicy;
+//! use jocal_online::runner::run_policy;
+//! use jocal_core::{CostModel, CacheState};
+//! use jocal_sim::predictor::NoisyPredictor;
+//! use jocal_sim::scenario::ScenarioConfig;
+//!
+//! let s = ScenarioConfig::tiny().build(3)?;
+//! let predictor = NoisyPredictor::new(s.demand.clone(), 0.1, 7);
+//! let mut policy = RhcPolicy::new(3, Default::default());
+//! let outcome = run_policy(
+//!     &s.network,
+//!     &CostModel::paper(),
+//!     &predictor,
+//!     &mut policy,
+//!     CacheState::empty(&s.network),
+//! )?;
+//! assert!(outcome.breakdown.total().is_finite());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod afhc;
+pub mod chc;
+pub mod policy;
+pub mod rhc;
+pub mod rounding;
+pub mod runner;
+pub mod theory;
+
+pub use policy::{Action, OnlinePolicy, PolicyContext};
+pub use rounding::RoundingPolicy;

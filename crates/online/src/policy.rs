@@ -1,0 +1,103 @@
+//! The online-policy abstraction: one `(X^t, Y^t)` decision per slot.
+
+use jocal_core::plan::{CacheState, LoadPlan};
+use jocal_core::{CoreError, CostModel};
+use jocal_sim::predictor::Predictor;
+use jocal_sim::topology::Network;
+use std::fmt;
+
+/// A single timeslot's decision: the caching state to hold during the
+/// slot and the load split for every `(n, m, k)` (a one-slot
+/// [`LoadPlan`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Action {
+    /// Cache contents `X^t`.
+    pub cache: CacheState,
+    /// Load split `Y^t` (horizon-1 plan).
+    pub load: LoadPlan,
+}
+
+impl Action {
+    /// The do-nothing action: empty caches, everything served by the BS.
+    #[must_use]
+    pub fn idle(network: &Network) -> Self {
+        Action {
+            cache: CacheState::empty(network),
+            load: LoadPlan::zeros(network, 1),
+        }
+    }
+}
+
+/// Everything a policy may look at when deciding slot `t`.
+///
+/// Policies only see predictions (through the [`Predictor`]), never the
+/// ground truth directly — the runner owns the truth.
+pub struct PolicyContext<'a> {
+    /// Network topology.
+    pub network: &'a Network,
+    /// Cost model for window optimization.
+    pub cost_model: &'a CostModel,
+    /// Prediction oracle.
+    pub predictor: &'a dyn Predictor,
+    /// The cache state realized at the end of slot `t − 1`.
+    pub current_cache: &'a CacheState,
+    /// Total horizon `T` (policies must not plan past it).
+    pub horizon: usize,
+}
+
+impl fmt::Debug for PolicyContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyContext")
+            .field("horizon", &self.horizon)
+            .field("num_sbs", &self.network.num_sbs())
+            .finish()
+    }
+}
+
+/// An online controller: produces the slot-`t` action given predictions
+/// and the realized cache state.
+pub trait OnlinePolicy: fmt::Debug {
+    /// Short scheme name used in reports (e.g. `"RHC"`).
+    fn name(&self) -> &str;
+
+    /// Decides `(X^t, Y^t)`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations propagate window-solver failures.
+    fn decide(&mut self, t: usize, ctx: &PolicyContext<'_>) -> Result<Action, CoreError>;
+
+    /// Clears any internal state so the policy can be reused for a fresh
+    /// run.
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocal_sim::scenario::ScenarioConfig;
+
+    #[test]
+    fn idle_action_is_empty() {
+        let s = ScenarioConfig::tiny().build(0).unwrap();
+        let a = Action::idle(&s.network);
+        assert_eq!(a.cache.occupancy(jocal_sim::SbsId(0)), 0);
+        assert_eq!(a.load.horizon(), 1);
+    }
+
+    #[test]
+    fn context_debug_is_nonempty() {
+        let s = ScenarioConfig::tiny().build(0).unwrap();
+        let predictor = jocal_sim::predictor::PerfectPredictor::new(s.demand.clone());
+        let cache = CacheState::empty(&s.network);
+        let model = CostModel::paper();
+        let ctx = PolicyContext {
+            network: &s.network,
+            cost_model: &model,
+            predictor: &predictor,
+            current_cache: &cache,
+            horizon: 8,
+        };
+        assert!(format!("{ctx:?}").contains("PolicyContext"));
+    }
+}

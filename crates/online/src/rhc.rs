@@ -1,0 +1,158 @@
+//! Receding Horizon Control (Algorithm 2 of the paper).
+//!
+//! At each slot `τ`, RHC solves the joint problem over the predicted
+//! window `{τ, …, τ + w − 1}` starting from the realized cache state
+//! `x^{τ−1}`, then commits only the first action (eq. 32–33). The window
+//! solver is the same primal-dual Algorithm 1 used offline, so by
+//! Theorem 2 the `O(1 + 1/w)` competitive ratio of continuous RHC
+//! carries over to the mixed-integer problem.
+//!
+//! Successive windows overlap in all but one slot, so the multipliers and
+//! load plan of the previous solve (shifted by one slot) warm-start the
+//! next one — a large constant-factor speedup with no effect on the
+//! solution.
+
+use crate::policy::{Action, OnlinePolicy, PolicyContext};
+use jocal_core::plan::LoadPlan;
+use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver, WarmStart};
+use jocal_core::problem::ProblemInstance;
+use jocal_core::CoreError;
+
+/// Receding Horizon Control.
+#[derive(Debug, Clone)]
+pub struct RhcPolicy {
+    window: usize,
+    solver: PrimalDualSolver,
+    warm: Option<WarmStart>,
+}
+
+impl RhcPolicy {
+    /// Creates RHC with prediction window `w ≥ 1` (slots per window,
+    /// including the current one) and primal-dual options for the window
+    /// solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(window: usize, options: PrimalDualOptions) -> Self {
+        assert!(window >= 1, "RHC window must be at least 1 slot");
+        RhcPolicy {
+            window,
+            solver: PrimalDualSolver::new(options),
+            warm: None,
+        }
+    }
+
+    /// The configured window size `w`.
+    #[inline]
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl OnlinePolicy for RhcPolicy {
+    fn name(&self) -> &str {
+        "RHC"
+    }
+
+    fn decide(&mut self, t: usize, ctx: &PolicyContext<'_>) -> Result<Action, CoreError> {
+        // Never plan past the horizon (the paper zero-pads Λ beyond T; an
+        // explicitly shorter window avoids wasted work).
+        let len = self.window.min(ctx.horizon.saturating_sub(t)).max(1);
+        let predicted = ctx.predictor.predict(t, len);
+        let problem = ProblemInstance::new(
+            ctx.network.clone(),
+            predicted,
+            *ctx.cost_model,
+            ctx.current_cache.clone(),
+        )?;
+        let solution = self
+            .solver
+            .solve_with_warm(&problem, self.warm.as_ref())?;
+
+        // Shift the dual state one slot forward for the next window.
+        self.warm = Some(WarmStart {
+            mu: solution.mu.shift_time(1),
+            y: LoadPlan::from_tensor(solution.load_plan.tensor().shift_time(1)),
+        });
+
+        let cache = solution.cache_plan.state(0).clone();
+        let mut load = LoadPlan::zeros(ctx.network, 1);
+        for (n, _) in ctx.network.iter_sbs() {
+            let block = solution.load_plan.tensor().sbs_slot(0, n);
+            load.tensor_mut().set_sbs_slot(0, n, &block);
+        }
+        Ok(Action { cache, load })
+    }
+
+    fn reset(&mut self) {
+        self.warm = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocal_core::{CacheState, CostModel};
+    use jocal_sim::predictor::PerfectPredictor;
+    use jocal_sim::scenario::ScenarioConfig;
+
+    #[test]
+    fn rhc_decides_feasible_first_action() {
+        let s = ScenarioConfig::tiny().build(5).unwrap();
+        let predictor = PerfectPredictor::new(s.demand.clone());
+        let cache = CacheState::empty(&s.network);
+        let model = CostModel::paper();
+        let ctx = PolicyContext {
+            network: &s.network,
+            cost_model: &model,
+            predictor: &predictor,
+            current_cache: &cache,
+            horizon: s.demand.horizon(),
+        };
+        let mut rhc = RhcPolicy::new(3, PrimalDualOptions::online());
+        let action = rhc.decide(0, &ctx).unwrap();
+        // Capacity respected.
+        let cap = s.network.sbs(jocal_sim::SbsId(0)).unwrap().cache_capacity();
+        assert!(action.cache.occupancy(jocal_sim::SbsId(0)) <= cap);
+        assert_eq!(action.load.horizon(), 1);
+    }
+
+    #[test]
+    fn window_truncated_near_horizon() {
+        let s = ScenarioConfig::tiny().build(5).unwrap();
+        let predictor = PerfectPredictor::new(s.demand.clone());
+        let cache = CacheState::empty(&s.network);
+        let model = CostModel::paper();
+        let horizon = s.demand.horizon();
+        let ctx = PolicyContext {
+            network: &s.network,
+            cost_model: &model,
+            predictor: &predictor,
+            current_cache: &cache,
+            horizon,
+        };
+        let mut rhc = RhcPolicy::new(10, PrimalDualOptions::online());
+        // Deciding the last slot must still work (window of 1).
+        let action = rhc.decide(horizon - 1, &ctx).unwrap();
+        assert_eq!(action.load.horizon(), 1);
+    }
+
+    #[test]
+    fn reset_clears_warm_state() {
+        let mut rhc = RhcPolicy::new(2, PrimalDualOptions::online());
+        assert!(rhc.warm.is_none());
+        rhc.reset();
+        assert!(rhc.warm.is_none());
+        assert_eq!(rhc.name(), "RHC");
+        assert_eq!(rhc.window(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 1")]
+    fn zero_window_rejected() {
+        let _ = RhcPolicy::new(0, PrimalDualOptions::online());
+    }
+}

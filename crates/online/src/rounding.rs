@@ -1,0 +1,205 @@
+//! The CHC rounding policy (Theorem 3 of the paper).
+//!
+//! Averaging `r` integral caching decisions yields fractional values
+//! `x̄ ∈ {0, 1/r, …, 1}`. The paper rounds with a threshold
+//! `ρ ∈ (0, 1)`: `x = 1` iff `x̄ ≥ ρ`, then zeroes `y` wherever `x = 0`.
+//! Choosing `ρ = (3−√5)/2 ≈ 0.382` equalizes the switching-cost bound
+//! `1/ρ` with the BS-cost bound `1/(1−ρ)²`, giving the approximation
+//! factor `(3+√5)/2 ≈ 2.618`.
+//!
+//! **Documented deviation:** thresholding alone can exceed the cache
+//! capacity when more than `C_n` items pass `ρ` (the paper does not
+//! address this). [`RoundingPolicy::round_slot`] therefore keeps only the
+//! top-`C_n` items by averaged value among those passing the threshold —
+//! a repair that can only reduce switching cost relative to the
+//! unrepaired rule and is required for an implementable policy.
+
+use jocal_core::plan::{CacheState, LoadPlan};
+use jocal_sim::topology::{ClassId, ContentId, Network};
+use serde::{Deserialize, Serialize};
+
+/// The paper's optimal threshold `ρ* = (3−√5)/2 ≈ 0.381966`.
+#[must_use]
+pub fn optimal_rho() -> f64 {
+    (3.0 - 5.0_f64.sqrt()) / 2.0
+}
+
+/// Threshold rounding of averaged CHC actions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundingPolicy {
+    rho: f64,
+}
+
+impl Default for RoundingPolicy {
+    fn default() -> Self {
+        RoundingPolicy {
+            rho: optimal_rho(),
+        }
+    }
+}
+
+impl RoundingPolicy {
+    /// Creates a policy with threshold `rho ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `(0, 1)`.
+    #[must_use]
+    pub fn new(rho: f64) -> Self {
+        assert!(
+            rho > 0.0 && rho < 1.0,
+            "rounding threshold must lie in (0,1), got {rho}"
+        );
+        RoundingPolicy { rho }
+    }
+
+    /// The configured threshold.
+    #[inline]
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Rounds one slot of averaged decisions.
+    ///
+    /// * `x_avg[n][k]` — averaged caching variables `x̄ ∈ [0, 1]`.
+    /// * `y_avg` — averaged load plan (horizon 1); entries where the
+    ///   rounded `x` is `0` are zeroed (rounding step (ii)).
+    ///
+    /// Returns the integral cache state and the repaired load slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_avg` shape does not match the network.
+    #[must_use]
+    pub fn round_slot(
+        &self,
+        network: &Network,
+        x_avg: &[Vec<f64>],
+        y_avg: &LoadPlan,
+    ) -> (CacheState, LoadPlan) {
+        assert_eq!(x_avg.len(), network.num_sbs(), "x_avg SBS count mismatch");
+        let mut cache = CacheState::empty(network);
+        let mut load = y_avg.clone();
+        for (n, sbs) in network.iter_sbs() {
+            assert_eq!(
+                x_avg[n.0].len(),
+                network.num_contents(),
+                "x_avg catalog mismatch"
+            );
+            // Items passing the threshold, best-averaged first.
+            let mut passers: Vec<(usize, f64)> = x_avg[n.0]
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v >= self.rho)
+                .map(|(k, &v)| (k, v))
+                .collect();
+            passers.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            passers.truncate(sbs.cache_capacity());
+            for &(k, _) in &passers {
+                cache.set(n, ContentId(k), true);
+            }
+            // Step (ii): y = 0 where x = 0; cap at 1 otherwise.
+            for m in 0..sbs.num_classes() {
+                for k in 0..network.num_contents() {
+                    let y = load.y(0, n, ClassId(m), ContentId(k));
+                    let repaired = if cache.contains(n, ContentId(k)) {
+                        y.clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    load.set_y(0, n, ClassId(m), ContentId(k), repaired);
+                }
+            }
+        }
+        (cache, load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocal_sim::topology::{MuClass, SbsId};
+
+    fn net(capacity: usize) -> Network {
+        Network::builder(4)
+            .sbs(
+                capacity,
+                10.0,
+                1.0,
+                vec![MuClass::new(0.5, 0.0, 1.0).unwrap()],
+            )
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn optimal_rho_matches_closed_form() {
+        let rho = optimal_rho();
+        assert!((rho - 0.381_966_011).abs() < 1e-8);
+        // The paper's fixed point: 1/ρ = 1/(1−ρ)².
+        assert!((1.0 / rho - 1.0 / (1.0 - rho).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_rounds_up_and_down() {
+        let n = net(4);
+        let policy = RoundingPolicy::default();
+        let x_avg = vec![vec![0.9, 0.4, 0.381, 0.0]];
+        let y = LoadPlan::zeros(&n, 1);
+        let (cache, _) = policy.round_slot(&n, &x_avg, &y);
+        assert!(cache.contains(SbsId(0), ContentId(0))); // 0.9 ≥ ρ
+        assert!(cache.contains(SbsId(0), ContentId(1))); // 0.4 ≥ ρ ≈ 0.382
+        assert!(!cache.contains(SbsId(0), ContentId(2))); // 0.381 < ρ
+        assert!(!cache.contains(SbsId(0), ContentId(3)));
+    }
+
+    #[test]
+    fn exact_threshold_value_included() {
+        let n = net(4);
+        let policy = RoundingPolicy::new(0.5);
+        let x_avg = vec![vec![0.5, 0.499, 0.0, 1.0]];
+        let y = LoadPlan::zeros(&n, 1);
+        let (cache, _) = policy.round_slot(&n, &x_avg, &y);
+        assert!(cache.contains(SbsId(0), ContentId(0)));
+        assert!(!cache.contains(SbsId(0), ContentId(1)));
+        assert!(cache.contains(SbsId(0), ContentId(3)));
+    }
+
+    #[test]
+    fn capacity_repair_keeps_top_items() {
+        let n = net(2);
+        let policy = RoundingPolicy::new(0.3);
+        let x_avg = vec![vec![0.5, 0.9, 0.7, 0.4]]; // all pass, capacity 2
+        let y = LoadPlan::zeros(&n, 1);
+        let (cache, _) = policy.round_slot(&n, &x_avg, &y);
+        assert_eq!(cache.occupancy(SbsId(0)), 2);
+        assert!(cache.contains(SbsId(0), ContentId(1)));
+        assert!(cache.contains(SbsId(0), ContentId(2)));
+    }
+
+    #[test]
+    fn y_zeroed_where_x_rounds_down() {
+        let n = net(1);
+        let policy = RoundingPolicy::new(0.5);
+        let x_avg = vec![vec![0.9, 0.4, 0.0, 0.0]];
+        let mut y = LoadPlan::zeros(&n, 1);
+        y.set_y(0, SbsId(0), ClassId(0), ContentId(0), 0.8);
+        y.set_y(0, SbsId(0), ClassId(0), ContentId(1), 0.4);
+        let (cache, load) = policy.round_slot(&n, &x_avg, &y);
+        assert!(cache.contains(SbsId(0), ContentId(0)));
+        assert_eq!(load.y(0, SbsId(0), ClassId(0), ContentId(0)), 0.8);
+        assert_eq!(load.y(0, SbsId(0), ClassId(0), ContentId(1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must lie in (0,1)")]
+    fn rejects_bad_rho() {
+        let _ = RoundingPolicy::new(1.0);
+    }
+}

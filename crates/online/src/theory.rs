@@ -1,0 +1,101 @@
+//! Closed-form theoretical bounds from Section IV.
+
+/// RHC's competitive ratio bound `1 + 1/w` (Theorem 2; the paper states
+/// the order `O(1 + 1/w)` carried over from the continuous problem of
+/// Lin et al.).
+///
+/// # Panics
+///
+/// Panics if `w == 0`.
+///
+/// ```
+/// assert_eq!(jocal_online::theory::rhc_competitive_ratio(10), 1.1);
+/// ```
+#[must_use]
+pub fn rhc_competitive_ratio(w: usize) -> f64 {
+    assert!(w >= 1, "window must be positive");
+    1.0 + 1.0 / w as f64
+}
+
+/// The rounding-policy approximation factor at threshold `ρ` as used in
+/// the paper's Theorem 3 proof: `max(1/ρ, 1/(1−ρ)²)`.
+///
+/// The proof also derives a `1/ρ²` bound for the SBS cost `g`; the
+/// paper's stated optimum `ρ = (3−√5)/2` (factor ≈ 2.618) equalizes only
+/// the `h` and `f` bounds — consistent with its evaluation where
+/// `ω̂ = 0` makes `g ≡ 0`. Use
+/// [`rounding_ratio_with_sbs_cost`] for the conservative three-term
+/// bound.
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `(0, 1)`.
+#[must_use]
+pub fn rounding_ratio(rho: f64) -> f64 {
+    assert!(rho > 0.0 && rho < 1.0, "rho must lie in (0,1)");
+    (1.0 / rho).max(1.0 / (1.0 - rho).powi(2))
+}
+
+/// The conservative three-term rounding bound
+/// `max(1/ρ, 1/ρ², 1/(1−ρ)²)` covering a non-trivial SBS cost `g`.
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `(0, 1)`.
+#[must_use]
+pub fn rounding_ratio_with_sbs_cost(rho: f64) -> f64 {
+    assert!(rho > 0.0 && rho < 1.0, "rho must lie in (0,1)");
+    (1.0 / rho)
+        .max(1.0 / (rho * rho))
+        .max(1.0 / (1.0 - rho).powi(2))
+}
+
+/// The paper's approximation factor `(3+√5)/2 ≈ 2.618` at the optimal
+/// threshold.
+#[must_use]
+pub fn paper_approximation_factor() -> f64 {
+    (3.0 + 5.0_f64.sqrt()) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rounding::optimal_rho;
+
+    #[test]
+    fn rhc_ratio_decreases_in_window() {
+        assert!(rhc_competitive_ratio(1) > rhc_competitive_ratio(2));
+        assert!((rhc_competitive_ratio(4) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_rho_minimizes_two_term_bound() {
+        let star = optimal_rho();
+        let best = rounding_ratio(star);
+        for rho in [0.1, 0.2, 0.3, 0.35, 0.45, 0.5, 0.7, 0.9] {
+            assert!(rounding_ratio(rho) >= best - 1e-9, "rho={rho}");
+        }
+        assert!((best - paper_approximation_factor()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_term_bound_dominates() {
+        for rho in [0.2, 0.4, 0.6, 0.8] {
+            assert!(rounding_ratio_with_sbs_cost(rho) >= rounding_ratio(rho));
+        }
+        // Three-term bound is minimized at ρ = 1/2 (value 4).
+        assert!((rounding_ratio_with_sbs_cost(0.5) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must lie in (0,1)")]
+    fn rejects_bad_rho() {
+        let _ = rounding_ratio(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        let _ = rhc_competitive_ratio(0);
+    }
+}

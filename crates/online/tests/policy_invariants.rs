@@ -1,0 +1,158 @@
+//! Invariant tests for the online policies on randomized scenarios.
+
+use jocal_core::plan::verify_feasible;
+use jocal_core::primal_dual::PrimalDualOptions;
+use jocal_core::{CacheState, CostModel};
+use jocal_online::afhc::afhc_policy;
+use jocal_online::chc::ChcPolicy;
+use jocal_online::policy::OnlinePolicy;
+use jocal_online::rhc::RhcPolicy;
+use jocal_online::rounding::RoundingPolicy;
+use jocal_online::runner::run_policy;
+use jocal_sim::predictor::{NoisyPredictor, PersistencePredictor};
+use jocal_sim::scenario::ScenarioConfig;
+use jocal_sim::SbsId;
+
+fn quick_opts() -> PrimalDualOptions {
+    PrimalDualOptions {
+        max_iterations: 6,
+        ..PrimalDualOptions::online()
+    }
+}
+
+/// Every policy produces capacity- and bandwidth-feasible executions on
+/// a batch of random scenarios, including under heavy prediction noise.
+#[test]
+fn all_policies_feasible_under_noise() {
+    for seed in [1u64, 2, 3] {
+        let s = ScenarioConfig::tiny().build(seed).unwrap();
+        let predictor =
+            NoisyPredictor::new(s.demand.clone(), 0.8, seed).with_noisy_current();
+        let mut policies: Vec<Box<dyn OnlinePolicy>> = vec![
+            Box::new(RhcPolicy::new(3, quick_opts())),
+            Box::new(ChcPolicy::new(
+                3,
+                2,
+                RoundingPolicy::default(),
+                quick_opts(),
+            )),
+            Box::new(afhc_policy(3, RoundingPolicy::default(), quick_opts())),
+        ];
+        for policy in policies.iter_mut() {
+            let outcome = run_policy(
+                &s.network,
+                &CostModel::paper(),
+                &predictor,
+                policy.as_mut(),
+                CacheState::empty(&s.network),
+            )
+            .unwrap();
+            verify_feasible(
+                &s.network,
+                &s.demand,
+                &outcome.cache_plan,
+                &outcome.load_plan,
+            )
+            .unwrap_or_else(|e| panic!("{} infeasible: {e}", policy.name()));
+        }
+    }
+}
+
+/// CHC at commitment 1 and RHC follow the same schedule; their costs
+/// should be close (CHC adds only the no-op rounding of integral plans).
+#[test]
+fn chc_r1_close_to_rhc() {
+    let s = ScenarioConfig::tiny().build(7).unwrap();
+    let predictor = NoisyPredictor::new(s.demand.clone(), 0.1, 7);
+    let mut rhc = RhcPolicy::new(3, quick_opts());
+    let mut chc1 = ChcPolicy::new(3, 1, RoundingPolicy::default(), quick_opts());
+    let a = run_policy(
+        &s.network,
+        &CostModel::paper(),
+        &predictor,
+        &mut rhc,
+        CacheState::empty(&s.network),
+    )
+    .unwrap();
+    let b = run_policy(
+        &s.network,
+        &CostModel::paper(),
+        &predictor,
+        &mut chc1,
+        CacheState::empty(&s.network),
+    )
+    .unwrap();
+    let ratio = b.breakdown.total() / a.breakdown.total();
+    assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+}
+
+/// An extreme rounding threshold near 1 suppresses caching under
+/// disagreement between the staggered controllers.
+#[test]
+fn high_rho_rounds_more_aggressively_down() {
+    let s = ScenarioConfig::tiny().build(9).unwrap();
+    let predictor = NoisyPredictor::new(s.demand.clone(), 0.4, 5);
+    let occupancy_with = |rho: f64| {
+        let mut chc = ChcPolicy::new(3, 3, RoundingPolicy::new(rho), quick_opts());
+        let outcome = run_policy(
+            &s.network,
+            &CostModel::paper(),
+            &predictor,
+            &mut chc,
+            CacheState::empty(&s.network),
+        )
+        .unwrap();
+        (0..outcome.cache_plan.horizon())
+            .map(|t| outcome.cache_plan.state(t).occupancy(SbsId(0)))
+            .sum::<usize>()
+    };
+    let low = occupancy_with(0.05);
+    let high = occupancy_with(0.95);
+    assert!(
+        high <= low,
+        "rho=0.95 occupancy {high} should not exceed rho=0.05 occupancy {low}"
+    );
+}
+
+/// The runner also works with the persistence (naive) predictor.
+#[test]
+fn persistence_predictor_runs() {
+    let s = ScenarioConfig::tiny().build(4).unwrap();
+    let predictor = PersistencePredictor::new(s.demand.clone());
+    let mut rhc = RhcPolicy::new(3, quick_opts());
+    let outcome = run_policy(
+        &s.network,
+        &CostModel::paper(),
+        &predictor,
+        &mut rhc,
+        CacheState::empty(&s.network),
+    )
+    .unwrap();
+    assert!(outcome.breakdown.total().is_finite());
+}
+
+/// Policies can be reset and reused, producing identical runs.
+#[test]
+fn reset_reproduces_runs() {
+    let s = ScenarioConfig::tiny().build(6).unwrap();
+    let predictor = NoisyPredictor::new(s.demand.clone(), 0.2, 8);
+    let mut chc = ChcPolicy::new(3, 2, RoundingPolicy::default(), quick_opts());
+    let a = run_policy(
+        &s.network,
+        &CostModel::paper(),
+        &predictor,
+        &mut chc,
+        CacheState::empty(&s.network),
+    )
+    .unwrap();
+    chc.reset();
+    let b = run_policy(
+        &s.network,
+        &CostModel::paper(),
+        &predictor,
+        &mut chc,
+        CacheState::empty(&s.network),
+    )
+    .unwrap();
+    assert_eq!(a.breakdown, b.breakdown);
+}

@@ -1,0 +1,160 @@
+//! Scalar root finding by bisection on monotone functions.
+//!
+//! Used by [`crate::projection`] to find the Lagrange multiplier of a
+//! budget constraint, and by `jocal-core` to price the SBS bandwidth
+//! constraint in the load-balancing sub-problem.
+
+use crate::OptimError;
+
+/// Options controlling a bisection search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BisectionOptions {
+    /// Absolute tolerance on the bracketing interval width.
+    pub x_tol: f64,
+    /// Absolute tolerance on `|f(x)|` for early exit.
+    pub f_tol: f64,
+    /// Maximum number of halvings.
+    pub max_iters: usize,
+}
+
+impl Default for BisectionOptions {
+    fn default() -> Self {
+        BisectionOptions {
+            x_tol: 1e-12,
+            f_tol: 1e-12,
+            max_iters: 200,
+        }
+    }
+}
+
+/// Finds a root of a non-increasing function `f` on `[lo, hi]`.
+///
+/// Requires `f(lo) >= 0 >= f(hi)` (up to `f_tol`). Returns the midpoint of
+/// the final bracket.
+///
+/// # Errors
+///
+/// * [`OptimError::InvalidInput`] if the bracket is invalid or the sign
+///   condition fails.
+///
+/// ```
+/// use jocal_optim::bisection::{bisect_decreasing, BisectionOptions};
+/// let root = bisect_decreasing(|x| 4.0 - x * x, 0.0, 10.0,
+///     BisectionOptions::default())?;
+/// assert!((root - 2.0).abs() < 1e-9);
+/// # Ok::<(), jocal_optim::OptimError>(())
+/// ```
+pub fn bisect_decreasing(
+    mut f: impl FnMut(f64) -> f64,
+    mut lo: f64,
+    mut hi: f64,
+    opts: BisectionOptions,
+) -> Result<f64, OptimError> {
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(OptimError::invalid(format!(
+            "invalid bisection bracket [{lo}, {hi}]"
+        )));
+    }
+    let f_lo = f(lo);
+    let f_hi = f(hi);
+    if f_lo < -opts.f_tol {
+        return Err(OptimError::invalid(format!(
+            "bisect_decreasing: f(lo)={f_lo} is negative; root below bracket"
+        )));
+    }
+    if f_hi > opts.f_tol {
+        return Err(OptimError::invalid(format!(
+            "bisect_decreasing: f(hi)={f_hi} is positive; root above bracket"
+        )));
+    }
+    for _ in 0..opts.max_iters {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = f(mid);
+        if f_mid.abs() <= opts.f_tol || (hi - lo) <= opts.x_tol {
+            return Ok(mid);
+        }
+        if f_mid > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Expands `hi` geometrically until `f(hi) <= 0`, then bisects.
+///
+/// Convenience wrapper for multiplier searches where no a-priori upper
+/// bound is known. `f` must be non-increasing with `f(lo) >= 0`.
+///
+/// # Errors
+///
+/// * [`OptimError::InvalidInput`] if `f(lo) < 0`.
+/// * [`OptimError::IterationLimit`] if no sign change is found after 200
+///   doublings.
+pub fn bisect_decreasing_unbounded(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    initial_hi: f64,
+    opts: BisectionOptions,
+) -> Result<f64, OptimError> {
+    let mut hi = initial_hi.max(lo + 1.0);
+    let mut doublings = 0usize;
+    while f(hi) > opts.f_tol {
+        hi = lo + (hi - lo) * 2.0;
+        doublings += 1;
+        if doublings > 200 {
+            return Err(OptimError::IterationLimit {
+                limit: 200,
+                residual: f(hi),
+            });
+        }
+    }
+    bisect_decreasing(f, lo, hi, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_linear_root() {
+        let r = bisect_decreasing(|x| 3.0 - x, 0.0, 100.0, BisectionOptions::default()).unwrap();
+        assert!((r - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_bracket() {
+        assert!(bisect_decreasing(|x| -x, 5.0, 1.0, BisectionOptions::default()).is_err());
+        // f(lo) < 0: root is below bracket.
+        assert!(bisect_decreasing(|x| -1.0 - x, 0.0, 1.0, BisectionOptions::default()).is_err());
+    }
+
+    #[test]
+    fn accepts_root_at_boundary() {
+        let r = bisect_decreasing(|x| -x, 0.0, 1.0, BisectionOptions::default()).unwrap();
+        assert!(r.abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbounded_expands_bracket() {
+        let r = bisect_decreasing_unbounded(
+            |x| 1000.0 - x,
+            0.0,
+            1.0,
+            BisectionOptions::default(),
+        )
+        .unwrap();
+        assert!((r - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn respects_f_tol_early_exit() {
+        let opts = BisectionOptions {
+            f_tol: 0.5,
+            ..Default::default()
+        };
+        let r = bisect_decreasing(|x| 2.0 - x, 0.0, 10.0, opts).unwrap();
+        assert!((r - 2.0).abs() < 0.5 + 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Error types shared by the optimization solvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptimError {
+    /// The problem has no feasible point.
+    Infeasible {
+        /// Human-readable description of the violated constraint set.
+        detail: String,
+    },
+    /// The objective is unbounded over the feasible region.
+    Unbounded {
+        /// Index of the variable/ray along which the objective diverges,
+        /// when known.
+        ray: Option<usize>,
+    },
+    /// An iterative method exhausted its iteration budget before reaching
+    /// the requested tolerance.
+    IterationLimit {
+        /// The iteration budget that was exhausted.
+        limit: usize,
+        /// Best residual / gap achieved when the limit was hit.
+        residual: f64,
+    },
+    /// The input problem is malformed (dimension mismatch, NaN coefficient,
+    /// inverted bounds, ...).
+    InvalidInput {
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+    /// A matrix factorization failed (e.g. singular basis).
+    Singular {
+        /// Pivot position at which the factorization broke down.
+        pivot: usize,
+    },
+}
+
+impl OptimError {
+    /// Convenience constructor for [`OptimError::InvalidInput`].
+    pub fn invalid(detail: impl Into<String>) -> Self {
+        OptimError::InvalidInput {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`OptimError::Infeasible`].
+    pub fn infeasible(detail: impl Into<String>) -> Self {
+        OptimError::Infeasible {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::Infeasible { detail } => {
+                write!(f, "problem is infeasible: {detail}")
+            }
+            OptimError::Unbounded { ray: Some(j) } => {
+                write!(f, "objective is unbounded along variable {j}")
+            }
+            OptimError::Unbounded { ray: None } => {
+                write!(f, "objective is unbounded")
+            }
+            OptimError::IterationLimit { limit, residual } => write!(
+                f,
+                "iteration limit {limit} reached with residual {residual:.3e}"
+            ),
+            OptimError::InvalidInput { detail } => {
+                write!(f, "invalid input: {detail}")
+            }
+            OptimError::Singular { pivot } => {
+                write!(f, "singular matrix encountered at pivot {pivot}")
+            }
+        }
+    }
+}
+
+impl Error for OptimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases = [
+            OptimError::infeasible("x0 >= 2 conflicts with x0 <= 1"),
+            OptimError::Unbounded { ray: Some(3) },
+            OptimError::Unbounded { ray: None },
+            OptimError::IterationLimit {
+                limit: 100,
+                residual: 1e-3,
+            },
+            OptimError::invalid("objective length 3 != 2 variables"),
+            OptimError::Singular { pivot: 7 },
+        ];
+        for case in cases {
+            let text = case.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OptimError>();
+    }
+}

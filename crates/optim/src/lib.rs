@@ -1,0 +1,72 @@
+//! Optimization substrate for the `jocal` workspace.
+//!
+//! This crate implements, from scratch, every numerical building block the
+//! ICDCS 2019 paper *"Joint Online Edge Caching and Load Balancing for
+//! Mobile Data Offloading in 5G Networks"* relies on:
+//!
+//! * [`linalg`] — small dense linear-algebra toolkit (vectors, matrices,
+//!   LU factorization with partial pivoting).
+//! * [`simplex`] — a bounded-variable primal simplex solver for linear
+//!   programs in inequality form. The paper solves the relaxed caching
+//!   sub-problem `P1` with the simplex method; this is that solver.
+//! * [`mcmf`] — a min-cost-flow solver (successive shortest paths with
+//!   Johnson potentials, Bellman–Ford initialization for negative costs).
+//!   Because `P1` is an integral network LP (Theorem 1 of the paper rests
+//!   on total unimodularity), it can be solved exactly and very fast as a
+//!   flow problem; `jocal-core` builds that formulation on top of this
+//!   module.
+//! * [`pgd`] — projected-gradient descent (with backtracking line search
+//!   and optional FISTA acceleration) for the smooth convex load-balancing
+//!   sub-problem `P2`.
+//! * [`projection`] — Euclidean projections onto boxes and onto the
+//!   intersection of a box with a weighted budget constraint
+//!   `Σ w_i v_i ≤ b` (bisection on the Lagrange multiplier).
+//! * [`subgradient`] — dual-ascent machinery and the diminishing step-size
+//!   schedules used by the paper's primal-dual Algorithm 1.
+//!
+//! # Example
+//!
+//! Solve a tiny LP with the simplex module:
+//!
+//! ```
+//! use jocal_optim::simplex::{LinearProgram, Sense};
+//!
+//! // maximize x0 + 2 x1  s.t.  x0 + x1 <= 4, x1 <= 3, 0 <= x <= 10
+//! let mut lp = LinearProgram::new(2, Sense::Maximize);
+//! lp.set_objective(vec![1.0, 2.0]);
+//! lp.add_le_constraint(vec![(0, 1.0), (1, 1.0)], 4.0);
+//! lp.add_le_constraint(vec![(1, 1.0)], 3.0);
+//! lp.set_bounds(0, 0.0, 10.0);
+//! lp.set_bounds(1, 0.0, 10.0);
+//! let solution = lp.solve()?;
+//! assert!((solution.objective - 7.0).abs() < 1e-9);
+//! # Ok::<(), jocal_optim::OptimError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod bisection;
+pub mod error;
+pub mod linalg;
+pub mod mcmf;
+pub mod pgd;
+pub mod projection;
+pub mod simplex;
+pub mod subgradient;
+
+pub use error::OptimError;
+
+/// Default numeric tolerance used across the crate when comparing floats.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Returns `true` when two floats are equal within `tol`.
+///
+/// ```
+/// assert!(jocal_optim::approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+/// ```
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}

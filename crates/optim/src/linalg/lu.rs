@@ -1,0 +1,262 @@
+//! LU factorization with partial pivoting.
+
+use super::Matrix;
+use crate::OptimError;
+
+/// LU factorization `P A = L U` of a square matrix, with partial pivoting.
+///
+/// Used by the simplex solver to solve basis systems `B x = b` and
+/// `Bᵀ y = c` without forming explicit inverses.
+///
+/// ```
+/// use jocal_optim::linalg::{LuFactorization, Matrix};
+/// let a = Matrix::from_rows(2, 2, vec![4.0, 3.0, 6.0, 3.0])?;
+/// let lu = a.lu()?;
+/// let x = lu.solve(&[10.0, 12.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-9 && (x[1] - 2.0).abs() < 1e-9);
+/// # Ok::<(), jocal_optim::OptimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactorization {
+    /// Packed LU factors (L strictly below the diagonal with implicit unit
+    /// diagonal, U on and above).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row stored at position `i`.
+    perm: Vec<usize>,
+    n: usize,
+}
+
+/// Pivot magnitudes below this threshold are treated as zero.
+const PIVOT_TOL: f64 = 1e-12;
+
+impl LuFactorization {
+    /// Factorizes `a` as `P A = L U`.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptimError::InvalidInput`] if `a` is not square.
+    /// * [`OptimError::Singular`] if a pivot smaller than `1e-12` in
+    ///   magnitude is encountered.
+    pub fn compute(a: &Matrix) -> Result<Self, OptimError> {
+        if a.rows() != a.cols() {
+            return Err(OptimError::invalid(format!(
+                "LU requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Select pivot row by largest absolute value in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < PIVOT_TOL {
+                return Err(OptimError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                perm.swap(k, pivot_row);
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let ukj = lu[(k, j)];
+                        lu[(i, j)] -= factor * ukj;
+                    }
+                }
+            }
+        }
+        Ok(LuFactorization { lu, perm, n })
+    }
+
+    /// Dimension of the factored matrix.
+    #[inline]
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidInput`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, OptimError> {
+        if b.len() != self.n {
+            return Err(OptimError::invalid(format!(
+                "rhs length {} does not match dimension {}",
+                b.len(),
+                self.n
+            )));
+        }
+        // Apply permutation: y = P b.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward substitution with unit-lower L.
+        for i in 1..self.n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        // Backward substitution with U.
+        for i in (0..self.n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..self.n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves the transposed system `Aᵀ x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidInput`] if `b.len() != dim()`.
+    pub fn solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>, OptimError> {
+        if b.len() != self.n {
+            return Err(OptimError::invalid(format!(
+                "rhs length {} does not match dimension {}",
+                b.len(),
+                self.n
+            )));
+        }
+        // Aᵀ = Uᵀ Lᵀ P, so solve Uᵀ z = b, then Lᵀ w = z, then x = Pᵀ w.
+        let mut z = b.to_vec();
+        // Forward substitution with Uᵀ (lower triangular).
+        for i in 0..self.n {
+            let mut sum = z[i];
+            for j in 0..i {
+                sum -= self.lu[(j, i)] * z[j];
+            }
+            z[i] = sum / self.lu[(i, i)];
+        }
+        // Backward substitution with Lᵀ (unit upper triangular).
+        for i in (0..self.n).rev() {
+            let mut sum = z[i];
+            for j in (i + 1)..self.n {
+                sum -= self.lu[(j, i)] * z[j];
+            }
+            z[i] = sum;
+        }
+        // Undo the permutation.
+        let mut x = vec![0.0; self.n];
+        for (pos, &orig) in self.perm.iter().enumerate() {
+            x[orig] = z[pos];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::dot;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.matvec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bi)| (ax - bi).abs())
+            .fold(0.0_f64, f64::max)
+    }
+
+    #[test]
+    fn solves_small_system() {
+        let a = Matrix::from_rows(3, 3, vec![2.0, 1.0, 1.0, 1.0, 3.0, 2.0, 1.0, 0.0, 0.0]).unwrap();
+        let b = [4.0, 5.0, 6.0];
+        let lu = a.lu().unwrap();
+        let x = lu.solve(&b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn solves_transposed_system() {
+        let a = Matrix::from_rows(3, 3, vec![4.0, -2.0, 1.0, 3.0, 6.0, -4.0, 2.0, 1.0, 8.0]).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let lu = a.lu().unwrap();
+        let x = lu.solve_transposed(&b).unwrap();
+        let at = a.transpose();
+        assert!(residual(&at, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(a.lu(), Err(OptimError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(OptimError::InvalidInput { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_rhs_length() {
+        let a = Matrix::identity(3);
+        let lu = a.lu().unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+        assert!(lu.solve_transposed(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn permutation_handled_for_zero_leading_pivot() {
+        // Leading entry zero forces a row swap.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let lu = a.lu().unwrap();
+        let x = lu.solve(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_systems_solve_accurately() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 5, 10, 25] {
+            let data: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            // Diagonal boost keeps the matrix comfortably nonsingular.
+            let mut a = Matrix::from_rows(n, n, data).unwrap();
+            for i in 0..n {
+                a[(i, i)] += 10.0;
+            }
+            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let b = a.matvec(&x_true);
+            let lu = a.lu().unwrap();
+            let x = lu.solve(&b).unwrap();
+            for (xi, ti) in x.iter().zip(&x_true) {
+                assert!((xi - ti).abs() < 1e-8, "n={n}: {xi} vs {ti}");
+            }
+            // Check transposed solve against an inner-product identity:
+            // ⟨x, Aᵀ y⟩ = ⟨A x, y⟩ for arbitrary y.
+            let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let aty = lu.solve_transposed(&y).unwrap();
+            // aty solves Aᵀ aty = y, i.e. ⟨b', aty⟩ relationships hold.
+            let lhs = dot(&a.matvec_t(&aty), &x_true);
+            let rhs = dot(&y, &x_true);
+            // Aᵀ aty = y exactly means matvec_t(aty) ≈ y.
+            assert!((lhs - rhs).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! Min-cost flow via successive shortest paths with node potentials.
+//!
+//! The caching sub-problem `P1` of the paper is an integral network LP
+//! (its constraint matrix is totally unimodular — Theorem 1). `jocal-core`
+//! encodes it as a flow network in which each of the `C_n` cache slots is a
+//! unit of flow traveling through time; this module supplies the generic
+//! solver.
+//!
+//! Features:
+//!
+//! * real-valued arc costs, integral capacities (so optimal flows are
+//!   integral — exactly the property Theorem 1 needs);
+//! * negative arc costs supported via a Bellman–Ford potential
+//!   initialization (the graph must not contain negative-cost *cycles*;
+//!   the `P1` network is a DAG, so this always holds there);
+//! * fixed-flow-value and min-cost-max-flow modes, plus a mode that stops
+//!   augmenting once shortest paths become cost-increasing.
+
+use crate::OptimError;
+
+/// Identifier of an arc returned by [`FlowNetwork::add_edge`].
+///
+/// Use it with [`FlowNetwork::flow`] after solving to read the arc's flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct Arc {
+    to: usize,
+    cap: i64,
+    cost: f64,
+}
+
+/// How much flow [`FlowNetwork::solve`] should try to route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowGoal {
+    /// Route exactly this amount; error if the network cannot carry it.
+    Exact(i64),
+    /// Route as much flow as possible regardless of cost.
+    Max,
+    /// Route flow only while each additional augmenting path has negative
+    /// cost (i.e. find the min-cost flow of *any* value).
+    WhileProfitable,
+}
+
+/// Result of a min-cost-flow computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowResult {
+    /// Total routed flow.
+    pub flow: i64,
+    /// Total cost of the routed flow.
+    pub cost: f64,
+    /// Number of augmenting-path iterations.
+    pub augmentations: usize,
+}
+
+/// A directed flow network with integral capacities and real costs.
+///
+/// ```
+/// use jocal_optim::mcmf::{FlowNetwork, FlowGoal};
+/// let mut net = FlowNetwork::new(4);
+/// let cheap = net.add_edge(0, 1, 1, 1.0)?;
+/// net.add_edge(1, 3, 1, 0.0)?;
+/// net.add_edge(0, 2, 1, 5.0)?;
+/// net.add_edge(2, 3, 1, 0.0)?;
+/// let result = net.solve(0, 3, FlowGoal::Exact(2))?;
+/// assert_eq!(result.flow, 2);
+/// assert!((result.cost - 6.0).abs() < 1e-9);
+/// assert_eq!(net.flow(cheap), 1);
+/// # Ok::<(), jocal_optim::OptimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    n: usize,
+    // Flat arc storage; arc 2k and 2k+1 are a forward/backward pair.
+    arcs: Vec<Arc>,
+    adj: Vec<Vec<usize>>,
+    original_cap: Vec<i64>,
+}
+
+/// Cost tolerance for "profitable path" decisions.
+const COST_EPS: f64 = 1e-12;
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no arcs.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            n,
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); n],
+            original_cap: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (forward) arcs.
+    #[inline]
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.arcs.len() / 2
+    }
+
+    /// Adds a directed arc `from → to` with the given capacity and cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidInput`] for out-of-range endpoints,
+    /// negative capacity or non-finite cost.
+    pub fn add_edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        capacity: i64,
+        cost: f64,
+    ) -> Result<EdgeId, OptimError> {
+        if from >= self.n || to >= self.n {
+            return Err(OptimError::invalid(format!(
+                "edge endpoints ({from}, {to}) out of range for {} nodes",
+                self.n
+            )));
+        }
+        if capacity < 0 {
+            return Err(OptimError::invalid(format!(
+                "negative capacity {capacity} on edge ({from}, {to})"
+            )));
+        }
+        if !cost.is_finite() {
+            return Err(OptimError::invalid(format!(
+                "non-finite cost on edge ({from}, {to})"
+            )));
+        }
+        let id = self.arcs.len();
+        self.arcs.push(Arc {
+            to,
+            cap: capacity,
+            cost,
+        });
+        self.arcs.push(Arc {
+            to: from,
+            cap: 0,
+            cost: -cost,
+        });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        self.original_cap.push(capacity);
+        Ok(EdgeId(id / 2))
+    }
+
+    /// Flow currently routed on a forward arc (0 before solving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    #[must_use]
+    pub fn flow(&self, id: EdgeId) -> i64 {
+        let fwd = id.0 * 2;
+        assert!(fwd < self.arcs.len(), "edge id out of range");
+        self.original_cap[id.0] - self.arcs[fwd].cap
+    }
+
+    /// Resets all flows to zero, keeping the topology.
+    pub fn reset_flow(&mut self) {
+        for (k, cap) in self.original_cap.iter().enumerate() {
+            self.arcs[2 * k].cap = *cap;
+            self.arcs[2 * k + 1].cap = 0;
+        }
+    }
+
+    /// Computes initial potentials with Bellman–Ford from `source`.
+    ///
+    /// Unreachable nodes keep potential `+∞` (they can never lie on an
+    /// augmenting path). Returns an error if a negative cycle reachable
+    /// from `source` exists.
+    fn bellman_ford(&self, source: usize) -> Result<Vec<f64>, OptimError> {
+        let mut dist = vec![f64::INFINITY; self.n];
+        dist[source] = 0.0;
+        for round in 0..self.n {
+            let mut changed = false;
+            for (idx, arc) in self.arcs.iter().enumerate() {
+                if arc.cap <= 0 {
+                    continue;
+                }
+                // Find the tail of this arc: it's the head of its pair.
+                let tail = self.arcs[idx ^ 1].to;
+                if dist[tail].is_finite() && dist[tail] + arc.cost < dist[arc.to] - COST_EPS {
+                    dist[arc.to] = dist[tail] + arc.cost;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Ok(dist);
+            }
+            if round + 1 == self.n && changed {
+                return Err(OptimError::invalid(
+                    "negative-cost cycle detected; min-cost flow undefined",
+                ));
+            }
+        }
+        Ok(dist)
+    }
+
+    /// Dijkstra on reduced costs. Returns (distance, predecessor-arc) maps.
+    fn dijkstra(&self, source: usize, potential: &[f64]) -> (Vec<f64>, Vec<Option<usize>>) {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Entry(f64, usize);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on cost.
+                other
+                    .0
+                    .partial_cmp(&self.0)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| other.1.cmp(&self.1))
+            }
+        }
+
+        let mut dist = vec![f64::INFINITY; self.n];
+        let mut prev: Vec<Option<usize>> = vec![None; self.n];
+        let mut heap = BinaryHeap::new();
+        dist[source] = 0.0;
+        heap.push(Entry(0.0, source));
+        while let Some(Entry(d, u)) = heap.pop() {
+            if d > dist[u] + COST_EPS {
+                continue;
+            }
+            for &arc_idx in &self.adj[u] {
+                let arc = &self.arcs[arc_idx];
+                if arc.cap <= 0 || !potential[arc.to].is_finite() {
+                    continue;
+                }
+                let reduced = arc.cost + potential[u] - potential[arc.to];
+                debug_assert!(
+                    reduced >= -1e-6,
+                    "negative reduced cost {reduced} on arc {arc_idx}"
+                );
+                let nd = d + reduced.max(0.0);
+                if nd < dist[arc.to] - COST_EPS {
+                    dist[arc.to] = nd;
+                    prev[arc.to] = Some(arc_idx);
+                    heap.push(Entry(nd, arc.to));
+                }
+            }
+        }
+        (dist, prev)
+    }
+
+    /// Solves a min-cost-flow problem from `source` to `sink`.
+    ///
+    /// Flows persist on the network afterwards (read them with
+    /// [`FlowNetwork::flow`]); call [`FlowNetwork::reset_flow`] to solve
+    /// again from scratch.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptimError::InvalidInput`] for bad endpoints or a negative
+    ///   cycle.
+    /// * [`OptimError::Infeasible`] if [`FlowGoal::Exact`] cannot be met.
+    pub fn solve(
+        &mut self,
+        source: usize,
+        sink: usize,
+        goal: FlowGoal,
+    ) -> Result<FlowResult, OptimError> {
+        if source >= self.n || sink >= self.n {
+            return Err(OptimError::invalid("source or sink out of range"));
+        }
+        if source == sink {
+            return Err(OptimError::invalid("source equals sink"));
+        }
+
+        let mut potential = self.bellman_ford(source)?;
+        let mut total_flow: i64 = 0;
+        let mut total_cost = 0.0;
+        let mut augmentations = 0usize;
+
+        let target = match goal {
+            FlowGoal::Exact(f) if f < 0 => {
+                return Err(OptimError::invalid("negative flow target"));
+            }
+            FlowGoal::Exact(f) => Some(f),
+            _ => None,
+        };
+
+        loop {
+            if let Some(t) = target {
+                if total_flow >= t {
+                    break;
+                }
+            }
+            let (dist, prev) = self.dijkstra(source, &potential);
+            if !dist[sink].is_finite() {
+                break; // no augmenting path remains
+            }
+            // True path cost (undo the potential shift).
+            let path_cost = dist[sink] + potential[sink] - potential[source];
+            if matches!(goal, FlowGoal::WhileProfitable) && path_cost >= -COST_EPS {
+                break;
+            }
+
+            // Bottleneck along the path.
+            let mut bottleneck = i64::MAX;
+            let mut v = sink;
+            while v != source {
+                let arc_idx = prev[v].expect("path reconstruction");
+                bottleneck = bottleneck.min(self.arcs[arc_idx].cap);
+                v = self.arcs[arc_idx ^ 1].to;
+            }
+            if let Some(t) = target {
+                bottleneck = bottleneck.min(t - total_flow);
+            }
+            debug_assert!(bottleneck > 0);
+
+            // Apply the augmentation.
+            let mut v = sink;
+            while v != source {
+                let arc_idx = prev[v].expect("path reconstruction");
+                self.arcs[arc_idx].cap -= bottleneck;
+                self.arcs[arc_idx ^ 1].cap += bottleneck;
+                v = self.arcs[arc_idx ^ 1].to;
+            }
+            total_flow += bottleneck;
+            total_cost += path_cost * bottleneck as f64;
+            augmentations += 1;
+
+            // Johnson potential update; keep unreachable nodes at +∞.
+            for i in 0..self.n {
+                if dist[i].is_finite() && potential[i].is_finite() {
+                    potential[i] += dist[i];
+                }
+            }
+        }
+
+        if let Some(t) = target {
+            if total_flow < t {
+                return Err(OptimError::infeasible(format!(
+                    "requested flow {t} but max routable is {total_flow}"
+                )));
+            }
+        }
+        Ok(FlowResult {
+            flow: total_flow,
+            cost: total_cost,
+            augmentations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_exact_flow_cheapest_first() {
+        let mut net = FlowNetwork::new(2);
+        let a = net.add_edge(0, 1, 2, 3.0).unwrap();
+        let b = net.add_edge(0, 1, 2, 1.0).unwrap();
+        let r = net.solve(0, 1, FlowGoal::Exact(3)).unwrap();
+        assert_eq!(r.flow, 3);
+        assert!((r.cost - (2.0 * 1.0 + 1.0 * 3.0)).abs() < 1e-9);
+        assert_eq!(net.flow(b), 2);
+        assert_eq!(net.flow(a), 1);
+    }
+
+    #[test]
+    fn exact_flow_infeasible_when_capacity_short() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1, 0.0).unwrap();
+        let err = net.solve(0, 1, FlowGoal::Exact(5));
+        assert!(matches!(err, Err(OptimError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn max_flow_mode_saturates() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3, 0.0).unwrap();
+        net.add_edge(0, 2, 2, 0.0).unwrap();
+        net.add_edge(1, 3, 2, 0.0).unwrap();
+        net.add_edge(2, 3, 3, 0.0).unwrap();
+        net.add_edge(1, 2, 5, 0.0).unwrap();
+        let r = net.solve(0, 3, FlowGoal::Max).unwrap();
+        assert_eq!(r.flow, 5);
+    }
+
+    #[test]
+    fn while_profitable_stops_at_zero_marginal_cost() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1, -2.0).unwrap();
+        net.add_edge(0, 1, 1, -0.5).unwrap();
+        net.add_edge(0, 1, 1, 1.0).unwrap();
+        let r = net.solve(0, 1, FlowGoal::WhileProfitable).unwrap();
+        assert_eq!(r.flow, 2);
+        assert!((r.cost + 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_costs_on_dag_handled() {
+        // Diamond where the negative path must be found through potentials.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1, 5.0).unwrap();
+        net.add_edge(1, 3, 1, 5.0).unwrap();
+        net.add_edge(0, 2, 1, -3.0).unwrap();
+        net.add_edge(2, 3, 1, -4.0).unwrap();
+        let r = net.solve(0, 3, FlowGoal::Exact(1)).unwrap();
+        assert!((r.cost + 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residual_rerouting_finds_global_optimum() {
+        // Classic example where the second augmentation must push flow
+        // back across the middle arc.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1, 1.0).unwrap();
+        net.add_edge(0, 2, 1, 4.0).unwrap();
+        let mid = net.add_edge(1, 2, 1, 0.0).unwrap();
+        net.add_edge(1, 3, 1, 10.0).unwrap();
+        net.add_edge(2, 3, 1, 1.0).unwrap();
+        let r = net.solve(0, 3, FlowGoal::Exact(2)).unwrap();
+        // Optimal: 0→1→3 is too expensive; send 0→1→2→3 (cost 2) and
+        // 0→2 is then blocked... max flow 2 must use both sink arcs:
+        // 0→1→3 (11) + 0→2→3 (5) = 16, or 0→1→2→3 (2) + 0→2→? no.
+        // Best: 0→1→2→3 = 2 and 0→2→3 would need cap on 2→3 which is 1.
+        // So 2 units: 0→1→3 + 0→2→3 = 16 vs 0→1→2→3 + 0→2-X. The former
+        // is forced once 2→3 saturates; SSP must get cost 16.
+        assert_eq!(r.flow, 2);
+        assert!((r.cost - 16.0).abs() < 1e-9, "cost={}", r.cost);
+        let _ = mid;
+    }
+
+    #[test]
+    fn rejects_invalid_edges_and_endpoints() {
+        let mut net = FlowNetwork::new(2);
+        assert!(net.add_edge(0, 5, 1, 0.0).is_err());
+        assert!(net.add_edge(0, 1, -1, 0.0).is_err());
+        assert!(net.add_edge(0, 1, 1, f64::NAN).is_err());
+        assert!(net.solve(0, 0, FlowGoal::Max).is_err());
+        assert!(net.solve(0, 9, FlowGoal::Max).is_err());
+    }
+
+    #[test]
+    fn detects_negative_cycle() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 1, -1.0).unwrap();
+        net.add_edge(1, 2, 1, -1.0).unwrap();
+        net.add_edge(2, 0, 1, -1.0).unwrap();
+        assert!(net.solve(0, 1, FlowGoal::Max).is_err());
+    }
+
+    #[test]
+    fn reset_flow_allows_resolve() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 2, 1.0).unwrap();
+        let r1 = net.solve(0, 1, FlowGoal::Max).unwrap();
+        net.reset_flow();
+        assert_eq!(net.flow(e), 0);
+        let r2 = net.solve(0, 1, FlowGoal::Max).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn unreachable_sink_yields_zero_flow() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 1, 1.0).unwrap();
+        let r = net.solve(0, 2, FlowGoal::Max).unwrap();
+        assert_eq!(r.flow, 0);
+        assert_eq!(r.cost, 0.0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Projected-gradient descent for smooth convex minimization over a convex
+//! set given by a projection oracle.
+//!
+//! This is the workhorse for the load-balancing sub-problem `P2` (eq. 19 of
+//! the paper): the objective `f_t + g_t + Σ μ y` is smooth and convex, and
+//! the feasible set (box ∩ bandwidth budget) admits an exact projection via
+//! [`crate::projection::project_box_budget`].
+//!
+//! Both plain projected gradient with backtracking line search and FISTA
+//! acceleration (with function-value restart) are provided.
+
+use crate::OptimError;
+
+/// Options for [`minimize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PgdOptions {
+    /// Maximum number of outer iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on the prox-gradient residual
+    /// `‖x − P(x − η ∇f(x))‖∞ / η`.
+    pub tol: f64,
+    /// Initial step size; adapted by backtracking.
+    pub initial_step: f64,
+    /// Multiplicative backtracking factor in `(0, 1)`.
+    pub backtrack: f64,
+    /// Smallest step size tried before giving up on further progress.
+    pub min_step: f64,
+    /// Whether to use FISTA momentum (with adaptive restart).
+    pub accelerated: bool,
+}
+
+impl Default for PgdOptions {
+    fn default() -> Self {
+        PgdOptions {
+            max_iters: 2_000,
+            tol: 1e-8,
+            initial_step: 1.0,
+            backtrack: 0.5,
+            min_step: 1e-14,
+            accelerated: true,
+        }
+    }
+}
+
+/// Outcome of a projected-gradient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PgdResult {
+    /// The final (feasible) iterate.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the residual tolerance was met within the budget.
+    pub converged: bool,
+    /// Final prox-gradient residual.
+    pub residual: f64,
+}
+
+/// Minimizes a smooth convex `objective` over a convex set described by
+/// `project`, starting from `x0` (which is projected first).
+///
+/// * `objective(x)` returns `f(x)`.
+/// * `gradient(x, g)` writes `∇f(x)` into `g`.
+/// * `project(x)` replaces `x` by its Euclidean projection onto the
+///   feasible set.
+///
+/// Backtracking enforces the standard sufficient-decrease condition
+/// `f(x⁺) ≤ f(x) + ⟨∇f(x), x⁺−x⟩ + ‖x⁺−x‖²/(2η)`, so no Lipschitz constant
+/// is needed a priori.
+///
+/// # Errors
+///
+/// * [`OptimError::InvalidInput`] if `x0` is empty or options are invalid.
+/// * [`OptimError::IterationLimit`] is **not** returned: hitting the budget
+///   yields `converged = false` in the result instead, because approximate
+///   solutions are still useful to the primal-dual loop.
+///
+/// ```
+/// use jocal_optim::pgd::{minimize, PgdOptions};
+/// // minimize (x-2)^2 over [0, 1]: optimum at x = 1.
+/// let r = minimize(
+///     |x| (x[0] - 2.0).powi(2),
+///     |x, g| g[0] = 2.0 * (x[0] - 2.0),
+///     |x| x[0] = x[0].clamp(0.0, 1.0),
+///     vec![0.0],
+///     PgdOptions::default(),
+/// )?;
+/// assert!((r.x[0] - 1.0).abs() < 1e-6);
+/// # Ok::<(), jocal_optim::OptimError>(())
+/// ```
+pub fn minimize(
+    objective: impl Fn(&[f64]) -> f64,
+    gradient: impl Fn(&[f64], &mut [f64]),
+    project: impl Fn(&mut [f64]),
+    x0: Vec<f64>,
+    opts: PgdOptions,
+) -> Result<PgdResult, OptimError> {
+    if x0.is_empty() {
+        return Err(OptimError::invalid("pgd: empty starting point"));
+    }
+    if !(opts.backtrack > 0.0 && opts.backtrack < 1.0) {
+        return Err(OptimError::invalid(format!(
+            "pgd: backtrack factor must lie in (0,1), got {}",
+            opts.backtrack
+        )));
+    }
+    if opts.initial_step <= 0.0 {
+        return Err(OptimError::invalid("pgd: initial step must be positive"));
+    }
+
+    let n = x0.len();
+    let mut x = x0;
+    project(&mut x);
+    let mut fx = objective(&x);
+    let mut grad = vec![0.0; n];
+    let mut step = opts.initial_step;
+
+    // FISTA state.
+    let mut y = x.clone();
+    let mut t_momentum = 1.0_f64;
+
+    let mut residual = f64::INFINITY;
+    for iter in 0..opts.max_iters {
+        let base = if opts.accelerated { &y } else { &x };
+        gradient(base, &mut grad);
+        let f_base = if opts.accelerated { objective(base) } else { fx };
+
+        // Backtracking from the current step (allow mild growth between
+        // iterations so the step can recover after a conservative phase).
+        step = (step * 2.0).min(opts.initial_step.max(step * 2.0));
+        let mut candidate;
+        loop {
+            candidate = base
+                .iter()
+                .zip(&grad)
+                .map(|(bi, gi)| bi - step * gi)
+                .collect::<Vec<f64>>();
+            project(&mut candidate);
+            let f_cand = objective(&candidate);
+            let mut inner = 0.0;
+            let mut dist2 = 0.0;
+            for i in 0..n {
+                let d = candidate[i] - base[i];
+                inner += grad[i] * d;
+                dist2 += d * d;
+            }
+            if f_cand <= f_base + inner + dist2 / (2.0 * step) + 1e-15 {
+                break;
+            }
+            step *= opts.backtrack;
+            if step < opts.min_step {
+                // Cannot make progress at machine precision; accept.
+                break;
+            }
+        }
+
+        // Residual measured on the actual movement of the main iterate.
+        residual = candidate
+            .iter()
+            .zip(base.iter())
+            .map(|(c, b)| (c - b).abs())
+            .fold(0.0_f64, f64::max)
+            / step;
+
+        let f_new = objective(&candidate);
+        if opts.accelerated {
+            // Function-value restart keeps FISTA monotone enough for our use.
+            if f_new > fx {
+                t_momentum = 1.0;
+                y = x.clone();
+                // Retry as a plain projected-gradient step from x.
+                gradient(&x, &mut grad);
+                let mut plain: Vec<f64> = x
+                    .iter()
+                    .zip(&grad)
+                    .map(|(xi, gi)| xi - step * gi)
+                    .collect();
+                project(&mut plain);
+                let f_plain = objective(&plain);
+                if f_plain <= fx {
+                    x = plain;
+                    fx = f_plain;
+                }
+            } else {
+                let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t_momentum * t_momentum).sqrt());
+                let beta = (t_momentum - 1.0) / t_next;
+                y = candidate
+                    .iter()
+                    .zip(&x)
+                    .map(|(c, xi)| c + beta * (c - xi))
+                    .collect();
+                x = candidate;
+                fx = f_new;
+                t_momentum = t_next;
+            }
+        } else {
+            x = candidate;
+            fx = f_new;
+        }
+
+        if residual <= opts.tol {
+            return Ok(PgdResult {
+                objective: fx,
+                x,
+                iterations: iter + 1,
+                converged: true,
+                residual,
+            });
+        }
+    }
+
+    Ok(PgdResult {
+        objective: fx,
+        x,
+        iterations: opts.max_iters,
+        converged: false,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::project_box_budget;
+
+    #[test]
+    fn unconstrained_quadratic() {
+        let r = minimize(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            |x, g| {
+                g[0] = 2.0 * (x[0] - 3.0);
+                g[1] = 2.0 * (x[1] + 1.0);
+            },
+            |_x| {},
+            vec![0.0, 0.0],
+            PgdOptions::default(),
+        )
+        .unwrap();
+        assert!(r.converged);
+        assert!((r.x[0] - 3.0).abs() < 1e-6);
+        assert!((r.x[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn box_constrained_optimum_on_boundary() {
+        let r = minimize(
+            |x| (x[0] - 5.0).powi(2),
+            |x, g| g[0] = 2.0 * (x[0] - 5.0),
+            |x| x[0] = x[0].clamp(0.0, 2.0),
+            vec![0.0],
+            PgdOptions::default(),
+        )
+        .unwrap();
+        assert!((r.x[0] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn budget_constrained_quadratic_matches_kkt() {
+        // minimize ||x - (1,1)||^2 st x in [0,1]^2, x0 + x1 <= 1.
+        // Optimum: (0.5, 0.5).
+        let lo = [0.0, 0.0];
+        let hi = [1.0, 1.0];
+        let w = [1.0, 1.0];
+        let r = minimize(
+            |x| (x[0] - 1.0).powi(2) + (x[1] - 1.0).powi(2),
+            |x, g| {
+                g[0] = 2.0 * (x[0] - 1.0);
+                g[1] = 2.0 * (x[1] - 1.0);
+            },
+            |x| {
+                let p = project_box_budget(x, &lo, &hi, &w, 1.0).unwrap();
+                x.copy_from_slice(&p);
+            },
+            vec![0.0, 0.0],
+            PgdOptions::default(),
+        )
+        .unwrap();
+        assert!((r.x[0] - 0.5).abs() < 1e-6);
+        assert!((r.x[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accelerated_and_plain_agree() {
+        let obj = |x: &[f64]| {
+            // Ill-conditioned quadratic.
+            100.0 * (x[0] - 0.3).powi(2) + (x[1] - 0.7).powi(2)
+        };
+        let grad = |x: &[f64], g: &mut [f64]| {
+            g[0] = 200.0 * (x[0] - 0.3);
+            g[1] = 2.0 * (x[1] - 0.7);
+        };
+        let proj = |x: &mut [f64]| {
+            for v in x.iter_mut() {
+                *v = v.clamp(0.0, 1.0);
+            }
+        };
+        let plain = minimize(
+            obj,
+            grad,
+            proj,
+            vec![1.0, 0.0],
+            PgdOptions {
+                accelerated: false,
+                max_iters: 20_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let fast = minimize(obj, grad, proj, vec![1.0, 0.0], PgdOptions::default()).unwrap();
+        assert!((plain.objective - fast.objective).abs() < 1e-6);
+        assert!(fast.iterations <= plain.iterations);
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let opts = PgdOptions {
+            backtrack: 1.5,
+            ..Default::default()
+        };
+        assert!(minimize(|_| 0.0, |_, _| {}, |_| {}, vec![0.0], opts).is_err());
+        assert!(minimize(|_| 0.0, |_, _| {}, |_| {}, vec![], PgdOptions::default()).is_err());
+    }
+
+    #[test]
+    fn reports_unconverged_when_budget_exhausted() {
+        let r = minimize(
+            |x| (x[0] - 1.0).powi(2),
+            |x, g| g[0] = 2.0 * (x[0] - 1.0),
+            |_x| {},
+            vec![1e9],
+            PgdOptions {
+                max_iters: 1,
+                tol: 1e-16,
+                accelerated: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 1);
+    }
+}

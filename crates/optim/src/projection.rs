@@ -1,0 +1,380 @@
+//! Euclidean projections onto the feasible sets used by the load-balancing
+//! sub-problem.
+//!
+//! The load-balancing variables live in a box `[lo, hi]` intersected with a
+//! single weighted budget constraint `Σ w_i v_i ≤ b` (the SBS bandwidth
+//! constraint, eq. 2 of the paper). Projection onto that set reduces to a
+//! one-dimensional search over the budget multiplier `θ ≥ 0`:
+//!
+//! `v_i(θ) = clamp(p_i − θ w_i, lo_i, hi_i)` and `Σ w_i v_i(θ)` is
+//! non-increasing in `θ`, so bisection finds the exact multiplier.
+
+use crate::bisection::{bisect_decreasing, BisectionOptions};
+use crate::OptimError;
+
+/// Clamps every entry of `v` into `[lo[i], hi[i]]` in place.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn clamp_box(v: &mut [f64], lo: &[f64], hi: &[f64]) {
+    assert_eq!(v.len(), lo.len(), "clamp_box: lo length mismatch");
+    assert_eq!(v.len(), hi.len(), "clamp_box: hi length mismatch");
+    for i in 0..v.len() {
+        v[i] = v[i].max(lo[i]).min(hi[i]);
+    }
+}
+
+/// Projects `point` onto `{v : lo ≤ v ≤ hi, Σ w_i v_i ≤ budget}`.
+///
+/// Weights `w` must be non-negative. Entries with `w_i = 0` are only box
+/// clamped. Returns the projected vector.
+///
+/// # Errors
+///
+/// * [`OptimError::InvalidInput`] if lengths mismatch, a weight is negative
+///   or non-finite, or a bound pair is inverted.
+/// * [`OptimError::Infeasible`] if even the box lower corner violates the
+///   budget, i.e. `Σ w_i lo_i > budget`.
+///
+/// ```
+/// use jocal_optim::projection::project_box_budget;
+/// // Project (1, 1) onto the unit box with x + y <= 1: lands on (0.5, 0.5).
+/// let p = project_box_budget(&[1.0, 1.0], &[0.0, 0.0], &[1.0, 1.0],
+///     &[1.0, 1.0], 1.0)?;
+/// assert!((p[0] - 0.5).abs() < 1e-9 && (p[1] - 0.5).abs() < 1e-9);
+/// # Ok::<(), jocal_optim::OptimError>(())
+/// ```
+pub fn project_box_budget(
+    point: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    w: &[f64],
+    budget: f64,
+) -> Result<Vec<f64>, OptimError> {
+    let n = point.len();
+    if lo.len() != n || hi.len() != n || w.len() != n {
+        return Err(OptimError::invalid(
+            "project_box_budget: length mismatch between point, bounds and weights",
+        ));
+    }
+    for i in 0..n {
+        if lo[i] > hi[i] + 1e-15 {
+            return Err(OptimError::invalid(format!(
+                "inverted bounds at index {i}: lo={} > hi={}",
+                lo[i], hi[i]
+            )));
+        }
+        if !(w[i].is_finite() && w[i] >= 0.0) {
+            return Err(OptimError::invalid(format!(
+                "weight at index {i} must be finite and non-negative, got {}",
+                w[i]
+            )));
+        }
+    }
+
+    // Start from the plain box projection; if it already satisfies the
+    // budget we are done (θ = 0 is optimal).
+    let mut v = point.to_vec();
+    clamp_box(&mut v, lo, hi);
+    let used: f64 = v.iter().zip(w).map(|(vi, wi)| vi * wi).sum();
+    if used <= budget + 1e-12 {
+        return Ok(v);
+    }
+
+    let min_use: f64 = lo.iter().zip(w).map(|(li, wi)| li * wi).sum();
+    if min_use > budget + 1e-9 {
+        return Err(OptimError::infeasible(format!(
+            "budget {budget} below the minimum box usage {min_use}"
+        )));
+    }
+
+    // The usage Σ w_i · clamp(p_i − θ w_i, lo_i, hi_i) is piecewise linear
+    // and non-increasing in θ with at most 2n breakpoints (where an entry
+    // leaves its upper bound or hits its lower bound). Walk the sorted
+    // breakpoints to find the segment crossing the budget, then solve the
+    // linear equation exactly — O(n log n), no tolerance.
+    //
+    // Entry i is at hi for θ ≤ t_hi(i) = (p_i − hi_i)/w_i, at lo for
+    // θ ≥ t_lo(i) = (p_i − lo_i)/w_i, and linear (slope −w_i²) between.
+    let mut events: Vec<(f64, f64, f64)> = Vec::with_capacity(2 * n);
+    // usage(θ) = constant + slope·θ on each segment. Start at θ = 0 where
+    // some entries may already be interior or at lo.
+    let mut usage0 = 0.0; // usage at θ = 0
+    let mut slope0 = 0.0; // slope at θ = 0+
+    for i in 0..n {
+        if w[i] == 0.0 {
+            continue;
+        }
+        let t_hi = (point[i] - hi[i]) / w[i];
+        let t_lo = (point[i] - lo[i]) / w[i];
+        // Contribution at θ = 0.
+        let v0 = point[i].max(lo[i]).min(hi[i]);
+        usage0 += w[i] * v0;
+        if 0.0 > t_hi && 0.0 < t_lo {
+            slope0 -= w[i] * w[i];
+        }
+        // Slope changes: at t_hi the entry becomes interior (slope gains
+        // −w²); at t_lo it freezes at lo (slope gains +w²). Entries whose
+        // interior segment starts at θ ≥ 0 contribute both events; entries
+        // already interior at θ = 0 (counted in slope0) contribute only
+        // the freeze; entries already at lo contribute nothing.
+        if t_hi >= 0.0 {
+            events.push((t_hi, -w[i] * w[i], 0.0));
+            events.push((t_lo, w[i] * w[i], 0.0));
+        } else if t_lo > 0.0 {
+            events.push((t_lo, w[i] * w[i], 0.0));
+        }
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite breakpoints"));
+
+    let mut theta_prev = 0.0;
+    let mut usage = usage0;
+    let mut slope = slope0;
+    let mut theta = None;
+    for &(bp, dslope, _) in &events {
+        let candidate = usage + slope * (bp - theta_prev);
+        if candidate <= budget {
+            // Crossing happens inside this segment.
+            theta = Some(if slope < 0.0 {
+                theta_prev + (budget - usage) / slope
+            } else {
+                bp
+            });
+            break;
+        }
+        usage = candidate;
+        slope += dslope;
+        theta_prev = bp;
+    }
+    let theta = match theta {
+        Some(t) => t,
+        None => {
+            // Past the last breakpoint usage is constant at Σ w·lo ≤ budget
+            // (checked above); crossing must occur on the final segment.
+            if slope < 0.0 {
+                theta_prev + (budget - usage) / slope
+            } else {
+                theta_prev
+            }
+        }
+    };
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push((point[i] - theta * w[i]).max(lo[i]).min(hi[i]));
+    }
+    Ok(out)
+}
+
+/// Reference implementation of [`project_box_budget`] using bisection on
+/// the budget multiplier; kept for cross-checking the exact
+/// breakpoint-walk solver in tests.
+///
+/// # Errors
+///
+/// Same contract as [`project_box_budget`].
+pub fn project_box_budget_bisect(
+    point: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    w: &[f64],
+    budget: f64,
+) -> Result<Vec<f64>, OptimError> {
+    let n = point.len();
+    if lo.len() != n || hi.len() != n || w.len() != n {
+        return Err(OptimError::invalid(
+            "project_box_budget_bisect: length mismatch",
+        ));
+    }
+    let mut v = point.to_vec();
+    clamp_box(&mut v, lo, hi);
+    let used: f64 = v.iter().zip(w).map(|(vi, wi)| vi * wi).sum();
+    if used <= budget + 1e-12 {
+        return Ok(v);
+    }
+    let min_use: f64 = lo.iter().zip(w).map(|(li, wi)| li * wi).sum();
+    if min_use > budget + 1e-9 {
+        return Err(OptimError::infeasible(format!(
+            "budget {budget} below the minimum box usage {min_use}"
+        )));
+    }
+    let usage = |theta: f64| -> f64 {
+        point
+            .iter()
+            .zip(w)
+            .zip(lo.iter().zip(hi))
+            .map(|((pi, wi), (li, hi_i))| {
+                let vi = (pi - theta * wi).max(*li).min(*hi_i);
+                vi * wi
+            })
+            .sum::<f64>()
+            - budget
+    };
+    let mut theta_hi = 1.0_f64;
+    for i in 0..n {
+        if w[i] > 0.0 {
+            theta_hi = theta_hi.max((point[i] - lo[i]) / w[i] + 1.0);
+        }
+    }
+    let theta = bisect_decreasing(usage, 0.0, theta_hi, BisectionOptions::default())?;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push((point[i] - theta * w[i]).max(lo[i]).min(hi[i]));
+    }
+    Ok(out)
+}
+
+/// Projects onto the probability-like simplex `{v ≥ 0 : Σ v_i = s}` using
+/// the sort-based exact algorithm.
+///
+/// # Errors
+///
+/// Returns [`OptimError::InvalidInput`] if `s < 0` or the input contains a
+/// non-finite entry.
+pub fn project_simplex(point: &[f64], s: f64) -> Result<Vec<f64>, OptimError> {
+    if s < 0.0 {
+        return Err(OptimError::invalid("simplex radius must be non-negative"));
+    }
+    if point.iter().any(|v| !v.is_finite()) {
+        return Err(OptimError::invalid("point contains non-finite entry"));
+    }
+    if point.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut sorted = point.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite entries are comparable"));
+    let mut cumsum = 0.0;
+    let mut rho = 0usize;
+    let mut theta = 0.0;
+    for (i, &u) in sorted.iter().enumerate() {
+        cumsum += u;
+        let candidate = (cumsum - s) / (i as f64 + 1.0);
+        if u - candidate > 0.0 {
+            rho = i;
+            theta = candidate;
+        }
+    }
+    let _ = rho;
+    Ok(point.iter().map(|&v| (v - theta).max(0.0)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget_used(v: &[f64], w: &[f64]) -> f64 {
+        v.iter().zip(w).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn box_only_when_budget_slack() {
+        let p = project_box_budget(&[2.0, -1.0], &[0.0, 0.0], &[1.0, 1.0], &[1.0, 1.0], 10.0)
+            .unwrap();
+        assert_eq!(p, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn budget_tight_projection_is_feasible_and_optimal() {
+        let point = [0.9, 0.8, 0.7];
+        let lo = [0.0; 3];
+        let hi = [1.0; 3];
+        let w = [1.0, 2.0, 1.0];
+        let b = 1.5;
+        let p = project_box_budget(&point, &lo, &hi, &w, b).unwrap();
+        assert!(budget_used(&p, &w) <= b + 1e-8);
+        // KKT: active budget means all interior coordinates share
+        // (p_i - v_i)/w_i = θ > 0.
+        let thetas: Vec<f64> = (0..3)
+            .filter(|&i| p[i] > 1e-9 && p[i] < 1.0 - 1e-9)
+            .map(|i| (point[i] - p[i]) / w[i])
+            .collect();
+        for pair in thetas.windows(2) {
+            assert!((pair[0] - pair[1]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_detected() {
+        let err = project_box_budget(&[0.5], &[1.0], &[2.0], &[1.0], 0.5);
+        assert!(matches!(err, Err(OptimError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn zero_weight_entries_ignored_by_budget() {
+        let p = project_box_budget(&[5.0, 5.0], &[0.0, 0.0], &[1.0, 1.0], &[0.0, 1.0], 0.25)
+            .unwrap();
+        assert_eq!(p[0], 1.0); // unconstrained by budget
+        assert!((p[1] - 0.25).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_negative_weight() {
+        assert!(project_box_budget(&[0.0], &[0.0], &[1.0], &[-1.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        assert!(project_box_budget(&[0.0, 1.0], &[0.0], &[1.0], &[1.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn simplex_projection_sums_to_radius() {
+        let p = project_simplex(&[0.5, 0.3, 0.9], 1.0).unwrap();
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn simplex_projection_of_feasible_interior_point() {
+        // A point already on the simplex projects to itself.
+        let p = project_simplex(&[0.2, 0.3, 0.5], 1.0).unwrap();
+        for (a, b) in p.iter().zip([0.2, 0.3, 0.5]) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn simplex_rejects_negative_radius() {
+        assert!(project_simplex(&[0.1], -1.0).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_ok() {
+        assert!(project_simplex(&[], 1.0).unwrap().is_empty());
+        let p = project_box_budget(&[], &[], &[], &[], 1.0).unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn exact_matches_bisection_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..200 {
+            let n = rng.gen_range(1..12);
+            let point: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..3.0)).collect();
+            let lo: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..0.5)).collect();
+            let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen_range(0.0..2.0)).collect();
+            let w: Vec<f64> = (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.2) {
+                        0.0
+                    } else {
+                        rng.gen_range(0.1..3.0)
+                    }
+                })
+                .collect();
+            let min_use: f64 = lo.iter().zip(&w).map(|(l, wi)| l * wi).sum();
+            let budget = min_use + rng.gen_range(0.01..5.0);
+            let exact = project_box_budget(&point, &lo, &hi, &w, budget).unwrap();
+            let refr = project_box_budget_bisect(&point, &lo, &hi, &w, budget).unwrap();
+            for (i, (a, b)) in exact.iter().zip(&refr).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-5,
+                    "trial {trial} entry {i}: exact {a} vs bisect {b}"
+                );
+            }
+        }
+    }
+}

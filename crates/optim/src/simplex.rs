@@ -1,0 +1,768 @@
+//! Dense two-phase primal simplex solver for linear programs.
+//!
+//! The paper solves the relaxed caching sub-problem `P1` "by standard
+//! linear programming methods, simplex method is applied in this paper"
+//! (Section III-B). This module is that solver: a from-scratch tableau
+//! simplex supporting
+//!
+//! * minimization and maximization,
+//! * `≤`, `≥` and `=` constraints,
+//! * general finite lower bounds and finite/infinite upper bounds
+//!   (handled by shifting and explicit bound rows),
+//! * free variables (handled by splitting into positive/negative parts),
+//! * two-phase initialization with artificial variables, and
+//! * Bland's anti-cycling rule as a fallback after a Dantzig phase.
+//!
+//! `jocal-core` uses it to cross-check the min-cost-flow solution of `P1`
+//! on small instances and as a reference oracle in tests; the flow solver
+//! is the production path for large horizons.
+
+use crate::linalg::Matrix;
+use crate::OptimError;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ConstraintOp {
+    Le,
+    Ge,
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+struct Constraint {
+    terms: Vec<(usize, f64)>,
+    op: ConstraintOp,
+    rhs: f64,
+}
+
+/// Optimal solution of a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal values of the original variables.
+    pub x: Vec<f64>,
+    /// Objective value (in the problem's own sense).
+    pub objective: f64,
+    /// Total simplex pivots across both phases.
+    pub iterations: usize,
+}
+
+/// A linear program under construction.
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    n: usize,
+    sense: Sense,
+    objective: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+const EPS: f64 = 1e-9;
+
+impl LinearProgram {
+    /// Creates a program with `n_vars` variables, default bounds `[0, +∞)`
+    /// and an all-zero objective.
+    #[must_use]
+    pub fn new(n_vars: usize, sense: Sense) -> Self {
+        LinearProgram {
+            n: n_vars,
+            sense,
+            objective: vec![0.0; n_vars],
+            lower: vec![0.0; n_vars],
+            upper: vec![f64::INFINITY; n_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    #[inline]
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of explicit constraints (bound rows not included).
+    #[inline]
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sets the full objective vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len()` differs from the variable count.
+    pub fn set_objective(&mut self, c: Vec<f64>) {
+        assert_eq!(c.len(), self.n, "objective length mismatch");
+        self.objective = c;
+    }
+
+    /// Sets a single objective coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_objective_coeff(&mut self, var: usize, coeff: f64) {
+        assert!(var < self.n, "variable index out of range");
+        self.objective[var] = coeff;
+    }
+
+    /// Sets bounds `lo ≤ x_var ≤ hi`. `lo` may be `-∞` (free below) and
+    /// `hi` may be `+∞`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_bounds(&mut self, var: usize, lo: f64, hi: f64) {
+        assert!(var < self.n, "variable index out of range");
+        self.lower[var] = lo;
+        self.upper[var] = hi;
+    }
+
+    /// Adds `Σ terms ≤ rhs`.
+    pub fn add_le_constraint(&mut self, terms: Vec<(usize, f64)>, rhs: f64) {
+        self.constraints.push(Constraint {
+            terms,
+            op: ConstraintOp::Le,
+            rhs,
+        });
+    }
+
+    /// Adds `Σ terms ≥ rhs`.
+    pub fn add_ge_constraint(&mut self, terms: Vec<(usize, f64)>, rhs: f64) {
+        self.constraints.push(Constraint {
+            terms,
+            op: ConstraintOp::Ge,
+            rhs,
+        });
+    }
+
+    /// Adds `Σ terms = rhs`.
+    pub fn add_eq_constraint(&mut self, terms: Vec<(usize, f64)>, rhs: f64) {
+        self.constraints.push(Constraint {
+            terms,
+            op: ConstraintOp::Eq,
+            rhs,
+        });
+    }
+
+    fn validate(&self) -> Result<(), OptimError> {
+        for (j, c) in self.objective.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(OptimError::invalid(format!(
+                    "objective coefficient {j} is not finite"
+                )));
+            }
+        }
+        for j in 0..self.n {
+            if self.lower[j] > self.upper[j] + EPS {
+                return Err(OptimError::invalid(format!(
+                    "variable {j} has inverted bounds [{}, {}]",
+                    self.lower[j], self.upper[j]
+                )));
+            }
+            if self.lower[j].is_nan() || self.upper[j].is_nan() {
+                return Err(OptimError::invalid(format!("variable {j} has NaN bound")));
+            }
+        }
+        for (i, con) in self.constraints.iter().enumerate() {
+            if !con.rhs.is_finite() {
+                return Err(OptimError::invalid(format!(
+                    "constraint {i} has non-finite rhs"
+                )));
+            }
+            for &(j, a) in &con.terms {
+                if j >= self.n {
+                    return Err(OptimError::invalid(format!(
+                        "constraint {i} references variable {j} out of range"
+                    )));
+                }
+                if !a.is_finite() {
+                    return Err(OptimError::invalid(format!(
+                        "constraint {i} has non-finite coefficient on variable {j}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptimError::InvalidInput`] for malformed programs.
+    /// * [`OptimError::Infeasible`] when no feasible point exists.
+    /// * [`OptimError::Unbounded`] when the objective diverges.
+    /// * [`OptimError::IterationLimit`] if the pivot budget is exhausted
+    ///   (pathological cycling; never observed with Bland fallback).
+    pub fn solve(&self) -> Result<LpSolution, OptimError> {
+        self.validate()?;
+
+        // --- Normalize variables ------------------------------------------------
+        // Each original variable maps to either one shifted variable
+        // (x = lo + x', x' ≥ 0) or, when lo = -∞, a split pair
+        // (x = x⁺ − x⁻). Finite upper bounds become explicit rows.
+        #[derive(Clone, Copy)]
+        enum VarMap {
+            Shifted { col: usize, lo: f64 },
+            Split { pos: usize, neg: usize },
+        }
+        let mut maps: Vec<VarMap> = Vec::with_capacity(self.n);
+        let mut ncols = 0usize;
+        for j in 0..self.n {
+            if self.lower[j].is_finite() {
+                maps.push(VarMap::Shifted {
+                    col: ncols,
+                    lo: self.lower[j],
+                });
+                ncols += 1;
+            } else {
+                maps.push(VarMap::Split {
+                    pos: ncols,
+                    neg: ncols + 1,
+                });
+                ncols += 2;
+            }
+        }
+
+        // Assemble rows: explicit constraints, then finite upper bounds.
+        struct Row {
+            coeffs: Vec<(usize, f64)>,
+            op: ConstraintOp,
+            rhs: f64,
+        }
+        let mut rows: Vec<Row> = Vec::new();
+        for con in &self.constraints {
+            let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(con.terms.len() * 2);
+            let mut rhs = con.rhs;
+            for &(j, a) in &con.terms {
+                match maps[j] {
+                    VarMap::Shifted { col, lo } => {
+                        coeffs.push((col, a));
+                        rhs -= a * lo;
+                    }
+                    VarMap::Split { pos, neg } => {
+                        coeffs.push((pos, a));
+                        coeffs.push((neg, -a));
+                    }
+                }
+            }
+            rows.push(Row {
+                coeffs,
+                op: con.op,
+                rhs,
+            });
+        }
+        for j in 0..self.n {
+            if self.upper[j].is_finite() {
+                match maps[j] {
+                    VarMap::Shifted { col, lo } => {
+                        // x' ≤ hi − lo. Skip fixed variables with zero range:
+                        // the row still keeps them at 0, which is correct.
+                        rows.push(Row {
+                            coeffs: vec![(col, 1.0)],
+                            op: ConstraintOp::Le,
+                            rhs: self.upper[j] - lo,
+                        });
+                    }
+                    VarMap::Split { pos, neg } => {
+                        rows.push(Row {
+                            coeffs: vec![(pos, 1.0), (neg, -1.0)],
+                            op: ConstraintOp::Le,
+                            rhs: self.upper[j],
+                        });
+                    }
+                }
+            }
+        }
+
+        let m = rows.len();
+
+        // Objective in minimization sense over the normalized columns.
+        let sign = match self.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let mut cost = vec![0.0; ncols];
+        let mut obj_constant = 0.0;
+        for j in 0..self.n {
+            let cj = sign * self.objective[j];
+            match maps[j] {
+                VarMap::Shifted { col, lo } => {
+                    cost[col] += cj;
+                    obj_constant += cj * lo;
+                }
+                VarMap::Split { pos, neg } => {
+                    cost[pos] += cj;
+                    cost[neg] -= cj;
+                }
+            }
+        }
+
+        // --- Build the tableau --------------------------------------------------
+        // Columns: structural | slacks/surplus | artificials | rhs.
+        let mut n_slack = 0usize;
+        for row in &rows {
+            if !matches!(row.op, ConstraintOp::Eq) {
+                n_slack += 1;
+            }
+        }
+        // Upper bound on artificial count: one per row.
+        let total_cols_upper = ncols + n_slack + m;
+        let mut tab = Matrix::zeros(m, total_cols_upper + 1);
+        let rhs_col = total_cols_upper;
+
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_cursor = ncols;
+        let mut art_cursor = ncols + n_slack;
+        let mut artificials: Vec<usize> = Vec::new();
+
+        for (i, row) in rows.iter().enumerate() {
+            let mut flip = 1.0;
+            if row.rhs < 0.0 {
+                flip = -1.0;
+            }
+            for &(j, a) in &row.coeffs {
+                tab[(i, j)] += flip * a;
+            }
+            tab[(i, rhs_col)] = flip * row.rhs;
+            match row.op {
+                ConstraintOp::Le => {
+                    tab[(i, slack_cursor)] = flip;
+                    if flip > 0.0 {
+                        basis[i] = slack_cursor;
+                    }
+                    slack_cursor += 1;
+                }
+                ConstraintOp::Ge => {
+                    tab[(i, slack_cursor)] = -flip;
+                    if flip < 0.0 {
+                        basis[i] = slack_cursor;
+                    }
+                    slack_cursor += 1;
+                }
+                ConstraintOp::Eq => {}
+            }
+            if basis[i] == usize::MAX {
+                tab[(i, art_cursor)] = 1.0;
+                basis[i] = art_cursor;
+                artificials.push(art_cursor);
+                art_cursor += 1;
+            }
+        }
+        let ncols_total = art_cursor;
+
+        let max_pivots = 200 + 50 * (m + ncols_total);
+        let mut pivots = 0usize;
+
+        // --- Phase 1 -------------------------------------------------------------
+        if !artificials.is_empty() {
+            let mut phase1_cost = vec![0.0; ncols_total];
+            for &a in &artificials {
+                phase1_cost[a] = 1.0;
+            }
+            let status = run_simplex(
+                &mut tab,
+                &mut basis,
+                &phase1_cost,
+                ncols_total,
+                rhs_col,
+                max_pivots,
+                &mut pivots,
+            )?;
+            if status == SimplexStatus::Unbounded {
+                // Phase-1 objective is bounded below by 0; cannot happen.
+                return Err(OptimError::invalid(
+                    "internal error: phase-1 reported unbounded",
+                ));
+            }
+            let phase1_obj: f64 = basis
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| phase1_cost[b] * tab[(i, rhs_col)])
+                .sum();
+            if phase1_obj > 1e-7 {
+                return Err(OptimError::infeasible(format!(
+                    "phase-1 optimum {phase1_obj:.3e} > 0"
+                )));
+            }
+            // Pivot lingering artificials out of the basis when possible.
+            for i in 0..m {
+                if artificials.contains(&basis[i]) {
+                    let mut pivoted = false;
+                    for j in 0..ncols {
+                        if tab[(i, j)].abs() > 1e-7 {
+                            pivot(&mut tab, &mut basis, i, j, rhs_col);
+                            pivoted = true;
+                            break;
+                        }
+                    }
+                    if !pivoted {
+                        // Redundant row; the artificial stays basic at 0,
+                        // which is harmless as long as it never re-enters.
+                    }
+                }
+            }
+        }
+
+        // --- Phase 2 -------------------------------------------------------------
+        let mut phase2_cost = vec![0.0; ncols_total];
+        phase2_cost[..ncols].copy_from_slice(&cost[..ncols]);
+        // Forbid artificials from re-entering by giving them a huge cost.
+        let big = 1e12
+            * (1.0
+                + cost
+                    .iter()
+                    .fold(0.0_f64, |acc: f64, &c: &f64| acc.max(c.abs())));
+        for &a in &artificials {
+            phase2_cost[a] = big;
+        }
+        let status = run_simplex(
+            &mut tab,
+            &mut basis,
+            &phase2_cost,
+            ncols_total,
+            rhs_col,
+            max_pivots,
+            &mut pivots,
+        )?;
+        if status == SimplexStatus::Unbounded {
+            return Err(OptimError::Unbounded { ray: None });
+        }
+
+        // --- Extract the solution ------------------------------------------------
+        let mut normalized = vec![0.0; ncols_total];
+        for (i, &b) in basis.iter().enumerate() {
+            normalized[b] = tab[(i, rhs_col)];
+        }
+        let mut x = vec![0.0; self.n];
+        for j in 0..self.n {
+            match maps[j] {
+                VarMap::Shifted { col, lo } => x[j] = lo + normalized[col],
+                VarMap::Split { pos, neg } => x[j] = normalized[pos] - normalized[neg],
+            }
+        }
+        let raw_obj: f64 = (0..ncols).map(|j| cost[j] * normalized[j]).sum::<f64>() + obj_constant;
+        let objective = sign * raw_obj;
+        Ok(LpSolution {
+            x,
+            objective,
+            iterations: pivots,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimplexStatus {
+    Optimal,
+    Unbounded,
+}
+
+/// Performs a pivot on (`row`, `col`).
+fn pivot(tab: &mut Matrix, basis: &mut [usize], row: usize, col: usize, rhs_col: usize) {
+    let pivot_val = tab[(row, col)];
+    debug_assert!(pivot_val.abs() > 1e-12, "pivot on near-zero element");
+    let width = rhs_col + 1;
+    for j in 0..width {
+        tab[(row, j)] /= pivot_val;
+    }
+    for i in 0..tab.rows() {
+        if i == row {
+            continue;
+        }
+        let factor = tab[(i, col)];
+        if factor.abs() > 0.0 {
+            for j in 0..width {
+                let v = tab[(row, j)];
+                tab[(i, j)] -= factor * v;
+            }
+            tab[(i, col)] = 0.0; // kill round-off exactly
+        }
+    }
+    basis[row] = col;
+}
+
+/// Runs primal simplex pivots until optimality/unboundedness.
+fn run_simplex(
+    tab: &mut Matrix,
+    basis: &mut [usize],
+    cost: &[f64],
+    ncols: usize,
+    rhs_col: usize,
+    max_pivots: usize,
+    pivots: &mut usize,
+) -> Result<SimplexStatus, OptimError> {
+    let m = tab.rows();
+    // Reduced costs: z_j - c_j computed from scratch each iteration via the
+    // simplex multipliers (dense but robust; problem sizes here are small).
+    let bland_threshold = max_pivots / 2;
+    loop {
+        if *pivots > max_pivots {
+            return Err(OptimError::IterationLimit {
+                limit: max_pivots,
+                residual: f64::NAN,
+            });
+        }
+        // y_i = cost of basic variable in row i.
+        // reduced_j = c_j − Σ_i y_i · tab[i][j]
+        let use_bland = *pivots > bland_threshold;
+        let mut entering: Option<usize> = None;
+        let mut best_reduced = -1e-9;
+        for j in 0..ncols {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut zj = 0.0;
+            for i in 0..m {
+                let t = tab[(i, j)];
+                if t != 0.0 {
+                    zj += cost[basis[i]] * t;
+                }
+            }
+            let reduced = cost[j] - zj;
+            if reduced < best_reduced {
+                if use_bland {
+                    entering = Some(j);
+                    break;
+                }
+                best_reduced = reduced;
+                entering = Some(j);
+            }
+        }
+        let Some(col) = entering else {
+            return Ok(SimplexStatus::Optimal);
+        };
+
+        // Ratio test.
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let a = tab[(i, col)];
+            if a > 1e-9 {
+                let ratio = tab[(i, rhs_col)] / a;
+                if ratio < best_ratio - 1e-12
+                    || (use_bland
+                        && (ratio - best_ratio).abs() <= 1e-12
+                        && leaving.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best_ratio = ratio;
+                    leaving = Some(i);
+                }
+            }
+        }
+        let Some(row) = leaving else {
+            return Ok(SimplexStatus::Unbounded);
+        };
+        pivot(tab, basis, row, col, rhs_col);
+        *pivots += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn maximization_with_le_constraints() {
+        // Classic: max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18.
+        let mut lp = LinearProgram::new(2, Sense::Maximize);
+        lp.set_objective(vec![3.0, 5.0]);
+        lp.add_le_constraint(vec![(0, 1.0)], 4.0);
+        lp.add_le_constraint(vec![(1, 2.0)], 12.0);
+        lp.add_le_constraint(vec![(0, 3.0), (1, 2.0)], 18.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 36.0, 1e-7);
+        assert_close(s.x[0], 2.0, 1e-7);
+        assert_close(s.x[1], 6.0, 1e-7);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints_uses_phase1() {
+        // min 2x + 3y st x + y >= 4, x >= 1 → (x, y) = (4, 0), obj 8.
+        let mut lp = LinearProgram::new(2, Sense::Minimize);
+        lp.set_objective(vec![2.0, 3.0]);
+        lp.add_ge_constraint(vec![(0, 1.0), (1, 1.0)], 4.0);
+        lp.add_ge_constraint(vec![(0, 1.0)], 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 8.0, 1e-7);
+        assert_close(s.x[0], 4.0, 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y st x + 2y = 3, x,y >= 0 → (0, 1.5), obj 1.5.
+        let mut lp = LinearProgram::new(2, Sense::Minimize);
+        lp.set_objective(vec![1.0, 1.0]);
+        lp.add_eq_constraint(vec![(0, 1.0), (1, 2.0)], 3.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 1.5, 1e-7);
+        assert_close(s.x[1], 1.5, 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LinearProgram::new(1, Sense::Minimize);
+        lp.set_objective(vec![1.0]);
+        lp.add_ge_constraint(vec![(0, 1.0)], 5.0);
+        lp.add_le_constraint(vec![(0, 1.0)], 1.0);
+        assert!(matches!(lp.solve(), Err(OptimError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = LinearProgram::new(1, Sense::Maximize);
+        lp.set_objective(vec![1.0]);
+        assert!(matches!(lp.solve(), Err(OptimError::Unbounded { .. })));
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        let mut lp = LinearProgram::new(2, Sense::Maximize);
+        lp.set_objective(vec![1.0, 1.0]);
+        lp.set_bounds(0, 0.0, 0.7);
+        lp.set_bounds(1, 0.0, 0.4);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 1.1, 1e-7);
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // min x st x >= 2.5 via bounds.
+        let mut lp = LinearProgram::new(1, Sense::Minimize);
+        lp.set_objective(vec![1.0]);
+        lp.set_bounds(0, 2.5, 10.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.x[0], 2.5, 1e-7);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // max -x st x >= -3 → x = -3.
+        let mut lp = LinearProgram::new(1, Sense::Maximize);
+        lp.set_objective(vec![-1.0]);
+        lp.set_bounds(0, -3.0, f64::INFINITY);
+        let s = lp.solve().unwrap();
+        assert_close(s.x[0], -3.0, 1e-7);
+        assert_close(s.objective, 3.0, 1e-7);
+    }
+
+    #[test]
+    fn free_variables_split() {
+        // min |…|-style: min x + 2y st x + y = 1, x free, y >= 0.
+        // Optimal pushes x up? obj = x + 2y with y = 1 − x ≥ 0 → obj = 2 − x,
+        // x ≤ 1 unbounded below? x free, y ≥ 0 means x ≤ 1; obj = 2 − x
+        // minimized at x = 1 → obj 1.
+        let mut lp = LinearProgram::new(2, Sense::Minimize);
+        lp.set_objective(vec![1.0, 2.0]);
+        lp.set_bounds(0, f64::NEG_INFINITY, f64::INFINITY);
+        lp.add_eq_constraint(vec![(0, 1.0), (1, 1.0)], 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 1.0, 1e-7);
+        assert_close(s.x[0], 1.0, 1e-7);
+    }
+
+    #[test]
+    fn negative_rhs_rows_handled() {
+        // x − y ≤ −1 with x, y ∈ [0, 5]: feasible, e.g. (0, 1).
+        let mut lp = LinearProgram::new(2, Sense::Minimize);
+        lp.set_objective(vec![0.0, 1.0]);
+        lp.set_bounds(0, 0.0, 5.0);
+        lp.set_bounds(1, 0.0, 5.0);
+        lp.add_le_constraint(vec![(0, 1.0), (1, -1.0)], -1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.x[1] - s.x[0], 1.0, 1e-7);
+        assert_close(s.objective, 1.0, 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut lp = LinearProgram::new(2, Sense::Maximize);
+        lp.set_objective(vec![1.0, 1.0]);
+        lp.add_le_constraint(vec![(0, 1.0), (1, 1.0)], 1.0);
+        lp.add_le_constraint(vec![(0, 2.0), (1, 2.0)], 2.0);
+        lp.add_le_constraint(vec![(0, 1.0)], 1.0);
+        lp.add_le_constraint(vec![(1, 1.0)], 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 1.0, 1e-7);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut lp = LinearProgram::new(1, Sense::Minimize);
+        lp.set_bounds(0, 2.0, 1.0);
+        assert!(lp.solve().is_err());
+
+        let mut lp = LinearProgram::new(1, Sense::Minimize);
+        lp.add_le_constraint(vec![(7, 1.0)], 1.0);
+        assert!(lp.solve().is_err());
+
+        let mut lp = LinearProgram::new(1, Sense::Minimize);
+        lp.add_le_constraint(vec![(0, f64::NAN)], 1.0);
+        assert!(lp.solve().is_err());
+    }
+
+    #[test]
+    fn caching_shaped_lp_is_integral() {
+        // A miniature P1: 3 items, capacity 1, two timeslots, switching
+        // cost beta, rewards mu. Constraint matrix is totally unimodular,
+        // so the LP optimum is integral.
+        // Variables: x[k][t] for k in 0..3, t in 0..2 (cols k*2+t), plus
+        // p[k][t] (cols 6 + k*2 + t).
+        let beta = 0.5;
+        let mu = [[1.0, 0.2], [0.3, 1.5], [0.1, 0.1]];
+        let mut lp = LinearProgram::new(12, Sense::Minimize);
+        let xcol = |k: usize, t: usize| k * 2 + t;
+        let pcol = |k: usize, t: usize| 6 + k * 2 + t;
+        for k in 0..3 {
+            for t in 0..2 {
+                lp.set_objective_coeff(xcol(k, t), -mu[k][t]);
+                lp.set_objective_coeff(pcol(k, t), beta);
+                lp.set_bounds(xcol(k, t), 0.0, 1.0);
+                lp.set_bounds(pcol(k, t), 0.0, f64::INFINITY);
+                // p >= x_t - x_{t-1}, with x_{-1} = 0.
+                if t == 0 {
+                    lp.add_ge_constraint(vec![(pcol(k, t), 1.0), (xcol(k, t), -1.0)], 0.0);
+                } else {
+                    lp.add_ge_constraint(
+                        vec![
+                            (pcol(k, t), 1.0),
+                            (xcol(k, t), -1.0),
+                            (xcol(k, t - 1), 1.0),
+                        ],
+                        0.0,
+                    );
+                }
+            }
+        }
+        for t in 0..2 {
+            lp.add_le_constraint((0..3).map(|k| (xcol(k, t), 1.0)).collect(), 1.0);
+        }
+        let s = lp.solve().unwrap();
+        for k in 0..3 {
+            for t in 0..2 {
+                let v = s.x[xcol(k, t)];
+                assert!(v.abs() < 1e-6 || (v - 1.0).abs() < 1e-6, "x[{k}][{t}]={v}");
+            }
+        }
+        // Optimal plan: item 0 at t=0 (reward 1.0, pay beta), item 1 at
+        // t=1 (reward 1.5, pay beta) → objective = -(1.0+1.5) + 2*0.5.
+        assert_close(s.objective, -1.5, 1e-6);
+    }
+}

@@ -1,0 +1,256 @@
+//! Subgradient dual-ascent machinery for Lagrangian decomposition.
+//!
+//! The paper's Algorithm 1 relaxes the coupling constraint `y ≤ x` with
+//! multipliers `μ ≥ 0` and updates them by projected subgradient ascent
+//! (eq. 15–17):
+//!
+//! ```text
+//! μ^(l+1) = [ μ^(l) + δ^(l) · g^(l) ]⁺ ,   δ^(l) = 1 / (1 + α·l) ,
+//! g^(l)   = y^(l) − x^(l)  (constraint violation).
+//! ```
+//!
+//! This module provides the step-size schedules and a reusable
+//! [`DualAscent`] state machine; `jocal-core` drives it with the actual
+//! sub-problem solvers.
+
+use std::fmt;
+
+/// Diminishing step-size schedules for subgradient methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepSchedule {
+    /// The paper's schedule `δ_l = 1/(1 + α l)` (eq. 16).
+    Harmonic {
+        /// Slope `α > 0` controlling how fast the step decays.
+        alpha: f64,
+    },
+    /// The paper's schedule with a magnitude prefactor,
+    /// `δ_l = scale/(1 + α l)`: required in practice because the optimal
+    /// multipliers scale with the cost gradients of the instance.
+    ScaledHarmonic {
+        /// Magnitude prefactor.
+        scale: f64,
+        /// Decay slope `α > 0`.
+        alpha: f64,
+    },
+    /// Constant step `δ_l = c`.
+    Constant {
+        /// The constant step value.
+        step: f64,
+    },
+    /// Square-summable `δ_l = c / √(l+1)`.
+    InverseSqrt {
+        /// Numerator `c > 0`.
+        scale: f64,
+    },
+}
+
+impl StepSchedule {
+    /// Step size at (0-based) iteration `l`.
+    ///
+    /// ```
+    /// use jocal_optim::subgradient::StepSchedule;
+    /// let s = StepSchedule::Harmonic { alpha: 1.0 };
+    /// assert!((s.step(0) - 1.0).abs() < 1e-12);
+    /// assert!((s.step(1) - 0.5).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn step(&self, l: usize) -> f64 {
+        match *self {
+            StepSchedule::Harmonic { alpha } => 1.0 / (1.0 + alpha * l as f64),
+            StepSchedule::ScaledHarmonic { scale, alpha } => scale / (1.0 + alpha * l as f64),
+            StepSchedule::Constant { step } => step,
+            StepSchedule::InverseSqrt { scale } => scale / ((l + 1) as f64).sqrt(),
+        }
+    }
+}
+
+/// Projected subgradient ascent over non-negative multipliers.
+///
+/// Tracks the iteration counter, the best lower/upper bounds seen, and the
+/// relative duality gap the paper's Algorithm 1 uses as its stopping rule
+/// (`(UB − LB)/UB ≤ ε`).
+#[derive(Clone)]
+pub struct DualAscent {
+    multipliers: Vec<f64>,
+    schedule: StepSchedule,
+    iteration: usize,
+    lower_bound: f64,
+    upper_bound: f64,
+}
+
+impl DualAscent {
+    /// Creates a driver with `n` multipliers initialized to zero.
+    #[must_use]
+    pub fn new(n: usize, schedule: StepSchedule) -> Self {
+        DualAscent {
+            multipliers: vec![0.0; n],
+            schedule,
+            iteration: 0,
+            lower_bound: f64::NEG_INFINITY,
+            upper_bound: f64::INFINITY,
+        }
+    }
+
+    /// Current multipliers `μ^(l)`.
+    #[inline]
+    #[must_use]
+    pub fn multipliers(&self) -> &[f64] {
+        &self.multipliers
+    }
+
+    /// Current iteration counter `l`.
+    #[inline]
+    #[must_use]
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Best dual (lower) bound observed so far.
+    #[inline]
+    #[must_use]
+    pub fn lower_bound(&self) -> f64 {
+        self.lower_bound
+    }
+
+    /// Best primal (upper) bound observed so far.
+    #[inline]
+    #[must_use]
+    pub fn upper_bound(&self) -> f64 {
+        self.upper_bound
+    }
+
+    /// Records a dual objective value; keeps the maximum (Algorithm 1,
+    /// lines 5–7).
+    pub fn record_dual_value(&mut self, value: f64) {
+        if value > self.lower_bound {
+            self.lower_bound = value;
+        }
+    }
+
+    /// Records a feasible primal objective value; keeps the minimum
+    /// (Algorithm 1, line 8).
+    pub fn record_primal_value(&mut self, value: f64) {
+        if value < self.upper_bound {
+            self.upper_bound = value;
+        }
+    }
+
+    /// Relative duality gap `(UB − LB) / max(|UB|, 1)`; `∞` until both
+    /// bounds exist.
+    #[must_use]
+    pub fn relative_gap(&self) -> f64 {
+        if !self.lower_bound.is_finite() || !self.upper_bound.is_finite() {
+            return f64::INFINITY;
+        }
+        (self.upper_bound - self.lower_bound).max(0.0) / self.upper_bound.abs().max(1.0)
+    }
+
+    /// Performs one projected ascent step `μ ← [μ + δ_l g]⁺` and advances
+    /// the iteration counter. `violation[i]` is the subgradient
+    /// `g_i = y_i − x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `violation.len()` differs from the multiplier count.
+    pub fn ascend(&mut self, violation: &[f64]) {
+        assert_eq!(
+            violation.len(),
+            self.multipliers.len(),
+            "subgradient dimension mismatch"
+        );
+        let delta = self.schedule.step(self.iteration);
+        for (mu, g) in self.multipliers.iter_mut().zip(violation) {
+            *mu = (*mu + delta * g).max(0.0);
+        }
+        self.iteration += 1;
+    }
+
+    /// Resets multipliers, bounds and the iteration counter.
+    pub fn reset(&mut self) {
+        self.multipliers.iter_mut().for_each(|m| *m = 0.0);
+        self.iteration = 0;
+        self.lower_bound = f64::NEG_INFINITY;
+        self.upper_bound = f64::INFINITY;
+    }
+}
+
+impl fmt::Debug for DualAscent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DualAscent")
+            .field("n", &self.multipliers.len())
+            .field("iteration", &self.iteration)
+            .field("lower_bound", &self.lower_bound)
+            .field("upper_bound", &self.upper_bound)
+            .field("gap", &self.relative_gap())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_schedule_matches_paper() {
+        let s = StepSchedule::Harmonic { alpha: 2.0 };
+        assert!((s.step(0) - 1.0).abs() < 1e-12);
+        assert!((s.step(3) - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascend_projects_to_nonnegative() {
+        let mut d = DualAscent::new(2, StepSchedule::Constant { step: 1.0 });
+        d.ascend(&[-5.0, 2.0]);
+        assert_eq!(d.multipliers(), &[0.0, 2.0]);
+        assert_eq!(d.iteration(), 1);
+    }
+
+    #[test]
+    fn bounds_track_best_values() {
+        let mut d = DualAscent::new(1, StepSchedule::Constant { step: 0.1 });
+        d.record_dual_value(1.0);
+        d.record_dual_value(0.5); // worse, ignored
+        d.record_primal_value(3.0);
+        d.record_primal_value(2.0);
+        assert_eq!(d.lower_bound(), 1.0);
+        assert_eq!(d.upper_bound(), 2.0);
+        assert!((d.relative_gap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_infinite_before_bounds() {
+        let d = DualAscent::new(1, StepSchedule::Constant { step: 0.1 });
+        assert!(d.relative_gap().is_infinite());
+    }
+
+    #[test]
+    fn dual_ascent_solves_simple_lagrangian() {
+        // min x^2 - 2x  s.t. x <= 0.5 over x in [0, 2].
+        // Lagrangian: x^2 - 2x + mu (x - 0.5); inner argmin over [0,2] is
+        // x = clamp(1 - mu/2, 0, 2). Optimal mu* = 1, x* = 0.5.
+        let mut d = DualAscent::new(1, StepSchedule::Harmonic { alpha: 0.05 });
+        let mut x = 0.0;
+        for _ in 0..4_000 {
+            let mu = d.multipliers()[0];
+            x = (1.0 - mu / 2.0).clamp(0.0, 2.0);
+            let dual_val = x * x - 2.0 * x + mu * (x - 0.5);
+            d.record_dual_value(dual_val);
+            let x_feas = x.min(0.5);
+            d.record_primal_value(x_feas * x_feas - 2.0 * x_feas);
+            d.ascend(&[x - 0.5]);
+        }
+        assert!((x - 0.5).abs() < 1e-2, "x={x}");
+        assert!(d.relative_gap() < 1e-3, "gap={}", d.relative_gap());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut d = DualAscent::new(2, StepSchedule::Constant { step: 1.0 });
+        d.ascend(&[1.0, 1.0]);
+        d.record_primal_value(1.0);
+        d.reset();
+        assert_eq!(d.multipliers(), &[0.0, 0.0]);
+        assert_eq!(d.iteration(), 0);
+        assert!(d.relative_gap().is_infinite());
+    }
+}

@@ -1,0 +1,728 @@
+//! The demand tensor `λ_{m_n,k}^t` and its generators.
+//!
+//! [`DemandTrace`] stores, for every timeslot `t`, SBS `n`, MU class `m`
+//! and content `k`, the mean request arrival rate. The paper's evaluation
+//! draws per-class densities from `U[0, 100]` and spreads them over
+//! contents by the Zipf–Mandelbrot popularity; [`DemandGenerator`] adds
+//! several temporal patterns on top so the online algorithms face
+//! non-trivial dynamics (and so the examples can model realistic
+//! scenarios such as diurnal cycles and flash crowds).
+
+use crate::popularity::ZipfMandelbrot;
+use crate::topology::{ClassId, ContentId, Network, SbsId};
+use crate::SimError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Temporal structure applied to the base (stationary) demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TemporalPattern {
+    /// Demand identical in every timeslot.
+    Stationary,
+    /// Per-slot multiplicative jitter on each *content's* popularity:
+    /// for every `(t, n, k)` a draw from `U[1−σ, 1+σ]` scales that
+    /// content's demand across all MU classes. This models slot-to-slot
+    /// fluctuation of realized request counts and is the default in the
+    /// paper-matched scenario: it is what makes the count-ranking LRFU
+    /// baseline churn (Fig. 2c) while the optimization-based schemes
+    /// smooth over it.
+    Jitter {
+        /// Jitter half-width `σ ∈ [0, 1]`.
+        sigma: f64,
+    },
+    /// Smooth diurnal cycle: demand scaled by
+    /// `1 + amplitude · sin(2π t / period)`.
+    Diurnal {
+        /// Cycle length in timeslots.
+        period: usize,
+        /// Relative amplitude in `[0, 1)`.
+        amplitude: f64,
+    },
+    /// A flash crowd: starting at `start`, for `duration` slots, demand
+    /// for the `hot_contents` lowest-popularity items is multiplied by
+    /// `boost` (modelling a sudden viral interest in cold content).
+    FlashCrowd {
+        /// First slot of the surge.
+        start: usize,
+        /// Number of surging slots.
+        duration: usize,
+        /// How many (previously cold) items surge.
+        hot_contents: usize,
+        /// Demand multiplier during the surge.
+        boost: f64,
+    },
+    /// Popularity drift: every `shift_every` slots the popularity ranking
+    /// rotates by one position, so yesterday's most popular item slowly
+    /// loses rank.
+    Drift {
+        /// Slots between one-position rotations.
+        shift_every: usize,
+    },
+}
+
+/// Mean request arrival rates for every `(t, n, m, k)`.
+///
+/// Layout is a flat dense tensor; accessors are bounds-checked.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandTrace {
+    horizon: usize,
+    num_contents: usize,
+    /// Per-SBS class counts, defining the class-offset table.
+    classes_per_sbs: Vec<usize>,
+    /// Cumulative offsets into the flattened class dimension.
+    class_offsets: Vec<usize>,
+    /// `data[((t * total_classes) + class_offset[n] + m) * K + k]`.
+    data: Vec<f64>,
+}
+
+impl DemandTrace {
+    /// Creates an all-zero trace shaped for `network` over `horizon`
+    /// slots.
+    #[must_use]
+    pub fn zeros(network: &Network, horizon: usize) -> Self {
+        let classes_per_sbs: Vec<usize> =
+            network.sbss().iter().map(|s| s.num_classes()).collect();
+        let mut class_offsets = Vec::with_capacity(classes_per_sbs.len());
+        let mut acc = 0usize;
+        for &c in &classes_per_sbs {
+            class_offsets.push(acc);
+            acc += c;
+        }
+        DemandTrace {
+            horizon,
+            num_contents: network.num_contents(),
+            classes_per_sbs,
+            class_offsets,
+            data: vec![0.0; horizon * acc * network.num_contents()],
+        }
+    }
+
+    /// Number of timeslots `T`.
+    #[inline]
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Catalog size `K`.
+    #[inline]
+    #[must_use]
+    pub fn num_contents(&self) -> usize {
+        self.num_contents
+    }
+
+    /// Number of SBSs this trace covers.
+    #[inline]
+    #[must_use]
+    pub fn num_sbs(&self) -> usize {
+        self.classes_per_sbs.len()
+    }
+
+    /// Number of MU classes at SBS `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn num_classes(&self, n: SbsId) -> usize {
+        self.classes_per_sbs[n.0]
+    }
+
+    #[inline]
+    fn total_classes(&self) -> usize {
+        self.class_offsets.last().map_or(0, |o| o + self.classes_per_sbs.last().unwrap())
+    }
+
+    #[inline]
+    fn index(&self, t: usize, n: SbsId, m: ClassId, k: ContentId) -> usize {
+        ((t * self.total_classes()) + self.class_offsets[n.0] + m.0) * self.num_contents + k.0
+    }
+
+    /// The arrival rate `λ_{m_n,k}^t`. Out-of-horizon slots return `0`
+    /// (the paper sets `Λ^t = 0` for `t ≥ T`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n`, `m` or `k` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn lambda(&self, t: usize, n: SbsId, m: ClassId, k: ContentId) -> f64 {
+        assert!(n.0 < self.num_sbs(), "sbs index out of range");
+        assert!(m.0 < self.classes_per_sbs[n.0], "class index out of range");
+        assert!(k.0 < self.num_contents, "content index out of range");
+        if t >= self.horizon {
+            return 0.0;
+        }
+        self.data[self.index(t, n, m, k)]
+    }
+
+    /// Sets `λ_{m_n,k}^t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IndexOutOfRange`] for any out-of-range index
+    /// and [`SimError::InvalidConfig`] for a negative/non-finite value.
+    pub fn set_lambda(
+        &mut self,
+        t: usize,
+        n: SbsId,
+        m: ClassId,
+        k: ContentId,
+        value: f64,
+    ) -> Result<(), SimError> {
+        if t >= self.horizon {
+            return Err(SimError::IndexOutOfRange {
+                what: "timeslot",
+                index: t,
+                bound: self.horizon,
+            });
+        }
+        if n.0 >= self.num_sbs() {
+            return Err(SimError::IndexOutOfRange {
+                what: "sbs",
+                index: n.0,
+                bound: self.num_sbs(),
+            });
+        }
+        if m.0 >= self.classes_per_sbs[n.0] {
+            return Err(SimError::IndexOutOfRange {
+                what: "class",
+                index: m.0,
+                bound: self.classes_per_sbs[n.0],
+            });
+        }
+        if k.0 >= self.num_contents {
+            return Err(SimError::IndexOutOfRange {
+                what: "content",
+                index: k.0,
+                bound: self.num_contents,
+            });
+        }
+        if !(value.is_finite() && value >= 0.0) {
+            return Err(SimError::config("lambda", "must be finite and >= 0"));
+        }
+        let idx = self.index(t, n, m, k);
+        self.data[idx] = value;
+        Ok(())
+    }
+
+    /// Total demand volume at slot `t` over all SBSs, classes and items.
+    #[must_use]
+    pub fn total_at(&self, t: usize) -> f64 {
+        if t >= self.horizon {
+            return 0.0;
+        }
+        let width = self.total_classes() * self.num_contents;
+        self.data[t * width..(t + 1) * width].iter().sum()
+    }
+
+    /// Aggregated demand per content at SBS `n`, slot `t` (summed over
+    /// classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn per_content_at(&self, t: usize, n: SbsId) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_contents];
+        if t >= self.horizon {
+            return out;
+        }
+        for m in 0..self.classes_per_sbs[n.0] {
+            for k in 0..self.num_contents {
+                out[k] += self.lambda(t, n, ClassId(m), ContentId(k));
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every entry (used by predictors to add noise).
+    pub fn map_in_place(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Applies `f(t, n, m, k, λ)` to every entry, writing back the result.
+    pub fn map_indexed_in_place(
+        &mut self,
+        mut f: impl FnMut(usize, SbsId, ClassId, ContentId, f64) -> f64,
+    ) {
+        let k_total = self.num_contents;
+        for t in 0..self.horizon {
+            for n in 0..self.classes_per_sbs.len() {
+                for m in 0..self.classes_per_sbs[n] {
+                    for k in 0..k_total {
+                        let idx = self.index(t, SbsId(n), ClassId(m), ContentId(k));
+                        self.data[idx] = f(t, SbsId(n), ClassId(m), ContentId(k), self.data[idx]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The single-SBS restriction of this trace (same horizon/catalog,
+    /// only SBS `n`'s classes). Pairs with
+    /// [`crate::topology::Network::restrict_to`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn restrict_to(&self, n: SbsId) -> DemandTrace {
+        assert!(n.0 < self.num_sbs(), "sbs index out of range");
+        let m_total = self.classes_per_sbs[n.0];
+        let mut out = DemandTrace {
+            horizon: self.horizon,
+            num_contents: self.num_contents,
+            classes_per_sbs: vec![m_total],
+            class_offsets: vec![0],
+            data: vec![0.0; self.horizon * m_total * self.num_contents],
+        };
+        for t in 0..self.horizon {
+            for m in 0..m_total {
+                for k in 0..self.num_contents {
+                    let v = self.lambda(t, n, ClassId(m), ContentId(k));
+                    out.set_lambda(t, SbsId(0), ClassId(m), ContentId(k), v)
+                        .expect("restricted indices are in range");
+                }
+            }
+        }
+        out
+    }
+
+    /// Copies the window `[start, start + len)` into a fresh trace whose
+    /// local slot 0 corresponds to absolute slot `start`. Slots beyond the
+    /// source horizon are zero (matching the paper's `Λ^t = 0, t ≥ T`).
+    #[must_use]
+    pub fn window(&self, start: usize, len: usize) -> DemandTrace {
+        let mut out = DemandTrace {
+            horizon: len,
+            num_contents: self.num_contents,
+            classes_per_sbs: self.classes_per_sbs.clone(),
+            class_offsets: self.class_offsets.clone(),
+            data: vec![0.0; len * self.total_classes() * self.num_contents],
+        };
+        let width = self.total_classes() * self.num_contents;
+        for local in 0..len {
+            let t = start + local;
+            if t >= self.horizon {
+                break;
+            }
+            out.data[local * width..(local + 1) * width]
+                .copy_from_slice(&self.data[t * width..(t + 1) * width]);
+        }
+        out
+    }
+}
+
+/// Generates [`DemandTrace`]s from a popularity model and a temporal
+/// pattern.
+///
+/// ```
+/// use jocal_sim::demand::{DemandGenerator, TemporalPattern};
+/// use jocal_sim::popularity::ZipfMandelbrot;
+/// use jocal_sim::topology::{MuClass, Network};
+///
+/// let net = Network::builder(10)
+///     .sbs(2, 5.0, 1.0, vec![MuClass::new(0.4, 0.0, 20.0)?])?
+///     .build()?;
+/// let pop = ZipfMandelbrot::new(10, 0.8, 5.0)?;
+/// let trace = DemandGenerator::new(pop, TemporalPattern::Stationary)
+///     .generate(&net, 6, 7)?;
+/// assert_eq!(trace.horizon(), 6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DemandGenerator {
+    popularity: ZipfMandelbrot,
+    pattern: TemporalPattern,
+}
+
+impl DemandGenerator {
+    /// Creates a generator from a popularity model and temporal pattern.
+    #[must_use]
+    pub fn new(popularity: ZipfMandelbrot, pattern: TemporalPattern) -> Self {
+        DemandGenerator {
+            popularity,
+            pattern,
+        }
+    }
+
+    /// Generates the demand trace for `network` over `horizon` slots
+    /// using deterministic seeding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the popularity catalog size
+    /// differs from the network's, or a pattern parameter is invalid.
+    pub fn generate(
+        &self,
+        network: &Network,
+        horizon: usize,
+        seed: u64,
+    ) -> Result<DemandTrace, SimError> {
+        if self.popularity.len() != network.num_contents() {
+            return Err(SimError::config(
+                "popularity",
+                format!(
+                    "popularity has {} ranks but catalog has {} items",
+                    self.popularity.len(),
+                    network.num_contents()
+                ),
+            ));
+        }
+        self.validate_pattern(horizon)?;
+        let probs = self.popularity.probabilities();
+        let k_total = network.num_contents();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trace = DemandTrace::zeros(network, horizon);
+
+        for t in 0..horizon {
+            // Content-level multipliers for this slot.
+            let content_scale = self.content_multipliers(t, k_total);
+            let slot_scale = self.slot_multiplier(t);
+            for (n, sbs) in network.iter_sbs() {
+                // Jitter is drawn once per (t, n, k) and shared across MU
+                // classes: it models the content's realized popularity in
+                // this slot, not per-class measurement noise.
+                let jitter: Vec<f64> = (0..k_total)
+                    .map(|_| {
+                        if let TemporalPattern::Jitter { sigma } = self.pattern {
+                            (1.0 + sigma * (rng.gen::<f64>() * 2.0 - 1.0)).max(0.0)
+                        } else {
+                            1.0
+                        }
+                    })
+                    .collect();
+                for (m, class) in sbs.classes().iter().enumerate() {
+                    for k in 0..k_total {
+                        // Rank of content k is k+1: the catalog is laid out
+                        // in popularity order.
+                        let lambda = class.density
+                            * probs[k]
+                            * slot_scale
+                            * content_scale[k]
+                            * jitter[k];
+                        trace.set_lambda(t, n, ClassId(m), ContentId(k), lambda)?;
+                    }
+                }
+            }
+        }
+        Ok(trace)
+    }
+
+    fn validate_pattern(&self, _horizon: usize) -> Result<(), SimError> {
+        match self.pattern {
+            TemporalPattern::Jitter { sigma } => {
+                if !(0.0..=1.0).contains(&sigma) {
+                    return Err(SimError::config("sigma", "must lie in [0, 1]"));
+                }
+            }
+            TemporalPattern::Diurnal { period, amplitude } => {
+                if period == 0 {
+                    return Err(SimError::config("period", "must be positive"));
+                }
+                if !(0.0..1.0).contains(&amplitude) {
+                    return Err(SimError::config("amplitude", "must lie in [0, 1)"));
+                }
+            }
+            TemporalPattern::FlashCrowd {
+                boost, hot_contents, ..
+            } => {
+                if boost < 0.0 || !boost.is_finite() {
+                    return Err(SimError::config("boost", "must be finite and >= 0"));
+                }
+                if hot_contents == 0 {
+                    return Err(SimError::config("hot_contents", "must be positive"));
+                }
+            }
+            TemporalPattern::Drift { shift_every } => {
+                if shift_every == 0 {
+                    return Err(SimError::config("shift_every", "must be positive"));
+                }
+            }
+            TemporalPattern::Stationary => {}
+        }
+        Ok(())
+    }
+
+    fn slot_multiplier(&self, t: usize) -> f64 {
+        match self.pattern {
+            TemporalPattern::Diurnal { period, amplitude } => {
+                1.0 + amplitude * (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin()
+            }
+            _ => 1.0,
+        }
+    }
+
+    fn content_multipliers(&self, t: usize, k_total: usize) -> Vec<f64> {
+        match self.pattern {
+            TemporalPattern::FlashCrowd {
+                start,
+                duration,
+                hot_contents,
+                boost,
+            } => {
+                let mut scale = vec![1.0; k_total];
+                if t >= start && t < start + duration {
+                    let hot = hot_contents.min(k_total);
+                    // The surge hits the *least* popular items: coldest tail.
+                    for s in scale.iter_mut().rev().take(hot) {
+                        *s = boost;
+                    }
+                }
+                scale
+            }
+            TemporalPattern::Drift { shift_every } => {
+                // Rotate popularity by (t / shift_every) positions: content
+                // k takes the multiplier of the rank it drifts into.
+                let shift = (t / shift_every) % k_total;
+                let mut scale = vec![1.0; k_total];
+                if shift > 0 {
+                    // Express drift as a permutation multiplier relative to
+                    // base popularity: item k now behaves like rank
+                    // (k + shift) mod K.
+                    for (k, s) in scale.iter_mut().enumerate() {
+                        let target = (k + shift) % k_total;
+                        // ratio p(target)/p(k) applied multiplicatively.
+                        *s = ((k as f64 + 1.0) / (target as f64 + 1.0)).abs();
+                    }
+                }
+                scale
+            }
+            _ => vec![1.0; k_total],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::MuClass;
+
+    fn small_net() -> Network {
+        Network::builder(5)
+            .sbs(
+                2,
+                10.0,
+                1.0,
+                vec![
+                    MuClass::new(0.5, 0.0, 10.0).unwrap(),
+                    MuClass::new(0.2, 0.0, 20.0).unwrap(),
+                ],
+            )
+            .unwrap()
+            .sbs(1, 5.0, 2.0, vec![MuClass::new(0.9, 0.1, 5.0).unwrap()])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn pop5() -> ZipfMandelbrot {
+        ZipfMandelbrot::new(5, 0.8, 2.0).unwrap()
+    }
+
+    #[test]
+    fn zeros_has_right_shape() {
+        let trace = DemandTrace::zeros(&small_net(), 4);
+        assert_eq!(trace.horizon(), 4);
+        assert_eq!(trace.num_contents(), 5);
+        assert_eq!(trace.num_sbs(), 2);
+        assert_eq!(trace.num_classes(SbsId(0)), 2);
+        assert_eq!(trace.num_classes(SbsId(1)), 1);
+        assert_eq!(trace.lambda(1, SbsId(0), ClassId(1), ContentId(3)), 0.0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut trace = DemandTrace::zeros(&small_net(), 3);
+        trace
+            .set_lambda(2, SbsId(1), ClassId(0), ContentId(4), 7.5)
+            .unwrap();
+        assert_eq!(trace.lambda(2, SbsId(1), ClassId(0), ContentId(4)), 7.5);
+        // Neighbours untouched.
+        assert_eq!(trace.lambda(2, SbsId(1), ClassId(0), ContentId(3)), 0.0);
+        assert_eq!(trace.lambda(1, SbsId(1), ClassId(0), ContentId(4)), 0.0);
+    }
+
+    #[test]
+    fn out_of_horizon_lambda_is_zero() {
+        let trace = DemandTrace::zeros(&small_net(), 3);
+        assert_eq!(trace.lambda(99, SbsId(0), ClassId(0), ContentId(0)), 0.0);
+    }
+
+    #[test]
+    fn set_lambda_validates() {
+        let mut trace = DemandTrace::zeros(&small_net(), 3);
+        assert!(trace
+            .set_lambda(9, SbsId(0), ClassId(0), ContentId(0), 1.0)
+            .is_err());
+        assert!(trace
+            .set_lambda(0, SbsId(9), ClassId(0), ContentId(0), 1.0)
+            .is_err());
+        assert!(trace
+            .set_lambda(0, SbsId(0), ClassId(5), ContentId(0), 1.0)
+            .is_err());
+        assert!(trace
+            .set_lambda(0, SbsId(0), ClassId(0), ContentId(9), 1.0)
+            .is_err());
+        assert!(trace
+            .set_lambda(0, SbsId(0), ClassId(0), ContentId(0), -1.0)
+            .is_err());
+        assert!(trace
+            .set_lambda(0, SbsId(0), ClassId(0), ContentId(0), f64::NAN)
+            .is_err());
+    }
+
+    #[test]
+    fn stationary_generation_is_time_invariant() {
+        let gen = DemandGenerator::new(pop5(), TemporalPattern::Stationary);
+        let trace = gen.generate(&small_net(), 5, 3).unwrap();
+        for t in 1..5 {
+            for k in 0..5 {
+                assert_eq!(
+                    trace.lambda(t, SbsId(0), ClassId(0), ContentId(k)),
+                    trace.lambda(0, SbsId(0), ClassId(0), ContentId(k))
+                );
+            }
+        }
+        // Popularity ordering preserved.
+        assert!(
+            trace.lambda(0, SbsId(0), ClassId(0), ContentId(0))
+                > trace.lambda(0, SbsId(0), ClassId(0), ContentId(4))
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = DemandGenerator::new(pop5(), TemporalPattern::Jitter { sigma: 0.3 });
+        let a = gen.generate(&small_net(), 4, 11).unwrap();
+        let b = gen.generate(&small_net(), 4, 11).unwrap();
+        let c = gen.generate(&small_net(), 4, 12).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let sigma = 0.25;
+        let gen_j = DemandGenerator::new(pop5(), TemporalPattern::Jitter { sigma });
+        let gen_s = DemandGenerator::new(pop5(), TemporalPattern::Stationary);
+        let jit = gen_j.generate(&small_net(), 6, 5).unwrap();
+        let base = gen_s.generate(&small_net(), 6, 5).unwrap();
+        for t in 0..6 {
+            for k in 0..5 {
+                let b = base.lambda(t, SbsId(0), ClassId(0), ContentId(k));
+                let j = jit.lambda(t, SbsId(0), ClassId(0), ContentId(k));
+                assert!(j >= b * (1.0 - sigma) - 1e-12);
+                assert!(j <= b * (1.0 + sigma) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_cycle_peaks_and_troughs() {
+        let gen = DemandGenerator::new(
+            pop5(),
+            TemporalPattern::Diurnal {
+                period: 8,
+                amplitude: 0.5,
+            },
+        );
+        let trace = gen.generate(&small_net(), 8, 1).unwrap();
+        let at = |t: usize| trace.total_at(t);
+        assert!(at(2) > at(0)); // peak near t = period/4
+        assert!(at(6) < at(0)); // trough near 3·period/4
+    }
+
+    #[test]
+    fn flash_crowd_boosts_cold_tail() {
+        let gen = DemandGenerator::new(
+            pop5(),
+            TemporalPattern::FlashCrowd {
+                start: 2,
+                duration: 2,
+                hot_contents: 1,
+                boost: 10.0,
+            },
+        );
+        let trace = gen.generate(&small_net(), 6, 1).unwrap();
+        let cold_before = trace.lambda(1, SbsId(0), ClassId(0), ContentId(4));
+        let cold_during = trace.lambda(2, SbsId(0), ClassId(0), ContentId(4));
+        let cold_after = trace.lambda(4, SbsId(0), ClassId(0), ContentId(4));
+        assert!((cold_during / cold_before - 10.0).abs() < 1e-9);
+        assert!((cold_after - cold_before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_changes_relative_popularity() {
+        let gen = DemandGenerator::new(pop5(), TemporalPattern::Drift { shift_every: 2 });
+        let trace = gen.generate(&small_net(), 6, 1).unwrap();
+        let head_t0 = trace.lambda(0, SbsId(0), ClassId(0), ContentId(0));
+        let head_t4 = trace.lambda(4, SbsId(0), ClassId(0), ContentId(0));
+        assert!(head_t4 < head_t0);
+    }
+
+    #[test]
+    fn pattern_validation() {
+        let bad = [
+            TemporalPattern::Jitter { sigma: 1.5 },
+            TemporalPattern::Diurnal {
+                period: 0,
+                amplitude: 0.2,
+            },
+            TemporalPattern::Diurnal {
+                period: 4,
+                amplitude: 1.0,
+            },
+            TemporalPattern::FlashCrowd {
+                start: 0,
+                duration: 1,
+                hot_contents: 0,
+                boost: 1.0,
+            },
+            TemporalPattern::Drift { shift_every: 0 },
+        ];
+        for pattern in bad {
+            let gen = DemandGenerator::new(pop5(), pattern);
+            assert!(gen.generate(&small_net(), 3, 0).is_err());
+        }
+    }
+
+    #[test]
+    fn catalog_size_mismatch_rejected() {
+        let gen = DemandGenerator::new(
+            ZipfMandelbrot::new(7, 0.8, 0.0).unwrap(),
+            TemporalPattern::Stationary,
+        );
+        assert!(gen.generate(&small_net(), 3, 0).is_err());
+    }
+
+    #[test]
+    fn per_content_aggregates_classes() {
+        let gen = DemandGenerator::new(pop5(), TemporalPattern::Stationary);
+        let trace = gen.generate(&small_net(), 2, 0).unwrap();
+        let agg = trace.per_content_at(0, SbsId(0));
+        let manual: f64 = trace.lambda(0, SbsId(0), ClassId(0), ContentId(2))
+            + trace.lambda(0, SbsId(0), ClassId(1), ContentId(2));
+        assert!((agg[2] - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_at_sums_everything() {
+        let mut trace = DemandTrace::zeros(&small_net(), 2);
+        trace
+            .set_lambda(0, SbsId(0), ClassId(0), ContentId(0), 1.0)
+            .unwrap();
+        trace
+            .set_lambda(0, SbsId(1), ClassId(0), ContentId(4), 2.0)
+            .unwrap();
+        assert!((trace.total_at(0) - 3.0).abs() < 1e-12);
+        assert_eq!(trace.total_at(1), 0.0);
+        assert_eq!(trace.total_at(5), 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the simulator substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or manipulating simulator objects.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value is out of its valid range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// An index (timeslot, SBS, class, content) is out of range.
+    IndexOutOfRange {
+        /// What kind of index was out of range.
+        what: &'static str,
+        /// The offending index value.
+        index: usize,
+        /// The exclusive upper bound.
+        bound: usize,
+    },
+    /// A trace file could not be parsed.
+    ParseTrace {
+        /// 1-based line number of the defect.
+        line: usize,
+        /// Description of the defect.
+        detail: String,
+    },
+}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::InvalidConfig`].
+    pub fn config(field: &'static str, detail: impl Into<String>) -> Self {
+        SimError::InvalidConfig {
+            field,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, detail } => {
+                write!(f, "invalid configuration for `{field}`: {detail}")
+            }
+            SimError::IndexOutOfRange { what, index, bound } => {
+                write!(f, "{what} index {index} out of range (< {bound})")
+            }
+            SimError::ParseTrace { line, detail } => {
+                write!(f, "trace parse error at line {line}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::config("alpha", "must be positive");
+        assert!(e.to_string().contains("alpha"));
+        let e = SimError::IndexOutOfRange {
+            what: "timeslot",
+            index: 5,
+            bound: 3,
+        };
+        assert!(e.to_string().contains("timeslot"));
+        let e = SimError::ParseTrace {
+            line: 2,
+            detail: "bad float".into(),
+        };
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! 5G edge-network simulator substrate for the `jocal` workspace.
+//!
+//! Models the environment of the ICDCS 2019 paper *"Joint Online Edge
+//! Caching and Load Balancing for Mobile Data Offloading in 5G Networks"*:
+//! one base station (BS), `N` small base stations (SBSs) with caches and
+//! bandwidth limits, per-SBS mobile-user (MU) classes, and time-varying
+//! content demand.
+//!
+//! * [`topology`] — the network model: SBS cache capacity `C_n`,
+//!   bandwidth `B_n`, replacement cost `β_n`, and MU classes with their
+//!   BS/SBS transmission weights `ω`, `ω̂`.
+//! * [`popularity`] — the Zipf–Mandelbrot content popularity model
+//!   (eq. 49) plus exact categorical/alias samplers.
+//! * [`demand`] — the request-rate tensor `λ_{m_n,k}^t` and generators
+//!   (stationary, temporal jitter, diurnal, flash crowd, popularity drift).
+//! * [`predictor`] — prediction oracles for the online algorithms,
+//!   including the paper's multiplicative `η`-perturbation.
+//! * [`trace`] — CSV serialization of demand traces for record/replay.
+//! * [`scenario`] — ready-made configurations, including
+//!   [`scenario::ScenarioConfig::paper_default`] reproducing Section V-B.
+//!
+//! # Example
+//!
+//! ```
+//! use jocal_sim::scenario::ScenarioConfig;
+//!
+//! let scenario = ScenarioConfig::paper_default().build(42)?;
+//! assert_eq!(scenario.network.num_contents(), 30);
+//! assert_eq!(scenario.demand.horizon(), 100);
+//! # Ok::<(), jocal_sim::SimError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod demand;
+pub mod error;
+pub mod popularity;
+pub mod predictor;
+pub mod requests;
+pub mod scenario;
+pub mod topology;
+pub mod trace;
+
+pub use error::SimError;
+pub use topology::{ClassId, ContentId, SbsId};

@@ -1,0 +1,310 @@
+//! Content popularity models and categorical sampling.
+//!
+//! The paper models request patterns with the Zipf–Mandelbrot law
+//! (eq. 49): `p(i) ∝ K / (i + q)^α` for rank `i ∈ {1, …, K}` with shape
+//! `α` and shift `q`. This module provides that model (normalized to a
+//! proper distribution), a plain Zipf special case, and an O(1) alias
+//! sampler for drawing request realizations.
+
+use crate::SimError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Zipf–Mandelbrot popularity over ranks `1..=k` (eq. 49 of the paper).
+///
+/// ```
+/// use jocal_sim::popularity::ZipfMandelbrot;
+/// let zm = ZipfMandelbrot::new(30, 0.8, 30.0)?;
+/// let p = zm.probabilities();
+/// assert_eq!(p.len(), 30);
+/// assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!(p[0] > p[29]); // popularity decreases with rank
+/// # Ok::<(), jocal_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZipfMandelbrot {
+    k: usize,
+    alpha: f64,
+    q: f64,
+}
+
+impl ZipfMandelbrot {
+    /// Creates a model over `k` ranks with shape `alpha` and shift `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when `k = 0`, `alpha < 0`, or
+    /// `q <= -1` (which would make rank 1 undefined).
+    pub fn new(k: usize, alpha: f64, q: f64) -> Result<Self, SimError> {
+        if k == 0 {
+            return Err(SimError::config("k", "need at least one rank"));
+        }
+        if !(alpha.is_finite() && alpha >= 0.0) {
+            return Err(SimError::config("alpha", "must be finite and >= 0"));
+        }
+        if !(q.is_finite() && q > -1.0) {
+            return Err(SimError::config("q", "must be finite and > -1"));
+        }
+        Ok(ZipfMandelbrot { k, alpha, q })
+    }
+
+    /// Plain Zipf distribution (`q = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ZipfMandelbrot::new`].
+    pub fn zipf(k: usize, alpha: f64) -> Result<Self, SimError> {
+        ZipfMandelbrot::new(k, alpha, 0.0)
+    }
+
+    /// Number of ranks `K`.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.k
+    }
+
+    /// Always false: the constructor rejects `k = 0`.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Shape parameter `α`.
+    #[inline]
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Shift parameter `q`.
+    #[inline]
+    #[must_use]
+    pub fn shift(&self) -> f64 {
+        self.q
+    }
+
+    /// Unnormalized weight of rank `i` (1-based), `K/(i+q)^α` as in the
+    /// paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == 0` or `i > K`.
+    #[must_use]
+    pub fn weight(&self, i: usize) -> f64 {
+        assert!(i >= 1 && i <= self.k, "rank {i} out of 1..={}", self.k);
+        self.k as f64 / (i as f64 + self.q).powf(self.alpha)
+    }
+
+    /// The normalized probability vector over ranks `1..=K` (index 0 holds
+    /// rank 1).
+    #[must_use]
+    pub fn probabilities(&self) -> Vec<f64> {
+        let weights: Vec<f64> = (1..=self.k).map(|i| self.weight(i)).collect();
+        let total: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / total).collect()
+    }
+
+    /// Builds an alias sampler for this distribution.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid model; the `Result` mirrors
+    /// [`AliasTable::new`].
+    pub fn sampler(&self) -> Result<AliasTable, SimError> {
+        AliasTable::new(&self.probabilities())
+    }
+}
+
+/// Walker alias table for O(1) categorical sampling.
+///
+/// ```
+/// use jocal_sim::popularity::AliasTable;
+/// use rand::SeedableRng;
+/// let table = AliasTable::new(&[0.5, 0.25, 0.25])?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let draw = table.sample(&mut rng);
+/// assert!(draw < 3);
+/// # Ok::<(), jocal_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from a probability vector (normalized internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an empty vector, negative
+    /// or non-finite entries, or an all-zero vector.
+    pub fn new(probabilities: &[f64]) -> Result<Self, SimError> {
+        let n = probabilities.len();
+        if n == 0 {
+            return Err(SimError::config("probabilities", "must be non-empty"));
+        }
+        if probabilities.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(SimError::config(
+                "probabilities",
+                "entries must be finite and >= 0",
+            ));
+        }
+        let total: f64 = probabilities.iter().sum();
+        if total <= 0.0 {
+            return Err(SimError::config("probabilities", "must sum to > 0"));
+        }
+        let scaled: Vec<f64> = probabilities.iter().map(|p| p * n as f64 / total).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        let mut work = scaled;
+        for (i, &w) in work.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s] = work[s];
+            alias[s] = l;
+            work[l] = (work[l] + work[s]) - 1.0;
+            if work[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Ok(AliasTable { prob, alias })
+    }
+
+    /// Number of categories.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_normalized_and_decreasing() {
+        let zm = ZipfMandelbrot::new(30, 0.8, 30.0).unwrap();
+        let p = zm.probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for pair in p.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+    }
+
+    #[test]
+    fn zero_alpha_is_uniform() {
+        let zm = ZipfMandelbrot::new(4, 0.0, 10.0).unwrap();
+        let p = zm.probabilities();
+        for &v in &p {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shift_flattens_distribution() {
+        let sharp = ZipfMandelbrot::new(10, 1.0, 0.0).unwrap().probabilities();
+        let flat = ZipfMandelbrot::new(10, 1.0, 100.0).unwrap().probabilities();
+        // Head probability shrinks as q grows.
+        assert!(sharp[0] > flat[0]);
+    }
+
+    #[test]
+    fn weight_matches_paper_formula() {
+        let zm = ZipfMandelbrot::new(30, 0.8, 30.0).unwrap();
+        let w = zm.weight(5);
+        assert!((w - 30.0 / (35.0_f64).powf(0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(ZipfMandelbrot::new(0, 0.8, 30.0).is_err());
+        assert!(ZipfMandelbrot::new(5, -0.1, 0.0).is_err());
+        assert!(ZipfMandelbrot::new(5, 0.5, -1.0).is_err());
+        assert!(ZipfMandelbrot::new(5, f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn alias_table_empirical_frequencies() {
+        let probs = [0.6, 0.3, 0.1];
+        let table = AliasTable::new(&probs).unwrap();
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 200_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (c, p) in counts.iter().zip(&probs) {
+            let freq = *c as f64 / n as f64;
+            assert!((freq - p).abs() < 0.01, "freq {freq} vs p {p}");
+        }
+    }
+
+    #[test]
+    fn alias_table_validation() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[-0.1, 1.1]).is_err());
+        assert!(AliasTable::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn alias_table_single_category() {
+        let table = AliasTable::new(&[5.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn sampler_matches_distribution_head() {
+        let zm = ZipfMandelbrot::new(20, 1.2, 5.0).unwrap();
+        let table = zm.sampler().unwrap();
+        let probs = zm.probabilities();
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 100_000;
+        let mut head = 0usize;
+        for _ in 0..n {
+            if table.sample(&mut rng) == 0 {
+                head += 1;
+            }
+        }
+        assert!((head as f64 / n as f64 - probs[0]).abs() < 0.01);
+    }
+}

@@ -1,0 +1,309 @@
+//! Prediction oracles feeding the online algorithms.
+//!
+//! The paper's online algorithms (RHC, AFHC, CHC) consume a `w`-slot
+//! prediction window `λ_{·|τ}` at each decision time `τ`. Section V-B
+//! models prediction error by perturbing the *content popularity*:
+//! "`p(i)` would be randomly chosen from `[(1−η)p(i), (1+η)p(i)]`".
+//! Accordingly, [`NoisyPredictor`] draws one multiplicative factor per
+//! `(decision time, slot, SBS, content)` and applies it across all MU
+//! classes — per-class noise would average out over the 30 classes and
+//! understate the paper's perturbation by `√M`.
+//!
+//! Implementations here are **deterministic given their seed**: the noise
+//! applied to slot `t` as seen from decision time `now` depends only on
+//! `(seed, now, t, n, m, k)` through a SplitMix64 hash, so repeated calls
+//! and out-of-order calls return identical predictions.
+
+use crate::demand::DemandTrace;
+use std::fmt;
+
+/// A source of demand predictions for the online controllers.
+pub trait Predictor: fmt::Debug {
+    /// Predicted demand for the `horizon` slots starting at `now`.
+    ///
+    /// Local slot `0` of the returned trace corresponds to absolute slot
+    /// `now`. Slots past the true horizon are zero.
+    fn predict(&self, now: usize, horizon: usize) -> DemandTrace;
+
+    /// The ground-truth trace (used by runners to charge realized costs).
+    fn truth(&self) -> &DemandTrace;
+}
+
+/// Oracle predictor: returns the exact future (used by the offline optimum
+/// and as the `η = 0` case).
+#[derive(Debug, Clone)]
+pub struct PerfectPredictor {
+    truth: DemandTrace,
+}
+
+impl PerfectPredictor {
+    /// Wraps the ground truth.
+    #[must_use]
+    pub fn new(truth: DemandTrace) -> Self {
+        PerfectPredictor { truth }
+    }
+}
+
+impl Predictor for PerfectPredictor {
+    fn predict(&self, now: usize, horizon: usize) -> DemandTrace {
+        self.truth.window(now, horizon)
+    }
+
+    fn truth(&self) -> &DemandTrace {
+        &self.truth
+    }
+}
+
+/// The paper's multiplicative-noise predictor: each predicted rate is the
+/// truth scaled by an independent draw from `U[1−η, 1+η]`.
+///
+/// The current slot (offset 0) is returned exactly by default — at
+/// decision time the present demand is observable; RHC's window in the
+/// paper predicts from `τ+1` onward. Use
+/// [`NoisyPredictor::with_noisy_current`] to perturb offset 0 too.
+#[derive(Debug, Clone)]
+pub struct NoisyPredictor {
+    truth: DemandTrace,
+    eta: f64,
+    seed: u64,
+    exact_current: bool,
+}
+
+impl NoisyPredictor {
+    /// Creates a predictor with noise level `eta ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(truth: DemandTrace, eta: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&eta),
+            "perturbation eta must lie in [0, 1], got {eta}"
+        );
+        NoisyPredictor {
+            truth,
+            eta,
+            seed,
+            exact_current: true,
+        }
+    }
+
+    /// Also perturbs the current slot (offset 0).
+    #[must_use]
+    pub fn with_noisy_current(mut self) -> Self {
+        self.exact_current = false;
+        self
+    }
+
+    /// The configured noise level `η`.
+    #[inline]
+    #[must_use]
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// Deterministic uniform draw in `[-1, 1]` per
+    /// `(decision time, slot, SBS, content)` — shared across MU classes,
+    /// matching the paper's perturbation of `p(i)`.
+    fn unit_noise(&self, now: usize, t: usize, n: usize, k: usize) -> f64 {
+        // SplitMix64 over a mixed key.
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((now as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((t as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add((n as u64) << 40)
+            .wrapping_add(k as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Map to [-1, 1).
+        (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+}
+
+impl Predictor for NoisyPredictor {
+    fn predict(&self, now: usize, horizon: usize) -> DemandTrace {
+        let mut window = self.truth.window(now, horizon);
+        if self.eta == 0.0 {
+            return window;
+        }
+        window.map_indexed_in_place(|local_t, n, _m, k, v| {
+            if local_t == 0 && self.exact_current {
+                return v;
+            }
+            let u = self.unit_noise(now, now + local_t, n.0, k.0);
+            (v * (1.0 + self.eta * u)).max(0.0)
+        });
+        window
+    }
+
+    fn truth(&self) -> &DemandTrace {
+        &self.truth
+    }
+}
+
+/// Persistence forecast: predicts that every future slot looks exactly
+/// like the current one. A classic naive baseline that stresses the
+/// robustness of the online controllers under model-free prediction.
+#[derive(Debug, Clone)]
+pub struct PersistencePredictor {
+    truth: DemandTrace,
+}
+
+impl PersistencePredictor {
+    /// Wraps the ground truth.
+    #[must_use]
+    pub fn new(truth: DemandTrace) -> Self {
+        PersistencePredictor { truth }
+    }
+}
+
+impl Predictor for PersistencePredictor {
+    fn predict(&self, now: usize, horizon: usize) -> DemandTrace {
+        let current = self.truth.window(now, 1);
+        let mut out = self.truth.window(now, horizon);
+        out.map_indexed_in_place(|local_t, n, m, k, _| {
+            if now + local_t >= self.truth.horizon() {
+                0.0
+            } else {
+                current.lambda(0, n, m, k)
+            }
+        });
+        out
+    }
+
+    fn truth(&self) -> &DemandTrace {
+        &self.truth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{DemandGenerator, TemporalPattern};
+    use crate::popularity::ZipfMandelbrot;
+    use crate::topology::{ClassId, ContentId, MuClass, Network, SbsId};
+
+    fn truth() -> DemandTrace {
+        let net = Network::builder(4)
+            .sbs(2, 10.0, 1.0, vec![MuClass::new(0.5, 0.0, 10.0).unwrap()])
+            .unwrap()
+            .build()
+            .unwrap();
+        DemandGenerator::new(
+            ZipfMandelbrot::new(4, 0.8, 1.0).unwrap(),
+            TemporalPattern::Diurnal {
+                period: 6,
+                amplitude: 0.4,
+            },
+        )
+        .generate(&net, 10, 3)
+        .unwrap()
+    }
+
+    #[test]
+    fn perfect_predictor_returns_truth_window() {
+        let t = truth();
+        let p = PerfectPredictor::new(t.clone());
+        let w = p.predict(3, 4);
+        for local in 0..4 {
+            for k in 0..4 {
+                assert_eq!(
+                    w.lambda(local, SbsId(0), ClassId(0), ContentId(k)),
+                    t.lambda(3 + local, SbsId(0), ClassId(0), ContentId(k))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_past_horizon_is_zero() {
+        let t = truth();
+        let p = PerfectPredictor::new(t);
+        let w = p.predict(8, 5);
+        assert_eq!(w.lambda(3, SbsId(0), ClassId(0), ContentId(0)), 0.0);
+    }
+
+    #[test]
+    fn noisy_predictor_is_deterministic_and_bounded() {
+        let t = truth();
+        let p = NoisyPredictor::new(t.clone(), 0.2, 77);
+        let w1 = p.predict(2, 5);
+        let w2 = p.predict(2, 5);
+        assert_eq!(w1, w2);
+        for local in 1..5 {
+            for k in 0..4 {
+                let tv = t.lambda(2 + local, SbsId(0), ClassId(0), ContentId(k));
+                let pv = w1.lambda(local, SbsId(0), ClassId(0), ContentId(k));
+                assert!(pv >= tv * 0.8 - 1e-12 && pv <= tv * 1.2 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_predictor_exact_current_slot() {
+        let t = truth();
+        let p = NoisyPredictor::new(t.clone(), 0.5, 9);
+        let w = p.predict(4, 3);
+        for k in 0..4 {
+            assert_eq!(
+                w.lambda(0, SbsId(0), ClassId(0), ContentId(k)),
+                t.lambda(4, SbsId(0), ClassId(0), ContentId(k))
+            );
+        }
+        let noisy = NoisyPredictor::new(t.clone(), 0.5, 9).with_noisy_current();
+        let w = noisy.predict(4, 3);
+        let diff: f64 = (0..4)
+            .map(|k| {
+                (w.lambda(0, SbsId(0), ClassId(0), ContentId(k))
+                    - t.lambda(4, SbsId(0), ClassId(0), ContentId(k)))
+                .abs()
+            })
+            .sum();
+        assert!(diff > 0.0);
+    }
+
+    #[test]
+    fn zero_eta_equals_perfect() {
+        let t = truth();
+        let noisy = NoisyPredictor::new(t.clone(), 0.0, 5);
+        let perfect = PerfectPredictor::new(t);
+        assert_eq!(noisy.predict(1, 6), perfect.predict(1, 6));
+    }
+
+    #[test]
+    fn noise_varies_with_decision_time() {
+        let t = truth();
+        let p = NoisyPredictor::new(t, 0.3, 5);
+        // Slot 5 predicted from now=2 vs now=3 should differ (fresh draw).
+        let from2 = p.predict(2, 5);
+        let from3 = p.predict(3, 5);
+        let a = from2.lambda(3, SbsId(0), ClassId(0), ContentId(0)); // abs slot 5
+        let b = from3.lambda(2, SbsId(0), ClassId(0), ContentId(0)); // abs slot 5
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn persistence_repeats_current_slot() {
+        let t = truth();
+        let p = PersistencePredictor::new(t.clone());
+        let w = p.predict(2, 4);
+        for local in 1..4 {
+            for k in 0..4 {
+                assert_eq!(
+                    w.lambda(local, SbsId(0), ClassId(0), ContentId(k)),
+                    t.lambda(2, SbsId(0), ClassId(0), ContentId(k))
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must lie in [0, 1]")]
+    fn rejects_bad_eta() {
+        let t = truth();
+        let _ = NoisyPredictor::new(t, 1.5, 0);
+    }
+}

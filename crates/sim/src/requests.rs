@@ -1,0 +1,220 @@
+//! Discrete request realizations.
+//!
+//! The demand tensor carries *mean arrival rates* `λ_{m_n,k}^t`; this
+//! module draws integer request counts from them (independent Poisson
+//! arrivals per class/content, the standard traffic model behind the
+//! paper's "mean arrival rate" language). Count-based policies such as
+//! LRFU can thus be evaluated against realized traffic rather than
+//! smoothed rates, and the event stream feeds trace-driven examples.
+
+use crate::demand::DemandTrace;
+use crate::topology::{ClassId, ContentId, SbsId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Realized integer request counts for one timeslot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestCounts {
+    /// The slot the counts were drawn for.
+    pub slot: usize,
+    /// `counts[n][m][k]` — realized requests.
+    counts: Vec<Vec<Vec<u32>>>,
+}
+
+impl RequestCounts {
+    /// Realized count for `(n, m, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    #[must_use]
+    pub fn count(&self, n: SbsId, m: ClassId, k: ContentId) -> u32 {
+        self.counts[n.0][m.0][k.0]
+    }
+
+    /// Total realized requests in the slot.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts
+            .iter()
+            .flat_map(|per_sbs| per_sbs.iter())
+            .flat_map(|per_class| per_class.iter())
+            .map(|&c| u64::from(c))
+            .sum()
+    }
+
+    /// Per-content totals for one SBS (the input LRFU ranks on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn per_content(&self, n: SbsId) -> Vec<u64> {
+        let k_total = self.counts[n.0].first().map_or(0, Vec::len);
+        let mut out = vec![0u64; k_total];
+        for per_class in &self.counts[n.0] {
+            for (k, &c) in per_class.iter().enumerate() {
+                out[k] += u64::from(c);
+            }
+        }
+        out
+    }
+}
+
+/// Draws Poisson request realizations from a demand trace.
+///
+/// Deterministic per `(seed, slot)`: re-sampling a slot yields the same
+/// counts regardless of call order.
+///
+/// ```
+/// use jocal_sim::requests::RequestSampler;
+/// use jocal_sim::scenario::ScenarioConfig;
+///
+/// let s = ScenarioConfig::tiny().build(3)?;
+/// let sampler = RequestSampler::new(9);
+/// let counts = sampler.sample_slot(&s.demand, 0);
+/// assert_eq!(counts.slot, 0);
+/// # Ok::<(), jocal_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSampler {
+    seed: u64,
+}
+
+impl RequestSampler {
+    /// Creates a sampler with a base seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        RequestSampler { seed }
+    }
+
+    /// Draws the counts for slot `t`.
+    ///
+    /// Slots past the horizon yield all-zero counts.
+    #[must_use]
+    pub fn sample_slot(&self, demand: &DemandTrace, t: usize) -> RequestCounts {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(t as u64),
+        );
+        let counts = (0..demand.num_sbs())
+            .map(|n| {
+                (0..demand.num_classes(SbsId(n)))
+                    .map(|m| {
+                        (0..demand.num_contents())
+                            .map(|k| {
+                                let lambda =
+                                    demand.lambda(t, SbsId(n), ClassId(m), ContentId(k));
+                                poisson(&mut rng, lambda)
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        RequestCounts { slot: t, counts }
+    }
+}
+
+/// Knuth's Poisson sampler for small means with a normal approximation
+/// above 30 (adequate for per-class/content rates in this simulator).
+fn poisson(rng: &mut StdRng, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation with continuity correction.
+        let (u1, u2): (f64, f64) = (rng.gen::<f64>().max(1e-12), rng.gen());
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = lambda + lambda.sqrt() * z + 0.5;
+        return v.max(0.0) as u32;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // numerically unreachable guard
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+
+    #[test]
+    fn sampling_is_deterministic_per_slot() {
+        let s = ScenarioConfig::tiny().build(5).unwrap();
+        let sampler = RequestSampler::new(3);
+        let a = sampler.sample_slot(&s.demand, 2);
+        let b = sampler.sample_slot(&s.demand, 2);
+        assert_eq!(a, b);
+        let c = sampler.sample_slot(&s.demand, 3);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_rate_yields_zero_counts() {
+        let s = ScenarioConfig::tiny().build(5).unwrap();
+        let sampler = RequestSampler::new(1);
+        // Past the horizon the demand is zero.
+        let counts = sampler.sample_slot(&s.demand, 999);
+        assert_eq!(counts.total(), 0);
+    }
+
+    #[test]
+    fn empirical_mean_tracks_lambda() {
+        let s = ScenarioConfig::tiny().build(8).unwrap();
+        let lambda = s
+            .demand
+            .lambda(0, SbsId(0), ClassId(0), ContentId(0));
+        let mut total = 0u64;
+        let trials = 3000;
+        for seed in 0..trials {
+            let sampler = RequestSampler::new(seed);
+            total += u64::from(sampler.sample_slot(&s.demand, 0).count(
+                SbsId(0),
+                ClassId(0),
+                ContentId(0),
+            ));
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(
+            (mean - lambda).abs() < 0.2 * lambda.max(0.5) + 0.1,
+            "mean {mean} vs lambda {lambda}"
+        );
+    }
+
+    #[test]
+    fn per_content_aggregates_classes() {
+        let s = ScenarioConfig::tiny().build(8).unwrap();
+        let sampler = RequestSampler::new(4);
+        let counts = sampler.sample_slot(&s.demand, 1);
+        let agg = counts.per_content(SbsId(0));
+        let manual: u64 = (0..s.demand.num_classes(SbsId(0)))
+            .map(|m| u64::from(counts.count(SbsId(0), ClassId(m), ContentId(2))))
+            .sum();
+        assert_eq!(agg[2], manual);
+    }
+
+    #[test]
+    fn large_lambda_uses_normal_path() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut total = 0u64;
+        let trials = 2000;
+        for _ in 0..trials {
+            total += u64::from(poisson(&mut rng, 100.0));
+        }
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean {mean}");
+    }
+}

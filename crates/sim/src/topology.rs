@@ -1,0 +1,413 @@
+//! Network topology: base station, small base stations and MU classes.
+//!
+//! Mirrors Section II-A of the paper. The single base station is implicit
+//! (it has unlimited capacity and no cache); the model's state is the list
+//! of SBSs, each with a cache capacity `C_n`, a bandwidth capacity `B_n`,
+//! a cache-replacement cost parameter `β_n`, and a set of MU classes with
+//! transmission-weight parameters `ω_{m_n}` (to the BS) and `ω̂_{m_n}`
+//! (to the SBS).
+
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a small base station within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SbsId(pub usize);
+
+/// Index of a content item in the catalog `K`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ContentId(pub usize);
+
+/// Index of an MU class, local to its SBS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClassId(pub usize);
+
+impl fmt::Display for SbsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sbs{}", self.0)
+    }
+}
+
+impl fmt::Display for ContentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "content{}", self.0)
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class{}", self.0)
+    }
+}
+
+/// A class of mobile users served by one SBS (the paper's `m_n`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MuClass {
+    /// Weighted transmission parameter `ω_{m_n}` toward the BS. Larger
+    /// values model users near the cell edge (expensive to serve from the
+    /// BS).
+    pub omega_bs: f64,
+    /// Weighted transmission parameter `ω̂_{m_n}` toward the local SBS.
+    /// The paper's evaluation sets this to `0` (SBS cost negligible).
+    pub omega_sbs: f64,
+    /// Request density of the class: expected total request volume per
+    /// timeslot, distributed over contents by the popularity model.
+    pub density: f64,
+}
+
+impl MuClass {
+    /// Creates a class after validating parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any parameter is negative or
+    /// non-finite.
+    pub fn new(omega_bs: f64, omega_sbs: f64, density: f64) -> Result<Self, SimError> {
+        if !(omega_bs.is_finite() && omega_bs >= 0.0) {
+            return Err(SimError::config("omega_bs", "must be finite and >= 0"));
+        }
+        if !(omega_sbs.is_finite() && omega_sbs >= 0.0) {
+            return Err(SimError::config("omega_sbs", "must be finite and >= 0"));
+        }
+        if !(density.is_finite() && density >= 0.0) {
+            return Err(SimError::config("density", "must be finite and >= 0"));
+        }
+        Ok(MuClass {
+            omega_bs,
+            omega_sbs,
+            density,
+        })
+    }
+}
+
+/// A small base station: cache, bandwidth, replacement-cost parameter and
+/// the MU classes it serves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sbs {
+    cache_capacity: usize,
+    bandwidth: f64,
+    replacement_cost: f64,
+    classes: Vec<MuClass>,
+}
+
+impl Sbs {
+    /// Creates an SBS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when `bandwidth` or
+    /// `replacement_cost` is negative/non-finite, or `classes` is empty.
+    pub fn new(
+        cache_capacity: usize,
+        bandwidth: f64,
+        replacement_cost: f64,
+        classes: Vec<MuClass>,
+    ) -> Result<Self, SimError> {
+        if !(bandwidth.is_finite() && bandwidth >= 0.0) {
+            return Err(SimError::config("bandwidth", "must be finite and >= 0"));
+        }
+        if !(replacement_cost.is_finite() && replacement_cost >= 0.0) {
+            return Err(SimError::config(
+                "replacement_cost",
+                "must be finite and >= 0",
+            ));
+        }
+        if classes.is_empty() {
+            return Err(SimError::config("classes", "SBS must serve >= 1 MU class"));
+        }
+        Ok(Sbs {
+            cache_capacity,
+            bandwidth,
+            replacement_cost,
+            classes,
+        })
+    }
+
+    /// Cache capacity `C_n` in content items.
+    #[inline]
+    #[must_use]
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_capacity
+    }
+
+    /// Bandwidth capacity `B_n` in items per timeslot.
+    #[inline]
+    #[must_use]
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Cache replacement cost `β_n` per fetched item.
+    #[inline]
+    #[must_use]
+    pub fn replacement_cost(&self) -> f64 {
+        self.replacement_cost
+    }
+
+    /// The MU classes served by this SBS.
+    #[inline]
+    #[must_use]
+    pub fn classes(&self) -> &[MuClass] {
+        &self.classes
+    }
+
+    /// Number of MU classes.
+    #[inline]
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// The full downlink network: content catalog size plus all SBSs.
+///
+/// Use [`NetworkBuilder`] to construct one:
+///
+/// ```
+/// use jocal_sim::topology::{MuClass, Network};
+///
+/// let net = Network::builder(30)
+///     .sbs(5, 30.0, 100.0, vec![MuClass::new(0.5, 0.0, 50.0)?])?
+///     .build()?;
+/// assert_eq!(net.num_sbs(), 1);
+/// # Ok::<(), jocal_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    num_contents: usize,
+    sbss: Vec<Sbs>,
+}
+
+impl Network {
+    /// Starts building a network with a catalog of `num_contents` items.
+    #[must_use]
+    pub fn builder(num_contents: usize) -> NetworkBuilder {
+        NetworkBuilder {
+            num_contents,
+            sbss: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Catalog size `K`.
+    #[inline]
+    #[must_use]
+    pub fn num_contents(&self) -> usize {
+        self.num_contents
+    }
+
+    /// Number of SBSs `N`.
+    #[inline]
+    #[must_use]
+    pub fn num_sbs(&self) -> usize {
+        self.sbss.len()
+    }
+
+    /// All SBSs.
+    #[inline]
+    #[must_use]
+    pub fn sbss(&self) -> &[Sbs] {
+        &self.sbss
+    }
+
+    /// One SBS by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IndexOutOfRange`] for an invalid id.
+    pub fn sbs(&self, id: SbsId) -> Result<&Sbs, SimError> {
+        self.sbss.get(id.0).ok_or(SimError::IndexOutOfRange {
+            what: "sbs",
+            index: id.0,
+            bound: self.sbss.len(),
+        })
+    }
+
+    /// Total number of MU classes across all SBSs.
+    #[must_use]
+    pub fn total_classes(&self) -> usize {
+        self.sbss.iter().map(Sbs::num_classes).sum()
+    }
+
+    /// Iterator over `(SbsId, &Sbs)` pairs.
+    pub fn iter_sbs(&self) -> impl Iterator<Item = (SbsId, &Sbs)> {
+        self.sbss.iter().enumerate().map(|(i, s)| (SbsId(i), s))
+    }
+
+    /// The single-SBS sub-network containing only `id` (same catalog).
+    ///
+    /// Because the paper's objective separates per SBS, solving each
+    /// restriction independently and combining is exact — the basis of
+    /// the distributed solver in `jocal-core`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IndexOutOfRange`] for an invalid id.
+    pub fn restrict_to(&self, id: SbsId) -> Result<Network, SimError> {
+        let sbs = self.sbs(id)?.clone();
+        Ok(Network {
+            num_contents: self.num_contents,
+            sbss: vec![sbs],
+        })
+    }
+}
+
+/// Builder for [`Network`]; collects SBSs then validates on
+/// [`NetworkBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    num_contents: usize,
+    sbss: Vec<Sbs>,
+    error: Option<SimError>,
+}
+
+impl NetworkBuilder {
+    /// Adds an SBS with the given cache capacity, bandwidth, replacement
+    /// cost `β` and MU classes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures from [`Sbs::new`].
+    pub fn sbs(
+        mut self,
+        cache_capacity: usize,
+        bandwidth: f64,
+        replacement_cost: f64,
+        classes: Vec<MuClass>,
+    ) -> Result<Self, SimError> {
+        let sbs = Sbs::new(cache_capacity, bandwidth, replacement_cost, classes)?;
+        self.sbss.push(sbs);
+        Ok(self)
+    }
+
+    /// Adds a pre-built SBS.
+    #[must_use]
+    pub fn push_sbs(mut self, sbs: Sbs) -> Self {
+        self.sbss.push(sbs);
+        self
+    }
+
+    /// Finalizes the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the catalog is empty, no SBS
+    /// was added, or any SBS cache capacity exceeds the catalog size.
+    pub fn build(self) -> Result<Network, SimError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.num_contents == 0 {
+            return Err(SimError::config("num_contents", "catalog must be non-empty"));
+        }
+        if self.sbss.is_empty() {
+            return Err(SimError::config("sbss", "network needs at least one SBS"));
+        }
+        for (i, s) in self.sbss.iter().enumerate() {
+            if s.cache_capacity > self.num_contents {
+                return Err(SimError::config(
+                    "cache_capacity",
+                    format!(
+                        "SBS {i} capacity {} exceeds catalog size {}",
+                        s.cache_capacity, self.num_contents
+                    ),
+                ));
+            }
+        }
+        Ok(Network {
+            num_contents: self.num_contents,
+            sbss: self.sbss,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_class() -> Vec<MuClass> {
+        vec![MuClass::new(0.5, 0.0, 10.0).unwrap()]
+    }
+
+    #[test]
+    fn builds_valid_network() {
+        let net = Network::builder(10)
+            .sbs(3, 5.0, 1.0, one_class())
+            .unwrap()
+            .sbs(2, 4.0, 2.0, one_class())
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(net.num_sbs(), 2);
+        assert_eq!(net.num_contents(), 10);
+        assert_eq!(net.total_classes(), 2);
+        assert_eq!(net.sbs(SbsId(1)).unwrap().replacement_cost(), 2.0);
+    }
+
+    #[test]
+    fn rejects_empty_catalog_and_no_sbs() {
+        assert!(Network::builder(0)
+            .sbs(1, 1.0, 1.0, one_class())
+            .unwrap()
+            .build()
+            .is_err());
+        assert!(Network::builder(5).build().is_err());
+    }
+
+    #[test]
+    fn rejects_capacity_above_catalog() {
+        assert!(Network::builder(2)
+            .sbs(3, 1.0, 1.0, one_class())
+            .unwrap()
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_class_params() {
+        assert!(MuClass::new(-1.0, 0.0, 1.0).is_err());
+        assert!(MuClass::new(0.0, f64::NAN, 1.0).is_err());
+        assert!(MuClass::new(0.0, 0.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_sbs_params() {
+        assert!(Sbs::new(1, -1.0, 0.0, one_class()).is_err());
+        assert!(Sbs::new(1, 1.0, f64::INFINITY, one_class()).is_err());
+        assert!(Sbs::new(1, 1.0, 1.0, vec![]).is_err());
+    }
+
+    #[test]
+    fn sbs_lookup_bounds_checked() {
+        let net = Network::builder(5)
+            .sbs(1, 1.0, 1.0, one_class())
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(net.sbs(SbsId(0)).is_ok());
+        assert!(matches!(
+            net.sbs(SbsId(7)),
+            Err(SimError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(SbsId(3).to_string(), "sbs3");
+        assert_eq!(ContentId(1).to_string(), "content1");
+        assert_eq!(ClassId(0).to_string(), "class0");
+    }
+
+    #[test]
+    fn network_serde_roundtrip() {
+        let net = Network::builder(4)
+            .sbs(2, 3.0, 1.5, one_class())
+            .unwrap()
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Network = serde_json::from_str(&json).unwrap();
+        assert_eq!(net, back);
+    }
+}

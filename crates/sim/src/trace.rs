@@ -1,0 +1,247 @@
+//! Record/replay of demand traces as CSV.
+//!
+//! The format is a plain CSV with a shape header so a trace round-trips
+//! without any external schema:
+//!
+//! ```text
+//! # jocal-demand-trace v1
+//! # horizon=100 contents=30 classes_per_sbs=30
+//! t,sbs,class,content,lambda
+//! 0,0,0,0,3.125
+//! ...
+//! ```
+//!
+//! Zero entries are omitted on write and implied on read.
+
+use crate::demand::DemandTrace;
+use crate::topology::{ClassId, ContentId, SbsId};
+use crate::SimError;
+use std::io::{self, BufRead, Write};
+
+/// Magic first line of the format.
+pub const TRACE_MAGIC: &str = "# jocal-demand-trace v1";
+
+/// Writes `trace` in the CSV format to `out`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(trace: &DemandTrace, mut out: W) -> io::Result<()> {
+    writeln!(out, "{TRACE_MAGIC}")?;
+    let classes: Vec<String> = (0..trace.num_sbs())
+        .map(|n| trace.num_classes(SbsId(n)).to_string())
+        .collect();
+    writeln!(
+        out,
+        "# horizon={} contents={} classes_per_sbs={}",
+        trace.horizon(),
+        trace.num_contents(),
+        classes.join(";")
+    )?;
+    writeln!(out, "t,sbs,class,content,lambda")?;
+    for t in 0..trace.horizon() {
+        for n in 0..trace.num_sbs() {
+            for m in 0..trace.num_classes(SbsId(n)) {
+                for k in 0..trace.num_contents() {
+                    let v = trace.lambda(t, SbsId(n), ClassId(m), ContentId(k));
+                    if v != 0.0 {
+                        writeln!(out, "{t},{n},{m},{k},{v}")?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// * [`SimError::ParseTrace`] on any malformed header or row.
+pub fn read_trace<R: BufRead>(input: R) -> Result<DemandTrace, SimError> {
+    let mut lines = input.lines().enumerate();
+
+    let parse_err = |line: usize, detail: &str| SimError::ParseTrace {
+        line: line + 1,
+        detail: detail.to_string(),
+    };
+
+    let (i, magic) = lines
+        .next()
+        .ok_or_else(|| parse_err(0, "empty input"))?;
+    let magic = magic.map_err(|e| parse_err(i, &e.to_string()))?;
+    if magic.trim() != TRACE_MAGIC {
+        return Err(parse_err(i, "missing jocal-demand-trace magic line"));
+    }
+
+    let (i, shape) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "missing shape header"))?;
+    let shape = shape.map_err(|e| parse_err(i, &e.to_string()))?;
+    let mut horizon = None;
+    let mut contents = None;
+    let mut classes_per_sbs: Option<Vec<usize>> = None;
+    for token in shape.trim_start_matches('#').split_whitespace() {
+        if let Some(v) = token.strip_prefix("horizon=") {
+            horizon = v.parse().ok();
+        } else if let Some(v) = token.strip_prefix("contents=") {
+            contents = v.parse().ok();
+        } else if let Some(v) = token.strip_prefix("classes_per_sbs=") {
+            classes_per_sbs = v.split(';').map(|c| c.parse().ok()).collect();
+        }
+    }
+    let horizon = horizon.ok_or_else(|| parse_err(i, "bad or missing horizon"))?;
+    let contents: usize = contents.ok_or_else(|| parse_err(i, "bad or missing contents"))?;
+    let classes_per_sbs =
+        classes_per_sbs.ok_or_else(|| parse_err(i, "bad or missing classes_per_sbs"))?;
+    if contents == 0 || classes_per_sbs.is_empty() || classes_per_sbs.contains(&0) {
+        return Err(parse_err(i, "degenerate shape"));
+    }
+
+    // Build a shape-compatible network on the fly (parameters are
+    // irrelevant to the tensor shape).
+    let mut builder = crate::topology::Network::builder(contents);
+    for &c in &classes_per_sbs {
+        let classes = (0..c)
+            .map(|_| crate::topology::MuClass::new(0.0, 0.0, 0.0))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|_| parse_err(i, "internal shape construction failure"))?;
+        builder = builder
+            .sbs(0, 0.0, 0.0, classes)
+            .map_err(|_| parse_err(i, "internal shape construction failure"))?;
+    }
+    let net = builder
+        .build()
+        .map_err(|_| parse_err(i, "internal shape construction failure"))?;
+    let mut trace = DemandTrace::zeros(&net, horizon);
+
+    let (i, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(2, "missing column header"))?;
+    let header = header.map_err(|e| parse_err(i, &e.to_string()))?;
+    if header.trim() != "t,sbs,class,content,lambda" {
+        return Err(parse_err(i, "unexpected column header"));
+    }
+
+    for (i, line) in lines {
+        let line = line.map_err(|e| parse_err(i, &e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let mut next_field = |name: &str| {
+            fields
+                .next()
+                .ok_or_else(|| parse_err(i, &format!("missing field {name}")))
+        };
+        let t: usize = next_field("t")?
+            .parse()
+            .map_err(|_| parse_err(i, "bad t"))?;
+        let n: usize = next_field("sbs")?
+            .parse()
+            .map_err(|_| parse_err(i, "bad sbs"))?;
+        let m: usize = next_field("class")?
+            .parse()
+            .map_err(|_| parse_err(i, "bad class"))?;
+        let k: usize = next_field("content")?
+            .parse()
+            .map_err(|_| parse_err(i, "bad content"))?;
+        let v: f64 = next_field("lambda")?
+            .parse()
+            .map_err(|_| parse_err(i, "bad lambda"))?;
+        trace
+            .set_lambda(t, SbsId(n), ClassId(m), ContentId(k), v)
+            .map_err(|e| parse_err(i, &e.to_string()))?;
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{DemandGenerator, TemporalPattern};
+    use crate::popularity::ZipfMandelbrot;
+    use crate::topology::{MuClass, Network};
+    use std::io::BufReader;
+
+    fn sample_trace() -> DemandTrace {
+        let net = Network::builder(5)
+            .sbs(
+                2,
+                10.0,
+                1.0,
+                vec![
+                    MuClass::new(0.5, 0.0, 10.0).unwrap(),
+                    MuClass::new(0.1, 0.0, 30.0).unwrap(),
+                ],
+            )
+            .unwrap()
+            .sbs(1, 5.0, 2.0, vec![MuClass::new(0.7, 0.0, 5.0).unwrap()])
+            .unwrap()
+            .build()
+            .unwrap();
+        DemandGenerator::new(
+            ZipfMandelbrot::new(5, 0.8, 2.0).unwrap(),
+            TemporalPattern::Jitter { sigma: 0.2 },
+        )
+        .generate(&net, 7, 4)
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn rejects_missing_magic() {
+        let data = "not a trace\n";
+        assert!(matches!(
+            read_trace(BufReader::new(data.as_bytes())),
+            Err(SimError::ParseTrace { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_shape_header() {
+        let data = format!("{TRACE_MAGIC}\n# horizon=oops contents=3 classes_per_sbs=1\n");
+        assert!(read_trace(BufReader::new(data.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_row() {
+        let data = format!(
+            "{TRACE_MAGIC}\n# horizon=2 contents=2 classes_per_sbs=1\nt,sbs,class,content,lambda\n0,0,0,zzz,1.0\n"
+        );
+        let err = read_trace(BufReader::new(data.as_bytes()));
+        assert!(matches!(err, Err(SimError::ParseTrace { line: 4, .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_range_row() {
+        let data = format!(
+            "{TRACE_MAGIC}\n# horizon=2 contents=2 classes_per_sbs=1\nt,sbs,class,content,lambda\n9,0,0,0,1.0\n"
+        );
+        assert!(read_trace(BufReader::new(data.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let data = format!(
+            "{TRACE_MAGIC}\n# horizon=2 contents=2 classes_per_sbs=1\nt,sbs,class,content,lambda\n\n# comment\n1,0,0,1,2.5\n"
+        );
+        let trace = read_trace(BufReader::new(data.as_bytes())).unwrap();
+        assert_eq!(trace.lambda(1, SbsId(0), ClassId(0), ContentId(1)), 2.5);
+    }
+
+    #[test]
+    fn empty_input_fails_cleanly() {
+        assert!(read_trace(BufReader::new("".as_bytes())).is_err());
+    }
+}

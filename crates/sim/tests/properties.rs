@@ -1,0 +1,159 @@
+//! Property-based tests for the simulator substrate.
+
+use jocal_sim::demand::{DemandGenerator, TemporalPattern};
+use jocal_sim::popularity::ZipfMandelbrot;
+use jocal_sim::predictor::{NoisyPredictor, PerfectPredictor, Predictor};
+use jocal_sim::scenario::ScenarioConfig;
+use jocal_sim::topology::{ClassId, ContentId, MuClass, Network, SbsId};
+use jocal_sim::trace::{read_trace, write_trace};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+fn network(k: usize, classes: usize) -> Network {
+    let mut builder = Network::builder(k);
+    let class_list: Vec<MuClass> = (0..classes)
+        .map(|i| MuClass::new(0.1 + i as f64 * 0.05, 0.0, 1.0 + i as f64).unwrap())
+        .collect();
+    builder = builder.sbs(k.min(3), 10.0, 1.0, class_list).unwrap();
+    builder.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zipf–Mandelbrot probabilities are a valid, monotone distribution
+    /// for any parameters.
+    #[test]
+    fn zipf_probabilities_valid(
+        k in 1usize..64,
+        alpha in 0.0..3.0_f64,
+        q in -0.9..100.0_f64,
+    ) {
+        let zm = ZipfMandelbrot::new(k, alpha, q).unwrap();
+        let p = zm.probabilities();
+        prop_assert_eq!(p.len(), k);
+        let total: f64 = p.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for pair in p.windows(2) {
+            prop_assert!(pair[0] >= pair[1] - 1e-12);
+        }
+    }
+
+    /// Generated demand is finite, non-negative, and deterministic.
+    #[test]
+    fn generated_demand_is_sane(
+        k in 1usize..8,
+        classes in 1usize..5,
+        horizon in 1usize..10,
+        sigma in 0.0..0.9_f64,
+        seed in 0u64..1000,
+    ) {
+        let net = network(k, classes);
+        let gen = DemandGenerator::new(
+            ZipfMandelbrot::new(k, 0.8, 2.0).unwrap(),
+            TemporalPattern::Jitter { sigma },
+        );
+        let a = gen.generate(&net, horizon, seed).unwrap();
+        let b = gen.generate(&net, horizon, seed).unwrap();
+        prop_assert_eq!(&a, &b);
+        for t in 0..horizon {
+            for m in 0..classes {
+                for kk in 0..k {
+                    let v = a.lambda(t, SbsId(0), ClassId(m), ContentId(kk));
+                    prop_assert!(v.is_finite() && v >= 0.0);
+                }
+            }
+        }
+    }
+
+    /// Windows agree with direct indexing, including zero padding past
+    /// the horizon.
+    #[test]
+    fn window_matches_indexing(
+        horizon in 1usize..10,
+        start in 0usize..12,
+        len in 1usize..8,
+    ) {
+        let net = network(4, 2);
+        let gen = DemandGenerator::new(
+            ZipfMandelbrot::new(4, 1.0, 1.0).unwrap(),
+            TemporalPattern::Jitter { sigma: 0.3 },
+        );
+        let trace = gen.generate(&net, horizon, 9).unwrap();
+        let window = trace.window(start, len);
+        for local in 0..len {
+            for m in 0..2 {
+                for k in 0..4 {
+                    let expect = trace.lambda(start + local, SbsId(0), ClassId(m), ContentId(k));
+                    let got = window.lambda(local, SbsId(0), ClassId(m), ContentId(k));
+                    prop_assert_eq!(expect, got);
+                }
+            }
+        }
+    }
+
+    /// Noisy predictions are within the η band of the truth and the
+    /// perfect predictor is the η = 0 special case.
+    #[test]
+    fn predictor_band(eta in 0.0..1.0_f64, now in 0usize..6) {
+        let net = network(5, 3);
+        let gen = DemandGenerator::new(
+            ZipfMandelbrot::new(5, 0.8, 1.0).unwrap(),
+            TemporalPattern::Stationary,
+        );
+        let truth = gen.generate(&net, 8, 3).unwrap();
+        let noisy = NoisyPredictor::new(truth.clone(), eta, 17);
+        let perfect = PerfectPredictor::new(truth.clone());
+        let pn = noisy.predict(now, 3);
+        let pp = perfect.predict(now, 3);
+        for local in 0..3 {
+            for m in 0..3 {
+                for k in 0..5 {
+                    let t = pp.lambda(local, SbsId(0), ClassId(m), ContentId(k));
+                    let n = pn.lambda(local, SbsId(0), ClassId(m), ContentId(k));
+                    prop_assert!(n >= t * (1.0 - eta) - 1e-12);
+                    prop_assert!(n <= t * (1.0 + eta) + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Trace CSV round-trips arbitrary generated traces exactly.
+    #[test]
+    fn trace_roundtrip(seed in 0u64..500, horizon in 1usize..6) {
+        let net = network(4, 2);
+        let gen = DemandGenerator::new(
+            ZipfMandelbrot::new(4, 0.9, 0.5).unwrap(),
+            TemporalPattern::Jitter { sigma: 0.4 },
+        );
+        let trace = gen.generate(&net, horizon, seed).unwrap();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Restriction keeps per-SBS demand intact.
+    #[test]
+    fn restriction_preserves_values(seed in 0u64..200) {
+        let cfg = ScenarioConfig {
+            num_sbs: 3,
+            ..ScenarioConfig::tiny()
+        };
+        let s = cfg.build(seed).unwrap();
+        for n in 0..3 {
+            let sub = s.demand.restrict_to(SbsId(n));
+            prop_assert_eq!(sub.num_sbs(), 1);
+            for t in 0..s.demand.horizon() {
+                for m in 0..s.demand.num_classes(SbsId(n)) {
+                    for k in 0..s.demand.num_contents() {
+                        prop_assert_eq!(
+                            s.demand.lambda(t, SbsId(n), ClassId(m), ContentId(k)),
+                            sub.lambda(t, SbsId(0), ClassId(m), ContentId(k))
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

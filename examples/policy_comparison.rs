@@ -1,0 +1,58 @@
+//! Full policy comparison: every scheme in the repository on one
+//! scenario, in one table.
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison
+//! ```
+
+use jocal::experiments::figures::EvalOptions;
+use jocal::experiments::schemes::{run_scheme, RunConfig, Scheme};
+use jocal::sim::scenario::ScenarioConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = EvalOptions {
+        horizon: 20,
+        seed: 42,
+    };
+    let scenario = ScenarioConfig::paper_default()
+        .with_horizon(opts.horizon)
+        .with_beta(50.0)
+        .build(opts.seed)?;
+    let config = RunConfig::from_scenario(&scenario);
+
+    let schemes = [
+        Scheme::Offline,
+        Scheme::Rhc,
+        Scheme::Chc { commitment: 3 },
+        Scheme::Afhc,
+        Scheme::Lrfu,
+        Scheme::Lfu,
+        Scheme::Lru,
+        Scheme::Fifo,
+        Scheme::StaticTop,
+    ];
+
+    println!(
+        "{:<12} {:>13} {:>12} {:>13} {:>9}",
+        "scheme", "total", "bs cost", "replacement", "fetches"
+    );
+    let mut rows = Vec::new();
+    for scheme in schemes {
+        let out = run_scheme(scheme, &scenario, &config)?;
+        println!(
+            "{:<12} {:>13.1} {:>12.1} {:>13.1} {:>9}",
+            out.label,
+            out.breakdown.total(),
+            out.breakdown.bs_operating,
+            out.breakdown.replacement,
+            out.breakdown.replacement_count,
+        );
+        rows.push(out);
+    }
+    let offline = rows[0].breakdown.total();
+    println!("\ncost ratios to offline:");
+    for out in &rows[1..] {
+        println!("  {:<12} {:.3}", out.label, out.breakdown.total() / offline);
+    }
+    Ok(())
+}

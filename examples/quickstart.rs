@@ -1,0 +1,73 @@
+//! Quickstart: build the paper's scenario, run the offline optimum and
+//! RHC, and print the cost decomposition.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use jocal::core::offline::OfflineSolver;
+use jocal::core::primal_dual::PrimalDualOptions;
+use jocal::core::problem::ProblemInstance;
+use jocal::core::{CacheState, CostModel};
+use jocal::online::rhc::RhcPolicy;
+use jocal::online::runner::run_policy;
+use jocal::online::theory::rhc_competitive_ratio;
+use jocal::sim::predictor::NoisyPredictor;
+use jocal::sim::scenario::ScenarioConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Section V-B setup, shortened to 20 slots so the example
+    // finishes in a few seconds.
+    let scenario = ScenarioConfig::paper_default()
+        .with_horizon(20)
+        .with_beta(50.0)
+        .build(42)?;
+    println!(
+        "scenario: K={} contents, {} SBS, {} MU classes, T={}",
+        scenario.network.num_contents(),
+        scenario.network.num_sbs(),
+        scenario.network.total_classes(),
+        scenario.demand.horizon(),
+    );
+
+    // Offline optimal: Algorithm 1 over the full horizon with the truth.
+    let problem = ProblemInstance::fresh(scenario.network.clone(), scenario.demand.clone())?;
+    let offline = OfflineSolver::new(PrimalDualOptions {
+        max_iterations: 60,
+        ..Default::default()
+    })
+    .solve(&problem)?;
+    println!(
+        "offline  : total={:>12.1}  (bs={:.1}, replacement={:.1}, fetches={}, gap={:.4})",
+        offline.breakdown.total(),
+        offline.breakdown.bs_operating,
+        offline.breakdown.replacement,
+        offline.breakdown.replacement_count,
+        offline.gap,
+    );
+
+    // RHC with a 10-slot prediction window and the paper's η = 0.1 noise.
+    let w = 10;
+    let predictor = NoisyPredictor::new(scenario.demand.clone(), 0.1, 7);
+    let mut rhc = RhcPolicy::new(w, PrimalDualOptions::online());
+    let outcome = run_policy(
+        &scenario.network,
+        &CostModel::paper(),
+        &predictor,
+        &mut rhc,
+        CacheState::empty(&scenario.network),
+    )?;
+    println!(
+        "RHC(w={w}): total={:>12.1}  (bs={:.1}, replacement={:.1}, fetches={})",
+        outcome.breakdown.total(),
+        outcome.breakdown.bs_operating,
+        outcome.breakdown.replacement,
+        outcome.breakdown.replacement_count,
+    );
+    println!(
+        "empirical ratio: {:.4}   (theoretical bound 1 + 1/w = {:.2})",
+        outcome.breakdown.total() / offline.breakdown.total(),
+        rhc_competitive_ratio(w),
+    );
+    Ok(())
+}

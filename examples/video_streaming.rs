@@ -1,0 +1,72 @@
+//! Video-streaming scenario: diurnal demand at a residential small cell.
+//!
+//! Evening peaks multiply the request volume; the online controllers
+//! pre-fetch ahead of the ramp while LRFU only reacts. This example runs
+//! RHC, CHC and LRFU across two "days" and prints a per-day cost
+//! comparison.
+//!
+//! ```sh
+//! cargo run --release --example video_streaming
+//! ```
+
+use jocal::baselines::lrfu::LrfuRule;
+use jocal::baselines::rule::BaselinePolicy;
+use jocal::core::{CacheState, CostModel};
+use jocal::online::chc::ChcPolicy;
+use jocal::online::policy::OnlinePolicy;
+use jocal::online::rhc::RhcPolicy;
+use jocal::online::rounding::RoundingPolicy;
+use jocal::online::runner::run_policy;
+use jocal::sim::demand::TemporalPattern;
+use jocal::sim::predictor::NoisyPredictor;
+use jocal::sim::scenario::ScenarioConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two 12-slot "days" with a strong evening swing.
+    let day = 12;
+    let scenario = ScenarioConfig::paper_default()
+        .with_horizon(2 * day)
+        .with_beta(80.0)
+        .with_temporal(TemporalPattern::Diurnal {
+            period: day,
+            amplitude: 0.6,
+        })
+        .build(2024)?;
+    let predictor = NoisyPredictor::new(scenario.demand.clone(), 0.1, 11);
+    let model = CostModel::paper();
+
+    let mut policies: Vec<Box<dyn OnlinePolicy>> = vec![
+        Box::new(RhcPolicy::new(6, Default::default())),
+        Box::new(ChcPolicy::new(
+            6,
+            3,
+            RoundingPolicy::default(),
+            Default::default(),
+        )),
+        Box::new(BaselinePolicy::optimal_lb(LrfuRule::new())),
+    ];
+
+    println!("{:<12} {:>12} {:>12} {:>12} {:>9}", "scheme", "day 1", "day 2", "total", "fetches");
+    for policy in policies.iter_mut() {
+        let outcome = run_policy(
+            &scenario.network,
+            &model,
+            &predictor,
+            policy.as_mut(),
+            CacheState::empty(&scenario.network),
+        )?;
+        let day1: f64 = outcome.per_slot[..day].iter().map(|s| s.total()).sum();
+        let day2: f64 = outcome.per_slot[day..].iter().map(|s| s.total()).sum();
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>12.1} {:>9}",
+            policy.name(),
+            day1,
+            day2,
+            outcome.breakdown.total(),
+            outcome.breakdown.replacement_count,
+        );
+    }
+    println!("\nExpect the predictive schemes to spend fetches before the peak and");
+    println!("beat the purely reactive LRFU once the first day's ramp repeats.");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # jocal — Joint Online edge CAching and Load balancing
+//!
+//! A production-quality Rust reproduction of
+//!
+//! > Zeng, Huang, Liu, Yang. *"Joint Online Edge Caching and Load
+//! > Balancing for Mobile Data Offloading in 5G Networks."* ICDCS 2019.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`optim`] | `jocal-optim` | simplex LP, min-cost flow, projected gradient, projections, subgradient ascent |
+//! | [`sim`] | `jocal-sim` | 5G topology, Zipf–Mandelbrot popularity, demand generation, predictors, traces |
+//! | [`core`] | `jocal-core` | problem formulation, cost model, P1/P2 sub-solvers, primal-dual Algorithm 1, offline optimum |
+//! | [`online`] | `jocal-online` | RHC, AFHC, CHC with the Theorem-3 rounding policy, policy runner, theory bounds |
+//! | [`baselines`] | `jocal-baselines` | LRFU (paper comparator), LRU, LFU, FIFO, random, static |
+//! | [`experiments`] | `jocal-experiments` | per-figure reproduction harness, sweeps, reports |
+//!
+//! # Quickstart
+//!
+//! Compare RHC against the paper's LRFU baseline on the paper's own
+//! scenario (shrunk for doc-test speed):
+//!
+//! ```
+//! use jocal::core::{CacheState, CostModel};
+//! use jocal::online::rhc::RhcPolicy;
+//! use jocal::online::runner::run_policy;
+//! use jocal::sim::predictor::NoisyPredictor;
+//! use jocal::sim::scenario::ScenarioConfig;
+//!
+//! let scenario = ScenarioConfig::tiny().build(42)?;
+//! let predictor = NoisyPredictor::new(scenario.demand.clone(), 0.1, 7);
+//! let mut rhc = RhcPolicy::new(3, Default::default());
+//! let outcome = run_policy(
+//!     &scenario.network,
+//!     &CostModel::paper(),
+//!     &predictor,
+//!     &mut rhc,
+//!     CacheState::empty(&scenario.network),
+//! )?;
+//! println!("RHC total cost: {:.1}", outcome.breakdown.total());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for runnable scenarios and
+//! `crates/experiments/src/bin/` for the figure-reproduction binaries.
+
+#![deny(missing_docs)]
+
+pub use jocal_baselines as baselines;
+pub use jocal_core as core;
+pub use jocal_experiments as experiments;
+pub use jocal_online as online;
+pub use jocal_optim as optim;
+pub use jocal_sim as sim;
+
+/// Workspace version string.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,167 @@
+//! Cross-crate end-to-end tests: the full pipeline from scenario
+//! generation through every scheme, checking the paper's qualitative
+//! ordering on reduced-scale instances.
+
+use jocal::core::plan::verify_feasible;
+use jocal::core::primal_dual::PrimalDualOptions;
+use jocal::core::problem::ProblemInstance;
+use jocal::core::{CacheState, CostModel};
+use jocal::experiments::schemes::{run_scheme, RunConfig, Scheme};
+use jocal::online::rhc::RhcPolicy;
+use jocal::online::runner::run_policy;
+use jocal::sim::predictor::{NoisyPredictor, PerfectPredictor};
+use jocal::sim::scenario::ScenarioConfig;
+
+fn small_paper_scenario(beta: f64, seed: u64) -> jocal::sim::scenario::Scenario {
+    ScenarioConfig::paper_default()
+        .with_horizon(12)
+        .with_beta(beta)
+        .build(seed)
+        .expect("valid scenario")
+}
+
+fn quick_config() -> RunConfig {
+    RunConfig {
+        window: 6,
+        offline_opts: PrimalDualOptions {
+            max_iterations: 40,
+            ..Default::default()
+        },
+        online_opts: PrimalDualOptions::online(),
+        ..Default::default()
+    }
+}
+
+/// The headline ordering of §V-C.1: offline <= proposed online schemes
+/// <= LRFU (up to small solver noise).
+#[test]
+fn scheme_ordering_matches_paper() {
+    let scenario = small_paper_scenario(50.0, 11);
+    let config = quick_config();
+    let total = |s: Scheme| {
+        run_scheme(s, &scenario, &config)
+            .expect("scheme runs")
+            .breakdown
+            .total()
+    };
+    let offline = total(Scheme::Offline);
+    let rhc = total(Scheme::Rhc);
+    let lrfu = total(Scheme::Lrfu);
+    assert!(
+        offline <= rhc * 1.02,
+        "offline {offline} should not exceed RHC {rhc}"
+    );
+    assert!(rhc < lrfu, "RHC {rhc} should beat LRFU {lrfu}");
+}
+
+/// RHC with perfect predictions and a full-horizon window must
+/// essentially equal the offline optimum.
+#[test]
+fn rhc_with_full_window_matches_offline() {
+    let scenario = small_paper_scenario(50.0, 5);
+    let problem =
+        ProblemInstance::fresh(scenario.network.clone(), scenario.demand.clone()).unwrap();
+    let offline = jocal::core::offline::OfflineSolver::new(PrimalDualOptions {
+        max_iterations: 60,
+        ..Default::default()
+    })
+    .solve(&problem)
+    .unwrap();
+
+    let predictor = PerfectPredictor::new(scenario.demand.clone());
+    let mut rhc = RhcPolicy::new(
+        scenario.demand.horizon(),
+        PrimalDualOptions {
+            max_iterations: 30,
+            ..PrimalDualOptions::online()
+        },
+    );
+    let outcome = run_policy(
+        &scenario.network,
+        &CostModel::paper(),
+        &predictor,
+        &mut rhc,
+        CacheState::empty(&scenario.network),
+    )
+    .unwrap();
+    let ratio = outcome.breakdown.total() / offline.breakdown.total();
+    assert!(
+        ratio < 1.06,
+        "full-window RHC ratio {ratio} should be near 1"
+    );
+}
+
+/// Every scheme's executed plan is feasible against the ground truth.
+#[test]
+fn executed_plans_are_feasible() {
+    let scenario = small_paper_scenario(100.0, 3);
+    let predictor = NoisyPredictor::new(scenario.demand.clone(), 0.2, 9);
+    let mut rhc = RhcPolicy::new(4, PrimalDualOptions::online());
+    let outcome = run_policy(
+        &scenario.network,
+        &CostModel::paper(),
+        &predictor,
+        &mut rhc,
+        CacheState::empty(&scenario.network),
+    )
+    .unwrap();
+    verify_feasible(
+        &scenario.network,
+        &scenario.demand,
+        &outcome.cache_plan,
+        &outcome.load_plan,
+    )
+    .unwrap();
+}
+
+/// Larger replacement cost β never decreases any scheme's total cost.
+#[test]
+fn totals_monotone_in_beta_across_schemes() {
+    let config = quick_config();
+    for scheme in [Scheme::Offline, Scheme::Rhc, Scheme::Lrfu] {
+        let mut last = None;
+        for beta in [25.0, 100.0, 400.0] {
+            let scenario = small_paper_scenario(beta, 17);
+            let total = run_scheme(scheme, &scenario, &config)
+                .unwrap()
+                .breakdown
+                .total();
+            if let Some(prev) = last {
+                assert!(
+                    total >= prev - 0.03 * total,
+                    "{:?}: cost fell from {prev} to {total} at beta {beta}",
+                    scheme
+                );
+            }
+            last = Some(total);
+        }
+    }
+}
+
+/// The offline solution's dual bound certifies the online schemes too:
+/// nothing can beat the certified lower bound.
+#[test]
+fn lower_bound_holds_for_all_schemes() {
+    let scenario = small_paper_scenario(50.0, 23);
+    let problem =
+        ProblemInstance::fresh(scenario.network.clone(), scenario.demand.clone()).unwrap();
+    let offline = jocal::core::offline::OfflineSolver::new(PrimalDualOptions {
+        max_iterations: 60,
+        ..Default::default()
+    })
+    .solve(&problem)
+    .unwrap();
+    let config = quick_config();
+    for scheme in [Scheme::Rhc, Scheme::Afhc, Scheme::Lrfu, Scheme::Fifo] {
+        let total = run_scheme(scheme, &scenario, &config)
+            .unwrap()
+            .breakdown
+            .total();
+        assert!(
+            total >= offline.lower_bound - 1e-6,
+            "{:?} total {total} beats the certified bound {}",
+            scheme,
+            offline.lower_bound
+        );
+    }
+}
