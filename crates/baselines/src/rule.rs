@@ -102,9 +102,9 @@ impl<R: CacheRule> OnlinePolicy for BaselinePolicy<R> {
             let current: Vec<bool> = (0..k_total)
                 .map(|k| ctx.current_cache.contains(n, ContentId(k)))
                 .collect();
-            let mut placement =
-                self.rule
-                    .place(t, n, sbs.cache_capacity(), &per_content, &current);
+            let mut placement = self
+                .rule
+                .place(t, n, sbs.cache_capacity(), &per_content, &current);
             placement.resize(k_total, false);
             // Enforce capacity: keep the highest-demand items.
             let mut chosen: Vec<usize> = (0..k_total).filter(|&k| placement[k]).collect();
@@ -134,8 +134,7 @@ impl<R: CacheRule> OnlinePolicy for BaselinePolicy<R> {
                     let mut upper = vec![0.0; m_total * k_total];
                     for m in 0..m_total {
                         for k in 0..k_total {
-                            lambda[m * k_total + k] =
-                                demand.lambda(0, n, ClassId(m), ContentId(k));
+                            lambda[m * k_total + k] = demand.lambda(0, n, ClassId(m), ContentId(k));
                             if cache.contains(n, ContentId(k)) {
                                 upper[m * k_total + k] = 1.0;
                             }
@@ -157,8 +156,9 @@ impl<R: CacheRule> OnlinePolicy for BaselinePolicy<R> {
                 LoadBalanceMode::Greedy => {
                     let mut budget = sbs.bandwidth();
                     // Serve cached items in decreasing aggregate demand.
-                    let mut order: Vec<usize> =
-                        (0..k_total).filter(|&k| cache.contains(n, ContentId(k))).collect();
+                    let mut order: Vec<usize> = (0..k_total)
+                        .filter(|&k| cache.contains(n, ContentId(k)))
+                        .collect();
                     order.sort_by(|&a, &b| {
                         per_content[b]
                             .partial_cmp(&per_content[a])

@@ -21,7 +21,13 @@ fn instance(m: usize, k: usize, with_mu: bool, seed: u64) -> SlotInstance {
     let omega_bs: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..1.0)).collect();
     let lambda: Vec<f64> = (0..m * k).map(|_| rng.gen_range(0.0..0.3)).collect();
     let linear: Vec<f64> = (0..m * k)
-        .map(|_| if with_mu { rng.gen_range(0.0..5.0) } else { 0.0 })
+        .map(|_| {
+            if with_mu {
+                rng.gen_range(0.0..5.0)
+            } else {
+                0.0
+            }
+        })
         .collect();
     SlotInstance {
         omega_bs,

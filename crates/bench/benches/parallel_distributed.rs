@@ -1,0 +1,57 @@
+//! Scaling of the exact per-SBS decomposition: `DistributedSolver`
+//! sequential vs threaded at N ∈ {4, 16, 64} SBSs.
+//!
+//! The decomposition is embarrassingly parallel (one independent
+//! Algorithm 1 instance per SBS), so the threaded run should approach a
+//! `min(workers, N)×` speedup over sequential; both produce bit-for-bit
+//! identical plans (see `core/tests/parallel_determinism.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jocal_core::distributed::DistributedSolver;
+use jocal_core::primal_dual::PrimalDualOptions;
+use jocal_core::problem::ProblemInstance;
+use jocal_core::workspace::Parallelism;
+use jocal_sim::scenario::ScenarioConfig;
+
+fn options(parallelism: Parallelism) -> PrimalDualOptions {
+    PrimalDualOptions {
+        max_iterations: 8,
+        parallelism,
+        ..PrimalDualOptions::online()
+    }
+}
+
+fn bench_parallel_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_distributed");
+    group.sample_size(10);
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    for num_sbs in [4usize, 16, 64] {
+        let cfg = ScenarioConfig {
+            num_sbs,
+            horizon: 4,
+            ..ScenarioConfig::tiny()
+        };
+        let s = cfg.build(42).unwrap();
+        let problem = ProblemInstance::fresh(s.network, s.demand).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("sequential", format!("N{num_sbs}")),
+            &(),
+            |b, ()| {
+                let solver = DistributedSolver::new(options(Parallelism::Sequential));
+                b.iter(|| solver.solve(&problem).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("threads{workers}"), format!("N{num_sbs}")),
+            &(),
+            |b, ()| {
+                let solver = DistributedSolver::new(options(Parallelism::Threads(workers)));
+                b.iter(|| solver.solve(&problem).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_distributed);
+criterion_main!(benches);

@@ -22,9 +22,7 @@ fn bench_projection(c: &mut Criterion) {
             b.iter(|| project_box_budget(black_box(&point), &lo, &hi, &w, budget).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("bisect", n), &n, |b, _| {
-            b.iter(|| {
-                project_box_budget_bisect(black_box(&point), &lo, &hi, &w, budget).unwrap()
-            })
+            b.iter(|| project_box_budget_bisect(black_box(&point), &lo, &hi, &w, budget).unwrap())
         });
     }
     group.finish();
@@ -40,8 +38,7 @@ fn bench_mcmf(c: &mut Criterion) {
                 let rewards = jocal_bench::reward_matrix(t, k, 3);
                 let initially = vec![false; k];
                 b.iter(|| {
-                    jocal_core::caching::solve_caching_mcmf(5, 50.0, &initially, &rewards)
-                        .unwrap()
+                    jocal_core::caching::solve_caching_mcmf(5, 50.0, &initially, &rewards).unwrap()
                 })
             },
         );
@@ -63,9 +60,7 @@ fn bench_simplex(c: &mut Criterion) {
     c.bench_function("simplex/caching_lp_T4_K6", |b| {
         let rewards = jocal_bench::reward_matrix(4, 6, 5);
         let initially = vec![false; 6];
-        b.iter(|| {
-            jocal_core::caching::solve_caching_lp(2, 10.0, &initially, &rewards).unwrap()
-        })
+        b.iter(|| jocal_core::caching::solve_caching_lp(2, 10.0, &initially, &rewards).unwrap())
     });
     c.bench_function("simplex/random_lp_20x12", |b| {
         let mut rng = StdRng::seed_from_u64(11);

@@ -13,6 +13,8 @@
 //! * `figures` — reduced-scale versions of every paper figure sweep
 //!   (the full-scale numbers live in `results/` and EXPERIMENTS.md).
 //! * `ablations` — reduced-scale ρ and commitment-level sweeps.
+//! * `parallel_distributed` — the exact per-SBS decomposition at
+//!   N ∈ {4, 16, 64} SBSs, sequential vs threaded.
 
 use jocal_sim::scenario::{Scenario, ScenarioConfig};
 

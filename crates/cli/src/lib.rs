@@ -15,6 +15,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+use jocal_core::workspace::Parallelism;
 use jocal_experiments::schemes::{run_scheme, RunConfig, Scheme};
 use jocal_sim::scenario::ScenarioConfig;
 use jocal_sim::trace::write_trace;
@@ -46,6 +47,9 @@ OPTIONS (run / generate):
     --eta <f64>       prediction noise (default from config)
     --commitment <r>  CHC commitment level (default 3)
     --horizon <T>     override the scenario horizon
+    --threads <n>     worker threads for per-SBS solves (0 = auto;
+                      default auto, also settable via JOCAL_THREADS;
+                      results are identical for every thread count)
 ";
 
 /// Errors surfaced to the CLI user.
@@ -87,6 +91,8 @@ pub struct CliArgs {
     pub commitment: usize,
     /// `--horizon`
     pub horizon: Option<usize>,
+    /// `--threads` (`Some(0)` means auto-detect)
+    pub threads: Option<usize>,
 }
 
 /// Parses raw arguments (without the program name).
@@ -154,6 +160,14 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, Box<dyn Error>> {
                     value(i)?
                         .parse()
                         .map_err(|_| CliError::boxed("--horizon expects a usize"))?,
+                );
+                i += 2;
+            }
+            "--threads" => {
+                out.threads = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|_| CliError::boxed("--threads expects a usize"))?,
                 );
                 i += 2;
             }
@@ -270,13 +284,34 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
             let scheme = parse_scheme(scheme_name, args.commitment)?;
             let config = load_config(args)?;
             let scenario = config.build(args.seed)?;
-            let run_cfg = RunConfig::from_scenario(&scenario);
+            let mut run_cfg = RunConfig::from_scenario(&scenario);
+            if let Some(n) = args.threads {
+                let par = if n == 0 {
+                    Parallelism::Auto
+                } else {
+                    Parallelism::Threads(n)
+                };
+                run_cfg.offline_opts.parallelism = par;
+                run_cfg.online_opts.parallelism = par;
+            }
             let outcome = run_scheme(scheme, &scenario, &run_cfg)?;
             writeln!(out, "scheme            {}", outcome.label)?;
             writeln!(out, "total cost        {:.3}", outcome.breakdown.total())?;
-            writeln!(out, "bs operating      {:.3}", outcome.breakdown.bs_operating)?;
-            writeln!(out, "sbs operating     {:.3}", outcome.breakdown.sbs_operating)?;
-            writeln!(out, "replacement cost  {:.3}", outcome.breakdown.replacement)?;
+            writeln!(
+                out,
+                "bs operating      {:.3}",
+                outcome.breakdown.bs_operating
+            )?;
+            writeln!(
+                out,
+                "sbs operating     {:.3}",
+                outcome.breakdown.sbs_operating
+            )?;
+            writeln!(
+                out,
+                "replacement cost  {:.3}",
+                outcome.breakdown.replacement
+            )?;
             writeln!(
                 out,
                 "replacements      {}",
@@ -321,6 +356,17 @@ mod tests {
     }
 
     #[test]
+    fn parses_threads_flag() {
+        let args = parse_args(&strings(&["run", "--scheme", "rhc", "--threads", "4"])).unwrap();
+        assert_eq!(args.threads, Some(4));
+        let auto = parse_args(&strings(&["run", "--scheme", "rhc", "--threads", "0"])).unwrap();
+        assert_eq!(auto.threads, Some(0));
+        assert!(parse_args(&strings(&["run", "--threads", "x"])).is_err());
+        let unset = parse_args(&strings(&["run", "--scheme", "rhc"])).unwrap();
+        assert_eq!(unset.threads, None);
+    }
+
+    #[test]
     fn rejects_unknown_flag_and_missing_value() {
         assert!(parse_args(&strings(&["run", "--bogus", "1"])).is_err());
         assert!(parse_args(&strings(&["run", "--seed"])).is_err());
@@ -349,7 +395,11 @@ mod tests {
     #[test]
     fn example_config_roundtrips() {
         let mut buf = Vec::new();
-        execute(&parse_args(&strings(&["example-config"])).unwrap(), &mut buf).unwrap();
+        execute(
+            &parse_args(&strings(&["example-config"])).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
         let cfg: ScenarioConfig =
             serde_json::from_slice(&buf).expect("example config is valid JSON");
         assert_eq!(cfg, ScenarioConfig::paper_default());
@@ -367,7 +417,13 @@ mod tests {
     #[test]
     fn run_lrfu_small() {
         let args = parse_args(&strings(&[
-            "run", "--scheme", "lrfu", "--horizon", "4", "--seed", "3",
+            "run",
+            "--scheme",
+            "lrfu",
+            "--horizon",
+            "4",
+            "--seed",
+            "3",
         ]))
         .unwrap();
         let mut buf = Vec::new();

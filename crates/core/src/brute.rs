@@ -39,6 +39,7 @@ pub const MAX_BRUTE_CONTENTS: usize = 12;
 /// * [`CoreError::ShapeMismatch`] if the catalog exceeds
 ///   [`MAX_BRUTE_CONTENTS`].
 /// * Propagates convex-solver failures for the stage costs.
+#[allow(clippy::needless_range_loop)] // Time-indexed DP tables.
 pub fn solve_brute_force(problem: &ProblemInstance) -> Result<BruteForceSolution, CoreError> {
     let network = problem.network();
     let k_total = network.num_contents();

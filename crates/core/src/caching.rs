@@ -25,10 +25,11 @@
 use crate::plan::{CachePlan, CacheState};
 use crate::problem::ProblemInstance;
 use crate::tensor::Tensor4;
+use crate::workspace::{parallel_map_with, Parallelism, SbsSubproblem, SlotWorkspace};
 use crate::CoreError;
 use jocal_optim::mcmf::{FlowGoal, FlowNetwork};
 use jocal_optim::simplex::{LinearProgram, Sense};
-use jocal_sim::topology::{ClassId, ContentId, SbsId};
+use jocal_sim::topology::{ContentId, SbsId};
 
 /// Solution of `P1` for one SBS: the caching trajectory and the objective
 /// value `h − Σ r·x`.
@@ -131,6 +132,7 @@ pub fn solve_caching_mcmf(
 /// # Errors
 ///
 /// Same contract as [`solve_caching_mcmf`].
+#[allow(clippy::needless_range_loop)] // LP variable indices mirror eq. 20–22.
 pub fn solve_caching_lp(
     capacity: usize,
     beta: f64,
@@ -174,11 +176,7 @@ pub fn solve_caching_lp(
                 lp.add_ge_constraint(vec![(pv(t, k), 1.0), (xv(t, k), -1.0)], -x0);
             } else {
                 lp.add_ge_constraint(
-                    vec![
-                        (pv(t, k), 1.0),
-                        (xv(t, k), -1.0),
-                        (xv(t - 1, k), 1.0),
-                    ],
+                    vec![(pv(t, k), 1.0), (xv(t, k), -1.0), (xv(t - 1, k), 1.0)],
                     0.0,
                 );
             }
@@ -195,7 +193,7 @@ pub fn solve_caching_lp(
         for k in 0..k_total {
             let v = sol.x[xv(t, k)];
             debug_assert!(
-                v < 0.01 || v > 0.99,
+                !(0.01..=0.99).contains(&v),
                 "LP relaxation returned fractional x = {v} (violates Theorem 1)"
             );
             x[t][k] = v > 0.5;
@@ -208,7 +206,7 @@ pub fn solve_caching_lp(
 }
 
 /// Solves `P1` for every SBS of `problem` given the multiplier tensor,
-/// assembling a [`CachePlan`] and the summed objective.
+/// sequentially. See [`solve_caching_all_with`].
 ///
 /// # Errors
 ///
@@ -217,30 +215,46 @@ pub fn solve_caching_all(
     problem: &ProblemInstance,
     mu: &Tensor4,
 ) -> Result<(CachePlan, f64), CoreError> {
+    solve_caching_all_with(problem, mu, Parallelism::Sequential)
+}
+
+/// Solves `P1` for every SBS of `problem` given the multiplier tensor,
+/// assembling a [`CachePlan`] and the summed objective. Per-SBS flow
+/// problems fan out per `parallelism`; the plan and objective are
+/// assembled in SBS order, so the result is identical for every
+/// setting.
+///
+/// # Errors
+///
+/// Propagates sub-solver failures.
+pub fn solve_caching_all_with(
+    problem: &ProblemInstance,
+    mu: &Tensor4,
+    parallelism: Parallelism,
+) -> Result<(CachePlan, f64), CoreError> {
     let horizon = problem.horizon();
     let network = problem.network();
-    let k_total = network.num_contents();
+    let results = parallel_map_with(
+        parallelism,
+        network.num_sbs(),
+        SlotWorkspace::new,
+        |ws, i| {
+            let sub = SbsSubproblem::new(problem, SbsId(i));
+            sub.fill_rewards(mu, ws);
+            sub.fill_initial_cache(ws);
+            solve_caching_mcmf(
+                sub.sbs().cache_capacity(),
+                sub.sbs().replacement_cost(),
+                &ws.initially_cached,
+                &ws.rewards,
+            )
+        },
+    );
     let mut plan = CachePlan::empty(network, horizon);
     let mut objective = 0.0;
-    for (n, sbs) in network.iter_sbs() {
-        // r_{k,t} = Σ_m μ^t_{n,m,k}.
-        let mut rewards = vec![vec![0.0; k_total]; horizon];
-        for (t, row) in rewards.iter_mut().enumerate() {
-            for (k, r) in row.iter_mut().enumerate() {
-                for m in 0..sbs.num_classes() {
-                    *r += mu.get(t, n, ClassId(m), ContentId(k));
-                }
-            }
-        }
-        let initially: Vec<bool> = (0..k_total)
-            .map(|k| problem.initial_cache().contains(n, ContentId(k)))
-            .collect();
-        let sol = solve_caching_mcmf(
-            sbs.cache_capacity(),
-            sbs.replacement_cost(),
-            &initially,
-            &rewards,
-        )?;
+    for (i, res) in results.into_iter().enumerate() {
+        let sol = res?;
+        let n = SbsId(i);
         objective += sol.objective;
         for (t, row) in sol.x.iter().enumerate() {
             for (k, &cached) in row.iter().enumerate() {
@@ -283,6 +297,7 @@ pub fn caching_objective(
 ///
 /// Panics if `K > 16`.
 #[must_use]
+#[allow(clippy::needless_range_loop)] // Bitmask DP reads clearest with indices.
 pub fn solve_caching_exhaustive(
     capacity: usize,
     beta: f64,
@@ -290,7 +305,10 @@ pub fn solve_caching_exhaustive(
     rewards: &[Vec<f64>],
 ) -> SbsCachingSolution {
     let k_total = initially_cached.len();
-    assert!(k_total <= 16, "exhaustive caching oracle limited to K <= 16");
+    assert!(
+        k_total <= 16,
+        "exhaustive caching oracle limited to K <= 16"
+    );
     let horizon = rewards.len();
     // All subsets with |S| <= capacity.
     let subsets: Vec<u32> = (0u32..(1 << k_total))
@@ -358,10 +376,7 @@ pub fn solve_caching_exhaustive(
 /// Converts a per-SBS boolean trajectory into the plan-wide helper used
 /// by tests.
 #[must_use]
-pub fn plan_from_single_sbs(
-    problem: &ProblemInstance,
-    x: &[Vec<bool>],
-) -> CachePlan {
+pub fn plan_from_single_sbs(problem: &ProblemInstance, x: &[Vec<bool>]) -> CachePlan {
     let mut plan = CachePlan::empty(problem.network(), x.len());
     for (t, row) in x.iter().enumerate() {
         for (k, &cached) in row.iter().enumerate() {
@@ -374,10 +389,7 @@ pub fn plan_from_single_sbs(
 /// Computes the replacement cost of a [`CachePlan`] (all SBSs) from an
 /// initial state — the plan-wide `h` summed over time.
 #[must_use]
-pub fn total_replacement_cost(
-    problem: &ProblemInstance,
-    plan: &CachePlan,
-) -> f64 {
+pub fn total_replacement_cost(problem: &ProblemInstance, plan: &CachePlan) -> f64 {
     let mut prev: &CacheState = problem.initial_cache();
     let mut cost = 0.0;
     for t in 0..plan.horizon() {

@@ -223,10 +223,14 @@ mod tests {
     fn demand(net: &Network) -> DemandTrace {
         let mut d = DemandTrace::zeros(net, 2);
         // λ[m][k] at t=0: [[1, 2], [3, 4]]; t=1 zeros.
-        d.set_lambda(0, SbsId(0), ClassId(0), ContentId(0), 1.0).unwrap();
-        d.set_lambda(0, SbsId(0), ClassId(0), ContentId(1), 2.0).unwrap();
-        d.set_lambda(0, SbsId(0), ClassId(1), ContentId(0), 3.0).unwrap();
-        d.set_lambda(0, SbsId(0), ClassId(1), ContentId(1), 4.0).unwrap();
+        d.set_lambda(0, SbsId(0), ClassId(0), ContentId(0), 1.0)
+            .unwrap();
+        d.set_lambda(0, SbsId(0), ClassId(0), ContentId(1), 2.0)
+            .unwrap();
+        d.set_lambda(0, SbsId(0), ClassId(1), ContentId(0), 3.0)
+            .unwrap();
+        d.set_lambda(0, SbsId(0), ClassId(1), ContentId(1), 4.0)
+            .unwrap();
         d
     }
 

@@ -11,12 +11,17 @@
 //!
 //! Beyond fidelity, the decomposition is the practical deployment story:
 //! each SBS's mobile-computing board solves a problem whose size is
-//! independent of the number of SBSs in the cell.
+//! independent of the number of SBSs in the cell. Locally, the solver
+//! mirrors that deployment by fanning the per-SBS Algorithm 1 instances
+//! out over threads (the [`PrimalDualOptions::parallelism`] knob);
+//! per-SBS results are merged in SBS order, so the combined plan is
+//! identical for every worker count.
 
 use crate::accounting::{evaluate_plan, CostBreakdown};
 use crate::plan::{CachePlan, CacheState, LoadPlan};
 use crate::primal_dual::{PrimalDualOptions, PrimalDualSolver};
 use crate::problem::ProblemInstance;
+use crate::workspace::parallel_map;
 use crate::CoreError;
 use jocal_sim::topology::{ClassId, ContentId, SbsId};
 
@@ -50,7 +55,10 @@ impl DistributedSolver {
         DistributedSolver { options }
     }
 
-    /// Solves `problem` by per-SBS decomposition.
+    /// Solves `problem` by per-SBS decomposition, fanning the
+    /// independent per-SBS solves out per
+    /// [`PrimalDualOptions::parallelism`]. Each single-SBS sub-solve
+    /// caps its own inner fan-out at one worker, so workers never nest.
     ///
     /// # Errors
     ///
@@ -58,13 +66,9 @@ impl DistributedSolver {
     pub fn solve(&self, problem: &ProblemInstance) -> Result<DistributedSolution, CoreError> {
         let network = problem.network();
         let horizon = problem.horizon();
-        let mut cache_plan = CachePlan::empty(network, horizon);
-        let mut load_plan = LoadPlan::zeros(network, horizon);
-        let mut lower_bound = 0.0;
-        let mut max_gap: f64 = 0.0;
-        let mut iterations = Vec::with_capacity(network.num_sbs());
 
-        for (n, sbs) in network.iter_sbs() {
+        let results = parallel_map(self.options.parallelism, network.num_sbs(), |i| {
+            let n = SbsId(i);
             // Build the single-SBS restriction.
             let sub_network = network.restrict_to(n)?;
             let sub_demand = problem.demand().restrict_to(n);
@@ -74,21 +78,32 @@ impl DistributedSolver {
                     sub_initial.set(SbsId(0), ContentId(k), true);
                 }
             }
-            let sub_problem = ProblemInstance::new(
-                sub_network,
-                sub_demand,
-                *problem.cost_model(),
-                sub_initial,
-            )?;
-            let solution = PrimalDualSolver::new(self.options).solve(&sub_problem)?;
+            let sub_problem =
+                ProblemInstance::new(sub_network, sub_demand, *problem.cost_model(), sub_initial)?;
+            PrimalDualSolver::new(self.options).solve(&sub_problem)
+        });
+
+        let mut cache_plan = CachePlan::empty(network, horizon);
+        let mut load_plan = LoadPlan::zeros(network, horizon);
+        let mut lower_bound = 0.0;
+        let mut max_gap: f64 = 0.0;
+        let mut iterations = Vec::with_capacity(network.num_sbs());
+        for (i, res) in results.into_iter().enumerate() {
+            let solution = res?;
+            let n = SbsId(i);
+            let sbs = network.sbs(n)?;
             lower_bound += solution.lower_bound;
             max_gap = max_gap.max(solution.gap);
             iterations.push(solution.iterations);
 
-            // Scatter the sub-plan into the global plan.
+            // Scatter the sub-plan into the global plan (fixed SBS order:
+            // the merge is deterministic for any worker count).
             for t in 0..horizon {
                 for k in 0..network.num_contents() {
-                    let cached = solution.cache_plan.state(t).contains(SbsId(0), ContentId(k));
+                    let cached = solution
+                        .cache_plan
+                        .state(t)
+                        .contains(SbsId(0), ContentId(k));
                     cache_plan.state_mut(t).set(n, ContentId(k), cached);
                 }
                 for m in 0..sbs.num_classes() {

@@ -24,6 +24,8 @@
 //! randomized tests in `tests/fastslot_vs_pgd.rs`.
 
 use crate::cost::CostFunction;
+use crate::CoreError;
+use jocal_optim::OptimError;
 
 /// Outcome of [`solve_bs_only_slot`].
 #[derive(Debug, Clone)]
@@ -34,9 +36,27 @@ pub struct FastSlotSolution {
     pub objective: f64,
 }
 
-/// Greedy fractional-knapsack evaluation at marginal BS value `d`.
-///
-/// Returns `(y, served, used_budget)`.
+/// Reusable working buffers for [`solve_bs_only_slot_into`]: the greedy
+/// fractions, the knapsack ratio order, and the repair candidate. One
+/// scratch amortizes the ~100 greedy evaluations of a bisection across
+/// every slot solve of a primal-dual run.
+#[derive(Debug, Clone, Default)]
+pub struct FastSlotScratch {
+    order: Vec<usize>,
+    cand: Vec<f64>,
+}
+
+impl FastSlotScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Greedy fractional-knapsack evaluation at marginal BS value `d`,
+/// writing the fractions into `y`. Returns `(served, used_budget)`.
+#[allow(clippy::too_many_arguments)]
 fn greedy_at(
     d: f64,
     a: &[f64],
@@ -44,13 +64,16 @@ fn greedy_at(
     lambda: &[f64],
     ub: &[f64],
     budget: f64,
-) -> (Vec<f64>, f64, f64) {
+    order: &mut Vec<usize>,
+    y: &mut Vec<f64>,
+) -> (f64, f64) {
     let n = a.len();
-    let mut y = vec![0.0; n];
+    y.clear();
+    y.resize(n, 0.0);
     let mut served = 0.0;
     let mut used = 0.0;
     // Free riders: zero bandwidth cost, positive profit.
-    let mut order: Vec<usize> = Vec::with_capacity(n);
+    order.clear();
     for i in 0..n {
         let profit = d * a[i] - c[i];
         if profit <= 0.0 || ub[i] <= 0.0 {
@@ -66,12 +89,10 @@ fn greedy_at(
     order.sort_by(|&i, &j| {
         let ri = (d * a[i] - c[i]) / lambda[i];
         let rj = (d * a[j] - c[j]) / lambda[j];
-        rj.partial_cmp(&ri)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| i.cmp(&j))
+        rj.total_cmp(&ri).then_with(|| i.cmp(&j))
     });
     let mut remaining = budget;
-    for i in order {
+    for &i in order.iter() {
         if remaining <= 0.0 {
             break;
         }
@@ -86,7 +107,7 @@ fn greedy_at(
         used += lambda[i] * take;
         remaining = budget - used;
     }
-    (y, served, used)
+    (served, used)
 }
 
 /// Exactly solves the BS-only slot problem described in the module docs.
@@ -96,10 +117,16 @@ fn greedy_at(
 /// out by the caller. All inputs must be non-negative; `ub_i ≤ 1` is not
 /// required (any box works). Returns the optimal fractions and objective.
 ///
+/// # Errors
+///
+/// Returns [`CoreError::Solver`] if any input is non-finite (NaN or
+/// ±∞): the internal knapsack ordering and bisection are only meaningful
+/// on finite data, so bad inputs are rejected at this boundary instead
+/// of silently producing an arbitrary order.
+///
 /// # Panics
 ///
 /// Panics (debug builds) on negative inputs.
-#[must_use]
 pub fn solve_bs_only_slot(
     bs_cost: CostFunction,
     u0: f64,
@@ -108,8 +135,56 @@ pub fn solve_bs_only_slot(
     lambda: &[f64],
     ub: &[f64],
     budget: f64,
-) -> FastSlotSolution {
+) -> Result<FastSlotSolution, CoreError> {
+    let mut scratch = FastSlotScratch::new();
+    let mut y = Vec::new();
+    let objective =
+        solve_bs_only_slot_into(bs_cost, u0, a, c, lambda, ub, budget, &mut scratch, &mut y)?;
+    Ok(FastSlotSolution { y, objective })
+}
+
+/// Buffer-reusing variant of [`solve_bs_only_slot`]: the optimal
+/// fractions are written into `y_out` (resized to `a.len()`) and the
+/// objective is returned. Working storage comes from `scratch`.
+///
+/// # Errors
+///
+/// Same contract as [`solve_bs_only_slot`].
+#[allow(clippy::too_many_arguments)]
+pub fn solve_bs_only_slot_into(
+    bs_cost: CostFunction,
+    u0: f64,
+    a: &[f64],
+    c: &[f64],
+    lambda: &[f64],
+    ub: &[f64],
+    budget: f64,
+    scratch: &mut FastSlotScratch,
+    y_out: &mut Vec<f64>,
+) -> Result<f64, CoreError> {
     let n = a.len();
+    if c.len() != n || lambda.len() != n || ub.len() != n {
+        return Err(CoreError::shape(format!(
+            "fastslot: inconsistent input lengths (a {n}, c {}, lambda {}, ub {})",
+            c.len(),
+            lambda.len(),
+            ub.len()
+        )));
+    }
+    // Reject non-finite data at the boundary: a single NaN price or
+    // demand would silently scramble the knapsack ratio ordering.
+    let finite = |s: &[f64]| s.iter().all(|v| v.is_finite());
+    if !u0.is_finite()
+        || !budget.is_finite()
+        || !finite(a)
+        || !finite(c)
+        || !finite(lambda)
+        || !finite(ub)
+    {
+        return Err(CoreError::Solver(OptimError::invalid(
+            "fastslot: non-finite input (NaN or infinity) in slot problem data",
+        )));
+    }
     debug_assert!(u0 >= 0.0);
     debug_assert!(a.iter().all(|&v| v >= 0.0));
     debug_assert!(c.iter().all(|&v| v >= 0.0));
@@ -121,11 +196,12 @@ pub fn solve_bs_only_slot(
         bs_cost.value(u0 - served) + lin
     };
 
+    let FastSlotScratch { order, cand } = scratch;
+
     // Linear BS cost: the marginal value is constant; one greedy solves it.
     if let CostFunction::Linear { slope } = bs_cost {
-        let (y, _, _) = greedy_at(slope, a, c, lambda, ub, budget);
-        let objective = evaluate(&y);
-        return FastSlotSolution { y, objective };
+        greedy_at(slope, a, c, lambda, ub, budget, order, y_out);
+        return Ok(evaluate(y_out));
     }
 
     // Monotone scalar equation: G(u) = u₀ − s(φ'(u)) − u is non-increasing
@@ -134,14 +210,14 @@ pub fn solve_bs_only_slot(
     let mut lo = 0.0_f64;
     let mut hi = u0.max(0.0);
     if hi == 0.0 {
-        let y = vec![0.0; n];
-        let objective = evaluate(&y);
-        return FastSlotSolution { y, objective };
+        y_out.clear();
+        y_out.resize(n, 0.0);
+        return Ok(evaluate(y_out));
     }
     for _ in 0..100 {
         let mid = 0.5 * (lo + hi);
         let d = bs_cost.derivative(mid);
-        let (_, served, _) = greedy_at(d, a, c, lambda, ub, budget);
+        let (served, _) = greedy_at(d, a, c, lambda, ub, budget, order, y_out);
         let implied = u0 - served;
         if implied > mid {
             lo = mid;
@@ -154,7 +230,7 @@ pub fn solve_bs_only_slot(
     }
     let u_star = 0.5 * (lo + hi);
     let d_star = bs_cost.derivative(u_star);
-    let (mut y, served, used) = greedy_at(d_star, a, c, lambda, ub, budget);
+    let (served, used) = greedy_at(d_star, a, c, lambda, ub, budget, order, y_out);
     let implied = u0 - served;
 
     // Marginal-item repair: when the fixed point sits on a knapsack jump
@@ -170,7 +246,11 @@ pub fn solve_bs_only_slot(
             if a[j] <= 0.0 || ub[j] <= 0.0 {
                 continue;
             }
-            let movable = if gap > 0.0 { y[j] < ub[j] } else { y[j] > 0.0 };
+            let movable = if gap > 0.0 {
+                y_out[j] < ub[j]
+            } else {
+                y_out[j] > 0.0
+            };
             if !movable {
                 continue;
             }
@@ -184,20 +264,20 @@ pub fn solve_bs_only_slot(
             // Move item j fractionally so u lands at the fixed point (or
             // as close as bounds/budget allow).
             let mut dy = gap / a[j];
-            dy = dy.clamp(-y[j], ub[j] - y[j]);
+            dy = dy.clamp(-y_out[j], ub[j] - y_out[j]);
             if dy > 0.0 && lambda[j] > 0.0 {
                 dy = dy.min((budget - used) / lambda[j]);
             }
-            let mut cand = y.clone();
+            cand.clear();
+            cand.extend_from_slice(y_out);
             cand[j] += dy;
-            if evaluate(&cand) < evaluate(&y) {
-                y = cand;
+            if evaluate(cand) < evaluate(y_out) {
+                y_out.copy_from_slice(cand);
             }
         }
     }
 
-    let objective = evaluate(&y);
-    FastSlotSolution { y, objective }
+    Ok(evaluate(y_out))
 }
 
 #[cfg(test)]
@@ -215,7 +295,8 @@ mod tests {
             &[1.0, 1.0],
             &[1.0, 1.0],
             100.0,
-        );
+        )
+        .unwrap();
         assert!((sol.y[0] - 1.0).abs() < 1e-9);
         assert!((sol.y[1] - 1.0).abs() < 1e-9);
         assert!(sol.objective.abs() < 1e-12);
@@ -231,7 +312,8 @@ mod tests {
             &[1.0],
             &[1.0],
             10.0,
-        );
+        )
+        .unwrap();
         assert_eq!(sol.y[0], 0.0);
         assert!((sol.objective - 1.0).abs() < 1e-12);
     }
@@ -248,7 +330,8 @@ mod tests {
             &[1.0],
             &[1.0],
             10.0,
-        );
+        )
+        .unwrap();
         // With a = 4 (aggregate coefficient), y scales: u = 4(1−y),
         // d(u)·a = c → 2u·4 = 2 → u = 0.25 → y = (4−0.25)/4 = 0.9375.
         assert!((sol.y[0] - 0.9375).abs() < 1e-6, "y={}", sol.y[0]);
@@ -265,7 +348,8 @@ mod tests {
             &[1.0, 1.0],
             &[1.0, 1.0],
             1.0,
-        );
+        )
+        .unwrap();
         assert!(sol.y[1] > 0.99);
         assert!(sol.y[0] < 0.01);
     }
@@ -280,7 +364,8 @@ mod tests {
             &[1.0, 1.0],
             &[1.0, 1.0],
             10.0,
-        );
+        )
+        .unwrap();
         // Item 0 profit 3·2−1 > 0 → served; item 1 profit 6−10 < 0 → not.
         assert_eq!(sol.y[0], 1.0);
         assert_eq!(sol.y[1], 0.0);
@@ -288,8 +373,53 @@ mod tests {
 
     #[test]
     fn zero_demand_is_trivial() {
-        let sol = solve_bs_only_slot(CostFunction::Quadratic, 0.0, &[], &[], &[], &[], 1.0);
+        let sol =
+            solve_bs_only_slot(CostFunction::Quadratic, 0.0, &[], &[], &[], &[], 1.0).unwrap();
         assert!(sol.y.is_empty());
         assert_eq!(sol.objective, 0.0);
+    }
+
+    /// Regression: NaN/∞ inputs used to flow into the knapsack sort via
+    /// `partial_cmp(..).unwrap_or(Equal)`, silently producing an
+    /// arbitrary (input-order-dependent) serving order. They are now
+    /// rejected at the boundary.
+    #[test]
+    fn non_finite_inputs_are_rejected() {
+        let ok = (
+            &[1.0, 2.0][..],
+            &[0.5, 0.5][..],
+            &[1.0, 1.0][..],
+            &[1.0, 1.0][..],
+        );
+        type Case<'a> = (f64, &'a [f64], &'a [f64], &'a [f64], &'a [f64], f64);
+        let cases: [Case<'_>; 6] = [
+            (f64::NAN, ok.0, ok.1, ok.2, ok.3, 1.0),
+            (1.0, &[f64::NAN, 2.0], ok.1, ok.2, ok.3, 1.0),
+            (1.0, ok.0, &[0.5, f64::INFINITY], ok.2, ok.3, 1.0),
+            (1.0, ok.0, ok.1, &[f64::NAN, 1.0], ok.3, 1.0),
+            (1.0, ok.0, ok.1, ok.2, &[1.0, f64::NEG_INFINITY], 1.0),
+            (1.0, ok.0, ok.1, ok.2, ok.3, f64::INFINITY),
+        ];
+        for (u0, a, c, lambda, ub, budget) in cases {
+            let err = solve_bs_only_slot(CostFunction::Quadratic, u0, a, c, lambda, ub, budget)
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("non-finite"),
+                "expected non-finite rejection, got: {err}"
+            );
+        }
+        // Mismatched lengths are a shape error, not a panic.
+        assert!(matches!(
+            solve_bs_only_slot(
+                CostFunction::Quadratic,
+                1.0,
+                &[1.0],
+                &[],
+                &[1.0],
+                &[1.0],
+                1.0
+            ),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
     }
 }

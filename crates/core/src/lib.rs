@@ -16,6 +16,9 @@
 //!   solver, plus the exact optimal load balancing for a fixed cache.
 //! * [`primal_dual`] — Algorithm 1: the dual-decomposition loop with
 //!   subgradient multiplier updates (eq. 15–17) and primal recovery.
+//! * [`workspace`] — the slot-solve engine: reusable per-SBS workspaces,
+//!   the borrowing per-SBS subproblem view, and the deterministic
+//!   parallel fan-out over the exact per-SBS decomposition.
 //! * [`offline`] — the offline optimal scheme of the evaluation.
 //! * [`brute`] — an exhaustive oracle for tiny instances (tests).
 //! * [`accounting`] — cost decomposition matching the paper's reported
@@ -57,9 +60,11 @@ pub mod plan;
 pub mod primal_dual;
 pub mod problem;
 pub mod tensor;
+pub mod workspace;
 
 pub use accounting::CostBreakdown;
 pub use cost::{CostFunction, CostModel};
 pub use error::CoreError;
 pub use plan::{CachePlan, CacheState, LoadPlan};
 pub use problem::ProblemInstance;
+pub use workspace::{Parallelism, SbsSubproblem, SlotWorkspace};

@@ -9,37 +9,33 @@
 //!
 //! where `u_n = Σ_m ω_m Σ_k (1−y)λ` is the residual BS load and
 //! `v_n = Σ_m ω̂_m Σ_k yλ` the served SBS load. The objective is smooth
-//! and convex; we solve it by projected gradient (FISTA) with the exact
-//! box-∩-budget projection from `jocal-optim`.
+//! and convex; each slot is solved by the engine in
+//! [`crate::workspace`] (FISTA with the exact box-∩-budget projection,
+//! with the fast-knapsack warm start when applicable).
 //!
-//! Two entry points:
+//! Entry points:
 //!
-//! * [`solve_load_all`] — `P2` proper (upper bound `1`, `μ` as linear
-//!   term), used inside the primal-dual loop;
-//! * [`solve_load_given_cache`] — the *exact* optimal load balancing for
-//!   a fixed integer caching plan (`ub = x`, no `μ`), used for primal
-//!   recovery, for evaluating baselines fairly, and for the final plan.
+//! * [`solve_load_all`] / [`solve_load_all_with`] — `P2` proper (upper
+//!   bound `1`, `μ` as linear term), used inside the primal-dual loop;
+//! * [`solve_load_given_cache`] / [`solve_load_given_cache_with`] — the
+//!   *exact* optimal load balancing for a fixed integer caching plan
+//!   (`ub = x`, no `μ`), used for primal recovery, for evaluating
+//!   baselines fairly, and for the final plan;
+//! * the `*_into` variants write into a caller-owned [`LoadPlan`],
+//!   letting the primal-dual loop run allocation-free across
+//!   iterations.
+//!
+//! All variants fan per-SBS work out according to a [`Parallelism`]
+//! knob; results are reduced in SBS order, so every setting produces
+//! bitwise identical plans and objectives.
 
 use crate::cost::CostModel;
 use crate::plan::{CachePlan, LoadPlan};
 use crate::problem::ProblemInstance;
 use crate::tensor::Tensor4;
+use crate::workspace::{parallel_map_with, Parallelism, SbsSubproblem, SlotWorkspace};
 use crate::CoreError;
-use jocal_optim::pgd::{minimize, PgdOptions};
-use jocal_optim::projection::project_box_budget;
-use jocal_sim::topology::{ClassId, ContentId, SbsId};
-
-/// Tolerance/iteration budget used for the per-slot convex solves.
-fn slot_pgd_options() -> PgdOptions {
-    PgdOptions {
-        max_iters: 600,
-        tol: 1e-7,
-        initial_step: 1.0,
-        backtrack: 0.5,
-        min_step: 1e-16,
-        accelerated: true,
-    }
-}
+use jocal_sim::topology::SbsId;
 
 /// Solves one `(n, t)` slot of `P2`.
 ///
@@ -51,7 +47,9 @@ fn slot_pgd_options() -> PgdOptions {
 /// * `bandwidth` — the budget `B_n`.
 /// * `warm` — optional warm start.
 ///
-/// Returns `(y, objective)`.
+/// Returns `(y, objective)`. This is the allocating convenience wrapper
+/// around [`SlotWorkspace::solve_filled_slot`]; hot paths should hold a
+/// workspace instead.
 ///
 /// # Errors
 ///
@@ -68,163 +66,112 @@ pub fn solve_load_slot(
     bandwidth: f64,
     warm: Option<&[f64]>,
 ) -> Result<(Vec<f64>, f64), CoreError> {
-    let m_total = omega_bs.len();
-    if omega_sbs.len() != m_total {
-        return Err(CoreError::shape("omega_sbs length mismatch"));
-    }
-    if m_total == 0 || lambda.is_empty() {
-        return Ok((Vec::new(), 0.0));
-    }
-    if lambda.len() % m_total != 0 {
-        return Err(CoreError::shape(format!(
-            "lambda length {} not a multiple of {m_total} classes",
-            lambda.len()
-        )));
-    }
-    let n_entries = lambda.len();
-    if linear.len() != n_entries || upper.len() != n_entries {
-        return Err(CoreError::shape("linear/upper length mismatch"));
-    }
-    let k_total = n_entries / m_total;
-
-    // Per-entry aggregate coefficients (ω λ toward the BS, ω̂ λ toward the
-    // SBS) and the total weighted demand u₀ = Σ ω λ.
-    let mut a = vec![0.0; n_entries];
-    let mut b = vec![0.0; n_entries];
-    for m in 0..m_total {
-        for k in 0..k_total {
-            let i = m * k_total + k;
-            a[i] = omega_bs[m] * lambda[i];
-            b[i] = omega_sbs[m] * lambda[i];
+    let mut ws = SlotWorkspace::new();
+    ws.omega_bs.extend_from_slice(omega_bs);
+    ws.omega_sbs.extend_from_slice(omega_sbs);
+    ws.lambda.extend_from_slice(lambda);
+    ws.linear.extend_from_slice(linear);
+    ws.upper.extend_from_slice(upper);
+    let use_warm = match warm {
+        Some(w) => {
+            ws.warm.extend_from_slice(w);
+            true
         }
-    }
-    let u0: f64 = a.iter().sum();
-
-    // Entries pinned at 0 by their upper bound (or carrying zero demand
-    // and a non-negative price) cannot improve the objective: compress
-    // them out. This is a large win when a fixed cache zeroes most items.
-    let free: Vec<usize> = (0..n_entries)
-        .filter(|&i| upper[i] > 0.0 && (lambda[i] > 0.0 || linear[i] < 0.0))
-        .collect();
-
-    if free.is_empty() {
-        return Ok((
-            vec![0.0; n_entries],
-            cost_model.bs_cost.value(u0) + cost_model.sbs_cost.value(0.0),
-        ));
-    }
-
-    let fa: Vec<f64> = free.iter().map(|&i| a[i]).collect();
-    let fb: Vec<f64> = free.iter().map(|&i| b[i]).collect();
-    let flinear: Vec<f64> = free.iter().map(|&i| linear[i]).collect();
-    let fupper: Vec<f64> = free.iter().map(|&i| upper[i]).collect();
-    let flambda: Vec<f64> = free.iter().map(|&i| lambda[i]).collect();
-
-    // Fast path (the paper's evaluation setting): with no SBS-side cost
-    // the slot problem is a knapsack-structured scalar fixed point. The
-    // closed-form point is optimal up to knapsack-jump corner cases, so
-    // it is used as a warm start for a short projected-gradient polish —
-    // replacing hundreds of cold iterations with a handful.
-    let mut pgd_opts = slot_pgd_options();
-    let have_warm = matches!(warm, Some(w0) if w0.len() == n_entries);
-    let fwarm: Vec<f64> = if !have_warm
-        && fb.iter().all(|&v| v == 0.0)
-        && flinear.iter().all(|&v| v >= 0.0)
-    {
-        let fast = crate::fastslot::solve_bs_only_slot(
-            cost_model.bs_cost,
-            u0,
-            &fa,
-            &flinear,
-            &flambda,
-            &fupper,
-            bandwidth,
-        );
-        pgd_opts.max_iters = 80;
-        fast.y
-    } else {
-        match warm {
-            Some(w0) if w0.len() == n_entries => free.iter().map(|&i| w0[i]).collect(),
-            _ => vec![0.0; free.len()],
-        }
+        None => false,
     };
+    let mut y = vec![0.0; lambda.len()];
+    let objective = ws.solve_filled_slot(cost_model, bandwidth, use_warm, &mut y)?;
+    Ok((y, objective))
+}
 
-    let bs = cost_model.bs_cost;
-    let sbs = cost_model.sbs_cost;
-    let objective = {
-        let fa = fa.clone();
-        let fb = fb.clone();
-        let flinear = flinear.clone();
-        move |y: &[f64]| -> f64 {
-            let served_bs: f64 = fa.iter().zip(y).map(|(ai, yi)| ai * yi).sum();
-            let served_sbs: f64 = fb.iter().zip(y).map(|(bi, yi)| bi * yi).sum();
-            let lin: f64 = flinear.iter().zip(y).map(|(ci, yi)| ci * yi).sum();
-            bs.value(u0 - served_bs) + sbs.value(served_sbs) + lin
+/// Solves the per-SBS column (all slots of SBS `n`) into a fresh flat
+/// buffer laid out as `t · block + (m·K + k)`. Returns the buffer and
+/// the SBS's summed slot objectives.
+fn solve_sbs_column(
+    sub: &SbsSubproblem<'_>,
+    ws: &mut SlotWorkspace,
+    mu: Option<&Tensor4>,
+    x: Option<&CachePlan>,
+    warm: Option<&LoadPlan>,
+    horizon: usize,
+    cost_model: &CostModel,
+) -> Result<(Vec<f64>, f64), CoreError> {
+    let block = sub.block_len();
+    let mut col = vec![0.0; horizon * block];
+    let mut objective = 0.0;
+    sub.fill_weights(ws);
+    for t in 0..horizon {
+        sub.fill_demand(t, ws);
+        match mu {
+            Some(mu) => sub.fill_linear(mu, t, ws),
+            None => sub.fill_linear_zero(ws),
         }
-    };
-    let gradient = {
-        let fa = fa.clone();
-        let fb = fb.clone();
-        let flinear = flinear.clone();
-        move |y: &[f64], g: &mut [f64]| {
-            let served_bs: f64 = fa.iter().zip(y.iter()).map(|(ai, yi)| ai * yi).sum();
-            let served_sbs: f64 = fb.iter().zip(y.iter()).map(|(bi, yi)| bi * yi).sum();
-            let dphi = bs.derivative(u0 - served_bs);
-            let dpsi = sbs.derivative(served_sbs);
-            for i in 0..g.len() {
-                g[i] = -dphi * fa[i] + dpsi * fb[i] + flinear[i];
+        match x {
+            Some(x) => sub.fill_upper_from_cache(x, t, ws),
+            None => sub.fill_upper_ones(ws),
+        }
+        let use_warm = match warm {
+            Some(w) => {
+                ws.warm.clear();
+                ws.warm
+                    .extend_from_slice(w.tensor().sbs_slot_slice(t, sub.sbs_id()));
+                true
             }
-        }
-    };
-
-    let lo = vec![0.0; free.len()];
-    let project = {
-        let fupper = fupper.clone();
-        let flambda = flambda.clone();
-        move |y: &mut [f64]| {
-            let p = project_box_budget(y, &lo, &fupper, &flambda, bandwidth)
-                .expect("box-budget projection cannot fail: 0 is feasible");
-            y.copy_from_slice(&p);
-        }
-    };
-
-    let result = minimize(objective, gradient, project, fwarm, pgd_opts)?;
-    let mut y = vec![0.0; n_entries];
-    for (slot, &i) in free.iter().enumerate() {
-        y[i] = result.x[slot];
+            None => false,
+        };
+        objective += ws.solve_filled_slot(
+            cost_model,
+            sub.bandwidth(),
+            use_warm,
+            &mut col[t * block..(t + 1) * block],
+        )?;
     }
-    Ok((y, result.objective))
+    Ok((col, objective))
 }
 
-/// Internal helper gathering the flat per-slot inputs for SBS `n`.
-fn slot_inputs(
+/// Shared driver: fans the per-SBS columns out, then scatters them into
+/// `out` and reduces the objective in SBS order (deterministic for any
+/// [`Parallelism`]).
+fn solve_columns_into(
     problem: &ProblemInstance,
-    t: usize,
-    n: SbsId,
-) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    mu: Option<&Tensor4>,
+    x: Option<&CachePlan>,
+    warm: Option<&LoadPlan>,
+    parallelism: Parallelism,
+    out: &mut LoadPlan,
+) -> Result<f64, CoreError> {
     let network = problem.network();
-    let sbs = network.sbs(n).expect("validated");
-    let k_total = network.num_contents();
-    let m_total = sbs.num_classes();
-    let mut omega_bs = Vec::with_capacity(m_total);
-    let mut omega_sbs = Vec::with_capacity(m_total);
-    for class in sbs.classes() {
-        omega_bs.push(class.omega_bs);
-        omega_sbs.push(class.omega_sbs);
+    let horizon = problem.horizon();
+    if out.horizon() != horizon || out.tensor().num_sbs() != network.num_sbs() {
+        return Err(CoreError::shape("output load plan shape mismatch"));
     }
-    let mut lambda = vec![0.0; m_total * k_total];
-    for m in 0..m_total {
-        for k in 0..k_total {
-            lambda[m * k_total + k] = problem.demand().lambda(t, n, ClassId(m), ContentId(k));
+    let cost_model = problem.cost_model();
+    let results = parallel_map_with(
+        parallelism,
+        network.num_sbs(),
+        SlotWorkspace::new,
+        |ws, i| {
+            let sub = SbsSubproblem::new(problem, SbsId(i));
+            solve_sbs_column(&sub, ws, mu, x, warm, horizon, cost_model)
+        },
+    );
+    let mut objective = 0.0;
+    for (i, res) in results.into_iter().enumerate() {
+        let (col, obj) = res?;
+        let n = SbsId(i);
+        let block = out.tensor().sbs_block_len(n);
+        for t in 0..horizon {
+            out.tensor_mut()
+                .sbs_slot_slice_mut(t, n)
+                .copy_from_slice(&col[t * block..(t + 1) * block]);
         }
+        objective += obj;
     }
-    (omega_bs, omega_sbs, lambda)
+    Ok(objective)
 }
 
-/// Solves `P2` over all SBSs and slots given multipliers `mu`.
-///
-/// Returns the load plan and the `P2` objective
-/// `Σ_t (f_t + g_t + Σ μ y)`.
+/// Solves `P2` over all SBSs and slots given multipliers `mu`,
+/// sequentially. See [`solve_load_all_with`].
 ///
 /// # Errors
 ///
@@ -234,44 +181,50 @@ pub fn solve_load_all(
     mu: &Tensor4,
     warm: Option<&LoadPlan>,
 ) -> Result<(LoadPlan, f64), CoreError> {
-    let network = problem.network();
-    let horizon = problem.horizon();
-    let k_total = network.num_contents();
-    let mut plan = LoadPlan::zeros(network, horizon);
-    let mut objective = 0.0;
-    for t in 0..horizon {
-        for (n, sbs) in network.iter_sbs() {
-            let (omega_bs, omega_sbs, lambda) = slot_inputs(problem, t, n);
-            let m_total = sbs.num_classes();
-            let mut linear = vec![0.0; m_total * k_total];
-            for m in 0..m_total {
-                for k in 0..k_total {
-                    linear[m * k_total + k] = mu.get(t, n, ClassId(m), ContentId(k));
-                }
-            }
-            let upper = vec![1.0; m_total * k_total];
-            let warm_slot = warm.map(|w| w.tensor().sbs_slot(t, n));
-            let (y, obj) = solve_load_slot(
-                problem.cost_model(),
-                &omega_bs,
-                &omega_sbs,
-                &lambda,
-                &linear,
-                &upper,
-                sbs.bandwidth(),
-                warm_slot.as_deref(),
-            )?;
-            plan.tensor_mut().set_sbs_slot(t, n, &y);
-            objective += obj;
-        }
-    }
+    solve_load_all_with(problem, mu, warm, Parallelism::Sequential)
+}
+
+/// Solves `P2` over all SBSs and slots given multipliers `mu`, fanning
+/// per-SBS work out per `parallelism`.
+///
+/// Returns the load plan and the `P2` objective
+/// `Σ_t (f_t + g_t + Σ μ y)`. The result is identical for every
+/// parallelism setting.
+///
+/// # Errors
+///
+/// Propagates sub-solver failures.
+pub fn solve_load_all_with(
+    problem: &ProblemInstance,
+    mu: &Tensor4,
+    warm: Option<&LoadPlan>,
+    parallelism: Parallelism,
+) -> Result<(LoadPlan, f64), CoreError> {
+    let mut plan = LoadPlan::zeros(problem.network(), problem.horizon());
+    let objective = solve_load_all_into(problem, mu, warm, parallelism, &mut plan)?;
     Ok((plan, objective))
 }
 
-/// Solves the exact optimal load balancing for a **fixed** caching plan:
-/// the upper bound of `y_{m,k}` is `x_{n,k}` and there is no multiplier
-/// term, so the result is the true `f + g` minimizer subject to all
-/// constraints.
+/// [`solve_load_all_with`] writing into a caller-owned plan (must match
+/// the problem's shape), for allocation-free reuse across primal-dual
+/// iterations.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeMismatch`] if `out` has the wrong shape and
+/// propagates sub-solver failures.
+pub fn solve_load_all_into(
+    problem: &ProblemInstance,
+    mu: &Tensor4,
+    warm: Option<&LoadPlan>,
+    parallelism: Parallelism,
+    out: &mut LoadPlan,
+) -> Result<f64, CoreError> {
+    solve_columns_into(problem, Some(mu), None, warm, parallelism, out)
+}
+
+/// Solves the exact optimal load balancing for a **fixed** caching plan,
+/// sequentially. See [`solve_load_given_cache_with`].
 ///
 /// # Errors
 ///
@@ -282,6 +235,43 @@ pub fn solve_load_given_cache(
     x: &CachePlan,
     warm: Option<&LoadPlan>,
 ) -> Result<(LoadPlan, f64), CoreError> {
+    solve_load_given_cache_with(problem, x, warm, Parallelism::Sequential)
+}
+
+/// Solves the exact optimal load balancing for a **fixed** caching plan:
+/// the upper bound of `y_{m,k}` is `x_{n,k}` and there is no multiplier
+/// term, so the result is the true `f + g` minimizer subject to all
+/// constraints. Fans per-SBS work out per `parallelism` with a
+/// deterministic reduction.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeMismatch`] if the plan horizon differs and
+/// propagates solver failures.
+pub fn solve_load_given_cache_with(
+    problem: &ProblemInstance,
+    x: &CachePlan,
+    warm: Option<&LoadPlan>,
+    parallelism: Parallelism,
+) -> Result<(LoadPlan, f64), CoreError> {
+    let mut plan = LoadPlan::zeros(problem.network(), problem.horizon());
+    let objective = solve_load_given_cache_into(problem, x, warm, parallelism, &mut plan)?;
+    Ok((plan, objective))
+}
+
+/// [`solve_load_given_cache_with`] writing into a caller-owned plan.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeMismatch`] if the plan horizon differs or
+/// `out` has the wrong shape, and propagates solver failures.
+pub fn solve_load_given_cache_into(
+    problem: &ProblemInstance,
+    x: &CachePlan,
+    warm: Option<&LoadPlan>,
+    parallelism: Parallelism,
+    out: &mut LoadPlan,
+) -> Result<f64, CoreError> {
     if x.horizon() != problem.horizon() {
         return Err(CoreError::shape(format!(
             "cache plan horizon {} != problem horizon {}",
@@ -289,40 +279,7 @@ pub fn solve_load_given_cache(
             problem.horizon()
         )));
     }
-    let network = problem.network();
-    let horizon = problem.horizon();
-    let k_total = network.num_contents();
-    let mut plan = LoadPlan::zeros(network, horizon);
-    let mut objective = 0.0;
-    for t in 0..horizon {
-        for (n, sbs) in network.iter_sbs() {
-            let (omega_bs, omega_sbs, lambda) = slot_inputs(problem, t, n);
-            let m_total = sbs.num_classes();
-            let linear = vec![0.0; m_total * k_total];
-            let mut upper = vec![0.0; m_total * k_total];
-            for m in 0..m_total {
-                for k in 0..k_total {
-                    if x.state(t).contains(n, ContentId(k)) {
-                        upper[m * k_total + k] = 1.0;
-                    }
-                }
-            }
-            let warm_slot = warm.map(|w| w.tensor().sbs_slot(t, n));
-            let (y, obj) = solve_load_slot(
-                problem.cost_model(),
-                &omega_bs,
-                &omega_sbs,
-                &lambda,
-                &linear,
-                &upper,
-                sbs.bandwidth(),
-                warm_slot.as_deref(),
-            )?;
-            plan.tensor_mut().set_sbs_slot(t, n, &y);
-            objective += obj;
-        }
-    }
-    Ok((plan, objective))
+    solve_columns_into(problem, None, Some(x), warm, parallelism, out)
 }
 
 #[cfg(test)]
@@ -330,7 +287,7 @@ mod tests {
     use super::*;
     use crate::plan::verify_feasible;
     use jocal_sim::demand::DemandTrace;
-    use jocal_sim::topology::{MuClass, Network};
+    use jocal_sim::topology::{ClassId, ContentId, MuClass, Network};
 
     fn simple_net(bandwidth: f64) -> Network {
         Network::builder(2)
@@ -459,17 +416,8 @@ mod tests {
 
     #[test]
     fn empty_slot_is_trivial() {
-        let (y, obj) = solve_load_slot(
-            &CostModel::paper(),
-            &[],
-            &[],
-            &[],
-            &[],
-            &[],
-            1.0,
-            None,
-        )
-        .unwrap();
+        let (y, obj) =
+            solve_load_slot(&CostModel::paper(), &[], &[], &[], &[], &[], 1.0, None).unwrap();
         assert!(y.is_empty());
         assert_eq!(obj, 0.0);
     }
@@ -549,5 +497,33 @@ mod tests {
         let (y_cold, obj_cold) = solve_load_all(&problem, &mu, None).unwrap();
         let (_, obj_warm) = solve_load_all(&problem, &mu, Some(&y_cold)).unwrap();
         assert!((obj_cold - obj_warm).abs() < 1e-5);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let net = simple_net(2.0);
+        let demand = uniform_demand(&net, 2.0);
+        let problem = ProblemInstance::fresh(net.clone(), demand).unwrap();
+        let mu = Tensor4::zeros(&net, 1);
+        let (y_seq, obj_seq) =
+            solve_load_all_with(&problem, &mu, None, Parallelism::Sequential).unwrap();
+        for k in [1usize, 2, 8] {
+            let (y_par, obj_par) =
+                solve_load_all_with(&problem, &mu, None, Parallelism::Threads(k)).unwrap();
+            assert_eq!(y_seq, y_par, "threads={k}");
+            assert_eq!(obj_seq.to_bits(), obj_par.to_bits(), "threads={k}");
+        }
+    }
+
+    #[test]
+    fn into_variant_rejects_shape_mismatch() {
+        let net = simple_net(2.0);
+        let demand = uniform_demand(&net, 2.0);
+        let problem = ProblemInstance::fresh(net.clone(), demand).unwrap();
+        let mu = Tensor4::zeros(&net, 1);
+        let mut wrong = LoadPlan::zeros(&net, 2);
+        assert!(
+            solve_load_all_into(&problem, &mu, None, Parallelism::Sequential, &mut wrong).is_err()
+        );
     }
 }

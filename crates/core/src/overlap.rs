@@ -172,6 +172,8 @@ pub struct OverlapSolution {
 ///
 /// Propagates solver failures.
 #[allow(clippy::too_many_lines)]
+#[allow(clippy::type_complexity)] // `y[n][m][k]` nests naturally as Vec³.
+#[allow(clippy::needless_range_loop)]
 pub fn solve_overlap_load_slot(
     instance: &OverlapInstance,
     t: usize,
@@ -236,9 +238,7 @@ pub fn solve_overlap_load_slot(
 
     let objective = {
         let residuals = residuals.clone();
-        move |y: &[f64]| -> f64 {
-            residuals(y).iter().map(|&u| bs.value(u)).sum()
-        }
+        move |y: &[f64]| -> f64 { residuals(y).iter().map(|&u| bs.value(u)).sum() }
     };
     let gradient = {
         let residuals = residuals.clone();
@@ -376,6 +376,7 @@ pub fn solve_overlap_load_slot(
 /// # Errors
 ///
 /// Propagates sub-solver failures.
+#[allow(clippy::needless_range_loop)] // Greedy sweep over (n, k, t) indices.
 pub fn solve_overlap(instance: &OverlapInstance) -> Result<OverlapSolution, CoreError> {
     let k_total = instance.num_contents;
     let n_sbs = instance.sbs.len();
@@ -565,9 +566,7 @@ mod tests {
         );
         // Both SBS budgets respected.
         for (c, &n) in overlap.classes[0].coverage.iter().enumerate() {
-            let used: f64 = (0..1)
-                .map(|k| with_overlap.load[0][0][c][k] * 10.0)
-                .sum();
+            let used: f64 = (0..1).map(|k| with_overlap.load[0][0][c][k] * 10.0).sum();
             assert!(used <= overlap.sbs[n].bandwidth + 1e-5);
         }
         // Total fraction cap respected.

@@ -18,11 +18,14 @@
 //! budget is exhausted, returning the best feasible plan found.
 
 use crate::accounting::{evaluate_plan, CostBreakdown};
-use crate::caching::solve_caching_all;
-use crate::loadbalance::{solve_load_all, solve_load_given_cache};
+use crate::caching::solve_caching_all_with;
+use crate::loadbalance::{
+    solve_load_all_into, solve_load_given_cache_into, solve_load_given_cache_with,
+};
 use crate::plan::{verify_feasible, CachePlan, LoadPlan};
 use crate::problem::ProblemInstance;
 use crate::tensor::Tensor4;
+use crate::workspace::Parallelism;
 use crate::CoreError;
 use jocal_optim::subgradient::{DualAscent, StepSchedule};
 use jocal_sim::topology::{ClassId, ContentId};
@@ -43,6 +46,10 @@ pub struct PrimalDualOptions {
     /// Run the (relatively expensive) primal recovery every this many
     /// iterations. `1` recovers every iteration.
     pub recovery_every: usize,
+    /// Fan-out of the per-SBS `P1`/`P2` sub-solves. The decomposition is
+    /// exact and the reduction order fixed, so every setting produces
+    /// identical solutions; this only trades wall-clock time.
+    pub parallelism: Parallelism,
 }
 
 impl Default for PrimalDualOptions {
@@ -53,6 +60,7 @@ impl Default for PrimalDualOptions {
             step_alpha: 0.05,
             step_scale: None,
             recovery_every: 1,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -70,6 +78,7 @@ impl PrimalDualOptions {
             step_alpha: 0.05,
             step_scale: None,
             recovery_every: 3,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -159,9 +168,8 @@ impl PrimalDualSolver {
                 let dphi = model.bs_cost.derivative(u0);
                 for (m, class) in sbs.classes().iter().enumerate() {
                     for k in 0..network.num_contents() {
-                        let g = dphi
-                            * class.omega_bs
-                            * demand.lambda(t, n, ClassId(m), ContentId(k));
+                        let g =
+                            dphi * class.omega_bs * demand.lambda(t, n, ClassId(m), ContentId(k));
                         max_grad = max_grad.max(g);
                     }
                 }
@@ -195,6 +203,7 @@ impl PrimalDualSolver {
         warm: Option<&WarmStart>,
     ) -> Result<PrimalDualSolution, CoreError> {
         let opts = &self.options;
+        let par = opts.parallelism;
         let network = problem.network();
         let horizon = problem.horizon();
         let scale = opts
@@ -210,18 +219,27 @@ impl PrimalDualSolver {
             },
         );
         let mut mu = template.clone();
-        let mut warm_y: Option<LoadPlan> = None;
+        // Double-buffered P2 plans: `y_warm` carries the previous
+        // iterate's solution (the warm start), `y_next` receives the new
+        // one, and the two swap each iteration — no per-iteration tensor
+        // allocation.
+        let mut y_next = LoadPlan::zeros(network, horizon);
+        let mut y_warm = LoadPlan::zeros(network, horizon);
+        let mut have_warm = false;
         if let Some(w) = warm {
             if w.mu.same_shape(&template) {
                 mu = w.mu.clone();
             }
             if w.y.tensor().same_shape(&template) {
-                warm_y = Some(w.y.clone());
+                y_warm = w.y.clone();
+                have_warm = true;
             }
         }
 
-        let mut last_x: Option<CachePlan> = None;
-        let mut recovery_warm: Option<LoadPlan> = None;
+        // Same double-buffering for the recovery solves.
+        let mut rec_next = LoadPlan::zeros(network, horizon);
+        let mut rec_warm = LoadPlan::zeros(network, horizon);
+        let mut have_rec_warm = false;
         let mut iterations = 0usize;
 
         // Primal seeding: evaluate the "hold the inherited cache" plan so
@@ -229,42 +247,49 @@ impl PrimalDualSolver {
         // candidates. Without it, near-tied window solves can churn on
         // arbitrary tie-breaking and pay unwarranted replacement cost.
         let mut best: Option<(CachePlan, LoadPlan, CostBreakdown)> = {
-            let hold = CachePlan::from_states(vec![
-                problem.initial_cache().clone();
-                horizon
-            ])?;
-            let (y_hold, _) = solve_load_given_cache(problem, &hold, None)?;
+            let hold = CachePlan::from_states(vec![problem.initial_cache().clone(); horizon])?;
+            let (y_hold, _) = solve_load_given_cache_with(problem, &hold, None, par)?;
             let breakdown = evaluate_plan(problem, &hold, &y_hold);
             ascent.record_primal_value(breakdown.total());
             Some((hold, y_hold, breakdown))
         };
 
+        let mut violation = vec![0.0; template.len()];
         let mut history = Vec::with_capacity(opts.max_iterations);
         for l in 0..opts.max_iterations {
             iterations = l + 1;
             // --- Primal step: solve P1 and P2 under current μ. ----------
-            let (x_plan, p1_obj) = solve_caching_all(problem, &mu)?;
-            let (y_plan, p2_obj) = solve_load_all(problem, &mu, warm_y.as_ref())?;
-            warm_y = Some(y_plan.clone());
+            let (x_plan, p1_obj) = solve_caching_all_with(problem, &mu, par)?;
+            let p2_obj =
+                solve_load_all_into(problem, &mu, have_warm.then_some(&y_warm), par, &mut y_next)?;
+            std::mem::swap(&mut y_next, &mut y_warm);
+            have_warm = true;
+            let y_plan = &y_warm;
 
             // Dual (lower) bound: the Lagrangian minimum at μ.
             ascent.record_dual_value(p1_obj + p2_obj);
 
             // --- Primal recovery: exact Y for the integral X. ------------
             if l % opts.recovery_every.max(1) == 0 || l + 1 == opts.max_iterations {
-                let (y_feas, _) =
-                    solve_load_given_cache(problem, &x_plan, recovery_warm.as_ref())?;
-                recovery_warm = Some(y_feas.clone());
-                let breakdown = evaluate_plan(problem, &x_plan, &y_feas);
-                debug_assert!(
-                    verify_feasible(network, problem.demand(), &x_plan, &y_feas).is_ok()
-                );
+                solve_load_given_cache_into(
+                    problem,
+                    &x_plan,
+                    have_rec_warm.then_some(&rec_warm),
+                    par,
+                    &mut rec_next,
+                )?;
+                std::mem::swap(&mut rec_next, &mut rec_warm);
+                have_rec_warm = true;
+                let y_feas = &rec_warm;
+                let breakdown = evaluate_plan(problem, &x_plan, y_feas);
+                debug_assert!(verify_feasible(network, problem.demand(), &x_plan, y_feas).is_ok());
                 ascent.record_primal_value(breakdown.total());
                 let improved = best
                     .as_ref()
-                    .map_or(true, |(_, _, b)| breakdown.total() < b.total());
+                    .is_none_or(|(_, _, b)| breakdown.total() < b.total());
                 if improved {
-                    best = Some((x_plan.clone(), y_feas, breakdown));
+                    // The one permitted snapshot: the best incumbent.
+                    best = Some((x_plan.clone(), y_feas.clone(), breakdown));
                 }
             }
 
@@ -276,12 +301,10 @@ impl PrimalDualSolver {
             });
 
             if ascent.relative_gap() <= opts.epsilon {
-                last_x = Some(x_plan);
                 break;
             }
 
             // --- Dual update (eq. 15–17). --------------------------------
-            let mut violation = vec![0.0; template.len()];
             let y_data = y_plan.tensor().as_slice();
             // x needs expanding to the (t, n, m, k) layout.
             let mut idx = 0usize;
@@ -302,9 +325,7 @@ impl PrimalDualSolver {
             }
             ascent.ascend(&violation);
             mu.as_mut_slice().copy_from_slice(ascent.multipliers());
-            last_x = Some(x_plan);
         }
-        let _ = last_x;
 
         let Some((cache_plan, load_plan, breakdown)) = best else {
             return Err(CoreError::NoFeasibleSolution { iterations });
@@ -356,7 +377,11 @@ mod tests {
         .unwrap();
         // Optimal: cache both items every slot (cost 0.2 total) and serve
         // all demand from the SBS (f = 0).
-        assert!(sol.breakdown.total() < 1.0, "total={}", sol.breakdown.total());
+        assert!(
+            sol.breakdown.total() < 1.0,
+            "total={}",
+            sol.breakdown.total()
+        );
         assert_eq!(sol.cache_plan.state(1).occupancy(SbsId(0)), 2);
         verify_feasible(&net, problem.demand(), &sol.cache_plan, &sol.load_plan).unwrap();
     }

@@ -177,6 +177,47 @@ impl Tensor4 {
         self.data[start..start + len].to_vec()
     }
 
+    /// Length of one `(m, k)` block at SBS `n` (`M_n · K`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn sbs_block_len(&self, n: SbsId) -> usize {
+        self.classes_per_sbs[n.0] * self.num_contents
+    }
+
+    /// Zero-copy view of the `(m, k)` block of slot `t`, SBS `n` —
+    /// the borrow-based counterpart of [`Tensor4::sbs_slot`], used on
+    /// the solver hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `n` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn sbs_slot_slice(&self, t: usize, n: SbsId) -> &[f64] {
+        assert!(t < self.horizon && n.0 < self.num_sbs());
+        let start = self.index(t, n, ClassId(0), ContentId(0));
+        let len = self.classes_per_sbs[n.0] * self.num_contents;
+        &self.data[start..start + len]
+    }
+
+    /// Mutable zero-copy view of the `(m, k)` block of slot `t`, SBS
+    /// `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `n` is out of range.
+    #[inline]
+    pub fn sbs_slot_slice_mut(&mut self, t: usize, n: SbsId) -> &mut [f64] {
+        assert!(t < self.horizon && n.0 < self.num_sbs());
+        let start = self.index(t, n, ClassId(0), ContentId(0));
+        let len = self.classes_per_sbs[n.0] * self.num_contents;
+        &mut self.data[start..start + len]
+    }
+
     /// Shifts the tensor `by` slots toward the past: slot `t` of the
     /// result is slot `t + by` of `self`, and the final `by` slots are
     /// zero. Used to warm-start receding-horizon solves from the previous

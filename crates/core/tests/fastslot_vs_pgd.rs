@@ -93,24 +93,9 @@ fn fast_path_matches_pgd_on_random_instances() {
         let u0: f64 = a.iter().sum::<f64>() + extra_mass;
         let budget = rng.gen_range(0.5..8.0);
 
-        let fast = solve_bs_only_slot(
-            CostFunction::Quadratic,
-            u0,
-            &a,
-            &c,
-            &lambda,
-            &ub,
-            budget,
-        );
-        let reference = pgd_reference(
-            CostFunction::Quadratic,
-            u0,
-            &a,
-            &c,
-            &lambda,
-            &ub,
-            budget,
-        );
+        let fast =
+            solve_bs_only_slot(CostFunction::Quadratic, u0, &a, &c, &lambda, &ub, budget).unwrap();
+        let reference = pgd_reference(CostFunction::Quadratic, u0, &a, &c, &lambda, &ub, budget);
         // Feasibility of the fast solution.
         let used: f64 = lambda.iter().zip(&fast.y).map(|(l, y)| l * y).sum();
         assert!(used <= budget + 1e-7, "trial {trial}: budget violated");

@@ -17,6 +17,7 @@ fn near_optimal_options() -> PrimalDualOptions {
         step_alpha: 0.05,
         step_scale: None,
         recovery_every: 1,
+        ..Default::default()
     }
 }
 

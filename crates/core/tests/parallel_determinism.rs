@@ -1,0 +1,122 @@
+//! Property tests: the parallel per-SBS decomposition is bit-for-bit
+//! deterministic — `Parallelism::Threads(k)` must reproduce the
+//! sequential result for every worker count, because per-SBS results are
+//! merged in SBS index order regardless of completion order.
+
+use jocal_core::distributed::DistributedSolver;
+use jocal_core::loadbalance::{solve_load_all_with, solve_load_given_cache_with};
+use jocal_core::plan::CachePlan;
+use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver};
+use jocal_core::problem::ProblemInstance;
+use jocal_core::tensor::Tensor4;
+use jocal_core::workspace::Parallelism;
+use jocal_sim::scenario::ScenarioConfig;
+use jocal_sim::topology::{ContentId, SbsId};
+use proptest::prelude::*;
+
+fn multi_sbs_problem(num_sbs: usize, seed: u64) -> ProblemInstance {
+    let cfg = ScenarioConfig {
+        num_sbs,
+        ..ScenarioConfig::tiny()
+    };
+    let s = cfg.build(seed).unwrap();
+    ProblemInstance::fresh(s.network, s.demand).unwrap()
+}
+
+fn quick_opts(parallelism: Parallelism) -> PrimalDualOptions {
+    PrimalDualOptions {
+        max_iterations: 10,
+        parallelism,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// DistributedSolver with `Threads(k)` for k ∈ {1, 2, 8} matches the
+    /// sequential run's CostBreakdown within 1e-9 (in fact bitwise).
+    #[test]
+    fn distributed_threads_match_sequential(
+        num_sbs in 2usize..=4,
+        seed in 0u64..1_000,
+    ) {
+        let problem = multi_sbs_problem(num_sbs, seed);
+        let seq = DistributedSolver::new(quick_opts(Parallelism::Sequential))
+            .solve(&problem)
+            .unwrap();
+        for k in [1usize, 2, 8] {
+            let par = DistributedSolver::new(quick_opts(Parallelism::Threads(k)))
+                .solve(&problem)
+                .unwrap();
+            let (s, p) = (seq.breakdown.total(), par.breakdown.total());
+            prop_assert!(
+                (s - p).abs() < 1e-9,
+                "k={k}: sequential {s} vs parallel {p}"
+            );
+            prop_assert_eq!(&seq.breakdown, &par.breakdown, "k={}", k);
+            prop_assert_eq!(s.to_bits(), p.to_bits(), "k={}: totals not bitwise equal", k);
+            prop_assert_eq!(&seq.lower_bound, &par.lower_bound, "k={}", k);
+            prop_assert_eq!(&seq.iterations, &par.iterations, "k={}", k);
+        }
+    }
+
+    /// The centralized primal-dual loop (whose P1/P2 stages fan out over
+    /// workers) is likewise invariant to the worker count.
+    #[test]
+    fn primal_dual_threads_match_sequential(
+        num_sbs in 2usize..=3,
+        seed in 0u64..1_000,
+    ) {
+        let problem = multi_sbs_problem(num_sbs, seed);
+        let seq = PrimalDualSolver::new(quick_opts(Parallelism::Sequential))
+            .solve(&problem)
+            .unwrap();
+        for k in [2usize, 8] {
+            let par = PrimalDualSolver::new(quick_opts(Parallelism::Threads(k)))
+                .solve(&problem)
+                .unwrap();
+            prop_assert_eq!(&seq.breakdown, &par.breakdown, "k={}", k);
+            prop_assert_eq!(
+                seq.breakdown.total().to_bits(),
+                par.breakdown.total().to_bits(),
+                "k={}: totals not bitwise equal", k
+            );
+            prop_assert_eq!(&seq.lower_bound, &par.lower_bound, "k={}", k);
+        }
+    }
+
+    /// The raw P2 dispatch layer: both the relaxed (`solve_load_all`) and
+    /// cache-constrained (`solve_load_given_cache`) entry points return
+    /// bitwise-identical plans for every worker count.
+    #[test]
+    fn load_dispatch_threads_match_sequential(
+        num_sbs in 2usize..=4,
+        seed in 0u64..1_000,
+    ) {
+        let problem = multi_sbs_problem(num_sbs, seed);
+        let mu = Tensor4::zeros(problem.network(), problem.horizon());
+        let mut cache = CachePlan::empty(problem.network(), problem.horizon());
+        for t in 0..problem.horizon() {
+            for n in 0..num_sbs {
+                cache.state_mut(t).set(SbsId(n), ContentId(0), true);
+                cache.state_mut(t).set(SbsId(n), ContentId(1), true);
+            }
+        }
+        let (y_seq, obj_seq) =
+            solve_load_all_with(&problem, &mu, None, Parallelism::Sequential).unwrap();
+        let (g_seq, gobj_seq) =
+            solve_load_given_cache_with(&problem, &cache, None, Parallelism::Sequential)
+                .unwrap();
+        for k in [2usize, 8] {
+            let par = Parallelism::Threads(k);
+            let (y_par, obj_par) = solve_load_all_with(&problem, &mu, None, par).unwrap();
+            prop_assert_eq!(obj_seq.to_bits(), obj_par.to_bits(), "relaxed k={}", k);
+            prop_assert_eq!(y_seq.tensor().as_slice(), y_par.tensor().as_slice());
+            let (g_par, gobj_par) =
+                solve_load_given_cache_with(&problem, &cache, None, par).unwrap();
+            prop_assert_eq!(gobj_seq.to_bits(), gobj_par.to_bits(), "cached k={}", k);
+            prop_assert_eq!(g_seq.tensor().as_slice(), g_par.tensor().as_slice());
+        }
+    }
+}

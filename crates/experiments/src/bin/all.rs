@@ -2,8 +2,8 @@
 //! all artifacts under `results/`.
 
 use jocal_experiments::figures::{
-    ablation_commitment, ablation_rho, fig2_beta_sweep, fig3_window_sweep,
-    fig4_bandwidth_sweep, fig5_noise_sweep, headline,
+    ablation_commitment, ablation_rho, fig2_beta_sweep, fig3_window_sweep, fig4_bandwidth_sweep,
+    fig5_noise_sweep, headline,
 };
 use jocal_experiments::report::{render_table, write_csv, write_json};
 use std::path::PathBuf;

@@ -28,7 +28,10 @@ fn main() {
     .expect("solve");
 
     let mut csv = String::from("iteration,lower_bound,upper_bound,gap\n");
-    println!("{:>5} {:>16} {:>16} {:>10}", "iter", "lower bound", "upper bound", "gap");
+    println!(
+        "{:>5} {:>16} {:>16} {:>10}",
+        "iter", "lower bound", "upper bound", "gap"
+    );
     for s in &solution.history {
         let _ = writeln!(
             csv,

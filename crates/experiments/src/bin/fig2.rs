@@ -12,7 +12,11 @@ fn main() {
     write_json(&points, &dir.join("fig2.json")).expect("write json");
     println!(
         "{}",
-        render_table(&points, |p| p.total_cost, "Fig. 2a — total operating cost vs beta")
+        render_table(
+            &points,
+            |p| p.total_cost,
+            "Fig. 2a — total operating cost vs beta"
+        )
     );
     println!(
         "{}",
@@ -32,7 +36,11 @@ fn main() {
     );
     println!(
         "{}",
-        render_table(&points, |p| p.bs_cost, "Fig. 2d — BS operating cost vs beta")
+        render_table(
+            &points,
+            |p| p.bs_cost,
+            "Fig. 2d — BS operating cost vs beta"
+        )
     );
     let _ = EvalOptions::default();
 }

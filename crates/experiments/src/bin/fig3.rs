@@ -12,7 +12,11 @@ fn main() {
     write_json(&points, &dir.join("fig3.json")).expect("write json");
     println!(
         "{}",
-        render_table(&points, |p| p.total_cost, "Fig. 3a — total operating cost vs w")
+        render_table(
+            &points,
+            |p| p.total_cost,
+            "Fig. 3a — total operating cost vs w"
+        )
     );
     println!(
         "{}",

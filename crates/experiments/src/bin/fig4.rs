@@ -12,7 +12,11 @@ fn main() {
     write_json(&points, &dir.join("fig4.json")).expect("write json");
     println!(
         "{}",
-        render_table(&points, |p| p.total_cost, "Fig. 4a — total operating cost vs B")
+        render_table(
+            &points,
+            |p| p.total_cost,
+            "Fig. 4a — total operating cost vs B"
+        )
     );
     println!(
         "{}",

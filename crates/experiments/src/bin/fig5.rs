@@ -12,6 +12,10 @@ fn main() {
     write_json(&points, &dir.join("fig5.json")).expect("write json");
     println!(
         "{}",
-        render_table(&points, |p| p.total_cost, "Fig. 5 — total operating cost vs eta")
+        render_table(
+            &points,
+            |p| p.total_cost,
+            "Fig. 5 — total operating cost vs eta"
+        )
     );
 }

@@ -84,7 +84,9 @@ pub fn fig2_beta_sweep(opts: &EvalOptions) -> Result<Vec<FigurePoint>, CoreError
             .build(opts.seed)?;
         let config = RunConfig::from_scenario(&scenario);
         for scheme in Scheme::paper_set() {
-            points.push(eval_point("fig2", "beta", beta, scheme, &scenario, &config)?);
+            points.push(eval_point(
+                "fig2", "beta", beta, scheme, &scenario, &config,
+            )?);
         }
     }
     Ok(points)
@@ -127,7 +129,9 @@ pub fn fig3_window_sweep(opts: &EvalOptions) -> Result<Vec<FigurePoint>, CoreErr
                 },
                 other => other,
             };
-            points.push(eval_point("fig3", "w", w as f64, scheme, &scenario, &config)?);
+            points.push(eval_point(
+                "fig3", "w", w as f64, scheme, &scenario, &config,
+            )?);
         }
     }
     Ok(points)
@@ -186,10 +190,7 @@ pub fn fig5_noise_sweep(opts: &EvalOptions) -> Result<Vec<FigurePoint>, CoreErro
             bs_cost: lrfu.breakdown.bs_operating,
             sbs_cost: lrfu.breakdown.sbs_operating,
         });
-        let config = RunConfig {
-            eta,
-            ..base_cfg
-        };
+        let config = RunConfig { eta, ..base_cfg };
         for scheme in Scheme::online_set() {
             points.push(eval_point("fig5", "eta", eta, scheme, &scenario, &config)?);
         }
@@ -330,8 +331,7 @@ mod tests {
     #[test]
     fn fig2_covers_all_betas_and_schemes() {
         let points = fig2_beta_sweep(&tiny_opts()).unwrap();
-        let betas: std::collections::BTreeSet<u64> =
-            points.iter().map(|p| p.x as u64).collect();
+        let betas: std::collections::BTreeSet<u64> = points.iter().map(|p| p.x as u64).collect();
         assert_eq!(betas.len(), 7);
         assert_eq!(points.len(), 7 * Scheme::paper_set().len());
         assert!(points.iter().all(|p| p.total_cost.is_finite()));

@@ -3,8 +3,8 @@
 
 use jocal_baselines::fifo::FifoRule;
 use jocal_baselines::lfu::LfuRule;
-use jocal_baselines::lru::LruRule;
 use jocal_baselines::lrfu::LrfuRule;
+use jocal_baselines::lru::LruRule;
 use jocal_baselines::rule::BaselinePolicy;
 use jocal_baselines::static_top::StaticTopRule;
 use jocal_core::accounting::CostBreakdown;
@@ -161,11 +161,8 @@ pub fn run_scheme(
                 .breakdown
         }
         Scheme::Rhc => {
-            let predictor = NoisyPredictor::new(
-                scenario.demand.clone(),
-                config.eta,
-                config.predictor_seed,
-            );
+            let predictor =
+                NoisyPredictor::new(scenario.demand.clone(), config.eta, config.predictor_seed);
             let mut policy = RhcPolicy::new(config.window, config.online_opts);
             run_policy(
                 &scenario.network,
@@ -177,11 +174,8 @@ pub fn run_scheme(
             .breakdown
         }
         Scheme::Chc { commitment } => {
-            let predictor = NoisyPredictor::new(
-                scenario.demand.clone(),
-                config.eta,
-                config.predictor_seed,
-            );
+            let predictor =
+                NoisyPredictor::new(scenario.demand.clone(), config.eta, config.predictor_seed);
             let r = commitment.clamp(1, config.window);
             let mut policy = ChcPolicy::new(
                 config.window,
@@ -199,11 +193,8 @@ pub fn run_scheme(
             .breakdown
         }
         Scheme::Afhc => {
-            let predictor = NoisyPredictor::new(
-                scenario.demand.clone(),
-                config.eta,
-                config.predictor_seed,
-            );
+            let predictor =
+                NoisyPredictor::new(scenario.demand.clone(), config.eta, config.predictor_seed);
             let mut policy = afhc_policy(
                 config.window,
                 RoundingPolicy::new(config.rho),
@@ -219,11 +210,8 @@ pub fn run_scheme(
             .breakdown
         }
         Scheme::Lrfu | Scheme::Lfu | Scheme::Lru | Scheme::Fifo | Scheme::StaticTop => {
-            let predictor = NoisyPredictor::new(
-                scenario.demand.clone(),
-                config.eta,
-                config.predictor_seed,
-            );
+            let predictor =
+                NoisyPredictor::new(scenario.demand.clone(), config.eta, config.predictor_seed);
             let mut policy: Box<dyn OnlinePolicy> = match scheme {
                 Scheme::Lrfu => Box::new(BaselinePolicy::optimal_lb(LrfuRule::new())),
                 Scheme::Lfu => Box::new(BaselinePolicy::optimal_lb(LfuRule::new())),

@@ -121,7 +121,9 @@ impl ChcPolicy {
             *ctx.cost_model,
             version.virtual_cache.clone(),
         )?;
-        let solution = self.solver.solve_with_warm(&problem, version.warm.as_ref())?;
+        let solution = self
+            .solver
+            .solve_with_warm(&problem, version.warm.as_ref())?;
         let commit = commit.min(len);
         for s in 0..commit {
             let cache = solution.cache_plan.state(s).clone();
@@ -188,9 +190,9 @@ impl OnlinePolicy for ChcPolicy {
         let weight = 1.0 / r as f64;
         for (cache, load) in &actions {
             for (n, sbs) in network.iter_sbs() {
-                for k in 0..k_total {
+                for (k, slot) in x_avg[n.0].iter_mut().enumerate() {
                     if cache.contains(n, ContentId(k)) {
-                        x_avg[n.0][k] += weight;
+                        *slot += weight;
                     }
                 }
                 for m in 0..sbs.num_classes() {
@@ -250,12 +252,7 @@ mod tests {
 
     #[test]
     fn chc_produces_capacity_feasible_actions() {
-        let mut chc = ChcPolicy::new(
-            3,
-            2,
-            RoundingPolicy::default(),
-            PrimalDualOptions::online(),
-        );
+        let mut chc = ChcPolicy::new(3, 2, RoundingPolicy::default(), PrimalDualOptions::online());
         let actions = run_steps(&mut chc, 5);
         for a in &actions {
             assert!(a.cache.occupancy(SbsId(0)) <= 2);
@@ -265,12 +262,7 @@ mod tests {
     #[test]
     fn commitment_one_behaves_like_rhc_schedule() {
         // r = 1: a single version replanned every slot.
-        let mut chc = ChcPolicy::new(
-            3,
-            1,
-            RoundingPolicy::default(),
-            PrimalDualOptions::online(),
-        );
+        let mut chc = ChcPolicy::new(3, 1, RoundingPolicy::default(), PrimalDualOptions::online());
         let actions = run_steps(&mut chc, 3);
         assert_eq!(actions.len(), 3);
         assert_eq!(chc.commitment(), 1);
@@ -278,24 +270,14 @@ mod tests {
 
     #[test]
     fn full_commitment_is_afhc() {
-        let mut chc = ChcPolicy::new(
-            3,
-            3,
-            RoundingPolicy::default(),
-            PrimalDualOptions::online(),
-        );
+        let mut chc = ChcPolicy::new(3, 3, RoundingPolicy::default(), PrimalDualOptions::online());
         let actions = run_steps(&mut chc, 4);
         assert_eq!(actions.len(), 4);
     }
 
     #[test]
     fn reset_allows_reuse() {
-        let mut chc = ChcPolicy::new(
-            2,
-            2,
-            RoundingPolicy::default(),
-            PrimalDualOptions::online(),
-        );
+        let mut chc = ChcPolicy::new(2, 2, RoundingPolicy::default(), PrimalDualOptions::online());
         let first = run_steps(&mut chc, 3);
         chc.reset();
         let second = run_steps(&mut chc, 3);
@@ -307,11 +289,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "commitment level must lie in [1, window]")]
     fn rejects_bad_commitment() {
-        let _ = ChcPolicy::new(
-            3,
-            4,
-            RoundingPolicy::default(),
-            PrimalDualOptions::online(),
-        );
+        let _ = ChcPolicy::new(3, 4, RoundingPolicy::default(), PrimalDualOptions::online());
     }
 }

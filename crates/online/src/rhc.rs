@@ -68,9 +68,7 @@ impl OnlinePolicy for RhcPolicy {
             *ctx.cost_model,
             ctx.current_cache.clone(),
         )?;
-        let solution = self
-            .solver
-            .solve_with_warm(&problem, self.warm.as_ref())?;
+        let solution = self.solver.solve_with_warm(&problem, self.warm.as_ref())?;
 
         // Shift the dual state one slot forward for the next window.
         self.warm = Some(WarmStart {

@@ -18,10 +18,17 @@ use jocal_core::plan::{CacheState, LoadPlan};
 use jocal_sim::topology::{ClassId, ContentId, Network};
 use serde::{Deserialize, Serialize};
 
-/// The paper's optimal threshold `ρ* = (3−√5)/2 ≈ 0.381966`.
+/// The paper's optimal rounding threshold `ρ* = (3−√5)/2 ≈ 0.381966`,
+/// the unique point in `(0, 1)` where the switching-cost bound `1/ρ`
+/// equals the BS-cost bound `1/(1−ρ)²` (Theorem 3). The resulting
+/// approximation factor is `1/ρ* = (3+√5)/2 ≈ 2.618` (see
+/// [`crate::theory::paper_approximation_factor`]).
+pub const OPTIMAL_RHO: f64 = 0.381_966_011_250_105_15;
+
+/// The paper's optimal threshold as a function (see [`OPTIMAL_RHO`]).
 #[must_use]
 pub fn optimal_rho() -> f64 {
-    (3.0 - 5.0_f64.sqrt()) / 2.0
+    OPTIMAL_RHO
 }
 
 /// Threshold rounding of averaged CHC actions.
@@ -32,9 +39,7 @@ pub struct RoundingPolicy {
 
 impl Default for RoundingPolicy {
     fn default() -> Self {
-        RoundingPolicy {
-            rho: optimal_rho(),
-        }
+        RoundingPolicy { rho: OPTIMAL_RHO }
     }
 }
 
@@ -141,7 +146,8 @@ mod tests {
     #[test]
     fn optimal_rho_matches_closed_form() {
         let rho = optimal_rho();
-        assert!((rho - 0.381_966_011).abs() < 1e-8);
+        assert_eq!(rho, OPTIMAL_RHO);
+        assert!((rho - (3.0 - 5.0_f64.sqrt()) / 2.0).abs() < 1e-15);
         // The paper's fixed point: 1/ρ = 1/(1−ρ)².
         assert!((1.0 / rho - 1.0 / (1.0 - rho).powi(2)).abs() < 1e-9);
     }

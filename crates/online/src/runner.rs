@@ -131,11 +131,7 @@ mod tests {
             "greedy-static"
         }
 
-        fn decide(
-            &mut self,
-            _t: usize,
-            ctx: &PolicyContext<'_>,
-        ) -> Result<Action, CoreError> {
+        fn decide(&mut self, _t: usize, ctx: &PolicyContext<'_>) -> Result<Action, CoreError> {
             let mut cache = CacheState::empty(ctx.network);
             let mut load = LoadPlan::zeros(ctx.network, 1);
             for (n, sbs) in ctx.network.iter_sbs() {
@@ -161,11 +157,7 @@ mod tests {
             "reckless"
         }
 
-        fn decide(
-            &mut self,
-            _t: usize,
-            ctx: &PolicyContext<'_>,
-        ) -> Result<Action, CoreError> {
+        fn decide(&mut self, _t: usize, ctx: &PolicyContext<'_>) -> Result<Action, CoreError> {
             let cache = CacheState::empty(ctx.network);
             let mut load = LoadPlan::zeros(ctx.network, 1);
             for (n, sbs) in ctx.network.iter_sbs() {
@@ -194,8 +186,7 @@ mod tests {
         )
         .unwrap();
         // Idle baseline: everything from the BS.
-        let problem =
-            ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+        let problem = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
         let idle = evaluate_plan(
             &problem,
             &CachePlan::empty(&s.network, s.demand.horizon()),
@@ -219,7 +210,10 @@ mod tests {
         .unwrap();
         // Uncached items ⇒ y repaired to 0 everywhere ⇒ pure BS cost.
         for t in 0..s.demand.horizon() {
-            assert_eq!(outcome.load_plan.bandwidth_used(&s.demand, t, SbsId(0)), 0.0);
+            assert_eq!(
+                outcome.load_plan.bandwidth_used(&s.demand, t, SbsId(0)),
+                0.0
+            );
         }
     }
 

@@ -1,5 +1,7 @@
 //! Closed-form theoretical bounds from Section IV.
 
+use crate::rounding::OPTIMAL_RHO;
+
 /// RHC's competitive ratio bound `1 + 1/w` (Theorem 2; the paper states
 /// the order `O(1 + 1/w)` carried over from the continuous problem of
 /// Lin et al.).
@@ -51,10 +53,12 @@ pub fn rounding_ratio_with_sbs_cost(rho: f64) -> f64 {
 }
 
 /// The paper's approximation factor `(3+√5)/2 ≈ 2.618` at the optimal
-/// threshold.
+/// threshold: exactly `1/ρ*` for the shared
+/// [`OPTIMAL_RHO`](crate::rounding::OPTIMAL_RHO) constant, since
+/// `2/(3−√5) = (3+√5)/2`.
 #[must_use]
 pub fn paper_approximation_factor() -> f64 {
-    (3.0 + 5.0_f64.sqrt()) / 2.0
+    1.0 / OPTIMAL_RHO
 }
 
 #[cfg(test)]
@@ -76,6 +80,8 @@ mod tests {
             assert!(rounding_ratio(rho) >= best - 1e-9, "rho={rho}");
         }
         assert!((best - paper_approximation_factor()).abs() < 1e-9);
+        // The factor is tied to the shared constant and its closed form.
+        assert!((paper_approximation_factor() - (3.0 + 5.0_f64.sqrt()) / 2.0).abs() < 1e-12);
     }
 
     #[test]

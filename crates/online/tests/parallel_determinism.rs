@@ -1,0 +1,92 @@
+//! Property tests: online policy executions are invariant to the
+//! solver's worker count — `run_policy` must produce identical outcomes
+//! whether the inner primal-dual solves run sequentially or fan their
+//! per-SBS subproblems out over threads.
+
+use jocal_core::primal_dual::PrimalDualOptions;
+use jocal_core::workspace::Parallelism;
+use jocal_core::{CacheState, CostModel};
+use jocal_online::afhc::afhc_policy;
+use jocal_online::chc::ChcPolicy;
+use jocal_online::rhc::RhcPolicy;
+use jocal_online::rounding::RoundingPolicy;
+use jocal_online::runner::{run_policy, SimulationOutcome};
+use jocal_sim::predictor::NoisyPredictor;
+use jocal_sim::scenario::ScenarioConfig;
+use proptest::prelude::*;
+
+fn opts(parallelism: Parallelism) -> PrimalDualOptions {
+    PrimalDualOptions {
+        max_iterations: 5,
+        parallelism,
+        ..PrimalDualOptions::online()
+    }
+}
+
+fn assert_outcomes_identical(a: &SimulationOutcome, b: &SimulationOutcome, label: &str) {
+    assert_eq!(a.breakdown, b.breakdown, "{label}: breakdown differs");
+    assert_eq!(a.per_slot, b.per_slot, "{label}: per-slot series differs");
+    assert_eq!(
+        a.load_plan.tensor().as_slice(),
+        b.load_plan.tensor().as_slice(),
+        "{label}: load plans differ"
+    );
+    assert_eq!(
+        a.breakdown.total().to_bits(),
+        b.breakdown.total().to_bits(),
+        "{label}: totals not bitwise equal"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// RHC, CHC and AFHC runs are identical for Sequential vs Threads(k),
+    /// k ∈ {2, 8}, on randomized multi-SBS scenarios with noisy
+    /// predictions.
+    #[test]
+    fn run_policy_outcomes_identical_across_worker_counts(
+        num_sbs in 2usize..=3,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = ScenarioConfig {
+            num_sbs,
+            ..ScenarioConfig::tiny()
+        };
+        let s = cfg.build(seed).unwrap();
+        let predictor = NoisyPredictor::new(s.demand.clone(), 0.3, seed);
+        let run = |parallelism: Parallelism| {
+            let mut policies: Vec<Box<dyn jocal_online::policy::OnlinePolicy>> = vec![
+                Box::new(RhcPolicy::new(3, opts(parallelism))),
+                Box::new(ChcPolicy::new(
+                    3,
+                    2,
+                    RoundingPolicy::default(),
+                    opts(parallelism),
+                )),
+                Box::new(afhc_policy(2, RoundingPolicy::default(), opts(parallelism))),
+            ];
+            policies
+                .iter_mut()
+                .map(|p| {
+                    run_policy(
+                        &s.network,
+                        &CostModel::paper(),
+                        &predictor,
+                        p.as_mut(),
+                        CacheState::empty(&s.network),
+                    )
+                    .unwrap()
+                })
+                .collect::<Vec<_>>()
+        };
+        let sequential = run(Parallelism::Sequential);
+        for k in [2usize, 8] {
+            let parallel = run(Parallelism::Threads(k));
+            for (i, (a, b)) in sequential.iter().zip(&parallel).enumerate() {
+                let label = format!("policy #{i} with Threads({k})");
+                assert_outcomes_identical(a, b, &label);
+            }
+        }
+    }
+}

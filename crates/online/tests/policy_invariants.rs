@@ -26,8 +26,7 @@ fn quick_opts() -> PrimalDualOptions {
 fn all_policies_feasible_under_noise() {
     for seed in [1u64, 2, 3] {
         let s = ScenarioConfig::tiny().build(seed).unwrap();
-        let predictor =
-            NoisyPredictor::new(s.demand.clone(), 0.8, seed).with_noisy_current();
+        let predictor = NoisyPredictor::new(s.demand.clone(), 0.8, seed).with_noisy_current();
         let mut policies: Vec<Box<dyn OnlinePolicy>> = vec![
             Box::new(RhcPolicy::new(3, quick_opts())),
             Box::new(ChcPolicy::new(

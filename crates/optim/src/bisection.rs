@@ -138,13 +138,8 @@ mod tests {
 
     #[test]
     fn unbounded_expands_bracket() {
-        let r = bisect_decreasing_unbounded(
-            |x| 1000.0 - x,
-            0.0,
-            1.0,
-            BisectionOptions::default(),
-        )
-        .unwrap();
+        let r = bisect_decreasing_unbounded(|x| 1000.0 - x, 0.0, 1.0, BisectionOptions::default())
+            .unwrap();
         assert!((r - 1000.0).abs() < 1e-6);
     }
 

@@ -111,16 +111,16 @@ impl LuFactorization {
         // Forward substitution with unit-lower L.
         for i in 1..self.n {
             let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                sum -= self.lu[(i, j)] * xj;
             }
             x[i] = sum;
         }
         // Backward substitution with U.
         for i in (0..self.n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..self.n {
-                sum -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.lu[(i, j)] * xj;
             }
             x[i] = sum / self.lu[(i, i)];
         }
@@ -145,16 +145,16 @@ impl LuFactorization {
         // Forward substitution with Uᵀ (lower triangular).
         for i in 0..self.n {
             let mut sum = z[i];
-            for j in 0..i {
-                sum -= self.lu[(j, i)] * z[j];
+            for (j, &zj) in z.iter().enumerate().take(i) {
+                sum -= self.lu[(j, i)] * zj;
             }
             z[i] = sum / self.lu[(i, i)];
         }
         // Backward substitution with Lᵀ (unit upper triangular).
         for i in (0..self.n).rev() {
             let mut sum = z[i];
-            for j in (i + 1)..self.n {
-                sum -= self.lu[(j, i)] * z[j];
+            for (j, &zj) in z.iter().enumerate().skip(i + 1) {
+                sum -= self.lu[(j, i)] * zj;
             }
             z[i] = sum;
         }
@@ -191,7 +191,8 @@ mod tests {
 
     #[test]
     fn solves_transposed_system() {
-        let a = Matrix::from_rows(3, 3, vec![4.0, -2.0, 1.0, 3.0, 6.0, -4.0, 2.0, 1.0, 8.0]).unwrap();
+        let a =
+            Matrix::from_rows(3, 3, vec![4.0, -2.0, 1.0, 3.0, 6.0, -4.0, 2.0, 1.0, 8.0]).unwrap();
         let b = [1.0, 2.0, 3.0];
         let lu = a.lu().unwrap();
         let x = lu.solve_transposed(&b).unwrap();

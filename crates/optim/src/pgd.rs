@@ -57,6 +57,43 @@ pub struct PgdResult {
     pub residual: f64,
 }
 
+/// Statistics of an in-place projected-gradient run
+/// ([`minimize_with_scratch`]); the iterate itself is left in the
+/// caller's buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PgdRunStats {
+    /// Objective value at the final iterate.
+    pub objective: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the residual tolerance was met within the budget.
+    pub converged: bool,
+    /// Final prox-gradient residual.
+    pub residual: f64,
+}
+
+/// Caller-owned working buffers for [`minimize_with_scratch`].
+///
+/// Reusing one scratch across many solves (e.g. the per-slot `P2`
+/// sub-problems inside the primal-dual loop) eliminates the four
+/// per-call vector allocations of [`minimize`]. Buffers are resized on
+/// entry, so one scratch serves problems of varying dimension.
+#[derive(Debug, Clone, Default)]
+pub struct PgdScratch {
+    grad: Vec<f64>,
+    y: Vec<f64>,
+    candidate: Vec<f64>,
+    plain: Vec<f64>,
+}
+
+impl PgdScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Minimizes a smooth convex `objective` over a convex set described by
 /// `project`, starting from `x0` (which is projected first).
 ///
@@ -96,7 +133,37 @@ pub fn minimize(
     x0: Vec<f64>,
     opts: PgdOptions,
 ) -> Result<PgdResult, OptimError> {
-    if x0.is_empty() {
+    let mut x = x0;
+    let mut scratch = PgdScratch::new();
+    let stats = minimize_with_scratch(objective, gradient, project, &mut x, opts, &mut scratch)?;
+    Ok(PgdResult {
+        x,
+        objective: stats.objective,
+        iterations: stats.iterations,
+        converged: stats.converged,
+        residual: stats.residual,
+    })
+}
+
+/// Allocation-free variant of [`minimize`]: the iterate lives in the
+/// caller's buffer `x` (starting point in, final iterate out) and all
+/// working vectors come from `scratch`.
+///
+/// Semantics are identical to [`minimize`]; the two produce bitwise
+/// equal iterates for the same inputs.
+///
+/// # Errors
+///
+/// Same contract as [`minimize`].
+pub fn minimize_with_scratch(
+    objective: impl Fn(&[f64]) -> f64,
+    gradient: impl Fn(&[f64], &mut [f64]),
+    project: impl Fn(&mut [f64]),
+    x: &mut [f64],
+    opts: PgdOptions,
+    scratch: &mut PgdScratch,
+) -> Result<PgdRunStats, OptimError> {
+    if x.is_empty() {
         return Err(OptimError::invalid("pgd: empty starting point"));
     }
     if !(opts.backtrack > 0.0 && opts.backtrack < 1.0) {
@@ -109,35 +176,43 @@ pub fn minimize(
         return Err(OptimError::invalid("pgd: initial step must be positive"));
     }
 
-    let n = x0.len();
-    let mut x = x0;
-    project(&mut x);
-    let mut fx = objective(&x);
-    let mut grad = vec![0.0; n];
+    let n = x.len();
+    let PgdScratch {
+        grad,
+        y,
+        candidate,
+        plain,
+    } = scratch;
+    grad.clear();
+    grad.resize(n, 0.0);
+
+    project(x);
+    let mut fx = objective(x);
     let mut step = opts.initial_step;
 
     // FISTA state.
-    let mut y = x.clone();
+    y.clear();
+    y.extend_from_slice(x);
     let mut t_momentum = 1.0_f64;
 
     let mut residual = f64::INFINITY;
     for iter in 0..opts.max_iters {
-        let base = if opts.accelerated { &y } else { &x };
-        gradient(base, &mut grad);
-        let f_base = if opts.accelerated { objective(base) } else { fx };
+        let base: &[f64] = if opts.accelerated { y } else { x };
+        gradient(base, grad);
+        let f_base = if opts.accelerated {
+            objective(base)
+        } else {
+            fx
+        };
 
         // Backtracking from the current step (allow mild growth between
         // iterations so the step can recover after a conservative phase).
         step = (step * 2.0).min(opts.initial_step.max(step * 2.0));
-        let mut candidate;
         loop {
-            candidate = base
-                .iter()
-                .zip(&grad)
-                .map(|(bi, gi)| bi - step * gi)
-                .collect::<Vec<f64>>();
-            project(&mut candidate);
-            let f_cand = objective(&candidate);
+            candidate.clear();
+            candidate.extend(base.iter().zip(grad.iter()).map(|(bi, gi)| bi - step * gi));
+            project(candidate);
+            let f_cand = objective(candidate);
             let mut inner = 0.0;
             let mut dist2 = 0.0;
             for i in 0..n {
@@ -163,46 +238,40 @@ pub fn minimize(
             .fold(0.0_f64, f64::max)
             / step;
 
-        let f_new = objective(&candidate);
+        let f_new = objective(candidate);
         if opts.accelerated {
             // Function-value restart keeps FISTA monotone enough for our use.
             if f_new > fx {
                 t_momentum = 1.0;
-                y = x.clone();
+                y.copy_from_slice(x);
                 // Retry as a plain projected-gradient step from x.
-                gradient(&x, &mut grad);
-                let mut plain: Vec<f64> = x
-                    .iter()
-                    .zip(&grad)
-                    .map(|(xi, gi)| xi - step * gi)
-                    .collect();
-                project(&mut plain);
-                let f_plain = objective(&plain);
+                gradient(x, grad);
+                plain.clear();
+                plain.extend(x.iter().zip(grad.iter()).map(|(xi, gi)| xi - step * gi));
+                project(plain);
+                let f_plain = objective(plain);
                 if f_plain <= fx {
-                    x = plain;
+                    x.copy_from_slice(plain);
                     fx = f_plain;
                 }
             } else {
                 let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t_momentum * t_momentum).sqrt());
                 let beta = (t_momentum - 1.0) / t_next;
-                y = candidate
-                    .iter()
-                    .zip(&x)
-                    .map(|(c, xi)| c + beta * (c - xi))
-                    .collect();
-                x = candidate;
+                for i in 0..n {
+                    y[i] = candidate[i] + beta * (candidate[i] - x[i]);
+                }
+                x.copy_from_slice(candidate);
                 fx = f_new;
                 t_momentum = t_next;
             }
         } else {
-            x = candidate;
+            x.copy_from_slice(candidate);
             fx = f_new;
         }
 
         if residual <= opts.tol {
-            return Ok(PgdResult {
+            return Ok(PgdRunStats {
                 objective: fx,
-                x,
                 iterations: iter + 1,
                 converged: true,
                 residual,
@@ -210,9 +279,8 @@ pub fn minimize(
         }
     }
 
-    Ok(PgdResult {
+    Ok(PgdRunStats {
         objective: fx,
-        x,
         iterations: opts.max_iters,
         converged: false,
         residual,

@@ -268,8 +268,8 @@ mod tests {
 
     #[test]
     fn box_only_when_budget_slack() {
-        let p = project_box_budget(&[2.0, -1.0], &[0.0, 0.0], &[1.0, 1.0], &[1.0, 1.0], 10.0)
-            .unwrap();
+        let p =
+            project_box_budget(&[2.0, -1.0], &[0.0, 0.0], &[1.0, 1.0], &[1.0, 1.0], 10.0).unwrap();
         assert_eq!(p, vec![1.0, 0.0]);
     }
 
@@ -301,8 +301,8 @@ mod tests {
 
     #[test]
     fn zero_weight_entries_ignored_by_budget() {
-        let p = project_box_budget(&[5.0, 5.0], &[0.0, 0.0], &[1.0, 1.0], &[0.0, 1.0], 0.25)
-            .unwrap();
+        let p =
+            project_box_budget(&[5.0, 5.0], &[0.0, 0.0], &[1.0, 1.0], &[0.0, 1.0], 0.25).unwrap();
         assert_eq!(p[0], 1.0); // unconstrained by budget
         assert!((p[1] - 0.25).abs() < 1e-8);
     }

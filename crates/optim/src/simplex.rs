@@ -265,9 +265,9 @@ impl LinearProgram {
                 rhs,
             });
         }
-        for j in 0..self.n {
+        for (j, map) in maps.iter().enumerate() {
             if self.upper[j].is_finite() {
-                match maps[j] {
+                match *map {
                     VarMap::Shifted { col, lo } => {
                         // x' ≤ hi − lo. Skip fixed variables with zero range:
                         // the row still keeps them at 0, which is correct.
@@ -297,9 +297,9 @@ impl LinearProgram {
         };
         let mut cost = vec![0.0; ncols];
         let mut obj_constant = 0.0;
-        for j in 0..self.n {
+        for (j, map) in maps.iter().enumerate() {
             let cj = sign * self.objective[j];
-            match maps[j] {
+            match *map {
                 VarMap::Shifted { col, lo } => {
                     cost[col] += cj;
                     obj_constant += cj * lo;
@@ -719,6 +719,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // Mirrors the P1 index layout.
     fn caching_shaped_lp_is_integral() {
         // A miniature P1: 3 items, capacity 1, two timeslots, switching
         // cost beta, rewards mu. Constraint matrix is totally unimodular,
@@ -741,11 +742,7 @@ mod tests {
                     lp.add_ge_constraint(vec![(pcol(k, t), 1.0), (xcol(k, t), -1.0)], 0.0);
                 } else {
                     lp.add_ge_constraint(
-                        vec![
-                            (pcol(k, t), 1.0),
-                            (xcol(k, t), -1.0),
-                            (xcol(k, t - 1), 1.0),
-                        ],
+                        vec![(pcol(k, t), 1.0), (xcol(k, t), -1.0), (xcol(k, t - 1), 1.0)],
                         0.0,
                     );
                 }

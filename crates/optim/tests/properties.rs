@@ -190,7 +190,7 @@ proptest! {
 
         let mut lp = LinearProgram::new(4, Sense::Minimize);
         lp.set_objective(costs.clone());
-        for j in 0..4 { lp.set_bounds(j, 0.0, caps[j] as f64); }
+        for (j, &cap) in caps.iter().enumerate() { lp.set_bounds(j, 0.0, cap as f64); }
         lp.add_eq_constraint((0..4).map(|j| (j, 1.0)).collect(), target as f64);
         let lp_cost = lp.solve().unwrap().objective;
 

@@ -82,8 +82,7 @@ impl DemandTrace {
     /// slots.
     #[must_use]
     pub fn zeros(network: &Network, horizon: usize) -> Self {
-        let classes_per_sbs: Vec<usize> =
-            network.sbss().iter().map(|s| s.num_classes()).collect();
+        let classes_per_sbs: Vec<usize> = network.sbss().iter().map(|s| s.num_classes()).collect();
         let mut class_offsets = Vec::with_capacity(classes_per_sbs.len());
         let mut acc = 0usize;
         for &c in &classes_per_sbs {
@@ -133,7 +132,9 @@ impl DemandTrace {
 
     #[inline]
     fn total_classes(&self) -> usize {
-        self.class_offsets.last().map_or(0, |o| o + self.classes_per_sbs.last().unwrap())
+        self.class_offsets
+            .last()
+            .map_or(0, |o| o + self.classes_per_sbs.last().unwrap())
     }
 
     #[inline]
@@ -157,6 +158,23 @@ impl DemandTrace {
             return 0.0;
         }
         self.data[self.index(t, n, m, k)]
+    }
+
+    /// The contiguous `(m, k)` demand block of slot `t`, SBS `n`,
+    /// flattened row-major with `k` fastest (`m·K + k`). Zero-copy view
+    /// used by the per-SBS slot-solve engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `n` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn sbs_slot_slice(&self, t: usize, n: SbsId) -> &[f64] {
+        assert!(t < self.horizon, "timeslot out of range");
+        assert!(n.0 < self.num_sbs(), "sbs index out of range");
+        let start = self.index(t, n, ClassId(0), ContentId(0));
+        let len = self.classes_per_sbs[n.0] * self.num_contents;
+        &self.data[start..start + len]
     }
 
     /// Sets `λ_{m_n,k}^t`.
@@ -232,8 +250,8 @@ impl DemandTrace {
             return out;
         }
         for m in 0..self.classes_per_sbs[n.0] {
-            for k in 0..self.num_contents {
-                out[k] += self.lambda(t, n, ClassId(m), ContentId(k));
+            for (k, v) in out.iter_mut().enumerate() {
+                *v += self.lambda(t, n, ClassId(m), ContentId(k));
             }
         }
         out
@@ -402,11 +420,8 @@ impl DemandGenerator {
                     for k in 0..k_total {
                         // Rank of content k is k+1: the catalog is laid out
                         // in popularity order.
-                        let lambda = class.density
-                            * probs[k]
-                            * slot_scale
-                            * content_scale[k]
-                            * jitter[k];
+                        let lambda =
+                            class.density * probs[k] * slot_scale * content_scale[k] * jitter[k];
                         trace.set_lambda(t, n, ClassId(m), ContentId(k), lambda)?;
                     }
                 }
@@ -431,7 +446,9 @@ impl DemandGenerator {
                 }
             }
             TemporalPattern::FlashCrowd {
-                boost, hot_contents, ..
+                boost,
+                hot_contents,
+                ..
             } => {
                 if boost < 0.0 || !boost.is_finite() {
                     return Err(SimError::config("boost", "must be finite and >= 0"));

@@ -105,8 +105,7 @@ impl RequestSampler {
                     .map(|m| {
                         (0..demand.num_contents())
                             .map(|k| {
-                                let lambda =
-                                    demand.lambda(t, SbsId(n), ClassId(m), ContentId(k));
+                                let lambda = demand.lambda(t, SbsId(n), ClassId(m), ContentId(k));
                                 poisson(&mut rng, lambda)
                             })
                             .collect()
@@ -174,9 +173,7 @@ mod tests {
     #[test]
     fn empirical_mean_tracks_lambda() {
         let s = ScenarioConfig::tiny().build(8).unwrap();
-        let lambda = s
-            .demand
-            .lambda(0, SbsId(0), ClassId(0), ContentId(0));
+        let lambda = s.demand.lambda(0, SbsId(0), ClassId(0), ContentId(0));
         let mut total = 0u64;
         let trials = 3000;
         for seed in 0..trials {

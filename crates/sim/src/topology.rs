@@ -299,7 +299,10 @@ impl NetworkBuilder {
             return Err(e);
         }
         if self.num_contents == 0 {
-            return Err(SimError::config("num_contents", "catalog must be non-empty"));
+            return Err(SimError::config(
+                "num_contents",
+                "catalog must be non-empty",
+            ));
         }
         if self.sbss.is_empty() {
             return Err(SimError::config("sbss", "network needs at least one SBS"));

@@ -67,9 +67,7 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<DemandTrace, SimError> {
         detail: detail.to_string(),
     };
 
-    let (i, magic) = lines
-        .next()
-        .ok_or_else(|| parse_err(0, "empty input"))?;
+    let (i, magic) = lines.next().ok_or_else(|| parse_err(0, "empty input"))?;
     let magic = magic.map_err(|e| parse_err(i, &e.to_string()))?;
     if magic.trim() != TRACE_MAGIC {
         return Err(parse_err(i, "missing jocal-demand-trace magic line"));

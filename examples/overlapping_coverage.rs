@@ -34,10 +34,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let classes_overlap = vec![
-        OverlapClass { omega_bs: 0.9, home: 0, coverage: vec![0] },
-        OverlapClass { omega_bs: 0.7, home: 0, coverage: vec![0, 1] },
-        OverlapClass { omega_bs: 1.0, home: 1, coverage: vec![0, 1] },
-        OverlapClass { omega_bs: 0.6, home: 1, coverage: vec![1] },
+        OverlapClass {
+            omega_bs: 0.9,
+            home: 0,
+            coverage: vec![0],
+        },
+        OverlapClass {
+            omega_bs: 0.7,
+            home: 0,
+            coverage: vec![0, 1],
+        },
+        OverlapClass {
+            omega_bs: 1.0,
+            home: 1,
+            coverage: vec![0, 1],
+        },
+        OverlapClass {
+            omega_bs: 0.6,
+            home: 1,
+            coverage: vec![1],
+        },
     ];
     let classes_disjoint = classes_overlap
         .iter()
@@ -61,13 +77,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         demand,
     )?)?;
 
-    println!("{:<22} {:>12} {:>12} {:>12}", "model", "total", "bs cost", "fetch cost");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "model", "total", "bs cost", "fetch cost"
+    );
     println!(
         "{:<22} {:>12.2} {:>12.2} {:>12.2}",
-        "disjoint coverage",
-        disjoint.total_cost,
-        disjoint.bs_cost,
-        disjoint.replacement_cost
+        "disjoint coverage", disjoint.total_cost, disjoint.bs_cost, disjoint.replacement_cost
     );
     println!(
         "{:<22} {:>12.2} {:>12.2} {:>12.2}",

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Realized counts vs mean rates.
     let sampler = RequestSampler::new(11);
     let mut flips = 0usize;
-    println!("{:>4} {:>9} {:>24} {:>24}", "slot", "requests", "top-5 by mean rate", "top-5 by realized count");
+    println!(
+        "{:>4} {:>9} {:>24} {:>24}",
+        "slot", "requests", "top-5 by mean rate", "top-5 by realized count"
+    );
     for t in 0..replayed.horizon() {
         let counts = sampler.sample_slot(&replayed, t);
         let by_rate = top5(&replayed.per_content_at(t, SbsId(0)));

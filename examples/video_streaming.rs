@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(BaselinePolicy::optimal_lb(LrfuRule::new())),
     ];
 
-    println!("{:<12} {:>12} {:>12} {:>12} {:>9}", "scheme", "day 1", "day 2", "total", "fetches");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>9}",
+        "scheme", "day 1", "day 2", "total", "fetches"
+    );
     for policy in policies.iter_mut() {
         let outcome = run_policy(
             &scenario.network,

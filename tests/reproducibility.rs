@@ -9,15 +9,24 @@ use std::io::BufReader;
 
 #[test]
 fn scenarios_are_bit_reproducible() {
-    let a = ScenarioConfig::paper_default().with_horizon(6).build(99).unwrap();
-    let b = ScenarioConfig::paper_default().with_horizon(6).build(99).unwrap();
+    let a = ScenarioConfig::paper_default()
+        .with_horizon(6)
+        .build(99)
+        .unwrap();
+    let b = ScenarioConfig::paper_default()
+        .with_horizon(6)
+        .build(99)
+        .unwrap();
     assert_eq!(a.network, b.network);
     assert_eq!(a.demand, b.demand);
 }
 
 #[test]
 fn predictions_are_reproducible_and_order_independent() {
-    let s = ScenarioConfig::paper_default().with_horizon(8).build(4).unwrap();
+    let s = ScenarioConfig::paper_default()
+        .with_horizon(8)
+        .build(4)
+        .unwrap();
     let p = NoisyPredictor::new(s.demand.clone(), 0.3, 12);
     // Query out of order; repeated queries must be identical.
     let w3 = p.predict(3, 4);
@@ -44,7 +53,10 @@ fn scheme_outcomes_are_reproducible() {
 
 #[test]
 fn trace_roundtrip_preserves_scenario_demand() {
-    let s = ScenarioConfig::paper_default().with_horizon(5).build(77).unwrap();
+    let s = ScenarioConfig::paper_default()
+        .with_horizon(5)
+        .build(77)
+        .unwrap();
     let mut buf = Vec::new();
     write_trace(&s.demand, &mut buf).unwrap();
     let back = read_trace(BufReader::new(buf.as_slice())).unwrap();

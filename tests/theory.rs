@@ -1,9 +1,7 @@
 //! Empirical checks of the paper's theoretical claims on small
 //! instances.
 
-use jocal::core::caching::{
-    solve_caching_exhaustive, solve_caching_lp, solve_caching_mcmf,
-};
+use jocal::core::caching::{solve_caching_exhaustive, solve_caching_lp, solve_caching_mcmf};
 use jocal::core::primal_dual::PrimalDualOptions;
 use jocal::core::{CacheState, CostModel};
 use jocal::online::chc::ChcPolicy;
@@ -65,12 +63,7 @@ fn theorem3_rounding_bound_structure() {
     .unwrap();
 
     let predictor = NoisyPredictor::new(scenario.demand.clone(), 0.1, 2);
-    let mut chc = ChcPolicy::new(
-        5,
-        3,
-        RoundingPolicy::new(star),
-        PrimalDualOptions::online(),
-    );
+    let mut chc = ChcPolicy::new(5, 3, RoundingPolicy::new(star), PrimalDualOptions::online());
     let outcome = run_policy(
         &scenario.network,
         &CostModel::paper(),
@@ -109,8 +102,7 @@ fn theorem2_rhc_improves_with_window() {
     let mut ratios = Vec::new();
     for w in [1usize, 4, 12] {
         let predictor = NoisyPredictor::new(scenario.demand.clone(), 0.0, 3);
-        let mut rhc =
-            jocal::online::rhc::RhcPolicy::new(w, PrimalDualOptions::online());
+        let mut rhc = jocal::online::rhc::RhcPolicy::new(w, PrimalDualOptions::online());
         let outcome = run_policy(
             &scenario.network,
             &CostModel::paper(),

@@ -1,0 +1,286 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Real wall-clock measurement with warmup, per-sample batching, and a
+//! mean/min/max report printed to stdout — but none of upstream's
+//! statistical machinery (no outlier analysis, no HTML reports, no
+//! baseline comparisons). The API surface matches the call sites in
+//! `crates/bench`: `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId::new`, `sample_size`, `b.iter`,
+//! and the `criterion_group!`/`criterion_main!` macros (harness=false).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark: a function name plus a parameter tag.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, e.g. `BenchmarkId::new("mcmf", "T4_K8")`.
+    #[must_use]
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Measurement settings shared by groups and the top-level driver.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warmup: Duration,
+    measure_target: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warmup: Duration::from_millis(150),
+            measure_target: Duration::from_millis(400),
+        }
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.settings;
+        run_benchmark(&id.into().text, settings, |b| f(b));
+        self
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().text);
+        run_benchmark(&full, self.settings, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().text);
+        run_benchmark(&full, self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Upstream finalizes reports here; the stand-in
+    /// prints as it goes, so this is a no-op kept for API parity.)
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times per sample for stable
+    /// wall-clock readings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, settings: Settings, mut f: F) {
+    // Calibration pass: run single iterations until the warmup window
+    // elapses to estimate the cost of one iteration.
+    let mut calib = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_size: 1,
+    };
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(0);
+    let mut calib_runs = 0u32;
+    while warm_start.elapsed() < settings.warmup || calib_runs == 0 {
+        f(&mut calib);
+        per_iter = *calib.samples.first().unwrap_or(&Duration::from_nanos(1));
+        calib_runs += 1;
+        if per_iter > settings.warmup {
+            break; // One iteration already exceeds the warmup window.
+        }
+    }
+
+    // Pick a batch size so all samples together take roughly the
+    // measurement target.
+    let per_iter_ns = per_iter.as_nanos().max(1);
+    let budget_ns = settings.measure_target.as_nanos() / settings.sample_size.max(1) as u128;
+    let iters = (budget_ns / per_iter_ns).clamp(1, 1_000_000) as u64;
+
+    let mut bench = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::new(),
+        sample_size: settings.sample_size,
+    };
+    f(&mut bench);
+
+    if bench.samples.is_empty() {
+        println!("{name:<48} (no measurement: closure never called b.iter)");
+        return;
+    }
+    let per_sample: Vec<f64> = bench
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters as f64)
+        .collect();
+    let mean = per_sample.iter().sum::<f64>() / per_sample.len() as f64;
+    let min = per_sample.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_sample.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{name:<48} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        bench.samples.len(),
+        iters,
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring upstream's two
+/// accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the `main` function for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("unit");
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 64usize), &64usize, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                (0..n).map(|i| i as f64).sum::<f64>()
+            });
+        });
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("solver", "N16");
+        assert_eq!(id.text, "solver/N16");
+    }
+}

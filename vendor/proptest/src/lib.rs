@@ -1,0 +1,432 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Supports the `proptest! { #![proptest_config(...)] #[test] fn ... }`
+//! macro form, numeric range strategies, `prop::collection::vec`,
+//! `prop::bool::ANY`, and the `prop_assert!`/`prop_assert_eq!` macros.
+//! Inputs are drawn deterministically from a seed derived from the test
+//! name and case index, so failures reproduce exactly across runs.
+//! There is no shrinking: the failing inputs are printed verbatim.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator handed to strategies (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the generator for one test case.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, bound)` via Lemire multiply-shift.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound && low < bound.wrapping_neg() % bound {
+                continue;
+            }
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = rng.below(span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = if span > u64::MAX as u128 {
+                    rng.next_u64()
+                } else {
+                    rng.below(span as u64)
+                };
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+/// Strategy combinators, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::fmt::Debug;
+        use std::ops::Range;
+
+        /// Number-of-elements specifier: a fixed size or a range.
+        pub trait SizeRange {
+            /// Picks a length.
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                Strategy::sample(self, rng)
+            }
+        }
+
+        /// Strategy producing `Vec`s of values from an element strategy.
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L>
+        where
+            S::Value: Debug,
+        {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.pick(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// Vectors of `len` values drawn from `element`.
+        pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// A fair coin flip.
+        pub struct Any;
+
+        /// Uniformly random booleans.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// A failed property assertion, carrying the failure message.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Records a failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one property: runs `case` for each case index and panics with
+/// the inputs on the first failure. Called by the `proptest!` macro.
+///
+/// # Panics
+///
+/// Panics when a case returns an error or panics itself.
+pub fn run_property<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), (TestCaseError, String)>,
+{
+    for idx in 0..config.cases {
+        let mut rng = TestRng::for_case(name, idx);
+        if let Err((err, inputs)) = case(&mut rng) {
+            panic!("property `{name}` failed at case {idx}: {err}\n  inputs: {inputs}");
+        }
+    }
+}
+
+/// Declares property tests. Mirrors the `proptest!` block form:
+/// an optional `#![proptest_config(...)]` inner attribute followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each captured test item. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(&config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strategy), __rng);)*
+                let __inputs = {
+                    let mut s = String::new();
+                    $(
+                        s.push_str(concat!(stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}, ", $arg));
+                    )*
+                    s
+                };
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    }),
+                );
+                match __outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {
+                        ::std::result::Result::Ok(())
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                        ::std::result::Result::Err((e, __inputs))
+                    }
+                    ::std::result::Result::Err(payload) => {
+                        ::std::eprintln!(
+                            "property `{}` panicked with inputs: {}",
+                            stringify!($name),
+                            __inputs
+                        );
+                        ::std::panic::resume_unwind(payload)
+                    }
+                }
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Fails the enclosing property when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the enclosing property when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Everything tests import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, f64)> {
+        struct Pair;
+        impl Strategy for Pair {
+            type Value = (f64, f64);
+            fn sample(&self, rng: &mut TestRng) -> (f64, f64) {
+                ((0.0..1.0).sample(rng), (0.0..1.0).sample(rng))
+            }
+        }
+        Pair
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges produce in-bounds values; collections honor length.
+        #[test]
+        fn strategies_are_in_bounds(
+            x in 2.0..5.0_f64,
+            n in 1usize..9,
+            xs in prop::collection::vec(-1.0..1.0_f64, 6),
+            flag in prop::bool::ANY,
+            p in pair(),
+        ) {
+            prop_assert!((2.0..5.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+            prop_assert_eq!(xs.len(), 6);
+            prop_assert!(xs.iter().all(|v| (-1.0..1.0).contains(v)));
+            prop_assert!(flag || !flag);
+            prop_assert!(p.0 >= 0.0 && p.1 < 1.0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case("name", 3);
+        let mut b = TestRng::for_case("name", 3);
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::for_case("name", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn failures_report_inputs() {
+        let config = ProptestConfig::with_cases(4);
+        let result = std::panic::catch_unwind(|| {
+            crate::run_property(&config, "always_fails", |_rng| {
+                Err((TestCaseError::fail("boom"), "x = 1".to_string()))
+            });
+        });
+        assert!(result.is_err());
+    }
+}

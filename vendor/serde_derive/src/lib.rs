@@ -1,0 +1,433 @@
+//! Derive macros for the workspace's vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses: structs with named fields,
+//! tuple structs, and enums whose variants are unit, tuple, or struct
+//! shaped. Generics and `#[serde(...)]` attributes are intentionally
+//! unsupported and fail loudly. The item is parsed directly from the
+//! token stream (no `syn`/`quote`, which are unavailable offline) and
+//! the impl is emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// `struct S { a: A, b: B }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(A, B);` with the number of fields.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`)
+/// starting at `i`; returns the next index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // '#' followed by a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses the field names of a named-field body (`{ a: A, b: B }`).
+///
+/// Commas inside angle brackets (`HashMap<K, V>`) are not separators;
+/// nested `()`/`[]`/`{}` arrive as atomic groups and need no tracking.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        // Skip past the `: Type` up to the next top-level comma.
+        let mut angle = 0i32;
+        i += 1;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple body (`(A, B)`).
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut count = 1;
+    let mut saw_tokens_since_comma = true;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+            }
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+/// Parses the enum body into variants.
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip a possible discriminant (`= expr`) up to the comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream, derive: &str) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({derive}): expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({derive}): expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive({derive}) on {name}: generic types are not supported by the vendored serde stand-in");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g),
+                }
+            }
+            _ => Item::UnitStruct { name },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("derive({derive}): malformed enum body {other:?}"),
+        },
+        other => panic!("derive({derive}): unsupported item kind `{other}`"),
+    }
+}
+
+fn serialize_impl(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{items}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{pushes}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Deserialization expression for one named-field body taken from `src`
+/// (an expression of type `&::serde::Value`).
+fn named_fields_expr(path: &str, fields: &[String], src: &str) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({src}.get(\"{f}\")\
+                     .unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| e.context(\"field `{f}`\"))?,"
+            )
+        })
+        .collect();
+    format!("{path} {{ {inits} }}")
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let construct = named_fields_expr(name, fields, "value");
+            (
+                name,
+                format!(
+                    "match value {{\n\
+                         ::serde::Value::Object(_) => ::std::result::Result::Ok({construct}),\n\
+                         other => ::std::result::Result::Err(::serde::DeError::expected(\"object for struct {name}\", other)),\n\
+                     }}"
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+            ),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: String = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(&items[{i}]).map_err(|e| e.context(\"[{i}]\"))?,"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "match value {{\n\
+                         ::serde::Value::Array(items) if items.len() == {arity} => ::std::result::Result::Ok({name}({inits})),\n\
+                         other => ::std::result::Result::Err(::serde::DeError::expected(\"array of {arity} for {name}\", other)),\n\
+                     }}"
+                ),
+            )
+        }
+        Item::UnitStruct { name } => (
+            name,
+            format!("::std::result::Result::Ok({name})"),
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner).map_err(|e| e.context(\"variant `{vn}`\"))?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let inits: String = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}]).map_err(|e| e.context(\"variant `{vn}`[{i}]\"))?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     ::serde::Value::Array(items) if items.len() == {n} => ::std::result::Result::Ok({name}::{vn}({inits})),\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::expected(\"array of {n} for variant {vn}\", other)),\n\
+                                 }},"
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let construct = named_fields_expr(&format!("{name}::{vn}"), fields, "inner");
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     ::serde::Value::Object(_) => ::std::result::Result::Ok({construct}),\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::expected(\"object for variant {vn}\", other)),\n\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "match value {{\n\
+                         ::serde::Value::Str(s) => match s.as_str() {{\n\
+                             {unit_arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }},\n\
+                         ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                             let (tag, inner) = &fields[0];\n\
+                             match tag.as_str() {{\n\
+                                 {tagged_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-key object for enum {name}\", other)),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Derives the workspace `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input, "Serialize");
+    serialize_impl(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the workspace `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input, "Deserialize");
+    deserialize_impl(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
