@@ -1,0 +1,165 @@
+//! Long-horizon streaming smoke: the serving engine at `T = 100_000`,
+//! `N = 16` SBSs, with memory bounded by the prediction window.
+//!
+//! Two parts:
+//!
+//! 1. A **one-shot smoke** executed once at startup (the vendored
+//!    criterion re-runs `b.iter` closures while calibrating, so a
+//!    minutes-long run must live outside it). It streams the full
+//!    horizon with a cheap per-slot policy — the point is engine
+//!    throughput and the `O(w)` memory bound, not solver latency — and
+//!    asserts both, printing slots/sec and peak RSS.
+//! 2. **Criterion-measured** steady-state runs at shorter horizons, for
+//!    tracking engine overhead (LRFU) and a window-solve policy (RHC)
+//!    across changes.
+//!
+//! Override the smoke horizon with `JOCAL_SERVE_SMOKE_SLOTS` (e.g. in
+//! CI, where 100k slots would dominate the job).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jocal_baselines::lrfu::LrfuRule;
+use jocal_baselines::rule::BaselinePolicy;
+use jocal_core::primal_dual::PrimalDualOptions;
+use jocal_core::{CacheState, CostModel};
+use jocal_online::policy::OnlinePolicy;
+use jocal_online::rhc::RhcPolicy;
+use jocal_serve::engine::{ServeConfig, ServeEngine};
+use jocal_serve::metrics::{NullSink, ServeSummary};
+use jocal_serve::source::SyntheticSource;
+use jocal_sim::popularity::ZipfMandelbrot;
+use jocal_sim::scenario::ScenarioConfig;
+use jocal_sim::stream::StreamingDemand;
+use jocal_sim::topology::Network;
+use std::time::Instant;
+
+const SMOKE_SLOTS: usize = 100_000;
+const SMOKE_SBS: usize = 16;
+const WINDOW: usize = 4;
+
+/// A lean `N`-SBS scenario: engine throughput, not solver scale.
+fn lean_config(num_sbs: usize) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.num_sbs = num_sbs;
+    cfg.num_contents = 10;
+    cfg.classes_per_sbs = 4;
+    cfg.prediction_window = WINDOW;
+    cfg
+}
+
+fn source_for(cfg: &ScenarioConfig, network: &Network, slots: usize, seed: u64) -> SyntheticSource {
+    let popularity = ZipfMandelbrot::new(cfg.num_contents, cfg.zipf_alpha, cfg.zipf_q)
+        .expect("popularity builds");
+    let generator = StreamingDemand::new(
+        popularity,
+        cfg.temporal.clone(),
+        ScenarioConfig::demand_seed(seed),
+    )
+    .expect("streaming demand builds");
+    SyntheticSource::bounded(generator, network.clone(), slots)
+}
+
+fn serve_once(
+    cfg: &ScenarioConfig,
+    network: &Network,
+    policy: &mut dyn OnlinePolicy,
+    slots: usize,
+) -> ServeSummary {
+    let model = CostModel::paper();
+    let engine = ServeEngine::new(network, &model, ServeConfig::new(WINDOW, 42));
+    let mut source = source_for(cfg, network, slots, 42);
+    policy.reset();
+    engine
+        .run(
+            &mut source,
+            policy,
+            CacheState::empty(network),
+            &mut NullSink,
+        )
+        .expect("serve run succeeds")
+        .summary
+}
+
+/// Peak resident set size (KiB) from `/proc/self/status`, Linux only.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn long_horizon_smoke() {
+    let slots = std::env::var("JOCAL_SERVE_SMOKE_SLOTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SMOKE_SLOTS);
+    let cfg = lean_config(SMOKE_SBS);
+    let network = cfg.build_network(42).expect("network builds");
+    let mut policy = BaselinePolicy::optimal_lb(LrfuRule::new());
+
+    let started = Instant::now();
+    let summary = serve_once(&cfg, &network, &mut policy, slots);
+    let elapsed = started.elapsed();
+
+    assert_eq!(summary.slots, slots, "smoke must cover the full horizon");
+    assert!(
+        summary.peak_buffered_slots <= WINDOW,
+        "memory bound violated: buffered {} slots > window {WINDOW}",
+        summary.peak_buffered_slots
+    );
+    let rate = slots as f64 / elapsed.as_secs_f64();
+    println!(
+        "serve_stream smoke: {slots} slots x {SMOKE_SBS} SBSs in {:.1}s ({rate:.0} slots/sec), \
+         peak buffered {} slots, total cost {:.1}, hit ratio {:.3}",
+        elapsed.as_secs_f64(),
+        summary.peak_buffered_slots,
+        summary.cost.total(),
+        summary.hit_ratio
+    );
+    if let Some(kib) = peak_rss_kib() {
+        println!(
+            "serve_stream smoke: peak RSS {:.1} MiB",
+            kib as f64 / 1024.0
+        );
+        // The full-horizon demand tensor alone would be
+        // T x N x classes x K x 8B = 100_000 x 16 x 4 x 10 x 8 = 512 MiB
+        // at the default horizon; the streaming engine must stay far
+        // below that. Only meaningful at the default scale.
+        if slots >= SMOKE_SLOTS {
+            assert!(
+                kib < 256 * 1024,
+                "peak RSS {kib} KiB suggests horizon-sized state"
+            );
+        }
+    }
+}
+
+fn bench_serve_stream(c: &mut Criterion) {
+    long_horizon_smoke();
+
+    let mut group = c.benchmark_group("serve_stream");
+    group.sample_size(10);
+
+    // Engine + cheap policy: dominated by streaming overhead.
+    let cfg = lean_config(SMOKE_SBS);
+    let network = cfg.build_network(42).expect("network builds");
+    group.bench_with_input(
+        BenchmarkId::new("lrfu_slots", 500),
+        &500usize,
+        |b, &slots| {
+            let mut policy = BaselinePolicy::optimal_lb(LrfuRule::new());
+            b.iter(|| serve_once(&cfg, &network, &mut policy, slots));
+        },
+    );
+
+    // Engine + window solver: dominated by the per-slot RHC solve.
+    let small = lean_config(4);
+    let small_net = small.build_network(42).expect("network builds");
+    group.bench_with_input(BenchmarkId::new("rhc_slots", 10), &10usize, |b, &slots| {
+        let mut policy = RhcPolicy::new(WINDOW, PrimalDualOptions::online());
+        b.iter(|| serve_once(&small, &small_net, &mut policy, slots));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_stream);
+criterion_main!(benches);

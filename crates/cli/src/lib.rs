@@ -16,12 +16,20 @@
 #![deny(missing_debug_implementations)]
 
 use jocal_core::workspace::Parallelism;
-use jocal_experiments::schemes::{run_scheme, RunConfig, Scheme};
+use jocal_core::{CacheState, CostModel};
+use jocal_experiments::schemes::{build_online_policy, run_scheme, RunConfig, Scheme};
+use jocal_serve::engine::{ServeConfig, ServeEngine};
+use jocal_serve::metrics::{JsonLinesSink, NullSink, ServeSummary};
+use jocal_serve::source::SyntheticSource;
+use jocal_sim::popularity::ZipfMandelbrot;
+use jocal_sim::predictor::NoiseModel;
 use jocal_sim::scenario::ScenarioConfig;
+use jocal_sim::stream::StreamingDemand;
 use jocal_sim::trace::write_trace;
 use std::error::Error;
 use std::fmt;
 use std::fs;
+use std::io::BufWriter;
 use std::path::PathBuf;
 
 /// CLI usage string.
@@ -32,17 +40,22 @@ USAGE:
     jocal <COMMAND> [OPTIONS]
 
 COMMANDS:
-    run             run one scheme on a scenario
+    run             run one scheme on a scenario (batch, full horizon)
+    serve           stream one scheme over generated demand with O(w)
+                    memory, emitting per-slot metrics
     generate        generate a demand trace as CSV
     schemes         list available schemes
     example-config  print a sample scenario JSON to stdout
     help            show this message
 
-OPTIONS (run / generate):
+OPTIONS (run / serve / generate):
     --config <path>   scenario JSON (default: the paper's setup)
-    --seed <u64>      scenario seed (default 42)
+    --seed <u64>      scenario seed (default 42); `serve` derives its
+                      topology, demand, and request draws from this one
+                      seed, so runs are reproducible end to end
     --output <path>   write CSV output here
     --scheme <name>   offline|rhc|chc|afhc|lrfu|lfu|lru|fifo|static
+                      (`serve` defaults to rhc and rejects offline)
     --window <w>      prediction window (default from config)
     --eta <f64>       prediction noise (default from config)
     --commitment <r>  CHC commitment level (default 3)
@@ -50,6 +63,12 @@ OPTIONS (run / generate):
     --threads <n>     worker threads for per-SBS solves (0 = auto;
                       default auto, also settable via JOCAL_THREADS;
                       results are identical for every thread count)
+
+OPTIONS (serve only):
+    --slots <T>         number of slots to serve (default: the scenario
+                        horizon; memory stays O(window) regardless)
+    --metrics-out <p>   write JSON-lines metrics (header/slot/summary
+                        records) to this file
 ";
 
 /// Errors surfaced to the CLI user.
@@ -93,6 +112,10 @@ pub struct CliArgs {
     pub horizon: Option<usize>,
     /// `--threads` (`Some(0)` means auto-detect)
     pub threads: Option<usize>,
+    /// `--slots` (serve: number of slots to stream)
+    pub slots: Option<usize>,
+    /// `--metrics-out` (serve: JSON-lines metrics file)
+    pub metrics_out: Option<PathBuf>,
 }
 
 /// Parses raw arguments (without the program name).
@@ -169,6 +192,18 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, Box<dyn Error>> {
                         .parse()
                         .map_err(|_| CliError::boxed("--threads expects a usize"))?,
                 );
+                i += 2;
+            }
+            "--slots" => {
+                out.slots = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|_| CliError::boxed("--slots expects a usize"))?,
+                );
+                i += 2;
+            }
+            "--metrics-out" => {
+                out.metrics_out = Some(PathBuf::from(value(i)?));
                 i += 2;
             }
             other => return Err(CliError::boxed(format!("unknown flag {other}"))),
@@ -325,6 +360,35 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
                 writeln!(out, "wrote {}", path.display())?;
             }
         }
+        "serve" => {
+            let summary = run_serve(args)?;
+            writeln!(out, "policy             {}", summary.header.policy)?;
+            writeln!(out, "seed               {}", summary.header.seed)?;
+            writeln!(out, "noise seed         {}", summary.header.noise_seed)?;
+            writeln!(out, "eta                {}", summary.header.eta)?;
+            writeln!(out, "window             {}", summary.header.window)?;
+            writeln!(out, "slots served       {}", summary.slots)?;
+            writeln!(out, "requests           {}", summary.requests)?;
+            writeln!(out, "hit ratio          {:.4}", summary.hit_ratio)?;
+            writeln!(out, "total cost         {:.3}", summary.cost.total())?;
+            writeln!(out, "repair activations {}", summary.repair_activations)?;
+            writeln!(
+                out,
+                "peak buffered      {} slots (window {})",
+                summary.peak_buffered_slots, summary.header.window
+            )?;
+            writeln!(
+                out,
+                "solve latency      mean {:.1}us  p50<={}us  p95<={}us  max {}us",
+                summary.solve_latency.mean_us,
+                summary.solve_latency.p50_us,
+                summary.solve_latency.p95_us,
+                summary.solve_latency.max_us
+            )?;
+            if let Some(path) = &args.metrics_out {
+                writeln!(out, "wrote {}", path.display())?;
+            }
+        }
         other => {
             return Err(CliError::boxed(format!(
                 "unknown command `{other}`; run `jocal help`"
@@ -332,6 +396,64 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
         }
     }
     Ok(())
+}
+
+/// Runs the streaming serving loop behind `jocal serve`.
+///
+/// Demand is generated incrementally from the scenario config (same
+/// seed derivation as [`ScenarioConfig::build`]), so memory stays
+/// `O(window)` however many slots are requested.
+///
+/// # Errors
+///
+/// Rejects the offline scheme (no step-wise form) and propagates
+/// configuration, solver and I/O failures.
+pub fn run_serve(args: &CliArgs) -> Result<ServeSummary, Box<dyn Error>> {
+    let scheme = parse_scheme(args.scheme.as_deref().unwrap_or("rhc"), args.commitment)?;
+    let config = load_config(args)?;
+    let network = config.build_network(args.seed)?;
+
+    let mut run_cfg = RunConfig {
+        window: config.prediction_window,
+        eta: config.eta,
+        ..Default::default()
+    };
+    if let Some(n) = args.threads {
+        run_cfg.online_opts.parallelism = if n == 0 {
+            Parallelism::Auto
+        } else {
+            Parallelism::Threads(n)
+        };
+    }
+    let mut policy = build_online_policy(scheme, &run_cfg).ok_or_else(|| {
+        CliError::boxed("`serve` drives step-wise policies; `offline` has no step-wise form")
+    })?;
+
+    let popularity = ZipfMandelbrot::new(config.num_contents, config.zipf_alpha, config.zipf_q)?;
+    let generator = StreamingDemand::new(
+        popularity,
+        config.temporal.clone(),
+        ScenarioConfig::demand_seed(args.seed),
+    )?;
+    let slots = args.slots.unwrap_or(config.horizon);
+    let mut source = SyntheticSource::bounded(generator, network.clone(), slots);
+
+    let mut serve_cfg = ServeConfig::new(run_cfg.window, args.seed);
+    serve_cfg.noise = NoiseModel::new(run_cfg.eta, run_cfg.predictor_seed);
+    let model = CostModel::paper();
+    let engine = ServeEngine::new(&network, &model, serve_cfg);
+    let initial = CacheState::empty(&network);
+
+    let report = match &args.metrics_out {
+        Some(path) => {
+            let file = fs::File::create(path)
+                .map_err(|e| CliError::boxed(format!("cannot create {}: {e}", path.display())))?;
+            let mut sink = JsonLinesSink::new(BufWriter::new(file));
+            engine.run(&mut source, policy.as_mut(), initial, &mut sink)?
+        }
+        None => engine.run(&mut source, policy.as_mut(), initial, &mut NullSink)?,
+    };
+    Ok(report.summary)
 }
 
 #[cfg(test)]
@@ -437,5 +559,116 @@ mod tests {
         let args = parse_args(&strings(&["frobnicate"])).unwrap();
         let mut buf = Vec::new();
         assert!(execute(&args, &mut buf).is_err());
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let args = parse_args(&strings(&[
+            "serve",
+            "--slots",
+            "500",
+            "--metrics-out",
+            "/tmp/m.jsonl",
+            "--window",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(args.command, "serve");
+        assert_eq!(args.slots, Some(500));
+        assert_eq!(
+            args.metrics_out.as_deref(),
+            Some(std::path::Path::new("/tmp/m.jsonl"))
+        );
+        assert!(parse_args(&strings(&["serve", "--slots", "x"])).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_offline_scheme() {
+        let args = parse_args(&strings(&["serve", "--scheme", "offline", "--slots", "2"])).unwrap();
+        assert!(run_serve(&args).is_err());
+    }
+
+    #[test]
+    fn serve_streams_a_small_run_and_writes_metrics() {
+        let dir = std::env::temp_dir().join("jocal-cli-serve-test");
+        fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.jsonl");
+        let args = parse_args(&strings(&[
+            "serve",
+            "--scheme",
+            "rhc",
+            "--horizon",
+            "6",
+            "--window",
+            "3",
+            "--seed",
+            "9",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(&args, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("slots served       6"), "got:\n{text}");
+        assert!(text.contains("hit ratio"));
+
+        // The metrics file is one JSON object per line, header first,
+        // summary last.
+        let lines: Vec<String> = fs::read_to_string(&metrics)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        assert_eq!(lines.len(), 6 + 2, "header + 6 slots + summary");
+        assert!(lines[0].contains("\"kind\":\"header\""));
+        assert!(lines.last().unwrap().contains("\"kind\":\"summary\""));
+        for line in &lines {
+            assert!(
+                line.starts_with("{\"kind\":\"")
+                    && line.contains("\"data\":{")
+                    && line.ends_with('}'),
+                "malformed JSON-lines record: {line}"
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_is_reproducible_from_one_seed() {
+        let run = || {
+            let args = parse_args(&strings(&[
+                "serve",
+                "--horizon",
+                "5",
+                "--window",
+                "2",
+                "--seed",
+                "11",
+            ]))
+            .unwrap();
+            let s = run_serve(&args).unwrap();
+            (s.requests, s.sbs_served.to_bits(), s.cost.total().to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn serve_slots_flag_bounds_the_run() {
+        let args = parse_args(&strings(&[
+            "serve",
+            "--horizon",
+            "10",
+            "--slots",
+            "4",
+            "--window",
+            "2",
+            "--seed",
+            "1",
+        ]))
+        .unwrap();
+        let summary = run_serve(&args).unwrap();
+        assert_eq!(summary.slots, 4);
+        assert!(summary.peak_buffered_slots <= 2);
     }
 }

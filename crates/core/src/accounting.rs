@@ -6,8 +6,11 @@
 //! replacements (Fig. 2c/3b/4b), and BS operating cost (Fig. 2d).
 //! [`CostBreakdown`] carries exactly those numbers.
 
+use crate::cost::CostModel;
 use crate::plan::{CachePlan, CacheState, LoadPlan};
 use crate::problem::ProblemInstance;
+use jocal_sim::demand::DemandTrace;
+use jocal_sim::topology::Network;
 use serde::{Deserialize, Serialize};
 use std::ops::Add;
 
@@ -46,6 +49,36 @@ impl Add for CostBreakdown {
     }
 }
 
+/// Evaluates one executed slot against ground-truth demand.
+///
+/// This is the incremental unit the batch evaluators below are built
+/// from: a streaming engine that holds only the current slot (`demand`
+/// and `y` with horizon 1, `t = 0`) and the previous cache state gets
+/// the exact same floating-point results as the full-plan sweep, which
+/// is what makes bitwise streaming/batch parity possible.
+#[must_use]
+pub fn evaluate_slot(
+    network: &Network,
+    model: &CostModel,
+    demand: &DemandTrace,
+    prev: &CacheState,
+    cache: &CacheState,
+    y: &LoadPlan,
+    t: usize,
+) -> CostBreakdown {
+    let mut slot = CostBreakdown {
+        bs_operating: model.f_t(network, demand, y, t),
+        sbs_operating: model.g_t(network, demand, y, t),
+        ..Default::default()
+    };
+    for (n, sbs) in network.iter_sbs() {
+        let fetches = cache.fetches_from(prev, n);
+        slot.replacement += sbs.replacement_cost() * fetches as f64;
+        slot.replacement_count += fetches;
+    }
+    slot
+}
+
 /// Evaluates a full plan against ground-truth demand.
 ///
 /// `problem` supplies the network, demand, cost model and initial cache
@@ -53,22 +86,9 @@ impl Add for CostBreakdown {
 /// demand horizon are evaluated over their own length.
 #[must_use]
 pub fn evaluate_plan(problem: &ProblemInstance, x: &CachePlan, y: &LoadPlan) -> CostBreakdown {
-    let network = problem.network();
-    let demand = problem.demand();
-    let model = problem.cost_model();
-    let mut breakdown = CostBreakdown::default();
-    let mut prev: &CacheState = problem.initial_cache();
-    for t in 0..x.horizon().min(y.horizon()) {
-        breakdown.bs_operating += model.f_t(network, demand, y, t);
-        breakdown.sbs_operating += model.g_t(network, demand, y, t);
-        for (n, sbs) in network.iter_sbs() {
-            let fetches = x.state(t).fetches_from(prev, n);
-            breakdown.replacement += sbs.replacement_cost() * fetches as f64;
-            breakdown.replacement_count += fetches;
-        }
-        prev = x.state(t);
-    }
-    breakdown
+    evaluate_per_slot(problem, x, y)
+        .into_iter()
+        .fold(CostBreakdown::default(), CostBreakdown::add)
 }
 
 /// Per-slot cost decomposition (useful for time-series plots).
@@ -84,18 +104,16 @@ pub fn evaluate_per_slot(
     let mut out = Vec::with_capacity(x.horizon());
     let mut prev: &CacheState = problem.initial_cache();
     for t in 0..x.horizon().min(y.horizon()) {
-        let mut slot = CostBreakdown {
-            bs_operating: model.f_t(network, demand, y, t),
-            sbs_operating: model.g_t(network, demand, y, t),
-            ..Default::default()
-        };
-        for (n, sbs) in network.iter_sbs() {
-            let fetches = x.state(t).fetches_from(prev, n);
-            slot.replacement += sbs.replacement_cost() * fetches as f64;
-            slot.replacement_count += fetches;
-        }
+        out.push(evaluate_slot(
+            network,
+            model,
+            demand,
+            prev,
+            x.state(t),
+            y,
+            t,
+        ));
         prev = x.state(t);
-        out.push(slot);
     }
     out
 }

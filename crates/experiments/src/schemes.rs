@@ -140,6 +140,39 @@ pub struct SchemeOutcome {
     pub breakdown: CostBreakdown,
 }
 
+/// Constructs the [`OnlinePolicy`] behind `scheme`, or `None` for
+/// schemes with no step-wise form (`Offline`).
+///
+/// Shared by the batch [`run_scheme`] path and streaming consumers
+/// (`jocal-serve`, the `jocal serve` CLI), so a scheme name maps to the
+/// same configured controller everywhere.
+#[must_use]
+pub fn build_online_policy(scheme: Scheme, config: &RunConfig) -> Option<Box<dyn OnlinePolicy>> {
+    Some(match scheme {
+        Scheme::Offline => return None,
+        Scheme::Rhc => Box::new(RhcPolicy::new(config.window, config.online_opts)),
+        Scheme::Chc { commitment } => {
+            let r = commitment.clamp(1, config.window);
+            Box::new(ChcPolicy::new(
+                config.window,
+                r,
+                RoundingPolicy::new(config.rho),
+                config.online_opts,
+            ))
+        }
+        Scheme::Afhc => Box::new(afhc_policy(
+            config.window,
+            RoundingPolicy::new(config.rho),
+            config.online_opts,
+        )),
+        Scheme::Lrfu => Box::new(BaselinePolicy::optimal_lb(LrfuRule::new())),
+        Scheme::Lfu => Box::new(BaselinePolicy::optimal_lb(LfuRule::new())),
+        Scheme::Lru => Box::new(BaselinePolicy::optimal_lb(LruRule::new())),
+        Scheme::Fifo => Box::new(BaselinePolicy::optimal_lb(FifoRule::new())),
+        Scheme::StaticTop => Box::new(BaselinePolicy::optimal_lb(StaticTopRule::new())),
+    })
+}
+
 /// Runs `scheme` on `scenario` under `config`.
 ///
 /// # Errors
@@ -152,74 +185,17 @@ pub fn run_scheme(
 ) -> Result<SchemeOutcome, CoreError> {
     let cost_model = CostModel::paper();
     let initial = CacheState::empty(&scenario.network);
-    let breakdown = match scheme {
-        Scheme::Offline => {
+    let breakdown = match build_online_policy(scheme, config) {
+        None => {
             let problem =
                 ProblemInstance::fresh(scenario.network.clone(), scenario.demand.clone())?;
             OfflineSolver::new(config.offline_opts)
                 .solve(&problem)?
                 .breakdown
         }
-        Scheme::Rhc => {
+        Some(mut policy) => {
             let predictor =
                 NoisyPredictor::new(scenario.demand.clone(), config.eta, config.predictor_seed);
-            let mut policy = RhcPolicy::new(config.window, config.online_opts);
-            run_policy(
-                &scenario.network,
-                &cost_model,
-                &predictor,
-                &mut policy,
-                initial,
-            )?
-            .breakdown
-        }
-        Scheme::Chc { commitment } => {
-            let predictor =
-                NoisyPredictor::new(scenario.demand.clone(), config.eta, config.predictor_seed);
-            let r = commitment.clamp(1, config.window);
-            let mut policy = ChcPolicy::new(
-                config.window,
-                r,
-                RoundingPolicy::new(config.rho),
-                config.online_opts,
-            );
-            run_policy(
-                &scenario.network,
-                &cost_model,
-                &predictor,
-                &mut policy,
-                initial,
-            )?
-            .breakdown
-        }
-        Scheme::Afhc => {
-            let predictor =
-                NoisyPredictor::new(scenario.demand.clone(), config.eta, config.predictor_seed);
-            let mut policy = afhc_policy(
-                config.window,
-                RoundingPolicy::new(config.rho),
-                config.online_opts,
-            );
-            run_policy(
-                &scenario.network,
-                &cost_model,
-                &predictor,
-                &mut policy,
-                initial,
-            )?
-            .breakdown
-        }
-        Scheme::Lrfu | Scheme::Lfu | Scheme::Lru | Scheme::Fifo | Scheme::StaticTop => {
-            let predictor =
-                NoisyPredictor::new(scenario.demand.clone(), config.eta, config.predictor_seed);
-            let mut policy: Box<dyn OnlinePolicy> = match scheme {
-                Scheme::Lrfu => Box::new(BaselinePolicy::optimal_lb(LrfuRule::new())),
-                Scheme::Lfu => Box::new(BaselinePolicy::optimal_lb(LfuRule::new())),
-                Scheme::Lru => Box::new(BaselinePolicy::optimal_lb(LruRule::new())),
-                Scheme::Fifo => Box::new(BaselinePolicy::optimal_lb(FifoRule::new())),
-                Scheme::StaticTop => Box::new(BaselinePolicy::optimal_lb(StaticTopRule::new())),
-                _ => unreachable!("outer match restricts to baselines"),
-            };
             run_policy(
                 &scenario.network,
                 &cost_model,

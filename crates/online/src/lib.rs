@@ -49,6 +49,7 @@
 pub mod afhc;
 pub mod chc;
 pub mod policy;
+pub mod repair;
 pub mod rhc;
 pub mod rounding;
 pub mod runner;

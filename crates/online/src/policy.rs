@@ -2,7 +2,7 @@
 
 use jocal_core::plan::{CacheState, LoadPlan};
 use jocal_core::{CoreError, CostModel};
-use jocal_sim::predictor::Predictor;
+use jocal_sim::predictor::PredictionWindow;
 use jocal_sim::topology::Network;
 use std::fmt;
 
@@ -30,15 +30,19 @@ impl Action {
 
 /// Everything a policy may look at when deciding slot `t`.
 ///
-/// Policies only see predictions (through the [`Predictor`]), never the
-/// ground truth directly — the runner owns the truth.
+/// Policies only see predictions (through the [`PredictionWindow`]),
+/// never the ground truth directly — the runner owns the truth. Using
+/// the window-only supertrait (rather than the full
+/// [`jocal_sim::predictor::Predictor`]) lets streaming engines drive
+/// policies from sources that never materialize a full-horizon truth
+/// tensor.
 pub struct PolicyContext<'a> {
     /// Network topology.
     pub network: &'a Network,
     /// Cost model for window optimization.
     pub cost_model: &'a CostModel,
     /// Prediction oracle.
-    pub predictor: &'a dyn Predictor,
+    pub predictor: &'a dyn PredictionWindow,
     /// The cache state realized at the end of slot `t − 1`.
     pub current_cache: &'a CacheState,
     /// Total horizon `T` (policies must not plan past it).

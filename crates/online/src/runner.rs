@@ -8,6 +8,7 @@
 //! `Σ λ_true y` exceeds `B_n` (predictions may understate demand).
 
 use crate::policy::{OnlinePolicy, PolicyContext};
+use crate::repair::repair_slot;
 use jocal_core::accounting::{evaluate_per_slot, evaluate_plan, CostBreakdown};
 use jocal_core::plan::{verify_feasible, CachePlan, CacheState, LoadPlan};
 use jocal_core::problem::ProblemInstance;
@@ -59,45 +60,27 @@ pub fn run_policy(
         };
         let action = policy.decide(t, &ctx)?;
 
-        // --- Repair against realized demand -----------------------------
+        // Stage the raw decision, then repair it in place against the
+        // realized demand through the same code path the streaming
+        // engine uses (see `crate::repair`).
         for (n, sbs) in network.iter_sbs() {
-            // Clamp + coupling.
-            let mut used = 0.0;
             for m in 0..sbs.num_classes() {
                 for k in 0..network.num_contents() {
-                    let mut y = action.load.y(0, n, ClassId(m), ContentId(k));
-                    y = y.clamp(0.0, 1.0);
-                    if !action.cache.contains(n, ContentId(k)) {
-                        y = 0.0;
-                    }
+                    let y = action.load.y(0, n, ClassId(m), ContentId(k));
                     load_plan.set_y(t, n, ClassId(m), ContentId(k), y);
-                    used += truth.lambda(t, n, ClassId(m), ContentId(k)) * y;
                 }
-            }
-            // Bandwidth scaling.
-            if used > sbs.bandwidth() && used > 0.0 {
-                let scale = sbs.bandwidth() / used;
-                for m in 0..sbs.num_classes() {
-                    for k in 0..network.num_contents() {
-                        let y = load_plan.y(t, n, ClassId(m), ContentId(k));
-                        load_plan.set_y(t, n, ClassId(m), ContentId(k), y * scale);
-                    }
-                }
-            }
-            // Capacity must hold by construction; double-check here so a
-            // buggy policy fails loudly instead of under-reporting cost.
-            if action.cache.occupancy(n) > sbs.cache_capacity() {
-                return Err(CoreError::infeasible(
-                    "cache capacity",
-                    format!(
-                        "policy {} proposed {} items at t={t} {n} (capacity {})",
-                        policy.name(),
-                        action.cache.occupancy(n),
-                        sbs.cache_capacity()
-                    ),
-                ));
             }
         }
+        repair_slot(
+            network,
+            &truth,
+            t,
+            &action.cache,
+            &mut load_plan,
+            t,
+            policy.name(),
+            t,
+        )?;
         *cache_plan.state_mut(t) = action.cache.clone();
         current = action.cache;
     }

@@ -1,0 +1,447 @@
+//! The long-lived slot loop.
+//!
+//! Per slot, the engine: tops up the sliding window from the source,
+//! lets the policy decide through a [`WindowPredictor`] view, repairs
+//! the decision against the realized slot (the *same*
+//! [`jocal_online::repair`] code path the batch runner uses), charges
+//! costs with [`jocal_core::accounting::evaluate_slot`], dispatches the
+//! slot's Poisson-realized requests through the executed plan
+//! (SBS hit / bandwidth-overflow spill / BS fallback), and emits one
+//! [`SlotMetrics`] record. State is double-buffered: one previous/current
+//! cache-state pair, one reusable single-slot load plan, and the `O(w)`
+//! slot buffer — nothing grows with the horizon.
+
+use crate::error::ServeError;
+use crate::metrics::{LatencyHistogram, MetricsSink, RunHeader, ServeSummary, SlotMetrics};
+use crate::source::DemandSource;
+use crate::window::SlidingWindow;
+use jocal_core::accounting::{evaluate_slot, CostBreakdown};
+use jocal_core::plan::{CacheState, LoadPlan};
+use jocal_core::CostModel;
+use jocal_online::policy::{OnlinePolicy, PolicyContext};
+use jocal_online::repair::repair_slot;
+use jocal_sim::predictor::NoiseModel;
+use jocal_sim::requests::{sample_slot_rng, RequestCounts};
+use jocal_sim::topology::Network;
+use jocal_sim::{ClassId, ContentId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::Add;
+use std::time::Instant;
+
+/// Engine knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Prediction window `w` (also the slot-buffer bound).
+    pub window: usize,
+    /// Request-sampling seed: one RNG is seeded from this and threaded
+    /// through every slot's Poisson draws.
+    pub seed: u64,
+    /// Prediction perturbation applied to the buffered window.
+    pub noise: NoiseModel,
+    /// Stop after this many slots even if the source continues (`None`
+    /// = run until the source is exhausted; required for unbounded
+    /// sources).
+    pub max_slots: Option<usize>,
+}
+
+impl ServeConfig {
+    /// A window-`w` config with exact predictions and a fixed seed.
+    #[must_use]
+    pub fn new(window: usize, seed: u64) -> Self {
+        ServeConfig {
+            window,
+            seed,
+            noise: NoiseModel::new(0.0, 0),
+            max_slots: None,
+        }
+    }
+}
+
+/// Outcome of a serve run (also delivered to the sink as the summary
+/// record).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The aggregate summary.
+    pub summary: ServeSummary,
+}
+
+/// The streaming serving engine.
+#[derive(Debug)]
+pub struct ServeEngine<'a> {
+    network: &'a Network,
+    cost_model: &'a CostModel,
+    config: ServeConfig,
+}
+
+impl<'a> ServeEngine<'a> {
+    /// Creates an engine over a network and cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured window is zero.
+    #[must_use]
+    pub fn new(network: &'a Network, cost_model: &'a CostModel, config: ServeConfig) -> Self {
+        assert!(config.window >= 1, "serve window must be at least 1 slot");
+        ServeEngine {
+            network,
+            cost_model,
+            config,
+        }
+    }
+
+    /// Drives `policy` over `source` until exhaustion (or `max_slots`),
+    /// streaming metrics into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source, policy and sink failures. Unbounded sources
+    /// require `max_slots`.
+    pub fn run(
+        &self,
+        source: &mut dyn DemandSource,
+        policy: &mut dyn OnlinePolicy,
+        initial: CacheState,
+        sink: &mut dyn MetricsSink,
+    ) -> Result<ServeReport, ServeError> {
+        let total_hint = source.len_hint();
+        if total_hint.is_none() && self.config.max_slots.is_none() {
+            return Err(ServeError::config(
+                "max_slots",
+                "an unbounded source needs an explicit slot limit",
+            ));
+        }
+        // The policies' planning horizon `T`: for a finite source this
+        // is the true stream length — matching what the batch runner
+        // derives from `truth.horizon()`, which is what makes the two
+        // paths decide identically. A slot cap does not shrink it (the
+        // batch runner evaluated prefixes the same way).
+        let horizon = total_hint.unwrap_or(usize::MAX);
+
+        let header = RunHeader {
+            policy: policy.name().to_string(),
+            seed: self.config.seed,
+            noise_seed: self.config.noise.seed(),
+            eta: self.config.noise.eta(),
+            window: self.config.window,
+            horizon: total_hint,
+        };
+        sink.header(&header)?;
+
+        let mut window = SlidingWindow::new(self.network);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut prev_cache = initial;
+        let mut slot_load = LoadPlan::zeros(self.network, 1);
+        let mut histogram = LatencyHistogram::default();
+        let mut totals = Totals::default();
+
+        loop {
+            let t = window.start();
+            if self.config.max_slots.is_some_and(|cap| t >= cap) {
+                break;
+            }
+            window.fill(self.config.window, source)?;
+            if window.front().is_none() {
+                break;
+            }
+
+            // --- Decide -------------------------------------------------
+            let started = Instant::now();
+            let action = {
+                let predictor = window.predictor(self.config.noise);
+                let ctx = PolicyContext {
+                    network: self.network,
+                    cost_model: self.cost_model,
+                    predictor: &predictor,
+                    current_cache: &prev_cache,
+                    horizon,
+                };
+                policy.decide(t, &ctx)?
+            };
+            let solve_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+            // --- Repair against the realized slot ------------------------
+            let truth = window.front().expect("checked non-empty above");
+            for (n, sbs) in self.network.iter_sbs() {
+                for m in 0..sbs.num_classes() {
+                    for k in 0..self.network.num_contents() {
+                        let y = action.load.y(0, n, ClassId(m), ContentId(k));
+                        slot_load.set_y(0, n, ClassId(m), ContentId(k), y);
+                    }
+                }
+            }
+            let repair = repair_slot(
+                self.network,
+                truth,
+                0,
+                &action.cache,
+                &mut slot_load,
+                0,
+                policy.name(),
+                t,
+            )?;
+
+            // --- Charge realized costs -----------------------------------
+            let cost = evaluate_slot(
+                self.network,
+                self.cost_model,
+                truth,
+                &prev_cache,
+                &action.cache,
+                &slot_load,
+                0,
+            );
+
+            // --- Dispatch realized requests ------------------------------
+            let counts = sample_slot_rng(&mut rng, truth, 0);
+            let dispatch = dispatch_requests(self.network, &counts, &slot_load);
+
+            let metrics = SlotMetrics {
+                slot: t,
+                requests: dispatch.requests,
+                sbs_served: dispatch.sbs_served,
+                spilled: dispatch.spilled,
+                bs_served: dispatch.bs_served,
+                hit_ratio: dispatch.hit_ratio(),
+                cost,
+                repair_scaled_sbs: repair.bandwidth_scaled,
+                solve_us,
+                buffered_slots: window.buffered(),
+            };
+            sink.slot(&metrics)?;
+            histogram.observe(solve_us);
+            totals.fold(&metrics);
+
+            prev_cache = action.cache;
+            window.advance();
+        }
+
+        let summary = ServeSummary {
+            header,
+            slots: totals.slots,
+            requests: totals.requests,
+            sbs_served: totals.sbs_served,
+            spilled: totals.spilled,
+            bs_served: totals.bs_served,
+            hit_ratio: if totals.requests == 0 {
+                0.0
+            } else {
+                totals.sbs_served / totals.requests as f64
+            },
+            cost: totals.cost,
+            repair_activations: totals.repair_activations,
+            peak_buffered_slots: window.peak_buffered(),
+            solve_latency: histogram.summarize(),
+        };
+        sink.summary(&summary)?;
+        Ok(ServeReport { summary })
+    }
+}
+
+#[derive(Debug, Default)]
+struct Totals {
+    slots: usize,
+    requests: u64,
+    sbs_served: f64,
+    spilled: f64,
+    bs_served: f64,
+    cost: CostBreakdown,
+    repair_activations: usize,
+}
+
+impl Totals {
+    fn fold(&mut self, m: &SlotMetrics) {
+        self.slots += 1;
+        self.requests += m.requests;
+        self.sbs_served += m.sbs_served;
+        self.spilled += m.spilled;
+        self.bs_served += m.bs_served;
+        self.cost = self.cost.add(m.cost);
+        self.repair_activations += usize::from(m.repair_scaled_sbs > 0);
+    }
+}
+
+/// Outcome of pushing one slot's realized requests through the executed
+/// plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DispatchOutcome {
+    /// Total realized requests.
+    pub requests: u64,
+    /// Requests served by SBS caches.
+    pub sbs_served: f64,
+    /// SBS-intended requests spilled to the BS on bandwidth overflow.
+    pub spilled: f64,
+    /// Requests served by the BS.
+    pub bs_served: f64,
+}
+
+impl DispatchOutcome {
+    /// `sbs_served / requests`, `0` when idle.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.sbs_served / self.requests as f64
+        }
+    }
+}
+
+/// Routes realized request counts through a repaired single-slot load
+/// plan: each class sends the `y` fraction of its requests to the SBS;
+/// if the realized SBS load exceeds `B_n` the excess spills back to the
+/// BS (uniformly); everything else is BS fallback.
+#[must_use]
+pub fn dispatch_requests(
+    network: &Network,
+    counts: &RequestCounts,
+    load: &LoadPlan,
+) -> DispatchOutcome {
+    let mut out = DispatchOutcome::default();
+    for (n, sbs) in network.iter_sbs() {
+        let mut intent = 0.0;
+        let mut requests = 0u64;
+        for m in 0..sbs.num_classes() {
+            for k in 0..network.num_contents() {
+                let c = counts.count(n, ClassId(m), ContentId(k));
+                requests += u64::from(c);
+                intent += load.y(0, n, ClassId(m), ContentId(k)) * f64::from(c);
+            }
+        }
+        // `y` was repaired against mean rates; realized counts can still
+        // overshoot the SBS bandwidth, and that overflow spills back.
+        let spill = (intent - sbs.bandwidth()).max(0.0);
+        let served = intent - spill;
+        out.requests += requests;
+        out.sbs_served += served;
+        out.spilled += spill;
+        out.bs_served += requests as f64 - served;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MemorySink, NullSink};
+    use crate::source::TraceSource;
+    use jocal_sim::scenario::ScenarioConfig;
+
+    /// Caches the first `C` items and offloads everything it can.
+    #[derive(Debug)]
+    struct Greedy;
+
+    impl OnlinePolicy for Greedy {
+        fn name(&self) -> &str {
+            "greedy"
+        }
+
+        fn decide(
+            &mut self,
+            _t: usize,
+            ctx: &PolicyContext<'_>,
+        ) -> Result<jocal_online::policy::Action, jocal_core::CoreError> {
+            let mut cache = CacheState::empty(ctx.network);
+            let mut load = LoadPlan::zeros(ctx.network, 1);
+            for (n, sbs) in ctx.network.iter_sbs() {
+                for k in 0..sbs.cache_capacity() {
+                    cache.set(n, ContentId(k), true);
+                    for m in 0..sbs.num_classes() {
+                        load.set_y(0, n, ClassId(m), ContentId(k), 1.0);
+                    }
+                }
+            }
+            Ok(jocal_online::policy::Action { cache, load })
+        }
+
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn engine_serves_a_finite_trace_end_to_end() {
+        let s = ScenarioConfig::tiny().build(61).unwrap();
+        let model = CostModel::paper();
+        let engine = ServeEngine::new(&s.network, &model, ServeConfig::new(3, 42));
+        let mut source = TraceSource::new(s.demand.clone());
+        let mut sink = MemorySink::default();
+        let report = engine
+            .run(
+                &mut source,
+                &mut Greedy,
+                CacheState::empty(&s.network),
+                &mut sink,
+            )
+            .unwrap();
+        assert_eq!(report.summary.slots, s.demand.horizon());
+        assert_eq!(sink.slots.len(), s.demand.horizon());
+        assert_eq!(sink.header.as_ref().unwrap().seed, 42);
+        assert!(report.summary.peak_buffered_slots <= 3);
+        assert!(report.summary.cost.total().is_finite());
+        // Greedy caches and offloads, so some requests hit the SBS.
+        assert!(report.summary.hit_ratio > 0.0);
+        assert!(report.summary.hit_ratio <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn engine_is_reproducible_from_seeds() {
+        let s = ScenarioConfig::tiny().build(62).unwrap();
+        let model = CostModel::paper();
+        let run = |seed| {
+            let engine = ServeEngine::new(&s.network, &model, ServeConfig::new(3, seed));
+            let mut sink = MemorySink::default();
+            engine
+                .run(
+                    &mut TraceSource::new(s.demand.clone()),
+                    &mut Greedy,
+                    CacheState::empty(&s.network),
+                    &mut sink,
+                )
+                .unwrap();
+            sink.slots
+                .into_iter()
+                .map(|m| (m.requests, m.sbs_served.to_bits(), m.cost.total().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        // Different request seeds change dispatch but not costs.
+        let a = run(5);
+        let b = run(6);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.0 != y.0));
+        assert!(a.iter().zip(&b).all(|(x, y)| x.2 == y.2));
+    }
+
+    #[test]
+    fn unbounded_source_requires_cap() {
+        use jocal_sim::demand::TemporalPattern;
+        use jocal_sim::popularity::ZipfMandelbrot;
+        use jocal_sim::stream::StreamingDemand;
+        let s = ScenarioConfig::tiny().build(63).unwrap();
+        let model = CostModel::paper();
+        let pop = ZipfMandelbrot::new(s.network.num_contents(), 0.8, 2.0).unwrap();
+        let gen = StreamingDemand::new(pop, TemporalPattern::Stationary, 1).unwrap();
+        let mut source = crate::source::SyntheticSource::unbounded(gen, s.network.clone());
+        let engine = ServeEngine::new(&s.network, &model, ServeConfig::new(2, 1));
+        let err = engine.run(
+            &mut source,
+            &mut Greedy,
+            CacheState::empty(&s.network),
+            &mut NullSink,
+        );
+        assert!(err.is_err());
+        // With a cap it runs exactly that many slots.
+        let mut config = ServeConfig::new(2, 1);
+        config.max_slots = Some(7);
+        let engine = ServeEngine::new(&s.network, &model, config);
+        let mut sink = MemorySink::default();
+        let report = engine
+            .run(
+                &mut source,
+                &mut Greedy,
+                CacheState::empty(&s.network),
+                &mut sink,
+            )
+            .unwrap();
+        assert_eq!(report.summary.slots, 7);
+        assert!(report.summary.peak_buffered_slots <= 2);
+    }
+}

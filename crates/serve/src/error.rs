@@ -1,0 +1,76 @@
+//! Error type for the serving engine.
+
+use jocal_core::CoreError;
+use jocal_sim::SimError;
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong while serving a demand stream.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The simulator substrate rejected a source or trace.
+    Sim(SimError),
+    /// A policy or solver failed (or a plan could not be repaired).
+    Core(CoreError),
+    /// I/O failure while reading a trace or writing metrics.
+    Io(io::Error),
+    /// Invalid engine configuration or a malformed source.
+    Config {
+        /// Which knob or input is at fault.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl ServeError {
+    /// Builds a configuration error.
+    #[must_use]
+    pub fn config(what: &'static str, detail: impl Into<String>) -> Self {
+        ServeError::Config {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Sim(e) => write!(f, "simulation error: {e}"),
+            ServeError::Core(e) => write!(f, "solver error: {e}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Config { what, detail } => write!(f, "invalid {what}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Sim(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            ServeError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

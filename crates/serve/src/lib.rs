@@ -1,0 +1,64 @@
+//! Streaming serving engine for the `jocal` workspace.
+//!
+//! The paper's online algorithms (RHC/AFHC/CHC, Section IV) are
+//! inherently streaming — each slot needs only a `w`-step prediction
+//! window — but the batch runner in `jocal-online` materializes
+//! full-horizon plans, capping the horizons it can reach. This crate is
+//! the bounded-memory alternative: a long-lived slot loop whose state is
+//! `O(w)` in the prediction window and independent of the stream length.
+//!
+//! * [`source`] — [`source::DemandSource`]: incremental slot ingestion
+//!   (buffered traces, unbounded synthetic demand, Poisson-realized
+//!   request streams, chunked CSV trace files).
+//! * [`window`] — the sliding `O(w)` slot buffer and the
+//!   [`jocal_sim::predictor::PredictionWindow`] view policies consume.
+//! * [`engine`] — the slot loop: decide → repair → charge → dispatch,
+//!   double-buffered per-slot state, no full-horizon tensors.
+//! * [`metrics`] — per-slot [`metrics::SlotMetrics`], counters, latency
+//!   histograms, JSON-lines export with a reproducibility header.
+//!
+//! Streaming and batch execution are *bit-identical* on the same seeded
+//! finite trace: the engine shares the batch runner's repair and
+//! accounting code paths, and its window assembly is a `memcpy` of the
+//! same slots the batch predictor reads (see `tests/parity.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use jocal_core::{CacheState, CostModel};
+//! use jocal_online::rhc::RhcPolicy;
+//! use jocal_serve::engine::{ServeConfig, ServeEngine};
+//! use jocal_serve::metrics::MemorySink;
+//! use jocal_serve::source::TraceSource;
+//! use jocal_sim::scenario::ScenarioConfig;
+//!
+//! let s = ScenarioConfig::tiny().build(3)?;
+//! let model = CostModel::paper();
+//! let engine = ServeEngine::new(&s.network, &model, ServeConfig::new(3, 42));
+//! let mut policy = RhcPolicy::new(3, Default::default());
+//! let mut sink = MemorySink::default();
+//! let report = engine.run(
+//!     &mut TraceSource::new(s.demand.clone()),
+//!     &mut policy,
+//!     CacheState::empty(&s.network),
+//!     &mut sink,
+//! )?;
+//! assert_eq!(report.summary.slots, s.demand.horizon());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod source;
+pub mod window;
+
+pub use engine::{ServeConfig, ServeEngine, ServeReport};
+pub use error::ServeError;
+pub use metrics::{JsonLinesSink, MemorySink, MetricsSink, NullSink, ServeSummary, SlotMetrics};
+pub use source::{
+    ChunkedTraceReader, DemandSource, PoissonRealizedSource, SyntheticSource, TraceSource,
+};

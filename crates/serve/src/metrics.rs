@@ -1,0 +1,333 @@
+//! Observability for the serving engine.
+//!
+//! Every slot produces one [`SlotMetrics`] record; a [`MetricsSink`]
+//! decides where it goes (JSON-lines, memory, nowhere). The engine also
+//! folds slots into running counters and a solve-latency histogram and
+//! emits a final [`ServeSummary`].
+//!
+//! The JSON-lines stream is self-describing: the first record is a
+//! `"header"` carrying the run's seeds (request seed and noise seed), so
+//! any run can be reproduced from its metrics file alone.
+
+use crate::error::ServeError;
+use jocal_core::accounting::CostBreakdown;
+use serde::Serialize;
+use std::fmt;
+use std::io::Write;
+
+/// One slot's observed behavior.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SlotMetrics {
+    /// Absolute slot index.
+    pub slot: usize,
+    /// Realized requests in the slot (Poisson draws from the truth).
+    pub requests: u64,
+    /// Requests served by SBS caches (offloaded).
+    pub sbs_served: f64,
+    /// Requests that wanted an SBS but spilled to the BS on bandwidth
+    /// overflow.
+    pub spilled: f64,
+    /// Requests served by the BS (fallback + spill).
+    pub bs_served: f64,
+    /// `sbs_served / requests` (`0` on an idle slot).
+    pub hit_ratio: f64,
+    /// Realized cost decomposition of the executed slot.
+    pub cost: CostBreakdown,
+    /// SBSs whose load split needed bandwidth repair this slot.
+    pub repair_scaled_sbs: usize,
+    /// Wall-clock time of the policy's decision, in microseconds.
+    pub solve_us: u64,
+    /// Slots buffered by the sliding window when deciding.
+    pub buffered_slots: usize,
+}
+
+/// First record of a metrics stream: everything needed to reproduce the
+/// run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunHeader {
+    /// Policy name (e.g. `"RHC"`).
+    pub policy: String,
+    /// Request-sampling seed — the single RNG threaded through the
+    /// stream's Poisson realizations.
+    pub seed: u64,
+    /// Prediction-noise seed.
+    pub noise_seed: u64,
+    /// Prediction perturbation level `η`.
+    pub eta: f64,
+    /// Prediction window `w`.
+    pub window: usize,
+    /// Planning horizon the policies were given (`None` = unbounded).
+    pub horizon: Option<usize>,
+}
+
+/// Aggregate solve-latency statistics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LatencySummary {
+    /// Mean latency (µs).
+    pub mean_us: f64,
+    /// Median (µs, from the histogram).
+    pub p50_us: u64,
+    /// 95th percentile (µs, from the histogram).
+    pub p95_us: u64,
+    /// Maximum observed (µs).
+    pub max_us: u64,
+}
+
+/// Final record of a metrics stream.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServeSummary {
+    /// Copy of the run header for self-contained summaries.
+    pub header: RunHeader,
+    /// Slots actually served.
+    pub slots: usize,
+    /// Total realized requests.
+    pub requests: u64,
+    /// Total requests served from SBS caches.
+    pub sbs_served: f64,
+    /// Total bandwidth-overflow spill.
+    pub spilled: f64,
+    /// Total BS-served requests.
+    pub bs_served: f64,
+    /// Overall SBS hit ratio.
+    pub hit_ratio: f64,
+    /// Total realized cost decomposition.
+    pub cost: CostBreakdown,
+    /// Slots in which at least one SBS needed bandwidth repair.
+    pub repair_activations: usize,
+    /// High-water mark of buffered demand slots — the engine's memory
+    /// bound (`≤ w`, never `O(T)`).
+    pub peak_buffered_slots: usize,
+    /// Solve-latency aggregate.
+    pub solve_latency: LatencySummary,
+}
+
+/// Power-of-two bucketed latency histogram (µs), 0 .. ≥2³⁰.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyHistogram {
+    counts: [u64; 32],
+    total: u64,
+    sum_us: u128,
+    max_us: u64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn observe(&mut self, us: u64) {
+        let bucket = (64 - us.leading_zeros()).min(31) as usize;
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum_us += u128::from(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Upper bound of the bucket containing quantile `q ∈ [0, 1]`.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if bucket == 0 { 0 } else { (1u64 << bucket) - 1 };
+            }
+        }
+        self.max_us
+    }
+
+    /// Folds the histogram into a [`LatencySummary`].
+    #[must_use]
+    pub fn summarize(&self) -> LatencySummary {
+        LatencySummary {
+            mean_us: if self.total == 0 {
+                0.0
+            } else {
+                self.sum_us as f64 / self.total as f64
+            },
+            p50_us: self.quantile_upper_bound(0.5),
+            p95_us: self.quantile_upper_bound(0.95),
+            max_us: self.max_us,
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no observation was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+/// Destination for metrics records.
+pub trait MetricsSink: fmt::Debug {
+    /// Called once before the first slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn header(&mut self, header: &RunHeader) -> Result<(), ServeError>;
+
+    /// Called once per served slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn slot(&mut self, metrics: &SlotMetrics) -> Result<(), ServeError>;
+
+    /// Called once after the last slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn summary(&mut self, summary: &ServeSummary) -> Result<(), ServeError>;
+}
+
+/// Discards everything (pure benchmarking).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {
+    fn header(&mut self, _: &RunHeader) -> Result<(), ServeError> {
+        Ok(())
+    }
+
+    fn slot(&mut self, _: &SlotMetrics) -> Result<(), ServeError> {
+        Ok(())
+    }
+
+    fn summary(&mut self, _: &ServeSummary) -> Result<(), ServeError> {
+        Ok(())
+    }
+}
+
+/// Buffers every record in memory (tests, small runs).
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    /// The header, once received.
+    pub header: Option<RunHeader>,
+    /// All slot records in order.
+    pub slots: Vec<SlotMetrics>,
+    /// The final summary, once received.
+    pub summary: Option<ServeSummary>,
+}
+
+impl MetricsSink for MemorySink {
+    fn header(&mut self, header: &RunHeader) -> Result<(), ServeError> {
+        self.header = Some(header.clone());
+        Ok(())
+    }
+
+    fn slot(&mut self, metrics: &SlotMetrics) -> Result<(), ServeError> {
+        self.slots.push(metrics.clone());
+        Ok(())
+    }
+
+    fn summary(&mut self, summary: &ServeSummary) -> Result<(), ServeError> {
+        self.summary = Some(summary.clone());
+        Ok(())
+    }
+}
+
+/// Streams records as JSON-lines: one `{"kind": ..., "data": ...}`
+/// object per line — a `header` line, then one `slot` line per slot,
+/// then a `summary` line.
+pub struct JsonLinesSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> fmt::Debug for JsonLinesSink<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonLinesSink").finish()
+    }
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Wraps a writer.
+    #[must_use]
+    pub fn new(out: W) -> Self {
+        JsonLinesSink { out }
+    }
+
+    /// Consumes the sink, returning the writer.
+    #[must_use]
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn write_record<T: Serialize>(&mut self, kind: &str, data: &T) -> Result<(), ServeError> {
+        let body = serde_json::to_string(data)
+            .map_err(|e| ServeError::config("metrics", format!("serialization failed: {e}")))?;
+        writeln!(self.out, "{{\"kind\":\"{kind}\",\"data\":{body}}}")?;
+        Ok(())
+    }
+}
+
+impl<W: Write> MetricsSink for JsonLinesSink<W> {
+    fn header(&mut self, header: &RunHeader) -> Result<(), ServeError> {
+        self.write_record("header", header)
+    }
+
+    fn slot(&mut self, metrics: &SlotMetrics) -> Result<(), ServeError> {
+        self.write_record("slot", metrics)
+    }
+
+    fn summary(&mut self, summary: &ServeSummary) -> Result<(), ServeError> {
+        let r = self.write_record("summary", summary);
+        self.out.flush()?;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_tracks_quantiles_and_mean() {
+        let mut h = LatencyHistogram::default();
+        for us in [1u64, 2, 3, 100, 1000] {
+            h.observe(us);
+        }
+        assert_eq!(h.len(), 5);
+        let s = h.summarize();
+        assert!((s.mean_us - 221.2).abs() < 1e-9);
+        assert_eq!(s.max_us, 1000);
+        assert!(s.p50_us <= s.p95_us);
+        assert!(s.p95_us >= 1000 / 2, "p95 bucket should cover the tail");
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zero() {
+        let h = LatencyHistogram::default();
+        assert!(h.is_empty());
+        let s = h.summarize();
+        assert_eq!(s.mean_us, 0.0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.max_us, 0);
+    }
+
+    #[test]
+    fn json_lines_sink_emits_tagged_records() {
+        let header = RunHeader {
+            policy: "RHC".into(),
+            seed: 42,
+            noise_seed: 7,
+            eta: 0.1,
+            window: 5,
+            horizon: Some(100),
+        };
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.header(&header).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.starts_with("{\"kind\":\"header\","), "{text}");
+        assert!(text.contains("\"seed\":42"), "{text}");
+        assert!(text.trim_end().ends_with('}'));
+    }
+}

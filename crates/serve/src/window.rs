@@ -1,0 +1,197 @@
+//! The engine's `O(w)` view of the demand stream.
+//!
+//! [`SlidingWindow`] buffers at most `w` upcoming slots (horizon-1
+//! traces recycled through a free list, so the steady state allocates
+//! nothing), and [`WindowPredictor`] exposes that buffer to the online
+//! policies through [`PredictionWindow`]: it assembles the requested
+//! window by `memcpy` from the buffered slots and perturbs it with the
+//! exact [`NoiseModel`] the batch [`jocal_sim::predictor::NoisyPredictor`]
+//! uses, so a policy driven from the stream sees bit-identical
+//! predictions to one driven from the buffered full-horizon truth.
+
+use crate::error::ServeError;
+use crate::source::DemandSource;
+use jocal_sim::demand::DemandTrace;
+use jocal_sim::predictor::{NoiseModel, PredictionWindow};
+use jocal_sim::topology::Network;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A bounded buffer of upcoming demand slots.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    /// Buffered slots; `slots[0]` is absolute slot `start`.
+    slots: VecDeque<DemandTrace>,
+    /// Recycled slot allocations.
+    free: Vec<DemandTrace>,
+    /// Absolute slot index of the front of the buffer.
+    start: usize,
+    /// High-water mark of buffered slots (the engine's memory bound).
+    peak: usize,
+    exhausted: bool,
+    template: DemandTrace,
+}
+
+impl SlidingWindow {
+    /// Creates an empty window shaped for `network`.
+    #[must_use]
+    pub fn new(network: &Network) -> Self {
+        SlidingWindow {
+            slots: VecDeque::new(),
+            free: Vec::new(),
+            start: 0,
+            peak: 0,
+            exhausted: false,
+            template: DemandTrace::zeros(network, 1),
+        }
+    }
+
+    /// Pulls from `source` until `target` slots are buffered or the
+    /// source is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source failures.
+    pub fn fill(&mut self, target: usize, source: &mut dyn DemandSource) -> Result<(), ServeError> {
+        while self.slots.len() < target && !self.exhausted {
+            let mut buf = self.free.pop().unwrap_or_else(|| self.template.clone());
+            if source.next_slot(&mut buf)? {
+                self.slots.push_back(buf);
+                self.peak = self.peak.max(self.slots.len());
+            } else {
+                self.exhausted = true;
+                self.free.push(buf);
+            }
+        }
+        Ok(())
+    }
+
+    /// The current slot's ground truth, if any remains.
+    #[must_use]
+    pub fn front(&self) -> Option<&DemandTrace> {
+        self.slots.front()
+    }
+
+    /// Absolute index of the current slot.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of slots currently buffered.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// High-water mark of buffered slots over the window's lifetime.
+    #[must_use]
+    pub fn peak_buffered(&self) -> usize {
+        self.peak
+    }
+
+    /// Whether the source has reported end of stream.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Drops the front slot (its allocation is recycled) and advances
+    /// the window by one absolute slot.
+    pub fn advance(&mut self) {
+        if let Some(slot) = self.slots.pop_front() {
+            self.free.push(slot);
+        }
+        self.start += 1;
+    }
+
+    /// The buffered slot for absolute index `t`, if buffered.
+    #[must_use]
+    fn get_abs(&self, t: usize) -> Option<&DemandTrace> {
+        t.checked_sub(self.start).and_then(|i| self.slots.get(i))
+    }
+
+    /// A [`PredictionWindow`] view over the buffer.
+    #[must_use]
+    pub fn predictor(&self, noise: NoiseModel) -> WindowPredictor<'_> {
+        WindowPredictor {
+            window: self,
+            noise,
+        }
+    }
+}
+
+/// Prediction oracle backed by a [`SlidingWindow`] instead of a
+/// full-horizon truth tensor.
+pub struct WindowPredictor<'a> {
+    window: &'a SlidingWindow,
+    noise: NoiseModel,
+}
+
+impl fmt::Debug for WindowPredictor<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WindowPredictor")
+            .field("start", &self.window.start)
+            .field("buffered", &self.window.slots.len())
+            .finish()
+    }
+}
+
+impl PredictionWindow for WindowPredictor<'_> {
+    fn predict(&self, now: usize, horizon: usize) -> DemandTrace {
+        let mut out = self.window.template.window(0, horizon);
+        for local in 0..horizon {
+            if let Some(slot) = self.window.get_abs(now + local) {
+                out.copy_slot_from(local, slot, 0)
+                    .expect("buffered slots share the engine's shape");
+            }
+            // Slots outside the buffer stay zero, matching the batch
+            // predictors' treatment of slots past the horizon. Policies
+            // driven by the engine never ask past `start + buffered`.
+        }
+        self.noise.apply(&mut out, now);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::TraceSource;
+    use jocal_sim::predictor::NoisyPredictor;
+    use jocal_sim::scenario::ScenarioConfig;
+
+    #[test]
+    fn window_view_matches_noisy_predictor_bitwise() {
+        let s = ScenarioConfig::tiny().build(51).unwrap();
+        let w = 3;
+        let batch = NoisyPredictor::new(s.demand.clone(), 0.2, 77);
+        let mut source = TraceSource::new(s.demand.clone());
+        let mut window = SlidingWindow::new(&s.network);
+        let noise = NoiseModel::new(0.2, 77);
+        for now in 0..s.demand.horizon() {
+            window.fill(w, &mut source).unwrap();
+            let len = w.min(s.demand.horizon() - now).max(1);
+            let streamed = window.predictor(noise).predict(now, len);
+            let buffered = jocal_sim::predictor::PredictionWindow::predict(&batch, now, len);
+            assert_eq!(streamed, buffered, "window at now={now} differs");
+            window.advance();
+        }
+        assert!(window.peak_buffered() <= w);
+    }
+
+    #[test]
+    fn advance_recycles_allocations() {
+        let s = ScenarioConfig::tiny().build(52).unwrap();
+        let mut source = TraceSource::new(s.demand.clone());
+        let mut window = SlidingWindow::new(&s.network);
+        window.fill(2, &mut source).unwrap();
+        assert_eq!(window.buffered(), 2);
+        window.advance();
+        assert_eq!(window.buffered(), 1);
+        assert_eq!(window.start(), 1);
+        window.fill(2, &mut source).unwrap();
+        assert_eq!(window.buffered(), 2);
+        assert!(window.peak_buffered() <= 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Streaming/batch parity: the serving engine on a buffered finite
+//! trace must produce **bit-identical** per-slot cost trajectories to
+//! the batch runner, for every online policy of the paper, at every
+//! thread count.
+//!
+//! This is the contract that lets long-horizon streaming results be
+//! compared against short-horizon batch experiments: same seeds, same
+//! numbers, down to the last ulp.
+
+use jocal_core::primal_dual::PrimalDualOptions;
+use jocal_core::{CacheState, CostModel, Parallelism};
+use jocal_online::afhc::afhc_policy;
+use jocal_online::chc::ChcPolicy;
+use jocal_online::policy::OnlinePolicy;
+use jocal_online::rhc::RhcPolicy;
+use jocal_online::rounding::RoundingPolicy;
+use jocal_online::runner::run_policy;
+use jocal_serve::engine::{ServeConfig, ServeEngine};
+use jocal_serve::metrics::MemorySink;
+use jocal_serve::source::TraceSource;
+use jocal_sim::predictor::{NoiseModel, NoisyPredictor};
+use jocal_sim::scenario::ScenarioConfig;
+
+const ETA: f64 = 0.15;
+const NOISE_SEED: u64 = 9001;
+const WINDOW: usize = 3;
+
+fn policies(parallelism: Parallelism) -> Vec<Box<dyn OnlinePolicy>> {
+    let options = PrimalDualOptions {
+        parallelism,
+        ..PrimalDualOptions::online()
+    };
+    vec![
+        Box::new(RhcPolicy::new(WINDOW, options)),
+        Box::new(afhc_policy(WINDOW, RoundingPolicy::default(), options)),
+        Box::new(ChcPolicy::new(
+            WINDOW,
+            2,
+            RoundingPolicy::default(),
+            options,
+        )),
+    ]
+}
+
+#[test]
+fn streaming_matches_batch_bitwise_for_all_policies_and_thread_counts() {
+    let scenario = ScenarioConfig::tiny().build(77).unwrap();
+    let model = CostModel::paper();
+    let noise = NoiseModel::new(ETA, NOISE_SEED);
+
+    for parallelism in [Parallelism::Threads(1), Parallelism::Threads(4)] {
+        for mut policy in policies(parallelism) {
+            let name = policy.name().to_string();
+
+            // --- Batch: full-horizon runner -----------------------------
+            let predictor = NoisyPredictor::new(scenario.demand.clone(), ETA, NOISE_SEED);
+            let batch = run_policy(
+                &scenario.network,
+                &model,
+                &predictor,
+                policy.as_mut(),
+                CacheState::empty(&scenario.network),
+            )
+            .unwrap_or_else(|e| panic!("batch {name} failed: {e}"));
+
+            // --- Streaming: O(w) engine over the same trace -------------
+            policy.reset();
+            let mut config = ServeConfig::new(WINDOW, 42);
+            config.noise = noise;
+            let engine = ServeEngine::new(&scenario.network, &model, config);
+            let mut sink = MemorySink::default();
+            engine
+                .run(
+                    &mut TraceSource::new(scenario.demand.clone()),
+                    policy.as_mut(),
+                    CacheState::empty(&scenario.network),
+                    &mut sink,
+                )
+                .unwrap_or_else(|e| panic!("streaming {name} failed: {e}"));
+
+            assert_eq!(
+                sink.slots.len(),
+                batch.per_slot.len(),
+                "{name} {parallelism:?}: slot counts differ"
+            );
+            for (t, (streamed, batched)) in sink.slots.iter().zip(batch.per_slot.iter()).enumerate()
+            {
+                let s = &streamed.cost;
+                assert_eq!(
+                    s.bs_operating.to_bits(),
+                    batched.bs_operating.to_bits(),
+                    "{name} {parallelism:?} t={t}: bs_operating {} vs {}",
+                    s.bs_operating,
+                    batched.bs_operating
+                );
+                assert_eq!(
+                    s.sbs_operating.to_bits(),
+                    batched.sbs_operating.to_bits(),
+                    "{name} {parallelism:?} t={t}: sbs_operating {} vs {}",
+                    s.sbs_operating,
+                    batched.sbs_operating
+                );
+                assert_eq!(
+                    s.replacement.to_bits(),
+                    batched.replacement.to_bits(),
+                    "{name} {parallelism:?} t={t}: replacement {} vs {}",
+                    s.replacement,
+                    batched.replacement
+                );
+                assert_eq!(
+                    s.replacement_count, batched.replacement_count,
+                    "{name} {parallelism:?} t={t}: replacement_count"
+                );
+            }
+            // The memory bound that makes streaming worth having.
+            let summary = sink.summary.unwrap();
+            assert!(
+                summary.peak_buffered_slots <= WINDOW,
+                "{name}: buffered {} > w={WINDOW}",
+                summary.peak_buffered_slots
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_counts_agree_with_each_other() {
+    // Redundant with PR 1's determinism guarantee plus the parity test
+    // above, but cheap and directly actionable when it fires: the
+    // streaming trajectory itself must not depend on the thread count.
+    let scenario = ScenarioConfig::tiny().build(78).unwrap();
+    let model = CostModel::paper();
+    let mut trajectories = Vec::new();
+    for parallelism in [Parallelism::Threads(1), Parallelism::Threads(4)] {
+        let options = PrimalDualOptions {
+            parallelism,
+            ..PrimalDualOptions::online()
+        };
+        let mut policy = RhcPolicy::new(WINDOW, options);
+        let mut config = ServeConfig::new(WINDOW, 42);
+        config.noise = NoiseModel::new(ETA, NOISE_SEED);
+        let engine = ServeEngine::new(&scenario.network, &model, config);
+        let mut sink = MemorySink::default();
+        engine
+            .run(
+                &mut TraceSource::new(scenario.demand.clone()),
+                &mut policy,
+                CacheState::empty(&scenario.network),
+                &mut sink,
+            )
+            .unwrap();
+        trajectories.push(
+            sink.slots
+                .iter()
+                .map(|m| m.cost.total().to_bits())
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(trajectories[0], trajectories[1]);
+}

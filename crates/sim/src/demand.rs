@@ -62,6 +62,102 @@ pub enum TemporalPattern {
     },
 }
 
+impl TemporalPattern {
+    /// Validates the pattern's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for out-of-range parameters.
+    pub fn validate(&self) -> Result<(), SimError> {
+        match *self {
+            TemporalPattern::Jitter { sigma } => {
+                if !(0.0..=1.0).contains(&sigma) {
+                    return Err(SimError::config("sigma", "must lie in [0, 1]"));
+                }
+            }
+            TemporalPattern::Diurnal { period, amplitude } => {
+                if period == 0 {
+                    return Err(SimError::config("period", "must be positive"));
+                }
+                if !(0.0..1.0).contains(&amplitude) {
+                    return Err(SimError::config("amplitude", "must lie in [0, 1)"));
+                }
+            }
+            TemporalPattern::FlashCrowd {
+                boost,
+                hot_contents,
+                ..
+            } => {
+                if boost < 0.0 || !boost.is_finite() {
+                    return Err(SimError::config("boost", "must be finite and >= 0"));
+                }
+                if hot_contents == 0 {
+                    return Err(SimError::config("hot_contents", "must be positive"));
+                }
+            }
+            TemporalPattern::Drift { shift_every } => {
+                if shift_every == 0 {
+                    return Err(SimError::config("shift_every", "must be positive"));
+                }
+            }
+            TemporalPattern::Stationary => {}
+        }
+        Ok(())
+    }
+
+    /// Slot-wide demand multiplier at slot `t` (diurnal cycling).
+    #[must_use]
+    pub fn slot_multiplier(&self, t: usize) -> f64 {
+        match *self {
+            TemporalPattern::Diurnal { period, amplitude } => {
+                1.0 + amplitude * (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin()
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Per-content multipliers at slot `t` (flash crowds, drift).
+    #[must_use]
+    pub fn content_multipliers(&self, t: usize, k_total: usize) -> Vec<f64> {
+        match *self {
+            TemporalPattern::FlashCrowd {
+                start,
+                duration,
+                hot_contents,
+                boost,
+            } => {
+                let mut scale = vec![1.0; k_total];
+                if t >= start && t < start + duration {
+                    let hot = hot_contents.min(k_total);
+                    // The surge hits the *least* popular items: coldest tail.
+                    for s in scale.iter_mut().rev().take(hot) {
+                        *s = boost;
+                    }
+                }
+                scale
+            }
+            TemporalPattern::Drift { shift_every } => {
+                // Rotate popularity by (t / shift_every) positions: content
+                // k takes the multiplier of the rank it drifts into.
+                let shift = (t / shift_every) % k_total;
+                let mut scale = vec![1.0; k_total];
+                if shift > 0 {
+                    // Express drift as a permutation multiplier relative to
+                    // base popularity: item k now behaves like rank
+                    // (k + shift) mod K.
+                    for (k, s) in scale.iter_mut().enumerate() {
+                        let target = (k + shift) % k_total;
+                        // ratio p(target)/p(k) applied multiplicatively.
+                        *s = ((k as f64 + 1.0) / (target as f64 + 1.0)).abs();
+                    }
+                }
+                scale
+            }
+            _ => vec![1.0; k_total],
+        }
+    }
+}
+
 /// Mean request arrival rates for every `(t, n, m, k)`.
 ///
 /// Layout is a flat dense tensor; accessors are bounds-checked.
@@ -312,6 +408,56 @@ impl DemandTrace {
         out
     }
 
+    /// Whether `other` has the same per-slot shape (SBS/class/content
+    /// layout); horizons may differ.
+    #[inline]
+    #[must_use]
+    pub fn same_slot_shape(&self, other: &DemandTrace) -> bool {
+        self.num_contents == other.num_contents && self.classes_per_sbs == other.classes_per_sbs
+    }
+
+    /// Copies one slot's full `(n, m, k)` block from `src` slot `src_t`
+    /// into this trace's slot `dst_t`. The fast path behind streaming
+    /// window assembly: a straight `memcpy` of the slot row, so values
+    /// round-trip bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] on a slot-shape mismatch and
+    /// [`SimError::IndexOutOfRange`] if either slot index is out of its
+    /// trace's horizon.
+    pub fn copy_slot_from(
+        &mut self,
+        dst_t: usize,
+        src: &DemandTrace,
+        src_t: usize,
+    ) -> Result<(), SimError> {
+        if !self.same_slot_shape(src) {
+            return Err(SimError::config(
+                "slot shape",
+                "source and destination traces have different (n, m, k) layouts",
+            ));
+        }
+        if dst_t >= self.horizon {
+            return Err(SimError::IndexOutOfRange {
+                what: "timeslot",
+                index: dst_t,
+                bound: self.horizon,
+            });
+        }
+        if src_t >= src.horizon {
+            return Err(SimError::IndexOutOfRange {
+                what: "timeslot",
+                index: src_t,
+                bound: src.horizon,
+            });
+        }
+        let width = self.total_classes() * self.num_contents;
+        self.data[dst_t * width..(dst_t + 1) * width]
+            .copy_from_slice(&src.data[src_t * width..(src_t + 1) * width]);
+        Ok(())
+    }
+
     /// Copies the window `[start, start + len)` into a fresh trace whose
     /// local slot 0 corresponds to absolute slot `start`. Slots beyond the
     /// source horizon are zero (matching the paper's `Λ^t = 0, t ≥ T`).
@@ -393,7 +539,7 @@ impl DemandGenerator {
                 ),
             ));
         }
-        self.validate_pattern(horizon)?;
+        self.pattern.validate()?;
         let probs = self.popularity.probabilities();
         let k_total = network.num_contents();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -401,8 +547,8 @@ impl DemandGenerator {
 
         for t in 0..horizon {
             // Content-level multipliers for this slot.
-            let content_scale = self.content_multipliers(t, k_total);
-            let slot_scale = self.slot_multiplier(t);
+            let content_scale = self.pattern.content_multipliers(t, k_total);
+            let slot_scale = self.pattern.slot_multiplier(t);
             for (n, sbs) in network.iter_sbs() {
                 // Jitter is drawn once per (t, n, k) and shared across MU
                 // classes: it models the content's realized popularity in
@@ -428,91 +574,6 @@ impl DemandGenerator {
             }
         }
         Ok(trace)
-    }
-
-    fn validate_pattern(&self, _horizon: usize) -> Result<(), SimError> {
-        match self.pattern {
-            TemporalPattern::Jitter { sigma } => {
-                if !(0.0..=1.0).contains(&sigma) {
-                    return Err(SimError::config("sigma", "must lie in [0, 1]"));
-                }
-            }
-            TemporalPattern::Diurnal { period, amplitude } => {
-                if period == 0 {
-                    return Err(SimError::config("period", "must be positive"));
-                }
-                if !(0.0..1.0).contains(&amplitude) {
-                    return Err(SimError::config("amplitude", "must lie in [0, 1)"));
-                }
-            }
-            TemporalPattern::FlashCrowd {
-                boost,
-                hot_contents,
-                ..
-            } => {
-                if boost < 0.0 || !boost.is_finite() {
-                    return Err(SimError::config("boost", "must be finite and >= 0"));
-                }
-                if hot_contents == 0 {
-                    return Err(SimError::config("hot_contents", "must be positive"));
-                }
-            }
-            TemporalPattern::Drift { shift_every } => {
-                if shift_every == 0 {
-                    return Err(SimError::config("shift_every", "must be positive"));
-                }
-            }
-            TemporalPattern::Stationary => {}
-        }
-        Ok(())
-    }
-
-    fn slot_multiplier(&self, t: usize) -> f64 {
-        match self.pattern {
-            TemporalPattern::Diurnal { period, amplitude } => {
-                1.0 + amplitude * (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin()
-            }
-            _ => 1.0,
-        }
-    }
-
-    fn content_multipliers(&self, t: usize, k_total: usize) -> Vec<f64> {
-        match self.pattern {
-            TemporalPattern::FlashCrowd {
-                start,
-                duration,
-                hot_contents,
-                boost,
-            } => {
-                let mut scale = vec![1.0; k_total];
-                if t >= start && t < start + duration {
-                    let hot = hot_contents.min(k_total);
-                    // The surge hits the *least* popular items: coldest tail.
-                    for s in scale.iter_mut().rev().take(hot) {
-                        *s = boost;
-                    }
-                }
-                scale
-            }
-            TemporalPattern::Drift { shift_every } => {
-                // Rotate popularity by (t / shift_every) positions: content
-                // k takes the multiplier of the rank it drifts into.
-                let shift = (t / shift_every) % k_total;
-                let mut scale = vec![1.0; k_total];
-                if shift > 0 {
-                    // Express drift as a permutation multiplier relative to
-                    // base popularity: item k now behaves like rank
-                    // (k + shift) mod K.
-                    for (k, s) in scale.iter_mut().enumerate() {
-                        let target = (k + shift) % k_total;
-                        // ratio p(target)/p(k) applied multiplicatively.
-                        *s = ((k as f64 + 1.0) / (target as f64 + 1.0)).abs();
-                    }
-                }
-                scale
-            }
-            _ => vec![1.0; k_total],
-        }
     }
 }
 
@@ -727,6 +788,41 @@ mod tests {
         let manual: f64 = trace.lambda(0, SbsId(0), ClassId(0), ContentId(2))
             + trace.lambda(0, SbsId(0), ClassId(1), ContentId(2));
         assert!((agg[2] - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn copy_slot_from_is_bit_exact_and_validated() {
+        let gen = DemandGenerator::new(pop5(), TemporalPattern::Jitter { sigma: 0.3 });
+        let trace = gen.generate(&small_net(), 4, 11).unwrap();
+        let mut out = DemandTrace::zeros(&small_net(), 2);
+        out.copy_slot_from(1, &trace, 3).unwrap();
+        for n in 0..2 {
+            for m in 0..trace.num_classes(SbsId(n)) {
+                for k in 0..5 {
+                    assert_eq!(
+                        out.lambda(1, SbsId(n), ClassId(m), ContentId(k)).to_bits(),
+                        trace
+                            .lambda(3, SbsId(n), ClassId(m), ContentId(k))
+                            .to_bits()
+                    );
+                }
+            }
+        }
+        // Untouched slot stays zero.
+        assert_eq!(out.total_at(0), 0.0);
+        // Out-of-range and shape mismatches are rejected.
+        assert!(out.copy_slot_from(5, &trace, 0).is_err());
+        assert!(out.copy_slot_from(0, &trace, 9).is_err());
+        let other_shape = DemandTrace::zeros(
+            &Network::builder(5)
+                .sbs(1, 1.0, 1.0, vec![MuClass::new(0.1, 0.0, 1.0).unwrap()])
+                .unwrap()
+                .build()
+                .unwrap(),
+            2,
+        );
+        let mut out2 = DemandTrace::zeros(&small_net(), 2);
+        assert!(out2.copy_slot_from(0, &other_shape, 0).is_err());
     }
 
     #[test]

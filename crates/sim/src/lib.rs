@@ -15,6 +15,8 @@
 //!   (stationary, temporal jitter, diurnal, flash crowd, popularity drift).
 //! * [`predictor`] — prediction oracles for the online algorithms,
 //!   including the paper's multiplicative `η`-perturbation.
+//! * [`stream`] — slot-at-a-time demand generation for bounded-memory
+//!   long-horizon serving (`O(N·M·K)` per slot, independent of `T`).
 //! * [`trace`] — CSV serialization of demand traces for record/replay.
 //! * [`scenario`] — ready-made configurations, including
 //!   [`scenario::ScenarioConfig::paper_default`] reproducing Section V-B.
@@ -39,6 +41,7 @@ pub mod popularity;
 pub mod predictor;
 pub mod requests;
 pub mod scenario;
+pub mod stream;
 pub mod topology;
 pub mod trace;
 

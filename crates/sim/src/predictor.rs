@@ -17,72 +17,55 @@
 use crate::demand::DemandTrace;
 use std::fmt;
 
-/// A source of demand predictions for the online controllers.
-pub trait Predictor: fmt::Debug {
+/// The window-only prediction interface the online policies consume.
+///
+/// Policies never need more than `predict`; splitting it from
+/// [`Predictor`] lets a streaming engine drive the same policies from an
+/// `O(w)` slot buffer that has no full-horizon ground truth to offer.
+pub trait PredictionWindow: fmt::Debug {
     /// Predicted demand for the `horizon` slots starting at `now`.
     ///
     /// Local slot `0` of the returned trace corresponds to absolute slot
     /// `now`. Slots past the true horizon are zero.
     fn predict(&self, now: usize, horizon: usize) -> DemandTrace;
+}
 
+/// A source of demand predictions that also owns the full ground truth
+/// (used by the batch runner to charge realized costs).
+pub trait Predictor: PredictionWindow {
     /// The ground-truth trace (used by runners to charge realized costs).
     fn truth(&self) -> &DemandTrace;
 }
 
-/// Oracle predictor: returns the exact future (used by the offline optimum
-/// and as the `η = 0` case).
-#[derive(Debug, Clone)]
-pub struct PerfectPredictor {
-    truth: DemandTrace,
-}
-
-impl PerfectPredictor {
-    /// Wraps the ground truth.
-    #[must_use]
-    pub fn new(truth: DemandTrace) -> Self {
-        PerfectPredictor { truth }
-    }
-}
-
-impl Predictor for PerfectPredictor {
-    fn predict(&self, now: usize, horizon: usize) -> DemandTrace {
-        self.truth.window(now, horizon)
-    }
-
-    fn truth(&self) -> &DemandTrace {
-        &self.truth
-    }
-}
-
-/// The paper's multiplicative-noise predictor: each predicted rate is the
-/// truth scaled by an independent draw from `U[1−η, 1+η]`.
+/// The paper's multiplicative prediction-noise model, detached from any
+/// particular truth storage: each predicted rate is the underlying rate
+/// scaled by an independent draw from `U[1−η, 1+η]`, keyed only by
+/// `(seed, decision time, slot, SBS, content)`.
 ///
-/// The current slot (offset 0) is returned exactly by default — at
-/// decision time the present demand is observable; RHC's window in the
-/// paper predicts from `τ+1` onward. Use
-/// [`NoisyPredictor::with_noisy_current`] to perturb offset 0 too.
-#[derive(Debug, Clone)]
-pub struct NoisyPredictor {
-    truth: DemandTrace,
+/// [`NoisyPredictor`] applies it to a full-horizon trace; a streaming
+/// window predictor can apply the *same* model to an `O(w)` buffered
+/// window and obtain bit-identical predictions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
     eta: f64,
     seed: u64,
     exact_current: bool,
 }
 
-impl NoisyPredictor {
-    /// Creates a predictor with noise level `eta ∈ [0, 1]`.
+impl NoiseModel {
+    /// Creates a noise model with level `eta ∈ [0, 1]`. The current slot
+    /// (offset 0) is returned exactly; see [`NoiseModel::with_noisy_current`].
     ///
     /// # Panics
     ///
     /// Panics if `eta` is outside `[0, 1]`.
     #[must_use]
-    pub fn new(truth: DemandTrace, eta: f64, seed: u64) -> Self {
+    pub fn new(eta: f64, seed: u64) -> Self {
         assert!(
             (0.0..=1.0).contains(&eta),
             "perturbation eta must lie in [0, 1], got {eta}"
         );
-        NoisyPredictor {
-            truth,
+        NoiseModel {
             eta,
             seed,
             exact_current: true,
@@ -101,6 +84,28 @@ impl NoisyPredictor {
     #[must_use]
     pub fn eta(&self) -> f64 {
         self.eta
+    }
+
+    /// The noise seed.
+    #[inline]
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Perturbs `window` (whose local slot 0 is absolute slot `now`) in
+    /// place, exactly as [`NoisyPredictor::predict`] would.
+    pub fn apply(&self, window: &mut DemandTrace, now: usize) {
+        if self.eta == 0.0 {
+            return;
+        }
+        window.map_indexed_in_place(|local_t, n, _m, k, v| {
+            if local_t == 0 && self.exact_current {
+                return v;
+            }
+            let u = self.unit_noise(now, now + local_t, n.0, k.0);
+            (v * (1.0 + self.eta * u)).max(0.0)
+        });
     }
 
     /// Deterministic uniform draw in `[-1, 1]` per
@@ -123,22 +128,91 @@ impl NoisyPredictor {
     }
 }
 
-impl Predictor for NoisyPredictor {
+/// Oracle predictor: returns the exact future (used by the offline optimum
+/// and as the `η = 0` case).
+#[derive(Debug, Clone)]
+pub struct PerfectPredictor {
+    truth: DemandTrace,
+}
+
+impl PerfectPredictor {
+    /// Wraps the ground truth.
+    #[must_use]
+    pub fn new(truth: DemandTrace) -> Self {
+        PerfectPredictor { truth }
+    }
+}
+
+impl PredictionWindow for PerfectPredictor {
     fn predict(&self, now: usize, horizon: usize) -> DemandTrace {
-        let mut window = self.truth.window(now, horizon);
-        if self.eta == 0.0 {
-            return window;
+        self.truth.window(now, horizon)
+    }
+}
+
+impl Predictor for PerfectPredictor {
+    fn truth(&self) -> &DemandTrace {
+        &self.truth
+    }
+}
+
+/// The paper's multiplicative-noise predictor: each predicted rate is the
+/// truth scaled by an independent draw from `U[1−η, 1+η]`.
+///
+/// The current slot (offset 0) is returned exactly by default — at
+/// decision time the present demand is observable; RHC's window in the
+/// paper predicts from `τ+1` onward. Use
+/// [`NoisyPredictor::with_noisy_current`] to perturb offset 0 too.
+#[derive(Debug, Clone)]
+pub struct NoisyPredictor {
+    truth: DemandTrace,
+    noise: NoiseModel,
+}
+
+impl NoisyPredictor {
+    /// Creates a predictor with noise level `eta ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(truth: DemandTrace, eta: f64, seed: u64) -> Self {
+        NoisyPredictor {
+            truth,
+            noise: NoiseModel::new(eta, seed),
         }
-        window.map_indexed_in_place(|local_t, n, _m, k, v| {
-            if local_t == 0 && self.exact_current {
-                return v;
-            }
-            let u = self.unit_noise(now, now + local_t, n.0, k.0);
-            (v * (1.0 + self.eta * u)).max(0.0)
-        });
-        window
     }
 
+    /// Also perturbs the current slot (offset 0).
+    #[must_use]
+    pub fn with_noisy_current(mut self) -> Self {
+        self.noise = self.noise.with_noisy_current();
+        self
+    }
+
+    /// The configured noise level `η`.
+    #[inline]
+    #[must_use]
+    pub fn eta(&self) -> f64 {
+        self.noise.eta()
+    }
+
+    /// The underlying noise model.
+    #[inline]
+    #[must_use]
+    pub fn noise(&self) -> NoiseModel {
+        self.noise
+    }
+}
+
+impl PredictionWindow for NoisyPredictor {
+    fn predict(&self, now: usize, horizon: usize) -> DemandTrace {
+        let mut window = self.truth.window(now, horizon);
+        self.noise.apply(&mut window, now);
+        window
+    }
+}
+
+impl Predictor for NoisyPredictor {
     fn truth(&self) -> &DemandTrace {
         &self.truth
     }
@@ -160,7 +234,7 @@ impl PersistencePredictor {
     }
 }
 
-impl Predictor for PersistencePredictor {
+impl PredictionWindow for PersistencePredictor {
     fn predict(&self, now: usize, horizon: usize) -> DemandTrace {
         let current = self.truth.window(now, 1);
         let mut out = self.truth.window(now, horizon);
@@ -173,7 +247,9 @@ impl Predictor for PersistencePredictor {
         });
         out
     }
+}
 
+impl Predictor for PersistencePredictor {
     fn truth(&self) -> &DemandTrace {
         &self.truth
     }
@@ -305,5 +381,14 @@ mod tests {
     fn rejects_bad_eta() {
         let t = truth();
         let _ = NoisyPredictor::new(t, 1.5, 0);
+    }
+
+    #[test]
+    fn noise_model_on_raw_window_matches_noisy_predictor() {
+        let t = truth();
+        let p = NoisyPredictor::new(t.clone(), 0.3, 77);
+        let mut w = t.window(2, 4);
+        p.noise().apply(&mut w, 2);
+        assert_eq!(w, p.predict(2, 4));
     }
 }

@@ -159,12 +159,40 @@ impl ScenarioConfig {
         self
     }
 
-    /// Materializes the scenario deterministically from `seed`.
+    /// Materializes only the network topology from `seed`, bit-identical
+    /// to the one [`ScenarioConfig::build`] produces for the same seed.
+    ///
+    /// Streaming consumers (`jocal-serve`) use this to pair a topology
+    /// with an incremental demand source instead of a full-horizon
+    /// trace, keeping memory independent of the horizon.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for out-of-range parameters.
-    pub fn build(&self, seed: u64) -> Result<Scenario, SimError> {
+    pub fn build_network(&self, seed: u64) -> Result<Network, SimError> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = Network::builder(self.num_contents);
+        for _ in 0..self.num_sbs {
+            let mut classes = Vec::with_capacity(self.classes_per_sbs);
+            for _ in 0..self.classes_per_sbs {
+                let omega = sample_range(&mut rng, self.omega_range);
+                let density = sample_range(&mut rng, self.density_range);
+                classes.push(MuClass::new(omega, self.omega_sbs_factor * omega, density)?);
+            }
+            builder = builder.sbs(self.cache_capacity, self.bandwidth, self.beta, classes)?;
+        }
+        builder.build()
+    }
+
+    /// The seed the ground-truth demand stream is generated from, derived
+    /// from the scenario seed (decoupled from the topology draw).
+    #[must_use]
+    pub fn demand_seed(seed: u64) -> u64 {
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1)
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
         if self.horizon == 0 {
             return Err(SimError::config("horizon", "must be positive"));
         }
@@ -189,25 +217,21 @@ impl ScenarioConfig {
         if !(0.0..=1.0).contains(&self.eta) {
             return Err(SimError::config("eta", "must lie in [0, 1]"));
         }
+        Ok(())
+    }
 
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut builder = Network::builder(self.num_contents);
-        for _ in 0..self.num_sbs {
-            let mut classes = Vec::with_capacity(self.classes_per_sbs);
-            for _ in 0..self.classes_per_sbs {
-                let omega = sample_range(&mut rng, self.omega_range);
-                let density = sample_range(&mut rng, self.density_range);
-                classes.push(MuClass::new(omega, self.omega_sbs_factor * omega, density)?);
-            }
-            builder = builder.sbs(self.cache_capacity, self.bandwidth, self.beta, classes)?;
-        }
-        let network = builder.build()?;
+    /// Materializes the scenario deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for out-of-range parameters.
+    pub fn build(&self, seed: u64) -> Result<Scenario, SimError> {
+        let network = self.build_network(seed)?;
         let popularity = ZipfMandelbrot::new(self.num_contents, self.zipf_alpha, self.zipf_q)?;
         let demand = DemandGenerator::new(popularity, self.temporal.clone()).generate(
             &network,
             self.horizon,
-            // Decouple the demand stream from the topology draw.
-            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+            Self::demand_seed(seed),
         )?;
         Ok(Scenario {
             config: self.clone(),

@@ -1,0 +1,218 @@
+//! Slot-at-a-time demand generation for streaming consumers.
+//!
+//! [`crate::demand::DemandGenerator`] materializes the full `T`-slot
+//! tensor up front, which caps the horizons a simulation can reach. A
+//! [`StreamingDemand`] produces the same family of workloads one slot at
+//! a time in `O(N·M·K)` memory per slot, independent of `T`: the
+//! deterministic temporal patterns (diurnal, flash crowd, drift) are
+//! evaluated directly at `t`, and the per-slot jitter is drawn from a
+//! stateless SplitMix64 hash of `(seed, t, n, k)` instead of a
+//! sequential RNG, so any slot can be generated out of order and the
+//! stream never needs the past or the future in memory.
+
+use crate::demand::{DemandTrace, TemporalPattern};
+use crate::popularity::ZipfMandelbrot;
+use crate::topology::{ClassId, ContentId, Network};
+use crate::SimError;
+
+/// An unbounded slot-at-a-time demand generator.
+///
+/// ```
+/// use jocal_sim::popularity::ZipfMandelbrot;
+/// use jocal_sim::demand::TemporalPattern;
+/// use jocal_sim::scenario::ScenarioConfig;
+/// use jocal_sim::stream::StreamingDemand;
+///
+/// let s = ScenarioConfig::tiny().build(3)?;
+/// let pop = ZipfMandelbrot::new(5, 0.8, 2.0)?;
+/// let gen = StreamingDemand::new(pop, TemporalPattern::Stationary, 7)?;
+/// let slot = gen.slot(&s.network, 1_000_000)?;
+/// assert_eq!(slot.horizon(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingDemand {
+    probs: Vec<f64>,
+    pattern: TemporalPattern,
+    seed: u64,
+}
+
+impl StreamingDemand {
+    /// Creates a streaming generator from a popularity model and temporal
+    /// pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for invalid pattern parameters.
+    pub fn new(
+        popularity: ZipfMandelbrot,
+        pattern: TemporalPattern,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        pattern.validate()?;
+        Ok(StreamingDemand {
+            probs: popularity.probabilities(),
+            pattern,
+            seed,
+        })
+    }
+
+    /// Generates the demand of slot `t` as a horizon-1 trace shaped for
+    /// `network`.
+    ///
+    /// Deterministic per `(seed, t)` and independent of call order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the popularity catalog size
+    /// differs from the network's.
+    pub fn slot(&self, network: &Network, t: usize) -> Result<DemandTrace, SimError> {
+        let k_total = network.num_contents();
+        if self.probs.len() != k_total {
+            return Err(SimError::config(
+                "popularity",
+                format!(
+                    "popularity has {} ranks but catalog has {k_total} items",
+                    self.probs.len()
+                ),
+            ));
+        }
+        let content_scale = self.pattern.content_multipliers(t, k_total);
+        let slot_scale = self.pattern.slot_multiplier(t);
+        let mut trace = DemandTrace::zeros(network, 1);
+        for (n, sbs) in network.iter_sbs() {
+            for (m, class) in sbs.classes().iter().enumerate() {
+                for (k, scale) in content_scale.iter().enumerate() {
+                    let jitter = if let TemporalPattern::Jitter { sigma } = self.pattern {
+                        (1.0 + sigma * (unit_hash(self.seed, t, n.0, k) * 2.0 - 1.0)).max(0.0)
+                    } else {
+                        1.0
+                    };
+                    let lambda = class.density * self.probs[k] * slot_scale * scale * jitter;
+                    trace.set_lambda(0, n, ClassId(m), ContentId(k), lambda)?;
+                }
+            }
+        }
+        Ok(trace)
+    }
+}
+
+/// Stateless uniform draw in `[0, 1)` keyed by `(seed, t, n, k)` via
+/// SplitMix64 — shared across MU classes like the batch generator's
+/// jitter (it models the content's realized popularity in the slot).
+fn unit_hash(seed: u64, t: usize, n: usize, k: usize) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((t as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((n as u64) << 40)
+        .wrapping_add(k as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{MuClass, SbsId};
+
+    fn net() -> Network {
+        Network::builder(5)
+            .sbs(
+                2,
+                10.0,
+                1.0,
+                vec![
+                    MuClass::new(0.5, 0.0, 10.0).unwrap(),
+                    MuClass::new(0.2, 0.0, 20.0).unwrap(),
+                ],
+            )
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn pop() -> ZipfMandelbrot {
+        ZipfMandelbrot::new(5, 0.8, 2.0).unwrap()
+    }
+
+    #[test]
+    fn slots_are_deterministic_and_order_independent() {
+        let gen = StreamingDemand::new(pop(), TemporalPattern::Jitter { sigma: 0.3 }, 11).unwrap();
+        let n = net();
+        let a = gen.slot(&n, 7).unwrap();
+        let later = gen.slot(&n, 3).unwrap();
+        let b = gen.slot(&n, 7).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, later);
+    }
+
+    #[test]
+    fn stationary_matches_batch_generator() {
+        use crate::demand::DemandGenerator;
+        let n = net();
+        let batch = DemandGenerator::new(pop(), TemporalPattern::Stationary)
+            .generate(&n, 4, 0)
+            .unwrap();
+        let gen = StreamingDemand::new(pop(), TemporalPattern::Stationary, 0).unwrap();
+        for t in 0..4 {
+            let slot = gen.slot(&n, t).unwrap();
+            for m in 0..2 {
+                for k in 0..5 {
+                    assert_eq!(
+                        slot.lambda(0, SbsId(0), ClassId(m), ContentId(k)),
+                        batch.lambda(t, SbsId(0), ClassId(m), ContentId(k))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let sigma = 0.25;
+        let n = net();
+        let jit = StreamingDemand::new(pop(), TemporalPattern::Jitter { sigma }, 5).unwrap();
+        let base = StreamingDemand::new(pop(), TemporalPattern::Stationary, 5).unwrap();
+        for t in [0usize, 17, 100_000] {
+            let j = jit.slot(&n, t).unwrap();
+            let b = base.slot(&n, t).unwrap();
+            for k in 0..5 {
+                let jv = j.lambda(0, SbsId(0), ClassId(0), ContentId(k));
+                let bv = b.lambda(0, SbsId(0), ClassId(0), ContentId(k));
+                assert!(jv >= bv * (1.0 - sigma) - 1e-12);
+                assert!(jv <= bv * (1.0 + sigma) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_cycle_applies_per_slot() {
+        let gen = StreamingDemand::new(
+            pop(),
+            TemporalPattern::Diurnal {
+                period: 8,
+                amplitude: 0.5,
+            },
+            1,
+        )
+        .unwrap();
+        let n = net();
+        let at = |t: usize| gen.slot(&n, t).unwrap().total_at(0);
+        assert!(at(2) > at(0));
+        assert!(at(6) < at(0));
+    }
+
+    #[test]
+    fn rejects_bad_pattern_and_catalog_mismatch() {
+        assert!(StreamingDemand::new(pop(), TemporalPattern::Jitter { sigma: 2.0 }, 0).is_err());
+        let gen = StreamingDemand::new(
+            ZipfMandelbrot::new(7, 0.8, 0.0).unwrap(),
+            TemporalPattern::Stationary,
+            0,
+        )
+        .unwrap();
+        assert!(gen.slot(&net(), 0).is_err());
+    }
+}

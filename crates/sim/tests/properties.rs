@@ -2,7 +2,7 @@
 
 use jocal_sim::demand::{DemandGenerator, TemporalPattern};
 use jocal_sim::popularity::ZipfMandelbrot;
-use jocal_sim::predictor::{NoisyPredictor, PerfectPredictor, Predictor};
+use jocal_sim::predictor::{NoisyPredictor, PerfectPredictor, PredictionWindow};
 use jocal_sim::scenario::ScenarioConfig;
 use jocal_sim::topology::{ClassId, ContentId, MuClass, Network, SbsId};
 use jocal_sim::trace::{read_trace, write_trace};

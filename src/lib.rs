@@ -15,6 +15,7 @@
 //! | [`online`] | `jocal-online` | RHC, AFHC, CHC with the Theorem-3 rounding policy, policy runner, theory bounds |
 //! | [`baselines`] | `jocal-baselines` | LRFU (paper comparator), LRU, LFU, FIFO, random, static |
 //! | [`experiments`] | `jocal-experiments` | per-figure reproduction harness, sweeps, reports |
+//! | [`serve`] | `jocal-serve` | streaming serving engine: O(w)-memory slot loop, demand sources, request dispatch, JSON-lines metrics |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@ pub use jocal_core as core;
 pub use jocal_experiments as experiments;
 pub use jocal_online as online;
 pub use jocal_optim as optim;
+pub use jocal_serve as serve;
 pub use jocal_sim as sim;
 
 /// Workspace version string.

@@ -2,7 +2,7 @@
 //! scenarios, predictions and scheme outcomes.
 
 use jocal::experiments::schemes::{run_scheme, RunConfig, Scheme};
-use jocal::sim::predictor::{NoisyPredictor, Predictor};
+use jocal::sim::predictor::{NoisyPredictor, PredictionWindow};
 use jocal::sim::scenario::ScenarioConfig;
 use jocal::sim::trace::{read_trace, write_trace};
 use std::io::BufReader;
