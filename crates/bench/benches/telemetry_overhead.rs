@@ -1,0 +1,209 @@
+//! Telemetry overhead guard: the disabled ("off") path must stay free.
+//!
+//! Two parts, mirroring `serve_stream.rs`:
+//!
+//! 1. A **one-shot smoke** executed once at startup, under a counting
+//!    global allocator:
+//!    - resolving handle bundles against `Telemetry::disabled()` and
+//!      driving every per-slot telemetry call the serving engine makes
+//!      (`observe`, `incr`, `add`, span start/record, repair-report
+//!      recording) must perform **zero heap allocations** — the exact
+//!      off-path the engine runs per slot;
+//!    - two identical disabled-telemetry serve runs must allocate the
+//!      same number of times (the off-path adds no per-run allocation
+//!      noise), and the smoke prints the allocation delta of an
+//!      enabled run for eyeballing.
+//! 2. **Criterion-measured** serve runs with telemetry off vs on, so
+//!    regressions in the disabled fast path show up as a widening gap
+//!    between the `off`/`on` lines (<1% is the budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jocal_core::primal_dual::PrimalDualOptions;
+use jocal_core::{CacheState, CostModel};
+use jocal_online::observe::{RepairMetrics, RoundingMetrics, WindowMetrics};
+use jocal_online::repair::RepairReport;
+use jocal_online::rhc::RhcPolicy;
+use jocal_serve::engine::{ServeConfig, ServeEngine};
+use jocal_serve::metrics::{NullSink, ServeSummary};
+use jocal_serve::source::SyntheticSource;
+use jocal_sim::popularity::ZipfMandelbrot;
+use jocal_sim::scenario::ScenarioConfig;
+use jocal_sim::stream::StreamingDemand;
+use jocal_sim::topology::Network;
+use jocal_telemetry::Telemetry;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WINDOW: usize = 3;
+const SLOTS: usize = 20;
+
+/// Counts every heap allocation made through the global allocator.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Every telemetry call the engine and policies issue per slot, against
+/// disabled handles: must allocate nothing.
+fn disabled_slot_loop_allocates_nothing() {
+    let telemetry = Telemetry::disabled();
+    let window = WindowMetrics::resolve(&telemetry, "RHC");
+    let rounding = RoundingMetrics::resolve(&telemetry, "CHC(w=3,r=2)");
+    let repair = RepairMetrics::resolve(&telemetry);
+    let decide_us = telemetry.histogram_with("serve_decide_us", "policy", "rhc");
+    let slots_total = telemetry.counter("serve_slots_total");
+    let requests_total = telemetry.counter("serve_requests_total");
+    let report = RepairReport::default();
+
+    let before = allocations();
+    for i in 0..10_000u64 {
+        let span = window.solve_us.start_span();
+        let _ = window.solve_us.record_span(span);
+        window.solves.incr();
+        rounding.record(1, 2, 0);
+        repair.record(&report);
+        decide_us.observe(i);
+        slots_total.incr();
+        requests_total.add(i);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "disabled telemetry slot loop allocated {delta} times in 10k iterations"
+    );
+    println!("telemetry_overhead smoke: disabled slot-loop allocations = 0 (10k iterations)");
+}
+
+fn source_for(cfg: &ScenarioConfig, network: &Network, slots: usize) -> SyntheticSource {
+    let popularity = ZipfMandelbrot::new(cfg.num_contents, cfg.zipf_alpha, cfg.zipf_q)
+        .expect("popularity builds");
+    let generator = StreamingDemand::new(
+        popularity,
+        cfg.temporal.clone(),
+        ScenarioConfig::demand_seed(42),
+    )
+    .expect("streaming demand builds");
+    SyntheticSource::bounded(generator, network.clone(), slots)
+}
+
+fn serve_once(
+    cfg: &ScenarioConfig,
+    network: &Network,
+    telemetry: &Telemetry,
+    slots: usize,
+) -> ServeSummary {
+    let model = CostModel::paper();
+    let engine = ServeEngine::new(network, &model, ServeConfig::new(WINDOW, 42))
+        .with_telemetry(telemetry.clone());
+    let mut source = source_for(cfg, network, slots);
+    let mut policy = RhcPolicy::new(WINDOW, PrimalDualOptions::online());
+    engine
+        .run(
+            &mut source,
+            &mut policy,
+            CacheState::empty(network),
+            &mut NullSink,
+        )
+        .expect("serve run succeeds")
+        .summary
+}
+
+fn lean_config() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.num_sbs = 4;
+    cfg.num_contents = 10;
+    cfg.classes_per_sbs = 4;
+    cfg.prediction_window = WINDOW;
+    cfg
+}
+
+/// Identical disabled runs must allocate identically; print the enabled
+/// run's extra allocations for context.
+fn disabled_runs_allocate_deterministically() {
+    let cfg = lean_config();
+    let network = cfg.build_network(42).expect("network builds");
+    let off = Telemetry::disabled();
+
+    // Warm up lazily-initialized state before counting.
+    let _ = serve_once(&cfg, &network, &off, SLOTS);
+
+    let before_a = allocations();
+    let summary_a = serve_once(&cfg, &network, &off, SLOTS);
+    let count_a = allocations() - before_a;
+
+    let before_b = allocations();
+    let summary_b = serve_once(&cfg, &network, &off, SLOTS);
+    let count_b = allocations() - before_b;
+
+    assert_eq!(
+        summary_a.cost.total().to_bits(),
+        summary_b.cost.total().to_bits(),
+        "identical runs must agree"
+    );
+    assert_eq!(
+        count_a, count_b,
+        "telemetry-off serve runs must allocate deterministically"
+    );
+
+    let on = Telemetry::enabled();
+    let before_on = allocations();
+    let summary_on = serve_once(&cfg, &network, &on, SLOTS);
+    let count_on = allocations() - before_on;
+    assert_eq!(
+        summary_a.cost.total().to_bits(),
+        summary_on.cost.total().to_bits(),
+        "telemetry must not perturb decisions"
+    );
+    println!(
+        "telemetry_overhead smoke: {SLOTS}-slot serve allocations off={count_a} on={count_on} \
+         (+{} for telemetry)",
+        count_on.saturating_sub(count_a)
+    );
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    disabled_slot_loop_allocates_nothing();
+    disabled_runs_allocate_deterministically();
+
+    let cfg = lean_config();
+    let network = cfg.build_network(42).expect("network builds");
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+
+    let off = Telemetry::disabled();
+    group.bench_with_input(BenchmarkId::new("serve_rhc", "off"), &SLOTS, |b, &slots| {
+        b.iter(|| serve_once(&cfg, &network, &off, slots));
+    });
+
+    let on = Telemetry::enabled();
+    group.bench_with_input(BenchmarkId::new("serve_rhc", "on"), &SLOTS, |b, &slots| {
+        b.iter(|| serve_once(&cfg, &network, &on, slots));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -17,15 +17,16 @@
 
 use jocal_core::workspace::Parallelism;
 use jocal_core::{CacheState, CostModel};
-use jocal_experiments::schemes::{build_online_policy, run_scheme, RunConfig, Scheme};
+use jocal_experiments::schemes::{build_online_policy, run_scheme_observed, RunConfig, Scheme};
 use jocal_serve::engine::{ServeConfig, ServeEngine};
-use jocal_serve::metrics::{JsonLinesSink, NullSink, ServeSummary};
+use jocal_serve::metrics::{JsonLinesSink, NullSink, RunHeader, ServeSummary};
 use jocal_serve::source::SyntheticSource;
 use jocal_sim::popularity::ZipfMandelbrot;
 use jocal_sim::predictor::NoiseModel;
 use jocal_sim::scenario::ScenarioConfig;
 use jocal_sim::stream::StreamingDemand;
 use jocal_sim::trace::write_trace;
+use jocal_telemetry::Telemetry;
 use std::error::Error;
 use std::fmt;
 use std::fs;
@@ -63,6 +64,16 @@ OPTIONS (run / serve / generate):
     --threads <n>     worker threads for per-SBS solves (0 = auto;
                       default auto, also settable via JOCAL_THREADS;
                       results are identical for every thread count)
+
+OPTIONS (run / serve telemetry):
+    --telemetry-out <p> write the solver-telemetry event stream as
+                        JSON-lines (seeds-carrying header record, then
+                        per-iteration pd_iter/pd_done events, then a
+                        full metric snapshot) to this file
+    --prom-out <p>      write a Prometheus text-exposition snapshot of
+                        all counters/gauges/histograms to this file
+                        (observation never changes decisions: runs with
+                        and without telemetry are bit-identical)
 
 OPTIONS (serve only):
     --slots <T>         number of slots to serve (default: the scenario
@@ -116,6 +127,10 @@ pub struct CliArgs {
     pub slots: Option<usize>,
     /// `--metrics-out` (serve: JSON-lines metrics file)
     pub metrics_out: Option<PathBuf>,
+    /// `--telemetry-out` (JSON-lines telemetry event stream + snapshot)
+    pub telemetry_out: Option<PathBuf>,
+    /// `--prom-out` (Prometheus text-exposition snapshot)
+    pub prom_out: Option<PathBuf>,
 }
 
 /// Parses raw arguments (without the program name).
@@ -206,6 +221,14 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, Box<dyn Error>> {
                 out.metrics_out = Some(PathBuf::from(value(i)?));
                 i += 2;
             }
+            "--telemetry-out" => {
+                out.telemetry_out = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
+            "--prom-out" => {
+                out.prom_out = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
             other => return Err(CliError::boxed(format!("unknown flag {other}"))),
         }
     }
@@ -234,6 +257,61 @@ pub fn parse_scheme(name: &str, commitment: usize) -> Result<Scheme, Box<dyn Err
             )))
         }
     })
+}
+
+/// Builds the run's telemetry handle: enabled iff the user asked for
+/// any telemetry output, with the headline metric families
+/// pre-registered so the Prometheus snapshot always carries them (an
+/// RHC-only run, for example, never touches the CHC rounding counters,
+/// but dashboards still expect the series to exist at zero).
+fn telemetry_for(args: &CliArgs) -> Telemetry {
+    if args.telemetry_out.is_none() && args.prom_out.is_none() {
+        return Telemetry::disabled();
+    }
+    let telemetry = Telemetry::enabled();
+    let _ = telemetry.histogram("pd_iterations");
+    let _ = telemetry.counter("pd_iterations_total");
+    let _ = telemetry.histogram("pd_dual_residual_norm_1e6");
+    let _ = telemetry.histogram("window_solve_us");
+    let _ = telemetry.counter("chc_rounding_flips_total");
+    let _ = telemetry.counter("repair_scale_passes_total");
+    let _ = telemetry.histogram("repair_scale_pct");
+    telemetry
+}
+
+/// Writes the requested telemetry outputs after a run: a JSON-lines
+/// event stream (seeds-carrying `header` record first, same convention
+/// as the serve metrics stream, then `event`/`event_drop` lines and a
+/// final `telemetry` snapshot record) and/or a Prometheus
+/// text-exposition snapshot.
+fn write_telemetry_outputs(
+    args: &CliArgs,
+    telemetry: &Telemetry,
+    header: &RunHeader,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    use std::io::Write as _;
+    if let Some(path) = &args.telemetry_out {
+        let file = fs::File::create(path)
+            .map_err(|e| CliError::boxed(format!("cannot create {}: {e}", path.display())))?;
+        let mut w = BufWriter::new(file);
+        let body = serde_json::to_string(header)
+            .map_err(|e| CliError::boxed(format!("header serialization failed: {e}")))?;
+        writeln!(w, "{{\"kind\":\"header\",\"data\":{body}}}")?;
+        telemetry.write_events_jsonl(&mut w)?;
+        telemetry.write_snapshot_jsonl(&mut w)?;
+        w.flush()?;
+        writeln!(out, "wrote {}", path.display())?;
+    }
+    if let Some(path) = &args.prom_out {
+        let file = fs::File::create(path)
+            .map_err(|e| CliError::boxed(format!("cannot create {}: {e}", path.display())))?;
+        let mut w = BufWriter::new(file);
+        telemetry.write_prometheus(&mut w)?;
+        w.flush()?;
+        writeln!(out, "wrote {}", path.display())?;
+    }
+    Ok(())
 }
 
 fn load_config(args: &CliArgs) -> Result<ScenarioConfig, Box<dyn Error>> {
@@ -329,7 +407,8 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
                 run_cfg.offline_opts.parallelism = par;
                 run_cfg.online_opts.parallelism = par;
             }
-            let outcome = run_scheme(scheme, &scenario, &run_cfg)?;
+            let telemetry = telemetry_for(args);
+            let outcome = run_scheme_observed(scheme, &scenario, &run_cfg, &telemetry)?;
             writeln!(out, "scheme            {}", outcome.label)?;
             writeln!(out, "total cost        {:.3}", outcome.breakdown.total())?;
             writeln!(
@@ -359,6 +438,17 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
                 })?;
                 writeln!(out, "wrote {}", path.display())?;
             }
+            if telemetry.is_enabled() {
+                let header = RunHeader {
+                    policy: outcome.label.clone(),
+                    seed: args.seed,
+                    noise_seed: run_cfg.predictor_seed,
+                    eta: run_cfg.eta,
+                    window: run_cfg.window,
+                    horizon: Some(scenario.demand.horizon()),
+                };
+                write_telemetry_outputs(args, &telemetry, &header, out)?;
+            }
         }
         "serve" => {
             let summary = run_serve(args)?;
@@ -379,13 +469,17 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
             )?;
             writeln!(
                 out,
-                "solve latency      mean {:.1}us  p50<={}us  p95<={}us  max {}us",
+                "solve latency      mean {:.1}us  p50<={}us  p95<={}us  p99<={}us  max {}us",
                 summary.solve_latency.mean_us,
                 summary.solve_latency.p50_us,
                 summary.solve_latency.p95_us,
+                summary.solve_latency.p99_us,
                 summary.solve_latency.max_us
             )?;
-            if let Some(path) = &args.metrics_out {
+            for path in [&args.metrics_out, &args.telemetry_out, &args.prom_out]
+                .into_iter()
+                .flatten()
+            {
                 writeln!(out, "wrote {}", path.display())?;
             }
         }
@@ -441,7 +535,8 @@ pub fn run_serve(args: &CliArgs) -> Result<ServeSummary, Box<dyn Error>> {
     let mut serve_cfg = ServeConfig::new(run_cfg.window, args.seed);
     serve_cfg.noise = NoiseModel::new(run_cfg.eta, run_cfg.predictor_seed);
     let model = CostModel::paper();
-    let engine = ServeEngine::new(&network, &model, serve_cfg);
+    let telemetry = telemetry_for(args);
+    let engine = ServeEngine::new(&network, &model, serve_cfg).with_telemetry(telemetry.clone());
     let initial = CacheState::empty(&network);
 
     let report = match &args.metrics_out {
@@ -453,6 +548,17 @@ pub fn run_serve(args: &CliArgs) -> Result<ServeSummary, Box<dyn Error>> {
         }
         None => engine.run(&mut source, policy.as_mut(), initial, &mut NullSink)?,
     };
+    if telemetry.is_enabled() {
+        // The "wrote …" lines are printed by `execute`; swallow them
+        // here so `run_serve` stays usable as a quiet library call.
+        write_telemetry_outputs(
+            args,
+            &telemetry,
+            &report.summary.header,
+            &mut std::io::sink(),
+        )
+        .map_err(|e| CliError::boxed(format!("telemetry output failed: {e}")))?;
+    }
     Ok(report.summary)
 }
 
@@ -631,6 +737,149 @@ mod tests {
                 "malformed JSON-lines record: {line}"
             );
         }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let args = parse_args(&strings(&[
+            "serve",
+            "--slots",
+            "10",
+            "--telemetry-out",
+            "/tmp/t.jsonl",
+            "--prom-out",
+            "/tmp/t.prom",
+        ]))
+        .unwrap();
+        assert_eq!(
+            args.telemetry_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+        assert_eq!(
+            args.prom_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.prom"))
+        );
+        assert!(parse_args(&strings(&["serve", "--telemetry-out"])).is_err());
+        assert!(parse_args(&strings(&["run", "--prom-out"])).is_err());
+    }
+
+    #[test]
+    fn serve_writes_telemetry_and_prometheus_files() {
+        let dir = std::env::temp_dir().join("jocal-cli-telemetry-test");
+        fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("t.jsonl");
+        let prom = dir.join("t.prom");
+        let args = parse_args(&strings(&[
+            "serve",
+            "--scheme",
+            "chc",
+            "--horizon",
+            "6",
+            "--window",
+            "3",
+            "--seed",
+            "7",
+            "--telemetry-out",
+            jsonl.to_str().unwrap(),
+            "--prom-out",
+            prom.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(&args, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("p99<="), "summary line carries p99: {text}");
+        assert!(text.contains(&format!("wrote {}", jsonl.display())));
+        assert!(text.contains(&format!("wrote {}", prom.display())));
+
+        // JSON-lines stream leads with the seeds-carrying header.
+        let events = fs::read_to_string(&jsonl).unwrap();
+        let first = events.lines().next().unwrap();
+        assert!(first.starts_with("{\"kind\":\"header\""), "got: {first}");
+        assert!(first.contains("\"seed\""));
+        assert!(
+            events
+                .lines()
+                .last()
+                .unwrap()
+                .contains("\"kind\":\"telemetry\""),
+            "snapshot record closes the stream"
+        );
+
+        // The Prometheus snapshot carries the headline metric families
+        // even when a given counter never fired.
+        let snapshot = fs::read_to_string(&prom).unwrap();
+        for name in [
+            "pd_iterations",
+            "pd_dual_residual_norm_1e6",
+            "window_solve_us",
+            "chc_rounding_flips_total",
+            "repair_scale_passes_total",
+        ] {
+            assert!(snapshot.contains(name), "missing {name} in:\n{snapshot}");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_command_writes_telemetry_outputs() {
+        let dir = std::env::temp_dir().join("jocal-cli-run-telemetry-test");
+        fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("run.jsonl");
+        let args = parse_args(&strings(&[
+            "run",
+            "--scheme",
+            "rhc",
+            "--horizon",
+            "5",
+            "--window",
+            "2",
+            "--seed",
+            "3",
+            "--telemetry-out",
+            jsonl.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(&args, &mut buf).unwrap();
+        let events = fs::read_to_string(&jsonl).unwrap();
+        assert!(events
+            .lines()
+            .next()
+            .unwrap()
+            .starts_with("{\"kind\":\"header\""));
+        assert!(
+            events.contains("window_solves_total"),
+            "batch run records window solves:\n{events}"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_telemetry_does_not_perturb_the_run() {
+        let dir = std::env::temp_dir().join("jocal-cli-telemetry-parity-test");
+        fs::create_dir_all(&dir).unwrap();
+        let run = |telemetry: bool| {
+            let mut argv = strings(&[
+                "serve",
+                "--scheme",
+                "chc",
+                "--horizon",
+                "5",
+                "--window",
+                "2",
+                "--seed",
+                "13",
+            ]);
+            if telemetry {
+                argv.push("--prom-out".into());
+                argv.push(dir.join("parity.prom").to_str().unwrap().into());
+            }
+            let s = run_serve(&parse_args(&argv).unwrap()).unwrap();
+            (s.requests, s.sbs_served.to_bits(), s.cost.total().to_bits())
+        };
+        assert_eq!(run(false), run(true));
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -22,6 +22,7 @@
 //!   solved with the in-repo simplex; used to cross-check the flow
 //!   solution on small instances.
 
+use crate::observe::SubSolveMetrics;
 use crate::plan::{CachePlan, CacheState};
 use crate::problem::ProblemInstance;
 use crate::tensor::Tensor4;
@@ -30,6 +31,7 @@ use crate::CoreError;
 use jocal_optim::mcmf::{FlowGoal, FlowNetwork};
 use jocal_optim::simplex::{LinearProgram, Sense};
 use jocal_sim::topology::{ContentId, SbsId};
+use std::time::Instant;
 
 /// Solution of `P1` for one SBS: the caching trajectory and the objective
 /// value `h − Σ r·x`.
@@ -232,28 +234,53 @@ pub fn solve_caching_all_with(
     mu: &Tensor4,
     parallelism: Parallelism,
 ) -> Result<(CachePlan, f64), CoreError> {
+    solve_caching_all_observed(problem, mu, parallelism, &SubSolveMetrics::disabled())
+}
+
+/// [`solve_caching_all_with`] recording per-SBS flow-solve spans into
+/// `metrics`. Span observation happens during the SBS-order assembly,
+/// so enabling it cannot perturb the plan.
+///
+/// # Errors
+///
+/// Propagates sub-solver failures.
+pub fn solve_caching_all_observed(
+    problem: &ProblemInstance,
+    mu: &Tensor4,
+    parallelism: Parallelism,
+    metrics: &SubSolveMetrics,
+) -> Result<(CachePlan, f64), CoreError> {
     let horizon = problem.horizon();
     let network = problem.network();
+    let timed = metrics.is_enabled();
     let results = parallel_map_with(
         parallelism,
         network.num_sbs(),
         SlotWorkspace::new,
         |ws, i| {
+            let started = timed.then(Instant::now);
             let sub = SbsSubproblem::new(problem, SbsId(i));
             sub.fill_rewards(mu, ws);
             sub.fill_initial_cache(ws);
-            solve_caching_mcmf(
+            let res = solve_caching_mcmf(
                 sub.sbs().cache_capacity(),
                 sub.sbs().replacement_cost(),
                 &ws.initially_cached,
                 &ws.rewards,
-            )
+            );
+            let elapsed_us = started.map_or(0, |s| {
+                u64::try_from(s.elapsed().as_micros()).unwrap_or(u64::MAX)
+            });
+            (res, elapsed_us)
         },
     );
     let mut plan = CachePlan::empty(network, horizon);
     let mut objective = 0.0;
-    for (i, res) in results.into_iter().enumerate() {
+    for (i, (res, elapsed_us)) in results.into_iter().enumerate() {
         let sol = res?;
+        if timed {
+            metrics.span_us.observe(elapsed_us);
+        }
         let n = SbsId(i);
         objective += sol.objective;
         for (t, row) in sol.x.iter().enumerate() {

@@ -54,6 +54,7 @@ pub mod distributed;
 pub mod error;
 pub mod fastslot;
 pub mod loadbalance;
+pub mod observe;
 pub mod offline;
 pub mod overlap;
 pub mod plan;
@@ -65,6 +66,7 @@ pub mod workspace;
 pub use accounting::CostBreakdown;
 pub use cost::{CostFunction, CostModel};
 pub use error::CoreError;
+pub use observe::SubSolveMetrics;
 pub use plan::{CachePlan, CacheState, LoadPlan};
 pub use problem::ProblemInstance;
-pub use workspace::{Parallelism, SbsSubproblem, SlotWorkspace};
+pub use workspace::{Parallelism, SbsSubproblem, SlotSolveStats, SlotWorkspace};

@@ -30,12 +30,16 @@
 //! bitwise identical plans and objectives.
 
 use crate::cost::CostModel;
+use crate::observe::SubSolveMetrics;
 use crate::plan::{CachePlan, LoadPlan};
 use crate::problem::ProblemInstance;
 use crate::tensor::Tensor4;
-use crate::workspace::{parallel_map_with, Parallelism, SbsSubproblem, SlotWorkspace};
+use crate::workspace::{
+    parallel_map_with, Parallelism, SbsSubproblem, SlotSolveStats, SlotWorkspace,
+};
 use crate::CoreError;
 use jocal_sim::topology::SbsId;
+use std::time::Instant;
 
 /// Solves one `(n, t)` slot of `P2`.
 ///
@@ -85,8 +89,9 @@ pub fn solve_load_slot(
 }
 
 /// Solves the per-SBS column (all slots of SBS `n`) into a fresh flat
-/// buffer laid out as `t · block + (m·K + k)`. Returns the buffer and
-/// the SBS's summed slot objectives.
+/// buffer laid out as `t · block + (m·K + k)`. Returns the buffer, the
+/// SBS's summed slot objectives, and the worker's solve-stat delta for
+/// the column (merged by the driver in SBS order).
 fn solve_sbs_column(
     sub: &SbsSubproblem<'_>,
     ws: &mut SlotWorkspace,
@@ -95,10 +100,11 @@ fn solve_sbs_column(
     warm: Option<&LoadPlan>,
     horizon: usize,
     cost_model: &CostModel,
-) -> Result<(Vec<f64>, f64), CoreError> {
+) -> Result<(Vec<f64>, f64, SlotSolveStats), CoreError> {
     let block = sub.block_len();
     let mut col = vec![0.0; horizon * block];
     let mut objective = 0.0;
+    ws.stats = SlotSolveStats::default();
     sub.fill_weights(ws);
     for t in 0..horizon {
         sub.fill_demand(t, ws);
@@ -126,7 +132,8 @@ fn solve_sbs_column(
             &mut col[t * block..(t + 1) * block],
         )?;
     }
-    Ok((col, objective))
+    let stats = ws.stats.take();
+    Ok((col, objective, stats))
 }
 
 /// Shared driver: fans the per-SBS columns out, then scatters them into
@@ -139,6 +146,7 @@ fn solve_columns_into(
     warm: Option<&LoadPlan>,
     parallelism: Parallelism,
     out: &mut LoadPlan,
+    metrics: &SubSolveMetrics,
 ) -> Result<f64, CoreError> {
     let network = problem.network();
     let horizon = problem.horizon();
@@ -146,18 +154,25 @@ fn solve_columns_into(
         return Err(CoreError::shape("output load plan shape mismatch"));
     }
     let cost_model = problem.cost_model();
+    let timed = metrics.is_enabled();
     let results = parallel_map_with(
         parallelism,
         network.num_sbs(),
         SlotWorkspace::new,
         |ws, i| {
+            let started = timed.then(Instant::now);
             let sub = SbsSubproblem::new(problem, SbsId(i));
-            solve_sbs_column(&sub, ws, mu, x, warm, horizon, cost_model)
+            let res = solve_sbs_column(&sub, ws, mu, x, warm, horizon, cost_model);
+            let elapsed_us = started.map_or(0, |s| {
+                u64::try_from(s.elapsed().as_micros()).unwrap_or(u64::MAX)
+            });
+            (res, elapsed_us)
         },
     );
     let mut objective = 0.0;
-    for (i, res) in results.into_iter().enumerate() {
-        let (col, obj) = res?;
+    for (i, (res, elapsed_us)) in results.into_iter().enumerate() {
+        let (col, obj, stats) = res?;
+        metrics.record(&stats, elapsed_us);
         let n = SbsId(i);
         let block = out.tensor().sbs_block_len(n);
         for t in 0..horizon {
@@ -220,7 +235,33 @@ pub fn solve_load_all_into(
     parallelism: Parallelism,
     out: &mut LoadPlan,
 ) -> Result<f64, CoreError> {
-    solve_columns_into(problem, Some(mu), None, warm, parallelism, out)
+    solve_load_all_into_observed(
+        problem,
+        mu,
+        warm,
+        parallelism,
+        out,
+        &SubSolveMetrics::disabled(),
+    )
+}
+
+/// [`solve_load_all_into`] recording per-SBS solve spans and PGD
+/// counters into `metrics`. The decision output is bit-identical to the
+/// unobserved variant: worker counts are merged in SBS order and never
+/// feed back into the solve.
+///
+/// # Errors
+///
+/// Same contract as [`solve_load_all_into`].
+pub fn solve_load_all_into_observed(
+    problem: &ProblemInstance,
+    mu: &Tensor4,
+    warm: Option<&LoadPlan>,
+    parallelism: Parallelism,
+    out: &mut LoadPlan,
+    metrics: &SubSolveMetrics,
+) -> Result<f64, CoreError> {
+    solve_columns_into(problem, Some(mu), None, warm, parallelism, out, metrics)
 }
 
 /// Solves the exact optimal load balancing for a **fixed** caching plan,
@@ -272,6 +313,30 @@ pub fn solve_load_given_cache_into(
     parallelism: Parallelism,
     out: &mut LoadPlan,
 ) -> Result<f64, CoreError> {
+    solve_load_given_cache_into_observed(
+        problem,
+        x,
+        warm,
+        parallelism,
+        out,
+        &SubSolveMetrics::disabled(),
+    )
+}
+
+/// [`solve_load_given_cache_into`] recording per-SBS solve spans and
+/// PGD counters into `metrics` (see [`solve_load_all_into_observed`]).
+///
+/// # Errors
+///
+/// Same contract as [`solve_load_given_cache_into`].
+pub fn solve_load_given_cache_into_observed(
+    problem: &ProblemInstance,
+    x: &CachePlan,
+    warm: Option<&LoadPlan>,
+    parallelism: Parallelism,
+    out: &mut LoadPlan,
+    metrics: &SubSolveMetrics,
+) -> Result<f64, CoreError> {
     if x.horizon() != problem.horizon() {
         return Err(CoreError::shape(format!(
             "cache plan horizon {} != problem horizon {}",
@@ -279,7 +344,7 @@ pub fn solve_load_given_cache_into(
             problem.horizon()
         )));
     }
-    solve_columns_into(problem, None, Some(x), warm, parallelism, out)
+    solve_columns_into(problem, None, Some(x), warm, parallelism, out, metrics)
 }
 
 #[cfg(test)]

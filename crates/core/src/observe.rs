@@ -1,0 +1,143 @@
+//! Pre-resolved telemetry handle bundles for the solver hot paths.
+//!
+//! Metric resolution takes the registry lock, so the solvers resolve
+//! their handles **once** per solve (or per run) into these bundles and
+//! record through them lock-free afterwards. A default-constructed
+//! bundle is fully disabled: every record call is a branch on a `None`.
+//!
+//! Worker-side counts arrive as [`SlotSolveStats`] deltas carried on
+//! the per-SBS job results and are recorded here by the driving thread
+//! in SBS order (see [`crate::workspace`] for why that preserves
+//! bitwise determinism).
+
+use crate::workspace::SlotSolveStats;
+use jocal_telemetry::{Counter, Histogram, Telemetry};
+
+/// Handles for one family of per-SBS sub-solves (`P1` caching columns
+/// or `P2` load columns), named with a common prefix.
+///
+/// Metric names (for prefix `p2`):
+///
+/// * `p2_sbs_solve_us` — histogram of per-SBS column solve latency;
+/// * `p2_slot_solves_total`, `p2_trivial_slots_total`,
+///   `p2_fastpath_hits_total` — slot-solve counters;
+/// * `p2_pgd_iterations_total`, `p2_pgd_projections_total`,
+///   `p2_pgd_converged_total`, `p2_pgd_budget_exhausted_total`,
+///   `p2_pgd_step_floor_hits_total` — inner PGD counters.
+#[derive(Debug, Clone, Default)]
+pub struct SubSolveMetrics {
+    /// Per-SBS column solve latency (µs).
+    pub span_us: Histogram,
+    /// Slot solves performed.
+    pub slot_solves: Counter,
+    /// Trivial (empty or fully pinned) slots.
+    pub trivial_slots: Counter,
+    /// Fast-knapsack warm starts taken.
+    pub fastpath_hits: Counter,
+    /// PGD iterations.
+    pub pgd_iterations: Counter,
+    /// PGD projection-oracle invocations.
+    pub pgd_projections: Counter,
+    /// PGD runs that converged.
+    pub pgd_converged: Counter,
+    /// PGD runs stopped by the iteration budget.
+    pub pgd_budget_exhausted: Counter,
+    /// PGD line searches abandoned at the step floor.
+    pub pgd_step_floor_hits: Counter,
+}
+
+impl SubSolveMetrics {
+    /// A bundle that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Resolves the bundle's handles under `prefix` (e.g. `"p1"`,
+    /// `"p2"`, `"recovery"`). Disabled telemetry yields a disabled
+    /// bundle.
+    #[must_use]
+    pub fn resolve(telemetry: &Telemetry, prefix: &str) -> Self {
+        if !telemetry.is_enabled() {
+            // Skip the name formatting entirely: disabled resolution is
+            // called from hot setup paths and must not allocate.
+            return Self::default();
+        }
+        SubSolveMetrics {
+            span_us: telemetry.histogram(&format!("{prefix}_sbs_solve_us")),
+            slot_solves: telemetry.counter(&format!("{prefix}_slot_solves_total")),
+            trivial_slots: telemetry.counter(&format!("{prefix}_trivial_slots_total")),
+            fastpath_hits: telemetry.counter(&format!("{prefix}_fastpath_hits_total")),
+            pgd_iterations: telemetry.counter(&format!("{prefix}_pgd_iterations_total")),
+            pgd_projections: telemetry.counter(&format!("{prefix}_pgd_projections_total")),
+            pgd_converged: telemetry.counter(&format!("{prefix}_pgd_converged_total")),
+            pgd_budget_exhausted: telemetry
+                .counter(&format!("{prefix}_pgd_budget_exhausted_total")),
+            pgd_step_floor_hits: telemetry.counter(&format!("{prefix}_pgd_step_floor_hits_total")),
+        }
+    }
+
+    /// Whether any handle records anywhere. Workers consult this before
+    /// reading the clock for span measurement.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.span_us.is_enabled()
+    }
+
+    /// Records one per-SBS column: its solve-stat delta and its
+    /// latency. Called by the driving thread during the SBS-order
+    /// reduction.
+    pub fn record(&self, stats: &SlotSolveStats, elapsed_us: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.span_us.observe(elapsed_us);
+        self.slot_solves.add(stats.solves);
+        self.trivial_slots.add(stats.trivial_slots);
+        self.fastpath_hits.add(stats.fastpath_hits);
+        self.pgd_iterations.add(stats.pgd_iterations);
+        self.pgd_projections.add(stats.pgd_projections);
+        self.pgd_converged.add(stats.pgd_converged);
+        self.pgd_budget_exhausted.add(stats.pgd_budget_exhausted);
+        self.pgd_step_floor_hits.add(stats.pgd_step_floor_hits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_bundle_records_nothing() {
+        let m = SubSolveMetrics::disabled();
+        assert!(!m.is_enabled());
+        m.record(
+            &SlotSolveStats {
+                solves: 5,
+                ..Default::default()
+            },
+            100,
+        );
+        assert_eq!(m.slot_solves.get(), 0);
+    }
+
+    #[test]
+    fn resolved_bundle_accumulates() {
+        let tele = Telemetry::enabled();
+        let m = SubSolveMetrics::resolve(&tele, "p2");
+        assert!(m.is_enabled());
+        let stats = SlotSolveStats {
+            solves: 3,
+            pgd_iterations: 40,
+            pgd_converged: 3,
+            ..Default::default()
+        };
+        m.record(&stats, 250);
+        m.record(&stats, 750);
+        assert_eq!(tele.counter("p2_slot_solves_total").get(), 6);
+        assert_eq!(tele.counter("p2_pgd_iterations_total").get(), 80);
+        let snap = tele.histogram("p2_sbs_solve_us").snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max, 750);
+    }
+}

@@ -45,6 +45,21 @@ impl OfflineSolver {
     ///
     /// Propagates [`PrimalDualSolver`] failures.
     pub fn solve(&self, problem: &ProblemInstance) -> Result<OfflineSolution, CoreError> {
+        self.solve_observed(problem, &jocal_telemetry::Telemetry::disabled())
+    }
+
+    /// [`Self::solve`] with telemetry forwarded to the inner
+    /// [`PrimalDualSolver`] (`pd_*`, `p1_*`, `p2_*` metric families and
+    /// the `pd_iter` convergence-event trace).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PrimalDualSolver`] failures.
+    pub fn solve_observed(
+        &self,
+        problem: &ProblemInstance,
+        telemetry: &jocal_telemetry::Telemetry,
+    ) -> Result<OfflineSolution, CoreError> {
         let PrimalDualSolution {
             cache_plan,
             load_plan,
@@ -53,7 +68,9 @@ impl OfflineSolver {
             iterations,
             gap,
             ..
-        } = PrimalDualSolver::new(self.options).solve(problem)?;
+        } = PrimalDualSolver::new(self.options)
+            .with_telemetry(telemetry.clone())
+            .solve(problem)?;
         Ok(OfflineSolution {
             cache_plan,
             load_plan,

@@ -18,10 +18,11 @@
 //! budget is exhausted, returning the best feasible plan found.
 
 use crate::accounting::{evaluate_plan, CostBreakdown};
-use crate::caching::solve_caching_all_with;
+use crate::caching::solve_caching_all_observed;
 use crate::loadbalance::{
-    solve_load_all_into, solve_load_given_cache_into, solve_load_given_cache_with,
+    solve_load_all_into_observed, solve_load_given_cache_into_observed, solve_load_given_cache_with,
 };
+use crate::observe::SubSolveMetrics;
 use crate::plan::{verify_feasible, CachePlan, LoadPlan};
 use crate::problem::ProblemInstance;
 use crate::tensor::Tensor4;
@@ -29,6 +30,7 @@ use crate::workspace::Parallelism;
 use crate::CoreError;
 use jocal_optim::subgradient::{DualAscent, StepSchedule};
 use jocal_sim::topology::{ClassId, ContentId};
+use jocal_telemetry::{Counter, FieldValue, Gauge, Histogram, Telemetry};
 
 /// Options controlling the primal-dual loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,17 +132,85 @@ pub struct PrimalDualSolution {
     pub history: Vec<IterationStats>,
 }
 
+/// Pre-resolved handles for one primal-dual solve; all disabled when
+/// the solver's telemetry is.
+#[derive(Default)]
+struct PdMetrics {
+    solve_us: Histogram,
+    solves: Counter,
+    iterations: Counter,
+    iterations_hist: Histogram,
+    converged: Counter,
+    last_gap: Gauge,
+    dual_residual: Histogram,
+    mu_clipped: Counter,
+    p1_us: Histogram,
+    p2_us: Histogram,
+    recovery_us: Histogram,
+    p1: SubSolveMetrics,
+    p2: SubSolveMetrics,
+    recovery: SubSolveMetrics,
+}
+
+impl PdMetrics {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        if !telemetry.is_enabled() {
+            return Self::default();
+        }
+        PdMetrics {
+            solve_us: telemetry.histogram("pd_solve_us"),
+            solves: telemetry.counter("pd_solves_total"),
+            iterations: telemetry.counter("pd_iterations_total"),
+            iterations_hist: telemetry.histogram("pd_iterations"),
+            converged: telemetry.counter("pd_converged_total"),
+            last_gap: telemetry.gauge("pd_last_gap"),
+            dual_residual: telemetry.histogram("pd_dual_residual_norm_1e6"),
+            mu_clipped: telemetry.counter("pd_mu_clipped_total"),
+            p1_us: telemetry.histogram("pd_p1_solve_us"),
+            p2_us: telemetry.histogram("pd_p2_solve_us"),
+            recovery_us: telemetry.histogram("pd_recovery_solve_us"),
+            p1: SubSolveMetrics::resolve(telemetry, "p1"),
+            p2: SubSolveMetrics::resolve(telemetry, "p2"),
+            recovery: SubSolveMetrics::resolve(telemetry, "recovery"),
+        }
+    }
+}
+
 /// The primal-dual solver (Algorithm 1 of the paper).
 #[derive(Debug, Clone, Default)]
 pub struct PrimalDualSolver {
     options: PrimalDualOptions,
+    telemetry: Telemetry,
 }
 
 impl PrimalDualSolver {
-    /// Creates a solver with the given options.
+    /// Creates a solver with the given options (telemetry disabled).
     #[must_use]
     pub fn new(options: PrimalDualOptions) -> Self {
-        PrimalDualSolver { options }
+        PrimalDualSolver {
+            options,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle (builder style). Observation never
+    /// changes solutions: all recording is either off the decision path
+    /// or merged in SBS order.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a telemetry handle in place.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configured options.
@@ -204,6 +274,9 @@ impl PrimalDualSolver {
     ) -> Result<PrimalDualSolution, CoreError> {
         let opts = &self.options;
         let par = opts.parallelism;
+        let observing = self.telemetry.is_enabled();
+        let pd = PdMetrics::resolve(&self.telemetry);
+        let solve_span = pd.solve_us.start_span();
         let network = problem.network();
         let horizon = problem.horizon();
         let scale = opts
@@ -259,9 +332,19 @@ impl PrimalDualSolver {
         for l in 0..opts.max_iterations {
             iterations = l + 1;
             // --- Primal step: solve P1 and P2 under current μ. ----------
-            let (x_plan, p1_obj) = solve_caching_all_with(problem, &mu, par)?;
-            let p2_obj =
-                solve_load_all_into(problem, &mu, have_warm.then_some(&y_warm), par, &mut y_next)?;
+            let p1_span = pd.p1_us.start_span();
+            let (x_plan, p1_obj) = solve_caching_all_observed(problem, &mu, par, &pd.p1)?;
+            pd.p1_us.record_span(p1_span);
+            let p2_span = pd.p2_us.start_span();
+            let p2_obj = solve_load_all_into_observed(
+                problem,
+                &mu,
+                have_warm.then_some(&y_warm),
+                par,
+                &mut y_next,
+                &pd.p2,
+            )?;
+            pd.p2_us.record_span(p2_span);
             std::mem::swap(&mut y_next, &mut y_warm);
             have_warm = true;
             let y_plan = &y_warm;
@@ -271,13 +354,16 @@ impl PrimalDualSolver {
 
             // --- Primal recovery: exact Y for the integral X. ------------
             if l % opts.recovery_every.max(1) == 0 || l + 1 == opts.max_iterations {
-                solve_load_given_cache_into(
+                let recovery_span = pd.recovery_us.start_span();
+                solve_load_given_cache_into_observed(
                     problem,
                     &x_plan,
                     have_rec_warm.then_some(&rec_warm),
                     par,
                     &mut rec_next,
+                    &pd.recovery,
                 )?;
+                pd.recovery_us.record_span(recovery_span);
                 std::mem::swap(&mut rec_next, &mut rec_warm);
                 have_rec_warm = true;
                 let y_feas = &rec_warm;
@@ -305,6 +391,7 @@ impl PrimalDualSolver {
             }
 
             // --- Dual update (eq. 15–17). --------------------------------
+            let step = ascent.current_step();
             let y_data = y_plan.tensor().as_slice();
             // x needs expanding to the (t, n, m, k) layout.
             let mut idx = 0usize;
@@ -325,12 +412,55 @@ impl PrimalDualSolver {
             }
             ascent.ascend(&violation);
             mu.as_mut_slice().copy_from_slice(ascent.multipliers());
+
+            if observing {
+                // Convergence trace: everything off the decision path.
+                let residual_norm = violation.iter().map(|v| v * v).sum::<f64>().sqrt();
+                pd.dual_residual
+                    .observe((residual_norm * 1e6).round() as u64);
+                pd.mu_clipped.add(ascent.last_clipped() as u64);
+                self.telemetry.event(
+                    "pd_iter",
+                    &[
+                        ("iteration", FieldValue::U64(iterations as u64)),
+                        ("lower_bound", FieldValue::F64(ascent.lower_bound())),
+                        ("upper_bound", FieldValue::F64(ascent.upper_bound())),
+                        ("gap", FieldValue::F64(ascent.relative_gap())),
+                        ("step", FieldValue::F64(step)),
+                        ("residual_norm", FieldValue::F64(residual_norm)),
+                        ("p1_objective", FieldValue::F64(p1_obj)),
+                        ("p2_objective", FieldValue::F64(p2_obj)),
+                        ("mu_clipped", FieldValue::U64(ascent.last_clipped() as u64)),
+                    ],
+                );
+            }
         }
 
         let Some((cache_plan, load_plan, breakdown)) = best else {
             return Err(CoreError::NoFeasibleSolution { iterations });
         };
         let gap = ascent.relative_gap();
+        if observing {
+            pd.solve_us.record_span(solve_span);
+            pd.solves.incr();
+            pd.iterations.add(iterations as u64);
+            pd.iterations_hist.observe(iterations as u64);
+            if gap <= opts.epsilon {
+                pd.converged.incr();
+            }
+            pd.last_gap.set(gap);
+            self.telemetry.event(
+                "pd_done",
+                &[
+                    ("iterations", FieldValue::U64(iterations as u64)),
+                    ("gap", FieldValue::F64(gap)),
+                    (
+                        "converged",
+                        FieldValue::Str(if gap <= opts.epsilon { "yes" } else { "no" }),
+                    ),
+                ],
+            );
+        }
         Ok(PrimalDualSolution {
             cache_plan,
             load_plan,
@@ -438,6 +568,42 @@ mod tests {
         }
         let last = sol.history.last().unwrap();
         assert!((last.gap - sol.gap).abs() < 1e-9 || sol.converged);
+    }
+
+    #[test]
+    fn telemetry_neither_perturbs_solutions_nor_stays_silent() {
+        let s = ScenarioConfig::tiny().build(9).unwrap();
+        let problem = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+        let opts = PrimalDualOptions {
+            max_iterations: 10,
+            ..Default::default()
+        };
+        let plain = PrimalDualSolver::new(opts).solve(&problem).unwrap();
+        let tele = Telemetry::enabled();
+        let observed = PrimalDualSolver::new(opts)
+            .with_telemetry(tele.clone())
+            .solve(&problem)
+            .unwrap();
+        // Bit-identical decisions and bounds.
+        assert_eq!(plain.cache_plan, observed.cache_plan);
+        assert_eq!(plain.load_plan, observed.load_plan);
+        assert_eq!(
+            plain.breakdown.total().to_bits(),
+            observed.breakdown.total().to_bits()
+        );
+        assert_eq!(plain.lower_bound.to_bits(), observed.lower_bound.to_bits());
+        // ... while the registry saw the solve.
+        assert_eq!(tele.counter("pd_solves_total").get(), 1);
+        assert_eq!(
+            tele.counter("pd_iterations_total").get(),
+            observed.iterations as u64
+        );
+        assert!(tele.histogram("p2_sbs_solve_us").snapshot().count >= 1);
+        assert!(tele.histogram("p1_sbs_solve_us").snapshot().count >= 1);
+        assert!(tele.counter("p2_slot_solves_total").get() >= 1);
+        let events = tele.take_events();
+        assert!(events.iter().any(|e| e.name == "pd_iter"));
+        assert!(events.iter().any(|e| e.name == "pd_done"));
     }
 
     #[test]

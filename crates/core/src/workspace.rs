@@ -147,6 +147,55 @@ where
     parallel_map_with(parallelism, jobs, || (), |(), i| run(i))
 }
 
+/// Plain (non-atomic) counters a worker's [`SlotWorkspace`] accumulates
+/// across slot solves.
+///
+/// These are the sharded half of the telemetry story: each worker
+/// thread counts into its own workspace with ordinary integer adds (no
+/// atomics, no locks in the solve path), the deltas ride back on the
+/// per-SBS job results, and the driving thread merges them **in SBS
+/// order** — so enabling telemetry can never perturb the deterministic
+/// fan-out or its reduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotSolveStats {
+    /// Slot solves performed (including trivial/empty slots).
+    pub solves: u64,
+    /// Slots answered without running PGD (empty or fully pinned).
+    pub trivial_slots: u64,
+    /// Slots seeded by the fast-knapsack closed form before the PGD
+    /// polish.
+    pub fastpath_hits: u64,
+    /// Total PGD iterations across slot solves.
+    pub pgd_iterations: u64,
+    /// Total projection-oracle invocations.
+    pub pgd_projections: u64,
+    /// PGD runs that met the residual tolerance.
+    pub pgd_converged: u64,
+    /// PGD runs stopped by the iteration budget.
+    pub pgd_budget_exhausted: u64,
+    /// Line searches abandoned at the step floor.
+    pub pgd_step_floor_hits: u64,
+}
+
+impl SlotSolveStats {
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &SlotSolveStats) {
+        self.solves += other.solves;
+        self.trivial_slots += other.trivial_slots;
+        self.fastpath_hits += other.fastpath_hits;
+        self.pgd_iterations += other.pgd_iterations;
+        self.pgd_projections += other.pgd_projections;
+        self.pgd_converged += other.pgd_converged;
+        self.pgd_budget_exhausted += other.pgd_budget_exhausted;
+        self.pgd_step_floor_hits += other.pgd_step_floor_hits;
+    }
+
+    /// Takes the accumulated counts, resetting `self` to zero.
+    pub fn take(&mut self) -> SlotSolveStats {
+        std::mem::take(self)
+    }
+}
+
 /// Preallocated working memory for per-SBS slot solves.
 ///
 /// Input buffers (`omega_*`, `lambda`, `linear`, `upper`, `warm`) are
@@ -174,6 +223,10 @@ pub struct SlotWorkspace {
     /// Initial cache indicator per content, filled by
     /// [`SbsSubproblem::fill_initial_cache`].
     pub initially_cached: Vec<bool>,
+    /// Solve counters accumulated across [`Self::solve_filled_slot`]
+    /// calls; drained by the observed fan-out drivers via
+    /// [`SlotSolveStats::take`].
+    pub stats: SlotSolveStats,
     // Internal scratch for the compressed slot solve.
     a: Vec<f64>,
     b: Vec<f64>,
@@ -230,7 +283,9 @@ impl SlotWorkspace {
         if self.omega_sbs.len() != m_total {
             return Err(CoreError::shape("omega_sbs length mismatch"));
         }
+        self.stats.solves += 1;
         if m_total == 0 || self.lambda.is_empty() {
+            self.stats.trivial_slots += 1;
             out.fill(0.0);
             return Ok(0.0);
         }
@@ -271,6 +326,7 @@ impl SlotWorkspace {
             fy,
             fastslot,
             pgd,
+            stats,
             ..
         } = self;
 
@@ -299,6 +355,7 @@ impl SlotWorkspace {
         );
 
         if free.is_empty() {
+            stats.trivial_slots += 1;
             out.fill(0.0);
             return Ok(cost_model.bs_cost.value(u0) + cost_model.sbs_cost.value(0.0));
         }
@@ -335,6 +392,7 @@ impl SlotWorkspace {
                 fastslot,
                 fy,
             )?;
+            stats.fastpath_hits += 1;
             pgd_opts.max_iters = 80;
         } else {
             fy.clear();
@@ -371,12 +429,20 @@ impl SlotWorkspace {
             y.copy_from_slice(&p);
         };
 
-        let stats = minimize_with_scratch(objective, gradient, project, fy, pgd_opts, pgd)?;
+        let run = minimize_with_scratch(objective, gradient, project, fy, pgd_opts, pgd)?;
+        stats.pgd_iterations += run.iterations as u64;
+        stats.pgd_projections += run.projections as u64;
+        stats.pgd_step_floor_hits += run.step_floor_hits as u64;
+        if run.converged {
+            stats.pgd_converged += 1;
+        } else {
+            stats.pgd_budget_exhausted += 1;
+        }
         out.fill(0.0);
         for (slot, &i) in free.iter().enumerate() {
             out[i] = fy[slot];
         }
-        Ok(stats.objective)
+        Ok(run.objective)
     }
 }
 

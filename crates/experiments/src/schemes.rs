@@ -17,9 +17,10 @@ use jocal_online::chc::ChcPolicy;
 use jocal_online::policy::OnlinePolicy;
 use jocal_online::rhc::RhcPolicy;
 use jocal_online::rounding::RoundingPolicy;
-use jocal_online::runner::run_policy;
+use jocal_online::runner::run_policy_observed;
 use jocal_sim::predictor::NoisyPredictor;
 use jocal_sim::scenario::Scenario;
+use jocal_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// A competitor scheme from Section V-A.
@@ -183,6 +184,24 @@ pub fn run_scheme(
     scenario: &Scenario,
     config: &RunConfig,
 ) -> Result<SchemeOutcome, CoreError> {
+    run_scheme_observed(scheme, scenario, config, &Telemetry::disabled())
+}
+
+/// [`run_scheme`] with telemetry attached: online policies are
+/// instrumented (window-solve spans, rounding flips, repair reports,
+/// the inner primal-dual solver) and the offline solver forwards the
+/// handle to its primal-dual solve. Observation never changes results
+/// — with telemetry disabled this is exactly [`run_scheme`].
+///
+/// # Errors
+///
+/// Propagates solver failures from the underlying algorithms.
+pub fn run_scheme_observed(
+    scheme: Scheme,
+    scenario: &Scenario,
+    config: &RunConfig,
+    telemetry: &Telemetry,
+) -> Result<SchemeOutcome, CoreError> {
     let cost_model = CostModel::paper();
     let initial = CacheState::empty(&scenario.network);
     let breakdown = match build_online_policy(scheme, config) {
@@ -190,18 +209,19 @@ pub fn run_scheme(
             let problem =
                 ProblemInstance::fresh(scenario.network.clone(), scenario.demand.clone())?;
             OfflineSolver::new(config.offline_opts)
-                .solve(&problem)?
+                .solve_observed(&problem, telemetry)?
                 .breakdown
         }
         Some(mut policy) => {
             let predictor =
                 NoisyPredictor::new(scenario.demand.clone(), config.eta, config.predictor_seed);
-            run_policy(
+            run_policy_observed(
                 &scenario.network,
                 &cost_model,
                 &predictor,
                 policy.as_mut(),
                 initial,
+                telemetry,
             )?
             .breakdown
         }
@@ -250,6 +270,33 @@ mod tests {
                 out.label
             );
         }
+    }
+
+    #[test]
+    fn observed_scheme_run_matches_plain_bitwise() {
+        let scenario = ScenarioConfig::tiny().build(4).unwrap();
+        let config = RunConfig {
+            window: 3,
+            online_opts: PrimalDualOptions {
+                max_iterations: 8,
+                ..PrimalDualOptions::online()
+            },
+            ..Default::default()
+        };
+        let plain = run_scheme(Scheme::Rhc, &scenario, &config).unwrap();
+        let tele = Telemetry::enabled();
+        let observed = run_scheme_observed(Scheme::Rhc, &scenario, &config, &tele).unwrap();
+        assert_eq!(
+            plain.breakdown.total().to_bits(),
+            observed.breakdown.total().to_bits()
+        );
+        assert!(
+            tele.counter_with("window_solves_total", "policy", "RHC")
+                .get()
+                >= 1,
+            "observed run must record window solves"
+        );
+        assert!(tele.counter("pd_solves_total").get() >= 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! `r = 1` recovers RHC (up to the no-op rounding of an integral plan);
 //! `r = w` is AFHC (see [`crate::afhc`]).
 
+use crate::observe::{RoundingMetrics, WindowMetrics};
 use crate::policy::{Action, OnlinePolicy, PolicyContext};
 use crate::rounding::RoundingPolicy;
 use jocal_core::plan::{CacheState, LoadPlan};
@@ -20,7 +21,13 @@ use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver, WarmStart};
 use jocal_core::problem::ProblemInstance;
 use jocal_core::CoreError;
 use jocal_sim::topology::{ClassId, ContentId};
+use jocal_telemetry::Telemetry;
 use std::collections::VecDeque;
+
+/// Tolerance below which an averaged caching variable is treated as an
+/// exact 0 or 1 rather than a fractional value needing a rounding flip
+/// (`x̄` is a sum of `r` terms `1/r`, so accumulation error is tiny).
+const FRAC_TOL: f64 = 1e-9;
 
 /// One staggered fixed-horizon controller.
 #[derive(Debug, Clone)]
@@ -43,6 +50,8 @@ pub struct ChcPolicy {
     versions: Vec<FhcVersion>,
     started: bool,
     name: String,
+    metrics: WindowMetrics,
+    rounding_metrics: RoundingMetrics,
 }
 
 impl ChcPolicy {
@@ -72,6 +81,8 @@ impl ChcPolicy {
             versions: Vec::new(),
             started: false,
             name: format!("CHC(w={window},r={commitment})"),
+            metrics: WindowMetrics::disabled(),
+            rounding_metrics: RoundingMetrics::disabled(),
         }
     }
 
@@ -121,9 +132,12 @@ impl ChcPolicy {
             *ctx.cost_model,
             version.virtual_cache.clone(),
         )?;
+        let span = self.metrics.solve_us.start_span();
         let solution = self
             .solver
             .solve_with_warm(&problem, version.warm.as_ref())?;
+        self.metrics.solve_us.record_span(span);
+        self.metrics.solves.incr();
         let commit = commit.min(len);
         for s in 0..commit {
             let cache = solution.cache_plan.state(s).clone();
@@ -212,12 +226,42 @@ impl OnlinePolicy for ChcPolicy {
 
         // Round (Theorem 3).
         let (cache, load) = self.rounding.round_slot(network, &x_avg, &y_avg);
+
+        // Count the flips the ρ-threshold performed: fractional x̄
+        // forced up to 1, down to 0, or evicted by the capacity repair
+        // despite passing ρ. Pure observation — the rounded action
+        // above is already final.
+        if self.rounding_metrics.is_enabled() {
+            let rho = self.rounding.rho();
+            let (mut up, mut down, mut evicted) = (0u64, 0u64, 0u64);
+            for (n, _) in network.iter_sbs() {
+                for (k, &v) in x_avg[n.0].iter().enumerate() {
+                    if v <= FRAC_TOL || v >= 1.0 - FRAC_TOL {
+                        continue; // already integral: no flip needed
+                    }
+                    if v < rho {
+                        down += 1;
+                    } else if cache.contains(n, ContentId(k)) {
+                        up += 1;
+                    } else {
+                        evicted += 1;
+                    }
+                }
+            }
+            self.rounding_metrics.record(up, down, evicted);
+        }
         Ok(Action { cache, load })
     }
 
     fn reset(&mut self) {
         self.versions.clear();
         self.started = false;
+    }
+
+    fn instrument(&mut self, telemetry: &Telemetry) {
+        self.metrics = WindowMetrics::resolve(telemetry, &self.name);
+        self.rounding_metrics = RoundingMetrics::resolve(telemetry, &self.name);
+        self.solver.set_telemetry(telemetry.clone());
     }
 }
 

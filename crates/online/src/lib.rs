@@ -48,6 +48,7 @@
 
 pub mod afhc;
 pub mod chc;
+pub mod observe;
 pub mod policy;
 pub mod repair;
 pub mod rhc;
@@ -55,5 +56,6 @@ pub mod rounding;
 pub mod runner;
 pub mod theory;
 
+pub use observe::{RepairMetrics, RoundingMetrics, WindowMetrics};
 pub use policy::{Action, OnlinePolicy, PolicyContext};
 pub use rounding::RoundingPolicy;

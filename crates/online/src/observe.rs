@@ -1,0 +1,237 @@
+//! Pre-resolved telemetry handle bundles for the online controllers.
+//!
+//! Mirrors `jocal_core::observe`: resolution takes the registry lock, so
+//! each policy resolves its handles **once** when
+//! [`crate::policy::OnlinePolicy::instrument`] is called, then records
+//! through them lock-free per slot. Default-constructed bundles are
+//! fully disabled (every record call is one branch on a `None`), so the
+//! uninstrumented path stays allocation- and clock-free.
+
+use crate::repair::RepairReport;
+use jocal_telemetry::{Counter, Histogram, Telemetry};
+
+/// Handles for one policy's window solves, labeled by policy name.
+///
+/// Metric names: `window_solve_us{policy=…}` (latency histogram) and
+/// `window_solves_total{policy=…}` (solve counter). RHC resolves one
+/// bundle; CHC shares one bundle across its `r` staggered versions, so
+/// the histogram aggregates every `FHC^{(v)}` window solve.
+#[derive(Debug, Clone, Default)]
+pub struct WindowMetrics {
+    /// Window-solve latency (µs).
+    pub solve_us: Histogram,
+    /// Window solves performed.
+    pub solves: Counter,
+}
+
+impl WindowMetrics {
+    /// A bundle that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Resolves the bundle for the policy named `policy`. Disabled
+    /// telemetry yields a disabled bundle without allocating.
+    #[must_use]
+    pub fn resolve(telemetry: &Telemetry, policy: &str) -> Self {
+        if !telemetry.is_enabled() {
+            return Self::default();
+        }
+        WindowMetrics {
+            solve_us: telemetry.histogram_with("window_solve_us", "policy", policy),
+            solves: telemetry.counter_with("window_solves_total", "policy", policy),
+        }
+    }
+
+    /// Whether any handle records anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.solve_us.is_enabled()
+    }
+}
+
+/// Handles for CHC's ρ-threshold rounding step (Theorem 3), labeled by
+/// policy name.
+///
+/// A *flip* is a fractional averaged caching variable `x̄ ∈ (0, 1)`
+/// forced to an integer by the threshold: rounded **up** to `1` when
+/// `x̄ ≥ ρ`, **down** to `0` when `x̄ < ρ`. Entries that pass `ρ` but
+/// lose the top-`C_n` capacity repair are counted as **evictions**
+/// (also flips — they end at `0`).
+#[derive(Debug, Clone, Default)]
+pub struct RoundingMetrics {
+    /// Fractional variables integralized this run (up + down + evicted).
+    pub flips: Counter,
+    /// Fractional variables rounded up to `1` (`x̄ ≥ ρ`, kept).
+    pub round_up: Counter,
+    /// Fractional variables rounded down to `0` (`x̄ < ρ`).
+    pub round_down: Counter,
+    /// Variables passing `ρ` but dropped by the capacity repair.
+    pub capacity_evictions: Counter,
+}
+
+impl RoundingMetrics {
+    /// A bundle that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Resolves the bundle for the policy named `policy`.
+    #[must_use]
+    pub fn resolve(telemetry: &Telemetry, policy: &str) -> Self {
+        if !telemetry.is_enabled() {
+            return Self::default();
+        }
+        RoundingMetrics {
+            flips: telemetry.counter_with("chc_rounding_flips_total", "policy", policy),
+            round_up: telemetry.counter_with("chc_rounding_up_total", "policy", policy),
+            round_down: telemetry.counter_with("chc_rounding_down_total", "policy", policy),
+            capacity_evictions: telemetry.counter_with(
+                "chc_capacity_evictions_total",
+                "policy",
+                policy,
+            ),
+        }
+    }
+
+    /// Whether any handle records anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.flips.is_enabled()
+    }
+
+    /// Records one slot's flip tally.
+    pub fn record(&self, up: u64, down: u64, evicted: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.flips.add(up + down + evicted);
+        self.round_up.add(up);
+        self.round_down.add(down);
+        self.capacity_evictions.add(evicted);
+    }
+}
+
+/// Handles for the per-slot feasibility repair (see [`crate::repair`]).
+///
+/// Metric names: `repair_bandwidth_scaled_total` (SBSs scaled),
+/// `repair_scale_passes_total` (re-check passes), `repair_slots_total`
+/// (slots repaired), and `repair_scale_pct` — a histogram of the
+/// smallest effective scale factor applied per activated slot,
+/// expressed in percent so `p50 = 80` reads as "the median scaled slot
+/// kept 80% of its planned load".
+#[derive(Debug, Clone, Default)]
+pub struct RepairMetrics {
+    /// Slots passed through repair.
+    pub slots: Counter,
+    /// SBS load splits uniformly scaled down (bandwidth overflow).
+    pub bandwidth_scaled: Counter,
+    /// Bandwidth re-check passes executed.
+    pub scale_passes: Counter,
+    /// Smallest per-slot effective scale factor, in percent.
+    pub scale_pct: Histogram,
+}
+
+impl RepairMetrics {
+    /// A bundle that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Resolves the bundle (unlabeled: batch runner and streaming
+    /// engine repair through the same code path, so one family covers
+    /// both).
+    #[must_use]
+    pub fn resolve(telemetry: &Telemetry) -> Self {
+        if !telemetry.is_enabled() {
+            return Self::default();
+        }
+        RepairMetrics {
+            slots: telemetry.counter("repair_slots_total"),
+            bandwidth_scaled: telemetry.counter("repair_bandwidth_scaled_total"),
+            scale_passes: telemetry.counter("repair_scale_passes_total"),
+            scale_pct: telemetry.histogram("repair_scale_pct"),
+        }
+    }
+
+    /// Whether any handle records anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.slots.is_enabled()
+    }
+
+    /// Records one slot's repair report.
+    pub fn record(&self, report: &RepairReport) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.slots.incr();
+        self.bandwidth_scaled.add(report.bandwidth_scaled as u64);
+        self.scale_passes.add(report.scale_passes as u64);
+        if report.activated() {
+            let pct = (report.min_scale * 100.0).round().clamp(0.0, 100.0);
+            self.scale_pct.observe(pct as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_bundles_record_nothing() {
+        let w = WindowMetrics::disabled();
+        let r = RoundingMetrics::disabled();
+        let p = RepairMetrics::disabled();
+        assert!(!w.is_enabled() && !r.is_enabled() && !p.is_enabled());
+        w.solves.incr();
+        r.record(1, 2, 3);
+        p.record(&RepairReport {
+            bandwidth_scaled: 1,
+            scale_passes: 2,
+            min_scale: 0.5,
+        });
+        assert_eq!(w.solves.get(), 0);
+        assert_eq!(r.flips.get(), 0);
+        assert_eq!(p.scale_passes.get(), 0);
+    }
+
+    #[test]
+    fn rounding_flips_aggregate_directions() {
+        let tele = Telemetry::enabled();
+        let m = RoundingMetrics::resolve(&tele, "CHC(w=3,r=2)");
+        m.record(2, 3, 1);
+        assert_eq!(
+            tele.counter_with("chc_rounding_flips_total", "policy", "CHC(w=3,r=2)")
+                .get(),
+            6
+        );
+        assert_eq!(
+            tele.counter_with("chc_rounding_down_total", "policy", "CHC(w=3,r=2)")
+                .get(),
+            3
+        );
+    }
+
+    #[test]
+    fn repair_scale_recorded_only_when_activated() {
+        let tele = Telemetry::enabled();
+        let m = RepairMetrics::resolve(&tele);
+        m.record(&RepairReport::default()); // clean slot: no scale sample
+        m.record(&RepairReport {
+            bandwidth_scaled: 2,
+            scale_passes: 3,
+            min_scale: 0.25,
+        });
+        assert_eq!(tele.counter("repair_slots_total").get(), 2);
+        assert_eq!(tele.counter("repair_bandwidth_scaled_total").get(), 2);
+        assert_eq!(tele.counter("repair_scale_passes_total").get(), 3);
+        let snap = tele.histogram("repair_scale_pct").snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.max, 25);
+    }
+}

@@ -4,6 +4,7 @@ use jocal_core::plan::{CacheState, LoadPlan};
 use jocal_core::{CoreError, CostModel};
 use jocal_sim::predictor::PredictionWindow;
 use jocal_sim::topology::Network;
+use jocal_telemetry::Telemetry;
 use std::fmt;
 
 /// A single timeslot's decision: the caching state to hold during the
@@ -74,6 +75,15 @@ pub trait OnlinePolicy: fmt::Debug {
     /// Clears any internal state so the policy can be reused for a fresh
     /// run.
     fn reset(&mut self);
+
+    /// Attaches a telemetry handle: the policy resolves its metric
+    /// handles (e.g. `window_solve_us{policy=…}`) and forwards the
+    /// handle to any inner solver. Observation must never change
+    /// decisions — instrumented and plain runs are bit-identical.
+    ///
+    /// The default is a no-op so simple policies stay untouched.
+    /// Calling with [`Telemetry::disabled`] detaches again.
+    fn instrument(&mut self, _telemetry: &Telemetry) {}
 }
 
 #[cfg(test)]

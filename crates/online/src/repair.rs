@@ -14,11 +14,28 @@ use jocal_sim::demand::DemandTrace;
 use jocal_sim::topology::{ClassId, ContentId, Network};
 
 /// What the repair of one slot did (fed into serving metrics).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RepairReport {
     /// SBSs whose load split was uniformly scaled down because realized
     /// bandwidth exceeded `B_n`.
     pub bandwidth_scaled: usize,
+    /// Total bandwidth re-check passes executed across SBSs (each pass
+    /// scales and re-sums; clean slots report 0).
+    pub scale_passes: usize,
+    /// The smallest *effective* scale factor applied to any SBS this
+    /// slot (the product of its per-pass factors), `1.0` when no SBS
+    /// was scaled.
+    pub min_scale: f64,
+}
+
+impl Default for RepairReport {
+    fn default() -> Self {
+        RepairReport {
+            bandwidth_scaled: 0,
+            scale_passes: 0,
+            min_scale: 1.0,
+        }
+    }
 }
 
 impl RepairReport {
@@ -74,8 +91,10 @@ pub fn repair_slot(
         }
         // Bandwidth scaling, re-checked on the scaled values.
         let mut passes = 0;
+        let mut applied = 1.0;
         while used > sbs.bandwidth() && used > 0.0 {
             let scale = sbs.bandwidth() / used;
+            applied *= scale;
             used = 0.0;
             for m in 0..sbs.num_classes() {
                 for k in 0..network.num_contents() {
@@ -85,6 +104,8 @@ pub fn repair_slot(
                 }
             }
             report.bandwidth_scaled += usize::from(passes == 0);
+            report.scale_passes += 1;
+            report.min_scale = report.min_scale.min(applied);
             passes += 1;
             if passes >= 4 {
                 if used > sbs.bandwidth() + FEASIBILITY_TOL {
@@ -185,11 +206,29 @@ mod tests {
         let report =
             repair_slot(&s.network, &s.demand, 0, &cache, &mut load, 0, "test", 0).unwrap();
         assert!(report.activated());
+        assert!(report.scale_passes >= 1, "scaling ran at least one pass");
+        assert!(
+            report.min_scale > 0.0 && report.min_scale < 1.0,
+            "effective scale {} should be a real shrink",
+            report.min_scale
+        );
         let used = load.bandwidth_used(&s.demand, 0, SbsId(0));
         let b = s.network.sbs(SbsId(0)).unwrap().bandwidth();
         // The re-check guarantees the *scaled* values satisfy the
         // constraint; it is not assumed from the pre-scale sum.
         assert!(used <= b + FEASIBILITY_TOL, "used {used} > B {b}");
+    }
+
+    #[test]
+    fn clean_slot_reports_identity_scale() {
+        let s = ScenarioConfig::tiny().build(34).unwrap();
+        let cache = CacheState::empty(&s.network);
+        let mut load = LoadPlan::zeros(&s.network, 1);
+        let report =
+            repair_slot(&s.network, &s.demand, 0, &cache, &mut load, 0, "test", 0).unwrap();
+        assert!(!report.activated());
+        assert_eq!(report.scale_passes, 0);
+        assert_eq!(report.min_scale, 1.0);
     }
 
     #[test]

@@ -12,11 +12,13 @@
 //! next one — a large constant-factor speedup with no effect on the
 //! solution.
 
+use crate::observe::WindowMetrics;
 use crate::policy::{Action, OnlinePolicy, PolicyContext};
 use jocal_core::plan::LoadPlan;
 use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver, WarmStart};
 use jocal_core::problem::ProblemInstance;
 use jocal_core::CoreError;
+use jocal_telemetry::Telemetry;
 
 /// Receding Horizon Control.
 #[derive(Debug, Clone)]
@@ -24,6 +26,7 @@ pub struct RhcPolicy {
     window: usize,
     solver: PrimalDualSolver,
     warm: Option<WarmStart>,
+    metrics: WindowMetrics,
 }
 
 impl RhcPolicy {
@@ -41,6 +44,7 @@ impl RhcPolicy {
             window,
             solver: PrimalDualSolver::new(options),
             warm: None,
+            metrics: WindowMetrics::disabled(),
         }
     }
 
@@ -68,7 +72,10 @@ impl OnlinePolicy for RhcPolicy {
             *ctx.cost_model,
             ctx.current_cache.clone(),
         )?;
+        let span = self.metrics.solve_us.start_span();
         let solution = self.solver.solve_with_warm(&problem, self.warm.as_ref())?;
+        self.metrics.solve_us.record_span(span);
+        self.metrics.solves.incr();
 
         // Shift the dual state one slot forward for the next window.
         self.warm = Some(WarmStart {
@@ -87,6 +94,11 @@ impl OnlinePolicy for RhcPolicy {
 
     fn reset(&mut self) {
         self.warm = None;
+    }
+
+    fn instrument(&mut self, telemetry: &Telemetry) {
+        self.metrics = WindowMetrics::resolve(telemetry, "RHC");
+        self.solver.set_telemetry(telemetry.clone());
     }
 }
 

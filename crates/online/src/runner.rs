@@ -7,6 +7,7 @@
 //! and uniformly scaled down if the realized bandwidth usage
 //! `Σ λ_true y` exceeds `B_n` (predictions may understate demand).
 
+use crate::observe::RepairMetrics;
 use crate::policy::{OnlinePolicy, PolicyContext};
 use crate::repair::repair_slot;
 use jocal_core::accounting::{evaluate_per_slot, evaluate_plan, CostBreakdown};
@@ -15,6 +16,7 @@ use jocal_core::problem::ProblemInstance;
 use jocal_core::{CoreError, CostModel};
 use jocal_sim::predictor::Predictor;
 use jocal_sim::topology::{ClassId, ContentId, Network};
+use jocal_telemetry::Telemetry;
 
 /// Result of simulating one policy over the full horizon.
 #[derive(Debug, Clone)]
@@ -44,6 +46,35 @@ pub fn run_policy(
     policy: &mut dyn OnlinePolicy,
     initial: CacheState,
 ) -> Result<SimulationOutcome, CoreError> {
+    run_policy_observed(
+        network,
+        cost_model,
+        predictor,
+        policy,
+        initial,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_policy`] with telemetry attached: the policy is
+/// [instrumented](OnlinePolicy::instrument) before the run and every
+/// slot's repair report is recorded (`repair_*` metric family).
+/// Observation never changes decisions — with telemetry disabled this
+/// is exactly [`run_policy`].
+///
+/// # Errors
+///
+/// Same contract as [`run_policy`].
+pub fn run_policy_observed(
+    network: &Network,
+    cost_model: &CostModel,
+    predictor: &dyn Predictor,
+    policy: &mut dyn OnlinePolicy,
+    initial: CacheState,
+    telemetry: &Telemetry,
+) -> Result<SimulationOutcome, CoreError> {
+    policy.instrument(telemetry);
+    let repair_metrics = RepairMetrics::resolve(telemetry);
     let truth = predictor.truth().clone();
     let horizon = truth.horizon();
     let mut cache_plan = CachePlan::empty(network, horizon);
@@ -71,7 +102,7 @@ pub fn run_policy(
                 }
             }
         }
-        repair_slot(
+        let report = repair_slot(
             network,
             &truth,
             t,
@@ -81,6 +112,7 @@ pub fn run_policy(
             policy.name(),
             t,
         )?;
+        repair_metrics.record(&report);
         *cache_plan.state_mut(t) = action.cache.clone();
         current = action.cache;
     }
@@ -198,6 +230,59 @@ mod tests {
                 0.0
             );
         }
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_populates_metrics() {
+        use crate::chc::ChcPolicy;
+        use crate::rounding::RoundingPolicy;
+        use jocal_core::primal_dual::PrimalDualOptions;
+
+        let s = ScenarioConfig::tiny().build(24).unwrap();
+        let predictor = NoisyPredictor::new(s.demand.clone(), 0.2, 5);
+        let make = || ChcPolicy::new(3, 2, RoundingPolicy::default(), PrimalDualOptions::online());
+        let plain = run_policy(
+            &s.network,
+            &CostModel::paper(),
+            &predictor,
+            &mut make(),
+            CacheState::empty(&s.network),
+        )
+        .unwrap();
+        let tele = Telemetry::enabled();
+        let observed = run_policy_observed(
+            &s.network,
+            &CostModel::paper(),
+            &predictor,
+            &mut make(),
+            CacheState::empty(&s.network),
+            &tele,
+        )
+        .unwrap();
+        // Observation must not perturb a single decision bit.
+        assert_eq!(plain.cache_plan, observed.cache_plan);
+        assert_eq!(plain.load_plan, observed.load_plan);
+        assert_eq!(
+            plain.breakdown.total().to_bits(),
+            observed.breakdown.total().to_bits()
+        );
+        // ... while the instrumented run actually reports.
+        let name = "CHC(w=3,r=2)";
+        assert!(
+            tele.counter_with("window_solves_total", "policy", name)
+                .get()
+                >= 1
+        );
+        assert!(
+            tele.histogram_with("window_solve_us", "policy", name)
+                .snapshot()
+                .count
+                >= 1
+        );
+        assert_eq!(
+            tele.counter("repair_slots_total").get(),
+            s.demand.horizon() as u64
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub fn rounding_ratio_with_sbs_cost(rho: f64) -> f64 {
 
 /// The paper's approximation factor `(3+√5)/2 ≈ 2.618` at the optimal
 /// threshold: exactly `1/ρ*` for the shared
-/// [`OPTIMAL_RHO`](crate::rounding::OPTIMAL_RHO) constant, since
+/// [`OPTIMAL_RHO`] constant, since
 /// `2/(3−√5) = (3+√5)/2`.
 #[must_use]
 pub fn paper_approximation_factor() -> f64 {

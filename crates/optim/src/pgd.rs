@@ -42,6 +42,26 @@ impl Default for PgdOptions {
     }
 }
 
+/// Why a projected-gradient run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PgdExit {
+    /// The prox-gradient residual dropped below `tol`.
+    Converged,
+    /// The iteration budget ran out first.
+    IterationBudget,
+}
+
+impl PgdExit {
+    /// Stable short name for telemetry labels and event fields.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PgdExit::Converged => "converged",
+            PgdExit::IterationBudget => "iteration_budget",
+        }
+    }
+}
+
 /// Outcome of a projected-gradient run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PgdResult {
@@ -55,6 +75,13 @@ pub struct PgdResult {
     pub converged: bool,
     /// Final prox-gradient residual.
     pub residual: f64,
+    /// Projection-oracle invocations (initial projection, line-search
+    /// candidates, restart retries).
+    pub projections: usize,
+    /// Line searches abandoned at the `min_step` floor.
+    pub step_floor_hits: usize,
+    /// Why the run stopped.
+    pub exit: PgdExit,
 }
 
 /// Statistics of an in-place projected-gradient run
@@ -70,6 +97,13 @@ pub struct PgdRunStats {
     pub converged: bool,
     /// Final prox-gradient residual.
     pub residual: f64,
+    /// Projection-oracle invocations (initial projection, line-search
+    /// candidates, restart retries).
+    pub projections: usize,
+    /// Line searches abandoned at the `min_step` floor.
+    pub step_floor_hits: usize,
+    /// Why the run stopped.
+    pub exit: PgdExit,
 }
 
 /// Caller-owned working buffers for [`minimize_with_scratch`].
@@ -142,6 +176,9 @@ pub fn minimize(
         iterations: stats.iterations,
         converged: stats.converged,
         residual: stats.residual,
+        projections: stats.projections,
+        step_floor_hits: stats.step_floor_hits,
+        exit: stats.exit,
     })
 }
 
@@ -186,6 +223,8 @@ pub fn minimize_with_scratch(
     grad.clear();
     grad.resize(n, 0.0);
 
+    let mut projections = 1usize;
+    let mut step_floor_hits = 0usize;
     project(x);
     let mut fx = objective(x);
     let mut step = opts.initial_step;
@@ -211,6 +250,7 @@ pub fn minimize_with_scratch(
         loop {
             candidate.clear();
             candidate.extend(base.iter().zip(grad.iter()).map(|(bi, gi)| bi - step * gi));
+            projections += 1;
             project(candidate);
             let f_cand = objective(candidate);
             let mut inner = 0.0;
@@ -226,6 +266,7 @@ pub fn minimize_with_scratch(
             step *= opts.backtrack;
             if step < opts.min_step {
                 // Cannot make progress at machine precision; accept.
+                step_floor_hits += 1;
                 break;
             }
         }
@@ -248,6 +289,7 @@ pub fn minimize_with_scratch(
                 gradient(x, grad);
                 plain.clear();
                 plain.extend(x.iter().zip(grad.iter()).map(|(xi, gi)| xi - step * gi));
+                projections += 1;
                 project(plain);
                 let f_plain = objective(plain);
                 if f_plain <= fx {
@@ -275,6 +317,9 @@ pub fn minimize_with_scratch(
                 iterations: iter + 1,
                 converged: true,
                 residual,
+                projections,
+                step_floor_hits,
+                exit: PgdExit::Converged,
             });
         }
     }
@@ -284,6 +329,9 @@ pub fn minimize_with_scratch(
         iterations: opts.max_iters,
         converged: false,
         residual,
+        projections,
+        step_floor_hits,
+        exit: PgdExit::IterationBudget,
     })
 }
 
@@ -407,5 +455,29 @@ mod tests {
         .unwrap();
         assert!(!r.converged);
         assert_eq!(r.iterations, 1);
+        assert_eq!(r.exit, PgdExit::IterationBudget);
+    }
+
+    #[test]
+    fn counts_projections_and_reports_exit_reason() {
+        let r = minimize(
+            |x| (x[0] - 2.0).powi(2),
+            |x, g| g[0] = 2.0 * (x[0] - 2.0),
+            |x| x[0] = x[0].clamp(0.0, 1.0),
+            vec![5.0],
+            PgdOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.exit, PgdExit::Converged);
+        assert_eq!(r.exit.as_str(), "converged");
+        // One initial projection plus at least one line-search candidate
+        // per iteration.
+        assert!(
+            r.projections > r.iterations,
+            "projections {} iterations {}",
+            r.projections,
+            r.iterations
+        );
+        assert_eq!(r.step_floor_hits, 0);
     }
 }

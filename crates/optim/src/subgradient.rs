@@ -76,6 +76,7 @@ pub struct DualAscent {
     iteration: usize,
     lower_bound: f64,
     upper_bound: f64,
+    clipped_last: usize,
 }
 
 impl DualAscent {
@@ -88,6 +89,7 @@ impl DualAscent {
             iteration: 0,
             lower_bound: f64::NEG_INFINITY,
             upper_bound: f64::INFINITY,
+            clipped_last: 0,
         }
     }
 
@@ -117,6 +119,21 @@ impl DualAscent {
     #[must_use]
     pub fn upper_bound(&self) -> f64 {
         self.upper_bound
+    }
+
+    /// Step size `δ_l` the *next* [`Self::ascend`] call will use.
+    #[inline]
+    #[must_use]
+    pub fn current_step(&self) -> f64 {
+        self.schedule.step(self.iteration)
+    }
+
+    /// Multipliers clipped at zero by the most recent [`Self::ascend`]
+    /// (active non-negativity projections).
+    #[inline]
+    #[must_use]
+    pub fn last_clipped(&self) -> usize {
+        self.clipped_last
     }
 
     /// Records a dual objective value; keeps the maximum (Algorithm 1,
@@ -159,9 +176,13 @@ impl DualAscent {
             "subgradient dimension mismatch"
         );
         let delta = self.schedule.step(self.iteration);
+        let mut clipped = 0;
         for (mu, g) in self.multipliers.iter_mut().zip(violation) {
-            *mu = (*mu + delta * g).max(0.0);
+            let raw = *mu + delta * g;
+            clipped += usize::from(raw < 0.0);
+            *mu = raw.max(0.0);
         }
+        self.clipped_last = clipped;
         self.iteration += 1;
     }
 
@@ -171,6 +192,7 @@ impl DualAscent {
         self.iteration = 0;
         self.lower_bound = f64::NEG_INFINITY;
         self.upper_bound = f64::INFINITY;
+        self.clipped_last = 0;
     }
 }
 
@@ -200,9 +222,12 @@ mod tests {
     #[test]
     fn ascend_projects_to_nonnegative() {
         let mut d = DualAscent::new(2, StepSchedule::Constant { step: 1.0 });
+        assert_eq!(d.current_step(), 1.0);
         d.ascend(&[-5.0, 2.0]);
         assert_eq!(d.multipliers(), &[0.0, 2.0]);
         assert_eq!(d.iteration(), 1);
+        // Exactly one coordinate hit the non-negativity projection.
+        assert_eq!(d.last_clipped(), 1);
     }
 
     #[test]

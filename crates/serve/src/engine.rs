@@ -1,7 +1,8 @@
 //! The long-lived slot loop.
 //!
 //! Per slot, the engine: tops up the sliding window from the source,
-//! lets the policy decide through a [`WindowPredictor`] view, repairs
+//! lets the policy decide through a [`crate::window::WindowPredictor`]
+//! view, repairs
 //! the decision against the realized slot (the *same*
 //! [`jocal_online::repair`] code path the batch runner uses), charges
 //! costs with [`jocal_core::accounting::evaluate_slot`], dispatches the
@@ -18,12 +19,14 @@ use crate::window::SlidingWindow;
 use jocal_core::accounting::{evaluate_slot, CostBreakdown};
 use jocal_core::plan::{CacheState, LoadPlan};
 use jocal_core::CostModel;
+use jocal_online::observe::RepairMetrics;
 use jocal_online::policy::{OnlinePolicy, PolicyContext};
 use jocal_online::repair::repair_slot;
 use jocal_sim::predictor::NoiseModel;
 use jocal_sim::requests::{sample_slot_rng, RequestCounts};
 use jocal_sim::topology::Network;
 use jocal_sim::{ClassId, ContentId};
+use jocal_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::ops::Add;
@@ -72,6 +75,7 @@ pub struct ServeEngine<'a> {
     network: &'a Network,
     cost_model: &'a CostModel,
     config: ServeConfig,
+    telemetry: Telemetry,
 }
 
 impl<'a> ServeEngine<'a> {
@@ -87,7 +91,25 @@ impl<'a> ServeEngine<'a> {
             network,
             cost_model,
             config,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: each run instruments its policy
+    /// (window-solve spans, rounding flips, the inner primal-dual
+    /// solver) and records per-slot decide latency, request counts and
+    /// repair activity. Observation never changes decisions — enabled
+    /// and disabled runs are bit-identical.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The engine's telemetry handle.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Drives `policy` over `source` until exhaustion (or `max_slots`),
@@ -98,6 +120,23 @@ impl<'a> ServeEngine<'a> {
     /// Propagates source, policy and sink failures. Unbounded sources
     /// require `max_slots`.
     pub fn run(
+        &self,
+        source: &mut dyn DemandSource,
+        policy: &mut dyn OnlinePolicy,
+        initial: CacheState,
+        sink: &mut dyn MetricsSink,
+    ) -> Result<ServeReport, ServeError> {
+        let result = self.run_inner(source, policy, initial, sink);
+        if result.is_err() {
+            // Best effort: records observed before the failure (header
+            // included) should survive in buffered sinks. The original
+            // error stays the one reported.
+            let _ = sink.flush();
+        }
+        result
+    }
+
+    fn run_inner(
         &self,
         source: &mut dyn DemandSource,
         policy: &mut dyn OnlinePolicy,
@@ -127,6 +166,17 @@ impl<'a> ServeEngine<'a> {
             horizon: total_hint,
         };
         sink.header(&header)?;
+
+        // Instrument before the loop: the policy resolves its handles
+        // once, and all per-slot recording below is lock-free (pure
+        // no-op branches when telemetry is disabled).
+        policy.instrument(&self.telemetry);
+        let decide_us = self
+            .telemetry
+            .histogram_with("serve_decide_us", "policy", policy.name());
+        let slots_total = self.telemetry.counter("serve_slots_total");
+        let requests_total = self.telemetry.counter("serve_requests_total");
+        let repair_metrics = RepairMetrics::resolve(&self.telemetry);
 
         let mut window = SlidingWindow::new(self.network);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -211,6 +261,10 @@ impl<'a> ServeEngine<'a> {
             sink.slot(&metrics)?;
             histogram.observe(solve_us);
             totals.fold(&metrics);
+            decide_us.observe(solve_us);
+            slots_total.incr();
+            requests_total.add(dispatch.requests);
+            repair_metrics.record(&repair);
 
             prev_cache = action.cache;
             window.advance();
@@ -408,6 +462,129 @@ mod tests {
         let b = run(6);
         assert!(a.iter().zip(&b).any(|(x, y)| x.0 != y.0));
         assert!(a.iter().zip(&b).all(|(x, y)| x.2 == y.2));
+    }
+
+    #[test]
+    fn idle_slot_hit_ratio_is_zero() {
+        // The SlotMetrics.hit_ratio convention: an idle slot (zero
+        // realized requests) reports 0, not NaN.
+        let idle = DispatchOutcome::default();
+        assert_eq!(idle.requests, 0);
+        assert_eq!(idle.hit_ratio(), 0.0);
+        let busy = DispatchOutcome {
+            requests: 4,
+            sbs_served: 1.0,
+            spilled: 0.0,
+            bs_served: 3.0,
+        };
+        assert_eq!(busy.hit_ratio(), 0.25);
+    }
+
+    #[test]
+    fn telemetry_observes_the_run_without_perturbing_it() {
+        let s = ScenarioConfig::tiny().build(64).unwrap();
+        let model = CostModel::paper();
+        let run = |telemetry: Telemetry| {
+            let engine = ServeEngine::new(&s.network, &model, ServeConfig::new(3, 17))
+                .with_telemetry(telemetry);
+            let mut sink = MemorySink::default();
+            engine
+                .run(
+                    &mut TraceSource::new(s.demand.clone()),
+                    &mut Greedy,
+                    CacheState::empty(&s.network),
+                    &mut sink,
+                )
+                .unwrap();
+            sink.slots
+                .into_iter()
+                .map(|m| (m.requests, m.sbs_served.to_bits(), m.cost.total().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        let plain = run(Telemetry::disabled());
+        let tele = Telemetry::enabled();
+        let observed = run(tele.clone());
+        assert_eq!(plain, observed, "telemetry must not change any slot");
+        let horizon = s.demand.horizon() as u64;
+        assert_eq!(tele.counter("serve_slots_total").get(), horizon);
+        assert_eq!(tele.counter("repair_slots_total").get(), horizon);
+        assert_eq!(
+            tele.histogram_with("serve_decide_us", "policy", "greedy")
+                .snapshot()
+                .count,
+            horizon
+        );
+        assert!(tele.counter("serve_requests_total").get() > 0);
+    }
+
+    /// A sink that records whether the engine asked for a flush.
+    #[derive(Debug, Default)]
+    struct FlushTrackingSink {
+        headers: usize,
+        slots: usize,
+        flushes: usize,
+    }
+
+    impl MetricsSink for FlushTrackingSink {
+        fn header(&mut self, _: &crate::metrics::RunHeader) -> Result<(), ServeError> {
+            self.headers += 1;
+            Ok(())
+        }
+
+        fn slot(&mut self, _: &SlotMetrics) -> Result<(), ServeError> {
+            self.slots += 1;
+            Ok(())
+        }
+
+        fn summary(&mut self, _: &crate::metrics::ServeSummary) -> Result<(), ServeError> {
+            Ok(())
+        }
+
+        fn flush(&mut self) -> Result<(), ServeError> {
+            self.flushes += 1;
+            Ok(())
+        }
+    }
+
+    /// Fails after two successful decisions.
+    #[derive(Debug)]
+    struct FailsAt(usize);
+
+    impl OnlinePolicy for FailsAt {
+        fn name(&self) -> &str {
+            "fails-at"
+        }
+
+        fn decide(
+            &mut self,
+            t: usize,
+            ctx: &PolicyContext<'_>,
+        ) -> Result<jocal_online::policy::Action, jocal_core::CoreError> {
+            if t >= self.0 {
+                return Err(jocal_core::CoreError::infeasible("test", "induced failure"));
+            }
+            Ok(jocal_online::policy::Action::idle(ctx.network))
+        }
+
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn error_path_flushes_the_sink() {
+        let s = ScenarioConfig::tiny().build(65).unwrap();
+        let model = CostModel::paper();
+        let engine = ServeEngine::new(&s.network, &model, ServeConfig::new(2, 3));
+        let mut sink = FlushTrackingSink::default();
+        let err = engine.run(
+            &mut TraceSource::new(s.demand.clone()),
+            &mut FailsAt(2),
+            CacheState::empty(&s.network),
+            &mut sink,
+        );
+        assert!(err.is_err());
+        assert_eq!(sink.headers, 1, "header precedes the failure");
+        assert_eq!(sink.slots, 2, "two slots served before the failure");
+        assert_eq!(sink.flushes, 1, "error path must flush buffered records");
     }
 
     #[test]

@@ -69,6 +69,8 @@ pub struct LatencySummary {
     pub p50_us: u64,
     /// 95th percentile (µs, from the histogram).
     pub p95_us: u64,
+    /// 99th percentile (µs, from the histogram).
+    pub p99_us: u64,
     /// Maximum observed (µs).
     pub max_us: u64,
 }
@@ -148,6 +150,7 @@ impl LatencyHistogram {
             },
             p50_us: self.quantile_upper_bound(0.5),
             p95_us: self.quantile_upper_bound(0.95),
+            p99_us: self.quantile_upper_bound(0.99),
             max_us: self.max_us,
         }
     }
@@ -187,6 +190,18 @@ pub trait MetricsSink: fmt::Debug {
     ///
     /// Propagates I/O failures.
     fn summary(&mut self, summary: &ServeSummary) -> Result<(), ServeError>;
+
+    /// Pushes buffered records to their destination. The engine calls
+    /// this on its *error* path so records observed before a failure
+    /// survive (the success path flushes through [`Self::summary`]).
+    /// In-memory sinks need not override the default no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn flush(&mut self) -> Result<(), ServeError> {
+        Ok(())
+    }
 }
 
 /// Discards everything (pure benchmarking).
@@ -271,7 +286,12 @@ impl<W: Write> JsonLinesSink<W> {
 
 impl<W: Write> MetricsSink for JsonLinesSink<W> {
     fn header(&mut self, header: &RunHeader) -> Result<(), ServeError> {
-        self.write_record("header", header)
+        // Flush immediately: the header carries the run's seeds, and a
+        // run that dies (or serves zero slots) must still leave a
+        // reproducible stream on disk.
+        self.write_record("header", header)?;
+        self.out.flush()?;
+        Ok(())
     }
 
     fn slot(&mut self, metrics: &SlotMetrics) -> Result<(), ServeError> {
@@ -282,6 +302,11 @@ impl<W: Write> MetricsSink for JsonLinesSink<W> {
         let r = self.write_record("summary", summary);
         self.out.flush()?;
         r
+    }
+
+    fn flush(&mut self) -> Result<(), ServeError> {
+        self.out.flush()?;
+        Ok(())
     }
 }
 
@@ -311,6 +336,60 @@ mod tests {
         assert_eq!(s.mean_us, 0.0);
         assert_eq!(s.p50_us, 0);
         assert_eq!(s.max_us, 0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_including_p99() {
+        let mut h = LatencyHistogram::default();
+        for us in 0..1000u64 {
+            h.observe(us);
+        }
+        let s = h.summarize();
+        assert!(s.p50_us <= s.p95_us, "{s:?}");
+        assert!(s.p95_us <= s.p99_us, "{s:?}");
+        assert!(s.p99_us >= 512, "p99 of 0..1000 sits in the top bucket");
+        assert_eq!(s.max_us, 999);
+    }
+
+    /// A writer that counts flushes, for asserting sink durability.
+    #[derive(Debug, Default)]
+    struct FlushCounter {
+        bytes: Vec<u8>,
+        flushes: usize,
+    }
+
+    impl Write for FlushCounter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.bytes.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushes += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn header_is_flushed_immediately_and_flush_is_explicit() {
+        let header = RunHeader {
+            policy: "RHC".into(),
+            seed: 1,
+            noise_seed: 2,
+            eta: 0.0,
+            window: 3,
+            horizon: Some(0),
+        };
+        let mut sink = JsonLinesSink::new(FlushCounter::default());
+        sink.header(&header).unwrap();
+        // A zero-slot (or crashed) run still has the seeds on disk.
+        let w = sink.into_inner();
+        assert_eq!(w.flushes, 1, "header write must flush");
+        assert!(String::from_utf8(w.bytes).unwrap().contains("\"seed\":1"));
+
+        let mut sink = JsonLinesSink::new(FlushCounter::default());
+        sink.flush().unwrap();
+        assert_eq!(sink.into_inner().flushes, 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use jocal_serve::metrics::MemorySink;
 use jocal_serve::source::TraceSource;
 use jocal_sim::predictor::{NoiseModel, NoisyPredictor};
 use jocal_sim::scenario::ScenarioConfig;
+use jocal_telemetry::Telemetry;
 
 const ETA: f64 = 0.15;
 const NOISE_SEED: u64 = 9001;
@@ -118,6 +119,68 @@ fn streaming_matches_batch_bitwise_for_all_policies_and_thread_counts() {
                 summary.peak_buffered_slots <= WINDOW,
                 "{name}: buffered {} > w={WINDOW}",
                 summary.peak_buffered_slots
+            );
+        }
+    }
+}
+
+#[test]
+fn telemetry_on_and_off_runs_are_bit_identical() {
+    // Enabling telemetry must not flip a single decision bit: same
+    // cache states, same load plans, same costs — for every paper
+    // policy at every thread count. This is the property that makes it
+    // safe to leave `--telemetry-out` on in production runs.
+    let scenario = ScenarioConfig::tiny().build(77).unwrap();
+    let model = CostModel::paper();
+
+    for parallelism in [Parallelism::Threads(1), Parallelism::Threads(4)] {
+        let names: Vec<String> = policies(parallelism)
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        for (i, name) in names.iter().enumerate() {
+            let run = |telemetry: Telemetry| {
+                let mut policy = policies(parallelism).remove(i);
+                let mut config = ServeConfig::new(WINDOW, 42);
+                config.noise = NoiseModel::new(ETA, NOISE_SEED);
+                let engine =
+                    ServeEngine::new(&scenario.network, &model, config).with_telemetry(telemetry);
+                let mut sink = MemorySink::default();
+                engine
+                    .run(
+                        &mut TraceSource::new(scenario.demand.clone()),
+                        policy.as_mut(),
+                        CacheState::empty(&scenario.network),
+                        &mut sink,
+                    )
+                    .unwrap_or_else(|e| panic!("{name} {parallelism:?} failed: {e}"));
+                sink.slots
+                    .into_iter()
+                    .map(|m| {
+                        (
+                            m.requests,
+                            m.sbs_served.to_bits(),
+                            m.bs_served.to_bits(),
+                            m.cost.total().to_bits(),
+                            m.repair_scaled_sbs,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let off = run(Telemetry::disabled());
+            let tele = Telemetry::enabled();
+            let on = run(tele.clone());
+            assert_eq!(off, on, "{name} {parallelism:?}: telemetry changed the run");
+            // ... and the enabled run actually observed the policy.
+            assert!(
+                tele.counter_with("window_solves_total", "policy", name)
+                    .get()
+                    >= 1,
+                "{name} {parallelism:?}: no window solves recorded"
+            );
+            assert!(
+                tele.counter("pd_solves_total").get() >= 1,
+                "{name} {parallelism:?}: inner solver not instrumented"
             );
         }
     }

@@ -1,0 +1,99 @@
+//! Bounded structured event log for convergence traces.
+//!
+//! Events carry a static name plus a small set of typed fields (e.g.
+//! one primal-dual iteration: iteration index, duality gap, step size,
+//! residual norm). The buffer is bounded: when full, new events are
+//! dropped and counted, so a runaway loop degrades the trace instead of
+//! memory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A field value attached to an [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, indices, microseconds).
+    U64(u64),
+    /// A float (objectives, gaps, step sizes, norms).
+    F64(f64),
+    /// A static string (reasons, policy names).
+    Str(&'static str),
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event name (e.g. `"pd_iter"`).
+    pub name: &'static str,
+    /// Field key/value pairs in record order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// The bounded event buffer behind an enabled telemetry handle.
+pub(crate) struct EventLog {
+    buffer: Mutex<Vec<Event>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl EventLog {
+    pub(crate) fn new(capacity: usize) -> Self {
+        EventLog {
+            buffer: Mutex::new(Vec::new()),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn push(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        let mut buffer = self.buffer.lock().expect("telemetry event log poisoned");
+        if buffer.len() >= self.capacity {
+            drop(buffer);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        buffer.push(Event {
+            name,
+            fields: fields.to_vec(),
+        });
+    }
+
+    /// Drains the buffer, returning events in record order.
+    pub(crate) fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.buffer.lock().expect("telemetry event log poisoned"))
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_take_roundtrip_preserves_order_and_fields() {
+        let log = EventLog::new(8);
+        log.push("a", &[("i", FieldValue::U64(1))]);
+        log.push(
+            "b",
+            &[("x", FieldValue::F64(2.5)), ("why", FieldValue::Str("ok"))],
+        );
+        let events = log.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[1].fields[1].1, FieldValue::Str("ok"));
+        assert!(log.take().is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let log = EventLog::new(1);
+        log.push("only", &[]);
+        log.push("lost", &[]);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.take().len(), 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! Prometheus text exposition and JSON-lines export.
+//!
+//! Both formats are written by hand: the telemetry crate stays
+//! dependency-free so the hot layers (`jocal-core`, `jocal-optim`) can
+//! depend on it without pulling serialization machinery into their
+//! build graph. The JSON-lines records follow the serving engine's
+//! `{"kind": ..., "data": ...}` convention, so telemetry streams can be
+//! concatenated with (or embedded in) a metrics stream and parsed by
+//! the same consumer.
+
+use crate::event::{Event, FieldValue};
+use crate::metric::{bucket_lower_bound, bucket_upper_bound, Entry, MetricKind, NUM_BUCKETS};
+use std::io::{self, Write};
+use std::sync::atomic::Ordering;
+
+/// Formats an `f64` for both Prometheus and JSON bodies: finite values
+/// via `Display` (shortest round-trip), non-finite mapped to the given
+/// fallbacks.
+fn fmt_f64(value: f64, nan: &str, pos_inf: &str, neg_inf: &str) -> String {
+    if value.is_nan() {
+        nan.to_string()
+    } else if value == f64::INFINITY {
+        pos_inf.to_string()
+    } else if value == f64::NEG_INFINITY {
+        neg_inf.to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+fn prom_f64(value: f64) -> String {
+    fmt_f64(value, "NaN", "+Inf", "-Inf")
+}
+
+/// JSON has no NaN/Inf; map them to null so consumers stay parseable.
+fn json_f64(value: f64) -> String {
+    fmt_f64(value, "null", "null", "null")
+}
+
+fn escape_into(out: &mut String, raw: &str) {
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_str(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    escape_into(&mut out, raw);
+    out.push('"');
+    out
+}
+
+/// Renders `{key="value"}` (with `extra` appended) or the empty string.
+fn prom_labels(entry: &Entry, extra: Option<(&str, &str)>) -> String {
+    let mut pairs = Vec::new();
+    if !entry.label_key.is_empty() {
+        pairs.push((entry.label_key.as_str(), entry.label_value.as_str()));
+    }
+    if let Some(pair) = extra {
+        pairs.push(pair);
+    }
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_into(&mut out, v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Writes all series as Prometheus text exposition (version 0.0.4).
+pub(crate) fn write_prometheus(entries: &[Entry], out: &mut dyn Write) -> io::Result<()> {
+    let mut typed: Vec<&str> = Vec::new();
+    for entry in entries {
+        let name = entry.name.as_str();
+        match &entry.metric {
+            MetricKind::Counter(cell) => {
+                if !typed.contains(&name) {
+                    typed.push(name);
+                    writeln!(out, "# TYPE {name} counter")?;
+                }
+                writeln!(
+                    out,
+                    "{name}{} {}",
+                    prom_labels(entry, None),
+                    cell.load(Ordering::Relaxed)
+                )?;
+            }
+            MetricKind::Gauge(cell) => {
+                if !typed.contains(&name) {
+                    typed.push(name);
+                    writeln!(out, "# TYPE {name} gauge")?;
+                }
+                writeln!(
+                    out,
+                    "{name}{} {}",
+                    prom_labels(entry, None),
+                    prom_f64(f64::from_bits(cell.load(Ordering::Relaxed)))
+                )?;
+            }
+            MetricKind::Histogram(cell) => {
+                if !typed.contains(&name) {
+                    typed.push(name);
+                    writeln!(out, "# TYPE {name} histogram")?;
+                }
+                let snap = cell.snapshot();
+                let highest = snap
+                    .buckets
+                    .iter()
+                    .rposition(|&c| c > 0)
+                    .unwrap_or(0)
+                    .min(NUM_BUCKETS - 2);
+                let mut cumulative = 0u64;
+                for bucket in 0..=highest {
+                    cumulative += snap.buckets[bucket];
+                    writeln!(
+                        out,
+                        "{name}_bucket{} {cumulative}",
+                        prom_labels(entry, Some(("le", &bucket_upper_bound(bucket).to_string())))
+                    )?;
+                }
+                writeln!(
+                    out,
+                    "{name}_bucket{} {}",
+                    prom_labels(entry, Some(("le", "+Inf"))),
+                    snap.count
+                )?;
+                writeln!(out, "{name}_sum{} {}", prom_labels(entry, None), snap.sum)?;
+                writeln!(
+                    out,
+                    "{name}_count{} {}",
+                    prom_labels(entry, None),
+                    snap.count
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn field_json(value: &FieldValue) -> String {
+    match value {
+        FieldValue::U64(v) => format!("{v}"),
+        FieldValue::F64(v) => json_f64(*v),
+        FieldValue::Str(s) => json_str(s),
+    }
+}
+
+/// Writes events as `{"kind":"event","data":{...}}` lines, followed by
+/// one `event_drop` record when the buffer overflowed.
+pub(crate) fn write_events_jsonl(
+    events: &[Event],
+    dropped: u64,
+    out: &mut dyn Write,
+) -> io::Result<()> {
+    for event in events {
+        let mut body = String::from("{\"event\":");
+        body.push_str(&json_str(event.name));
+        for (key, value) in &event.fields {
+            body.push(',');
+            body.push_str(&json_str(key));
+            body.push(':');
+            body.push_str(&field_json(value));
+        }
+        body.push('}');
+        writeln!(out, "{{\"kind\":\"event\",\"data\":{body}}}")?;
+    }
+    if dropped > 0 {
+        writeln!(
+            out,
+            "{{\"kind\":\"event_drop\",\"data\":{{\"dropped\":{dropped}}}}}"
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes one `{"kind":"telemetry","data":{...}}` line snapshotting
+/// every registered series (histograms with count/sum/max, p50/p95/p99,
+/// and their non-empty `[lo, hi, count]` buckets).
+pub(crate) fn write_snapshot_jsonl(entries: &[Entry], out: &mut dyn Write) -> io::Result<()> {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for entry in entries {
+        let mut body = String::from("{\"name\":");
+        body.push_str(&json_str(&entry.name));
+        if !entry.label_key.is_empty() {
+            body.push(',');
+            body.push_str(&json_str(&entry.label_key));
+            body.push(':');
+            body.push_str(&json_str(&entry.label_value));
+        }
+        match &entry.metric {
+            MetricKind::Counter(cell) => {
+                body.push_str(&format!(",\"value\":{}", cell.load(Ordering::Relaxed)));
+                body.push('}');
+                counters.push(body);
+            }
+            MetricKind::Gauge(cell) => {
+                body.push_str(&format!(
+                    ",\"value\":{}",
+                    json_f64(f64::from_bits(cell.load(Ordering::Relaxed)))
+                ));
+                body.push('}');
+                gauges.push(body);
+            }
+            MetricKind::Histogram(cell) => {
+                let snap = cell.snapshot();
+                body.push_str(&format!(
+                    ",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}",
+                    snap.count,
+                    snap.sum,
+                    snap.max,
+                    json_f64(snap.quantile(0.5)),
+                    json_f64(snap.quantile(0.95)),
+                    json_f64(snap.quantile(0.99)),
+                ));
+                body.push_str(",\"buckets\":[");
+                let mut first = true;
+                for (bucket, &c) in snap.buckets.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    if !first {
+                        body.push(',');
+                    }
+                    first = false;
+                    body.push_str(&format!(
+                        "[{},{},{c}]",
+                        bucket_lower_bound(bucket),
+                        bucket_upper_bound(bucket)
+                    ));
+                }
+                body.push_str("]}");
+                histograms.push(body);
+            }
+        }
+    }
+    writeln!(
+        out,
+        "{{\"kind\":\"telemetry\",\"data\":{{\"counters\":[{}],\"gauges\":[{}],\"histograms\":[{}]}}}}",
+        counters.join(","),
+        gauges.join(","),
+        histograms.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{FieldValue, Telemetry};
+
+    #[test]
+    fn prometheus_renders_all_kinds() {
+        let tele = Telemetry::enabled();
+        tele.counter("solves_total").add(3);
+        tele.counter_with("flips_total", "policy", "CHC(w=3,r=2)")
+            .add(5);
+        tele.gauge("gap").set(0.25);
+        let h = tele.histogram("latency_us");
+        h.observe(1);
+        h.observe(3);
+        h.observe(100);
+        let mut out = Vec::new();
+        tele.write_prometheus(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("# TYPE solves_total counter"), "{text}");
+        assert!(text.contains("solves_total 3"), "{text}");
+        assert!(
+            text.contains("flips_total{policy=\"CHC(w=3,r=2)\"} 5"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE gap gauge"), "{text}");
+        assert!(text.contains("gap 0.25"), "{text}");
+        assert!(text.contains("# TYPE latency_us histogram"), "{text}");
+        // Cumulative buckets: le="1" sees one obs, le="3" sees two.
+        assert!(text.contains("latency_us_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("latency_us_bucket{le=\"3\"} 2"), "{text}");
+        assert!(text.contains("latency_us_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("latency_us_sum 104"), "{text}");
+        assert!(text.contains("latency_us_count 3"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_records_follow_kind_data_convention() {
+        let tele = Telemetry::enabled();
+        tele.event(
+            "pd_iter",
+            &[
+                ("iter", FieldValue::U64(2)),
+                ("gap", FieldValue::F64(0.125)),
+                ("exit", FieldValue::Str("converged")),
+            ],
+        );
+        let mut out = Vec::new();
+        tele.write_events_jsonl(&mut out).unwrap();
+        let line = String::from_utf8(out).unwrap();
+        assert!(
+            line.starts_with("{\"kind\":\"event\",\"data\":{\"event\":\"pd_iter\""),
+            "{line}"
+        );
+        assert!(line.contains("\"iter\":2"), "{line}");
+        assert!(line.contains("\"gap\":0.125"), "{line}");
+        assert!(line.contains("\"exit\":\"converged\""), "{line}");
+
+        tele.counter("c_total").add(1);
+        tele.histogram("h_us").observe(7);
+        let mut out = Vec::new();
+        tele.write_snapshot_jsonl(&mut out).unwrap();
+        let line = String::from_utf8(out).unwrap();
+        assert!(
+            line.starts_with("{\"kind\":\"telemetry\",\"data\":{"),
+            "{line}"
+        );
+        assert!(line.contains("\"name\":\"c_total\",\"value\":1"), "{line}");
+        assert!(line.contains("\"name\":\"h_us\",\"count\":1"), "{line}");
+        assert!(line.contains("\"buckets\":[[4,7,1]]"), "{line}");
+        // Exactly one line, valid under a line-oriented consumer.
+        assert_eq!(line.lines().count(), 1);
+    }
+
+    #[test]
+    fn non_finite_gauges_stay_parseable() {
+        let tele = Telemetry::enabled();
+        tele.gauge("g").set(f64::INFINITY);
+        let mut prom = Vec::new();
+        tele.write_prometheus(&mut prom).unwrap();
+        assert!(String::from_utf8(prom).unwrap().contains("g +Inf"));
+        let mut json = Vec::new();
+        tele.write_snapshot_jsonl(&mut json).unwrap();
+        assert!(String::from_utf8(json).unwrap().contains("\"value\":null"));
+    }
+}

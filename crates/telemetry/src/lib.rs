@@ -1,0 +1,324 @@
+//! Zero-overhead-when-off telemetry for the `jocal` workspace.
+//!
+//! The solver stack (primal-dual loop, PGD inner solves, the online
+//! policies, feasibility repair) is iterative and latency-sensitive, so
+//! its instrumentation must satisfy two conflicting demands at once:
+//!
+//! 1. **When off, it must cost nothing.** A disabled [`Telemetry`]
+//!    handle is a `None`; every recording call is one predictable
+//!    branch on an already-loaded discriminant, no allocation, no
+//!    `Instant::now()`, no atomics. The `noop` cargo feature goes
+//!    further and makes the off-path statically known so the optimizer
+//!    deletes it outright.
+//! 2. **When on, it must never perturb decisions.** All hot-path state
+//!    is lock-free atomics with commutative updates (add, max), so the
+//!    `Parallelism::Threads` fan-out can record from any worker in any
+//!    order without changing a single decision bit. Non-commutative
+//!    work (per-SBS solve statistics gathered inside the parallel
+//!    fan-out) is carried back on the job results and merged in SBS
+//!    order by the driving thread — see `jocal-core::workspace`.
+//!
+//! # Structure
+//!
+//! * [`Telemetry`] — the cheap-to-clone handle; [`Telemetry::disabled`]
+//!   is the no-op, [`Telemetry::enabled`] allocates a registry.
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — pre-resolved metric
+//!   handles. Resolve once outside a hot loop (resolution takes the
+//!   registry lock), then record through the handle (lock-free).
+//! * [`Histogram`] buckets observations by power of two — the same
+//!   bucketing as `jocal-serve`'s latency histogram — and interpolates
+//!   quantiles linearly within a bucket.
+//! * [`SpanTimer`] — a timed span that skips the clock read entirely
+//!   when the owning histogram is disabled.
+//! * Events — bounded-capacity structured records
+//!   ([`Telemetry::event`]) for per-iteration convergence traces; when
+//!   the buffer fills, further events are counted as dropped rather
+//!   than blocking or reallocating without bound.
+//! * Export — Prometheus text exposition
+//!   ([`Telemetry::write_prometheus`]) and JSON-lines
+//!   ([`Telemetry::write_events_jsonl`],
+//!   [`Telemetry::write_snapshot_jsonl`]) sharing the
+//!   `{"kind": ..., "data": ...}` convention of the serving engine's
+//!   metrics stream.
+//!
+//! # Example
+//!
+//! ```
+//! use jocal_telemetry::{FieldValue, Telemetry};
+//!
+//! let tele = Telemetry::enabled();
+//! let solves = tele.counter("pd_solves_total");
+//! let latency = tele.histogram("pd_solve_us");
+//!
+//! let span = latency.start_span();
+//! solves.add(1);
+//! tele.event("pd_iter", &[("iter", FieldValue::U64(0)), ("gap", FieldValue::F64(0.5))]);
+//! latency.record_span(span);
+//!
+//! let mut prom = Vec::new();
+//! tele.write_prometheus(&mut prom).unwrap();
+//! assert!(String::from_utf8(prom).unwrap().contains("pd_solves_total 1"));
+//!
+//! // The disabled handle accepts the same calls and does nothing.
+//! let off = Telemetry::disabled();
+//! off.counter("pd_solves_total").add(1);
+//! assert!(!off.is_enabled());
+//! ```
+
+pub mod event;
+pub mod export;
+pub mod metric;
+
+pub use event::{Event, FieldValue};
+pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, SpanTimer};
+
+use event::EventLog;
+use metric::{AtomicHistogram, Registry};
+use std::fmt;
+use std::io;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Default bound on buffered events (~1.5 MB of convergence trace).
+pub const DEFAULT_EVENT_CAPACITY: usize = 16_384;
+
+/// Shared state behind an enabled handle.
+struct Inner {
+    registry: Registry,
+    events: EventLog,
+}
+
+/// A telemetry handle: either disabled (free) or a shared registry.
+///
+/// Cloning is one `Option<Arc>` clone; every layer of the stack holds
+/// its own copy. The default handle is disabled, so instrumented types
+/// that `#[derive(Default)]` stay observation-free until explicitly
+/// wired.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle: every recording call is a single branch.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle with the default event capacity.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Telemetry::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An enabled handle buffering at most `capacity` events; beyond
+    /// that, events are dropped and counted ([`Self::events_dropped`]).
+    #[must_use]
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                registry: Registry::default(),
+                events: EventLog::new(capacity),
+            })),
+        }
+    }
+
+    /// The active inner state, or `None` when disabled.
+    ///
+    /// With the `noop` feature this is a `const None`, which lets the
+    /// optimizer erase every recording path at compile time.
+    #[inline]
+    fn active(&self) -> Option<&Inner> {
+        if cfg!(feature = "noop") {
+            None
+        } else {
+            self.inner.as_deref()
+        }
+    }
+
+    /// Whether observations are being recorded.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.active().is_some()
+    }
+
+    /// Resolves (registering on first use) a monotonic counter.
+    ///
+    /// Takes the registry lock — resolve outside hot loops.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, "", "")
+    }
+
+    /// Resolves a counter with one `{key="value"}` label pair.
+    #[must_use]
+    pub fn counter_with(&self, name: &str, label_key: &str, label_value: &str) -> Counter {
+        Counter::from_cell(
+            self.active()
+                .map(|inner| inner.registry.counter(name, label_key, label_value)),
+        )
+    }
+
+    /// Resolves (registering on first use) a last-value gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, "", "")
+    }
+
+    /// Resolves a gauge with one `{key="value"}` label pair.
+    #[must_use]
+    pub fn gauge_with(&self, name: &str, label_key: &str, label_value: &str) -> Gauge {
+        Gauge::from_cell(
+            self.active()
+                .map(|inner| inner.registry.gauge(name, label_key, label_value)),
+        )
+    }
+
+    /// Resolves (registering on first use) a power-of-two histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, "", "")
+    }
+
+    /// Resolves a histogram with one `{key="value"}` label pair.
+    #[must_use]
+    pub fn histogram_with(&self, name: &str, label_key: &str, label_value: &str) -> Histogram {
+        Histogram::from_cell(
+            self.active()
+                .map(|inner| inner.registry.histogram(name, label_key, label_value)),
+        )
+    }
+
+    /// Records a structured event (e.g. one primal-dual iteration).
+    ///
+    /// Free when disabled; when the buffer is full the event is counted
+    /// as dropped instead of growing without bound.
+    #[inline]
+    pub fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        if let Some(inner) = self.active() {
+            inner.events.push(name, fields);
+        }
+    }
+
+    /// Drains all buffered events in record order.
+    #[must_use]
+    pub fn take_events(&self) -> Vec<Event> {
+        self.active()
+            .map(|inner| inner.events.take())
+            .unwrap_or_default()
+    }
+
+    /// Events discarded because the buffer was full.
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.active().map_or(0, |inner| inner.events.dropped())
+    }
+
+    /// Writes the full metric state as Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures. Disabled handles write nothing.
+    pub fn write_prometheus(&self, out: &mut dyn io::Write) -> io::Result<()> {
+        match self.active() {
+            Some(inner) => export::write_prometheus(&inner.registry.entries(), out),
+            None => Ok(()),
+        }
+    }
+
+    /// Drains buffered events as JSON-lines
+    /// (`{"kind":"event","data":{...}}` per line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures. Disabled handles write nothing.
+    pub fn write_events_jsonl(&self, out: &mut dyn io::Write) -> io::Result<()> {
+        let events = self.take_events();
+        export::write_events_jsonl(&events, self.events_dropped(), out)
+    }
+
+    /// Writes a one-line JSON snapshot of every metric
+    /// (`{"kind":"telemetry","data":{...}}`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures. Disabled handles write nothing.
+    pub fn write_snapshot_jsonl(&self, out: &mut dyn io::Write) -> io::Result<()> {
+        match self.active() {
+            Some(inner) => export::write_snapshot_jsonl(&inner.registry.entries(), out),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A raw counter cell shared with the registry.
+pub(crate) type CounterCell = Arc<AtomicU64>;
+/// A raw gauge cell (f64 stored as bits) shared with the registry.
+pub(crate) type GaugeCell = Arc<AtomicU64>;
+/// A raw histogram shared with the registry.
+pub(crate) type HistogramCell = Arc<AtomicHistogram>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tele = Telemetry::disabled();
+        assert!(!tele.is_enabled());
+        let c = tele.counter("x_total");
+        c.add(3);
+        assert_eq!(c.get(), 0);
+        tele.gauge("g").set(1.5);
+        tele.histogram("h").observe(9);
+        tele.event("e", &[("k", FieldValue::U64(1))]);
+        assert!(tele.take_events().is_empty());
+        let mut out = Vec::new();
+        tele.write_prometheus(&mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn resolution_is_idempotent_per_name_and_label() {
+        let tele = Telemetry::enabled();
+        tele.counter("n_total").add(1);
+        tele.counter("n_total").add(2);
+        assert_eq!(tele.counter("n_total").get(), 3);
+        // A different label is a different series.
+        tele.counter_with("n_total", "policy", "RHC").add(10);
+        assert_eq!(tele.counter("n_total").get(), 3);
+        assert_eq!(tele.counter_with("n_total", "policy", "RHC").get(), 10);
+    }
+
+    #[test]
+    fn events_respect_capacity_and_count_drops() {
+        let tele = Telemetry::with_event_capacity(2);
+        for i in 0..5u64 {
+            tele.event("tick", &[("i", FieldValue::U64(i))]);
+        }
+        let events = tele.take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(tele.events_dropped(), 3);
+        // The buffer is drained; capacity is available again.
+        tele.event("tick", &[]);
+        assert_eq!(tele.take_events().len(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let tele = Telemetry::enabled();
+        let other = tele.clone();
+        other.counter("shared_total").add(7);
+        assert_eq!(tele.counter("shared_total").get(), 7);
+    }
+}

@@ -1,0 +1,492 @@
+//! Metric handles and the registry behind them.
+//!
+//! Handles are resolved once (taking the registry lock) and then record
+//! through lock-free atomics. Every update is commutative — add for
+//! counters and histogram buckets, max for histogram maxima, last-write
+//! for gauges — so recording from the deterministic thread fan-out can
+//! happen in any interleaving without affecting the exported totals.
+
+use crate::{CounterCell, GaugeCell, HistogramCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of power-of-two buckets (values up to `2³¹ − 1`, then
+/// everything larger in the last bucket).
+pub const NUM_BUCKETS: usize = 32;
+
+/// Bucket index for a value: 0 holds `{0}`, bucket `b ≥ 1` holds
+/// `[2^(b−1), 2^b − 1]`, the last bucket is unbounded above.
+///
+/// Identical to the serving engine's latency histogram, so latencies
+/// recorded through either surface land in the same buckets.
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()).min(31) as usize
+}
+
+/// Inclusive lower bound of bucket `b`.
+#[must_use]
+pub fn bucket_lower_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `b` (the last bucket reports its
+/// nominal bound even though it is unbounded above).
+#[must_use]
+pub fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+/// A monotonic counter handle; free when resolved from a disabled
+/// [`crate::Telemetry`].
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Option<CounterCell>,
+}
+
+impl Counter {
+    pub(crate) fn from_cell(cell: Option<CounterCell>) -> Self {
+        Counter { cell }
+    }
+
+    /// A handle that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Counter { cell: None }
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+
+    /// Whether this handle records anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+/// A last-value gauge handle storing an `f64` (as bits).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Option<GaugeCell>,
+}
+
+impl Gauge {
+    pub(crate) fn from_cell(cell: Option<GaugeCell>) -> Self {
+        Gauge { cell }
+    }
+
+    /// A handle that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Gauge { cell: None }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.cell {
+            cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        self.cell
+            .as_ref()
+            .map_or(0.0, |cell| f64::from_bits(cell.load(Ordering::Relaxed)))
+    }
+
+    /// Whether this handle records anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+/// Lock-free power-of-two histogram (shared cell behind [`Histogram`]).
+#[derive(Debug, Default)]
+pub(crate) struct AtomicHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    #[inline]
+    fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (out, cell) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = cell.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Maximum observed value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile `q ∈ [0, 1]`, linearly interpolated within the bucket
+    /// containing the rank and clamped to the observed maximum.
+    ///
+    /// With all mass in one bucket, `q = 0` maps to the bucket's lower
+    /// bound and `q = 1` to its upper bound (or the observed max if
+    /// smaller), so the estimate degrades gracefully rather than
+    /// jumping to the bucket edge like a pure upper-bound quantile.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (bucket, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cumulative + c;
+            if (next as f64) >= rank {
+                let lo = bucket_lower_bound(bucket) as f64;
+                let hi = (bucket_upper_bound(bucket).min(self.max)) as f64;
+                let frac = (rank - cumulative as f64) / c as f64;
+                return (lo + (hi - lo) * frac).min(self.max as f64);
+            }
+            cumulative = next;
+        }
+        self.max as f64
+    }
+}
+
+/// A histogram handle; free when resolved from a disabled
+/// [`crate::Telemetry`].
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    cell: Option<HistogramCell>,
+}
+
+impl Histogram {
+    pub(crate) fn from_cell(cell: Option<HistogramCell>) -> Self {
+        Histogram { cell }
+    }
+
+    /// A handle that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Histogram { cell: None }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if let Some(cell) = &self.cell {
+            cell.observe(value);
+        }
+    }
+
+    /// Starts a timed span. Disabled handles skip the clock read, so a
+    /// span on the off-path costs one branch, not one syscall.
+    #[inline]
+    pub fn start_span(&self) -> SpanTimer {
+        SpanTimer {
+            start: if self.cell.is_some() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Ends a span, recording its duration in microseconds; returns the
+    /// recorded value (0 when the span was started disabled).
+    #[inline]
+    pub fn record_span(&self, span: SpanTimer) -> u64 {
+        match (&self.cell, span.start) {
+            (Some(cell), Some(start)) => {
+                let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                cell.observe(us);
+                us
+            }
+            _ => 0,
+        }
+    }
+
+    /// A copy of the current state (all zeros when disabled).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell
+            .as_ref()
+            .map(|cell| cell.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Whether this handle records anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+/// An in-flight timed span (see [`Histogram::start_span`]).
+#[derive(Debug)]
+#[must_use = "a span records nothing until passed to Histogram::record_span"]
+pub struct SpanTimer {
+    start: Option<Instant>,
+}
+
+impl SpanTimer {
+    /// A span that will record nothing.
+    pub fn disabled() -> Self {
+        SpanTimer { start: None }
+    }
+}
+
+/// One registered metric series.
+#[derive(Clone)]
+pub(crate) struct Entry {
+    pub name: String,
+    pub label_key: String,
+    pub label_value: String,
+    pub metric: MetricKind,
+}
+
+#[derive(Clone)]
+pub(crate) enum MetricKind {
+    Counter(CounterCell),
+    Gauge(GaugeCell),
+    Histogram(HistogramCell),
+}
+
+impl MetricKind {
+    fn matches(&self, other: &MetricKind) -> bool {
+        matches!(
+            (self, other),
+            (MetricKind::Counter(_), MetricKind::Counter(_))
+                | (MetricKind::Gauge(_), MetricKind::Gauge(_))
+                | (MetricKind::Histogram(_), MetricKind::Histogram(_))
+        )
+    }
+}
+
+/// The series registry: a flat list under a mutex, linear-searched on
+/// resolution. Registries hold tens of series; resolution happens
+/// outside hot loops, recording never touches the lock.
+#[derive(Default)]
+pub(crate) struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    fn resolve(
+        &self,
+        name: &str,
+        label_key: &str,
+        label_value: &str,
+        fresh: impl FnOnce() -> MetricKind,
+    ) -> MetricKind {
+        let mut entries = self.entries.lock().expect("telemetry registry poisoned");
+        let probe = fresh();
+        if let Some(entry) = entries.iter().find(|e| {
+            e.name == name
+                && e.label_key == label_key
+                && e.label_value == label_value
+                && e.metric.matches(&probe)
+        }) {
+            return entry.metric.clone();
+        }
+        entries.push(Entry {
+            name: name.to_string(),
+            label_key: label_key.to_string(),
+            label_value: label_value.to_string(),
+            metric: probe.clone(),
+        });
+        probe
+    }
+
+    pub(crate) fn counter(&self, name: &str, label_key: &str, label_value: &str) -> CounterCell {
+        match self.resolve(name, label_key, label_value, || {
+            MetricKind::Counter(Arc::new(AtomicU64::new(0)))
+        }) {
+            MetricKind::Counter(cell) => cell,
+            _ => unreachable!("resolve matched on kind"),
+        }
+    }
+
+    pub(crate) fn gauge(&self, name: &str, label_key: &str, label_value: &str) -> GaugeCell {
+        match self.resolve(name, label_key, label_value, || {
+            MetricKind::Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+        }) {
+            MetricKind::Gauge(cell) => cell,
+            _ => unreachable!("resolve matched on kind"),
+        }
+    }
+
+    pub(crate) fn histogram(
+        &self,
+        name: &str,
+        label_key: &str,
+        label_value: &str,
+    ) -> HistogramCell {
+        match self.resolve(name, label_key, label_value, || {
+            MetricKind::Histogram(Arc::new(AtomicHistogram::default()))
+        }) {
+            MetricKind::Histogram(cell) => cell,
+            _ => unreachable!("resolve matched on kind"),
+        }
+    }
+
+    /// A copy of all series (cells shared) in registration order.
+    pub(crate) fn entries(&self) -> Vec<Entry> {
+        self.entries
+            .lock()
+            .expect("telemetry registry poisoned")
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 31);
+        for b in 1..NUM_BUCKETS - 1 {
+            let lo = bucket_lower_bound(b);
+            let hi = bucket_upper_bound(b);
+            assert_eq!(bucket_index(lo), b, "lower bound of bucket {b}");
+            assert_eq!(bucket_index(hi), b, "upper bound of bucket {b}");
+            assert_eq!(bucket_index(hi + 1), b + 1, "first value past bucket {b}");
+            assert_eq!(hi + 1, 2 * lo.max(1), "bucket {b} spans one power of two");
+        }
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_upper_bound(0), 0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        let hist = AtomicHistogram::default();
+        // 4 observations all in bucket [8, 15].
+        for v in [8u64, 10, 12, 15] {
+            hist.observe(v);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.max, 15);
+        // q=1 reaches the observed max, not the bucket edge.
+        assert!((snap.quantile(1.0) - 15.0).abs() < 1e-12);
+        // q=0.5 lands strictly inside the bucket: rank 2 of 4 → half way.
+        let mid = snap.quantile(0.5);
+        assert!(mid > 8.0 && mid < 15.0, "mid = {mid}");
+        // Monotone in q.
+        assert!(snap.quantile(0.25) <= snap.quantile(0.75));
+    }
+
+    #[test]
+    fn quantile_handles_empty_and_single_observation() {
+        let hist = AtomicHistogram::default();
+        assert_eq!(hist.snapshot().quantile(0.99), 0.0);
+        hist.observe(100);
+        let snap = hist.snapshot();
+        // One observation: every quantile is that observation's bucket,
+        // clamped to the observed max.
+        assert!(snap.quantile(0.5) <= 100.0);
+        assert!(snap.quantile(0.5) >= bucket_lower_bound(bucket_index(100)) as f64);
+        assert!((snap.quantile(1.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_records_microseconds() {
+        let hist = Histogram::from_cell(Some(Arc::new(AtomicHistogram::default())));
+        let span = hist.start_span();
+        let us = hist.record_span(span);
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.max, us);
+        // Disabled histograms skip the clock and record nothing.
+        let off = Histogram::disabled();
+        let span = off.start_span();
+        assert_eq!(off.record_span(span), 0);
+        assert_eq!(off.snapshot().count, 0);
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`baselines`] | `jocal-baselines` | LRFU (paper comparator), LRU, LFU, FIFO, random, static |
 //! | [`experiments`] | `jocal-experiments` | per-figure reproduction harness, sweeps, reports |
 //! | [`serve`] | `jocal-serve` | streaming serving engine: O(w)-memory slot loop, demand sources, request dispatch, JSON-lines metrics |
+//! | [`telemetry`] | `jocal-telemetry` | counters, gauges, power-of-two histograms, timed spans, event log, Prometheus/JSON-lines export |
 //!
 //! # Quickstart
 //!
@@ -55,6 +56,7 @@ pub use jocal_online as online;
 pub use jocal_optim as optim;
 pub use jocal_serve as serve;
 pub use jocal_sim as sim;
+pub use jocal_telemetry as telemetry;
 
 /// Workspace version string.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
