@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event file produced by `--trace-out`.
+
+Checks three properties the tracer guarantees:
+
+1. The file is valid JSON with a ``traceEvents`` array of complete
+   ("ph": "X") events.
+2. Spans are well-nested per thread: replayed in start order, every
+   span ends no later than its enclosing span (the causal tree never
+   has a child overflowing its parent).
+3. The full solver hierarchy is present: slot -> decide ->
+   window_solve -> pd_solve -> pd_iteration.
+
+Usage: check_trace.py TRACE.json
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    assert events, "no trace events"
+
+    by_tid = defaultdict(list)
+    for e in events:
+        assert e["ph"] == "X", f"unexpected event phase: {e}"
+        assert e["dur"] >= 0, f"negative duration: {e}"
+        # Sort key: start ascending, then longer span first so a parent
+        # sharing its child's start timestamp is replayed first.
+        by_tid[e["tid"]].append((e["ts"], -e["dur"], e["ts"] + e["dur"], e["name"]))
+
+    names = set()
+    for tid, spans in by_tid.items():
+        spans.sort()
+        stack = []
+        for ts, _negdur, end, name in spans:
+            while stack and ts >= stack[-1]:
+                stack.pop()
+            assert not stack or end <= stack[-1], (
+                f"span {name!r} on tid {tid} ends at {end}, "
+                f"after its parent at {stack[-1]}"
+            )
+            stack.append(end)
+            names.add(name)
+
+    for required in ("slot", "decide", "window_solve", "pd_solve", "pd_iteration"):
+        assert required in names, f"missing span name {required!r}"
+
+    print(
+        f"trace OK: {len(events)} well-nested spans across "
+        f"{len(by_tid)} thread(s); names={sorted(names)}"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])

@@ -6,9 +6,10 @@
 //!    global allocator:
 //!    - resolving handle bundles against `Telemetry::disabled()` and
 //!      driving every per-slot telemetry call the serving engine makes
-//!      (`observe`, `incr`, `add`, span start/record, repair-report
-//!      recording) must perform **zero heap allocations** — the exact
-//!      off-path the engine runs per slot;
+//!      (`observe`, `incr`, `add`, span start/record, disabled causal
+//!      tracer start/finish, repair-report recording) must perform
+//!      **zero heap allocations** — the exact off-path the engine runs
+//!      per slot;
 //!    - two identical disabled-telemetry serve runs must allocate the
 //!      same number of times (the off-path adds no per-run allocation
 //!      noise), and the smoke prints the allocation delta of an
@@ -75,10 +76,12 @@ fn disabled_slot_loop_allocates_nothing() {
     let decide_us = telemetry.histogram_with("serve_decide_us", "policy", "rhc");
     let slots_total = telemetry.counter("serve_slots_total");
     let requests_total = telemetry.counter("serve_requests_total");
+    let tracer = telemetry.tracer();
     let report = RepairReport::default();
 
     let before = allocations();
     for i in 0..10_000u64 {
+        let slot_trace = tracer.start_with("slot", "t", i);
         let span = window.solve_us.start_span();
         let _ = window.solve_us.record_span(span);
         window.solves.incr();
@@ -87,6 +90,9 @@ fn disabled_slot_loop_allocates_nothing() {
         decide_us.observe(i);
         slots_total.incr();
         requests_total.add(i);
+        let inner = tracer.start("decide");
+        tracer.finish(inner);
+        tracer.finish(slot_trace);
     }
     let delta = allocations() - before;
     assert_eq!(

@@ -1,0 +1,219 @@
+//! Headline performance numbers as machine-readable artifacts.
+//!
+//! Criterion produces rich local reports but nothing CI can diff or
+//! archive cheaply; this runner times the two numbers the roadmap
+//! tracks — streaming serve throughput and the window-solve latency
+//! distribution — and writes them as small JSON files:
+//!
+//! * `BENCH_serve.json` — median slots/sec of a telemetry-off
+//!   [`ServeEngine`] run (RHC, `NullSink`), the configuration whose
+//!   per-slot overhead the telemetry benches guard.
+//! * `BENCH_primal_dual.json` — p50/p99 latency of an Algorithm 1
+//!   window solve at the online iteration budget.
+//!
+//! Flags: `--out DIR` (default `.`), `--slots N`, `--runs K`,
+//! `--window W`, `--solves S`. Wall-clock timing only — run on a quiet
+//! machine; CI uploads the artifacts for trend eyeballing rather than
+//! gating on them.
+
+use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver};
+use jocal_core::problem::ProblemInstance;
+use jocal_core::{CacheState, CostModel};
+use jocal_online::rhc::RhcPolicy;
+use jocal_serve::engine::{ServeConfig, ServeEngine};
+use jocal_serve::metrics::NullSink;
+use jocal_serve::source::SyntheticSource;
+use jocal_sim::popularity::ZipfMandelbrot;
+use jocal_sim::scenario::ScenarioConfig;
+use jocal_sim::stream::StreamingDemand;
+use jocal_sim::topology::Network;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ServeBench {
+    bench: String,
+    slots: usize,
+    runs: usize,
+    median_slots_per_sec: f64,
+    min_slots_per_sec: f64,
+    max_slots_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct PrimalDualBench {
+    bench: String,
+    window: usize,
+    solves: usize,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+struct Options {
+    out: PathBuf,
+    slots: usize,
+    runs: usize,
+    window: usize,
+    solves: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            out: PathBuf::from("."),
+            slots: 64,
+            runs: 5,
+            window: 5,
+            solves: 40,
+        }
+    }
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        match args[i].as_str() {
+            "--out" => opts.out = PathBuf::from(&args[i + 1]),
+            "--slots" => opts.slots = args[i + 1].parse().expect("--slots takes a count"),
+            "--runs" => opts.runs = args[i + 1].parse().expect("--runs takes a count"),
+            "--window" => opts.window = args[i + 1].parse().expect("--window takes a length"),
+            "--solves" => opts.solves = args[i + 1].parse().expect("--solves takes a count"),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    assert!(opts.runs >= 1 && opts.solves >= 1, "need at least one run");
+    opts
+}
+
+/// The reduced scenario the telemetry benches also use: small enough
+/// that a run takes seconds, large enough that the solver dominates.
+fn lean_config(window: usize) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.num_sbs = 4;
+    cfg.num_contents = 10;
+    cfg.classes_per_sbs = 4;
+    cfg.prediction_window = window;
+    cfg
+}
+
+fn source_for(cfg: &ScenarioConfig, network: &Network, slots: usize) -> SyntheticSource {
+    let popularity = ZipfMandelbrot::new(cfg.num_contents, cfg.zipf_alpha, cfg.zipf_q)
+        .expect("popularity builds");
+    let generator = StreamingDemand::new(
+        popularity,
+        cfg.temporal.clone(),
+        ScenarioConfig::demand_seed(42),
+    )
+    .expect("streaming demand builds");
+    SyntheticSource::bounded(generator, network.clone(), slots)
+}
+
+fn bench_serve(opts: &Options) -> ServeBench {
+    const WINDOW: usize = 3;
+    let cfg = lean_config(WINDOW);
+    let network = cfg.build_network(42).expect("network builds");
+    let model = CostModel::paper();
+    let mut rates = Vec::with_capacity(opts.runs);
+    // One warm-up run to populate lazily-initialized state.
+    for run in 0..=opts.runs {
+        let engine = ServeEngine::new(&network, &model, ServeConfig::new(WINDOW, 42));
+        let mut source = source_for(&cfg, &network, opts.slots);
+        let mut policy = RhcPolicy::new(WINDOW, PrimalDualOptions::online());
+        let start = Instant::now();
+        let report = engine
+            .run(
+                &mut source,
+                &mut policy,
+                CacheState::empty(&network),
+                &mut NullSink,
+            )
+            .expect("serve run succeeds");
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(report.summary.slots, opts.slots, "source ended early");
+        if run > 0 {
+            rates.push(opts.slots as f64 / elapsed);
+        }
+    }
+    rates.sort_by(|a, b| a.total_cmp(b));
+    ServeBench {
+        bench: "serve".to_string(),
+        slots: opts.slots,
+        runs: opts.runs,
+        median_slots_per_sec: rates[rates.len() / 2],
+        min_slots_per_sec: rates[0],
+        max_slots_per_sec: rates[rates.len() - 1],
+    }
+}
+
+fn bench_primal_dual(opts: &Options) -> PrimalDualBench {
+    let scenario = lean_config(opts.window)
+        .with_horizon(opts.window)
+        .build(42)
+        .expect("scenario builds");
+    let problem =
+        ProblemInstance::fresh(scenario.network, scenario.demand).expect("problem builds");
+    let solver = PrimalDualSolver::new(PrimalDualOptions::online());
+    let mut durations_us = Vec::with_capacity(opts.solves);
+    let _ = solver.solve(&problem).expect("warm-up solve");
+    for _ in 0..opts.solves {
+        let start = Instant::now();
+        let solution = solver.solve(&problem).expect("window solve succeeds");
+        let elapsed = start.elapsed();
+        assert!(solution.breakdown.total().is_finite());
+        durations_us.push(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+    durations_us.sort_unstable();
+    let rank = |q: f64| {
+        let idx = ((q * durations_us.len() as f64).ceil() as usize).max(1) - 1;
+        durations_us[idx.min(durations_us.len() - 1)]
+    };
+    PrimalDualBench {
+        bench: "primal_dual".to_string(),
+        window: opts.window,
+        solves: opts.solves,
+        p50_us: rank(0.50),
+        p99_us: rank(0.99),
+        max_us: durations_us[durations_us.len() - 1],
+    }
+}
+
+fn main() {
+    let opts = parse_options();
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+
+    let serve = bench_serve(&opts);
+    let path = opts.out.join("BENCH_serve.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&serve).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_serve.json");
+    println!(
+        "serve: median {:.1} slots/sec over {} runs of {} slots -> {}",
+        serve.median_slots_per_sec,
+        serve.runs,
+        serve.slots,
+        path.display()
+    );
+
+    let pd = bench_primal_dual(&opts);
+    let path = opts.out.join("BENCH_primal_dual.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&pd).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_primal_dual.json");
+    println!(
+        "primal_dual: window {} solve p50 {} us, p99 {} us ({} solves) -> {}",
+        pd.window,
+        pd.p50_us,
+        pd.p99_us,
+        pd.solves,
+        path.display()
+    );
+}

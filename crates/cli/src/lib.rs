@@ -18,8 +18,9 @@
 use jocal_core::workspace::Parallelism;
 use jocal_core::{CacheState, CostModel};
 use jocal_experiments::schemes::{build_online_policy, run_scheme_observed, RunConfig, Scheme};
-use jocal_serve::engine::{ServeConfig, ServeEngine};
-use jocal_serve::metrics::{JsonLinesSink, NullSink, RunHeader, ServeSummary};
+use jocal_online::ratio::RatioOptions;
+use jocal_serve::engine::{ServeConfig, ServeEngine, ServeReport};
+use jocal_serve::metrics::{JsonLinesSink, MetricsSink, NullSink, RunHeader, SplitLedgerSink};
 use jocal_serve::source::SyntheticSource;
 use jocal_sim::popularity::ZipfMandelbrot;
 use jocal_sim::predictor::NoiseModel;
@@ -74,12 +75,27 @@ OPTIONS (run / serve telemetry):
                         all counters/gauges/histograms to this file
                         (observation never changes decisions: runs with
                         and without telemetry are bit-identical)
+    --trace-out <p>     record causal spans (slot > decide >
+                        window_solve > pd_solve > pd_iteration > P1/P2)
+                        and write them as Chrome trace-event JSON
+                        (load in chrome://tracing or Perfetto)
+    --folded-out <p>    write the same spans as collapsed stacks
+                        (one `path;to;frame <self-us>` per line, ready
+                        for flamegraph.pl / inferno)
 
 OPTIONS (serve only):
     --slots <T>         number of slots to serve (default: the scenario
                         horizon; memory stays O(window) regardless)
     --metrics-out <p>   write JSON-lines metrics (header/slot/summary
                         records) to this file
+    --ledger-out <p>    write the per-slot cost-attribution ledger
+                        (per-SBS f_t/g_t/h shares, offload fraction,
+                        cache churn) as JSON-lines to this file
+    --ratio <B>         track the empirical competitive ratio online:
+                        certify a dual lower bound every B slots and
+                        emit ratio records (plus a watchdog when the
+                        ratio exceeds the paper's 2.618 CHC bound or a
+                        realized constraint is violated)
 ";
 
 /// Errors surfaced to the CLI user.
@@ -131,6 +147,14 @@ pub struct CliArgs {
     pub telemetry_out: Option<PathBuf>,
     /// `--prom-out` (Prometheus text-exposition snapshot)
     pub prom_out: Option<PathBuf>,
+    /// `--trace-out` (Chrome trace-event JSON of causal spans)
+    pub trace_out: Option<PathBuf>,
+    /// `--folded-out` (collapsed-stack flamegraph file of causal spans)
+    pub folded_out: Option<PathBuf>,
+    /// `--ledger-out` (serve: JSON-lines per-slot cost ledger)
+    pub ledger_out: Option<PathBuf>,
+    /// `--ratio` (serve: dual-bound block size for the gap tracker)
+    pub ratio: Option<usize>,
 }
 
 /// Parses raw arguments (without the program name).
@@ -229,6 +253,28 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, Box<dyn Error>> {
                 out.prom_out = Some(PathBuf::from(value(i)?));
                 i += 2;
             }
+            "--trace-out" => {
+                out.trace_out = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
+            "--folded-out" => {
+                out.folded_out = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
+            "--ledger-out" => {
+                out.ledger_out = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
+            "--ratio" => {
+                let block: usize = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--ratio expects a block size (usize >= 1)"))?;
+                if block == 0 {
+                    return Err(CliError::boxed("--ratio block size must be at least 1"));
+                }
+                out.ratio = Some(block);
+                i += 2;
+            }
             other => return Err(CliError::boxed(format!("unknown flag {other}"))),
         }
     }
@@ -265,10 +311,15 @@ pub fn parse_scheme(name: &str, commitment: usize) -> Result<Scheme, Box<dyn Err
 /// RHC-only run, for example, never touches the CHC rounding counters,
 /// but dashboards still expect the series to exist at zero).
 fn telemetry_for(args: &CliArgs) -> Telemetry {
-    if args.telemetry_out.is_none() && args.prom_out.is_none() {
+    let tracing = args.trace_out.is_some() || args.folded_out.is_some();
+    if args.telemetry_out.is_none() && args.prom_out.is_none() && !tracing {
         return Telemetry::disabled();
     }
-    let telemetry = Telemetry::enabled();
+    let telemetry = if tracing {
+        Telemetry::traced()
+    } else {
+        Telemetry::enabled()
+    };
     let _ = telemetry.histogram("pd_iterations");
     let _ = telemetry.counter("pd_iterations_total");
     let _ = telemetry.histogram("pd_dual_residual_norm_1e6");
@@ -308,6 +359,22 @@ fn write_telemetry_outputs(
             .map_err(|e| CliError::boxed(format!("cannot create {}: {e}", path.display())))?;
         let mut w = BufWriter::new(file);
         telemetry.write_prometheus(&mut w)?;
+        w.flush()?;
+        writeln!(out, "wrote {}", path.display())?;
+    }
+    if let Some(path) = &args.trace_out {
+        let file = fs::File::create(path)
+            .map_err(|e| CliError::boxed(format!("cannot create {}: {e}", path.display())))?;
+        let mut w = BufWriter::new(file);
+        telemetry.tracer().write_chrome_trace(&mut w)?;
+        w.flush()?;
+        writeln!(out, "wrote {}", path.display())?;
+    }
+    if let Some(path) = &args.folded_out {
+        let file = fs::File::create(path)
+            .map_err(|e| CliError::boxed(format!("cannot create {}: {e}", path.display())))?;
+        let mut w = BufWriter::new(file);
+        telemetry.tracer().write_collapsed(&mut w)?;
         w.flush()?;
         writeln!(out, "wrote {}", path.display())?;
     }
@@ -451,7 +518,8 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
             }
         }
         "serve" => {
-            let summary = run_serve(args)?;
+            let report = run_serve(args)?;
+            let summary = &report.summary;
             writeln!(out, "policy             {}", summary.header.policy)?;
             writeln!(out, "seed               {}", summary.header.seed)?;
             writeln!(out, "noise seed         {}", summary.header.noise_seed)?;
@@ -476,9 +544,38 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
                 summary.solve_latency.p99_us,
                 summary.solve_latency.max_us
             )?;
-            for path in [&args.metrics_out, &args.telemetry_out, &args.prom_out]
-                .into_iter()
-                .flatten()
+            if let Some(ratio) = &report.ratio {
+                match ratio.ratio {
+                    Some(r) => writeln!(
+                        out,
+                        "empirical ratio    {:.4} over {} blocks ({} slots; bound {:.4}{})",
+                        r,
+                        ratio.blocks,
+                        ratio.covered_slots,
+                        ratio.bound,
+                        if ratio.exceeds_bound {
+                            "; WATCHDOG: bound exceeded"
+                        } else {
+                            ""
+                        }
+                    )?,
+                    None => writeln!(
+                        out,
+                        "empirical ratio    n/a ({} blocks certified)",
+                        ratio.blocks
+                    )?,
+                }
+            }
+            for path in [
+                &args.metrics_out,
+                &args.ledger_out,
+                &args.telemetry_out,
+                &args.prom_out,
+                &args.trace_out,
+                &args.folded_out,
+            ]
+            .into_iter()
+            .flatten()
             {
                 writeln!(out, "wrote {}", path.display())?;
             }
@@ -502,7 +599,7 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
 ///
 /// Rejects the offline scheme (no step-wise form) and propagates
 /// configuration, solver and I/O failures.
-pub fn run_serve(args: &CliArgs) -> Result<ServeSummary, Box<dyn Error>> {
+pub fn run_serve(args: &CliArgs) -> Result<ServeReport, Box<dyn Error>> {
     let scheme = parse_scheme(args.scheme.as_deref().unwrap_or("rhc"), args.commitment)?;
     let config = load_config(args)?;
     let network = config.build_network(args.seed)?;
@@ -534,20 +631,35 @@ pub fn run_serve(args: &CliArgs) -> Result<ServeSummary, Box<dyn Error>> {
 
     let mut serve_cfg = ServeConfig::new(run_cfg.window, args.seed);
     serve_cfg.noise = NoiseModel::new(run_cfg.eta, run_cfg.predictor_seed);
+    serve_cfg.ledger = args.ledger_out.is_some();
+    serve_cfg.ratio = args.ratio.map(|block| RatioOptions {
+        block,
+        ..RatioOptions::default()
+    });
     let model = CostModel::paper();
     let telemetry = telemetry_for(args);
     let engine = ServeEngine::new(&network, &model, serve_cfg).with_telemetry(telemetry.clone());
     let initial = CacheState::empty(&network);
 
-    let report = match &args.metrics_out {
-        Some(path) => {
-            let file = fs::File::create(path)
-                .map_err(|e| CliError::boxed(format!("cannot create {}: {e}", path.display())))?;
-            let mut sink = JsonLinesSink::new(BufWriter::new(file));
-            engine.run(&mut source, policy.as_mut(), initial, &mut sink)?
-        }
-        None => engine.run(&mut source, policy.as_mut(), initial, &mut NullSink)?,
+    // Sink assembly: the main metrics stream and the (optionally
+    // separate) ledger stream. Ledger records never enter the main
+    // metrics file — `--ledger-out` gets its own self-describing
+    // JSON-lines stream.
+    let open = |path: &PathBuf| -> Result<JsonLinesSink<BufWriter<fs::File>>, Box<dyn Error>> {
+        let file = fs::File::create(path)
+            .map_err(|e| CliError::boxed(format!("cannot create {}: {e}", path.display())))?;
+        Ok(JsonLinesSink::new(BufWriter::new(file)))
     };
+    let primary: Box<dyn MetricsSink> = match &args.metrics_out {
+        Some(path) => Box::new(open(path)?),
+        None => Box::new(NullSink),
+    };
+    let mut sink: Box<dyn MetricsSink> = match &args.ledger_out {
+        Some(path) => Box::new(SplitLedgerSink::new(primary, open(path)?)),
+        None => primary,
+    };
+    let report = engine.run(&mut source, policy.as_mut(), initial, sink.as_mut())?;
+    sink.flush()?;
     if telemetry.is_enabled() {
         // The "wrote …" lines are printed by `execute`; swallow them
         // here so `run_serve` stays usable as a quiet library call.
@@ -559,7 +671,7 @@ pub fn run_serve(args: &CliArgs) -> Result<ServeSummary, Box<dyn Error>> {
         )
         .map_err(|e| CliError::boxed(format!("telemetry output failed: {e}")))?;
     }
-    Ok(report.summary)
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -876,10 +988,142 @@ mod tests {
                 argv.push("--prom-out".into());
                 argv.push(dir.join("parity.prom").to_str().unwrap().into());
             }
-            let s = run_serve(&parse_args(&argv).unwrap()).unwrap();
+            let s = run_serve(&parse_args(&argv).unwrap()).unwrap().summary;
             (s.requests, s.sbs_served.to_bits(), s.cost.total().to_bits())
         };
         assert_eq!(run(false), run(true));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_trace_ledger_and_ratio_flags() {
+        let args = parse_args(&strings(&[
+            "serve",
+            "--slots",
+            "10",
+            "--trace-out",
+            "/tmp/t.trace.json",
+            "--folded-out",
+            "/tmp/t.folded",
+            "--ledger-out",
+            "/tmp/t.ledger.jsonl",
+            "--ratio",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(
+            args.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.trace.json"))
+        );
+        assert_eq!(
+            args.folded_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.folded"))
+        );
+        assert_eq!(
+            args.ledger_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.ledger.jsonl"))
+        );
+        assert_eq!(args.ratio, Some(8));
+        assert!(parse_args(&strings(&["serve", "--ratio", "0"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--ratio", "x"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn serve_writes_trace_ledger_and_ratio_outputs() {
+        let dir = std::env::temp_dir().join("jocal-cli-trace-ledger-test");
+        fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("m.jsonl");
+        let ledger = dir.join("l.jsonl");
+        let trace = dir.join("t.trace.json");
+        let folded = dir.join("t.folded");
+        let args = parse_args(&strings(&[
+            "serve",
+            "--scheme",
+            "chc",
+            "--horizon",
+            "6",
+            "--window",
+            "3",
+            "--seed",
+            "7",
+            "--ratio",
+            "3",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--ledger-out",
+            ledger.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--folded-out",
+            folded.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(&args, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("empirical ratio"), "got:\n{text}");
+        for path in [&metrics, &ledger, &trace, &folded] {
+            assert!(
+                text.contains(&format!("wrote {}", path.display())),
+                "missing wrote line for {}:\n{text}",
+                path.display()
+            );
+        }
+
+        // Main metrics stream: header + 6 slots + 2 ratio records +
+        // summary — ledger records stay out of it.
+        let lines: Vec<String> = fs::read_to_string(&metrics)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        assert_eq!(lines.len(), 1 + 6 + 2 + 1, "got:\n{}", lines.join("\n"));
+        assert!(!lines.iter().any(|l| l.contains("\"kind\":\"ledger\"")));
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"kind\":\"ratio\""))
+                .count(),
+            2,
+            "6 slots / block of 3"
+        );
+
+        // Ledger stream: its own header plus one record per slot.
+        let ledger_lines: Vec<String> = fs::read_to_string(&ledger)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        assert_eq!(ledger_lines.len(), 1 + 6);
+        assert!(ledger_lines[0].contains("\"kind\":\"header\""));
+        assert!(ledger_lines[1].contains("\"kind\":\"ledger\""));
+        assert!(ledger_lines[1].contains("\"per_sbs\""));
+
+        // Chrome trace parses as JSON and carries the causal span names.
+        let trace_text = fs::read_to_string(&trace).unwrap();
+        let parsed: serde::Value = serde_json::from_str(&trace_text).unwrap();
+        let events = match parsed.get("traceEvents") {
+            Some(serde::Value::Array(events)) => events,
+            other => panic!("traceEvents missing or not an array: {other:?}"),
+        };
+        assert!(!events.is_empty());
+        for name in ["slot", "decide", "window_solve", "pd_solve"] {
+            let want = serde::Value::Str(name.to_string());
+            assert!(
+                events.iter().any(|e| e.get("name") == Some(&want)),
+                "missing {name} span"
+            );
+        }
+
+        // Collapsed stacks nest slot → decide → window_solve.
+        let folded_text = fs::read_to_string(&folded).unwrap();
+        assert!(
+            folded_text
+                .lines()
+                .any(|l| l.starts_with("slot;decide;window_solve")),
+            "got:\n{folded_text}"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -896,7 +1140,7 @@ mod tests {
                 "11",
             ]))
             .unwrap();
-            let s = run_serve(&args).unwrap();
+            let s = run_serve(&args).unwrap().summary;
             (s.requests, s.sbs_served.to_bits(), s.cost.total().to_bits())
         };
         assert_eq!(run(), run());
@@ -916,7 +1160,7 @@ mod tests {
             "1",
         ]))
         .unwrap();
-        let summary = run_serve(&args).unwrap();
+        let summary = run_serve(&args).unwrap().summary;
         assert_eq!(summary.slots, 4);
         assert!(summary.peak_buffered_slots <= 2);
     }

@@ -1,0 +1,300 @@
+//! Per-slot cost-attribution ledger: *why* a slot cost what it did.
+//!
+//! [`crate::accounting`] reports the paper's headline totals; the
+//! ledger decomposes one executed slot into its per-SBS components —
+//! the BS operating share of eq. 5, the SBS operating share of eq. 6
+//! and the replacement share of eq. 8 — plus the serving quantities
+//! that explain them: realized demand, offloaded demand, the demand
+//! fraction falling on cached items, and cache churn (fetches and
+//! evictions).
+//!
+//! The decomposition is exact by construction, not approximately
+//! reconciled: every component is computed with the same primitives
+//! ([`CostModel::bs_load`], [`CostModel::sbs_load`],
+//! [`CacheState::fetches_from`]) and summed in the same SBS order as
+//! [`crate::accounting::evaluate_slot`], so the ledger's totals equal
+//! the evaluated [`CostBreakdown`] *bitwise* — the serving engine
+//! asserts this on every streamed slot.
+
+use crate::accounting::CostBreakdown;
+use crate::cost::CostModel;
+use crate::plan::{CachePlan, CacheState, LoadPlan};
+use crate::problem::ProblemInstance;
+use jocal_sim::demand::DemandTrace;
+use jocal_sim::topology::{ClassId, ContentId, Network};
+use serde::{Deserialize, Serialize};
+
+/// One SBS's share of a slot's cost and serving activity.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SbsLedger {
+    /// SBS index `n`.
+    pub sbs: usize,
+    /// This SBS's term of `f_t` (eq. 5): cost of the demand it left to
+    /// the macro BS.
+    pub bs_cost: f64,
+    /// This SBS's term of `g_t` (eq. 6): cost of the demand it served.
+    pub sbs_cost: f64,
+    /// This SBS's term of `h` (eq. 8): `β_n ·` fetches.
+    pub replacement: f64,
+    /// Items fetched into the cache this slot.
+    pub fetches: usize,
+    /// Items evicted from the cache this slot.
+    pub evictions: usize,
+    /// Total realized request rate `Σ_{m,k} λ` at this SBS.
+    pub demand: f64,
+    /// Offloaded request rate `Σ_{m,k} λ·y` (served at the SBS).
+    pub offloaded: f64,
+    /// Realized request rate on items the executed cache holds.
+    pub hit_demand: f64,
+}
+
+impl SbsLedger {
+    /// Fraction of this SBS's demand served locally (0 when idle).
+    #[must_use]
+    pub fn offload_fraction(&self) -> f64 {
+        if self.demand > 0.0 {
+            self.offloaded / self.demand
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of this SBS's demand falling on cached items.
+    #[must_use]
+    pub fn hit_fraction(&self) -> f64 {
+        if self.demand > 0.0 {
+            self.hit_demand / self.demand
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full cost attribution of one executed slot.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SlotLedger {
+    /// Slot index `t`.
+    pub slot: usize,
+    /// `f_t` — sum of the per-SBS `bs_cost` terms (eq. 5).
+    pub bs_operating: f64,
+    /// `g_t` — sum of the per-SBS `sbs_cost` terms (eq. 6).
+    pub sbs_operating: f64,
+    /// `h` — sum of the per-SBS `replacement` terms (eq. 8).
+    pub replacement: f64,
+    /// Total fetches this slot (the paper's replacement count).
+    pub fetches: usize,
+    /// Total evictions this slot.
+    pub evictions: usize,
+    /// Total realized demand across SBSs.
+    pub demand: f64,
+    /// Total offloaded demand across SBSs.
+    pub offloaded: f64,
+    /// Total demand on cached items across SBSs.
+    pub hit_demand: f64,
+    /// The per-SBS decomposition, in SBS order.
+    pub per_sbs: Vec<SbsLedger>,
+}
+
+impl SlotLedger {
+    /// `f_t + g_t + h` — the slot's realized objective (eq. 9 term).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.bs_operating + self.sbs_operating + self.replacement
+    }
+
+    /// Network-wide offload fraction (0 when the slot is idle).
+    #[must_use]
+    pub fn offload_fraction(&self) -> f64 {
+        if self.demand > 0.0 {
+            self.offloaded / self.demand
+        } else {
+            0.0
+        }
+    }
+
+    /// The slot's cost as a [`CostBreakdown`] (bitwise equal to
+    /// [`crate::accounting::evaluate_slot`] on the same inputs).
+    #[must_use]
+    pub fn breakdown(&self) -> CostBreakdown {
+        CostBreakdown {
+            bs_operating: self.bs_operating,
+            sbs_operating: self.sbs_operating,
+            replacement: self.replacement,
+            replacement_count: self.fetches,
+        }
+    }
+}
+
+/// Attributes one executed slot: realized `demand` and executed `y` at
+/// index `t`, cache transition `prev → cache`, reported as slot `slot`.
+///
+/// Mirrors [`crate::accounting::evaluate_slot`] exactly: identical
+/// per-SBS primitives, identical summation order, so the returned
+/// totals are bitwise equal to the evaluated breakdown.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors evaluate_slot + the reported slot index
+pub fn ledger_slot(
+    network: &Network,
+    model: &CostModel,
+    demand: &DemandTrace,
+    prev: &CacheState,
+    cache: &CacheState,
+    y: &LoadPlan,
+    t: usize,
+    slot: usize,
+) -> SlotLedger {
+    let mut out = SlotLedger {
+        slot,
+        per_sbs: Vec::with_capacity(network.num_sbs()),
+        ..Default::default()
+    };
+    for (n, sbs) in network.iter_sbs() {
+        let fetches = cache.fetches_from(prev, n);
+        let evictions = (prev.occupancy(n) + fetches).saturating_sub(cache.occupancy(n));
+        let mut entry = SbsLedger {
+            sbs: n.0,
+            bs_cost: model.bs_cost.value(model.bs_load(network, demand, y, t, n)),
+            sbs_cost: model
+                .sbs_cost
+                .value(model.sbs_load(network, demand, y, t, n)),
+            replacement: sbs.replacement_cost() * fetches as f64,
+            fetches,
+            evictions,
+            ..Default::default()
+        };
+        for m in 0..sbs.num_classes() {
+            for k in 0..network.num_contents() {
+                let lam = demand.lambda(t, n, ClassId(m), ContentId(k));
+                entry.demand += lam;
+                entry.offloaded += lam * y.y(t, n, ClassId(m), ContentId(k));
+                if cache.contains(n, ContentId(k)) {
+                    entry.hit_demand += lam;
+                }
+            }
+        }
+        out.bs_operating += entry.bs_cost;
+        out.sbs_operating += entry.sbs_cost;
+        out.replacement += entry.replacement;
+        out.fetches += entry.fetches;
+        out.evictions += entry.evictions;
+        out.demand += entry.demand;
+        out.offloaded += entry.offloaded;
+        out.hit_demand += entry.hit_demand;
+        out.per_sbs.push(entry);
+    }
+    out
+}
+
+/// Attributes a full executed plan slot by slot (the batch counterpart
+/// of the serving engine's streamed ledger).
+#[must_use]
+pub fn ledger_plan(problem: &ProblemInstance, x: &CachePlan, y: &LoadPlan) -> Vec<SlotLedger> {
+    let network = problem.network();
+    let demand = problem.demand();
+    let model = problem.cost_model();
+    let horizon = x.horizon().min(y.horizon());
+    let mut out = Vec::with_capacity(horizon);
+    let mut prev: &CacheState = problem.initial_cache();
+    for t in 0..horizon {
+        out.push(ledger_slot(
+            network,
+            model,
+            demand,
+            prev,
+            x.state(t),
+            y,
+            t,
+            t,
+        ));
+        prev = x.state(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accounting::{evaluate_per_slot, evaluate_slot};
+    use jocal_sim::scenario::ScenarioConfig;
+    use jocal_sim::topology::SbsId;
+
+    #[test]
+    fn ledger_totals_match_evaluate_slot_bitwise() {
+        let s = ScenarioConfig::tiny().build(11).unwrap();
+        let model = CostModel::paper();
+        let prev = CacheState::empty(&s.network);
+        let mut cache = CacheState::empty(&s.network);
+        cache.set(SbsId(0), ContentId(0), true);
+        let mut y = LoadPlan::zeros(&s.network, 1);
+        y.set_y(0, SbsId(0), ClassId(0), ContentId(0), 0.7);
+        let ledger = ledger_slot(&s.network, &model, &s.demand, &prev, &cache, &y, 0, 0);
+        let eval = evaluate_slot(&s.network, &model, &s.demand, &prev, &cache, &y, 0);
+        assert_eq!(ledger.bs_operating.to_bits(), eval.bs_operating.to_bits());
+        assert_eq!(ledger.sbs_operating.to_bits(), eval.sbs_operating.to_bits());
+        assert_eq!(ledger.replacement.to_bits(), eval.replacement.to_bits());
+        assert_eq!(ledger.fetches, eval.replacement_count);
+        assert_eq!(ledger.breakdown(), eval);
+        // The per-SBS rows sum to the slot totals (same order → bitwise).
+        let f: f64 = ledger.per_sbs.iter().map(|e| e.bs_cost).sum();
+        assert_eq!(f.to_bits(), ledger.bs_operating.to_bits());
+    }
+
+    #[test]
+    fn churn_counts_fetches_and_evictions() {
+        let s = ScenarioConfig::tiny().build(12).unwrap();
+        let model = CostModel::paper();
+        let mut prev = CacheState::empty(&s.network);
+        prev.set(SbsId(0), ContentId(0), true);
+        prev.set(SbsId(0), ContentId(1), true);
+        let mut cache = CacheState::empty(&s.network);
+        cache.set(SbsId(0), ContentId(0), true);
+        cache.set(SbsId(0), ContentId(2), true);
+        let y = LoadPlan::zeros(&s.network, 1);
+        let ledger = ledger_slot(&s.network, &model, &s.demand, &prev, &cache, &y, 0, 5);
+        assert_eq!(ledger.slot, 5);
+        let sbs0 = &ledger.per_sbs[0];
+        // Item 2 fetched, item 1 evicted, item 0 retained.
+        assert_eq!(sbs0.fetches, 1);
+        assert_eq!(sbs0.evictions, 1);
+        // Evictions are free (eq. 8): only the fetch is charged.
+        let beta = s.network.sbs(SbsId(0)).unwrap().replacement_cost();
+        assert!((sbs0.replacement - beta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offload_and_hit_fractions_are_bounded() {
+        let s = ScenarioConfig::tiny().build(13).unwrap();
+        let model = CostModel::paper();
+        let prev = CacheState::empty(&s.network);
+        let mut cache = CacheState::empty(&s.network);
+        cache.set(SbsId(0), ContentId(0), true);
+        let mut y = LoadPlan::zeros(&s.network, 1);
+        y.set_y(0, SbsId(0), ClassId(0), ContentId(0), 1.0);
+        let ledger = ledger_slot(&s.network, &model, &s.demand, &prev, &cache, &y, 0, 0);
+        for entry in &ledger.per_sbs {
+            assert!((0.0..=1.0 + 1e-12).contains(&entry.offload_fraction()));
+            assert!((0.0..=1.0 + 1e-12).contains(&entry.hit_fraction()));
+            // Only cached items can be offloaded (y ≤ x).
+            assert!(entry.offloaded <= entry.hit_demand + 1e-12);
+        }
+        assert!(ledger.offload_fraction() > 0.0, "served item 0 fully");
+    }
+
+    #[test]
+    fn plan_ledger_matches_per_slot_accounting() {
+        let s = ScenarioConfig::tiny().build(14).unwrap();
+        let problem = ProblemInstance::fresh(s.network, s.demand).unwrap();
+        let horizon = problem.demand().horizon();
+        let mut x = CachePlan::empty(problem.network(), horizon);
+        x.state_mut(0).set(SbsId(0), ContentId(0), true);
+        let mut y = LoadPlan::zeros(problem.network(), horizon);
+        y.set_y(0, SbsId(0), ClassId(0), ContentId(0), 1.0);
+        let ledgers = ledger_plan(&problem, &x, &y);
+        let evals = evaluate_per_slot(&problem, &x, &y);
+        assert_eq!(ledgers.len(), evals.len());
+        for (ledger, eval) in ledgers.iter().zip(evals.iter()) {
+            assert_eq!(ledger.total().to_bits(), eval.total().to_bits());
+            assert_eq!(ledger.fetches, eval.replacement_count);
+        }
+    }
+}

@@ -23,6 +23,9 @@
 //! * [`brute`] — an exhaustive oracle for tiny instances (tests).
 //! * [`accounting`] — cost decomposition matching the paper's reported
 //!   metrics.
+//! * [`ledger`] — per-SBS, per-slot cost attribution (`f_t`/`g_t`/`h`
+//!   shares plus offload fraction and cache churn), bitwise-consistent
+//!   with [`accounting`].
 //!
 //! # Example
 //!
@@ -53,6 +56,7 @@ pub mod cost;
 pub mod distributed;
 pub mod error;
 pub mod fastslot;
+pub mod ledger;
 pub mod loadbalance;
 pub mod observe;
 pub mod offline;
@@ -66,6 +70,7 @@ pub mod workspace;
 pub use accounting::CostBreakdown;
 pub use cost::{CostFunction, CostModel};
 pub use error::CoreError;
+pub use ledger::{SbsLedger, SlotLedger};
 pub use observe::SubSolveMetrics;
 pub use plan::{CachePlan, CacheState, LoadPlan};
 pub use problem::ProblemInstance;

@@ -30,7 +30,7 @@ use crate::workspace::Parallelism;
 use crate::CoreError;
 use jocal_optim::subgradient::{DualAscent, StepSchedule};
 use jocal_sim::topology::{ClassId, ContentId};
-use jocal_telemetry::{Counter, FieldValue, Gauge, Histogram, Telemetry};
+use jocal_telemetry::{Counter, FieldValue, Gauge, Histogram, Telemetry, Tracer};
 
 /// Options controlling the primal-dual loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,6 +150,7 @@ struct PdMetrics {
     p1: SubSolveMetrics,
     p2: SubSolveMetrics,
     recovery: SubSolveMetrics,
+    tracer: Tracer,
 }
 
 impl PdMetrics {
@@ -158,6 +159,7 @@ impl PdMetrics {
             return Self::default();
         }
         PdMetrics {
+            tracer: telemetry.tracer(),
             solve_us: telemetry.histogram("pd_solve_us"),
             solves: telemetry.counter("pd_solves_total"),
             iterations: telemetry.counter("pd_iterations_total"),
@@ -277,6 +279,9 @@ impl PrimalDualSolver {
         let observing = self.telemetry.is_enabled();
         let pd = PdMetrics::resolve(&self.telemetry);
         let solve_span = pd.solve_us.start_span();
+        // Causal span for the whole solve; children (iterations, P1/P2
+        // sub-solves) nest under it on the driving thread.
+        let solve_trace = pd.tracer.start("pd_solve");
         let network = problem.network();
         let horizon = problem.horizon();
         let scale = opts
@@ -331,10 +336,16 @@ impl PrimalDualSolver {
         let mut history = Vec::with_capacity(opts.max_iterations);
         for l in 0..opts.max_iterations {
             iterations = l + 1;
+            let iter_trace = pd
+                .tracer
+                .start_with("pd_iteration", "iteration", iterations as u64);
             // --- Primal step: solve P1 and P2 under current μ. ----------
+            let p1_trace = pd.tracer.start("p1");
             let p1_span = pd.p1_us.start_span();
             let (x_plan, p1_obj) = solve_caching_all_observed(problem, &mu, par, &pd.p1)?;
             pd.p1_us.record_span(p1_span);
+            pd.tracer.finish(p1_trace);
+            let p2_trace = pd.tracer.start("p2");
             let p2_span = pd.p2_us.start_span();
             let p2_obj = solve_load_all_into_observed(
                 problem,
@@ -345,6 +356,7 @@ impl PrimalDualSolver {
                 &pd.p2,
             )?;
             pd.p2_us.record_span(p2_span);
+            pd.tracer.finish(p2_trace);
             std::mem::swap(&mut y_next, &mut y_warm);
             have_warm = true;
             let y_plan = &y_warm;
@@ -354,6 +366,7 @@ impl PrimalDualSolver {
 
             // --- Primal recovery: exact Y for the integral X. ------------
             if l % opts.recovery_every.max(1) == 0 || l + 1 == opts.max_iterations {
+                let recovery_trace = pd.tracer.start("recovery");
                 let recovery_span = pd.recovery_us.start_span();
                 solve_load_given_cache_into_observed(
                     problem,
@@ -364,6 +377,7 @@ impl PrimalDualSolver {
                     &pd.recovery,
                 )?;
                 pd.recovery_us.record_span(recovery_span);
+                pd.tracer.finish(recovery_trace);
                 std::mem::swap(&mut rec_next, &mut rec_warm);
                 have_rec_warm = true;
                 let y_feas = &rec_warm;
@@ -387,6 +401,7 @@ impl PrimalDualSolver {
             });
 
             if ascent.relative_gap() <= opts.epsilon {
+                pd.tracer.finish(iter_trace);
                 break;
             }
 
@@ -434,7 +449,9 @@ impl PrimalDualSolver {
                     ],
                 );
             }
+            pd.tracer.finish(iter_trace);
         }
+        pd.tracer.finish(solve_trace);
 
         let Some((cache_plan, load_plan, breakdown)) = best else {
             return Err(CoreError::NoFeasibleSolution { iterations });
@@ -604,6 +621,44 @@ mod tests {
         let events = tele.take_events();
         assert!(events.iter().any(|e| e.name == "pd_iter"));
         assert!(events.iter().any(|e| e.name == "pd_done"));
+    }
+
+    #[test]
+    fn tracing_records_well_nested_solver_spans() {
+        let s = ScenarioConfig::tiny().build(9).unwrap();
+        let problem = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+        let opts = PrimalDualOptions {
+            max_iterations: 6,
+            ..Default::default()
+        };
+        let plain = PrimalDualSolver::new(opts).solve(&problem).unwrap();
+        let tele = Telemetry::traced();
+        let traced = PrimalDualSolver::new(opts)
+            .with_telemetry(tele.clone())
+            .solve(&problem)
+            .unwrap();
+        // Tracing is observation-only.
+        assert_eq!(plain.cache_plan, traced.cache_plan);
+        assert_eq!(
+            plain.breakdown.total().to_bits(),
+            traced.breakdown.total().to_bits()
+        );
+        let tracer = tele.tracer();
+        assert_eq!(tracer.malformed_spans(), 0);
+        let spans = tracer.spans();
+        let solve = spans.iter().find(|s| s.name == "pd_solve").unwrap();
+        assert_eq!(solve.parent, None);
+        let iters: Vec<_> = spans.iter().filter(|s| s.name == "pd_iteration").collect();
+        assert_eq!(iters.len(), traced.iterations);
+        for iter in &iters {
+            assert_eq!(iter.parent, Some(solve.id));
+            assert!(iter.start_us >= solve.start_us && iter.end_us() <= solve.end_us());
+        }
+        // Every P1/P2 sub-solve nests in some iteration.
+        for sub in spans.iter().filter(|s| s.name == "p1" || s.name == "p2") {
+            assert!(iters.iter().any(|i| sub.parent == Some(i.id)), "{sub:?}");
+        }
+        assert!(spans.iter().any(|s| s.name == "recovery"));
     }
 
     #[test]

@@ -297,6 +297,18 @@ mod tests {
             "observed run must record window solves"
         );
         assert!(tele.counter("pd_solves_total").get() >= 1);
+
+        // Causal tracing must be just as invisible to the decisions.
+        let traced_tele = Telemetry::traced();
+        let traced = run_scheme_observed(Scheme::Rhc, &scenario, &config, &traced_tele).unwrap();
+        assert_eq!(
+            plain.breakdown.total().to_bits(),
+            traced.breakdown.total().to_bits(),
+            "tracing changed the run"
+        );
+        let tracer = traced_tele.tracer();
+        assert!(tracer.span_count() > 0, "traced run recorded no spans");
+        assert_eq!(tracer.malformed_spans(), 0);
     }
 
     #[test]

@@ -132,11 +132,16 @@ impl ChcPolicy {
             *ctx.cost_model,
             version.virtual_cache.clone(),
         )?;
+        let trace = self
+            .metrics
+            .tracer
+            .start_with("window_solve", "version", v as u64);
         let span = self.metrics.solve_us.start_span();
         let solution = self
             .solver
             .solve_with_warm(&problem, version.warm.as_ref())?;
         self.metrics.solve_us.record_span(span);
+        self.metrics.tracer.finish(trace);
         self.metrics.solves.incr();
         let commit = commit.min(len);
         for s in 0..commit {

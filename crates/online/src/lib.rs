@@ -18,7 +18,9 @@
 //! [`runner`] executes any [`policy::OnlinePolicy`] against ground-truth
 //! demand, repairing the (possibly prediction-based) load decisions to
 //! realized feasibility and producing the same cost accounting the paper
-//! reports. [`theory`] exposes the closed-form bounds.
+//! reports. [`theory`] exposes the closed-form bounds, and [`ratio`]
+//! tracks the *empirical* competitive ratio online against an
+//! incrementally certified dual lower bound.
 //!
 //! # Example
 //!
@@ -50,6 +52,7 @@ pub mod afhc;
 pub mod chc;
 pub mod observe;
 pub mod policy;
+pub mod ratio;
 pub mod repair;
 pub mod rhc;
 pub mod rounding;
@@ -58,4 +61,5 @@ pub mod theory;
 
 pub use observe::{RepairMetrics, RoundingMetrics, WindowMetrics};
 pub use policy::{Action, OnlinePolicy, PolicyContext};
+pub use ratio::{DualBoundTracker, RatioOptions, RatioSample};
 pub use rounding::RoundingPolicy;

@@ -8,7 +8,7 @@
 //! uninstrumented path stays allocation- and clock-free.
 
 use crate::repair::RepairReport;
-use jocal_telemetry::{Counter, Histogram, Telemetry};
+use jocal_telemetry::{Counter, Histogram, Telemetry, Tracer};
 
 /// Handles for one policy's window solves, labeled by policy name.
 ///
@@ -22,6 +22,8 @@ pub struct WindowMetrics {
     pub solve_us: Histogram,
     /// Window solves performed.
     pub solves: Counter,
+    /// Causal tracer for `window_solve` spans (disabled by default).
+    pub tracer: Tracer,
 }
 
 impl WindowMetrics {
@@ -41,6 +43,7 @@ impl WindowMetrics {
         WindowMetrics {
             solve_us: telemetry.histogram_with("window_solve_us", "policy", policy),
             solves: telemetry.counter_with("window_solves_total", "policy", policy),
+            tracer: telemetry.tracer(),
         }
     }
 

@@ -1,0 +1,386 @@
+//! Online optimality-gap tracking: the empirical competitive ratio
+//! against an incrementally maintained dual lower bound.
+//!
+//! Theorem 3 promises that CHC's cost stays within `1/ρ ≈ 2.618` of the
+//! offline optimum, but a running system never sees the optimum — so
+//! this module maintains a *certified lower bound* on it, online, and
+//! reports `realized cost / lower bound` as the running empirical
+//! competitive ratio.
+//!
+//! # The bound
+//!
+//! The served prefix is split into disjoint blocks of `B` slots. For
+//! each completed block, Algorithm 1 is run on the *realized* demand of
+//! that block (initial cache empty) and its weak-duality dual value is
+//! kept as `LB_empty`. Two corrections make the per-block bounds sum to
+//! a valid prefix bound:
+//!
+//! 1. **Free initial cache.** The offline optimum's cache state
+//!    entering a block is unknown; a plan entering with cache `S` is
+//!    converted to one entering empty by prepending the fetches of `S`,
+//!    costing at most `Σ_n β_n C_n`. Hence
+//!    `OPT_block^free ≥ LB_empty − Σ_n β_n C_n`.
+//! 2. **Clamping.** The corrected per-block bound is clamped at 0
+//!    (every block costs at least nothing).
+//!
+//! Restricting the offline optimum to each block and dropping the
+//! inter-block coupling only removes constraints, so
+//! `OPT(prefix) ≥ Σ_blocks max(0, LB_empty − Σ_n β_n C_n)` — the
+//! denominator. The numerator is the policy's realized cost over the
+//! same completed blocks, so the reported ratio is a true (if
+//! conservative) upper bound estimate of the empirical competitive
+//! ratio at every point in the stream.
+//!
+//! Block solves run on realized demand *after* decisions are made and
+//! never feed back into any policy, so enabling the tracker cannot
+//! change a single decision bit — the serve parity tests assert this.
+
+use jocal_core::plan::{CacheState, LoadPlan, FEASIBILITY_TOL};
+use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver};
+use jocal_core::problem::ProblemInstance;
+use jocal_core::workspace::Parallelism;
+use jocal_core::{CoreError, CostModel};
+use jocal_sim::demand::DemandTrace;
+use jocal_sim::topology::{ClassId, ContentId, Network};
+
+/// Configuration of the dual-bound tracker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioOptions {
+    /// Slots per dual-bound block `B`. Larger blocks amortize the
+    /// `Σ β_n C_n` free-cache correction over more slots (tighter
+    /// bound) but delay updates and cost more per solve.
+    pub block: usize,
+    /// Iteration budget for each block's Algorithm 1 solve.
+    pub max_iterations: usize,
+    /// Watchdog threshold on the running ratio (the paper's
+    /// `1/ρ ≈ 2.618` for CHC; see
+    /// [`crate::theory::paper_approximation_factor`]).
+    pub bound: f64,
+}
+
+impl Default for RatioOptions {
+    fn default() -> Self {
+        RatioOptions {
+            block: 32,
+            max_iterations: 30,
+            bound: crate::theory::paper_approximation_factor(),
+        }
+    }
+}
+
+/// A point-in-time reading of the tracker, emitted once per completed
+/// block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioSample {
+    /// Completed blocks folded into the bound.
+    pub blocks: usize,
+    /// Slots covered by those blocks.
+    pub slots: usize,
+    /// Realized policy cost over the covered slots.
+    pub realized_cost: f64,
+    /// Certified lower bound on the offline optimum over those slots.
+    pub lower_bound: f64,
+    /// `realized_cost / lower_bound`, or `None` while the bound is 0
+    /// (e.g. demand too sparse for any block to have positive cost).
+    pub ratio: Option<f64>,
+}
+
+/// Incrementally maintains the per-block dual lower bound and the
+/// running empirical competitive ratio (see the module docs).
+#[derive(Debug)]
+pub struct DualBoundTracker {
+    network: Network,
+    model: CostModel,
+    options: RatioOptions,
+    solver: PrimalDualSolver,
+    /// Per-block fetch allowance `Σ_n β_n C_n` (free-initial-cache
+    /// correction).
+    fetch_allowance: f64,
+    /// Realized demand of the block being filled.
+    buffer: DemandTrace,
+    filled: usize,
+    block_cost: f64,
+    /// Accumulated over completed blocks.
+    covered_slots: usize,
+    blocks: usize,
+    realized_cost: f64,
+    lower_bound: f64,
+}
+
+impl DualBoundTracker {
+    /// Creates a tracker for `network` under `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.block == 0`.
+    #[must_use]
+    pub fn new(network: &Network, model: &CostModel, options: RatioOptions) -> Self {
+        assert!(options.block >= 1, "ratio block must be at least 1 slot");
+        let fetch_allowance: f64 = network
+            .iter_sbs()
+            .map(|(_, sbs)| sbs.replacement_cost() * sbs.cache_capacity() as f64)
+            .sum();
+        let solver = PrimalDualSolver::new(PrimalDualOptions {
+            max_iterations: options.max_iterations,
+            // Block solves are diagnostics off the decision path; keep
+            // them single-threaded rather than competing with the
+            // policy's own fan-out.
+            parallelism: Parallelism::Threads(1),
+            ..PrimalDualOptions::default()
+        });
+        DualBoundTracker {
+            network: network.clone(),
+            model: *model,
+            options,
+            solver,
+            fetch_allowance,
+            buffer: DemandTrace::zeros(network, options.block),
+            filled: 0,
+            block_cost: 0.0,
+            covered_slots: 0,
+            blocks: 0,
+            realized_cost: 0.0,
+            lower_bound: 0.0,
+        }
+    }
+
+    /// The configured options.
+    #[must_use]
+    pub fn options(&self) -> &RatioOptions {
+        &self.options
+    }
+
+    /// Feeds one executed slot: its realized demand (slot `t` of
+    /// `truth`) and the policy's realized cost for it. Returns a fresh
+    /// [`RatioSample`] when this slot completes a block (triggering one
+    /// Algorithm 1 solve), `None` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-solve failures.
+    pub fn observe_slot(
+        &mut self,
+        truth: &DemandTrace,
+        t: usize,
+        slot_cost: f64,
+    ) -> Result<Option<RatioSample>, CoreError> {
+        self.buffer.copy_slot_from(self.filled, truth, t)?;
+        self.filled += 1;
+        self.block_cost += slot_cost;
+        if self.filled < self.options.block {
+            return Ok(None);
+        }
+        // Block complete: certify its lower bound from realized demand
+        // with an empty initial cache, then apply the free-initial-cache
+        // correction (module docs).
+        let problem = ProblemInstance::new(
+            self.network.clone(),
+            self.buffer.clone(),
+            self.model,
+            CacheState::empty(&self.network),
+        )?;
+        let solution = self.solver.solve(&problem)?;
+        let block_bound = (solution.lower_bound - self.fetch_allowance).max(0.0);
+        self.blocks += 1;
+        self.covered_slots += self.filled;
+        self.realized_cost += self.block_cost;
+        self.lower_bound += block_bound;
+        self.filled = 0;
+        self.block_cost = 0.0;
+        Ok(Some(self.sample()))
+    }
+
+    /// The current reading over completed blocks.
+    #[must_use]
+    pub fn sample(&self) -> RatioSample {
+        RatioSample {
+            blocks: self.blocks,
+            slots: self.covered_slots,
+            realized_cost: self.realized_cost,
+            lower_bound: self.lower_bound,
+            ratio: self.ratio(),
+        }
+    }
+
+    /// Running empirical competitive ratio, `None` while the lower
+    /// bound is 0.
+    #[must_use]
+    pub fn ratio(&self) -> Option<f64> {
+        (self.lower_bound > 0.0).then(|| self.realized_cost / self.lower_bound)
+    }
+
+    /// Whether the running ratio exceeds the configured watchdog bound.
+    #[must_use]
+    pub fn exceeds_bound(&self) -> bool {
+        self.ratio().is_some_and(|r| r > self.options.bound)
+    }
+}
+
+/// Checks one *executed* slot against the realized constraints and
+/// returns the names of violated constraint families (empty when
+/// feasible). The repair path guarantees feasibility, so a non-empty
+/// result indicates a bug upstream — the serving engine surfaces it as
+/// a watchdog event rather than silently under-reporting cost.
+#[must_use]
+pub fn slot_constraint_violations(
+    network: &Network,
+    truth: &DemandTrace,
+    truth_t: usize,
+    cache: &CacheState,
+    load: &LoadPlan,
+    load_t: usize,
+) -> Vec<&'static str> {
+    let mut violated = Vec::new();
+    let mut range_bad = false;
+    let mut coupling_bad = false;
+    let mut bandwidth_bad = false;
+    let mut capacity_bad = false;
+    for (n, sbs) in network.iter_sbs() {
+        let mut used = 0.0;
+        for m in 0..sbs.num_classes() {
+            for k in 0..network.num_contents() {
+                let y = load.y(load_t, n, ClassId(m), ContentId(k));
+                if !(-FEASIBILITY_TOL..=1.0 + FEASIBILITY_TOL).contains(&y) {
+                    range_bad = true;
+                }
+                if y > FEASIBILITY_TOL && !cache.contains(n, ContentId(k)) {
+                    coupling_bad = true;
+                }
+                used += truth.lambda(truth_t, n, ClassId(m), ContentId(k)) * y;
+            }
+        }
+        if used > sbs.bandwidth() + FEASIBILITY_TOL {
+            bandwidth_bad = true;
+        }
+        if cache.occupancy(n) > sbs.cache_capacity() {
+            capacity_bad = true;
+        }
+    }
+    if range_bad {
+        violated.push("range");
+    }
+    if coupling_bad {
+        violated.push("coupling");
+    }
+    if bandwidth_bad {
+        violated.push("bandwidth");
+    }
+    if capacity_bad {
+        violated.push("capacity");
+    }
+    violated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rhc::RhcPolicy;
+    use crate::runner::run_policy;
+    use jocal_sim::predictor::PerfectPredictor;
+    use jocal_sim::scenario::ScenarioConfig;
+    use jocal_sim::SbsId;
+
+    fn tiny_options(block: usize) -> RatioOptions {
+        RatioOptions {
+            block,
+            max_iterations: 20,
+            ..RatioOptions::default()
+        }
+    }
+
+    #[test]
+    fn ratio_certifies_a_real_policy_run() {
+        let s = ScenarioConfig::tiny().with_horizon(8).build(41).unwrap();
+        let model = CostModel::paper();
+        let predictor = PerfectPredictor::new(s.demand.clone());
+        let mut policy = RhcPolicy::new(3, PrimalDualOptions::online());
+        let outcome = run_policy(
+            &s.network,
+            &model,
+            &predictor,
+            &mut policy,
+            CacheState::empty(&s.network),
+        )
+        .unwrap();
+        let mut tracker = DualBoundTracker::new(&s.network, &model, tiny_options(4));
+        let mut samples = 0;
+        for (t, slot) in outcome.per_slot.iter().enumerate() {
+            if let Some(sample) = tracker.observe_slot(&s.demand, t, slot.total()).unwrap() {
+                samples += 1;
+                assert_eq!(sample.slots, sample.blocks * 4);
+                assert!(sample.lower_bound >= 0.0);
+                if let Some(ratio) = sample.ratio {
+                    // The bound is a true lower bound: the ratio of a
+                    // feasible policy can never drop below 1.
+                    assert!(ratio >= 1.0 - 1e-9, "ratio={ratio}");
+                }
+            }
+        }
+        assert_eq!(samples, 2, "8 slots / block of 4");
+        assert_eq!(tracker.sample().blocks, 2);
+        assert!(tracker.sample().realized_cost > 0.0);
+    }
+
+    #[test]
+    fn partial_blocks_are_not_counted() {
+        let s = ScenarioConfig::tiny().with_horizon(5).build(42).unwrap();
+        let model = CostModel::paper();
+        let mut tracker = DualBoundTracker::new(&s.network, &model, tiny_options(4));
+        for t in 0..5 {
+            let _ = tracker.observe_slot(&s.demand, t, 1.0).unwrap();
+        }
+        let sample = tracker.sample();
+        // Slot 4 sits in an incomplete block: excluded from both sides.
+        assert_eq!(sample.slots, 4);
+        assert!((sample.realized_cost - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watchdog_flags_only_above_bound() {
+        let s = ScenarioConfig::tiny().with_horizon(4).build(43).unwrap();
+        let model = CostModel::paper();
+        let mut tracker = DualBoundTracker::new(
+            &s.network,
+            &model,
+            RatioOptions {
+                block: 4,
+                max_iterations: 20,
+                bound: 1e12, // nothing realistic exceeds this
+            },
+        );
+        for t in 0..4 {
+            let _ = tracker.observe_slot(&s.demand, t, 1e6).unwrap();
+        }
+        assert!(!tracker.exceeds_bound());
+        // Same costs against the paper bound: a deliberately terrible
+        // "policy" (10⁶ per slot) must trip the watchdog if the block
+        // has any positive lower bound.
+        let mut strict = DualBoundTracker::new(&s.network, &model, tiny_options(4));
+        for t in 0..4 {
+            let _ = strict.observe_slot(&s.demand, t, 1e6).unwrap();
+        }
+        if strict.ratio().is_some() {
+            assert!(strict.exceeds_bound());
+        }
+    }
+
+    #[test]
+    fn constraint_checker_matches_repair_guarantees() {
+        let s = ScenarioConfig::tiny().build(44).unwrap();
+        let network = &s.network;
+        let cache = CacheState::empty(network);
+        let load = LoadPlan::zeros(network, 1);
+        assert!(slot_constraint_violations(network, &s.demand, 0, &cache, &load, 0).is_empty());
+        // Offloading an uncached item violates coupling (and possibly
+        // bandwidth, depending on the draw).
+        let mut bad = LoadPlan::zeros(network, 1);
+        bad.set_y(0, SbsId(0), ClassId(0), ContentId(0), 1.0);
+        let violations = slot_constraint_violations(network, &s.demand, 0, &cache, &bad, 0);
+        assert!(violations.contains(&"coupling"), "{violations:?}");
+        // Out-of-range y.
+        let mut oob = LoadPlan::zeros(network, 1);
+        oob.set_y(0, SbsId(0), ClassId(0), ContentId(0), 1.5);
+        let violations = slot_constraint_violations(network, &s.demand, 0, &cache, &oob, 0);
+        assert!(violations.contains(&"range"), "{violations:?}");
+    }
+}

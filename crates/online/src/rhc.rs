@@ -72,9 +72,14 @@ impl OnlinePolicy for RhcPolicy {
             *ctx.cost_model,
             ctx.current_cache.clone(),
         )?;
+        let trace = self
+            .metrics
+            .tracer
+            .start_with("window_solve", "window", len as u64);
         let span = self.metrics.solve_us.start_span();
         let solution = self.solver.solve_with_warm(&problem, self.warm.as_ref())?;
         self.metrics.solve_us.record_span(span);
+        self.metrics.tracer.finish(trace);
         self.metrics.solves.incr();
 
         // Shift the dual state one slot forward for the next window.

@@ -75,6 +75,7 @@ pub fn run_policy_observed(
 ) -> Result<SimulationOutcome, CoreError> {
     policy.instrument(telemetry);
     let repair_metrics = RepairMetrics::resolve(telemetry);
+    let tracer = telemetry.tracer();
     let truth = predictor.truth().clone();
     let horizon = truth.horizon();
     let mut cache_plan = CachePlan::empty(network, horizon);
@@ -82,6 +83,7 @@ pub fn run_policy_observed(
     let mut current = initial.clone();
 
     for t in 0..horizon {
+        let slot_trace = tracer.start_with("slot", "t", t as u64);
         let ctx = PolicyContext {
             network,
             cost_model,
@@ -89,7 +91,9 @@ pub fn run_policy_observed(
             current_cache: &current,
             horizon,
         };
+        let decide_trace = tracer.start("decide");
         let action = policy.decide(t, &ctx)?;
+        tracer.finish(decide_trace);
 
         // Stage the raw decision, then repair it in place against the
         // realized demand through the same code path the streaming
@@ -102,6 +106,7 @@ pub fn run_policy_observed(
                 }
             }
         }
+        let repair_trace = tracer.start("repair");
         let report = repair_slot(
             network,
             &truth,
@@ -112,9 +117,11 @@ pub fn run_policy_observed(
             policy.name(),
             t,
         )?;
+        tracer.finish(repair_trace);
         repair_metrics.record(&report);
         *cache_plan.state_mut(t) = action.cache.clone();
         current = action.cache;
+        tracer.finish(slot_trace);
     }
 
     let problem = ProblemInstance::new(network.clone(), truth, *cost_model, initial)?;
@@ -283,6 +290,72 @@ mod tests {
             tele.counter("repair_slots_total").get(),
             s.demand.horizon() as u64
         );
+    }
+
+    #[test]
+    fn traced_run_produces_causal_slot_hierarchy() {
+        use crate::rhc::RhcPolicy;
+        use jocal_core::primal_dual::PrimalDualOptions;
+
+        let s = ScenarioConfig::tiny().build(25).unwrap();
+        let predictor = PerfectPredictor::new(s.demand.clone());
+        let make = || RhcPolicy::new(3, PrimalDualOptions::online());
+        let plain = run_policy(
+            &s.network,
+            &CostModel::paper(),
+            &predictor,
+            &mut make(),
+            CacheState::empty(&s.network),
+        )
+        .unwrap();
+        let tele = Telemetry::traced();
+        let traced = run_policy_observed(
+            &s.network,
+            &CostModel::paper(),
+            &predictor,
+            &mut make(),
+            CacheState::empty(&s.network),
+            &tele,
+        )
+        .unwrap();
+        // Tracing must not perturb a single decision bit.
+        assert_eq!(plain.cache_plan, traced.cache_plan);
+        assert_eq!(
+            plain.breakdown.total().to_bits(),
+            traced.breakdown.total().to_bits()
+        );
+
+        let tracer = tele.tracer();
+        assert_eq!(tracer.malformed_spans(), 0);
+        let spans = tracer.spans();
+        let by_id: std::collections::HashMap<u64, &jocal_telemetry::SpanRecord> =
+            spans.iter().map(|s| (s.id, s)).collect();
+        let horizon = s.demand.horizon();
+        let count = |name: &str| spans.iter().filter(|s| s.name == name).count();
+        assert_eq!(count("slot"), horizon);
+        assert_eq!(count("decide"), horizon);
+        assert_eq!(count("repair"), horizon);
+        assert_eq!(count("window_solve"), horizon, "RHC solves every slot");
+        assert!(count("pd_solve") >= horizon);
+        assert!(count("pd_iteration") >= horizon);
+        // Causal chain: every window_solve sits under a decide, which
+        // sits under a slot; every pd_solve sits under a window_solve.
+        for span in &spans {
+            let parent_name = span.parent.and_then(|p| by_id.get(&p)).map(|p| p.name);
+            match span.name {
+                "slot" => assert_eq!(parent_name, None),
+                "decide" | "repair" => assert_eq!(parent_name, Some("slot")),
+                "window_solve" => assert_eq!(parent_name, Some("decide")),
+                "pd_solve" => assert_eq!(parent_name, Some("window_solve")),
+                "pd_iteration" => assert_eq!(parent_name, Some("pd_solve")),
+                _ => {}
+            }
+            // Well-nested in time.
+            if let Some(parent) = span.parent.and_then(|p| by_id.get(&p)) {
+                assert!(span.start_us >= parent.start_us);
+                assert!(span.end_us() <= parent.end_us());
+            }
+        }
     }
 
     #[test]

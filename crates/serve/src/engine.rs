@@ -13,20 +13,24 @@
 //! slot buffer — nothing grows with the horizon.
 
 use crate::error::ServeError;
-use crate::metrics::{LatencyHistogram, MetricsSink, RunHeader, ServeSummary, SlotMetrics};
+use crate::metrics::{
+    LatencyHistogram, MetricsSink, RatioRecord, RunHeader, ServeSummary, SlotMetrics,
+};
 use crate::source::DemandSource;
 use crate::window::SlidingWindow;
 use jocal_core::accounting::{evaluate_slot, CostBreakdown};
+use jocal_core::ledger::ledger_slot;
 use jocal_core::plan::{CacheState, LoadPlan};
 use jocal_core::CostModel;
 use jocal_online::observe::RepairMetrics;
 use jocal_online::policy::{OnlinePolicy, PolicyContext};
+use jocal_online::ratio::{slot_constraint_violations, DualBoundTracker, RatioOptions};
 use jocal_online::repair::repair_slot;
 use jocal_sim::predictor::NoiseModel;
 use jocal_sim::requests::{sample_slot_rng, RequestCounts};
 use jocal_sim::topology::Network;
 use jocal_sim::{ClassId, ContentId};
-use jocal_telemetry::Telemetry;
+use jocal_telemetry::{FieldValue, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::ops::Add;
@@ -46,6 +50,18 @@ pub struct ServeConfig {
     /// = run until the source is exhausted; required for unbounded
     /// sources).
     pub max_slots: Option<usize>,
+    /// Emit one [`jocal_core::SlotLedger`] per slot through
+    /// [`MetricsSink::ledger`] — the full per-SBS cost attribution.
+    /// Pure observation of already-made decisions: on/off runs are
+    /// bit-identical.
+    pub ledger: bool,
+    /// Run the online optimality-gap tracker
+    /// ([`jocal_online::ratio::DualBoundTracker`]), emitting one
+    /// [`RatioRecord`] per completed dual-bound block and raising
+    /// watchdog events when the empirical competitive ratio exceeds the
+    /// configured bound or an executed slot violates a realized
+    /// constraint. Also pure observation.
+    pub ratio: Option<RatioOptions>,
 }
 
 impl ServeConfig {
@@ -57,6 +73,8 @@ impl ServeConfig {
             seed,
             noise: NoiseModel::new(0.0, 0),
             max_slots: None,
+            ledger: false,
+            ratio: None,
         }
     }
 }
@@ -67,6 +85,9 @@ impl ServeConfig {
 pub struct ServeReport {
     /// The aggregate summary.
     pub summary: ServeSummary,
+    /// Final reading of the optimality-gap tracker (`None` unless
+    /// [`ServeConfig::ratio`] was configured).
+    pub ratio: Option<RatioRecord>,
 }
 
 /// The streaming serving engine.
@@ -177,6 +198,14 @@ impl<'a> ServeEngine<'a> {
         let slots_total = self.telemetry.counter("serve_slots_total");
         let requests_total = self.telemetry.counter("serve_requests_total");
         let repair_metrics = RepairMetrics::resolve(&self.telemetry);
+        let tracer = self.telemetry.tracer();
+        let watchdog_ratio = self.telemetry.counter("serve_watchdog_ratio_total");
+        let watchdog_constraint = self.telemetry.counter("serve_watchdog_constraint_total");
+        let mut tracker = self
+            .config
+            .ratio
+            .map(|opts| DualBoundTracker::new(self.network, self.cost_model, opts));
+        let mut last_ratio: Option<RatioRecord> = None;
 
         let mut window = SlidingWindow::new(self.network);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -196,7 +225,9 @@ impl<'a> ServeEngine<'a> {
             }
 
             // --- Decide -------------------------------------------------
+            let slot_trace = tracer.start_with("slot", "t", t as u64);
             let started = Instant::now();
+            let decide_trace = tracer.start("decide");
             let action = {
                 let predictor = window.predictor(self.config.noise);
                 let ctx = PolicyContext {
@@ -208,6 +239,7 @@ impl<'a> ServeEngine<'a> {
                 };
                 policy.decide(t, &ctx)?
             };
+            tracer.finish(decide_trace);
             let solve_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
 
             // --- Repair against the realized slot ------------------------
@@ -220,6 +252,7 @@ impl<'a> ServeEngine<'a> {
                     }
                 }
             }
+            let repair_trace = tracer.start("repair");
             let repair = repair_slot(
                 self.network,
                 truth,
@@ -230,6 +263,7 @@ impl<'a> ServeEngine<'a> {
                 policy.name(),
                 t,
             )?;
+            tracer.finish(repair_trace);
 
             // --- Charge realized costs -----------------------------------
             let cost = evaluate_slot(
@@ -259,6 +293,80 @@ impl<'a> ServeEngine<'a> {
                 buffered_slots: window.buffered(),
             };
             sink.slot(&metrics)?;
+
+            // --- Attribute (ledger) and certify (ratio tracker) ----------
+            // Both read executed state only; neither can perturb a
+            // decision bit.
+            if self.config.ledger {
+                let ledger = ledger_slot(
+                    self.network,
+                    self.cost_model,
+                    truth,
+                    &prev_cache,
+                    &action.cache,
+                    &slot_load,
+                    0,
+                    t,
+                );
+                debug_assert_eq!(
+                    ledger.breakdown(),
+                    cost,
+                    "ledger must reconcile bitwise with the evaluated slot"
+                );
+                sink.ledger(&ledger)?;
+            }
+            if let Some(tracker) = tracker.as_mut() {
+                let violations = slot_constraint_violations(
+                    self.network,
+                    truth,
+                    0,
+                    &action.cache,
+                    &slot_load,
+                    0,
+                );
+                if !violations.is_empty() {
+                    watchdog_constraint.incr();
+                    self.telemetry.event(
+                        "serve_watchdog_constraint",
+                        &[
+                            ("slot", FieldValue::U64(t as u64)),
+                            ("families", FieldValue::U64(violations.len() as u64)),
+                        ],
+                    );
+                }
+                let block_trace = tracer.start("ratio_block");
+                let sample = tracker.observe_slot(truth, 0, cost.total())?;
+                tracer.finish(block_trace);
+                if let Some(sample) = sample {
+                    let record = RatioRecord {
+                        slot: t,
+                        blocks: sample.blocks,
+                        covered_slots: sample.slots,
+                        realized_cost: sample.realized_cost,
+                        lower_bound: sample.lower_bound,
+                        ratio: sample.ratio,
+                        bound: tracker.options().bound,
+                        exceeds_bound: tracker.exceeds_bound(),
+                    };
+                    if record.exceeds_bound {
+                        watchdog_ratio.incr();
+                        self.telemetry.event(
+                            "serve_watchdog_ratio",
+                            &[
+                                ("slot", FieldValue::U64(t as u64)),
+                                (
+                                    "ratio",
+                                    FieldValue::F64(record.ratio.unwrap_or(f64::INFINITY)),
+                                ),
+                                ("bound", FieldValue::F64(record.bound)),
+                            ],
+                        );
+                    }
+                    sink.ratio(&record)?;
+                    last_ratio = Some(record);
+                }
+            }
+
             histogram.observe(solve_us);
             totals.fold(&metrics);
             decide_us.observe(solve_us);
@@ -268,6 +376,7 @@ impl<'a> ServeEngine<'a> {
 
             prev_cache = action.cache;
             window.advance();
+            tracer.finish(slot_trace);
         }
 
         let summary = ServeSummary {
@@ -288,7 +397,24 @@ impl<'a> ServeEngine<'a> {
             solve_latency: histogram.summarize(),
         };
         sink.summary(&summary)?;
-        Ok(ServeReport { summary })
+        // With the tracker on but no block completed yet, report a
+        // zero-block reading rather than nothing.
+        let ratio = tracker.map(|tr| {
+            last_ratio.unwrap_or_else(|| {
+                let sample = tr.sample();
+                RatioRecord {
+                    slot: summary.slots.saturating_sub(1),
+                    blocks: sample.blocks,
+                    covered_slots: sample.slots,
+                    realized_cost: sample.realized_cost,
+                    lower_bound: sample.lower_bound,
+                    ratio: sample.ratio,
+                    bound: tr.options().bound,
+                    exceeds_bound: tr.exceeds_bound(),
+                }
+            })
+        });
+        Ok(ServeReport { summary, ratio })
     }
 }
 
@@ -515,6 +641,87 @@ mod tests {
             horizon
         );
         assert!(tele.counter("serve_requests_total").get() > 0);
+    }
+
+    #[test]
+    fn ledger_and_ratio_ride_along_without_perturbing() {
+        let s = ScenarioConfig::tiny().with_horizon(8).build(66).unwrap();
+        let model = CostModel::paper();
+        let run = |ledger: bool, ratio: Option<RatioOptions>| {
+            let mut config = ServeConfig::new(3, 11);
+            config.ledger = ledger;
+            config.ratio = ratio;
+            let engine = ServeEngine::new(&s.network, &model, config);
+            let mut sink = MemorySink::default();
+            let report = engine
+                .run(
+                    &mut TraceSource::new(s.demand.clone()),
+                    &mut Greedy,
+                    CacheState::empty(&s.network),
+                    &mut sink,
+                )
+                .unwrap();
+            (report, sink)
+        };
+        let opts = RatioOptions {
+            block: 4,
+            max_iterations: 20,
+            ..RatioOptions::default()
+        };
+        let (plain_report, plain_sink) = run(false, None);
+        let (report, sink) = run(true, Some(opts));
+
+        // Attribution and certification are pure observation.
+        assert_eq!(plain_report.summary, report.summary);
+        assert!(plain_report.ratio.is_none());
+        for (a, b) in plain_sink.slots.iter().zip(&sink.slots) {
+            assert_eq!(a.cost.total().to_bits(), b.cost.total().to_bits());
+        }
+
+        // One ledger per slot, reconciling bitwise with the slot cost.
+        assert_eq!(sink.ledgers.len(), report.summary.slots);
+        for (slot, ledger) in sink.slots.iter().zip(&sink.ledgers) {
+            assert_eq!(slot.slot, ledger.slot);
+            assert_eq!(ledger.total().to_bits(), slot.cost.total().to_bits());
+            assert_eq!(ledger.breakdown(), slot.cost);
+        }
+
+        // 8 slots / block of 4 → two ratio records; a real policy's
+        // ratio can never drop below 1 against a valid lower bound.
+        assert_eq!(sink.ratios.len(), 2);
+        let last = report.ratio.expect("tracker was on");
+        assert_eq!(last, *sink.ratios.last().unwrap());
+        assert_eq!(last.covered_slots, 8);
+        if let Some(r) = last.ratio {
+            assert!(r >= 1.0 - 1e-9, "ratio={r}");
+        }
+    }
+
+    #[test]
+    fn ratio_report_present_even_before_first_block() {
+        let s = ScenarioConfig::tiny().with_horizon(3).build(67).unwrap();
+        let model = CostModel::paper();
+        let mut config = ServeConfig::new(2, 1);
+        config.ratio = Some(RatioOptions {
+            block: 16, // longer than the stream: no block ever completes
+            max_iterations: 10,
+            ..RatioOptions::default()
+        });
+        let engine = ServeEngine::new(&s.network, &model, config);
+        let mut sink = MemorySink::default();
+        let report = engine
+            .run(
+                &mut TraceSource::new(s.demand.clone()),
+                &mut Greedy,
+                CacheState::empty(&s.network),
+                &mut sink,
+            )
+            .unwrap();
+        assert!(sink.ratios.is_empty());
+        let reading = report.ratio.expect("tracker was on");
+        assert_eq!(reading.blocks, 0);
+        assert_eq!(reading.ratio, None);
+        assert!(!reading.exceeds_bound);
     }
 
     /// A sink that records whether the engine asked for a flush.

@@ -58,7 +58,10 @@ pub mod window;
 
 pub use engine::{ServeConfig, ServeEngine, ServeReport};
 pub use error::ServeError;
-pub use metrics::{JsonLinesSink, MemorySink, MetricsSink, NullSink, ServeSummary, SlotMetrics};
+pub use metrics::{
+    JsonLinesSink, MemorySink, MetricsSink, NullSink, RatioRecord, ServeSummary, SlotMetrics,
+    SplitLedgerSink,
+};
 pub use source::{
     ChunkedTraceReader, DemandSource, PoissonRealizedSource, SyntheticSource, TraceSource,
 };

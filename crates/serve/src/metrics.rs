@@ -11,6 +11,7 @@
 
 use crate::error::ServeError;
 use jocal_core::accounting::CostBreakdown;
+use jocal_core::ledger::SlotLedger;
 use serde::Serialize;
 use std::fmt;
 use std::io::Write;
@@ -168,6 +169,28 @@ impl LatencyHistogram {
     }
 }
 
+/// One reading of the online optimality-gap tracker (emitted when a
+/// dual-bound block completes; see [`jocal_online::ratio`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RatioRecord {
+    /// Slot whose completion closed the block.
+    pub slot: usize,
+    /// Dual-bound blocks certified so far.
+    pub blocks: usize,
+    /// Slots covered by those blocks.
+    pub covered_slots: usize,
+    /// Realized policy cost over the covered slots.
+    pub realized_cost: f64,
+    /// Certified lower bound on the offline optimum over those slots.
+    pub lower_bound: f64,
+    /// Running empirical competitive ratio (`None` while the bound is 0).
+    pub ratio: Option<f64>,
+    /// The configured watchdog bound (the paper's `1/ρ` for CHC).
+    pub bound: f64,
+    /// Whether the running ratio currently exceeds the bound.
+    pub exceeds_bound: bool,
+}
+
 /// Destination for metrics records.
 pub trait MetricsSink: fmt::Debug {
     /// Called once before the first slot.
@@ -191,6 +214,31 @@ pub trait MetricsSink: fmt::Debug {
     /// Propagates I/O failures.
     fn summary(&mut self, summary: &ServeSummary) -> Result<(), ServeError>;
 
+    /// Called once per served slot *when the engine's cost ledger is
+    /// enabled* ([`crate::engine::ServeConfig::ledger`]), right after
+    /// [`Self::slot`], with the slot's full per-SBS cost attribution.
+    /// Sinks that don't care inherit this no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn ledger(&mut self, ledger: &SlotLedger) -> Result<(), ServeError> {
+        let _ = ledger;
+        Ok(())
+    }
+
+    /// Called when the optimality-gap tracker completes a dual-bound
+    /// block ([`crate::engine::ServeConfig::ratio`]). Sinks that don't
+    /// care inherit this no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn ratio(&mut self, record: &RatioRecord) -> Result<(), ServeError> {
+        let _ = record;
+        Ok(())
+    }
+
     /// Pushes buffered records to their destination. The engine calls
     /// this on its *error* path so records observed before a failure
     /// survive (the success path flushes through [`Self::summary`]).
@@ -201,6 +249,32 @@ pub trait MetricsSink: fmt::Debug {
     /// Propagates I/O failures.
     fn flush(&mut self) -> Result<(), ServeError> {
         Ok(())
+    }
+}
+
+impl<S: MetricsSink + ?Sized> MetricsSink for Box<S> {
+    fn header(&mut self, header: &RunHeader) -> Result<(), ServeError> {
+        (**self).header(header)
+    }
+
+    fn slot(&mut self, metrics: &SlotMetrics) -> Result<(), ServeError> {
+        (**self).slot(metrics)
+    }
+
+    fn ledger(&mut self, ledger: &SlotLedger) -> Result<(), ServeError> {
+        (**self).ledger(ledger)
+    }
+
+    fn ratio(&mut self, record: &RatioRecord) -> Result<(), ServeError> {
+        (**self).ratio(record)
+    }
+
+    fn summary(&mut self, summary: &ServeSummary) -> Result<(), ServeError> {
+        (**self).summary(summary)
+    }
+
+    fn flush(&mut self) -> Result<(), ServeError> {
+        (**self).flush()
     }
 }
 
@@ -229,6 +303,10 @@ pub struct MemorySink {
     pub header: Option<RunHeader>,
     /// All slot records in order.
     pub slots: Vec<SlotMetrics>,
+    /// All ledger records in order (empty unless the ledger is on).
+    pub ledgers: Vec<SlotLedger>,
+    /// All ratio records in order (empty unless the tracker is on).
+    pub ratios: Vec<RatioRecord>,
     /// The final summary, once received.
     pub summary: Option<ServeSummary>,
 }
@@ -241,6 +319,16 @@ impl MetricsSink for MemorySink {
 
     fn slot(&mut self, metrics: &SlotMetrics) -> Result<(), ServeError> {
         self.slots.push(metrics.clone());
+        Ok(())
+    }
+
+    fn ledger(&mut self, ledger: &SlotLedger) -> Result<(), ServeError> {
+        self.ledgers.push(ledger.clone());
+        Ok(())
+    }
+
+    fn ratio(&mut self, record: &RatioRecord) -> Result<(), ServeError> {
+        self.ratios.push(*record);
         Ok(())
     }
 
@@ -298,6 +386,14 @@ impl<W: Write> MetricsSink for JsonLinesSink<W> {
         self.write_record("slot", metrics)
     }
 
+    fn ledger(&mut self, ledger: &SlotLedger) -> Result<(), ServeError> {
+        self.write_record("ledger", ledger)
+    }
+
+    fn ratio(&mut self, record: &RatioRecord) -> Result<(), ServeError> {
+        self.write_record("ratio", record)
+    }
+
     fn summary(&mut self, summary: &ServeSummary) -> Result<(), ServeError> {
         let r = self.write_record("summary", summary);
         self.out.flush()?;
@@ -307,6 +403,59 @@ impl<W: Write> MetricsSink for JsonLinesSink<W> {
     fn flush(&mut self) -> Result<(), ServeError> {
         self.out.flush()?;
         Ok(())
+    }
+}
+
+/// Routes ledger records to a dedicated secondary sink while everything
+/// else flows to the primary — so a `--ledger-out` file can carry the
+/// (potentially large) per-SBS attributions without inflating the main
+/// metrics stream. The run header goes to **both** sinks, keeping the
+/// ledger stream self-describing even when it ends up with zero slots.
+#[derive(Debug)]
+pub struct SplitLedgerSink<A, B> {
+    primary: A,
+    ledger: B,
+}
+
+impl<A: MetricsSink, B: MetricsSink> SplitLedgerSink<A, B> {
+    /// Combines a primary metrics sink and a ledger sink.
+    #[must_use]
+    pub fn new(primary: A, ledger: B) -> Self {
+        SplitLedgerSink { primary, ledger }
+    }
+
+    /// Consumes the splitter, returning both sinks.
+    #[must_use]
+    pub fn into_inner(self) -> (A, B) {
+        (self.primary, self.ledger)
+    }
+}
+
+impl<A: MetricsSink, B: MetricsSink> MetricsSink for SplitLedgerSink<A, B> {
+    fn header(&mut self, header: &RunHeader) -> Result<(), ServeError> {
+        self.primary.header(header)?;
+        self.ledger.header(header)
+    }
+
+    fn slot(&mut self, metrics: &SlotMetrics) -> Result<(), ServeError> {
+        self.primary.slot(metrics)
+    }
+
+    fn ledger(&mut self, ledger: &SlotLedger) -> Result<(), ServeError> {
+        self.ledger.ledger(ledger)
+    }
+
+    fn ratio(&mut self, record: &RatioRecord) -> Result<(), ServeError> {
+        self.primary.ratio(record)
+    }
+
+    fn summary(&mut self, summary: &ServeSummary) -> Result<(), ServeError> {
+        self.primary.summary(summary)
+    }
+
+    fn flush(&mut self) -> Result<(), ServeError> {
+        self.primary.flush()?;
+        self.ledger.flush()
     }
 }
 
@@ -390,6 +539,83 @@ mod tests {
         let mut sink = JsonLinesSink::new(FlushCounter::default());
         sink.flush().unwrap();
         assert_eq!(sink.into_inner().flushes, 1);
+    }
+
+    #[test]
+    fn split_sink_keeps_ledger_stream_self_describing_at_zero_slots() {
+        // A `--ledger-out` run that serves zero slots (or dies before
+        // the first one) must still leave a reproducible header on the
+        // ledger stream — same durability contract as the main stream.
+        let header = RunHeader {
+            policy: "CHC(w=3,r=2)".into(),
+            seed: 9,
+            noise_seed: 0,
+            eta: 0.0,
+            window: 3,
+            horizon: Some(0),
+        };
+        let mut sink = SplitLedgerSink::new(
+            JsonLinesSink::new(FlushCounter::default()),
+            JsonLinesSink::new(FlushCounter::default()),
+        );
+        sink.header(&header).unwrap();
+        let (primary, ledger) = sink.into_inner();
+        let (primary, ledger) = (primary.into_inner(), ledger.into_inner());
+        assert_eq!(ledger.flushes, 1, "ledger header write must flush");
+        let text = String::from_utf8(ledger.bytes).unwrap();
+        assert!(text.starts_with("{\"kind\":\"header\","), "{text}");
+        assert!(text.contains("\"seed\":9"), "{text}");
+        assert!(String::from_utf8(primary.bytes)
+            .unwrap()
+            .contains("\"seed\":9"));
+    }
+
+    #[test]
+    fn split_sink_routes_ledgers_away_from_the_main_stream() {
+        let mut sink = SplitLedgerSink::new(MemorySink::default(), MemorySink::default());
+        sink.ledger(&SlotLedger::default()).unwrap();
+        sink.ratio(&RatioRecord {
+            slot: 3,
+            blocks: 1,
+            covered_slots: 4,
+            realized_cost: 2.0,
+            lower_bound: 1.0,
+            ratio: Some(2.0),
+            bound: 2.618,
+            exceeds_bound: false,
+        })
+        .unwrap();
+        let (primary, ledger) = sink.into_inner();
+        assert!(primary.ledgers.is_empty());
+        assert_eq!(ledger.ledgers.len(), 1);
+        assert_eq!(primary.ratios.len(), 1, "ratio stays on the primary");
+        assert!(ledger.ratios.is_empty());
+    }
+
+    #[test]
+    fn json_lines_sink_tags_ledger_and_ratio_records() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.ledger(&SlotLedger::default()).unwrap();
+        sink.ratio(&RatioRecord {
+            slot: 0,
+            blocks: 1,
+            covered_slots: 2,
+            realized_cost: 1.0,
+            lower_bound: 0.5,
+            ratio: Some(2.0),
+            bound: 2.618,
+            exceeds_bound: false,
+        })
+        .unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().starts_with("{\"kind\":\"ledger\","));
+        let ratio_line = lines.next().unwrap();
+        assert!(
+            ratio_line.starts_with("{\"kind\":\"ratio\","),
+            "{ratio_line}"
+        );
+        assert!(ratio_line.contains("\"lower_bound\":0.5"), "{ratio_line}");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use jocal_core::{CacheState, CostModel, Parallelism};
 use jocal_online::afhc::afhc_policy;
 use jocal_online::chc::ChcPolicy;
 use jocal_online::policy::OnlinePolicy;
+use jocal_online::ratio::RatioOptions;
 use jocal_online::rhc::RhcPolicy;
 use jocal_online::rounding::RoundingPolicy;
 use jocal_online::runner::run_policy;
@@ -181,6 +182,101 @@ fn telemetry_on_and_off_runs_are_bit_identical() {
             assert!(
                 tele.counter("pd_solves_total").get() >= 1,
                 "{name} {parallelism:?}: inner solver not instrumented"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_ledger_and_ratio_runs_are_bit_identical_to_plain_runs() {
+    // The full observability stack — causal tracing, the per-slot cost
+    // ledger and the optimality-gap tracker — must also leave every
+    // decision bit untouched, for every paper policy at every thread
+    // count. The tracker runs its own Algorithm 1 block solves, so this
+    // additionally proves those solves never leak state into the
+    // policies.
+    let scenario = ScenarioConfig::tiny().build(77).unwrap();
+    let model = CostModel::paper();
+    let ratio = RatioOptions {
+        block: 3,
+        max_iterations: 15,
+        ..RatioOptions::default()
+    };
+
+    for parallelism in [Parallelism::Threads(1), Parallelism::Threads(4)] {
+        let names: Vec<String> = policies(parallelism)
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        for (i, name) in names.iter().enumerate() {
+            let run = |telemetry: Telemetry, ledger: bool, ratio: Option<RatioOptions>| {
+                let mut policy = policies(parallelism).remove(i);
+                let mut config = ServeConfig::new(WINDOW, 42);
+                config.noise = NoiseModel::new(ETA, NOISE_SEED);
+                config.ledger = ledger;
+                config.ratio = ratio;
+                let engine =
+                    ServeEngine::new(&scenario.network, &model, config).with_telemetry(telemetry);
+                let mut sink = MemorySink::default();
+                engine
+                    .run(
+                        &mut TraceSource::new(scenario.demand.clone()),
+                        policy.as_mut(),
+                        CacheState::empty(&scenario.network),
+                        &mut sink,
+                    )
+                    .unwrap_or_else(|e| panic!("{name} {parallelism:?} failed: {e}"));
+                sink
+            };
+            let plain = run(Telemetry::disabled(), false, None);
+            let tele = Telemetry::traced();
+            let full = run(tele.clone(), true, Some(ratio));
+
+            let key = |sink: &MemorySink| {
+                sink.slots
+                    .iter()
+                    .map(|m| {
+                        (
+                            m.requests,
+                            m.sbs_served.to_bits(),
+                            m.bs_served.to_bits(),
+                            m.cost.total().to_bits(),
+                            m.repair_scaled_sbs,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                key(&plain),
+                key(&full),
+                "{name} {parallelism:?}: observability changed the run"
+            );
+
+            // The fully observed run actually produced its artifacts.
+            assert_eq!(full.ledgers.len(), full.slots.len());
+            for (slot, ledger) in full.slots.iter().zip(&full.ledgers) {
+                assert_eq!(
+                    ledger.total().to_bits(),
+                    slot.cost.total().to_bits(),
+                    "{name} {parallelism:?} t={}: ledger drifted",
+                    slot.slot
+                );
+            }
+            assert!(
+                !full.ratios.is_empty(),
+                "{name} {parallelism:?}: no dual-bound block completed"
+            );
+            let tracer = tele.tracer();
+            assert!(tracer.span_count() > 0, "{name}: no spans recorded");
+            assert_eq!(
+                tracer.malformed_spans(),
+                0,
+                "{name} {parallelism:?}: malformed spans"
+            );
+            assert_eq!(
+                full.slots.len() as u64,
+                tracer.spans().iter().filter(|s| s.name == "slot").count() as u64,
+                "{name} {parallelism:?}: one slot span per served slot"
             );
         }
     }

@@ -53,7 +53,7 @@ fn escape_into(out: &mut String, raw: &str) {
     }
 }
 
-fn json_str(raw: &str) -> String {
+pub(crate) fn json_str(raw: &str) -> String {
     let mut out = String::with_capacity(raw.len() + 2);
     out.push('"');
     escape_into(&mut out, raw);
@@ -88,7 +88,16 @@ fn prom_labels(entry: &Entry, extra: Option<(&str, &str)>) -> String {
 }
 
 /// Writes all series as Prometheus text exposition (version 0.0.4).
-pub(crate) fn write_prometheus(entries: &[Entry], out: &mut dyn Write) -> io::Result<()> {
+///
+/// `extras` are synthetic unlabeled counters appended after the
+/// registered series — the exporter's own health counters (dropped
+/// events, malformed spans), which live outside the registry so that
+/// recording them never takes the registry lock.
+pub(crate) fn write_prometheus(
+    entries: &[Entry],
+    extras: &[(&'static str, u64)],
+    out: &mut dyn Write,
+) -> io::Result<()> {
     let mut typed: Vec<&str> = Vec::new();
     for entry in entries {
         let name = entry.name.as_str();
@@ -154,6 +163,10 @@ pub(crate) fn write_prometheus(entries: &[Entry], out: &mut dyn Write) -> io::Re
             }
         }
     }
+    for (name, value) in extras {
+        writeln!(out, "# TYPE {name} counter")?;
+        writeln!(out, "{name} {value}")?;
+    }
     Ok(())
 }
 
@@ -195,8 +208,13 @@ pub(crate) fn write_events_jsonl(
 
 /// Writes one `{"kind":"telemetry","data":{...}}` line snapshotting
 /// every registered series (histograms with count/sum/max, p50/p95/p99,
-/// and their non-empty `[lo, hi, count]` buckets).
-pub(crate) fn write_snapshot_jsonl(entries: &[Entry], out: &mut dyn Write) -> io::Result<()> {
+/// and their non-empty `[lo, hi, count]` buckets). `extras` join the
+/// counters array (see [`write_prometheus`]).
+pub(crate) fn write_snapshot_jsonl(
+    entries: &[Entry],
+    extras: &[(&'static str, u64)],
+    out: &mut dyn Write,
+) -> io::Result<()> {
     let mut counters = Vec::new();
     let mut gauges = Vec::new();
     let mut histograms = Vec::new();
@@ -254,6 +272,9 @@ pub(crate) fn write_snapshot_jsonl(entries: &[Entry], out: &mut dyn Write) -> io
                 histograms.push(body);
             }
         }
+    }
+    for (name, value) in extras {
+        counters.push(format!("{{\"name\":{},\"value\":{value}}}", json_str(name)));
     }
     writeln!(
         out,
@@ -335,6 +356,118 @@ mod tests {
         assert!(line.contains("\"buckets\":[[4,7,1]]"), "{line}");
         // Exactly one line, valid under a line-oriented consumer.
         assert_eq!(line.lines().count(), 1);
+    }
+
+    #[test]
+    fn dropped_events_surface_in_both_exports() {
+        // Overflow must be visible, not silent: a capacity-1 log that
+        // dropped two events reports them in Prometheus and in the
+        // snapshot counters.
+        let tele = Telemetry::with_event_capacity(1);
+        for i in 0..3u64 {
+            tele.event("tick", &[("i", FieldValue::U64(i))]);
+        }
+        let mut prom = Vec::new();
+        tele.write_prometheus(&mut prom).unwrap();
+        let prom = String::from_utf8(prom).unwrap();
+        assert!(
+            prom.contains("# TYPE telemetry_events_dropped counter"),
+            "{prom}"
+        );
+        assert!(prom.contains("telemetry_events_dropped 2"), "{prom}");
+        let mut json = Vec::new();
+        tele.write_snapshot_jsonl(&mut json).unwrap();
+        let json = String::from_utf8(json).unwrap();
+        assert!(
+            json.contains("{\"name\":\"telemetry_events_dropped\",\"value\":2}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn clean_handles_report_zero_drops() {
+        let tele = Telemetry::enabled();
+        tele.counter("c_total").add(1);
+        let mut prom = Vec::new();
+        tele.write_prometheus(&mut prom).unwrap();
+        assert!(String::from_utf8(prom)
+            .unwrap()
+            .contains("telemetry_events_dropped 0"));
+    }
+
+    #[test]
+    fn trace_health_counters_surface_when_tracing() {
+        let tele = Telemetry::traced();
+        let tracer = tele.tracer();
+        let parent = tracer.start("slot");
+        let _child = tracer.start("repair");
+        tracer.finish(parent); // orphans the child: 1 malformed
+        let mut prom = Vec::new();
+        tele.write_prometheus(&mut prom).unwrap();
+        let prom = String::from_utf8(prom).unwrap();
+        assert!(prom.contains("trace_spans_recorded 2"), "{prom}");
+        assert!(prom.contains("trace_malformed_spans 1"), "{prom}");
+        assert!(prom.contains("trace_spans_dropped 0"), "{prom}");
+        // Metrics-only handles do not advertise trace series.
+        let plain = Telemetry::enabled();
+        plain.counter("c_total").add(1);
+        let mut out = Vec::new();
+        plain.write_prometheus(&mut out).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("trace_spans"));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        // Backslashes, quotes and newlines in a label value must not
+        // corrupt the exposition format.
+        let tele = Telemetry::enabled();
+        tele.counter_with("odd_total", "policy", "a\\b\"c\nd")
+            .add(1);
+        let mut out = Vec::new();
+        tele.write_prometheus(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("odd_total{policy=\"a\\\\b\\\"c\\nd\"} 1"),
+            "{text}"
+        );
+        // The physical line count is unchanged by the embedded newline.
+        assert_eq!(text.lines().filter(|l| l.contains("odd_total{")).count(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_exports_are_well_formed() {
+        let tele = Telemetry::enabled();
+        let _ = tele.histogram("idle_us"); // registered, never observed
+        let mut prom = Vec::new();
+        tele.write_prometheus(&mut prom).unwrap();
+        let prom = String::from_utf8(prom).unwrap();
+        assert!(prom.contains("idle_us_bucket{le=\"+Inf\"} 0"), "{prom}");
+        assert!(prom.contains("idle_us_sum 0"), "{prom}");
+        assert!(prom.contains("idle_us_count 0"), "{prom}");
+        let mut json = Vec::new();
+        tele.write_snapshot_jsonl(&mut json).unwrap();
+        let json = String::from_utf8(json).unwrap();
+        // Quantiles of an empty histogram are 0, not NaN/null.
+        assert!(
+            json.contains("\"count\":0,\"sum\":0,\"max\":0,\"p50\":0,\"p95\":0,\"p99\":0"),
+            "{json}"
+        );
+        assert!(json.contains("\"buckets\":[]"), "{json}");
+    }
+
+    #[test]
+    fn single_bucket_histogram_quantiles_stay_in_bucket() {
+        let tele = Telemetry::enabled();
+        let h = tele.histogram("one_us");
+        h.observe(5); // single (4, 7] bucket
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let v = snap.quantile(q);
+            assert!((0.0..=5.0).contains(&v), "q={q} v={v}");
+        }
+        // The top quantile is clamped to the observed max, not the
+        // bucket's upper bound.
+        assert!(snap.quantile(0.99) <= 5.0);
     }
 
     #[test]

@@ -68,9 +68,11 @@
 pub mod event;
 pub mod export;
 pub mod metric;
+pub mod trace;
 
 pub use event::{Event, FieldValue};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, SpanTimer};
+pub use trace::{ActiveSpan, SpanRecord, Tracer};
 
 use event::EventLog;
 use metric::{AtomicHistogram, Registry};
@@ -86,6 +88,7 @@ pub const DEFAULT_EVENT_CAPACITY: usize = 16_384;
 struct Inner {
     registry: Registry,
     events: EventLog,
+    tracer: Tracer,
 }
 
 /// A telemetry handle: either disabled (free) or a shared registry.
@@ -124,10 +127,25 @@ impl Telemetry {
     /// that, events are dropped and counted ([`Self::events_dropped`]).
     #[must_use]
     pub fn with_event_capacity(capacity: usize) -> Self {
+        Telemetry::with_event_capacity_and_tracer(capacity, Tracer::disabled())
+    }
+
+    /// An enabled handle that also records causal spans
+    /// ([`Self::tracer`]); metrics-only instrumentation stays as cheap
+    /// as under [`Self::enabled`].
+    #[must_use]
+    pub fn traced() -> Self {
+        Telemetry::with_event_capacity_and_tracer(DEFAULT_EVENT_CAPACITY, Tracer::enabled())
+    }
+
+    /// An enabled handle with explicit event capacity and tracer.
+    #[must_use]
+    pub fn with_event_capacity_and_tracer(capacity: usize, tracer: Tracer) -> Self {
         Telemetry {
             inner: Some(Arc::new(Inner {
                 registry: Registry::default(),
                 events: EventLog::new(capacity),
+                tracer,
             })),
         }
     }
@@ -224,6 +242,35 @@ impl Telemetry {
         self.active().map_or(0, |inner| inner.events.dropped())
     }
 
+    /// The span tracer carried by this handle (disabled unless the
+    /// handle was built by [`Self::traced`] or given an enabled
+    /// tracer). Cheap to clone; resolve once per instrumented scope,
+    /// like metric handles.
+    #[must_use]
+    pub fn tracer(&self) -> Tracer {
+        self.active()
+            .map(|inner| inner.tracer.clone())
+            .unwrap_or_default()
+    }
+
+    /// Whether this handle records causal spans.
+    #[must_use]
+    pub fn is_tracing(&self) -> bool {
+        self.active().is_some_and(|inner| inner.tracer.is_enabled())
+    }
+
+    /// Health counters surfaced alongside registered series in every
+    /// export: dropped events, plus span totals when tracing.
+    fn export_extras(inner: &Inner) -> Vec<(&'static str, u64)> {
+        let mut extras = vec![("telemetry_events_dropped", inner.events.dropped())];
+        if inner.tracer.is_enabled() {
+            extras.push(("trace_spans_recorded", inner.tracer.span_count()));
+            extras.push(("trace_spans_dropped", inner.tracer.spans_dropped()));
+            extras.push(("trace_malformed_spans", inner.tracer.malformed_spans()));
+        }
+        extras
+    }
+
     /// Writes the full metric state as Prometheus text exposition.
     ///
     /// # Errors
@@ -231,7 +278,11 @@ impl Telemetry {
     /// Propagates writer failures. Disabled handles write nothing.
     pub fn write_prometheus(&self, out: &mut dyn io::Write) -> io::Result<()> {
         match self.active() {
-            Some(inner) => export::write_prometheus(&inner.registry.entries(), out),
+            Some(inner) => export::write_prometheus(
+                &inner.registry.entries(),
+                &Self::export_extras(inner),
+                out,
+            ),
             None => Ok(()),
         }
     }
@@ -255,7 +306,11 @@ impl Telemetry {
     /// Propagates writer failures. Disabled handles write nothing.
     pub fn write_snapshot_jsonl(&self, out: &mut dyn io::Write) -> io::Result<()> {
         match self.active() {
-            Some(inner) => export::write_snapshot_jsonl(&inner.registry.entries(), out),
+            Some(inner) => export::write_snapshot_jsonl(
+                &inner.registry.entries(),
+                &Self::export_extras(inner),
+                out,
+            ),
             None => Ok(()),
         }
     }

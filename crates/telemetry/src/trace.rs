@@ -1,0 +1,577 @@
+//! Hierarchical causal span tracing with Chrome-trace and
+//! collapsed-stack export.
+//!
+//! The solver stack is a tree of timed phases — serving slot → policy
+//! window solve → primal-dual solve → per-iteration `P1`/`P2` sub-solves
+//! — and a flat histogram cannot say *where inside a slow slot* the time
+//! went. [`Tracer`] records closed spans with causal parent links so the
+//! whole tree can be reconstructed offline:
+//!
+//! * [`Tracer::write_chrome_trace`] emits the Chrome trace-event JSON
+//!   format (complete events, `"ph": "X"`), loadable in
+//!   `chrome://tracing` or Perfetto;
+//! * [`Tracer::write_collapsed`] emits folded stacks
+//!   (`root;child;leaf self_µs`) for flamegraph renderers.
+//!
+//! # Span model
+//!
+//! Spans nest per thread: [`Tracer::start`] pushes onto the calling
+//! thread's open-span stack (the parent is whatever is currently on
+//! top), [`Tracer::finish`] pops and records. Threads are tagged with a
+//! stable small integer id (`std::thread::ThreadId` exposes no portable
+//! integer), so the `Parallelism::Threads(n)` fan-out renders as
+//! separate tracks. All timestamps come from one shared monotonic
+//! epoch, so spans recorded in call order are well-nested in integer
+//! microseconds: a child starts at or after its parent and is clamped
+//! to finish at or before it.
+//!
+//! # Malformed spans
+//!
+//! A span that outlives its parent — an early `return` or `?` that
+//! skips the child's `finish`, or handles finished out of order —
+//! would naïvely record a negative duration. Instead, when a parent
+//! finishes while children are still open, the children are closed at
+//! the parent's end time (durations clamped non-negative) and counted
+//! in [`Tracer::malformed_spans`]; a later `finish` on such a handle is
+//! also counted and otherwise ignored.
+//!
+//! # Cost
+//!
+//! A disabled tracer is a `None`: `start`/`finish` are one branch, no
+//! clock read, no allocation, no lock. An enabled tracer takes a mutex
+//! per `start`/`finish`; tracing is an explicitly requested diagnostic
+//! mode (`--trace-out`), not an always-on path. The closed-span buffer
+//! is bounded ([`DEFAULT_SPAN_CAPACITY`]); beyond that, spans are
+//! dropped and counted in [`Tracer::spans_dropped`] rather than growing
+//! without bound.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default bound on buffered closed spans (~64 MB worst case).
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 20;
+
+/// Monotonic per-process thread numbering: stable within a run, small
+/// enough to read in a trace viewer.
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_tid() -> u64 {
+    THREAD_ID.with(|tid| *tid)
+}
+
+/// A closed span: one timed tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the tracer (assigned in start order, from 1).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Static span name (e.g. `"slot"`, `"pd_iteration"`).
+    pub name: &'static str,
+    /// Stable small integer id of the recording thread.
+    pub tid: u64,
+    /// Start offset from the tracer's epoch, microseconds.
+    pub start_us: u64,
+    /// Duration in microseconds (clamped non-negative).
+    pub dur_us: u64,
+    /// Optional argument (e.g. `("slot", 17)`), shown in trace viewers.
+    pub arg: Option<(&'static str, u64)>,
+}
+
+impl SpanRecord {
+    /// End offset from the tracer's epoch, microseconds.
+    #[must_use]
+    pub fn end_us(&self) -> u64 {
+        self.start_us + self.dur_us
+    }
+}
+
+/// Handle to an open span, returned by [`Tracer::start`].
+///
+/// `Copy` so it can be threaded through plain control flow; pass it
+/// back to [`Tracer::finish`] to close the span. A handle from a
+/// disabled tracer is inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveSpan {
+    id: Option<u64>,
+}
+
+impl ActiveSpan {
+    /// The inert handle a disabled tracer hands out.
+    #[must_use]
+    pub const fn disabled() -> Self {
+        ActiveSpan { id: None }
+    }
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start_us: u64,
+    arg: Option<(&'static str, u64)>,
+}
+
+#[derive(Default)]
+struct TraceState {
+    next_id: u64,
+    /// Open-span stack per thread id.
+    stacks: HashMap<u64, Vec<OpenSpan>>,
+    /// Closed spans in finish order, bounded by `capacity`.
+    done: Vec<SpanRecord>,
+}
+
+struct TraceInner {
+    epoch: Instant,
+    capacity: usize,
+    state: Mutex<TraceState>,
+    malformed: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TraceInner {
+    fn record(&self, state: &mut TraceState, span: SpanRecord) {
+        if state.done.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            state.done.push(span);
+        }
+    }
+}
+
+/// A span tracer: either disabled (free) or a shared bounded recorder.
+///
+/// Cloning is one `Option<Arc>` clone; the default handle is disabled.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TraceInner>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer: `start`/`finish` are a single branch.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer with the default closed-span capacity.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Tracer::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// An enabled tracer buffering at most `capacity` closed spans;
+    /// beyond that, spans are dropped and counted.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            inner: Some(Arc::new(TraceInner {
+                epoch: Instant::now(),
+                capacity,
+                state: Mutex::new(TraceState::default()),
+                malformed: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    #[inline]
+    fn active(&self) -> Option<&TraceInner> {
+        if cfg!(feature = "noop") {
+            None
+        } else {
+            self.inner.as_deref()
+        }
+    }
+
+    /// Whether spans are being recorded.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.active().is_some()
+    }
+
+    /// Opens a span named `name` as a child of the calling thread's
+    /// current innermost open span.
+    #[inline]
+    pub fn start(&self, name: &'static str) -> ActiveSpan {
+        self.start_inner(name, None)
+    }
+
+    /// Opens a span carrying one integer argument (e.g. the slot
+    /// index), rendered under `args` in trace viewers.
+    #[inline]
+    pub fn start_with(&self, name: &'static str, key: &'static str, value: u64) -> ActiveSpan {
+        self.start_inner(name, Some((key, value)))
+    }
+
+    fn start_inner(&self, name: &'static str, arg: Option<(&'static str, u64)>) -> ActiveSpan {
+        let Some(inner) = self.active() else {
+            return ActiveSpan { id: None };
+        };
+        let start_us = u64::try_from(inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let tid = current_tid();
+        let mut state = inner.state.lock().expect("tracer state poisoned");
+        state.next_id += 1;
+        let id = state.next_id;
+        let stack = state.stacks.entry(tid).or_default();
+        let parent = stack.last().map(|open| open.id);
+        stack.push(OpenSpan {
+            id,
+            parent,
+            name,
+            start_us,
+            arg,
+        });
+        ActiveSpan { id: Some(id) }
+    }
+
+    /// Closes a span opened by [`Self::start`].
+    ///
+    /// Children of `span` still open on the same thread are closed at
+    /// `span`'s end time (durations clamped non-negative) and counted
+    /// as malformed; finishing an already-closed or foreign handle is
+    /// counted as malformed and otherwise ignored.
+    pub fn finish(&self, span: ActiveSpan) {
+        let Some(inner) = self.active() else {
+            return;
+        };
+        let Some(id) = span.id else {
+            return;
+        };
+        let end_us = u64::try_from(inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let tid = current_tid();
+        let mut state = inner.state.lock().expect("tracer state poisoned");
+        let stack = state.stacks.entry(tid).or_default();
+        let Some(pos) = stack.iter().rposition(|open| open.id == id) else {
+            // Already auto-closed as an orphan, finished twice, or
+            // finished on a thread that never started it.
+            inner.malformed.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        // Everything above `pos` is a child that outlived its parent:
+        // close deepest-first at the parent's end time.
+        let mut orphans = stack.split_off(pos + 1);
+        let target = stack.pop().expect("rposition guarantees an element");
+        while let Some(orphan) = orphans.pop() {
+            inner.malformed.fetch_add(1, Ordering::Relaxed);
+            let record = SpanRecord {
+                id: orphan.id,
+                parent: orphan.parent,
+                name: orphan.name,
+                tid,
+                start_us: orphan.start_us.min(end_us),
+                dur_us: end_us.saturating_sub(orphan.start_us),
+                arg: orphan.arg,
+            };
+            inner.record(&mut state, record);
+        }
+        let record = SpanRecord {
+            id: target.id,
+            parent: target.parent,
+            name: target.name,
+            tid,
+            start_us: target.start_us.min(end_us),
+            dur_us: end_us.saturating_sub(target.start_us),
+            arg: target.arg,
+        };
+        inner.record(&mut state, record);
+    }
+
+    /// Closed spans recorded so far, in finish order.
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.active().map_or_else(Vec::new, |inner| {
+            inner
+                .state
+                .lock()
+                .expect("tracer state poisoned")
+                .done
+                .clone()
+        })
+    }
+
+    /// Number of closed spans recorded so far.
+    #[must_use]
+    pub fn span_count(&self) -> u64 {
+        self.active().map_or(0, |inner| {
+            inner
+                .state
+                .lock()
+                .expect("tracer state poisoned")
+                .done
+                .len() as u64
+        })
+    }
+
+    /// Spans auto-closed or rejected because they outlived their
+    /// parent or were finished out of order.
+    #[must_use]
+    pub fn malformed_spans(&self) -> u64 {
+        self.active()
+            .map_or(0, |inner| inner.malformed.load(Ordering::Relaxed))
+    }
+
+    /// Closed spans discarded because the buffer was full.
+    #[must_use]
+    pub fn spans_dropped(&self) -> u64 {
+        self.active()
+            .map_or(0, |inner| inner.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Writes all closed spans as Chrome trace-event JSON (an object
+    /// with a `traceEvents` array of complete events), loadable in
+    /// `chrome://tracing` and Perfetto.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures. Disabled tracers write an empty
+    /// trace.
+    pub fn write_chrome_trace(&self, out: &mut dyn Write) -> io::Result<()> {
+        let spans = self.spans();
+        write!(out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        for (i, span) in spans.iter().enumerate() {
+            if i > 0 {
+                write!(out, ",")?;
+            }
+            write!(
+                out,
+                "{{\"name\":{},\"cat\":\"jocal\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{},\"args\":{{\"id\":{}",
+                crate::export::json_str(span.name),
+                span.start_us,
+                span.dur_us,
+                span.tid,
+                span.id
+            )?;
+            if let Some(parent) = span.parent {
+                write!(out, ",\"parent\":{parent}")?;
+            }
+            if let Some((key, value)) = span.arg {
+                write!(out, ",{}:{value}", crate::export::json_str(key))?;
+            }
+            write!(out, "}}}}")?;
+        }
+        writeln!(out, "]}}")
+    }
+
+    /// Writes aggregated folded stacks (`root;child;leaf self_µs` per
+    /// line, lexicographically sorted) for flamegraph renderers.
+    ///
+    /// Self time is a span's duration minus its children's; negative
+    /// residues from clamped malformed spans collapse to zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures. Disabled tracers write nothing.
+    pub fn write_collapsed(&self, out: &mut dyn Write) -> io::Result<()> {
+        let spans = self.spans();
+        let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+        let mut child_us: HashMap<u64, u64> = HashMap::new();
+        for span in &spans {
+            if let Some(parent) = span.parent {
+                *child_us.entry(parent).or_default() += span.dur_us;
+            }
+        }
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        for span in &spans {
+            let mut names = vec![span.name];
+            let mut cursor = span.parent;
+            while let Some(pid) = cursor {
+                let Some(parent) = by_id.get(&pid) else {
+                    break;
+                };
+                names.push(parent.name);
+                cursor = parent.parent;
+            }
+            names.reverse();
+            let self_us = span
+                .dur_us
+                .saturating_sub(child_us.get(&span.id).copied().unwrap_or(0));
+            *folded.entry(names.join(";")).or_default() += self_us;
+        }
+        for (path, micros) in &folded {
+            writeln!(out, "{path} {micros}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        let span = tracer.start("slot");
+        assert_eq!(span, ActiveSpan::disabled());
+        tracer.finish(span);
+        assert!(tracer.spans().is_empty());
+        assert_eq!(tracer.malformed_spans(), 0);
+        let mut out = Vec::new();
+        tracer.write_collapsed(&mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_with_parent_links() {
+        let tracer = Tracer::enabled();
+        let slot = tracer.start_with("slot", "slot", 3);
+        let solve = tracer.start("window_solve");
+        let iter = tracer.start("pd_iteration");
+        tracer.finish(iter);
+        tracer.finish(solve);
+        tracer.finish(slot);
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 3);
+        // Finish order: innermost first.
+        assert_eq!(spans[0].name, "pd_iteration");
+        assert_eq!(spans[1].name, "window_solve");
+        assert_eq!(spans[2].name, "slot");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].parent, Some(spans[2].id));
+        assert_eq!(spans[2].parent, None);
+        assert_eq!(spans[2].arg, Some(("slot", 3)));
+        // Well-nested in integer µs.
+        for (child, parent) in [(&spans[0], &spans[1]), (&spans[1], &spans[2])] {
+            assert!(child.start_us >= parent.start_us);
+            assert!(child.end_us() <= parent.end_us());
+        }
+        assert_eq!(tracer.malformed_spans(), 0);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let tracer = Tracer::enabled();
+        let root = tracer.start("pd_iteration");
+        let p1 = tracer.start("p1");
+        tracer.finish(p1);
+        let p2 = tracer.start("p2");
+        tracer.finish(p2);
+        tracer.finish(root);
+        let spans = tracer.spans();
+        assert_eq!(spans[0].parent, spans[1].parent);
+        assert_eq!(spans[0].parent, Some(spans[2].id));
+    }
+
+    #[test]
+    fn child_outliving_parent_is_clamped_and_counted() {
+        // Regression: an early return that skips a child's `finish`
+        // (e.g. an error path in `repair_slot`) must not record a
+        // negative duration when the parent closes over it.
+        let tracer = Tracer::enabled();
+        let parent = tracer.start("slot");
+        let child = tracer.start("repair");
+        tracer.finish(parent); // child still open: auto-closed, clamped
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 2);
+        let child_rec = spans.iter().find(|s| s.name == "repair").unwrap();
+        let parent_rec = spans.iter().find(|s| s.name == "slot").unwrap();
+        // Clamped to the parent's end: still well-nested, never negative.
+        assert!(child_rec.end_us() <= parent_rec.end_us());
+        assert_eq!(tracer.malformed_spans(), 1);
+        // A late finish on the orphaned handle is counted, not recorded.
+        tracer.finish(child);
+        assert_eq!(tracer.malformed_spans(), 2);
+        assert_eq!(tracer.spans().len(), 2);
+    }
+
+    #[test]
+    fn double_finish_is_counted_once_per_extra_call() {
+        let tracer = Tracer::enabled();
+        let span = tracer.start("slot");
+        tracer.finish(span);
+        tracer.finish(span);
+        assert_eq!(tracer.malformed_spans(), 1);
+        assert_eq!(tracer.spans().len(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_drops_and_counts() {
+        let tracer = Tracer::with_capacity(2);
+        for _ in 0..5 {
+            let span = tracer.start("tick");
+            tracer.finish(span);
+        }
+        assert_eq!(tracer.span_count(), 2);
+        assert_eq!(tracer.spans_dropped(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let tracer = Tracer::enabled();
+        let slot = tracer.start_with("slot", "slot", 0);
+        let solve = tracer.start("window_solve");
+        tracer.finish(solve);
+        tracer.finish(slot);
+        let mut out = Vec::new();
+        tracer.write_chrome_trace(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        assert!(text.contains("\"name\":\"window_solve\""), "{text}");
+        assert!(text.contains("\"ph\":\"X\""), "{text}");
+        assert!(text.contains("\"parent\":"), "{text}");
+        assert!(text.contains("\"slot\":0"), "{text}");
+    }
+
+    #[test]
+    fn collapsed_stacks_aggregate_self_time() {
+        let tracer = Tracer::enabled();
+        for _ in 0..2 {
+            let root = tracer.start("slot");
+            let leaf = tracer.start("window_solve");
+            tracer.finish(leaf);
+            tracer.finish(root);
+        }
+        let mut out = Vec::new();
+        tracer.write_collapsed(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].starts_with("slot "), "{text}");
+        assert!(lines[1].starts_with("slot;window_solve "), "{text}");
+        // Every line is `path count`.
+        for line in lines {
+            let (_, count) = line.rsplit_once(' ').unwrap();
+            count.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn threads_get_distinct_stable_ids() {
+        let tracer = Tracer::enabled();
+        let main_span = tracer.start("main");
+        tracer.finish(main_span);
+        let clone = tracer.clone();
+        std::thread::spawn(move || {
+            let worker = clone.start("worker");
+            clone.finish(worker);
+        })
+        .join()
+        .unwrap();
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 2);
+        assert_ne!(spans[0].tid, spans[1].tid);
+        // Cross-thread spans do not inherit the main thread's stack.
+        assert_eq!(spans[1].parent, None);
+    }
+}
