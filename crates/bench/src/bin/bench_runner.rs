@@ -10,14 +10,22 @@
 //!   per-slot overhead the telemetry benches guard.
 //! * `BENCH_primal_dual.json` — p50/p99 latency of an Algorithm 1
 //!   window solve at the online iteration budget.
+//! * `BENCH_cluster.json` — multi-cell throughput of the
+//!   [`ClusterEngine`] at M ∈ {1, 4, 16} cells and 1 vs 4 shards, with
+//!   each cell's inner solver pinned to one thread so the shard pool is
+//!   the only parallelism. Shard speedup materializes on multi-core
+//!   machines; a single-core box honestly reports ~1×.
 //!
 //! Flags: `--out DIR` (default `.`), `--slots N`, `--runs K`,
-//! `--window W`, `--solves S`. Wall-clock timing only — run on a quiet
-//! machine; CI uploads the artifacts for trend eyeballing rather than
-//! gating on them.
+//! `--window W`, `--solves S`, `--cluster-slots N` (per-cell slots for
+//! the cluster grid). Wall-clock timing only — run on a quiet machine;
+//! CI uploads the artifacts for trend eyeballing rather than gating on
+//! them.
 
+use jocal_cluster::{Cell, ClusterConfig, ClusterEngine};
 use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver};
 use jocal_core::problem::ProblemInstance;
+use jocal_core::workspace::Parallelism;
 use jocal_core::{CacheState, CostModel};
 use jocal_online::rhc::RhcPolicy;
 use jocal_serve::engine::{ServeConfig, ServeEngine};
@@ -42,6 +50,26 @@ struct ServeBench {
 }
 
 #[derive(Serialize)]
+struct ClusterPoint {
+    cells: usize,
+    shards: usize,
+    total_slots: usize,
+    median_slots_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct ClusterBench {
+    bench: String,
+    slots_per_cell: usize,
+    runs: usize,
+    worker_threads_available: usize,
+    points: Vec<ClusterPoint>,
+    /// Aggregate slots/sec at 16 cells with 4 shards over 1 shard —
+    /// the headline shard-scaling number (≈1.0 on a single core).
+    speedup_16c_4s_over_1s: f64,
+}
+
+#[derive(Serialize)]
 struct PrimalDualBench {
     bench: String,
     window: usize,
@@ -57,6 +85,7 @@ struct Options {
     runs: usize,
     window: usize,
     solves: usize,
+    cluster_slots: usize,
 }
 
 impl Default for Options {
@@ -67,6 +96,7 @@ impl Default for Options {
             runs: 5,
             window: 5,
             solves: 40,
+            cluster_slots: 32,
         }
     }
 }
@@ -82,6 +112,9 @@ fn parse_options() -> Options {
             "--runs" => opts.runs = args[i + 1].parse().expect("--runs takes a count"),
             "--window" => opts.window = args[i + 1].parse().expect("--window takes a length"),
             "--solves" => opts.solves = args[i + 1].parse().expect("--solves takes a count"),
+            "--cluster-slots" => {
+                opts.cluster_slots = args[i + 1].parse().expect("--cluster-slots takes a count");
+            }
             other => panic!("unknown flag {other}"),
         }
         i += 2;
@@ -182,6 +215,84 @@ fn bench_primal_dual(opts: &Options) -> PrimalDualBench {
     }
 }
 
+fn bench_cluster(opts: &Options) -> ClusterBench {
+    const WINDOW: usize = 3;
+    let cfg = lean_config(WINDOW);
+    // One solver thread per cell: the shard pool is the only source of
+    // parallelism, so the 1-shard vs 4-shard ratio measures the cluster
+    // runtime itself rather than nested solver threading.
+    let solver_opts = PrimalDualOptions {
+        parallelism: Parallelism::Threads(1),
+        ..PrimalDualOptions::online()
+    };
+    let runs = opts.runs.min(3);
+    let build_cells = |cells: usize| -> Vec<Cell> {
+        (0..cells)
+            .map(|i| {
+                let seed = ScenarioConfig::cell_seed(42, i);
+                let network = cfg.build_network(seed).expect("network builds");
+                let popularity = ZipfMandelbrot::new(cfg.num_contents, cfg.zipf_alpha, cfg.zipf_q)
+                    .expect("popularity builds");
+                let generator = StreamingDemand::new(
+                    popularity,
+                    cfg.temporal.clone(),
+                    ScenarioConfig::demand_seed(seed),
+                )
+                .expect("streaming demand builds");
+                let source =
+                    SyntheticSource::bounded(generator, network.clone(), opts.cluster_slots);
+                Cell::new(
+                    network,
+                    CostModel::paper(),
+                    ServeConfig::new(WINDOW, seed),
+                    Box::new(source),
+                    Box::new(RhcPolicy::new(WINDOW, solver_opts)),
+                )
+            })
+            .collect()
+    };
+    let mut points = Vec::new();
+    for (cells, shards) in [(1, 1), (4, 1), (4, 4), (16, 1), (16, 4)] {
+        let engine = ClusterEngine::new(ClusterConfig::new(shards));
+        let total_slots = cells * opts.cluster_slots;
+        let mut rates = Vec::with_capacity(runs);
+        // One warm-up run per grid point, as in `bench_serve`.
+        for run in 0..=runs {
+            let batch = build_cells(cells);
+            let start = Instant::now();
+            let report = engine.run(batch).expect("cluster run succeeds");
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(report.rollup.slots, total_slots, "a source ended early");
+            if run > 0 {
+                rates.push(total_slots as f64 / elapsed);
+            }
+        }
+        rates.sort_by(|a, b| a.total_cmp(b));
+        points.push(ClusterPoint {
+            cells,
+            shards,
+            total_slots,
+            median_slots_per_sec: rates[rates.len() / 2],
+        });
+    }
+    let rate = |cells: usize, shards: usize| {
+        points
+            .iter()
+            .find(|p| p.cells == cells && p.shards == shards)
+            .map_or(f64::NAN, |p| p.median_slots_per_sec)
+    };
+    let speedup = rate(16, 4) / rate(16, 1);
+    ClusterBench {
+        bench: "cluster".to_string(),
+        slots_per_cell: opts.cluster_slots,
+        runs,
+        worker_threads_available: std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get),
+        points,
+        speedup_16c_4s_over_1s: speedup,
+    }
+}
+
 fn main() {
     let opts = parse_options();
     std::fs::create_dir_all(&opts.out).expect("create output dir");
@@ -214,6 +325,20 @@ fn main() {
         pd.p50_us,
         pd.p99_us,
         pd.solves,
+        path.display()
+    );
+
+    let cluster = bench_cluster(&opts);
+    let path = opts.out.join("BENCH_cluster.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&cluster).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_cluster.json");
+    println!(
+        "cluster: 16 cells at 4 shards vs 1 shard = {:.2}x ({} worker threads available) -> {}",
+        cluster.speedup_16c_4s_over_1s,
+        cluster.worker_threads_available,
         path.display()
     );
 }

@@ -15,6 +15,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+use jocal_cluster::{Cell, ClusterConfig, ClusterEngine, ClusterReport};
 use jocal_core::workspace::Parallelism;
 use jocal_core::{CacheState, CostModel};
 use jocal_experiments::schemes::{build_online_policy, run_scheme_observed, RunConfig, Scheme};
@@ -96,6 +97,17 @@ OPTIONS (serve only):
                         emit ratio records (plus a watchdog when the
                         ratio exceeds the paper's 2.618 CHC bound or a
                         realized constraint is violated)
+    --cells <M>         serve M independent cells through the cluster
+                        runtime (default 1 = single-cell engine). Each
+                        cell derives its own topology, demand and
+                        request seeds from --seed; cell 0 reproduces
+                        the single-cell run exactly. Per-cell output
+                        files get a `.cellI` suffix before their
+                        extension.
+    --shards <K>        shard M cells across K aggregation groups and
+                        at most K worker threads (default 1; cell i
+                        lands in shard i % K; results are identical
+                        for every K — only throughput changes)
 ";
 
 /// Errors surfaced to the CLI user.
@@ -155,6 +167,12 @@ pub struct CliArgs {
     pub ledger_out: Option<PathBuf>,
     /// `--ratio` (serve: dual-bound block size for the gap tracker)
     pub ratio: Option<usize>,
+    /// `--cells` (serve: number of independent cells; 1 = single-cell
+    /// engine)
+    pub cells: usize,
+    /// `--shards` (serve: aggregation groups / worker-pool bound for
+    /// the cluster runtime)
+    pub shards: usize,
 }
 
 /// Parses raw arguments (without the program name).
@@ -167,6 +185,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, Box<dyn Error>> {
         command: args.first().cloned().unwrap_or_else(|| "help".into()),
         seed: 42,
         commitment: 3,
+        cells: 1,
+        shards: 1,
         ..Default::default()
     };
     let mut i = 1;
@@ -273,6 +293,24 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, Box<dyn Error>> {
                     return Err(CliError::boxed("--ratio block size must be at least 1"));
                 }
                 out.ratio = Some(block);
+                i += 2;
+            }
+            "--cells" => {
+                out.cells = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--cells expects a usize >= 1"))?;
+                if out.cells == 0 {
+                    return Err(CliError::boxed("--cells must be at least 1"));
+                }
+                i += 2;
+            }
+            "--shards" => {
+                out.shards = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--shards expects a usize >= 1"))?;
+                if out.shards == 0 {
+                    return Err(CliError::boxed("--shards must be at least 1"));
+                }
                 i += 2;
             }
             other => return Err(CliError::boxed(format!("unknown flag {other}"))),
@@ -517,6 +555,53 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
                 write_telemetry_outputs(args, &telemetry, &header, out)?;
             }
         }
+        "serve" if args.cells > 1 => {
+            let report = run_serve_cluster(args)?;
+            let rollup = &report.rollup;
+            writeln!(
+                out,
+                "policy             {}",
+                report.cells[0].report.summary.header.policy
+            )?;
+            writeln!(out, "seed               {}", args.seed)?;
+            writeln!(out, "cells              {}", rollup.cells)?;
+            writeln!(out, "shards             {}", report.shards.len())?;
+            writeln!(out, "slots served       {}", rollup.slots)?;
+            writeln!(out, "requests           {}", rollup.requests)?;
+            writeln!(out, "hit ratio          {:.4}", rollup.hit_ratio)?;
+            writeln!(out, "total cost         {:.3}", rollup.cost.total())?;
+            writeln!(out, "repair activations {}", rollup.repair_activations)?;
+            for shard in &report.shards {
+                writeln!(
+                    out,
+                    "shard {:<4} cells {:<4} slots {:<7} requests {:<9} cost {:.3}",
+                    shard.shard,
+                    shard.totals.cells,
+                    shard.totals.slots,
+                    shard.totals.requests,
+                    shard.totals.cost.total()
+                )?;
+            }
+            if let Some(r) = rollup.max_ratio {
+                writeln!(out, "max empirical ratio {r:.4}")?;
+            }
+            for path in [&args.metrics_out, &args.ledger_out].into_iter().flatten() {
+                for i in 0..args.cells {
+                    writeln!(out, "wrote {}", cell_path(path, i).display())?;
+                }
+            }
+            for path in [
+                &args.telemetry_out,
+                &args.prom_out,
+                &args.trace_out,
+                &args.folded_out,
+            ]
+            .into_iter()
+            .flatten()
+            {
+                writeln!(out, "wrote {}", path.display())?;
+            }
+        }
         "serve" => {
             let report = run_serve(args)?;
             let summary = &report.summary;
@@ -667,6 +752,116 @@ pub fn run_serve(args: &CliArgs) -> Result<ServeReport, Box<dyn Error>> {
             args,
             &telemetry,
             &report.summary.header,
+            &mut std::io::sink(),
+        )
+        .map_err(|e| CliError::boxed(format!("telemetry output failed: {e}")))?;
+    }
+    Ok(report)
+}
+
+/// Derives the per-cell variant of an output path: `m.jsonl` becomes
+/// `m.cell3.jsonl` for cell 3 (the suffix lands before the extension so
+/// tooling keyed on `.jsonl` keeps working).
+#[must_use]
+pub fn cell_path(path: &std::path::Path, cell: usize) -> PathBuf {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => path.with_extension(format!("cell{cell}.{ext}")),
+        None => path.with_extension(format!("cell{cell}")),
+    }
+}
+
+/// Runs `jocal serve --cells M [--shards K]` through the
+/// [`jocal_cluster`] runtime.
+///
+/// Cell `i` derives its topology, demand, request and prediction-noise
+/// seeds from the master `--seed` via [`ScenarioConfig::cell_seed`], so
+/// cell 0 is exactly the single-cell [`run_serve`] run and every cell
+/// is reproducible in isolation. `--metrics-out`/`--ledger-out` files
+/// get a per-cell suffix (see [`cell_path`]); `--shards` controls
+/// aggregation grouping and bounds the worker pool, while `--threads`
+/// stays the per-SBS solver knob inside each cell's window solves.
+///
+/// # Errors
+///
+/// Rejects the offline scheme (no step-wise form) and propagates
+/// configuration, solver and I/O failures.
+pub fn run_serve_cluster(args: &CliArgs) -> Result<ClusterReport, Box<dyn Error>> {
+    let scheme = parse_scheme(args.scheme.as_deref().unwrap_or("rhc"), args.commitment)?;
+    let config = load_config(args)?;
+    let mut run_cfg = RunConfig {
+        window: config.prediction_window,
+        eta: config.eta,
+        ..Default::default()
+    };
+    if let Some(n) = args.threads {
+        run_cfg.online_opts.parallelism = if n == 0 {
+            Parallelism::Auto
+        } else {
+            Parallelism::Threads(n)
+        };
+    }
+    let slots = args.slots.unwrap_or(config.horizon);
+    let telemetry = telemetry_for(args);
+
+    let open = |path: &PathBuf| -> Result<JsonLinesSink<BufWriter<fs::File>>, Box<dyn Error>> {
+        let file = fs::File::create(path)
+            .map_err(|e| CliError::boxed(format!("cannot create {}: {e}", path.display())))?;
+        Ok(JsonLinesSink::new(BufWriter::new(file)))
+    };
+
+    let mut cells = Vec::with_capacity(args.cells);
+    for i in 0..args.cells {
+        let seed = ScenarioConfig::cell_seed(args.seed, i);
+        let network = config.build_network(seed)?;
+        let popularity =
+            ZipfMandelbrot::new(config.num_contents, config.zipf_alpha, config.zipf_q)?;
+        let generator = StreamingDemand::new(
+            popularity,
+            config.temporal.clone(),
+            ScenarioConfig::demand_seed(seed),
+        )?;
+        let source = SyntheticSource::bounded(generator, network.clone(), slots);
+        let policy = build_online_policy(scheme, &run_cfg).ok_or_else(|| {
+            CliError::boxed("`serve` drives step-wise policies; `offline` has no step-wise form")
+        })?;
+        let mut serve_cfg = ServeConfig::new(run_cfg.window, seed);
+        serve_cfg.noise = NoiseModel::new(
+            run_cfg.eta,
+            ScenarioConfig::cell_seed(run_cfg.predictor_seed, i),
+        );
+        serve_cfg.ledger = args.ledger_out.is_some();
+        serve_cfg.ratio = args.ratio.map(|block| RatioOptions {
+            block,
+            ..RatioOptions::default()
+        });
+        let primary: Box<dyn MetricsSink + Send> = match &args.metrics_out {
+            Some(path) => Box::new(open(&cell_path(path, i))?),
+            None => Box::new(NullSink),
+        };
+        let sink: Box<dyn MetricsSink + Send> = match &args.ledger_out {
+            Some(path) => Box::new(SplitLedgerSink::new(primary, open(&cell_path(path, i))?)),
+            None => primary,
+        };
+        cells.push(
+            Cell::new(
+                network,
+                CostModel::paper(),
+                serve_cfg,
+                Box::new(source),
+                policy,
+            )
+            .with_sink(sink),
+        );
+    }
+
+    let engine =
+        ClusterEngine::new(ClusterConfig::new(args.shards)).with_telemetry(telemetry.clone());
+    let report = engine.run(cells)?;
+    if telemetry.is_enabled() {
+        write_telemetry_outputs(
+            args,
+            &telemetry,
+            &report.cells[0].report.summary.header,
             &mut std::io::sink(),
         )
         .map_err(|e| CliError::boxed(format!("telemetry output failed: {e}")))?;
@@ -1144,6 +1339,103 @@ mod tests {
             (s.requests, s.sbs_served.to_bits(), s.cost.total().to_bits())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parses_cells_and_shards_flags() {
+        let args = parse_args(&strings(&["serve", "--cells", "4", "--shards", "2"])).unwrap();
+        assert_eq!(args.cells, 4);
+        assert_eq!(args.shards, 2);
+        let defaults = parse_args(&strings(&["serve"])).unwrap();
+        assert_eq!((defaults.cells, defaults.shards), (1, 1));
+        assert!(parse_args(&strings(&["serve", "--cells", "0"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--shards", "0"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--cells", "x"])).is_err());
+    }
+
+    #[test]
+    fn cell_path_inserts_suffix_before_extension() {
+        let p = std::path::Path::new("/tmp/m.jsonl");
+        assert_eq!(cell_path(p, 0), PathBuf::from("/tmp/m.cell0.jsonl"));
+        assert_eq!(cell_path(p, 12), PathBuf::from("/tmp/m.cell12.jsonl"));
+        let bare = std::path::Path::new("/tmp/out");
+        assert_eq!(cell_path(bare, 3), PathBuf::from("/tmp/out.cell3"));
+    }
+
+    #[test]
+    fn serve_multi_cell_writes_per_cell_metrics_and_reconciles() {
+        let dir = std::env::temp_dir().join("jocal-cli-cluster-test");
+        fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("m.jsonl");
+        let args = parse_args(&strings(&[
+            "serve",
+            "--scheme",
+            "rhc",
+            "--horizon",
+            "4",
+            "--window",
+            "2",
+            "--seed",
+            "5",
+            "--cells",
+            "3",
+            "--shards",
+            "2",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(&args, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("cells              3"), "got:\n{text}");
+        assert!(text.contains("slots served       12"), "got:\n{text}");
+        assert!(text.contains("shard 0"), "got:\n{text}");
+        assert!(text.contains("shard 1"), "got:\n{text}");
+
+        // One complete single-cell stream per cell file.
+        for i in 0..3 {
+            let path = cell_path(&metrics, i);
+            assert!(
+                text.contains(&format!("wrote {}", path.display())),
+                "missing wrote line for cell {i}:\n{text}"
+            );
+            let lines: Vec<String> = fs::read_to_string(&path)
+                .unwrap()
+                .lines()
+                .map(String::from)
+                .collect();
+            assert_eq!(lines.len(), 1 + 4 + 1, "header + 4 slots + summary");
+            assert!(lines[0].contains("\"kind\":\"header\""));
+            assert!(lines.last().unwrap().contains("\"kind\":\"summary\""));
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cli_one_cell_cluster_matches_run_serve() {
+        let args = parse_args(&strings(&[
+            "serve",
+            "--horizon",
+            "4",
+            "--window",
+            "2",
+            "--seed",
+            "21",
+        ]))
+        .unwrap();
+        let single = run_serve(&args).unwrap().summary;
+        let cluster = run_serve_cluster(&args).unwrap();
+        assert_eq!(cluster.cells.len(), 1);
+        let cell = &cluster.cells[0].report.summary;
+        // Wall-clock latency fields aside, the streams are identical:
+        // cell 0 of a cluster run derives the master seed unchanged.
+        assert_eq!(cell.header, single.header);
+        assert_eq!(cell.slots, single.slots);
+        assert_eq!(cell.requests, single.requests);
+        assert_eq!(cell.sbs_served.to_bits(), single.sbs_served.to_bits());
+        assert_eq!(cell.cost.total().to_bits(), single.cost.total().to_bits());
+        assert_eq!(cluster.rollup.slots, single.slots);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! The unit of independent state a cluster schedules: one [`Cell`].
+
+use jocal_core::plan::CacheState;
+use jocal_core::CostModel;
+use jocal_online::policy::OnlinePolicy;
+use jocal_serve::engine::ServeConfig;
+use jocal_serve::metrics::{MetricsSink, NullSink};
+use jocal_serve::source::DemandSource;
+use jocal_sim::topology::Network;
+use std::fmt;
+
+/// One serving cell: a network, its demand source, the policy serving
+/// it, the serve configuration and a metrics sink — everything a
+/// [`crate::ClusterEngine`] needs to drive the cell independently of
+/// its neighbors.
+///
+/// Cells have no identity of their own: a cell's **id is its position**
+/// in the `Vec<Cell>` handed to [`crate::ClusterEngine::run`], and its
+/// shard is `id % shards`. The initial cache defaults to empty and the
+/// sink to [`NullSink`]; both are overridable builder-style.
+pub struct Cell {
+    pub(crate) network: Network,
+    pub(crate) cost_model: CostModel,
+    pub(crate) config: ServeConfig,
+    pub(crate) source: Box<dyn DemandSource + Send>,
+    pub(crate) policy: Box<dyn OnlinePolicy + Send>,
+    pub(crate) initial: CacheState,
+    pub(crate) sink: Box<dyn MetricsSink + Send>,
+}
+
+impl fmt::Debug for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cell")
+            .field("policy", &self.policy.name())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cell {
+    /// Builds a cell with an empty initial cache and a [`NullSink`].
+    #[must_use]
+    pub fn new(
+        network: Network,
+        cost_model: CostModel,
+        config: ServeConfig,
+        source: Box<dyn DemandSource + Send>,
+        policy: Box<dyn OnlinePolicy + Send>,
+    ) -> Self {
+        let initial = CacheState::empty(&network);
+        Cell {
+            network,
+            cost_model,
+            config,
+            source,
+            policy,
+            initial,
+            sink: Box::new(NullSink),
+        }
+    }
+
+    /// Overrides the initial cache state (defaults to empty).
+    #[must_use]
+    pub fn with_initial(mut self, initial: CacheState) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Attaches a metrics sink receiving the cell's full record stream
+    /// (header, per-slot metrics, optional ledger/ratio records,
+    /// summary) — exactly what a single-cell
+    /// [`jocal_serve::engine::ServeEngine`] run would deliver.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Box<dyn MetricsSink + Send>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The cell's serve configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The name of the policy serving this cell.
+    #[must_use]
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+}

@@ -1,0 +1,737 @@
+//! The sharded cluster driver.
+//!
+//! [`ClusterEngine::run`] serves `M` independent [`Cell`]s over shared
+//! slot rounds: in every round, each unfinished cell advances by
+//! exactly one slot. A fixed worker pool (bounded by the shard count
+//! and the [`Parallelism`] knob) steals cells from a per-round claim
+//! counter — the same scoped-thread fan-out the per-slot solver uses in
+//! `jocal_core::workspace`.
+//!
+//! # Determinism
+//!
+//! Cells share nothing: each owns its network, RNG, window, policy and
+//! sink, and the only cross-cell state — the shard-labeled telemetry
+//! counters — is atomic adds. Which worker steps which cell therefore
+//! cannot change any cell's byte stream, so a run is bit-identical
+//! across pool sizes, and a 1-cell cluster is bit-identical to a
+//! single-cell [`jocal_serve::engine::ServeEngine`] run (proven in
+//! `jocal-serve/tests/parity.rs`). Round boundaries are real barriers,
+//! which also makes *error rounds* deterministic: every cell still
+//! unfinished when another cell fails completes exactly the rounds up
+//! to and including the failing one.
+
+use crate::cell::Cell;
+use crate::error::ClusterError;
+use crate::report::{CellReport, ClusterAggregate, ClusterReport, ShardSummary};
+use jocal_core::ledger::SlotLedger;
+use jocal_core::workspace::Parallelism;
+use jocal_online::policy::OnlinePolicy;
+use jocal_serve::cell::CellCore;
+use jocal_serve::error::ServeError;
+use jocal_serve::metrics::{MetricsSink, RatioRecord, RunHeader, ServeSummary, SlotMetrics};
+use jocal_serve::source::DemandSource;
+use jocal_telemetry::{Counter, Telemetry};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Cluster scheduling knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of shards: the aggregation partition (cell `i` folds into
+    /// shard `i % shards`) **and** the upper bound on the worker pool —
+    /// shards are the parallelism lever.
+    pub shards: usize,
+    /// Worker-pool sizing policy. The pool is
+    /// `parallelism.workers(min(cells, shards))`; `Sequential` (or a
+    /// resolved pool of 1) runs the cells inline on the caller's
+    /// thread.
+    pub parallelism: Parallelism,
+}
+
+impl ClusterConfig {
+    /// A `shards`-shard config that sizes its pool automatically.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        ClusterConfig {
+            shards,
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// Overrides the worker-pool sizing policy.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+}
+
+/// Wraps a cell's sink to bump the shard-labeled cluster counters
+/// (`cluster_slots_total{shard}`, `cluster_requests_total{shard}`) as
+/// slot records stream through. Pure pass-through otherwise: the wrapped
+/// sink sees exactly the records a single-cell run would deliver.
+#[derive(Debug)]
+struct ShardSink {
+    inner: Box<dyn MetricsSink + Send>,
+    slots: Counter,
+    requests: Counter,
+}
+
+impl MetricsSink for ShardSink {
+    fn header(&mut self, header: &RunHeader) -> Result<(), ServeError> {
+        self.inner.header(header)
+    }
+
+    fn slot(&mut self, metrics: &SlotMetrics) -> Result<(), ServeError> {
+        self.slots.incr();
+        self.requests.add(metrics.requests);
+        self.inner.slot(metrics)
+    }
+
+    fn ledger(&mut self, ledger: &SlotLedger) -> Result<(), ServeError> {
+        self.inner.ledger(ledger)
+    }
+
+    fn ratio(&mut self, record: &RatioRecord) -> Result<(), ServeError> {
+        self.inner.ratio(record)
+    }
+
+    fn summary(&mut self, summary: &ServeSummary) -> Result<(), ServeError> {
+        self.inner.summary(summary)
+    }
+
+    fn flush(&mut self) -> Result<(), ServeError> {
+        self.inner.flush()
+    }
+}
+
+/// A started cell plus everything its steps borrow.
+#[derive(Debug)]
+struct CellRuntime {
+    shard: usize,
+    core: CellCore,
+    source: Box<dyn DemandSource + Send>,
+    policy: Box<dyn OnlinePolicy + Send>,
+    sink: ShardSink,
+    done: bool,
+    error: Option<ServeError>,
+}
+
+/// Advances one cell by one slot, recording completion or failure.
+fn step_cell(rt: &mut CellRuntime) {
+    match rt
+        .core
+        .step(rt.source.as_mut(), rt.policy.as_mut(), &mut rt.sink)
+    {
+        Ok(true) => {}
+        Ok(false) => rt.done = true,
+        Err(e) => {
+            rt.done = true;
+            rt.error = Some(e);
+        }
+    }
+}
+
+/// Drives `M` cells over shared slot rounds from a fixed worker pool.
+#[derive(Debug)]
+pub struct ClusterEngine {
+    config: ClusterConfig,
+    telemetry: Telemetry,
+}
+
+impl ClusterEngine {
+    /// Creates an engine with the given scheduling config.
+    #[must_use]
+    pub fn new(config: ClusterConfig) -> Self {
+        ClusterEngine {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle shared by every cell. Beyond the
+    /// per-cell serve metrics, the cluster adds shard-labeled
+    /// `cluster_slots_total` / `cluster_requests_total` counters.
+    /// Observation never changes decisions.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The engine's telemetry handle.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Serves every cell to completion (source exhaustion or its
+    /// `max_slots` cap), returning per-cell reports, per-shard
+    /// aggregates and the cluster rollup.
+    ///
+    /// Cell `i` aggregates into shard `i % shards`. Every sink is
+    /// flushed before this returns, on success and failure alike.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty cell set or a zero shard count; propagates the
+    /// lowest-id cell failure (remaining cells stop at the end of the
+    /// failing round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell's configured window is zero, or if a policy
+    /// panics on a worker thread.
+    pub fn run(&self, cells: Vec<Cell>) -> Result<ClusterReport, ClusterError> {
+        let shards = self.config.shards;
+        if shards == 0 {
+            return Err(ClusterError::config(
+                "shards",
+                "a cluster needs at least one shard",
+            ));
+        }
+        if cells.is_empty() {
+            return Err(ClusterError::config(
+                "cells",
+                "a cluster needs at least one cell",
+            ));
+        }
+        let num_cells = cells.len();
+
+        // Start cells sequentially in id order: headers are emitted and
+        // policies instrumented in a deterministic sequence.
+        let mut runtimes: Vec<Mutex<CellRuntime>> = Vec::with_capacity(num_cells);
+        for (id, cell) in cells.into_iter().enumerate() {
+            let shard = id % shards;
+            let label = shard.to_string();
+            let Cell {
+                network,
+                cost_model,
+                config,
+                mut source,
+                mut policy,
+                initial,
+                sink,
+            } = cell;
+            let mut sink = ShardSink {
+                inner: sink,
+                slots: self
+                    .telemetry
+                    .counter_with("cluster_slots_total", "shard", &label),
+                requests: self
+                    .telemetry
+                    .counter_with("cluster_requests_total", "shard", &label),
+            };
+            let core = match CellCore::start(
+                &network,
+                &cost_model,
+                config,
+                &self.telemetry,
+                source.as_mut(),
+                policy.as_mut(),
+                initial,
+                &mut sink,
+            ) {
+                Ok(core) => core,
+                Err(e) => {
+                    let _ = sink.flush();
+                    flush_all(&mut runtimes);
+                    return Err(ClusterError::Cell {
+                        cell: id,
+                        source: e,
+                    });
+                }
+            };
+            runtimes.push(Mutex::new(CellRuntime {
+                shard,
+                core,
+                source,
+                policy,
+                sink,
+                done: false,
+                error: None,
+            }));
+        }
+
+        // Shards bound the pool: a 1-shard cluster is strictly
+        // sequential no matter how many workers the knob would allow.
+        let pool = self.config.parallelism.workers(num_cells.min(shards));
+        if pool <= 1 {
+            Self::run_rounds_sequential(&mut runtimes);
+        } else {
+            Self::run_rounds_pooled(&runtimes, pool);
+        }
+
+        // Lowest failing cell id wins — deterministic regardless of
+        // which worker observed the failure.
+        let failure = runtimes.iter_mut().enumerate().find_map(|(id, rt)| {
+            let rt = rt.get_mut().expect("cell runtime poisoned");
+            rt.error.take().map(|e| (id, e))
+        });
+        if let Some((cell, source)) = failure {
+            flush_all(&mut runtimes);
+            return Err(ClusterError::Cell { cell, source });
+        }
+
+        // Finish in id order: summaries, flushes and aggregate folds
+        // all happen in one deterministic sequence.
+        let mut reports: Vec<CellReport> = Vec::with_capacity(num_cells);
+        let mut runtime_iter = runtimes.into_iter().enumerate();
+        for (id, rt) in &mut runtime_iter {
+            let CellRuntime {
+                shard,
+                core,
+                mut sink,
+                ..
+            } = rt.into_inner().expect("cell runtime poisoned");
+            let finished = core.finish(&mut sink).and_then(|report| {
+                sink.flush()?;
+                Ok(report)
+            });
+            match finished {
+                Ok(report) => reports.push(CellReport {
+                    cell: id,
+                    shard,
+                    report,
+                }),
+                Err(e) => {
+                    let _ = sink.flush();
+                    for (_, other) in runtime_iter {
+                        let mut other = other.into_inner().expect("cell runtime poisoned");
+                        let _ = other.sink.flush();
+                    }
+                    return Err(ClusterError::Cell {
+                        cell: id,
+                        source: e,
+                    });
+                }
+            }
+        }
+
+        // Two-stage deterministic fold: cells → shard (in cell-id
+        // order), shards → rollup (in shard order).
+        let mut shard_totals = vec![ClusterAggregate::default(); shards];
+        for report in &reports {
+            shard_totals[report.shard].fold_cell(&report.report);
+        }
+        let shard_summaries: Vec<ShardSummary> = shard_totals
+            .into_iter()
+            .enumerate()
+            .map(|(shard, totals)| ShardSummary { shard, totals })
+            .collect();
+        let mut rollup = ClusterAggregate::default();
+        for summary in &shard_summaries {
+            rollup.absorb(&summary.totals);
+        }
+
+        Ok(ClusterReport {
+            cells: reports,
+            shards: shard_summaries,
+            rollup,
+        })
+    }
+
+    /// Inline scheduling: one slot per unfinished cell per round, in
+    /// cell-id order, until every cell finishes or any cell fails (the
+    /// failing round still completes — matching the pooled path).
+    fn run_rounds_sequential(runtimes: &mut [Mutex<CellRuntime>]) {
+        loop {
+            let mut remaining = 0;
+            let mut failed = false;
+            for rt in runtimes.iter_mut() {
+                let rt = rt.get_mut().expect("cell runtime poisoned");
+                if !rt.done {
+                    step_cell(rt);
+                }
+                remaining += usize::from(!rt.done);
+                failed |= rt.error.is_some();
+            }
+            if remaining == 0 || failed {
+                return;
+            }
+        }
+    }
+
+    /// Pooled scheduling: a persistent worker pool separated from the
+    /// coordinator by a round barrier. Workers steal cells through an
+    /// atomic claim counter (the `jocal_core::workspace` fan-out
+    /// pattern); the coordinator resets the counter and checks
+    /// completion between rounds.
+    fn run_rounds_pooled(runtimes: &[Mutex<CellRuntime>], pool: usize) {
+        let barrier = Barrier::new(pool + 1);
+        let claim = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..pool {
+                scope.spawn(|| loop {
+                    barrier.wait();
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    loop {
+                        let i = claim.fetch_add(1, Ordering::Relaxed);
+                        if i >= runtimes.len() {
+                            break;
+                        }
+                        let mut rt = runtimes[i].lock().expect("cell runtime poisoned");
+                        if !rt.done {
+                            step_cell(&mut rt);
+                        }
+                    }
+                    barrier.wait();
+                });
+            }
+            loop {
+                claim.store(0, Ordering::Relaxed);
+                barrier.wait(); // open the round
+                barrier.wait(); // wait for every worker to drain it
+                let mut remaining = 0;
+                let mut failed = false;
+                for rt in runtimes {
+                    let rt = rt.lock().expect("cell runtime poisoned");
+                    remaining += usize::from(!rt.done);
+                    failed |= rt.error.is_some();
+                }
+                if remaining == 0 || failed {
+                    stop.store(true, Ordering::Release);
+                    barrier.wait(); // release workers into the stop check
+                    break;
+                }
+            }
+        });
+    }
+}
+
+/// Best-effort flush of every cell sink on an error path.
+fn flush_all(runtimes: &mut [Mutex<CellRuntime>]) {
+    for rt in runtimes {
+        let _ = rt.get_mut().expect("cell runtime poisoned").sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+    use jocal_core::plan::{CacheState, LoadPlan};
+    use jocal_core::CostModel;
+    use jocal_online::policy::{Action, PolicyContext};
+    use jocal_serve::engine::{ServeConfig, ServeEngine};
+    use jocal_serve::metrics::{MemorySink, SharedMemorySink};
+    use jocal_serve::source::TraceSource;
+    use jocal_sim::scenario::ScenarioConfig;
+    use jocal_sim::{ClassId, ContentId};
+
+    /// Caches the first `C` items and offloads everything it can.
+    #[derive(Debug)]
+    struct Greedy;
+
+    impl OnlinePolicy for Greedy {
+        fn name(&self) -> &str {
+            "greedy"
+        }
+
+        fn decide(
+            &mut self,
+            _t: usize,
+            ctx: &PolicyContext<'_>,
+        ) -> Result<Action, jocal_core::CoreError> {
+            let mut cache = CacheState::empty(ctx.network);
+            let mut load = LoadPlan::zeros(ctx.network, 1);
+            for (n, sbs) in ctx.network.iter_sbs() {
+                for k in 0..sbs.cache_capacity() {
+                    cache.set(n, ContentId(k), true);
+                    for m in 0..sbs.num_classes() {
+                        load.set_y(0, n, ClassId(m), ContentId(k), 1.0);
+                    }
+                }
+            }
+            Ok(Action { cache, load })
+        }
+
+        fn reset(&mut self) {}
+    }
+
+    /// Fails once `t` reaches the given slot.
+    #[derive(Debug)]
+    struct FailsAt(usize);
+
+    impl OnlinePolicy for FailsAt {
+        fn name(&self) -> &str {
+            "fails-at"
+        }
+
+        fn decide(
+            &mut self,
+            t: usize,
+            ctx: &PolicyContext<'_>,
+        ) -> Result<Action, jocal_core::CoreError> {
+            if t >= self.0 {
+                return Err(jocal_core::CoreError::infeasible("test", "induced failure"));
+            }
+            Ok(Action::idle(ctx.network))
+        }
+
+        fn reset(&mut self) {}
+    }
+
+    fn greedy_cell(seed: u64, horizon: usize, sink: SharedMemorySink) -> Cell {
+        let s = ScenarioConfig::tiny()
+            .with_horizon(horizon)
+            .build(seed)
+            .unwrap();
+        Cell::new(
+            s.network.clone(),
+            CostModel::paper(),
+            ServeConfig::new(3, seed),
+            Box::new(TraceSource::new(s.demand.clone())),
+            Box::new(Greedy),
+        )
+        .with_sink(Box::new(sink))
+    }
+
+    fn fingerprint(sink: &MemorySink) -> Vec<(usize, u64, u64, u64)> {
+        sink.slots
+            .iter()
+            .map(|m| {
+                (
+                    m.slot,
+                    m.requests,
+                    m.sbs_served.to_bits(),
+                    m.cost.total().to_bits(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_cell_cluster_matches_the_single_cell_engine() {
+        let s = ScenarioConfig::tiny().with_horizon(10).build(301).unwrap();
+        let model = CostModel::paper();
+        let config = ServeConfig::new(3, 7);
+
+        let engine = ServeEngine::new(&s.network, &model, config);
+        let mut single_sink = MemorySink::default();
+        let single = engine
+            .run(
+                &mut TraceSource::new(s.demand.clone()),
+                &mut Greedy,
+                CacheState::empty(&s.network),
+                &mut single_sink,
+            )
+            .unwrap();
+
+        let shared = SharedMemorySink::new();
+        let cell = Cell::new(
+            s.network.clone(),
+            model,
+            config,
+            Box::new(TraceSource::new(s.demand.clone())),
+            Box::new(Greedy),
+        )
+        .with_sink(Box::new(shared.clone()));
+        let cluster = ClusterEngine::new(ClusterConfig::new(1))
+            .run(vec![cell])
+            .unwrap();
+
+        assert_eq!(cluster.cells.len(), 1);
+        assert_eq!(cluster.cells[0].report, single);
+        let cluster_sink = shared.snapshot();
+        assert_eq!(cluster_sink.header, single_sink.header);
+        assert_eq!(cluster_sink.slots, single_sink.slots);
+        assert_eq!(cluster_sink.summary, single_sink.summary);
+        assert_eq!(cluster.rollup.slots, single.summary.slots);
+        assert_eq!(
+            cluster.rollup.hit_ratio.to_bits(),
+            single.summary.hit_ratio.to_bits()
+        );
+    }
+
+    #[test]
+    fn pool_size_does_not_change_any_cell_byte_stream() {
+        let run = |shards: usize, parallelism: Parallelism| {
+            let sinks: Vec<SharedMemorySink> = (0..6).map(|_| SharedMemorySink::new()).collect();
+            let cells = sinks
+                .iter()
+                .enumerate()
+                .map(|(i, sink)| greedy_cell(400 + i as u64, 8, sink.clone()))
+                .collect();
+            let report =
+                ClusterEngine::new(ClusterConfig::new(shards).with_parallelism(parallelism))
+                    .run(cells)
+                    .unwrap();
+            (
+                report.rollup,
+                sinks
+                    .iter()
+                    .map(|s| fingerprint(&s.snapshot()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+
+        // Same shard count, inline vs a 3-worker pool: the fold
+        // topology is fixed, so streams AND the rollup must be bitwise
+        // identical.
+        let (rollup_seq, streams_seq) = run(3, Parallelism::Sequential);
+        let (rollup_pool, streams_pool) = run(3, Parallelism::Threads(4));
+        assert_eq!(streams_seq, streams_pool);
+        assert_eq!(rollup_seq, rollup_pool);
+        assert_eq!(
+            rollup_seq.cost.total().to_bits(),
+            rollup_pool.cost.total().to_bits()
+        );
+
+        // A different shard count changes the rollup's f64 *fold tree*
+        // (never by more than reassociation rounding) but must not
+        // change any cell's byte stream or any integer total.
+        let (rollup_one, streams_one) = run(1, Parallelism::Sequential);
+        assert_eq!(streams_one, streams_pool);
+        assert_eq!(rollup_one.slots, rollup_pool.slots);
+        assert_eq!(rollup_one.requests, rollup_pool.requests);
+        let (a, b) = (rollup_one.cost.total(), rollup_pool.cost.total());
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn shard_aggregates_reconcile_to_the_rollup() {
+        let telemetry = Telemetry::enabled();
+        let sinks: Vec<SharedMemorySink> = (0..5).map(|_| SharedMemorySink::new()).collect();
+        let cells = sinks
+            .iter()
+            .enumerate()
+            .map(|(i, sink)| greedy_cell(500 + i as u64, 6, sink.clone()))
+            .collect();
+        let report = ClusterEngine::new(ClusterConfig::new(2))
+            .with_telemetry(telemetry.clone())
+            .run(cells)
+            .unwrap();
+
+        // Cell i lands in shard i % 2.
+        for cell in &report.cells {
+            assert_eq!(cell.shard, cell.cell % 2);
+        }
+        assert_eq!(report.shards.len(), 2);
+        assert_eq!(report.shards[0].totals.cells, 3);
+        assert_eq!(report.shards[1].totals.cells, 2);
+
+        // Shard totals reconcile exactly with their member cells, and
+        // the rollup with the shard totals.
+        for shard in &report.shards {
+            let member_slots: usize = report
+                .cells
+                .iter()
+                .filter(|c| c.shard == shard.shard)
+                .map(|c| c.report.summary.slots)
+                .sum();
+            assert_eq!(shard.totals.slots, member_slots);
+        }
+        assert_eq!(report.rollup.cells, 5);
+        assert_eq!(report.rollup.slots, 5 * 6);
+        let shard_slot_sum: usize = report.shards.iter().map(|s| s.totals.slots).sum();
+        assert_eq!(report.rollup.slots, shard_slot_sum);
+
+        // The shard-labeled telemetry counters see the same totals.
+        for shard in &report.shards {
+            let label = shard.shard.to_string();
+            assert_eq!(
+                telemetry
+                    .counter_with("cluster_slots_total", "shard", &label)
+                    .get(),
+                shard.totals.slots as u64
+            );
+            assert_eq!(
+                telemetry
+                    .counter_with("cluster_requests_total", "shard", &label)
+                    .get(),
+                shard.totals.requests
+            );
+        }
+    }
+
+    #[test]
+    fn lowest_failing_cell_id_wins() {
+        // Cells 1 and 3 both fail in the same round (their second
+        // slot); the reported failure must be cell 1 regardless of
+        // which worker tripped first.
+        let s = ScenarioConfig::tiny().with_horizon(8).build(600).unwrap();
+        let model = CostModel::paper();
+        let make = |policy: Box<dyn OnlinePolicy + Send>| {
+            Cell::new(
+                s.network.clone(),
+                model,
+                ServeConfig::new(2, 9),
+                Box::new(TraceSource::new(s.demand.clone())),
+                policy,
+            )
+        };
+        let cells = vec![
+            make(Box::new(Greedy)),
+            make(Box::new(FailsAt(1))),
+            make(Box::new(Greedy)),
+            make(Box::new(FailsAt(1))),
+        ];
+        let err =
+            ClusterEngine::new(ClusterConfig::new(4).with_parallelism(Parallelism::Threads(4)))
+                .run(cells)
+                .unwrap_err();
+        match err {
+            ClusterError::Cell { cell, .. } => assert_eq!(cell, 1),
+            other => panic!("expected a cell failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_cells_and_zero_shards_are_rejected() {
+        let err = ClusterEngine::new(ClusterConfig::new(2))
+            .run(vec![])
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Config { what: "cells", .. }));
+
+        let sink = SharedMemorySink::new();
+        let err = ClusterEngine::new(ClusterConfig::new(0))
+            .run(vec![greedy_cell(700, 4, sink)])
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Config { what: "shards", .. }));
+    }
+
+    #[test]
+    fn mixed_length_cells_complete_independently() {
+        // Horizons 4, 9 and a 5-slot cap over a 12-slot trace: rounds
+        // keep going until the longest cell drains, and each cell stops
+        // exactly where its own source/cap says.
+        let sinks: Vec<SharedMemorySink> = (0..3).map(|_| SharedMemorySink::new()).collect();
+        let mut capped = greedy_cell(801, 12, sinks[2].clone());
+        capped.config.max_slots = Some(5);
+        let cells = vec![
+            greedy_cell(800, 4, sinks[0].clone()),
+            greedy_cell(800, 9, sinks[1].clone()),
+            capped,
+        ];
+        let report =
+            ClusterEngine::new(ClusterConfig::new(3).with_parallelism(Parallelism::Threads(3)))
+                .run(cells)
+                .unwrap();
+        let slots: Vec<usize> = report
+            .cells
+            .iter()
+            .map(|c| c.report.summary.slots)
+            .collect();
+        assert_eq!(slots, vec![4, 9, 5]);
+        assert_eq!(report.rollup.slots, 18);
+        assert_eq!(sinks[1].snapshot().slots.len(), 9);
+    }
+
+    #[test]
+    fn shards_beyond_cells_stay_empty_but_present() {
+        let sink = SharedMemorySink::new();
+        let report = ClusterEngine::new(ClusterConfig::new(4))
+            .run(vec![greedy_cell(900, 4, sink)])
+            .unwrap();
+        assert_eq!(report.shards.len(), 4);
+        assert_eq!(report.shards[0].totals.cells, 1);
+        for shard in &report.shards[1..] {
+            assert_eq!(shard.totals, ClusterAggregate::default());
+        }
+        assert_eq!(report.rollup.cells, 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Cluster-level errors.
+
+use jocal_serve::error::ServeError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from a cluster run.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A cell's serve loop failed. When several cells fail in the same
+    /// scheduling round, the **lowest cell id** is reported — the pick
+    /// is deterministic regardless of worker interleaving.
+    Cell {
+        /// The failing cell's id (position in the input `Vec<Cell>`).
+        cell: usize,
+        /// The underlying serve failure.
+        source: ServeError,
+    },
+    /// The cluster configuration or cell set is invalid.
+    Config {
+        /// Which knob is at fault.
+        what: &'static str,
+        /// What is wrong with it.
+        detail: String,
+    },
+}
+
+impl ClusterError {
+    /// Builds a configuration error.
+    #[must_use]
+    pub fn config(what: &'static str, detail: impl Into<String>) -> Self {
+        ClusterError::Config {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Cell { cell, source } => {
+                write!(f, "cell {cell} failed: {source}")
+            }
+            ClusterError::Config { what, detail } => {
+                write!(f, "invalid cluster config `{what}`: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Cell { source, .. } => Some(source),
+            ClusterError::Config { .. } => None,
+        }
+    }
+}

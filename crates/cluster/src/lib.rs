@@ -1,0 +1,65 @@
+//! Multi-cell sharded serving for the `jocal` workspace.
+//!
+//! The paper's model (Section II) is one SBS cluster; a metro-scale
+//! deployment runs *many* such clusters — cells — each with its own
+//! topology, demand process and online policy. This crate scales the
+//! streaming engine from `jocal-serve` to `M` cells:
+//!
+//! * [`Cell`] — the unit of independent state: network, demand source,
+//!   policy, serve config and sink. A cell's id is its position in the
+//!   input vector; its shard is `id % shards`.
+//! * [`ClusterEngine`] — drives every cell over shared slot rounds from
+//!   a fixed worker pool (bounded by the shard count and the
+//!   [`jocal_core::workspace::Parallelism`] knob), stealing cells
+//!   through an atomic claim counter.
+//! * [`ClusterReport`] — per-cell [`jocal_serve::engine::ServeReport`]s
+//!   plus per-shard aggregates and a cluster rollup, folded in a fixed
+//!   order so they reconcile exactly.
+//!
+//! Cells share nothing mutable (telemetry counters are atomic), so the
+//! byte streams a cluster produces are independent of the pool size,
+//! and a 1-cell cluster is bit-identical to the single-cell
+//! [`jocal_serve::engine::ServeEngine`] — see
+//! `jocal-serve/tests/parity.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use jocal_cluster::{Cell, ClusterConfig, ClusterEngine};
+//! use jocal_core::CostModel;
+//! use jocal_online::rhc::RhcPolicy;
+//! use jocal_serve::engine::ServeConfig;
+//! use jocal_serve::source::TraceSource;
+//! use jocal_sim::scenario::ScenarioConfig;
+//!
+//! let model = CostModel::paper();
+//! let cells = (0..2u64)
+//!     .map(|i| {
+//!         let s = ScenarioConfig::tiny().build(100 + i)?;
+//!         Ok(Cell::new(
+//!             s.network.clone(),
+//!             model,
+//!             ServeConfig::new(3, 42 + i),
+//!             Box::new(TraceSource::new(s.demand.clone())),
+//!             Box::new(RhcPolicy::new(3, Default::default())),
+//!         ))
+//!     })
+//!     .collect::<Result<Vec<_>, Box<dyn std::error::Error>>>()?;
+//! let report = ClusterEngine::new(ClusterConfig::new(2)).run(cells)?;
+//! assert_eq!(report.rollup.cells, 2);
+//! assert_eq!(report.shards.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod cell;
+pub mod engine;
+pub mod error;
+pub mod report;
+
+pub use cell::Cell;
+pub use engine::{ClusterConfig, ClusterEngine};
+pub use error::ClusterError;
+pub use report::{CellReport, ClusterAggregate, ClusterReport, ShardSummary};

@@ -1,0 +1,119 @@
+//! Per-shard and cluster-level aggregates.
+//!
+//! Aggregation is a two-stage deterministic fold: each shard folds its
+//! member cells' [`ServeReport`]s **in cell-id order**, and the cluster
+//! rollup folds the shard aggregates **in shard order**. Both folds are
+//! plain `f64` accumulation in a fixed order, so the rollup reconciles
+//! exactly (bitwise) with re-running the same folds — regardless of
+//! which worker stepped which cell when.
+
+use jocal_core::accounting::CostBreakdown;
+use jocal_serve::engine::ServeReport;
+use serde::Serialize;
+use std::ops::Add;
+
+/// Totals folded over a set of serve runs (one shard, or the whole
+/// cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct ClusterAggregate {
+    /// Runs folded in.
+    pub cells: usize,
+    /// Total slots served.
+    pub slots: usize,
+    /// Total realized requests.
+    pub requests: u64,
+    /// Requests served by SBS caches.
+    pub sbs_served: f64,
+    /// SBS-intended requests spilled to the BS on bandwidth overflow.
+    pub spilled: f64,
+    /// Requests served by the BS.
+    pub bs_served: f64,
+    /// `sbs_served / requests`, `0` when idle.
+    pub hit_ratio: f64,
+    /// Summed cost breakdown.
+    pub cost: CostBreakdown,
+    /// Slots where the bandwidth repair engaged, summed over runs.
+    pub repair_activations: usize,
+    /// Worst (largest) empirical competitive ratio observed across the
+    /// folded runs (`None` when no run produced a ratio reading).
+    pub max_ratio: Option<f64>,
+}
+
+impl ClusterAggregate {
+    /// Folds one cell's report into the aggregate.
+    pub fn fold_cell(&mut self, report: &ServeReport) {
+        let s = &report.summary;
+        self.cells += 1;
+        self.slots += s.slots;
+        self.requests += s.requests;
+        self.sbs_served += s.sbs_served;
+        self.spilled += s.spilled;
+        self.bs_served += s.bs_served;
+        self.cost = self.cost.add(s.cost);
+        self.repair_activations += s.repair_activations;
+        self.fold_ratio(report.ratio.as_ref().and_then(|r| r.ratio));
+        self.refresh_hit_ratio();
+    }
+
+    /// Folds another aggregate (a shard) into this one (the rollup).
+    pub fn absorb(&mut self, other: &ClusterAggregate) {
+        self.cells += other.cells;
+        self.slots += other.slots;
+        self.requests += other.requests;
+        self.sbs_served += other.sbs_served;
+        self.spilled += other.spilled;
+        self.bs_served += other.bs_served;
+        self.cost = self.cost.add(other.cost);
+        self.repair_activations += other.repair_activations;
+        self.fold_ratio(other.max_ratio);
+        self.refresh_hit_ratio();
+    }
+
+    fn fold_ratio(&mut self, ratio: Option<f64>) {
+        if let Some(r) = ratio {
+            self.max_ratio = Some(self.max_ratio.map_or(r, |m| m.max(r)));
+        }
+    }
+
+    fn refresh_hit_ratio(&mut self) {
+        self.hit_ratio = if self.requests == 0 {
+            0.0
+        } else {
+            self.sbs_served / self.requests as f64
+        };
+    }
+}
+
+/// One shard's aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ShardSummary {
+    /// Shard index in `0..shards`.
+    pub shard: usize,
+    /// Totals folded over the shard's member cells in cell-id order.
+    pub totals: ClusterAggregate,
+}
+
+/// One cell's outcome within a cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Cell id (position in the `Vec<Cell>` passed to the engine).
+    pub cell: usize,
+    /// The shard the cell aggregated into (`cell % shards`).
+    pub shard: usize,
+    /// The cell's own serve report — identical to what a single-cell
+    /// [`jocal_serve::engine::ServeEngine`] run would have produced.
+    pub report: ServeReport,
+}
+
+/// Outcome of a cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Per-cell reports in cell-id order.
+    pub cells: Vec<CellReport>,
+    /// Per-shard aggregates in shard order (every shard in
+    /// `0..shards` appears, including empty ones).
+    pub shards: Vec<ShardSummary>,
+    /// Cluster-level rollup, folded from the shard aggregates in shard
+    /// order.
+    pub rollup: ClusterAggregate,
+}

@@ -145,10 +145,15 @@ pub struct SchemeOutcome {
 /// schemes with no step-wise form (`Offline`).
 ///
 /// Shared by the batch [`run_scheme`] path and streaming consumers
-/// (`jocal-serve`, the `jocal serve` CLI), so a scheme name maps to the
-/// same configured controller everywhere.
+/// (`jocal-serve`, the `jocal serve` CLI, the `jocal-cluster` runtime),
+/// so a scheme name maps to the same configured controller everywhere.
+/// The box is `Send` so one builder serves both the single-threaded
+/// drivers and the cluster's worker pool.
 #[must_use]
-pub fn build_online_policy(scheme: Scheme, config: &RunConfig) -> Option<Box<dyn OnlinePolicy>> {
+pub fn build_online_policy(
+    scheme: Scheme,
+    config: &RunConfig,
+) -> Option<Box<dyn OnlinePolicy + Send>> {
     Some(match scheme {
         Scheme::Offline => return None,
         Scheme::Rhc => Box::new(RhcPolicy::new(config.window, config.online_opts)),

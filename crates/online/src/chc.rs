@@ -14,7 +14,7 @@
 //! `r = w` is AFHC (see [`crate::afhc`]).
 
 use crate::observe::{RoundingMetrics, WindowMetrics};
-use crate::policy::{Action, OnlinePolicy, PolicyContext};
+use crate::policy::{carry_warm_start, Action, OnlinePolicy, PolicyContext};
 use crate::rounding::RoundingPolicy;
 use jocal_core::plan::{CacheState, LoadPlan};
 use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver, WarmStart};
@@ -50,6 +50,7 @@ pub struct ChcPolicy {
     versions: Vec<FhcVersion>,
     started: bool,
     name: String,
+    hold_warm_across_phases: bool,
     metrics: WindowMetrics,
     rounding_metrics: RoundingMetrics,
 }
@@ -81,6 +82,7 @@ impl ChcPolicy {
             versions: Vec::new(),
             started: false,
             name: format!("CHC(w={window},r={commitment})"),
+            hold_warm_across_phases: false,
             metrics: WindowMetrics::disabled(),
             rounding_metrics: RoundingMetrics::disabled(),
         }
@@ -112,6 +114,33 @@ impl ChcPolicy {
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
+    }
+
+    /// Keeps a version's dual state **unshifted** across window solves
+    /// whose committed prefix covers the whole window (`commit ≥ len`).
+    ///
+    /// The default carry shifts the multipliers and load plan by the
+    /// commitment level, which is exactly right while consecutive
+    /// windows overlap — but at full commitment (AFHC's `r = w`) the
+    /// shift pushes every populated slot off the end and the "warm"
+    /// start degenerates to all zeros. With this knob on, a full-window
+    /// commitment instead holds the previous phase's solution in place
+    /// as a stationarity prior for the next disjoint window.
+    ///
+    /// [`crate::afhc::afhc_policy`] enables it; plain CHC (`r < w`)
+    /// never hits the disjoint case, so the knob is inert there.
+    #[must_use]
+    pub fn with_phase_warm_hold(mut self) -> Self {
+        self.hold_warm_across_phases = true;
+        self
+    }
+
+    /// Whether full-window commitments hold their dual state unshifted
+    /// (see [`ChcPolicy::with_phase_warm_hold`]).
+    #[inline]
+    #[must_use]
+    pub fn holds_phase_warm(&self) -> bool {
+        self.hold_warm_across_phases
     }
 
     /// Solves version `v`'s window at absolute slot `t` and commits
@@ -153,10 +182,16 @@ impl ChcPolicy {
             }
             version.planned.push_back((cache, load));
         }
-        version.warm = Some(WarmStart {
-            mu: solution.mu.shift_time(commit),
-            y: LoadPlan::from_tensor(solution.load_plan.tensor().shift_time(commit)),
-        });
+        // `commit >= len` only happens at full commitment (r = w or a
+        // horizon-truncated window): the next window is disjoint, so a
+        // shifted carry would be all zeros — hold the phase's solution
+        // in place instead when the policy opted in.
+        let shift = if self.hold_warm_across_phases && commit >= len {
+            0
+        } else {
+            commit
+        };
+        self.versions[v].warm = Some(carry_warm_start(&solution, shift));
         Ok(())
     }
 }

@@ -1,6 +1,7 @@
 //! The online-policy abstraction: one `(X^t, Y^t)` decision per slot.
 
 use jocal_core::plan::{CacheState, LoadPlan};
+use jocal_core::primal_dual::{PrimalDualSolution, WarmStart};
 use jocal_core::{CoreError, CostModel};
 use jocal_sim::predictor::PredictionWindow;
 use jocal_sim::topology::Network;
@@ -26,6 +27,25 @@ impl Action {
             cache: CacheState::empty(network),
             load: LoadPlan::zeros(network, 1),
         }
+    }
+}
+
+/// Captures the [`WarmStart`] the *next* window solve should inherit
+/// from `solution`, advanced `shift` slots: slot `s` of the warm state
+/// is slot `s + shift` of the solution, and slots past the end are
+/// zero.
+///
+/// Every receding/committed-horizon controller carries dual state the
+/// same way — RHC shifts by 1 (windows overlap in all but one slot),
+/// CHC shifts by its commitment level `r`, and AFHC holds the previous
+/// phase's state unshifted (`shift = 0`): its consecutive windows are
+/// disjoint, so under slowly-varying demand the prior phase's
+/// multipliers and load split are the best available starting point.
+#[must_use]
+pub fn carry_warm_start(solution: &PrimalDualSolution, shift: usize) -> WarmStart {
+    WarmStart {
+        mu: solution.mu.shift_time(shift),
+        y: LoadPlan::from_tensor(solution.load_plan.tensor().shift_time(shift)),
     }
 }
 
@@ -97,6 +117,34 @@ mod tests {
         let a = Action::idle(&s.network);
         assert_eq!(a.cache.occupancy(jocal_sim::SbsId(0)), 0);
         assert_eq!(a.load.horizon(), 1);
+    }
+
+    #[test]
+    fn carry_warm_start_shift_semantics() {
+        use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver};
+        use jocal_core::problem::ProblemInstance;
+
+        let s = ScenarioConfig::tiny().with_horizon(3).build(4).unwrap();
+        let problem = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+        let solution = PrimalDualSolver::new(PrimalDualOptions::online())
+            .solve(&problem)
+            .unwrap();
+
+        // shift = 0 holds the solution in place.
+        let held = carry_warm_start(&solution, 0);
+        assert_eq!(held.mu, solution.mu);
+        assert_eq!(held.y.tensor(), solution.load_plan.tensor());
+
+        // shift = 1 advances by a slot: slot 0 of the carry is slot 1
+        // of the solution.
+        let shifted = carry_warm_start(&solution, 1);
+        assert_eq!(shifted.mu, solution.mu.shift_time(1));
+
+        // shift = horizon zeroes everything — the degenerate carry the
+        // AFHC phase hold exists to avoid.
+        let cleared = carry_warm_start(&solution, s.demand.horizon());
+        assert!(cleared.mu.as_slice().iter().all(|&v| v == 0.0));
+        assert!(cleared.y.tensor().as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]

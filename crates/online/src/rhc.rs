@@ -13,7 +13,7 @@
 //! solution.
 
 use crate::observe::WindowMetrics;
-use crate::policy::{Action, OnlinePolicy, PolicyContext};
+use crate::policy::{carry_warm_start, Action, OnlinePolicy, PolicyContext};
 use jocal_core::plan::LoadPlan;
 use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver, WarmStart};
 use jocal_core::problem::ProblemInstance;
@@ -83,10 +83,7 @@ impl OnlinePolicy for RhcPolicy {
         self.metrics.solves.incr();
 
         // Shift the dual state one slot forward for the next window.
-        self.warm = Some(WarmStart {
-            mu: solution.mu.shift_time(1),
-            y: LoadPlan::from_tensor(solution.load_plan.tensor().shift_time(1)),
-        });
+        self.warm = Some(carry_warm_start(&solution, 1));
 
         let cache = solution.cache_plan.state(0).clone();
         let mut load = LoadPlan::zeros(ctx.network, 1);

@@ -8,33 +8,27 @@
 //! costs with [`jocal_core::accounting::evaluate_slot`], dispatches the
 //! slot's Poisson-realized requests through the executed plan
 //! (SBS hit / bandwidth-overflow spill / BS fallback), and emits one
-//! [`SlotMetrics`] record. State is double-buffered: one previous/current
-//! cache-state pair, one reusable single-slot load plan, and the `O(w)`
-//! slot buffer — nothing grows with the horizon.
+//! [`crate::metrics::SlotMetrics`] record. State is double-buffered: one
+//! previous/current cache-state pair, one reusable single-slot load
+//! plan, and the `O(w)` slot buffer — nothing grows with the horizon.
+//!
+//! The per-slot machinery itself lives in [`crate::cell::CellCore`];
+//! [`ServeEngine`] is the single-cell driver over one core, and the
+//! `jocal-cluster` crate drives many cores over shared slots.
 
+use crate::cell::CellCore;
 use crate::error::ServeError;
-use crate::metrics::{
-    LatencyHistogram, MetricsSink, RatioRecord, RunHeader, ServeSummary, SlotMetrics,
-};
+use crate::metrics::{MetricsSink, RatioRecord, ServeSummary};
 use crate::source::DemandSource;
-use crate::window::SlidingWindow;
-use jocal_core::accounting::{evaluate_slot, CostBreakdown};
-use jocal_core::ledger::ledger_slot;
 use jocal_core::plan::{CacheState, LoadPlan};
 use jocal_core::CostModel;
-use jocal_online::observe::RepairMetrics;
-use jocal_online::policy::{OnlinePolicy, PolicyContext};
-use jocal_online::ratio::{slot_constraint_violations, DualBoundTracker, RatioOptions};
-use jocal_online::repair::repair_slot;
+use jocal_online::policy::OnlinePolicy;
+use jocal_online::ratio::RatioOptions;
 use jocal_sim::predictor::NoiseModel;
-use jocal_sim::requests::{sample_slot_rng, RequestCounts};
+use jocal_sim::requests::RequestCounts;
 use jocal_sim::topology::Network;
 use jocal_sim::{ClassId, ContentId};
-use jocal_telemetry::{FieldValue, Telemetry};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::ops::Add;
-use std::time::Instant;
+use jocal_telemetry::Telemetry;
 
 /// Engine knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -164,280 +158,21 @@ impl<'a> ServeEngine<'a> {
         initial: CacheState,
         sink: &mut dyn MetricsSink,
     ) -> Result<ServeReport, ServeError> {
-        let total_hint = source.len_hint();
-        if total_hint.is_none() && self.config.max_slots.is_none() {
-            return Err(ServeError::config(
-                "max_slots",
-                "an unbounded source needs an explicit slot limit",
-            ));
-        }
-        // The policies' planning horizon `T`: for a finite source this
-        // is the true stream length — matching what the batch runner
-        // derives from `truth.horizon()`, which is what makes the two
-        // paths decide identically. A slot cap does not shrink it (the
-        // batch runner evaluated prefixes the same way).
-        let horizon = total_hint.unwrap_or(usize::MAX);
-
-        let header = RunHeader {
-            policy: policy.name().to_string(),
-            seed: self.config.seed,
-            noise_seed: self.config.noise.seed(),
-            eta: self.config.noise.eta(),
-            window: self.config.window,
-            horizon: total_hint,
-        };
-        sink.header(&header)?;
-
-        // Instrument before the loop: the policy resolves its handles
-        // once, and all per-slot recording below is lock-free (pure
-        // no-op branches when telemetry is disabled).
-        policy.instrument(&self.telemetry);
-        let decide_us = self
-            .telemetry
-            .histogram_with("serve_decide_us", "policy", policy.name());
-        let slots_total = self.telemetry.counter("serve_slots_total");
-        let requests_total = self.telemetry.counter("serve_requests_total");
-        let repair_metrics = RepairMetrics::resolve(&self.telemetry);
-        let tracer = self.telemetry.tracer();
-        let watchdog_ratio = self.telemetry.counter("serve_watchdog_ratio_total");
-        let watchdog_constraint = self.telemetry.counter("serve_watchdog_constraint_total");
-        let mut tracker = self
-            .config
-            .ratio
-            .map(|opts| DualBoundTracker::new(self.network, self.cost_model, opts));
-        let mut last_ratio: Option<RatioRecord> = None;
-
-        let mut window = SlidingWindow::new(self.network);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut prev_cache = initial;
-        let mut slot_load = LoadPlan::zeros(self.network, 1);
-        let mut histogram = LatencyHistogram::default();
-        let mut totals = Totals::default();
-
-        loop {
-            let t = window.start();
-            if self.config.max_slots.is_some_and(|cap| t >= cap) {
-                break;
-            }
-            window.fill(self.config.window, source)?;
-            if window.front().is_none() {
-                break;
-            }
-
-            // --- Decide -------------------------------------------------
-            let slot_trace = tracer.start_with("slot", "t", t as u64);
-            let started = Instant::now();
-            let decide_trace = tracer.start("decide");
-            let action = {
-                let predictor = window.predictor(self.config.noise);
-                let ctx = PolicyContext {
-                    network: self.network,
-                    cost_model: self.cost_model,
-                    predictor: &predictor,
-                    current_cache: &prev_cache,
-                    horizon,
-                };
-                policy.decide(t, &ctx)?
-            };
-            tracer.finish(decide_trace);
-            let solve_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-
-            // --- Repair against the realized slot ------------------------
-            let truth = window.front().expect("checked non-empty above");
-            for (n, sbs) in self.network.iter_sbs() {
-                for m in 0..sbs.num_classes() {
-                    for k in 0..self.network.num_contents() {
-                        let y = action.load.y(0, n, ClassId(m), ContentId(k));
-                        slot_load.set_y(0, n, ClassId(m), ContentId(k), y);
-                    }
-                }
-            }
-            let repair_trace = tracer.start("repair");
-            let repair = repair_slot(
-                self.network,
-                truth,
-                0,
-                &action.cache,
-                &mut slot_load,
-                0,
-                policy.name(),
-                t,
-            )?;
-            tracer.finish(repair_trace);
-
-            // --- Charge realized costs -----------------------------------
-            let cost = evaluate_slot(
-                self.network,
-                self.cost_model,
-                truth,
-                &prev_cache,
-                &action.cache,
-                &slot_load,
-                0,
-            );
-
-            // --- Dispatch realized requests ------------------------------
-            let counts = sample_slot_rng(&mut rng, truth, 0);
-            let dispatch = dispatch_requests(self.network, &counts, &slot_load);
-
-            let metrics = SlotMetrics {
-                slot: t,
-                requests: dispatch.requests,
-                sbs_served: dispatch.sbs_served,
-                spilled: dispatch.spilled,
-                bs_served: dispatch.bs_served,
-                hit_ratio: dispatch.hit_ratio(),
-                cost,
-                repair_scaled_sbs: repair.bandwidth_scaled,
-                solve_us,
-                buffered_slots: window.buffered(),
-            };
-            sink.slot(&metrics)?;
-
-            // --- Attribute (ledger) and certify (ratio tracker) ----------
-            // Both read executed state only; neither can perturb a
-            // decision bit.
-            if self.config.ledger {
-                let ledger = ledger_slot(
-                    self.network,
-                    self.cost_model,
-                    truth,
-                    &prev_cache,
-                    &action.cache,
-                    &slot_load,
-                    0,
-                    t,
-                );
-                debug_assert_eq!(
-                    ledger.breakdown(),
-                    cost,
-                    "ledger must reconcile bitwise with the evaluated slot"
-                );
-                sink.ledger(&ledger)?;
-            }
-            if let Some(tracker) = tracker.as_mut() {
-                let violations = slot_constraint_violations(
-                    self.network,
-                    truth,
-                    0,
-                    &action.cache,
-                    &slot_load,
-                    0,
-                );
-                if !violations.is_empty() {
-                    watchdog_constraint.incr();
-                    self.telemetry.event(
-                        "serve_watchdog_constraint",
-                        &[
-                            ("slot", FieldValue::U64(t as u64)),
-                            ("families", FieldValue::U64(violations.len() as u64)),
-                        ],
-                    );
-                }
-                let block_trace = tracer.start("ratio_block");
-                let sample = tracker.observe_slot(truth, 0, cost.total())?;
-                tracer.finish(block_trace);
-                if let Some(sample) = sample {
-                    let record = RatioRecord {
-                        slot: t,
-                        blocks: sample.blocks,
-                        covered_slots: sample.slots,
-                        realized_cost: sample.realized_cost,
-                        lower_bound: sample.lower_bound,
-                        ratio: sample.ratio,
-                        bound: tracker.options().bound,
-                        exceeds_bound: tracker.exceeds_bound(),
-                    };
-                    if record.exceeds_bound {
-                        watchdog_ratio.incr();
-                        self.telemetry.event(
-                            "serve_watchdog_ratio",
-                            &[
-                                ("slot", FieldValue::U64(t as u64)),
-                                (
-                                    "ratio",
-                                    FieldValue::F64(record.ratio.unwrap_or(f64::INFINITY)),
-                                ),
-                                ("bound", FieldValue::F64(record.bound)),
-                            ],
-                        );
-                    }
-                    sink.ratio(&record)?;
-                    last_ratio = Some(record);
-                }
-            }
-
-            histogram.observe(solve_us);
-            totals.fold(&metrics);
-            decide_us.observe(solve_us);
-            slots_total.incr();
-            requests_total.add(dispatch.requests);
-            repair_metrics.record(&repair);
-
-            prev_cache = action.cache;
-            window.advance();
-            tracer.finish(slot_trace);
-        }
-
-        let summary = ServeSummary {
-            header,
-            slots: totals.slots,
-            requests: totals.requests,
-            sbs_served: totals.sbs_served,
-            spilled: totals.spilled,
-            bs_served: totals.bs_served,
-            hit_ratio: if totals.requests == 0 {
-                0.0
-            } else {
-                totals.sbs_served / totals.requests as f64
-            },
-            cost: totals.cost,
-            repair_activations: totals.repair_activations,
-            peak_buffered_slots: window.peak_buffered(),
-            solve_latency: histogram.summarize(),
-        };
-        sink.summary(&summary)?;
-        // With the tracker on but no block completed yet, report a
-        // zero-block reading rather than nothing.
-        let ratio = tracker.map(|tr| {
-            last_ratio.unwrap_or_else(|| {
-                let sample = tr.sample();
-                RatioRecord {
-                    slot: summary.slots.saturating_sub(1),
-                    blocks: sample.blocks,
-                    covered_slots: sample.slots,
-                    realized_cost: sample.realized_cost,
-                    lower_bound: sample.lower_bound,
-                    ratio: sample.ratio,
-                    bound: tr.options().bound,
-                    exceeds_bound: tr.exceeds_bound(),
-                }
-            })
-        });
-        Ok(ServeReport { summary, ratio })
-    }
-}
-
-#[derive(Debug, Default)]
-struct Totals {
-    slots: usize,
-    requests: u64,
-    sbs_served: f64,
-    spilled: f64,
-    bs_served: f64,
-    cost: CostBreakdown,
-    repair_activations: usize,
-}
-
-impl Totals {
-    fn fold(&mut self, m: &SlotMetrics) {
-        self.slots += 1;
-        self.requests += m.requests;
-        self.sbs_served += m.sbs_served;
-        self.spilled += m.spilled;
-        self.bs_served += m.bs_served;
-        self.cost = self.cost.add(m.cost);
-        self.repair_activations += usize::from(m.repair_scaled_sbs > 0);
+        // The single-cell engine is exactly a one-cell loop over the
+        // shared step core — the same code `jocal-cluster` fans out
+        // over M cells, which is what makes the two bit-identical.
+        let mut cell = CellCore::start(
+            self.network,
+            self.cost_model,
+            self.config,
+            &self.telemetry,
+            source,
+            policy,
+            initial,
+            sink,
+        )?;
+        while cell.step(source, policy, sink)? {}
+        cell.finish(sink)
     }
 }
 
@@ -503,8 +238,9 @@ pub fn dispatch_requests(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{MemorySink, NullSink};
+    use crate::metrics::{MemorySink, NullSink, SlotMetrics};
     use crate::source::TraceSource;
+    use jocal_online::policy::PolicyContext;
     use jocal_sim::scenario::ScenarioConfig;
 
     /// Caches the first `C` items and offloads everything it can.

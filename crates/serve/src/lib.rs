@@ -12,6 +12,9 @@
 //!   request streams, chunked CSV trace files).
 //! * [`window`] — the sliding `O(w)` slot buffer and the
 //!   [`jocal_sim::predictor::PredictionWindow`] view policies consume.
+//! * [`cell`] — [`cell::CellCore`]: one serving cell's complete loop
+//!   state behind a `start → step* → finish` lifecycle, shared by the
+//!   single-cell engine and the multi-cell `jocal-cluster` runtime.
 //! * [`engine`] — the slot loop: decide → repair → charge → dispatch,
 //!   double-buffered per-slot state, no full-horizon tensors.
 //! * [`metrics`] — per-slot [`metrics::SlotMetrics`], counters, latency
@@ -50,6 +53,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod cell;
 pub mod engine;
 pub mod error;
 pub mod metrics;
@@ -59,8 +63,8 @@ pub mod window;
 pub use engine::{ServeConfig, ServeEngine, ServeReport};
 pub use error::ServeError;
 pub use metrics::{
-    JsonLinesSink, MemorySink, MetricsSink, NullSink, RatioRecord, ServeSummary, SlotMetrics,
-    SplitLedgerSink,
+    JsonLinesSink, MemorySink, MetricsSink, NullSink, RatioRecord, ServeSummary, SharedMemorySink,
+    SlotMetrics, SplitLedgerSink,
 };
 pub use source::{
     ChunkedTraceReader, DemandSource, PoissonRealizedSource, SyntheticSource, TraceSource,

@@ -15,6 +15,7 @@ use jocal_core::ledger::SlotLedger;
 use serde::Serialize;
 use std::fmt;
 use std::io::Write;
+use std::sync::{Arc, Mutex};
 
 /// One slot's observed behavior.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -335,6 +336,58 @@ impl MetricsSink for MemorySink {
     fn summary(&mut self, summary: &ServeSummary) -> Result<(), ServeError> {
         self.summary = Some(summary.clone());
         Ok(())
+    }
+}
+
+/// A cloneable handle to a [`MemorySink`]: every clone appends to the
+/// same underlying store. For drivers that *consume* their sink — a
+/// `jocal-cluster` cell owns its sink for the whole run — hand one
+/// clone to the driver and keep another to [`Self::snapshot`] the
+/// records afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMemorySink(Arc<Mutex<MemorySink>>);
+
+impl SharedMemorySink {
+    /// Creates an empty shared sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything recorded so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the sink panicked mid-record.
+    #[must_use]
+    pub fn snapshot(&self) -> MemorySink {
+        self.0.lock().expect("shared sink poisoned").clone()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut MemorySink) -> R) -> R {
+        f(&mut self.0.lock().expect("shared sink poisoned"))
+    }
+}
+
+impl MetricsSink for SharedMemorySink {
+    fn header(&mut self, header: &RunHeader) -> Result<(), ServeError> {
+        self.with(|s| s.header(header))
+    }
+
+    fn slot(&mut self, metrics: &SlotMetrics) -> Result<(), ServeError> {
+        self.with(|s| s.slot(metrics))
+    }
+
+    fn ledger(&mut self, ledger: &SlotLedger) -> Result<(), ServeError> {
+        self.with(|s| s.ledger(ledger))
+    }
+
+    fn ratio(&mut self, record: &RatioRecord) -> Result<(), ServeError> {
+        self.with(|s| s.ratio(record))
+    }
+
+    fn summary(&mut self, summary: &ServeSummary) -> Result<(), ServeError> {
+        self.with(|s| s.summary(summary))
     }
 }
 

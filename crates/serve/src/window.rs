@@ -181,6 +181,86 @@ mod tests {
     }
 
     #[test]
+    fn a_one_slot_window_streams_slot_by_slot() {
+        let s = ScenarioConfig::tiny().build(53).unwrap();
+        let horizon = s.demand.horizon();
+        let batch = NoisyPredictor::new(s.demand.clone(), 0.1, 5);
+        let mut source = TraceSource::new(s.demand.clone());
+        let mut window = SlidingWindow::new(&s.network);
+        let noise = NoiseModel::new(0.1, 5);
+        for now in 0..horizon {
+            window.fill(1, &mut source).unwrap();
+            assert_eq!(window.buffered(), 1, "w=1 buffers exactly one slot");
+            assert_eq!(window.start(), now);
+            let streamed = window.predictor(noise).predict(now, 1);
+            let buffered = jocal_sim::predictor::PredictionWindow::predict(&batch, now, 1);
+            assert_eq!(streamed, buffered, "w=1 window at now={now} differs");
+            window.advance();
+        }
+        window.fill(1, &mut source).unwrap();
+        assert!(window.exhausted());
+        assert!(window.front().is_none());
+        assert_eq!(window.peak_buffered(), 1, "w=1 never buffers ahead");
+    }
+
+    #[test]
+    fn exhaustion_mid_window_serves_the_tail_and_zero_pads() {
+        let s = ScenarioConfig::tiny().with_horizon(4).build(54).unwrap();
+        let batch = NoisyPredictor::new(s.demand.clone(), 0.3, 11);
+        let mut source = TraceSource::new(s.demand.clone());
+        let mut window = SlidingWindow::new(&s.network);
+        let noise = NoiseModel::new(0.3, 11);
+        window.fill(3, &mut source).unwrap();
+        assert!(!window.exhausted(), "3 of 4 slots buffered");
+        window.advance();
+        // This refill pulls the last slot and stops at target — the
+        // end of stream is only discovered by the next refill's probe.
+        window.fill(3, &mut source).unwrap();
+        assert!(!window.exhausted(), "fill never probes past its target");
+        assert_eq!(window.buffered(), 3);
+        window.advance();
+        window.fill(3, &mut source).unwrap();
+        assert!(window.exhausted());
+        assert_eq!(window.buffered(), 2, "the tail keeps serving after EOF");
+        // A window reaching past the stream zero-pads the tail exactly
+        // like the batch predictor treats slots past the horizon.
+        let streamed = window.predictor(noise).predict(2, 3);
+        let buffered = jocal_sim::predictor::PredictionWindow::predict(&batch, 2, 3);
+        assert_eq!(streamed, buffered);
+        window.advance();
+        window.advance();
+        assert!(window.front().is_none());
+        assert_eq!(window.buffered(), 0);
+        assert_eq!(window.start(), 4);
+        assert_eq!(window.peak_buffered(), 3);
+    }
+
+    #[test]
+    fn free_list_recycles_across_advance_and_refill_cycles() {
+        let s = ScenarioConfig::tiny().with_horizon(6).build(55).unwrap();
+        let mut source = TraceSource::new(s.demand.clone());
+        let mut window = SlidingWindow::new(&s.network);
+        window.fill(2, &mut source).unwrap();
+        assert_eq!(window.free.len(), 0, "initial fill has nothing to reuse");
+        for _ in 0..4 {
+            window.advance();
+            assert_eq!(window.free.len(), 1, "advance parks the slot for reuse");
+            window.fill(2, &mut source).unwrap();
+            assert_eq!(window.free.len(), 0, "refill reuses the parked slot");
+        }
+        // Drain past exhaustion: the scratch buffer of the failed pull
+        // and every remaining slot all land back on the free list — the
+        // window only ever owns the two allocations it started with.
+        while window.front().is_some() {
+            window.advance();
+            window.fill(2, &mut source).unwrap();
+        }
+        assert!(window.exhausted());
+        assert_eq!(window.free.len(), 2, "every allocation is recycled");
+        assert_eq!(window.peak_buffered(), 2);
+    }
+
+    #[test]
     fn advance_recycles_allocations() {
         let s = ScenarioConfig::tiny().build(52).unwrap();
         let mut source = TraceSource::new(s.demand.clone());

@@ -27,7 +27,7 @@ const ETA: f64 = 0.15;
 const NOISE_SEED: u64 = 9001;
 const WINDOW: usize = 3;
 
-fn policies(parallelism: Parallelism) -> Vec<Box<dyn OnlinePolicy>> {
+fn policies(parallelism: Parallelism) -> Vec<Box<dyn OnlinePolicy + Send>> {
     let options = PrimalDualOptions {
         parallelism,
         ..PrimalDualOptions::online()
@@ -316,4 +316,127 @@ fn thread_counts_agree_with_each_other() {
         );
     }
     assert_eq!(trajectories[0], trajectories[1]);
+}
+
+#[test]
+fn one_cell_cluster_is_bit_identical_to_the_serve_engine() {
+    // The cluster runtime's contract: driving a single cell through
+    // `jocal_cluster::ClusterEngine` reproduces the single-cell
+    // `ServeEngine` byte stream exactly — headers, slots, ledgers,
+    // ratio records and summary — for every paper policy at every
+    // solver thread count. Wall-clock fields (`solve_us`, the latency
+    // summary) are the only exclusions: they are measured, not decided.
+    use jocal_cluster::{Cell, ClusterConfig, ClusterEngine};
+    use jocal_serve::metrics::SharedMemorySink;
+
+    let scenario = ScenarioConfig::tiny().build(77).unwrap();
+    let model = CostModel::paper();
+    let ratio = RatioOptions {
+        block: 3,
+        max_iterations: 15,
+        ..RatioOptions::default()
+    };
+    let slot_key = |sink: &MemorySink| {
+        sink.slots
+            .iter()
+            .map(|m| {
+                (
+                    m.slot,
+                    m.requests,
+                    m.sbs_served.to_bits(),
+                    m.spilled.to_bits(),
+                    m.bs_served.to_bits(),
+                    m.hit_ratio.to_bits(),
+                    m.cost.total().to_bits(),
+                    m.repair_scaled_sbs,
+                    m.buffered_slots,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+
+    for parallelism in [Parallelism::Threads(1), Parallelism::Threads(4)] {
+        let count = policies(parallelism).len();
+        for i in 0..count {
+            let mut config = ServeConfig::new(WINDOW, 42);
+            config.noise = NoiseModel::new(ETA, NOISE_SEED);
+            config.ledger = true;
+            config.ratio = Some(ratio);
+
+            // --- Single-cell engine ---------------------------------
+            let mut policy = policies(parallelism).remove(i);
+            let name = policy.name().to_string();
+            let engine = ServeEngine::new(&scenario.network, &model, config);
+            let mut single_sink = MemorySink::default();
+            let single = engine
+                .run(
+                    &mut TraceSource::new(scenario.demand.clone()),
+                    policy.as_mut(),
+                    CacheState::empty(&scenario.network),
+                    &mut single_sink,
+                )
+                .unwrap_or_else(|e| panic!("serve {name} {parallelism:?} failed: {e}"));
+
+            // --- 1-cell cluster -------------------------------------
+            let shared = SharedMemorySink::new();
+            let cell = Cell::new(
+                scenario.network.clone(),
+                model,
+                config,
+                Box::new(TraceSource::new(scenario.demand.clone())),
+                policies(parallelism).remove(i),
+            )
+            .with_sink(Box::new(shared.clone()));
+            let cluster = ClusterEngine::new(ClusterConfig::new(1))
+                .run(vec![cell])
+                .unwrap_or_else(|e| panic!("cluster {name} {parallelism:?} failed: {e}"));
+            let cluster_sink = shared.snapshot();
+
+            assert_eq!(
+                cluster_sink.header, single_sink.header,
+                "{name} {parallelism:?}: headers differ"
+            );
+            assert_eq!(
+                slot_key(&cluster_sink),
+                slot_key(&single_sink),
+                "{name} {parallelism:?}: slot streams differ"
+            );
+            assert_eq!(
+                cluster_sink.ledgers, single_sink.ledgers,
+                "{name} {parallelism:?}: ledger streams differ"
+            );
+            assert_eq!(
+                cluster_sink.ratios, single_sink.ratios,
+                "{name} {parallelism:?}: ratio streams differ"
+            );
+
+            let cs = &cluster.cells[0].report.summary;
+            let ss = &single.summary;
+            assert_eq!(cs.slots, ss.slots, "{name} {parallelism:?}");
+            assert_eq!(cs.requests, ss.requests, "{name} {parallelism:?}");
+            assert_eq!(
+                cs.sbs_served.to_bits(),
+                ss.sbs_served.to_bits(),
+                "{name} {parallelism:?}"
+            );
+            assert_eq!(
+                cs.hit_ratio.to_bits(),
+                ss.hit_ratio.to_bits(),
+                "{name} {parallelism:?}"
+            );
+            assert_eq!(
+                cs.cost.total().to_bits(),
+                ss.cost.total().to_bits(),
+                "{name} {parallelism:?}"
+            );
+            assert_eq!(
+                cs.repair_activations, ss.repair_activations,
+                "{name} {parallelism:?}"
+            );
+            assert_eq!(
+                cluster.cells[0].report.ratio, single.ratio,
+                "{name} {parallelism:?}: final ratio readings differ"
+            );
+        }
+    }
 }

@@ -192,6 +192,30 @@ impl ScenarioConfig {
         seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1)
     }
 
+    /// Cell `cell`'s scenario seed in a multi-cell run, derived from
+    /// the run's `master` seed. Cell 0 **is** the master seed — a
+    /// 1-cell cluster reproduces the single-cell run exactly — and
+    /// every other cell jumps by a distinct odd multiple of the
+    /// golden-ratio increment (the splitmix64 stream constant, the same
+    /// one [`ScenarioConfig::demand_seed`] uses), so per-cell topology
+    /// and demand draws are decorrelated without any shared RNG state.
+    #[must_use]
+    pub fn cell_seed(master: u64, cell: usize) -> u64 {
+        master.wrapping_add((cell as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Materializes `cells` independent scenarios from one master seed:
+    /// cell `i` is `self.build(Self::cell_seed(seed, i))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for out-of-range parameters.
+    pub fn build_cells(&self, seed: u64, cells: usize) -> Result<Vec<Scenario>, SimError> {
+        (0..cells)
+            .map(|i| self.build(Self::cell_seed(seed, i)))
+            .collect()
+    }
+
     fn validate(&self) -> Result<(), SimError> {
         if self.horizon == 0 {
             return Err(SimError::config("horizon", "must be positive"));
@@ -339,6 +363,31 @@ mod tests {
         }
         .build(0)
         .is_err());
+    }
+
+    #[test]
+    fn cell_seed_zero_is_the_master_and_cells_decorrelate() {
+        // Cell 0 must reproduce the single-cell run bit-for-bit.
+        assert_eq!(ScenarioConfig::cell_seed(77, 0), 77);
+        let cfg = ScenarioConfig::tiny();
+        let single = cfg.build(77).unwrap();
+        let cells = cfg.build_cells(77, 3).unwrap();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0].network, single.network);
+        assert_eq!(cells[0].demand, single.demand);
+        // Other cells draw different topologies and demand.
+        assert_ne!(cells[1].demand, cells[0].demand);
+        assert_ne!(cells[2].demand, cells[1].demand);
+        let omega = |s: &Scenario| s.network.sbs(SbsId(0)).unwrap().classes()[0].omega_bs;
+        assert_ne!(omega(&cells[0]), omega(&cells[1]));
+        // The derivation is pure: the same (master, cell) pair always
+        // lands on the same seed, independent of how many cells exist.
+        assert_eq!(
+            ScenarioConfig::cell_seed(77, 2),
+            ScenarioConfig::cell_seed(77, 2)
+        );
+        let rebuilt = cfg.build(ScenarioConfig::cell_seed(77, 2)).unwrap();
+        assert_eq!(rebuilt.demand, cells[2].demand);
     }
 
     #[test]
