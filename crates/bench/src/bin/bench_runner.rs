@@ -15,18 +15,25 @@
 //!   each cell's inner solver pinned to one thread so the shard pool is
 //!   the only parallelism. Shard speedup materializes on multi-core
 //!   machines; a single-core box honestly reports ~1×.
+//! * `BENCH_gateway.json` — the HTTP frontend under the load
+//!   generator: sustained req/s and p50/p99 request latency from a
+//!   closed-loop phase, then the shed fraction and queue-depth
+//!   high-watermark from an open-loop phase driven at ~2× the measured
+//!   capacity against a small ingestion ring, so overload behavior is
+//!   diffable PR-over-PR.
 //!
 //! Flags: `--out DIR` (default `.`), `--slots N`, `--runs K`,
 //! `--window W`, `--solves S`, `--cluster-slots N` (per-cell slots for
-//! the cluster grid). Wall-clock timing only — run on a quiet machine;
-//! CI uploads the artifacts for trend eyeballing rather than gating on
-//! them.
+//! the cluster grid), `--gateway-requests N` (per gateway phase).
+//! Wall-clock timing only — run on a quiet machine; CI uploads the
+//! artifacts for trend eyeballing rather than gating on them.
 
 use jocal_cluster::{Cell, ClusterConfig, ClusterEngine};
 use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver};
 use jocal_core::problem::ProblemInstance;
 use jocal_core::workspace::Parallelism;
 use jocal_core::{CacheState, CostModel};
+use jocal_gateway::{run_loadgen, CellSpec, Gateway, GatewayConfig, LoadgenConfig, LoadgenMode};
 use jocal_online::rhc::RhcPolicy;
 use jocal_serve::engine::{ServeConfig, ServeEngine};
 use jocal_serve::metrics::NullSink;
@@ -35,6 +42,7 @@ use jocal_sim::popularity::ZipfMandelbrot;
 use jocal_sim::scenario::ScenarioConfig;
 use jocal_sim::stream::StreamingDemand;
 use jocal_sim::topology::Network;
+use jocal_telemetry::Telemetry;
 use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -86,6 +94,7 @@ struct Options {
     window: usize,
     solves: usize,
     cluster_slots: usize,
+    gateway_requests: u64,
 }
 
 impl Default for Options {
@@ -97,6 +106,7 @@ impl Default for Options {
             window: 5,
             solves: 40,
             cluster_slots: 32,
+            gateway_requests: 300,
         }
     }
 }
@@ -114,6 +124,11 @@ fn parse_options() -> Options {
             "--solves" => opts.solves = args[i + 1].parse().expect("--solves takes a count"),
             "--cluster-slots" => {
                 opts.cluster_slots = args[i + 1].parse().expect("--cluster-slots takes a count");
+            }
+            "--gateway-requests" => {
+                opts.gateway_requests = args[i + 1]
+                    .parse()
+                    .expect("--gateway-requests takes a count");
             }
             other => panic!("unknown flag {other}"),
         }
@@ -293,6 +308,111 @@ fn bench_cluster(opts: &Options) -> ClusterBench {
     }
 }
 
+#[derive(Serialize)]
+struct GatewayBench {
+    bench: String,
+    cells: usize,
+    requests_per_phase: u64,
+    streams: u64,
+    /// Closed-loop phase: completed HTTP round-trips per second.
+    sustained_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    /// Open-loop phase release rate (~2× the measured capacity).
+    overload_rate_rps: f64,
+    /// Ring capacity (= overload watermark) during the overload phase.
+    overload_queue_capacity: usize,
+    overload_shed_fraction: f64,
+    queue_depth_highwater: usize,
+    worker_panics: u64,
+}
+
+fn bench_gateway(opts: &Options) -> GatewayBench {
+    const WINDOW: usize = 2;
+    const CELLS: usize = 2;
+    const STREAMS: u64 = 100_000;
+    let scenario_cfg = ScenarioConfig::tiny();
+    let solver_opts = PrimalDualOptions {
+        parallelism: Parallelism::Threads(1),
+        ..PrimalDualOptions::online()
+    };
+    // Cells never hit their slot bound; both phases end via drain, and
+    // a drain flushes every sink before the report lands.
+    let start_gateway = |queue: usize| -> Gateway {
+        let specs = (0..CELLS)
+            .map(|i| {
+                let seed = ScenarioConfig::cell_seed(42, i);
+                let scenario = scenario_cfg.build(seed).expect("scenario builds");
+                CellSpec::new(
+                    scenario.network,
+                    CostModel::paper(),
+                    ServeConfig::new(WINDOW, seed),
+                    Box::new(RhcPolicy::new(WINDOW, solver_opts)),
+                )
+                .with_expected_slots(usize::MAX / 2)
+            })
+            .collect();
+        Gateway::start(
+            &GatewayConfig {
+                queue_capacity: queue,
+                http_workers: 4,
+                ..GatewayConfig::default()
+            },
+            ClusterConfig::new(CELLS),
+            specs,
+            &Telemetry::disabled(),
+        )
+        .expect("gateway starts")
+    };
+    let loadgen_config = |target: String| LoadgenConfig {
+        connections: 4,
+        requests: opts.gateway_requests,
+        streams: STREAMS,
+        cells: CELLS,
+        slots_per_request: 2,
+        scenario: scenario_cfg.clone(),
+        seed: 42,
+        ..LoadgenConfig::new(target)
+    };
+
+    // Phase A (capacity): closed loop against a generous ring.
+    let gateway = start_gateway(4096);
+    let capacity = run_loadgen(&loadgen_config(gateway.local_addr().to_string()))
+        .expect("closed-loop loadgen runs");
+    gateway.drain();
+    let _ = gateway.join().expect("clean drain after capacity phase");
+
+    // Phase B (overload): open loop at ~2× the measured capacity
+    // against a small ring, so admission control has to shed.
+    let overload_rate = (capacity.sustained_rps * 2.0).max(50.0);
+    let overload_queue = 64;
+    let gateway = start_gateway(overload_queue);
+    let overload = run_loadgen(&LoadgenConfig {
+        mode: LoadgenMode::Open {
+            rate_per_sec: overload_rate,
+        },
+        ..loadgen_config(gateway.local_addr().to_string())
+    })
+    .expect("open-loop loadgen runs");
+    gateway.drain();
+    let (_, stats) = gateway.join().expect("clean drain after overload phase");
+
+    GatewayBench {
+        bench: "gateway".to_string(),
+        cells: CELLS,
+        requests_per_phase: opts.gateway_requests,
+        streams: STREAMS,
+        sustained_rps: capacity.sustained_rps,
+        p50_us: capacity.p50_us,
+        p99_us: capacity.p99_us,
+        overload_rate_rps: overload_rate,
+        overload_queue_capacity: overload_queue,
+        overload_shed_fraction: overload.shed_fraction,
+        queue_depth_highwater: stats.queue_depth_highwater,
+        worker_panics: stats.worker_panics,
+    }
+}
+
 fn main() {
     let opts = parse_options();
     std::fs::create_dir_all(&opts.out).expect("create output dir");
@@ -339,6 +459,24 @@ fn main() {
         "cluster: 16 cells at 4 shards vs 1 shard = {:.2}x ({} worker threads available) -> {}",
         cluster.speedup_16c_4s_over_1s,
         cluster.worker_threads_available,
+        path.display()
+    );
+
+    let gateway = bench_gateway(&opts);
+    let path = opts.out.join("BENCH_gateway.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&gateway).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_gateway.json");
+    println!(
+        "gateway: {:.1} req/s sustained (p50 {} us, p99 {} us), shed {:.3} at {:.0} req/s, highwater {} -> {}",
+        gateway.sustained_rps,
+        gateway.p50_us,
+        gateway.p99_us,
+        gateway.overload_shed_fraction,
+        gateway.overload_rate_rps,
+        gateway.queue_depth_highwater,
         path.display()
     );
 }

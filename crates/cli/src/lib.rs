@@ -18,7 +18,10 @@
 use jocal_cluster::{Cell, ClusterConfig, ClusterEngine, ClusterReport};
 use jocal_core::workspace::Parallelism;
 use jocal_core::{CacheState, CostModel};
-use jocal_experiments::schemes::{build_online_policy, run_scheme_observed, RunConfig, Scheme};
+use jocal_experiments::schemes::{build_online_policy, run_scheme_stoppable, RunConfig, Scheme};
+use jocal_gateway::{
+    run_loadgen, CellSpec, Gateway, GatewayConfig, GatewayStats, LoadgenConfig, LoadgenMode,
+};
 use jocal_online::ratio::RatioOptions;
 use jocal_serve::engine::{ServeConfig, ServeEngine, ServeReport};
 use jocal_serve::metrics::{JsonLinesSink, MetricsSink, NullSink, RunHeader, SplitLedgerSink};
@@ -46,6 +49,12 @@ COMMANDS:
     run             run one scheme on a scenario (batch, full horizon)
     serve           stream one scheme over generated demand with O(w)
                     memory, emitting per-slot metrics
+    gateway         start the network-facing serving frontend: demand
+                    arrives over HTTP (POST /v1/demand), metrics are
+                    scraped live (GET /metrics), overload is shed with
+                    429, and SIGINT / POST /v1/shutdown drain cleanly
+    loadgen         drive a running gateway with synthetic MU demand
+                    (closed- or open-loop, millions of streams)
     generate        generate a demand trace as CSV
     schemes         list available schemes
     example-config  print a sample scenario JSON to stdout
@@ -108,6 +117,37 @@ OPTIONS (serve only):
                         at most K worker threads (default 1; cell i
                         lands in shard i % K; results are identical
                         for every K — only throughput changes)
+
+OPTIONS (gateway; also accepts --cells/--shards/--slots/--scheme/
+         --window/--seed and the telemetry flags):
+    --addr <host:port>  bind address (default 127.0.0.1:0 = any free
+                        port; the bound address is printed at startup)
+    --addr-out <path>   also write the bound address to this file
+                        (handy for scripts when binding port 0)
+    --queue <Q>         per-cell ingestion-ring capacity; this is the
+                        overload watermark — demand beyond it is shed
+                        with 429 + Retry-After (default 256)
+    --http-workers <n>  HTTP worker threads (default 4)
+
+    The gateway serves until every cell has consumed --slots demand
+    slots, or until drained by SIGINT or POST /v1/shutdown; either way
+    every cell flushes its sinks before exit.
+
+OPTIONS (loadgen):
+    --target <addr>     gateway host:port to drive (required)
+    --streams <n[k|M]>  simulated MU request streams, e.g. 250k or 1M:
+                        demand intensity is scaled so the gateway-wide
+                        mean arrival rate is n requests/slot
+                        (default 1000)
+    --requests <n>      total HTTP requests to send (default 1000)
+    --connections <n>   concurrent keep-alive connections (default 4)
+    --rate <r>          open-loop release rate in requests/second;
+                        omit for closed-loop (send-on-response)
+    --slots-per-request <s>  demand slots per request body (default 4)
+    --cells <M>         target cells, round-robin (default 1; must
+                        match the gateway's --cells and --seed for
+                        bodies to have the right shape)
+    --output <path>     write the JSON report here
 ";
 
 /// Errors surfaced to the CLI user.
@@ -173,6 +213,52 @@ pub struct CliArgs {
     /// `--shards` (serve: aggregation groups / worker-pool bound for
     /// the cluster runtime)
     pub shards: usize,
+    /// `--addr` (gateway: bind address, default `127.0.0.1:0`)
+    pub addr: Option<String>,
+    /// `--addr-out` (gateway: write the bound address to this file)
+    pub addr_out: Option<PathBuf>,
+    /// `--queue` (gateway: per-cell ingestion-ring capacity, i.e. the
+    /// overload watermark)
+    pub queue: usize,
+    /// `--http-workers` (gateway: HTTP worker threads)
+    pub http_workers: usize,
+    /// `--target` (loadgen: gateway `host:port` to drive)
+    pub target: Option<String>,
+    /// `--streams` (loadgen: simulated MU request streams; accepts
+    /// `k`/`M` suffixes)
+    pub streams: u64,
+    /// `--requests` (loadgen: total HTTP requests)
+    pub requests: u64,
+    /// `--connections` (loadgen: concurrent keep-alive connections)
+    pub connections: usize,
+    /// `--rate` (loadgen: open-loop release rate in req/s; `None`
+    /// means closed-loop)
+    pub rate: Option<f64>,
+    /// `--slots-per-request` (loadgen: demand slots per request body)
+    pub slots_per_request: usize,
+}
+
+/// Parses a stream count with an optional `k`/`M` suffix (`250k`,
+/// `1M`, `1000000`).
+///
+/// # Errors
+///
+/// Returns a message for empty, negative or unparsable values.
+pub fn parse_streams(text: &str) -> Result<u64, Box<dyn Error>> {
+    let bad = || {
+        CliError::boxed(format!(
+            "--streams expects a count like 1000, 250k or 1M, got {text:?}"
+        ))
+    };
+    let (digits, factor) = match text.strip_suffix(['k', 'K']) {
+        Some(d) => (d, 1_000),
+        None => match text.strip_suffix('M') {
+            Some(d) => (d, 1_000_000),
+            None => (text, 1),
+        },
+    };
+    let base: u64 = digits.parse().map_err(|_| bad())?;
+    base.checked_mul(factor).ok_or_else(bad)
 }
 
 /// Parses raw arguments (without the program name).
@@ -187,6 +273,12 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, Box<dyn Error>> {
         commitment: 3,
         cells: 1,
         shards: 1,
+        queue: 256,
+        http_workers: 4,
+        streams: 1_000,
+        requests: 1_000,
+        connections: 4,
+        slots_per_request: 4,
         ..Default::default()
     };
     let mut i = 1;
@@ -313,6 +405,74 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, Box<dyn Error>> {
                 }
                 i += 2;
             }
+            "--addr" => {
+                out.addr = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--addr-out" => {
+                out.addr_out = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
+            "--queue" => {
+                out.queue = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--queue expects a usize >= 1"))?;
+                if out.queue == 0 {
+                    return Err(CliError::boxed("--queue must be at least 1"));
+                }
+                i += 2;
+            }
+            "--http-workers" => {
+                out.http_workers = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--http-workers expects a usize >= 1"))?;
+                if out.http_workers == 0 {
+                    return Err(CliError::boxed("--http-workers must be at least 1"));
+                }
+                i += 2;
+            }
+            "--target" => {
+                out.target = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--streams" => {
+                out.streams = parse_streams(value(i)?)?;
+                i += 2;
+            }
+            "--requests" => {
+                out.requests = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--requests expects a u64"))?;
+                i += 2;
+            }
+            "--connections" => {
+                out.connections = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--connections expects a usize >= 1"))?;
+                if out.connections == 0 {
+                    return Err(CliError::boxed("--connections must be at least 1"));
+                }
+                i += 2;
+            }
+            "--rate" => {
+                let rate: f64 = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--rate expects a float (req/s)"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err(CliError::boxed("--rate must be a positive req/s"));
+                }
+                out.rate = Some(rate);
+                i += 2;
+            }
+            "--slots-per-request" => {
+                out.slots_per_request = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--slots-per-request expects a usize >= 1"))?;
+                if out.slots_per_request == 0 {
+                    return Err(CliError::boxed("--slots-per-request must be at least 1"));
+                }
+                i += 2;
+            }
             other => return Err(CliError::boxed(format!("unknown flag {other}"))),
         }
     }
@@ -358,14 +518,52 @@ fn telemetry_for(args: &CliArgs) -> Telemetry {
     } else {
         Telemetry::enabled()
     };
-    let _ = telemetry.histogram("pd_iterations");
-    let _ = telemetry.counter("pd_iterations_total");
-    let _ = telemetry.histogram("pd_dual_residual_norm_1e6");
-    let _ = telemetry.histogram("window_solve_us");
-    let _ = telemetry.counter("chc_rounding_flips_total");
-    let _ = telemetry.counter("repair_scale_passes_total");
-    let _ = telemetry.histogram("repair_scale_pct");
+    jocal_gateway::preregister_headline_metrics(&telemetry);
     telemetry
+}
+
+/// SIGINT-to-[`ShutdownFlag`] bridge. The handler only flips an atomic
+/// (async-signal-safe); the slot loops poll it and drain cleanly —
+/// flushing metrics/ledger/ratio sinks — instead of dying mid-write.
+#[cfg(unix)]
+mod interrupt {
+    use jocal_core::ShutdownFlag;
+    use std::sync::OnceLock;
+
+    static FLAG: OnceLock<ShutdownFlag> = OnceLock::new();
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        if let Some(flag) = FLAG.get() {
+            flag.request();
+        }
+    }
+
+    const SIGINT: i32 = 2;
+
+    /// Installs the handler (idempotent) and returns the shared flag.
+    pub fn install() -> ShutdownFlag {
+        let flag = FLAG.get_or_init(ShutdownFlag::new).clone();
+        #[allow(clippy::fn_to_numeric_cast)]
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+        flag
+    }
+}
+
+/// Non-unix fallback: no handler, the flag simply never fires.
+#[cfg(not(unix))]
+mod interrupt {
+    use jocal_core::ShutdownFlag;
+
+    /// Returns an inert flag.
+    pub fn install() -> ShutdownFlag {
+        ShutdownFlag::new()
+    }
 }
 
 /// Writes the requested telemetry outputs after a run: a JSON-lines
@@ -513,8 +711,17 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
                 run_cfg.online_opts.parallelism = par;
             }
             let telemetry = telemetry_for(args);
-            let outcome = run_scheme_observed(scheme, &scenario, &run_cfg, &telemetry)?;
+            let stop = interrupt::install();
+            let (outcome, slots) =
+                run_scheme_stoppable(scheme, &scenario, &run_cfg, &telemetry, &stop)?;
             writeln!(out, "scheme            {}", outcome.label)?;
+            if slots < scenario.demand.horizon() {
+                writeln!(
+                    out,
+                    "interrupted       costs cover {slots} of {} slots",
+                    scenario.demand.horizon()
+                )?;
+            }
             writeln!(out, "total cost        {:.3}", outcome.breakdown.total())?;
             writeln!(
                 out,
@@ -665,6 +872,12 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
                 writeln!(out, "wrote {}", path.display())?;
             }
         }
+        "gateway" => {
+            run_gateway(args, out)?;
+        }
+        "loadgen" => {
+            run_loadgen_command(args, out)?;
+        }
         other => {
             return Err(CliError::boxed(format!(
                 "unknown command `{other}`; run `jocal help`"
@@ -723,7 +936,9 @@ pub fn run_serve(args: &CliArgs) -> Result<ServeReport, Box<dyn Error>> {
     });
     let model = CostModel::paper();
     let telemetry = telemetry_for(args);
-    let engine = ServeEngine::new(&network, &model, serve_cfg).with_telemetry(telemetry.clone());
+    let engine = ServeEngine::new(&network, &model, serve_cfg)
+        .with_telemetry(telemetry.clone())
+        .with_shutdown(interrupt::install());
     let initial = CacheState::empty(&network);
 
     // Sink assembly: the main metrics stream and the (optionally
@@ -850,7 +1065,8 @@ pub fn run_serve_cluster(args: &CliArgs) -> Result<ClusterReport, Box<dyn Error>
                 Box::new(source),
                 policy,
             )
-            .with_sink(sink),
+            .with_sink(sink)
+            .with_shutdown(interrupt::install()),
         );
     }
 
@@ -867,6 +1083,208 @@ pub fn run_serve_cluster(args: &CliArgs) -> Result<ClusterReport, Box<dyn Error>
         .map_err(|e| CliError::boxed(format!("telemetry output failed: {e}")))?;
     }
     Ok(report)
+}
+
+/// Runs `jocal gateway`: starts the HTTP serving frontend from
+/// [`jocal_gateway`] over `--cells` cluster cells and serves until
+/// every cell has consumed `--slots` demand slots or the gateway is
+/// drained (SIGINT or `POST /v1/shutdown`). Cell seeds, sinks and
+/// per-cell output files follow the same conventions as
+/// [`run_serve_cluster`], so a gateway-fed run is bit-identical to the
+/// in-process replay of the same demand.
+///
+/// # Errors
+///
+/// Propagates configuration, bind, solver and I/O failures.
+pub fn run_gateway(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let scheme = parse_scheme(args.scheme.as_deref().unwrap_or("rhc"), args.commitment)?;
+    let config = load_config(args)?;
+    let mut run_cfg = RunConfig {
+        window: config.prediction_window,
+        eta: config.eta,
+        ..Default::default()
+    };
+    if let Some(n) = args.threads {
+        run_cfg.online_opts.parallelism = if n == 0 {
+            Parallelism::Auto
+        } else {
+            Parallelism::Threads(n)
+        };
+    }
+    let slots = args.slots.unwrap_or(config.horizon);
+
+    // The gateway's /metrics endpoint is live, so telemetry is always
+    // on here (traced when span outputs were requested).
+    let telemetry = if args.trace_out.is_some() || args.folded_out.is_some() {
+        Telemetry::traced()
+    } else {
+        Telemetry::enabled()
+    };
+    jocal_gateway::preregister_headline_metrics(&telemetry);
+
+    let open = |path: &PathBuf| -> Result<JsonLinesSink<BufWriter<fs::File>>, Box<dyn Error>> {
+        let file = fs::File::create(path)
+            .map_err(|e| CliError::boxed(format!("cannot create {}: {e}", path.display())))?;
+        Ok(JsonLinesSink::new(BufWriter::new(file)))
+    };
+
+    let mut specs = Vec::with_capacity(args.cells);
+    for i in 0..args.cells {
+        let seed = ScenarioConfig::cell_seed(args.seed, i);
+        let network = config.build_network(seed)?;
+        let policy = build_online_policy(scheme, &run_cfg).ok_or_else(|| {
+            CliError::boxed("`gateway` drives step-wise policies; `offline` has no step-wise form")
+        })?;
+        let mut serve_cfg = ServeConfig::new(run_cfg.window, seed);
+        serve_cfg.noise = NoiseModel::new(
+            run_cfg.eta,
+            ScenarioConfig::cell_seed(run_cfg.predictor_seed, i),
+        );
+        serve_cfg.ledger = args.ledger_out.is_some();
+        serve_cfg.ratio = args.ratio.map(|block| RatioOptions {
+            block,
+            ..RatioOptions::default()
+        });
+        let primary: Box<dyn MetricsSink + Send> = match &args.metrics_out {
+            Some(path) => Box::new(open(&cell_path(path, i))?),
+            None => Box::new(NullSink),
+        };
+        let sink: Box<dyn MetricsSink + Send> = match &args.ledger_out {
+            Some(path) => Box::new(SplitLedgerSink::new(primary, open(&cell_path(path, i))?)),
+            None => primary,
+        };
+        specs.push(
+            CellSpec::new(network, CostModel::paper(), serve_cfg, policy)
+                .with_sink(sink)
+                .with_expected_slots(slots),
+        );
+    }
+
+    let gateway_cfg = GatewayConfig {
+        addr: args.addr.clone().unwrap_or_else(|| "127.0.0.1:0".into()),
+        http_workers: args.http_workers,
+        queue_capacity: args.queue,
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::start(
+        &gateway_cfg,
+        ClusterConfig::new(args.shards),
+        specs,
+        &telemetry,
+    )
+    .map_err(|e| CliError::boxed(format!("gateway failed to start: {e}")))?;
+    let addr = gateway.local_addr();
+    writeln!(
+        out,
+        "listening on {addr} ({} cells, {} shards, queue watermark {})",
+        args.cells, args.shards, args.queue
+    )?;
+    out.flush()?;
+    if let Some(path) = &args.addr_out {
+        fs::write(path, format!("{addr}\n"))
+            .map_err(|e| CliError::boxed(format!("cannot write {}: {e}", path.display())))?;
+    }
+
+    // Serve until every cell is done (expected slots reached or rings
+    // drained). SIGINT triggers the same graceful-drain path as
+    // POST /v1/shutdown: sinks flush, headers stay durable.
+    let stop = interrupt::install();
+    while !gateway.serve_finished() {
+        if stop.is_requested() {
+            gateway.drain();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let (report, stats) = gateway
+        .join()
+        .map_err(|e| CliError::boxed(format!("gateway run failed: {e}")))?;
+
+    let rollup = &report.rollup;
+    writeln!(out, "cells              {}", rollup.cells)?;
+    writeln!(out, "slots served       {}", rollup.slots)?;
+    writeln!(out, "requests           {}", rollup.requests)?;
+    writeln!(out, "hit ratio          {:.4}", rollup.hit_ratio)?;
+    writeln!(out, "total cost         {:.3}", rollup.cost.total())?;
+    write_gateway_stats(&stats, out)?;
+    if telemetry.is_enabled() {
+        write_telemetry_outputs(
+            args,
+            &telemetry,
+            &report.cells[0].report.summary.header,
+            out,
+        )?;
+    }
+    for path in [&args.metrics_out, &args.ledger_out].into_iter().flatten() {
+        for i in 0..args.cells {
+            writeln!(out, "wrote {}", cell_path(path, i).display())?;
+        }
+    }
+    Ok(())
+}
+
+fn write_gateway_stats(
+    stats: &GatewayStats,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    writeln!(out, "http requests      {}", stats.requests)?;
+    writeln!(out, "shed (429)         {}", stats.rejected_overload)?;
+    writeln!(out, "malformed          {}", stats.malformed)?;
+    writeln!(out, "queue highwater    {}", stats.queue_depth_highwater)?;
+    writeln!(out, "worker panics      {}", stats.worker_panics)?;
+    Ok(())
+}
+
+/// Runs `jocal loadgen`: drives a running gateway with synthetic MU
+/// demand and prints the throughput/latency/shed report.
+///
+/// # Errors
+///
+/// Requires `--target`; propagates configuration and I/O failures.
+pub fn run_loadgen_command(
+    args: &CliArgs,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    let target = args
+        .target
+        .clone()
+        .ok_or_else(|| CliError::boxed("loadgen requires --target <host:port>"))?;
+    let config = LoadgenConfig {
+        connections: args.connections,
+        requests: args.requests,
+        mode: match args.rate {
+            Some(rate_per_sec) => LoadgenMode::Open { rate_per_sec },
+            None => LoadgenMode::Closed,
+        },
+        streams: args.streams,
+        cells: args.cells,
+        slots_per_request: args.slots_per_request,
+        scenario: load_config(args)?,
+        seed: args.seed,
+        ..LoadgenConfig::new(target)
+    };
+    let report = run_loadgen(&config).map_err(|e| CliError::boxed(format!("loadgen: {e}")))?;
+    writeln!(out, "streams            {}", report.streams)?;
+    writeln!(out, "requests           {}", report.requests)?;
+    writeln!(out, "accepted           {}", report.accepted)?;
+    writeln!(out, "shed (429)         {}", report.shed)?;
+    writeln!(out, "errors             {}", report.errors)?;
+    writeln!(out, "slots sent         {}", report.slots_sent)?;
+    writeln!(out, "elapsed            {:.3}s", report.elapsed_secs)?;
+    writeln!(out, "sustained rps      {:.1}", report.sustained_rps)?;
+    writeln!(out, "shed fraction      {:.4}", report.shed_fraction)?;
+    writeln!(
+        out,
+        "latency            p50 {}us  p99 {}us  max {}us",
+        report.p50_us, report.p99_us, report.max_us
+    )?;
+    if let Some(path) = &args.output {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        fs::write(path, json)
+            .map_err(|e| CliError::boxed(format!("cannot write {}: {e}", path.display())))?;
+        writeln!(out, "wrote {}", path.display())?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1436,6 +1854,155 @@ mod tests {
         assert_eq!(cell.sbs_served.to_bits(), single.sbs_served.to_bits());
         assert_eq!(cell.cost.total().to_bits(), single.cost.total().to_bits());
         assert_eq!(cluster.rollup.slots, single.slots);
+    }
+
+    #[test]
+    fn parses_stream_counts_with_suffixes() {
+        assert_eq!(parse_streams("1000").unwrap(), 1_000);
+        assert_eq!(parse_streams("250k").unwrap(), 250_000);
+        assert_eq!(parse_streams("250K").unwrap(), 250_000);
+        assert_eq!(parse_streams("1M").unwrap(), 1_000_000);
+        assert!(parse_streams("").is_err());
+        assert!(parse_streams("x").is_err());
+        assert!(parse_streams("1G").is_err());
+        assert!(parse_streams("99999999999999999999M").is_err());
+    }
+
+    #[test]
+    fn parses_gateway_and_loadgen_flags() {
+        let args = parse_args(&strings(&[
+            "gateway",
+            "--addr",
+            "127.0.0.1:8080",
+            "--queue",
+            "64",
+            "--http-workers",
+            "2",
+            "--addr-out",
+            "/tmp/addr.txt",
+        ]))
+        .unwrap();
+        assert_eq!(args.addr.as_deref(), Some("127.0.0.1:8080"));
+        assert_eq!(args.queue, 64);
+        assert_eq!(args.http_workers, 2);
+        assert!(parse_args(&strings(&["gateway", "--queue", "0"])).is_err());
+        assert!(parse_args(&strings(&["gateway", "--http-workers", "0"])).is_err());
+
+        let args = parse_args(&strings(&[
+            "loadgen",
+            "--target",
+            "127.0.0.1:9",
+            "--streams",
+            "1M",
+            "--requests",
+            "50",
+            "--connections",
+            "2",
+            "--rate",
+            "100.5",
+            "--slots-per-request",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(args.target.as_deref(), Some("127.0.0.1:9"));
+        assert_eq!(args.streams, 1_000_000);
+        assert_eq!(args.requests, 50);
+        assert_eq!(args.connections, 2);
+        assert_eq!(args.rate, Some(100.5));
+        assert_eq!(args.slots_per_request, 8);
+        assert!(parse_args(&strings(&["loadgen", "--rate", "-1"])).is_err());
+        assert!(parse_args(&strings(&["loadgen", "--connections", "0"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_requires_a_target() {
+        let args = parse_args(&strings(&["loadgen"])).unwrap();
+        let mut buf = Vec::new();
+        let err = execute(&args, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("--target"));
+    }
+
+    /// A `Write` the gateway thread and the test can share.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn gateway_command_serves_loadgen_demand_end_to_end() {
+        let dir = std::env::temp_dir().join("jocal-cli-gateway-test");
+        fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr.txt");
+        fs::remove_file(&addr_file).ok();
+
+        // The gateway consumes exactly 4 slots, then exits on its own.
+        let gw_args = parse_args(&strings(&[
+            "gateway",
+            "--horizon",
+            "4",
+            "--window",
+            "2",
+            "--seed",
+            "5",
+            "--addr-out",
+            addr_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let gw_out = SharedBuf::default();
+        let gw_thread = {
+            let mut out = gw_out.clone();
+            std::thread::spawn(move || execute(&gw_args, &mut out).map_err(|e| e.to_string()))
+        };
+
+        // Wait for the bound address, then feed it the 4 slots.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(text) = fs::read_to_string(&addr_file) {
+                if text.trim().contains(':') {
+                    break text.trim().to_string();
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "gateway never bound");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let lg_args = parse_args(&strings(&[
+            "loadgen",
+            "--target",
+            &addr,
+            "--horizon",
+            "4",
+            "--seed",
+            "5",
+            "--requests",
+            "1",
+            "--slots-per-request",
+            "4",
+            "--streams",
+            "1k",
+        ]))
+        .unwrap();
+        let mut lg_buf = Vec::new();
+        execute(&lg_args, &mut lg_buf).unwrap();
+        let lg_text = String::from_utf8(lg_buf).unwrap();
+        assert!(lg_text.contains("accepted           1"), "got:\n{lg_text}");
+        assert!(lg_text.contains("sustained rps"), "got:\n{lg_text}");
+
+        gw_thread.join().unwrap().unwrap();
+        let gw_text = String::from_utf8(gw_out.0.lock().unwrap().clone()).unwrap();
+        assert!(gw_text.contains("listening on"), "got:\n{gw_text}");
+        assert!(gw_text.contains("slots served       4"), "got:\n{gw_text}");
+        assert!(gw_text.contains("http requests"), "got:\n{gw_text}");
+        assert!(gw_text.contains("worker panics      0"), "got:\n{gw_text}");
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The unit of independent state a cluster schedules: one [`Cell`].
 
 use jocal_core::plan::CacheState;
-use jocal_core::CostModel;
+use jocal_core::{CostModel, ShutdownFlag};
 use jocal_online::policy::OnlinePolicy;
 use jocal_serve::engine::ServeConfig;
 use jocal_serve::metrics::{MetricsSink, NullSink};
@@ -26,6 +26,7 @@ pub struct Cell {
     pub(crate) policy: Box<dyn OnlinePolicy + Send>,
     pub(crate) initial: CacheState,
     pub(crate) sink: Box<dyn MetricsSink + Send>,
+    pub(crate) shutdown: ShutdownFlag,
 }
 
 impl fmt::Debug for Cell {
@@ -56,7 +57,19 @@ impl Cell {
             policy,
             initial,
             sink: Box::new(NullSink),
+            shutdown: ShutdownFlag::default(),
         }
+    }
+
+    /// Attaches a cooperative stop flag checked before every slot: when
+    /// raised the cell winds down at the next slot boundary with its
+    /// summary emitted and sink flushed. Share one flag across a
+    /// cluster's cells to drain them all together (the gateway's
+    /// graceful-drain path).
+    #[must_use]
+    pub fn with_shutdown(mut self, shutdown: ShutdownFlag) -> Self {
+        self.shutdown = shutdown;
+        self
     }
 
     /// Overrides the initial cache state (defaults to empty).

@@ -212,6 +212,7 @@ impl ClusterEngine {
                 mut policy,
                 initial,
                 sink,
+                shutdown,
             } = cell;
             let mut sink = ShardSink {
                 inner: sink,
@@ -232,7 +233,10 @@ impl ClusterEngine {
                 initial,
                 &mut sink,
             ) {
-                Ok(core) => core,
+                Ok(mut core) => {
+                    core.set_shutdown(shutdown);
+                    core
+                }
                 Err(e) => {
                     let _ = sink.flush();
                     flush_all(&mut runtimes);

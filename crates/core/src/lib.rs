@@ -26,6 +26,8 @@
 //! * [`ledger`] — per-SBS, per-slot cost attribution (`f_t`/`g_t`/`h`
 //!   shares plus offload fraction and cache churn), bitwise-consistent
 //!   with [`accounting`].
+//! * [`shutdown`] — the cooperative per-slot stop flag long runs check
+//!   so interrupts flush sinks instead of tearing the process down.
 //!
 //! # Example
 //!
@@ -64,6 +66,7 @@ pub mod overlap;
 pub mod plan;
 pub mod primal_dual;
 pub mod problem;
+pub mod shutdown;
 pub mod tensor;
 pub mod workspace;
 
@@ -74,4 +77,5 @@ pub use ledger::{SbsLedger, SlotLedger};
 pub use observe::SubSolveMetrics;
 pub use plan::{CachePlan, CacheState, LoadPlan};
 pub use problem::ProblemInstance;
+pub use shutdown::ShutdownFlag;
 pub use workspace::{Parallelism, SbsSubproblem, SlotSolveStats, SlotWorkspace};

@@ -1,0 +1,58 @@
+//! Cooperative shutdown signalling.
+//!
+//! Long runs — a streamed serve over millions of slots, a cluster of
+//! cells, a batch policy simulation — check a [`ShutdownFlag`] once per
+//! slot and wind down cleanly when it is raised: sinks get flushed,
+//! summaries get written, partial results stay durable. The flag is a
+//! single shared atomic, so raising it from a Ctrl-C handler or a
+//! gateway drain thread is async-signal-safe and free on the hot path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, clonable "please stop at the next slot boundary" flag.
+///
+/// Clones observe the same underlying atomic. The default flag is
+/// inert: never requested until [`ShutdownFlag::request`] is called.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag {
+    requested: Arc<AtomicBool>,
+}
+
+impl ShutdownFlag {
+    /// A fresh, un-raised flag.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag. Idempotent; safe to call from a signal handler
+    /// (a single atomic store).
+    pub fn request(&self) {
+        self.requested.store(true, Ordering::Release);
+    }
+
+    /// Whether a shutdown has been requested.
+    #[inline]
+    #[must_use]
+    pub fn is_requested(&self) -> bool {
+        self.requested.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_flag() {
+        let flag = ShutdownFlag::new();
+        let observer = flag.clone();
+        assert!(!observer.is_requested());
+        flag.request();
+        assert!(observer.is_requested());
+        // Idempotent.
+        flag.request();
+        assert!(flag.is_requested());
+    }
+}

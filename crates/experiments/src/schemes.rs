@@ -11,13 +11,13 @@ use jocal_core::accounting::CostBreakdown;
 use jocal_core::offline::OfflineSolver;
 use jocal_core::primal_dual::PrimalDualOptions;
 use jocal_core::problem::ProblemInstance;
-use jocal_core::{CacheState, CoreError, CostModel};
+use jocal_core::{CacheState, CoreError, CostModel, ShutdownFlag};
 use jocal_online::afhc::afhc_policy;
 use jocal_online::chc::ChcPolicy;
 use jocal_online::policy::OnlinePolicy;
 use jocal_online::rhc::RhcPolicy;
 use jocal_online::rounding::RoundingPolicy;
-use jocal_online::runner::run_policy_observed;
+use jocal_online::runner::run_policy_stoppable;
 use jocal_sim::predictor::NoisyPredictor;
 use jocal_sim::scenario::Scenario;
 use jocal_telemetry::Telemetry;
@@ -207,34 +207,66 @@ pub fn run_scheme_observed(
     config: &RunConfig,
     telemetry: &Telemetry,
 ) -> Result<SchemeOutcome, CoreError> {
+    let (outcome, _slots) =
+        run_scheme_stoppable(scheme, scenario, config, telemetry, &ShutdownFlag::new())?;
+    Ok(outcome)
+}
+
+/// [`run_scheme_observed`] with a cooperative stop for online schemes:
+/// the flag is checked at every slot boundary, and a raised flag ends
+/// the run after the last completed slot, evaluated honestly over the
+/// completed prefix (see [`run_policy_stoppable`]).
+/// The offline solver has no slot loop, so it checks the flag once up
+/// front and reports zero slots if already stopped. Returns the outcome
+/// and the number of slots it covers.
+///
+/// # Errors
+///
+/// Propagates solver failures from the underlying algorithms.
+pub fn run_scheme_stoppable(
+    scheme: Scheme,
+    scenario: &Scenario,
+    config: &RunConfig,
+    telemetry: &Telemetry,
+    stop: &ShutdownFlag,
+) -> Result<(SchemeOutcome, usize), CoreError> {
     let cost_model = CostModel::paper();
     let initial = CacheState::empty(&scenario.network);
-    let breakdown = match build_online_policy(scheme, config) {
+    let (breakdown, slots) = match build_online_policy(scheme, config) {
         None => {
-            let problem =
-                ProblemInstance::fresh(scenario.network.clone(), scenario.demand.clone())?;
-            OfflineSolver::new(config.offline_opts)
-                .solve_observed(&problem, telemetry)?
-                .breakdown
+            if stop.is_requested() {
+                (CostBreakdown::default(), 0)
+            } else {
+                let problem =
+                    ProblemInstance::fresh(scenario.network.clone(), scenario.demand.clone())?;
+                let breakdown = OfflineSolver::new(config.offline_opts)
+                    .solve_observed(&problem, telemetry)?
+                    .breakdown;
+                (breakdown, scenario.demand.horizon())
+            }
         }
         Some(mut policy) => {
             let predictor =
                 NoisyPredictor::new(scenario.demand.clone(), config.eta, config.predictor_seed);
-            run_policy_observed(
+            let (outcome, slots) = run_policy_stoppable(
                 &scenario.network,
                 &cost_model,
                 &predictor,
                 policy.as_mut(),
                 initial,
                 telemetry,
-            )?
-            .breakdown
+                stop,
+            )?;
+            (outcome.breakdown, slots)
         }
     };
-    Ok(SchemeOutcome {
-        label: scheme.label(),
-        breakdown,
-    })
+    Ok((
+        SchemeOutcome {
+            label: scheme.label(),
+            breakdown,
+        },
+        slots,
+    ))
 }
 
 #[cfg(test)]

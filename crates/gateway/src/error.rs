@@ -1,0 +1,68 @@
+//! Gateway error type.
+
+use jocal_cluster::ClusterError;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong starting, running or joining a
+/// [`crate::Gateway`] or a load-generator run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GatewayError {
+    /// Socket/listener-level failure.
+    Io(io::Error),
+    /// Invalid gateway or load-generator configuration.
+    Config {
+        /// Which knob is at fault.
+        what: &'static str,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// The serving cluster behind the gateway failed.
+    Cluster(ClusterError),
+}
+
+impl GatewayError {
+    /// Builds a configuration error.
+    #[must_use]
+    pub fn config(what: &'static str, detail: impl Into<String>) -> Self {
+        GatewayError::Config {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::Io(e) => write!(f, "gateway i/o error: {e}"),
+            GatewayError::Config { what, detail } => {
+                write!(f, "gateway configuration error ({what}): {detail}")
+            }
+            GatewayError::Cluster(e) => write!(f, "serving cluster failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GatewayError::Io(e) => Some(e),
+            GatewayError::Cluster(e) => Some(e),
+            GatewayError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for GatewayError {
+    fn from(e: io::Error) -> Self {
+        GatewayError::Io(e)
+    }
+}
+
+impl From<ClusterError> for GatewayError {
+    fn from(e: ClusterError) -> Self {
+        GatewayError::Cluster(e)
+    }
+}

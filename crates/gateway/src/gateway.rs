@@ -1,0 +1,699 @@
+//! The gateway runtime: acceptor, worker pool, router and drain.
+//!
+//! ```text
+//!                     ┌───────────────┐   bounded conn    ┌──────────┐
+//!  TCP clients ─────▶ │ acceptor      │ ────── queue ───▶ │ worker×W │
+//!                     │ (nonblocking) │    (shed: 429)    │ HTTP/1.1 │
+//!                     └───────────────┘                   └────┬─────┘
+//!                                                              │ POST /v1/demand?cell=i
+//!                                            bounded per-cell  ▼
+//!                   ┌──────────────┐   slot rings   ┌────────────────┐
+//!                   │ serve thread │ ◀── (shed: ────│ IngressHandle  │
+//!                   │ ClusterEngine│      429)      │   per cell     │
+//!                   └──────────────┘                └────────────────┘
+//! ```
+//!
+//! Overload semantics: both admission points are bounded and shed with
+//! HTTP 429 + `Retry-After` — a full connection queue sheds at accept,
+//! a full per-cell slot ring sheds the whole demand batch. Drain
+//! protocol (`POST /v1/shutdown` or [`Gateway::drain`]): stop
+//! accepting, close every ring; cells consume what was admitted, emit
+//! summaries and flush sinks; [`Gateway::join`] then reaps the serve
+//! thread, the acceptor and the workers.
+
+use crate::error::GatewayError;
+use crate::http::{read_request, write_response, HttpLimits, ReadOutcome, Request, Response};
+use crate::ring::{bounded_slot_ring, IngressHandle, PushError};
+use crate::source::NetworkDemandSource;
+use jocal_cluster::{Cell, ClusterConfig, ClusterEngine, ClusterError, ClusterReport};
+use jocal_core::plan::CacheState;
+use jocal_core::CostModel;
+use jocal_online::policy::OnlinePolicy;
+use jocal_serve::metrics::{MetricsSink, NullSink};
+use jocal_serve::source::{ChunkedTraceReader, DemandSource as _};
+use jocal_serve::{ServeConfig, ServeError};
+use jocal_sim::demand::DemandTrace;
+use jocal_sim::topology::Network;
+use jocal_telemetry::{Counter, Gauge, Histogram, Telemetry, PROMETHEUS_CONTENT_TYPE};
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// HTTP-side knobs. Serving-side knobs live in each cell's
+/// [`ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Gateway::local_addr`]).
+    pub addr: String,
+    /// HTTP worker threads (each owns one connection at a time).
+    pub http_workers: usize,
+    /// Per-cell slot-ring capacity — the overload watermark `Q`.
+    pub queue_capacity: usize,
+    /// Accepted-but-unclaimed connection bound; beyond it the acceptor
+    /// sheds with 429.
+    pub pending_connections: usize,
+    /// Per-request read deadline (socket read timeout).
+    pub read_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:0".to_string(),
+            http_workers: 4,
+            queue_capacity: 256,
+            pending_connections: 128,
+            read_timeout: Duration::from_secs(5),
+            max_body_bytes: 16 << 20,
+        }
+    }
+}
+
+/// Everything one serving cell behind the gateway needs — the same
+/// collaborators as a [`jocal_cluster::Cell`], minus the demand source,
+/// which the gateway supplies as a [`NetworkDemandSource`] fed by
+/// `POST /v1/demand?cell=<id>`. Cell ids are positions in the
+/// `Vec<CellSpec>` handed to [`Gateway::start`], matching the cluster
+/// convention.
+pub struct CellSpec {
+    pub(crate) network: Network,
+    pub(crate) cost_model: CostModel,
+    pub(crate) config: ServeConfig,
+    pub(crate) policy: Box<dyn OnlinePolicy + Send>,
+    pub(crate) initial: CacheState,
+    pub(crate) sink: Box<dyn MetricsSink + Send>,
+    pub(crate) expected_slots: Option<usize>,
+}
+
+impl std::fmt::Debug for CellSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellSpec")
+            .field("policy", &self.policy.name())
+            .field("config", &self.config)
+            .field("expected_slots", &self.expected_slots)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CellSpec {
+    /// A cell with an empty initial cache and a [`NullSink`].
+    #[must_use]
+    pub fn new(
+        network: Network,
+        cost_model: CostModel,
+        config: ServeConfig,
+        policy: Box<dyn OnlinePolicy + Send>,
+    ) -> Self {
+        let initial = CacheState::empty(&network);
+        CellSpec {
+            network,
+            cost_model,
+            config,
+            policy,
+            initial,
+            sink: Box::new(NullSink),
+            expected_slots: None,
+        }
+    }
+
+    /// Overrides the initial cache state (defaults to empty).
+    #[must_use]
+    pub fn with_initial(mut self, initial: CacheState) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Attaches a metrics sink (the cell's full record stream).
+    #[must_use]
+    pub fn with_sink(mut self, sink: Box<dyn MetricsSink + Send>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Declares how many slots the network will deliver: the cell plans
+    /// against this horizon (exactly like a finite trace) and the run
+    /// completes by itself once they arrive. Without it the cell's
+    /// `max_slots` must be set, and only a drain ends the stream.
+    #[must_use]
+    pub fn with_expected_slots(mut self, slots: usize) -> Self {
+        self.expected_slots = Some(slots);
+        self
+    }
+}
+
+/// Point-in-time gateway counters, independent of telemetry (they are
+/// tracked even when the telemetry layer is disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GatewayStats {
+    /// Requests fully parsed (all endpoints).
+    pub requests: u64,
+    /// Requests shed with 429 — full connection queue or full slot
+    /// ring.
+    pub rejected_overload: u64,
+    /// Malformed/oversized requests rejected with 4xx.
+    pub malformed: u64,
+    /// Worker panics caught (always 0 unless a handler bug slips in).
+    pub worker_panics: u64,
+    /// Highest slot-ring depth observed across all cells.
+    pub queue_depth_highwater: usize,
+}
+
+/// Telemetry handles resolved once at startup; recording is lock-free
+/// and a no-op when telemetry is disabled.
+#[derive(Debug, Default)]
+struct GatewayObs {
+    requests: Counter,
+    rejected: Counter,
+    malformed: Counter,
+    panics: Counter,
+    request_us: Histogram,
+    queue_highwater: Gauge,
+}
+
+impl GatewayObs {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        GatewayObs {
+            requests: telemetry.counter("gateway_requests"),
+            rejected: telemetry.counter("gateway_rejected_overload"),
+            malformed: telemetry.counter("gateway_malformed_total"),
+            panics: telemetry.counter("gateway_worker_panics_total"),
+            request_us: telemetry.histogram("gateway_request_us"),
+            queue_highwater: telemetry.gauge("gateway_queue_depth_highwater"),
+        }
+    }
+}
+
+/// One cell's ingestion state as seen by the HTTP side.
+struct CellIngress {
+    handle: IngressHandle,
+    /// Single-slot buffer template with the cell's exact (n, m, k)
+    /// layout; demand bodies are parsed into clones of it.
+    template: DemandTrace,
+}
+
+/// Bounded queue of accepted-but-unclaimed connections.
+struct ConnQueue {
+    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        ConnQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Hands the stream back when the queue is full or closed.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().expect("conn queue poisoned");
+        if state.1 || state.0.len() >= self.capacity {
+            return Err(stream);
+        }
+        state.0.push_back(stream);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("conn queue poisoned").1 = true;
+        self.available.notify_all();
+    }
+
+    fn pop_blocking(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("conn queue poisoned");
+        loop {
+            if let Some(stream) = state.0.pop_front() {
+                return Some(stream);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.available.wait(state).expect("conn queue poisoned");
+        }
+    }
+}
+
+struct Shared {
+    cells: Vec<CellIngress>,
+    telemetry: Telemetry,
+    obs: GatewayObs,
+    draining: AtomicBool,
+    http_stop: AtomicBool,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    malformed: AtomicU64,
+    panics: AtomicU64,
+    limits: HttpLimits,
+    read_timeout: Duration,
+}
+
+impl Shared {
+    fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        for cell in &self.cells {
+            cell.handle.close();
+        }
+    }
+
+    fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.obs.rejected.incr();
+    }
+
+    fn note_malformed(&self) {
+        self.malformed.fetch_add(1, Ordering::Relaxed);
+        self.obs.malformed.incr();
+    }
+
+    fn stats(&self) -> GatewayStats {
+        GatewayStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            rejected_overload: self.rejected.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            worker_panics: self.panics.load(Ordering::Relaxed),
+            queue_depth_highwater: self
+                .cells
+                .iter()
+                .map(|c| c.handle.highwater())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// A clonable control handle: drain and inspect a running gateway from
+/// another thread (a Ctrl-C monitor, a test harness) while the owner
+/// blocks in [`Gateway::join`].
+#[derive(Clone)]
+pub struct GatewayHandle {
+    shared: Arc<Shared>,
+}
+
+impl GatewayHandle {
+    /// Starts a graceful drain: stop accepting, close every ingestion
+    /// ring. Idempotent.
+    pub fn drain(&self) {
+        self.shared.drain();
+    }
+
+    /// Whether a drain has started.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Current gateway counters.
+    #[must_use]
+    pub fn stats(&self) -> GatewayStats {
+        self.shared.stats()
+    }
+}
+
+/// A running gateway: HTTP frontend plus the serving cluster behind it.
+pub struct Gateway {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    conns: Arc<ConnQueue>,
+    serve: JoinHandle<Result<ClusterReport, ClusterError>>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds the listener, starts the serving cluster on its own thread
+    /// and spawns the acceptor + worker pool. Returns once the gateway
+    /// is accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors (no cells, unbounded cells) and bind
+    /// failures.
+    pub fn start(
+        config: &GatewayConfig,
+        cluster: ClusterConfig,
+        cells: Vec<CellSpec>,
+        telemetry: &Telemetry,
+    ) -> Result<Gateway, GatewayError> {
+        if cells.is_empty() {
+            return Err(GatewayError::config("cells", "a gateway needs >= 1 cell"));
+        }
+        if config.http_workers == 0 {
+            return Err(GatewayError::config("http_workers", "need >= 1 worker"));
+        }
+        if config.queue_capacity == 0 {
+            return Err(GatewayError::config("queue_capacity", "need >= 1 slot"));
+        }
+        for (id, cell) in cells.iter().enumerate() {
+            if cell.expected_slots.is_none() && cell.config.max_slots.is_none() {
+                return Err(GatewayError::config(
+                    "cells",
+                    format!("cell {id} needs expected_slots or max_slots"),
+                ));
+            }
+        }
+        // Resolve every gateway metric up front so a 0-traffic scrape
+        // already exposes the full name set.
+        let obs = GatewayObs::resolve(telemetry);
+
+        let mut ingress = Vec::with_capacity(cells.len());
+        let mut cluster_cells = Vec::with_capacity(cells.len());
+        for (id, spec) in cells.into_iter().enumerate() {
+            let depth_gauge = telemetry.gauge_with("gateway_queue_depth", "cell", &id.to_string());
+            let (handle, queue) = bounded_slot_ring(config.queue_capacity, depth_gauge);
+            let mut source = NetworkDemandSource::new(queue);
+            if let Some(slots) = spec.expected_slots {
+                source = source.with_expected_slots(slots);
+            }
+            let template = DemandTrace::zeros(&spec.network, 1);
+            ingress.push(CellIngress { handle, template });
+            cluster_cells.push(
+                Cell::new(
+                    spec.network,
+                    spec.cost_model,
+                    spec.config,
+                    Box::new(source),
+                    spec.policy,
+                )
+                .with_initial(spec.initial)
+                .with_sink(spec.sink),
+            );
+        }
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            cells: ingress,
+            telemetry: telemetry.clone(),
+            obs,
+            draining: AtomicBool::new(false),
+            http_stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            limits: HttpLimits {
+                max_body_bytes: config.max_body_bytes,
+                max_head_bytes: HttpLimits::default().max_head_bytes,
+            },
+            read_timeout: config.read_timeout,
+        });
+
+        let serve_telemetry = telemetry.clone();
+        let serve = std::thread::Builder::new()
+            .name("jocal-gateway-serve".to_string())
+            .spawn(move || {
+                ClusterEngine::new(cluster)
+                    .with_telemetry(serve_telemetry)
+                    .run(cluster_cells)
+            })?;
+
+        let conns = Arc::new(ConnQueue::new(config.pending_connections));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("jocal-gateway-accept".to_string())
+                .spawn(move || acceptor_loop(&shared, &listener, &conns))?
+        };
+        let workers = (0..config.http_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let conns = Arc::clone(&conns);
+                std::thread::Builder::new()
+                    .name(format!("jocal-gateway-http-{i}"))
+                    .spawn(move || worker_loop(&shared, &conns))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(Gateway {
+            shared,
+            addr,
+            conns,
+            serve,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A clonable control handle for this gateway.
+    #[must_use]
+    pub fn handle(&self) -> GatewayHandle {
+        GatewayHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Starts a graceful drain (same as `POST /v1/shutdown`).
+    pub fn drain(&self) {
+        self.shared.drain();
+    }
+
+    /// Whether the serving cluster has finished (all cells reached
+    /// their horizon or the drain completed).
+    #[must_use]
+    pub fn serve_finished(&self) -> bool {
+        self.serve.is_finished()
+    }
+
+    /// Waits for the serving cluster to finish, then tears the HTTP
+    /// frontend down and returns the cluster report plus final gateway
+    /// stats. Without a [`Gateway::drain`] this blocks until every cell
+    /// has received its expected slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster failures (gateway stats are lost in that
+    /// case; per-cell sinks have been flushed by the cluster engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gateway thread itself panicked (handler panics are
+    /// caught and counted instead).
+    pub fn join(self) -> Result<(ClusterReport, GatewayStats), GatewayError> {
+        let report = self.serve.join().expect("serve thread panicked")?;
+        // Serving is done: stop accepting, wake workers, reap threads.
+        self.shared.http_stop.store(true, Ordering::SeqCst);
+        self.conns.close();
+        self.acceptor.join().expect("acceptor panicked");
+        for worker in self.workers {
+            worker.join().expect("http worker panicked");
+        }
+        Ok((report, self.shared.stats()))
+    }
+}
+
+fn acceptor_loop(shared: &Shared, listener: &TcpListener, conns: &ConnQueue) {
+    while !shared.http_stop.load(Ordering::SeqCst) && !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Err(stream) = conns.try_push(stream) {
+                    // Accept-queue overload: shed immediately.
+                    shared.note_rejected();
+                    let resp = Response {
+                        extra: vec![("Retry-After", "1".to_string())],
+                        close: true,
+                        ..Response::new(429, "Too Many Requests", "accept queue full\n")
+                    };
+                    let mut stream = stream;
+                    let _ = write_response(&mut stream, &resp, false);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, conns: &ConnQueue) {
+    while let Some(stream) = conns.pop_blocking() {
+        // A handler bug must cost one connection, never the worker: the
+        // panic is caught, counted and surfaced in /metrics.
+        let result = catch_unwind(AssertUnwindSafe(|| handle_connection(shared, stream)));
+        if result.is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+            shared.obs.panics.incr();
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut write = stream;
+    loop {
+        match read_request(&mut reader, &mut write, shared.limits) {
+            Ok(ReadOutcome::Request(req)) => {
+                let started = Instant::now();
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.obs.requests.incr();
+                let resp = route(shared, &req);
+                let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                shared.obs.request_us.observe(us);
+                // Drains close connections after the in-flight response
+                // so join() never waits on idle keep-alives.
+                let alive =
+                    req.keep_alive && !resp.close && !shared.draining.load(Ordering::SeqCst);
+                if write_response(&mut write, &resp, alive).is_err() || !alive {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Malformed(reason)) => {
+                shared.note_malformed();
+                let resp = Response {
+                    close: true,
+                    ..Response::new(400, "Bad Request", format!("{reason}\n"))
+                };
+                let _ = write_response(&mut write, &resp, false);
+                return;
+            }
+            Ok(ReadOutcome::TooLarge) => {
+                shared.note_malformed();
+                let resp = Response {
+                    close: true,
+                    ..Response::new(413, "Payload Too Large", "request body too large\n")
+                };
+                let _ = write_response(&mut write, &resp, false);
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn route(shared: &Shared, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::new(200, "OK", "ok\n"),
+        ("GET", "/readyz") => {
+            if shared.draining.load(Ordering::SeqCst) {
+                Response::new(503, "Service Unavailable", "draining\n")
+            } else {
+                Response::new(200, "OK", "ready\n")
+            }
+        }
+        ("GET", "/metrics") => metrics_response(shared),
+        ("POST", "/v1/demand") => ingest(shared, req),
+        ("POST", "/v1/shutdown") => {
+            shared.drain();
+            Response {
+                close: true,
+                ..Response::json(200, "OK", "{\"draining\":true}\n")
+            }
+        }
+        (_, "/healthz" | "/readyz" | "/metrics" | "/v1/demand" | "/v1/shutdown") => {
+            Response::new(405, "Method Not Allowed", "method not allowed\n")
+        }
+        _ => Response::new(404, "Not Found", "unknown path\n"),
+    }
+}
+
+fn metrics_response(shared: &Shared) -> Response {
+    let highwater = shared
+        .cells
+        .iter()
+        .map(|c| c.handle.highwater())
+        .max()
+        .unwrap_or(0);
+    shared.obs.queue_highwater.set(highwater as f64);
+    let mut body = Vec::new();
+    if shared.telemetry.write_prometheus(&mut body).is_err() {
+        return Response::new(500, "Internal Server Error", "export failed\n");
+    }
+    Response {
+        content_type: PROMETHEUS_CONTENT_TYPE,
+        ..Response::new(200, "OK", body)
+    }
+}
+
+fn ingest(shared: &Shared, req: &Request) -> Response {
+    let cell_id = match req.query_param("cell") {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(id) => id,
+            Err(_) => {
+                shared.note_malformed();
+                return Response::new(400, "Bad Request", "bad cell id\n");
+            }
+        },
+        // Unambiguous on a single-cell gateway; required otherwise.
+        None if shared.cells.len() == 1 => 0,
+        None => {
+            shared.note_malformed();
+            return Response::new(400, "Bad Request", "missing cell=<id> query parameter\n");
+        }
+    };
+    let Some(cell) = shared.cells.get(cell_id) else {
+        return Response::new(404, "Not Found", format!("unknown cell {cell_id}\n"));
+    };
+    let slots = match parse_demand_body(&req.body, &cell.template) {
+        Ok(slots) => slots,
+        Err(e) => {
+            shared.note_malformed();
+            return Response::new(400, "Bad Request", format!("bad demand body: {e}\n"));
+        }
+    };
+    let accepted = slots.len();
+    match cell.handle.try_push_batch(slots) {
+        Ok(depth) => Response::json(
+            202,
+            "Accepted",
+            format!("{{\"cell\":{cell_id},\"accepted\":{accepted},\"depth\":{depth}}}\n"),
+        ),
+        Err(PushError::Overloaded { depth, capacity }) => {
+            shared.note_rejected();
+            Response {
+                extra: vec![("Retry-After", "1".to_string())],
+                ..Response::new(
+                    429,
+                    "Too Many Requests",
+                    format!("cell {cell_id} overloaded: depth {depth}/{capacity}\n"),
+                )
+            }
+        }
+        Err(PushError::Closed) => Response {
+            close: true,
+            ..Response::new(503, "Service Unavailable", "draining\n")
+        },
+    }
+}
+
+/// Parses a `POST /v1/demand` body — the on-disk jocal demand-trace CSV
+/// format ([`jocal_sim::trace::write_trace`]) — into single-slot traces
+/// shaped like `template`. All-or-nothing: a malformed row rejects the
+/// whole batch before anything is enqueued.
+fn parse_demand_body(body: &[u8], template: &DemandTrace) -> Result<Vec<DemandTrace>, ServeError> {
+    let mut reader = ChunkedTraceReader::new(body)?;
+    let mut out = template.clone();
+    let mut slots = Vec::new();
+    while reader.next_slot(&mut out)? {
+        slots.push(out.clone());
+    }
+    Ok(slots)
+}

@@ -1,0 +1,373 @@
+//! Hand-rolled HTTP/1.1 plumbing over `std::net`.
+//!
+//! Deliberately minimal: request-line + headers + `Content-Length`
+//! bodies, keep-alive, `Expect: 100-continue`, and hard limits on
+//! header and body size. Chunked transfer encoding is rejected — the
+//! gateway's clients (curl, the load generator) never need it, and
+//! refusing it keeps the parser small enough to audit. Malformed input
+//! is reported as a value, never a panic: a worker thread survives any
+//! byte sequence a client can send.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Parser limits. Requests beyond them are rejected, not truncated.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HttpLimits {
+    /// Maximum accepted `Content-Length`.
+    pub max_body_bytes: usize,
+    /// Maximum total bytes of request line + headers.
+    pub max_head_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_body_bytes: 16 << 20,
+            max_head_bytes: 16 << 10,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Raw query string (without the `?`), if any.
+    pub query: Option<String>,
+    pub body: Vec<u8>,
+    /// Whether the client wants the connection kept open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// Looks up a `key=value` pair in the query string.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// What reading one request produced.
+#[derive(Debug)]
+pub(crate) enum ReadOutcome {
+    /// A complete, well-formed request.
+    Request(Request),
+    /// The peer closed (or timed out) before sending anything: not an
+    /// error, just the end of a keep-alive conversation.
+    Closed,
+    /// A protocol violation, with a human-readable reason. The caller
+    /// responds 400 and closes.
+    Malformed(String),
+    /// The declared body exceeds the limit. The caller responds 413 and
+    /// closes without reading the body.
+    TooLarge,
+}
+
+/// Reads one request from `reader`, answering `Expect: 100-continue`
+/// probes on `write` before consuming the body.
+///
+/// # Errors
+///
+/// Transport-level failures mid-request (timeouts tripping the read
+/// deadline, resets): the caller closes the connection.
+pub(crate) fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    write: &mut TcpStream,
+    limits: HttpLimits,
+) -> io::Result<ReadOutcome> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(ReadOutcome::Closed),
+        Ok(_) => {}
+        // A keep-alive connection idling past the read deadline is a
+        // clean end of conversation, not a transport failure.
+        Err(e) if line.is_empty() && is_timeout(&e) => return Ok(ReadOutcome::Closed),
+        Err(e) => return Err(e),
+    }
+    let mut head_bytes = line.len();
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m.to_string(), t.to_string(), v.to_string()),
+        _ => return Ok(ReadOutcome::Malformed("bad request line".to_string())),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let http11 = version != "HTTP/1.0";
+
+    let mut content_length: usize = 0;
+    let mut keep_alive = http11;
+    let mut expect_continue = false;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(ReadOutcome::Malformed("truncated headers".to_string()));
+        }
+        head_bytes += line.len();
+        if head_bytes > limits.max_head_bytes {
+            return Ok(ReadOutcome::Malformed("headers too large".to_string()));
+        }
+        let header = line.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Ok(ReadOutcome::Malformed(format!("bad header {header:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => match value.parse() {
+                Ok(v) => content_length = v,
+                Err(_) => {
+                    return Ok(ReadOutcome::Malformed("bad content-length".to_string()));
+                }
+            },
+            "transfer-encoding" => {
+                return Ok(ReadOutcome::Malformed(
+                    "chunked transfer encoding unsupported".to_string(),
+                ));
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "expect" => expect_continue = value.eq_ignore_ascii_case("100-continue"),
+            _ => {}
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return Ok(ReadOutcome::TooLarge);
+    }
+    if expect_continue && content_length > 0 {
+        write.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        write.flush()?;
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target, None),
+    };
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        query,
+        body,
+        keep_alive,
+    }))
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// One response about to be written.
+#[derive(Debug)]
+pub(crate) struct Response {
+    pub status: u16,
+    pub reason: &'static str,
+    pub content_type: &'static str,
+    /// Extra headers, e.g. `Retry-After` on 429.
+    pub extra: Vec<(&'static str, String)>,
+    pub body: Vec<u8>,
+    /// Force `Connection: close` regardless of the request.
+    pub close: bool,
+}
+
+impl Response {
+    pub fn new(status: u16, reason: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            reason,
+            content_type: "text/plain; charset=utf-8",
+            extra: Vec::new(),
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    pub fn json(status: u16, reason: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            content_type: "application/json",
+            ..Response::new(status, reason, body)
+        }
+    }
+}
+
+/// Serializes `resp`; `keep_alive` reflects the request side and is
+/// overridden by [`Response::close`].
+pub(crate) fn write_response(
+    w: &mut impl Write,
+    resp: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        resp.status,
+        resp.reason,
+        resp.content_type,
+        resp.body.len()
+    );
+    for (name, value) in &resp.extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    let alive = keep_alive && !resp.close;
+    head.push_str(if alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
+    w.write_all(head.as_bytes())?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+/// A response as seen by [`HttpClient`].
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Lower-cased header names with trimmed values.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Whether the server will keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl ClientResponse {
+    /// First header with the given (lower-case) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find_map(|(n, v)| (n == name).then_some(v.as_str()))
+    }
+}
+
+/// A minimal blocking HTTP/1.1 client speaking exactly the dialect the
+/// gateway serves. Shared by the load generator, the CLI and the tests
+/// so every consumer exercises the same code path.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    host: String,
+}
+
+impl HttpClient {
+    /// Connects with the given I/O timeout applied to reads and writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: &str, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(HttpClient {
+            stream,
+            reader,
+            host: addr.to_string(),
+        })
+    }
+
+    /// Sends one request and reads the full response (keep-alive).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and protocol violations surface as
+    /// `io::Error`; the connection should then be discarded.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n",
+            self.host,
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before status line",
+            ));
+        }
+        let mut parts = line.split_whitespace();
+        let version = parts.next().ok_or_else(|| bad("empty status line"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(bad("bad status line"));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad status code"))?;
+
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        let mut keep_alive = true;
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("truncated response headers"));
+            }
+            let header = line.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            let (name, value) = header.split_once(':').ok_or_else(|| bad("bad header"))?;
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+            }
+            if name == "connection" && value.to_ascii_lowercase().contains("close") {
+                keep_alive = false;
+            }
+            headers.push((name, value));
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        // Interim 100 Continue responses are not expected here: the
+        // client never sends Expect.
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+            keep_alive,
+        })
+    }
+}

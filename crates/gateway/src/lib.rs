@@ -1,0 +1,70 @@
+//! Network-facing serving frontend for the jocal workspace.
+//!
+//! `jocal-gateway` puts the multi-cell serving runtime
+//! ([`jocal_cluster`]) behind a real service surface: a pure-`std::net`
+//! HTTP/1.1 frontend with hand-rolled request parsing, an acceptor
+//! thread and a fixed worker pool — no async runtime, no external
+//! dependencies. Demand enters over the wire instead of from an
+//! in-process trace:
+//!
+//! * `POST /v1/demand?cell=<id>` — batched per-cell MU demand in the
+//!   demand-trace CSV format, routed into that cell's bounded
+//!   ingestion ring ([`ring`]) and consumed by a
+//!   [`source::NetworkDemandSource`].
+//! * `GET /metrics` — live Prometheus text exposition straight from the
+//!   existing [`jocal_telemetry`] exporter.
+//! * `GET /healthz` / `GET /readyz` — liveness and drain-aware
+//!   readiness.
+//! * `POST /v1/shutdown` — graceful drain: stop accepting, close the
+//!   rings, let every cell flush its sinks, join the workers.
+//!
+//! Robustness is the design center: both admission points (connection
+//! queue, per-cell slot rings) are bounded and shed with `429` +
+//! `Retry-After` at their watermarks, reads carry per-request
+//! deadlines, malformed requests are rejected without killing the
+//! worker, and the gateway observes itself (`gateway_requests`,
+//! `gateway_rejected_overload`, `gateway_queue_depth`,
+//! `gateway_request_us`) through the zero-overhead-when-off telemetry
+//! layer.
+//!
+//! The [`loadgen`] module is the matching traffic source: a
+//! multi-threaded closed/open-loop generator that simulates millions
+//! of MU request streams by intensity-scaling scenario demand.
+//!
+//! A gateway-fed cell is **bit-identical** to an in-process replay of
+//! the same trace: the wire format round-trips `f64` exactly, the
+//! blocking ring delivers the same full look-ahead windows, and the
+//! declared slot horizon reproduces the planning horizon a finite
+//! trace would report. The end-to-end parity tests pin this down for
+//! RHC/AFHC/CHC at 1 and 4 shards.
+
+pub mod error;
+pub mod gateway;
+pub mod http;
+pub mod loadgen;
+pub mod ring;
+pub mod source;
+
+pub use error::GatewayError;
+pub use gateway::{CellSpec, Gateway, GatewayConfig, GatewayHandle, GatewayStats};
+pub use http::{ClientResponse, HttpClient};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenMode, LoadgenReport};
+pub use ring::{bounded_slot_ring, IngressHandle, PushError, SlotQueue};
+pub use source::NetworkDemandSource;
+
+use jocal_telemetry::Telemetry;
+
+/// Preregisters the headline metric names the workspace's dashboards
+/// key on, so a scrape before any traffic (or a 0-slot run) already
+/// exposes the full set in stable registration order. Shared by the
+/// CLI's `--telemetry-out`/`--prom-out` paths and the gateway's
+/// `/metrics` endpoint.
+pub fn preregister_headline_metrics(telemetry: &Telemetry) {
+    let _ = telemetry.histogram("pd_iterations");
+    let _ = telemetry.counter("pd_iterations_total");
+    let _ = telemetry.histogram("pd_dual_residual_norm_1e6");
+    let _ = telemetry.histogram("window_solve_us");
+    let _ = telemetry.counter("chc_rounding_flips_total");
+    let _ = telemetry.counter("repair_scale_passes_total");
+    let _ = telemetry.histogram("repair_scale_pct");
+}

@@ -1,0 +1,349 @@
+//! Closed/open-loop load generation against a running gateway.
+//!
+//! The generator models a large population of MU request streams: the
+//! per-class Poisson intensities of a scenario's demand trace are
+//! scaled so the aggregate mean arrival rate across the whole gateway
+//! is `streams` requests per slot (one stream ≈ one request per slot),
+//! then the slots are shipped as `POST /v1/demand` bodies in the
+//! demand-trace CSV wire format. Millions of streams therefore cost
+//! the *server* Poisson draws with million-scale means — not the
+//! generator millions of sockets.
+//!
+//! Two pacing modes:
+//! * **closed-loop** — each connection sends its next request as soon
+//!   as the previous response lands; measures sustained capacity.
+//! * **open-loop** — requests are released on a fixed global schedule
+//!   regardless of response latency; driving the rate past capacity
+//!   measures the shed fraction under overload.
+
+use crate::error::GatewayError;
+use crate::http::HttpClient;
+use jocal_sim::scenario::ScenarioConfig;
+use jocal_sim::trace::write_trace;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Request pacing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadgenMode {
+    /// Send the next request as soon as the previous response arrives.
+    Closed,
+    /// Release requests at a fixed aggregate rate (requests/second),
+    /// regardless of response latency.
+    Open {
+        /// Aggregate release rate across all connections.
+        rate_per_sec: f64,
+    },
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Gateway address, `host:port`.
+    pub target: String,
+    /// Concurrent keep-alive connections (worker threads).
+    pub connections: usize,
+    /// Total requests to send across all connections.
+    pub requests: u64,
+    /// Pacing mode.
+    pub mode: LoadgenMode,
+    /// Simulated MU request streams: demand intensities are scaled so
+    /// the gateway-wide mean arrival rate is this many requests/slot.
+    pub streams: u64,
+    /// Gateway cells, targeted round-robin (`cell=0..cells`). Must
+    /// match the gateway's cell count and scenario seeds for bodies to
+    /// have the right shape.
+    pub cells: usize,
+    /// Demand slots carried per request body.
+    pub slots_per_request: usize,
+    /// Scenario the demand bodies are generated from (shapes must match
+    /// the gateway's cells).
+    pub scenario: ScenarioConfig,
+    /// Master seed; cell `i` uses `ScenarioConfig::cell_seed(seed, i)`,
+    /// exactly like the serving side.
+    pub seed: u64,
+    /// Per-request I/O timeout.
+    pub timeout: Duration,
+}
+
+impl LoadgenConfig {
+    /// A small closed-loop run against `target` with the default
+    /// scenario shape.
+    #[must_use]
+    pub fn new(target: impl Into<String>) -> Self {
+        LoadgenConfig {
+            target: target.into(),
+            connections: 4,
+            requests: 1_000,
+            mode: LoadgenMode::Closed,
+            streams: 1_000,
+            cells: 1,
+            slots_per_request: 4,
+            scenario: ScenarioConfig::tiny(),
+            seed: 42,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Outcome of one load-generator run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadgenReport {
+    /// Requests attempted.
+    pub requests: u64,
+    /// 202-accepted demand batches.
+    pub accepted: u64,
+    /// 429-shed requests (admission control).
+    pub shed: u64,
+    /// Transport failures and unexpected statuses.
+    pub errors: u64,
+    /// Demand slots admitted into the gateway.
+    pub slots_sent: u64,
+    /// Simulated MU request streams.
+    pub streams: u64,
+    /// Wall-clock run time.
+    pub elapsed_secs: f64,
+    /// Completed HTTP round-trips per second.
+    pub sustained_rps: f64,
+    /// Shed fraction: `shed / (accepted + shed)`, 0 when idle.
+    pub shed_fraction: f64,
+    /// Request latency percentiles over all completed round-trips.
+    pub p50_us: u64,
+    /// 99th percentile request latency.
+    pub p99_us: u64,
+    /// Worst observed request latency.
+    pub max_us: u64,
+}
+
+/// One pre-serialized request body.
+#[derive(Debug, Clone)]
+struct Body {
+    bytes: Arc<Vec<u8>>,
+    slots: u64,
+}
+
+/// Per-worker outcome.
+#[derive(Debug, Default)]
+struct WorkerTally {
+    accepted: u64,
+    shed: u64,
+    errors: u64,
+    slots_sent: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Runs the generator to completion and reports aggregate results.
+///
+/// # Errors
+///
+/// Configuration errors and scenario-build failures. Transport errors
+/// during the run are *counted*, not raised — an overloaded or draining
+/// gateway is an expected experimental condition.
+pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, GatewayError> {
+    if config.connections == 0 {
+        return Err(GatewayError::config("connections", "need >= 1"));
+    }
+    if config.cells == 0 {
+        return Err(GatewayError::config("cells", "need >= 1"));
+    }
+    if config.slots_per_request == 0 {
+        return Err(GatewayError::config("slots_per_request", "need >= 1"));
+    }
+    if config.requests == 0 {
+        return Err(GatewayError::config("requests", "need >= 1"));
+    }
+    let bodies = build_bodies(config)?;
+
+    let workers = config
+        .connections
+        .min(usize::try_from(config.requests).unwrap_or(usize::MAX));
+    let next_index = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let bodies = &bodies;
+                let next_index = Arc::clone(&next_index);
+                scope.spawn(move || worker_run(config, bodies, &next_index, started))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut accepted = 0;
+    let mut shed = 0;
+    let mut errors = 0;
+    let mut slots_sent = 0;
+    for tally in tallies {
+        accepted += tally.accepted;
+        shed += tally.shed;
+        errors += tally.errors;
+        slots_sent += tally.slots_sent;
+        latencies.extend(tally.latencies_us);
+    }
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    let completed = latencies.len() as u64;
+    let elapsed_secs = elapsed.as_secs_f64().max(1e-9);
+    let admitted = accepted + shed;
+    Ok(LoadgenReport {
+        requests: config.requests,
+        accepted,
+        shed,
+        errors,
+        slots_sent,
+        streams: config.streams,
+        elapsed_secs,
+        sustained_rps: completed as f64 / elapsed_secs,
+        shed_fraction: if admitted == 0 {
+            0.0
+        } else {
+            shed as f64 / admitted as f64
+        },
+        p50_us: quantile(0.50),
+        p99_us: quantile(0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+    })
+}
+
+/// Pre-generates every cell's rotation of request bodies: the cell's
+/// scenario demand, intensity-scaled to the configured stream count,
+/// cut into `slots_per_request` windows and serialized once.
+fn build_bodies(config: &LoadgenConfig) -> Result<Vec<Vec<Body>>, GatewayError> {
+    let scenario_err = |e: jocal_sim::SimError| GatewayError::config("scenario", e.to_string());
+    // Aggregate base intensity per slot across all cells, for scaling.
+    let mut traces = Vec::with_capacity(config.cells);
+    let mut base_per_slot = 0.0f64;
+    for cell in 0..config.cells {
+        let seed = ScenarioConfig::cell_seed(config.seed, cell);
+        let scenario = config.scenario.build(seed).map_err(scenario_err)?;
+        let demand = scenario.demand;
+        let horizon = demand.horizon();
+        let mut total = 0.0;
+        for t in 0..horizon {
+            for n in 0..demand.num_sbs() {
+                for m in 0..demand.num_classes(jocal_sim::SbsId(n)) {
+                    for k in 0..demand.num_contents() {
+                        total += demand.lambda(
+                            t,
+                            jocal_sim::SbsId(n),
+                            jocal_sim::ClassId(m),
+                            jocal_sim::ContentId(k),
+                        );
+                    }
+                }
+            }
+        }
+        base_per_slot += total / horizon.max(1) as f64;
+        traces.push(demand);
+    }
+    let factor = if base_per_slot > 0.0 {
+        config.streams as f64 / base_per_slot
+    } else {
+        1.0
+    };
+
+    let mut bodies = Vec::with_capacity(config.cells);
+    for mut demand in traces {
+        demand.map_in_place(|v| v * factor);
+        let horizon = demand.horizon();
+        let batch = config.slots_per_request;
+        let mut cell_bodies = Vec::new();
+        let mut start = 0;
+        while start < horizon {
+            let len = batch.min(horizon - start);
+            let window = demand.window(start, len);
+            let mut bytes = Vec::new();
+            write_trace(&window, &mut bytes)?;
+            cell_bodies.push(Body {
+                bytes: Arc::new(bytes),
+                slots: len as u64,
+            });
+            start += len;
+        }
+        bodies.push(cell_bodies);
+    }
+    Ok(bodies)
+}
+
+fn worker_run(
+    config: &LoadgenConfig,
+    bodies: &[Vec<Body>],
+    next_index: &AtomicU64,
+    started: Instant,
+) -> WorkerTally {
+    let mut tally = WorkerTally::default();
+    let mut client: Option<HttpClient> = None;
+    loop {
+        let idx = next_index.fetch_add(1, Ordering::Relaxed);
+        if idx >= config.requests {
+            return tally;
+        }
+        if let LoadgenMode::Open { rate_per_sec } = config.mode {
+            if rate_per_sec > 0.0 {
+                let due = Duration::from_secs_f64(idx as f64 / rate_per_sec);
+                let now = started.elapsed();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+            }
+        }
+        let cell = usize::try_from(idx).unwrap_or(usize::MAX) % config.cells;
+        let rotation = &bodies[cell];
+        let body =
+            &rotation[(usize::try_from(idx / config.cells as u64).unwrap_or(0)) % rotation.len()];
+        let target = format!("/v1/demand?cell={cell}");
+
+        // (Re)connect lazily; a failed round-trip discards the
+        // connection and counts one error.
+        if client.is_none() {
+            match HttpClient::connect(&config.target, config.timeout) {
+                Ok(c) => client = Some(c),
+                Err(_) => {
+                    tally.errors += 1;
+                    continue;
+                }
+            }
+        }
+        let sent = Instant::now();
+        let result =
+            client
+                .as_mut()
+                .expect("client connected above")
+                .request("POST", &target, &body.bytes);
+        match result {
+            Ok(resp) => {
+                let us = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
+                tally.latencies_us.push(us);
+                match resp.status {
+                    202 => {
+                        tally.accepted += 1;
+                        tally.slots_sent += body.slots;
+                    }
+                    429 => tally.shed += 1,
+                    _ => tally.errors += 1,
+                }
+                if !resp.keep_alive {
+                    client = None;
+                }
+            }
+            Err(_) => {
+                tally.errors += 1;
+                client = None;
+            }
+        }
+    }
+}

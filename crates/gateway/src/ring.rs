@@ -1,0 +1,274 @@
+//! The bounded per-cell ingestion ring.
+//!
+//! One ring sits between the HTTP workers (producers, any number) and
+//! one serving cell's [`crate::source::NetworkDemandSource`] (the single
+//! consumer). The ring is the gateway's admission-control point: its
+//! fixed capacity is the overload watermark, and a batch that does not
+//! fit is rejected *whole* — the producer sheds it with HTTP 429 rather
+//! than admitting a prefix the cell would serve as a torn batch. Depth
+//! can therefore never exceed the watermark, which is what the overload
+//! tests pin down.
+
+use jocal_sim::demand::DemandTrace;
+use jocal_telemetry::Gauge;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a batch push was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushError {
+    /// Admitting the batch would exceed the ring's capacity. The whole
+    /// batch is refused; callers translate this into HTTP 429.
+    Overloaded {
+        /// Queue depth at the time of refusal.
+        depth: usize,
+        /// The ring's fixed capacity (the overload watermark).
+        capacity: usize,
+    },
+    /// The ring was closed by a drain; no further demand is admitted.
+    Closed,
+}
+
+#[derive(Debug)]
+struct RingState {
+    queue: VecDeque<DemandTrace>,
+    closed: bool,
+    highwater: usize,
+}
+
+#[derive(Debug)]
+struct RingShared {
+    state: Mutex<RingState>,
+    available: Condvar,
+    capacity: usize,
+    depth_gauge: Gauge,
+}
+
+/// Producer side of the ring: clonable, shared by all HTTP workers.
+#[derive(Debug, Clone)]
+pub struct IngressHandle {
+    shared: Arc<RingShared>,
+}
+
+/// Consumer side of the ring: owned by exactly one
+/// [`crate::source::NetworkDemandSource`].
+#[derive(Debug)]
+pub struct SlotQueue {
+    shared: Arc<RingShared>,
+}
+
+/// Creates a bounded slot ring of the given capacity (the overload
+/// watermark; must be at least 1). `depth_gauge` is kept in sync with
+/// the queue depth on every push/pop — pass [`Gauge::disabled`] when
+/// not observing.
+#[must_use]
+pub fn bounded_slot_ring(capacity: usize, depth_gauge: Gauge) -> (IngressHandle, SlotQueue) {
+    assert!(capacity >= 1, "a slot ring needs capacity >= 1");
+    let shared = Arc::new(RingShared {
+        state: Mutex::new(RingState {
+            queue: VecDeque::with_capacity(capacity.min(1024)),
+            closed: false,
+            highwater: 0,
+        }),
+        available: Condvar::new(),
+        capacity,
+        depth_gauge,
+    });
+    (
+        IngressHandle {
+            shared: Arc::clone(&shared),
+        },
+        SlotQueue { shared },
+    )
+}
+
+impl IngressHandle {
+    /// Admits `batch` atomically: either every slot is enqueued (in
+    /// order) or none is. Returns the queue depth after the push.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Overloaded`] when the batch does not fit under the
+    /// watermark, [`PushError::Closed`] after a drain. An empty batch on
+    /// an open ring always succeeds.
+    pub fn try_push_batch(&self, batch: Vec<DemandTrace>) -> Result<usize, PushError> {
+        let mut state = self.shared.state.lock().expect("ring lock poisoned");
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        let depth = state.queue.len();
+        if depth + batch.len() > self.shared.capacity {
+            return Err(PushError::Overloaded {
+                depth,
+                capacity: self.shared.capacity,
+            });
+        }
+        state.queue.extend(batch);
+        let depth = state.queue.len();
+        state.highwater = state.highwater.max(depth);
+        self.shared.depth_gauge.set(depth as f64);
+        drop(state);
+        self.shared.available.notify_all();
+        Ok(depth)
+    }
+
+    /// Closes the ring: future pushes fail with [`PushError::Closed`]
+    /// and the consumer drains what is already queued, then observes
+    /// end-of-stream. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock().expect("ring lock poisoned");
+        state.closed = true;
+        drop(state);
+        self.shared.available.notify_all();
+    }
+
+    /// Current queue depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("ring lock poisoned")
+            .queue
+            .len()
+    }
+
+    /// Highest depth ever observed (the overload high-watermark).
+    #[must_use]
+    pub fn highwater(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("ring lock poisoned")
+            .highwater
+    }
+
+    /// The ring's fixed capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Whether the ring has been closed.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.shared.state.lock().expect("ring lock poisoned").closed
+    }
+}
+
+impl SlotQueue {
+    /// Pops the next slot, blocking while the ring is empty and open.
+    /// Returns `None` once the ring is closed *and* drained.
+    #[must_use]
+    pub fn pop_blocking(&mut self) -> Option<DemandTrace> {
+        let mut state = self.shared.state.lock().expect("ring lock poisoned");
+        loop {
+            if let Some(slot) = state.queue.pop_front() {
+                self.shared.depth_gauge.set(state.queue.len() as f64);
+                return Some(slot);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .shared
+                .available
+                .wait(state)
+                .expect("ring lock poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocal_sim::scenario::ScenarioConfig;
+
+    fn slot() -> DemandTrace {
+        let network = ScenarioConfig::tiny().build_network(1).unwrap();
+        DemandTrace::zeros(&network, 1)
+    }
+
+    #[test]
+    fn batch_push_is_all_or_nothing() {
+        let (tx, _rx) = bounded_slot_ring(4, Gauge::disabled());
+        assert_eq!(tx.try_push_batch(vec![slot(); 3]).unwrap(), 3);
+        // A 2-slot batch would reach depth 5 > 4: refused whole.
+        let err = tx.try_push_batch(vec![slot(); 2]).unwrap_err();
+        assert_eq!(
+            err,
+            PushError::Overloaded {
+                depth: 3,
+                capacity: 4
+            }
+        );
+        assert_eq!(tx.depth(), 3, "no partial admission");
+        // A 1-slot batch still fits exactly at the watermark.
+        assert_eq!(tx.try_push_batch(vec![slot()]).unwrap(), 4);
+        assert_eq!(tx.highwater(), 4);
+    }
+
+    #[test]
+    fn depth_never_exceeds_capacity_under_concurrent_pushes() {
+        let (tx, mut rx) = bounded_slot_ring(8, Gauge::disabled());
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    let mut shed = 0usize;
+                    for _ in 0..50 {
+                        if tx.try_push_batch(vec![slot(); 2]).is_err() {
+                            shed += 1;
+                        }
+                    }
+                    shed
+                })
+            })
+            .collect();
+        let consumer = std::thread::spawn(move || {
+            let mut popped = 0usize;
+            while rx.pop_blocking().is_some() {
+                popped += 1;
+            }
+            popped
+        });
+        let shed: usize = producers.into_iter().map(|p| p.join().unwrap()).sum();
+        tx.close();
+        let popped = consumer.join().unwrap();
+        assert!(
+            tx.highwater() <= 8,
+            "highwater {} > capacity",
+            tx.highwater()
+        );
+        // Every slot is either admitted (and eventually popped) or part
+        // of a shed batch — nothing is lost or duplicated.
+        assert_eq!(popped, 2 * (4 * 50 - shed));
+    }
+
+    #[test]
+    fn close_unblocks_the_consumer_and_rejects_producers() {
+        let (tx, mut rx) = bounded_slot_ring(2, Gauge::disabled());
+        tx.try_push_batch(vec![slot()]).unwrap();
+        tx.close();
+        assert_eq!(
+            tx.try_push_batch(vec![slot()]).unwrap_err(),
+            PushError::Closed
+        );
+        // Queued work still drains after the close...
+        assert!(rx.pop_blocking().is_some());
+        // ...then the consumer sees end-of-stream instead of blocking.
+        assert!(rx.pop_blocking().is_none());
+        assert!(tx.is_closed());
+    }
+
+    #[test]
+    fn gauge_tracks_depth() {
+        let tele = jocal_telemetry::Telemetry::enabled();
+        let gauge = tele.gauge("test_ring_depth");
+        let (tx, mut rx) = bounded_slot_ring(4, gauge.clone());
+        tx.try_push_batch(vec![slot(); 3]).unwrap();
+        assert_eq!(gauge.get(), 3.0);
+        let _ = rx.pop_blocking();
+        assert_eq!(gauge.get(), 2.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! [`NetworkDemandSource`]: a [`DemandSource`] fed over the wire.
+//!
+//! The source is the consumer end of a [`crate::ring`] slot ring: HTTP
+//! workers push parsed demand batches in, the serving cell pulls slots
+//! out. Pops **block** while the ring is empty and open — the sliding
+//! window's fill loop must see exactly the same slot sequence it would
+//! read from a [`jocal_serve::source::TraceSource`], full look-ahead
+//! windows included, which is what makes gateway-fed runs bit-identical
+//! to in-process replays of the same trace.
+
+use crate::ring::SlotQueue;
+use jocal_serve::source::DemandSource;
+use jocal_serve::ServeError;
+use jocal_sim::demand::DemandTrace;
+
+/// Streams demand slots from a bounded ingestion ring.
+///
+/// With an expected slot count the source reports a planning horizon
+/// through [`DemandSource::len_hint`] (matching what a finite trace
+/// would report) and terminates by itself after delivering that many
+/// slots. Without one the serving cell must bound the run via
+/// `max_slots`, and the stream ends when the ring is closed (drain).
+#[derive(Debug)]
+pub struct NetworkDemandSource {
+    queue: SlotQueue,
+    expected: Option<usize>,
+    delivered: usize,
+}
+
+impl NetworkDemandSource {
+    /// Wraps the consumer end of a slot ring. The stream ends when the
+    /// ring is closed and drained.
+    #[must_use]
+    pub fn new(queue: SlotQueue) -> Self {
+        NetworkDemandSource {
+            queue,
+            expected: None,
+            delivered: 0,
+        }
+    }
+
+    /// Declares the number of slots the network will deliver: the
+    /// source reports it as the planning horizon and stops after that
+    /// many slots even if producers keep pushing. An early drain can
+    /// still end the stream short.
+    #[must_use]
+    pub fn with_expected_slots(mut self, slots: usize) -> Self {
+        self.expected = Some(slots);
+        self
+    }
+
+    /// Slots delivered to the serving cell so far.
+    #[must_use]
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+}
+
+impl DemandSource for NetworkDemandSource {
+    fn len_hint(&self) -> Option<usize> {
+        self.expected
+    }
+
+    fn next_slot(&mut self, out: &mut DemandTrace) -> Result<bool, ServeError> {
+        if self.expected.is_some_and(|cap| self.delivered >= cap) {
+            return Ok(false);
+        }
+        match self.queue.pop_blocking() {
+            Some(slot) => {
+                out.copy_slot_from(0, &slot, 0)?;
+                self.delivered += 1;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::bounded_slot_ring;
+    use jocal_sim::scenario::ScenarioConfig;
+    use jocal_sim::{ClassId, ContentId, SbsId};
+    use jocal_telemetry::Gauge;
+
+    #[test]
+    fn delivers_pushed_slots_in_order_then_ends_on_close() {
+        let network = ScenarioConfig::tiny().build_network(3).unwrap();
+        let (tx, rx) = bounded_slot_ring(8, Gauge::disabled());
+        let mut batch = Vec::new();
+        for v in 1..=3 {
+            let mut slot = DemandTrace::zeros(&network, 1);
+            slot.set_lambda(0, SbsId(0), ClassId(0), ContentId(0), f64::from(v))
+                .unwrap();
+            batch.push(slot);
+        }
+        tx.try_push_batch(batch).unwrap();
+        tx.close();
+        let mut source = NetworkDemandSource::new(rx);
+        assert_eq!(source.len_hint(), None);
+        let mut out = DemandTrace::zeros(&network, 1);
+        for v in 1..=3 {
+            assert!(source.next_slot(&mut out).unwrap());
+            assert_eq!(
+                out.lambda(0, SbsId(0), ClassId(0), ContentId(0)),
+                f64::from(v)
+            );
+        }
+        assert!(!source.next_slot(&mut out).unwrap());
+        assert_eq!(source.delivered(), 3);
+    }
+
+    #[test]
+    fn expected_slots_bound_the_stream_without_a_close() {
+        let network = ScenarioConfig::tiny().build_network(4).unwrap();
+        let (tx, rx) = bounded_slot_ring(8, Gauge::disabled());
+        tx.try_push_batch(vec![DemandTrace::zeros(&network, 1); 5])
+            .unwrap();
+        let mut source = NetworkDemandSource::new(rx).with_expected_slots(2);
+        assert_eq!(source.len_hint(), Some(2));
+        let mut out = DemandTrace::zeros(&network, 1);
+        assert!(source.next_slot(&mut out).unwrap());
+        assert!(source.next_slot(&mut out).unwrap());
+        // The ring still holds slots and is open, but the declared
+        // horizon is reached: no block, clean end-of-stream.
+        assert!(!source.next_slot(&mut out).unwrap());
+        assert_eq!(tx.depth(), 3);
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error() {
+        let tiny = ScenarioConfig::tiny().build_network(5).unwrap();
+        let (tx, rx) = bounded_slot_ring(4, Gauge::disabled());
+        tx.try_push_batch(vec![DemandTrace::zeros(&tiny, 1)])
+            .unwrap();
+        let mut source = NetworkDemandSource::new(rx);
+        // A consumer buffer with a different topology shape.
+        let mut other = ScenarioConfig::tiny();
+        other.num_sbs += 1;
+        let other_net = other.build_network(6).unwrap();
+        let mut out = DemandTrace::zeros(&other_net, 1);
+        assert!(source.next_slot(&mut out).is_err());
+    }
+}

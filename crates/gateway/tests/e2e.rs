@@ -1,0 +1,553 @@
+//! End-to-end gateway tests: wire-fed parity with in-process replay,
+//! bounded overload behavior, the Prometheus endpoint and worker
+//! robustness against hostile input.
+
+use jocal_cluster::{Cell, ClusterConfig, ClusterEngine};
+use jocal_core::primal_dual::PrimalDualOptions;
+use jocal_core::{CoreError, Parallelism};
+use jocal_gateway::{preregister_headline_metrics, CellSpec, Gateway, GatewayConfig, HttpClient};
+use jocal_online::afhc::afhc_policy;
+use jocal_online::chc::ChcPolicy;
+use jocal_online::policy::{Action, OnlinePolicy, PolicyContext};
+use jocal_online::ratio::RatioOptions;
+use jocal_online::rhc::RhcPolicy;
+use jocal_online::rounding::RoundingPolicy;
+use jocal_serve::engine::ServeConfig;
+use jocal_serve::metrics::{MemorySink, SharedMemorySink};
+use jocal_serve::source::TraceSource;
+use jocal_sim::predictor::NoiseModel;
+use jocal_sim::scenario::ScenarioConfig;
+use jocal_sim::trace::write_trace;
+use jocal_telemetry::{Telemetry, PROMETHEUS_CONTENT_TYPE};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const ETA: f64 = 0.15;
+const NOISE_SEED: u64 = 9001;
+const WINDOW: usize = 3;
+const CELLS: usize = 2;
+const MASTER_SEED: u64 = 77;
+
+fn policies() -> Vec<Box<dyn OnlinePolicy + Send>> {
+    let options = PrimalDualOptions {
+        parallelism: Parallelism::Threads(1),
+        ..PrimalDualOptions::online()
+    };
+    vec![
+        Box::new(RhcPolicy::new(WINDOW, options)),
+        Box::new(afhc_policy(WINDOW, RoundingPolicy::default(), options)),
+        Box::new(ChcPolicy::new(
+            WINDOW,
+            2,
+            RoundingPolicy::default(),
+            options,
+        )),
+    ]
+}
+
+fn policy_named(name: &str) -> Box<dyn OnlinePolicy + Send> {
+    policies()
+        .into_iter()
+        .find(|p| p.name() == name)
+        .expect("known policy name")
+}
+
+fn cell_serve_config(cell: usize) -> ServeConfig {
+    let mut config = ServeConfig::new(WINDOW, ScenarioConfig::cell_seed(42, cell));
+    config.noise = NoiseModel::new(ETA, NOISE_SEED.wrapping_add(cell as u64));
+    config.ledger = true;
+    config.ratio = Some(RatioOptions {
+        block: 4,
+        max_iterations: 20,
+        ..RatioOptions::default()
+    });
+    config
+}
+
+/// One slot record as exact bits: `(slot, requests, sbs_served,
+/// spilled, bs_served, cost_total, repair_scaled_sbs, buffered_slots)`.
+type SlotBits = (usize, u64, u64, u64, u64, u64, usize, usize);
+
+/// Summarizes a sink's full record stream as exact bits (timing fields
+/// excluded — they are the only nondeterministic part of a record).
+fn fingerprint(sink: &MemorySink) -> Vec<SlotBits> {
+    sink.slots
+        .iter()
+        .map(|m| {
+            (
+                m.slot,
+                m.requests,
+                m.sbs_served.to_bits(),
+                m.spilled.to_bits(),
+                m.bs_served.to_bits(),
+                m.cost.total().to_bits(),
+                m.repair_scaled_sbs,
+                m.buffered_slots,
+            )
+        })
+        .collect()
+}
+
+/// The acceptance parity test: demand replayed through the gateway's
+/// `NetworkDemandSource` produces bit-identical ServeReport/ledger/
+/// ratio streams to the same trace fed via `TraceSource` in-process,
+/// for RHC/AFHC/CHC at 1 and 4 shards.
+#[test]
+fn gateway_replay_is_bit_identical_to_in_process_trace() {
+    let scenarios: Vec<_> = (0..CELLS)
+        .map(|i| {
+            ScenarioConfig::tiny()
+                .build(ScenarioConfig::cell_seed(MASTER_SEED, i))
+                .unwrap()
+        })
+        .collect();
+
+    for shards in [1usize, 4] {
+        for policy_probe in policies() {
+            let name = policy_probe.name().to_string();
+            drop(policy_probe);
+
+            // --- In-process: TraceSource-fed cluster ----------------
+            let in_process_sinks: Vec<SharedMemorySink> =
+                (0..CELLS).map(|_| SharedMemorySink::new()).collect();
+            let cells: Vec<Cell> = scenarios
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    Cell::new(
+                        s.network.clone(),
+                        jocal_core::CostModel::paper(),
+                        cell_serve_config(i),
+                        Box::new(TraceSource::new(s.demand.clone())),
+                        policy_named(&name),
+                    )
+                    .with_sink(Box::new(in_process_sinks[i].clone()))
+                })
+                .collect();
+            ClusterEngine::new(ClusterConfig::new(shards))
+                .run(cells)
+                .unwrap_or_else(|e| panic!("in-process {name} x{shards} failed: {e}"));
+
+            // --- Gateway: the same demand over the wire -------------
+            let gateway_sinks: Vec<SharedMemorySink> =
+                (0..CELLS).map(|_| SharedMemorySink::new()).collect();
+            let specs: Vec<CellSpec> = scenarios
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    CellSpec::new(
+                        s.network.clone(),
+                        jocal_core::CostModel::paper(),
+                        cell_serve_config(i),
+                        policy_named(&name),
+                    )
+                    .with_sink(Box::new(gateway_sinks[i].clone()))
+                    .with_expected_slots(s.demand.horizon())
+                })
+                .collect();
+            let config = GatewayConfig {
+                queue_capacity: 64,
+                http_workers: 2,
+                ..GatewayConfig::default()
+            };
+            let telemetry = Telemetry::disabled();
+            let gateway =
+                Gateway::start(&config, ClusterConfig::new(shards), specs, &telemetry).unwrap();
+            let addr = gateway.local_addr().to_string();
+
+            let mut client = HttpClient::connect(&addr, Duration::from_secs(10)).unwrap();
+            let horizon = scenarios[0].demand.horizon();
+            let batch = 4;
+            let mut start = 0;
+            while start < horizon {
+                let len = batch.min(horizon - start);
+                for (i, s) in scenarios.iter().enumerate() {
+                    let mut body = Vec::new();
+                    write_trace(&s.demand.window(start, len), &mut body).unwrap();
+                    let resp = client
+                        .request("POST", &format!("/v1/demand?cell={i}"), &body)
+                        .unwrap();
+                    assert_eq!(resp.status, 202, "{name} x{shards} cell {i} slot {start}");
+                }
+                start += len;
+            }
+            drop(client);
+            let (report, stats) = gateway.join().unwrap();
+            assert_eq!(report.cells.len(), CELLS);
+            assert_eq!(stats.worker_panics, 0);
+
+            // --- Bit-exact comparison -------------------------------
+            for i in 0..CELLS {
+                let a = in_process_sinks[i].snapshot();
+                let b = gateway_sinks[i].snapshot();
+                let ctx = format!("{name} x{shards} cell {i}");
+                assert_eq!(a.header, b.header, "{ctx}: headers differ");
+                assert_eq!(fingerprint(&a), fingerprint(&b), "{ctx}: slots differ");
+                assert_eq!(a.ledgers, b.ledgers, "{ctx}: ledger streams differ");
+                assert_eq!(a.ratios, b.ratios, "{ctx}: ratio streams differ");
+                let (sa, sb) = (a.summary.unwrap(), b.summary.unwrap());
+                assert_eq!(sa.slots, sb.slots, "{ctx}");
+                assert_eq!(sa.requests, sb.requests, "{ctx}");
+                assert_eq!(
+                    sa.cost.total().to_bits(),
+                    sb.cost.total().to_bits(),
+                    "{ctx}: summary cost differs"
+                );
+                assert_eq!(
+                    sa.hit_ratio.to_bits(),
+                    sb.hit_ratio.to_bits(),
+                    "{ctx}: summary hit ratio differs"
+                );
+            }
+        }
+    }
+}
+
+/// A free policy for tests that exercise the HTTP plane, not the
+/// solver.
+#[derive(Debug)]
+struct Idle;
+
+impl OnlinePolicy for Idle {
+    fn name(&self) -> &str {
+        "idle"
+    }
+
+    fn decide(&mut self, _t: usize, ctx: &PolicyContext<'_>) -> Result<Action, CoreError> {
+        Ok(Action::idle(ctx.network))
+    }
+
+    fn reset(&mut self) {}
+}
+
+fn idle_cell(expected_slots: usize, window: usize) -> CellSpec {
+    let scenario = ScenarioConfig::tiny().build(5).unwrap();
+    let mut config = ServeConfig::new(window, 1);
+    config.noise = NoiseModel::new(0.0, 0);
+    CellSpec::new(
+        scenario.network,
+        jocal_core::CostModel::paper(),
+        config,
+        Box::new(Idle),
+    )
+    .with_expected_slots(expected_slots)
+}
+
+fn demand_body(slots: usize) -> Vec<u8> {
+    let scenario = ScenarioConfig::tiny()
+        .with_horizon(slots.max(1))
+        .build(5)
+        .unwrap();
+    let mut body = Vec::new();
+    write_trace(&scenario.demand.window(0, slots.max(1)), &mut body).unwrap();
+    body
+}
+
+fn wait_serve_finished(gateway: &Gateway) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !gateway.serve_finished() {
+        assert!(Instant::now() < deadline, "serve thread did not finish");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The acceptance overload test: with a queue watermark of Q, a burst
+/// of 4Q one-slot requests yields bounded queue depth (exactly Q),
+/// at least one 429, zero worker panics and a clean drain;
+/// `gateway_rejected_overload` matches the count of 429s.
+#[test]
+fn overload_burst_is_bounded_shed_and_drains_cleanly() {
+    const Q: usize = 4;
+    let telemetry = Telemetry::enabled();
+    let config = GatewayConfig {
+        queue_capacity: Q,
+        http_workers: 2,
+        ..GatewayConfig::default()
+    };
+    // The cell consumes exactly 2 slots, then the ring only fills.
+    let gateway = Gateway::start(
+        &config,
+        ClusterConfig::new(1),
+        vec![idle_cell(2, 1)],
+        &telemetry,
+    )
+    .unwrap();
+    let addr = gateway.local_addr().to_string();
+    let mut client = HttpClient::connect(&addr, Duration::from_secs(10)).unwrap();
+
+    // Feed the cell its 2 expected slots and let serving complete, so
+    // the burst below meets a ring nothing drains.
+    let resp = client
+        .request("POST", "/v1/demand", &demand_body(2))
+        .unwrap();
+    assert_eq!(resp.status, 202);
+    wait_serve_finished(&gateway);
+
+    // Burst: 4Q one-slot batches. Exactly Q fit; the rest are shed.
+    let one_slot = demand_body(1);
+    let mut accepted = 0u64;
+    let mut shed = 0u64;
+    for _ in 0..4 * Q {
+        let resp = client.request("POST", "/v1/demand", &one_slot).unwrap();
+        match resp.status {
+            202 => accepted += 1,
+            429 => {
+                shed += 1;
+                assert_eq!(resp.header("retry-after"), Some("1"));
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert_eq!(
+        accepted, Q as u64,
+        "exactly Q batches fit under the watermark"
+    );
+    assert_eq!(
+        shed,
+        3 * Q as u64,
+        "everything beyond the watermark is shed"
+    );
+
+    // Clean drain: stop accepting, close the rings, reap everything.
+    let resp = client.request("POST", "/v1/shutdown", b"").unwrap();
+    assert_eq!(resp.status, 200);
+    drop(client);
+    let (report, stats) = gateway.join().unwrap();
+
+    assert_eq!(report.cells[0].report.summary.slots, 2);
+    assert_eq!(stats.queue_depth_highwater, Q, "depth is exactly bounded");
+    assert_eq!(stats.worker_panics, 0);
+    assert_eq!(stats.rejected_overload, shed);
+    assert_eq!(
+        telemetry.counter("gateway_rejected_overload").get(),
+        shed,
+        "telemetry counter must match the observed 429s"
+    );
+}
+
+fn metric_names(body: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in body.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let name: String = line
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if names.last() != Some(&name) {
+            names.push(name);
+        }
+    }
+    names
+}
+
+/// Satellite: the Prometheus exporter served over HTTP — content type,
+/// stable metric ordering, and headline names present after a 0-slot
+/// and a 100-slot run.
+#[test]
+fn metrics_endpoint_content_type_ordering_and_headline_names() {
+    let headline = [
+        "pd_iterations",
+        "pd_iterations_total",
+        "pd_dual_residual_norm_1e6",
+        "window_solve_us",
+        "chc_rounding_flips_total",
+        "repair_scale_passes_total",
+        "repair_scale_pct",
+    ];
+    let gateway_names = [
+        "gateway_requests",
+        "gateway_rejected_overload",
+        "gateway_queue_depth",
+        "gateway_request_us",
+    ];
+
+    let scrape = |slots: usize| -> (String, String, String) {
+        let telemetry = Telemetry::enabled();
+        preregister_headline_metrics(&telemetry);
+        let config = GatewayConfig {
+            http_workers: 1,
+            ..GatewayConfig::default()
+        };
+        let gateway = Gateway::start(
+            &config,
+            ClusterConfig::new(1),
+            vec![idle_cell(slots, 1)],
+            &telemetry,
+        )
+        .unwrap();
+        let addr = gateway.local_addr().to_string();
+        let mut client = HttpClient::connect(&addr, Duration::from_secs(10)).unwrap();
+        let mut sent = 0;
+        while sent < slots {
+            let batch = 25.min(slots - sent);
+            let resp = client
+                .request("POST", "/v1/demand", &demand_body(batch))
+                .unwrap();
+            assert_eq!(resp.status, 202);
+            sent += batch;
+        }
+        wait_serve_finished(&gateway);
+        let first = client.request("GET", "/metrics", b"").unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(
+            first.header("content-type"),
+            Some(PROMETHEUS_CONTENT_TYPE),
+            "exporter content type must match the text exposition version"
+        );
+        let second = client.request("GET", "/metrics", b"").unwrap();
+        assert_eq!(second.status, 200);
+        drop(client);
+        gateway.drain();
+        gateway.join().unwrap();
+        (
+            String::from_utf8(first.body).unwrap(),
+            String::from_utf8(second.body).unwrap(),
+            addr,
+        )
+    };
+
+    for slots in [0usize, 100] {
+        let (first, second, _addr) = scrape(slots);
+        // Stable ordering: two scrapes expose the same names in the
+        // same registration order (values may differ).
+        assert_eq!(
+            metric_names(&first),
+            metric_names(&second),
+            "{slots}-slot run: metric ordering must be stable across scrapes"
+        );
+        for name in headline.iter().chain(&gateway_names) {
+            assert!(
+                first.contains(name),
+                "{slots}-slot run: missing headline metric {name}"
+            );
+        }
+    }
+}
+
+/// Satellite robustness: malformed requests are rejected without
+/// killing the worker — the same connection slot keeps serving.
+#[test]
+fn malformed_requests_do_not_kill_workers() {
+    let telemetry = Telemetry::enabled();
+    let config = GatewayConfig {
+        http_workers: 1, // one worker: if it dies, the next probe hangs
+        read_timeout: Duration::from_secs(2),
+        max_body_bytes: 1 << 16,
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::start(
+        &config,
+        ClusterConfig::new(1),
+        vec![idle_cell(1, 1)],
+        &telemetry,
+    )
+    .unwrap();
+    let addr = gateway.local_addr().to_string();
+
+    // Raw protocol garbage.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        raw.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        let _ = raw.read_to_end(&mut buf);
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 400"), "got: {text}");
+    }
+
+    let mut client = HttpClient::connect(&addr, Duration::from_secs(5)).unwrap();
+    // Garbage demand body → 400, connection still usable.
+    let resp = client
+        .request("POST", "/v1/demand", b"not a trace")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    // Non-finite lambda in an otherwise well-formed body → 400.
+    let evil =
+        b"# jocal-demand-trace v1\n# horizon=1 contents=1 classes_per_sbs=1\nt,sbs,class,content,lambda\n0,0,0,0,NaN\n";
+    let resp = client.request("POST", "/v1/demand", evil).unwrap();
+    assert_eq!(resp.status, 400);
+    // Unknown cell → 404; bad method → 405; unknown path → 404.
+    let resp = client
+        .request("POST", "/v1/demand?cell=9", &demand_body(1))
+        .unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = client.request("DELETE", "/metrics", b"").unwrap();
+    assert_eq!(resp.status, 405);
+    let resp = client.request("GET", "/nope", b"").unwrap();
+    assert_eq!(resp.status, 404);
+    // Oversized body → 413 (connection closes, reconnect).
+    let big = vec![b'x'; (1 << 16) + 1];
+    let resp = client.request("POST", "/v1/demand", &big).unwrap();
+    assert_eq!(resp.status, 413);
+    let mut client = HttpClient::connect(&addr, Duration::from_secs(5)).unwrap();
+
+    // The single worker is alive and well.
+    let resp = client.request("GET", "/healthz", b"").unwrap();
+    assert_eq!(resp.status, 200);
+    let resp = client.request("GET", "/readyz", b"").unwrap();
+    assert_eq!(resp.status, 200);
+
+    drop(client);
+    gateway.drain();
+    let (_, stats) = gateway.join().unwrap();
+    assert_eq!(stats.worker_panics, 0);
+    assert!(stats.malformed >= 3);
+}
+
+/// Loadgen round trip against a live gateway: the report accounts for
+/// every request and latency percentiles are populated.
+#[test]
+fn loadgen_drives_a_gateway_end_to_end() {
+    use jocal_gateway::{run_loadgen, LoadgenConfig, LoadgenMode};
+
+    let telemetry = Telemetry::enabled();
+    let config = GatewayConfig {
+        queue_capacity: 512,
+        http_workers: 2,
+        ..GatewayConfig::default()
+    };
+    // Large expected_slots: the run ends by drain, not by horizon.
+    let scenario_cfg = ScenarioConfig::tiny();
+    let scenario = scenario_cfg
+        .build(ScenarioConfig::cell_seed(42, 0))
+        .unwrap();
+    let mut serve_cfg = ServeConfig::new(1, 1);
+    serve_cfg.noise = NoiseModel::new(0.0, 0);
+    let spec = CellSpec::new(
+        scenario.network,
+        jocal_core::CostModel::paper(),
+        serve_cfg,
+        Box::new(Idle),
+    )
+    .with_expected_slots(1_000_000);
+    let gateway = Gateway::start(&config, ClusterConfig::new(1), vec![spec], &telemetry).unwrap();
+    let addr = gateway.local_addr().to_string();
+
+    let report = run_loadgen(&LoadgenConfig {
+        requests: 200,
+        connections: 2,
+        streams: 10_000,
+        cells: 1,
+        slots_per_request: 2,
+        mode: LoadgenMode::Closed,
+        scenario: scenario_cfg,
+        seed: 42,
+        ..LoadgenConfig::new(addr)
+    })
+    .unwrap();
+
+    assert_eq!(report.requests, 200);
+    assert_eq!(report.accepted + report.shed + report.errors, 200);
+    assert!(report.accepted > 0, "some batches must land: {report:?}");
+    assert!(report.sustained_rps > 0.0);
+    assert!(report.p50_us <= report.p99_us && report.p99_us <= report.max_us);
+    assert!(report.slots_sent >= report.accepted);
+
+    gateway.drain();
+    let (_, stats) = gateway.join().unwrap();
+    assert_eq!(stats.worker_panics, 0);
+    assert!(stats.requests >= 200);
+}

@@ -13,7 +13,7 @@ use crate::repair::repair_slot;
 use jocal_core::accounting::{evaluate_per_slot, evaluate_plan, CostBreakdown};
 use jocal_core::plan::{verify_feasible, CachePlan, CacheState, LoadPlan};
 use jocal_core::problem::ProblemInstance;
-use jocal_core::{CoreError, CostModel};
+use jocal_core::{CoreError, CostModel, ShutdownFlag};
 use jocal_sim::predictor::Predictor;
 use jocal_sim::topology::{ClassId, ContentId, Network};
 use jocal_telemetry::Telemetry;
@@ -73,6 +73,40 @@ pub fn run_policy_observed(
     initial: CacheState,
     telemetry: &Telemetry,
 ) -> Result<SimulationOutcome, CoreError> {
+    let (outcome, _slots) = run_policy_stoppable(
+        network,
+        cost_model,
+        predictor,
+        policy,
+        initial,
+        telemetry,
+        &ShutdownFlag::new(),
+    )?;
+    Ok(outcome)
+}
+
+/// [`run_policy_observed`] with a cooperative stop: the flag is checked
+/// at the top of every slot, and a raised flag ends the run after the
+/// last completed slot. The outcome then covers exactly the completed
+/// prefix — plans, feasibility check and cost decomposition are all
+/// evaluated against the truncated horizon, so an interrupted run
+/// reports honest numbers instead of charging all-BS costs for slots it
+/// never decided. Returns the outcome and the number of completed
+/// slots (equal to the horizon when the flag never fired).
+///
+/// # Errors
+///
+/// Same contract as [`run_policy`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_policy_stoppable(
+    network: &Network,
+    cost_model: &CostModel,
+    predictor: &dyn Predictor,
+    policy: &mut dyn OnlinePolicy,
+    initial: CacheState,
+    telemetry: &Telemetry,
+    stop: &ShutdownFlag,
+) -> Result<(SimulationOutcome, usize), CoreError> {
     policy.instrument(telemetry);
     let repair_metrics = RepairMetrics::resolve(telemetry);
     let tracer = telemetry.tracer();
@@ -82,7 +116,11 @@ pub fn run_policy_observed(
     let mut load_plan = LoadPlan::zeros(network, horizon);
     let mut current = initial.clone();
 
+    let mut completed = 0;
     for t in 0..horizon {
+        if stop.is_requested() {
+            break;
+        }
         let slot_trace = tracer.start_with("slot", "t", t as u64);
         let ctx = PolicyContext {
             network,
@@ -121,19 +159,57 @@ pub fn run_policy_observed(
         repair_metrics.record(&report);
         *cache_plan.state_mut(t) = action.cache.clone();
         current = action.cache;
+        completed = t + 1;
         tracer.finish(slot_trace);
     }
 
+    // Stopped before the first slot: nothing was decided, nothing is
+    // charged (a problem instance needs a positive horizon).
+    if completed == 0 {
+        return Ok((
+            SimulationOutcome {
+                cache_plan: CachePlan::empty(network, 0),
+                load_plan: LoadPlan::zeros(network, 0),
+                breakdown: CostBreakdown::default(),
+                per_slot: Vec::new(),
+            },
+            0,
+        ));
+    }
+
+    // An interrupted run is evaluated over the prefix it actually
+    // decided: truncate truth and plans to `completed` slots.
+    let (truth, cache_plan, load_plan) = if completed == horizon {
+        (truth, cache_plan, load_plan)
+    } else {
+        let mut cache = CachePlan::empty(network, completed);
+        let mut load = LoadPlan::zeros(network, completed);
+        for t in 0..completed {
+            *cache.state_mut(t) = cache_plan.state(t).clone();
+            for (n, sbs) in network.iter_sbs() {
+                for m in 0..sbs.num_classes() {
+                    for k in 0..network.num_contents() {
+                        let y = load_plan.y(t, n, ClassId(m), ContentId(k));
+                        load.set_y(t, n, ClassId(m), ContentId(k), y);
+                    }
+                }
+            }
+        }
+        (truth.window(0, completed), cache, load)
+    };
     let problem = ProblemInstance::new(network.clone(), truth, *cost_model, initial)?;
     verify_feasible(network, problem.demand(), &cache_plan, &load_plan)?;
     let breakdown = evaluate_plan(&problem, &cache_plan, &load_plan);
     let per_slot = evaluate_per_slot(&problem, &cache_plan, &load_plan);
-    Ok(SimulationOutcome {
-        cache_plan,
-        load_plan,
-        breakdown,
-        per_slot,
-    })
+    Ok((
+        SimulationOutcome {
+            cache_plan,
+            load_plan,
+            breakdown,
+            per_slot,
+        },
+        completed,
+    ))
 }
 
 #[cfg(test)]

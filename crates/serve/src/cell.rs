@@ -24,7 +24,7 @@ use crate::window::SlidingWindow;
 use jocal_core::accounting::{evaluate_slot, CostBreakdown};
 use jocal_core::ledger::ledger_slot;
 use jocal_core::plan::{CacheState, LoadPlan};
-use jocal_core::CostModel;
+use jocal_core::{CostModel, ShutdownFlag};
 use jocal_online::observe::RepairMetrics;
 use jocal_online::policy::{OnlinePolicy, PolicyContext};
 use jocal_online::ratio::{slot_constraint_violations, DualBoundTracker};
@@ -106,6 +106,7 @@ pub struct CellCore {
     horizon: usize,
     tracker: Option<DualBoundTracker>,
     last_ratio: Option<RatioRecord>,
+    shutdown: ShutdownFlag,
     window: SlidingWindow,
     rng: StdRng,
     prev_cache: CacheState,
@@ -181,6 +182,7 @@ impl CellCore {
             horizon,
             tracker,
             last_ratio: None,
+            shutdown: ShutdownFlag::default(),
             window: SlidingWindow::new(network),
             rng: StdRng::seed_from_u64(config.seed),
             prev_cache: initial,
@@ -195,6 +197,15 @@ impl CellCore {
     #[must_use]
     pub fn slots(&self) -> usize {
         self.totals.slots
+    }
+
+    /// Attaches a cooperative stop flag, checked once per
+    /// [`CellCore::step`]: when raised the step reports end-of-run
+    /// (`Ok(false)`) so the driver reaches [`CellCore::finish`] and the
+    /// sink's summary/flush path runs — an interrupted run still leaves
+    /// durable, well-formed output.
+    pub fn set_shutdown(&mut self, shutdown: ShutdownFlag) {
+        self.shutdown = shutdown;
     }
 
     /// Serves one slot: tops up the window, decides, repairs, charges
@@ -213,6 +224,9 @@ impl CellCore {
         policy: &mut dyn OnlinePolicy,
         sink: &mut dyn MetricsSink,
     ) -> Result<bool, ServeError> {
+        if self.shutdown.is_requested() {
+            return Ok(false);
+        }
         let t = self.window.start();
         if self.config.max_slots.is_some_and(|cap| t >= cap) {
             return Ok(false);

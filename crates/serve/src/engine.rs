@@ -21,7 +21,7 @@ use crate::error::ServeError;
 use crate::metrics::{MetricsSink, RatioRecord, ServeSummary};
 use crate::source::DemandSource;
 use jocal_core::plan::{CacheState, LoadPlan};
-use jocal_core::CostModel;
+use jocal_core::{CostModel, ShutdownFlag};
 use jocal_online::policy::OnlinePolicy;
 use jocal_online::ratio::RatioOptions;
 use jocal_sim::predictor::NoiseModel;
@@ -91,6 +91,7 @@ pub struct ServeEngine<'a> {
     cost_model: &'a CostModel,
     config: ServeConfig,
     telemetry: Telemetry,
+    shutdown: ShutdownFlag,
 }
 
 impl<'a> ServeEngine<'a> {
@@ -107,7 +108,19 @@ impl<'a> ServeEngine<'a> {
             cost_model,
             config,
             telemetry: Telemetry::disabled(),
+            shutdown: ShutdownFlag::default(),
         }
+    }
+
+    /// Attaches a cooperative stop flag, checked once per slot: when
+    /// raised mid-run the engine stops serving, emits the summary and
+    /// flushes the sink — exactly the graceful-drain path the gateway
+    /// uses, so a Ctrl-C'd `jocal serve` still leaves durable
+    /// metrics/ledger/ratio streams.
+    #[must_use]
+    pub fn with_shutdown(mut self, shutdown: ShutdownFlag) -> Self {
+        self.shutdown = shutdown;
+        self
     }
 
     /// Attaches a telemetry handle: each run instruments its policy
@@ -171,6 +184,7 @@ impl<'a> ServeEngine<'a> {
             initial,
             sink,
         )?;
+        cell.set_shutdown(self.shutdown.clone());
         while cell.step(source, policy, sink)? {}
         cell.finish(sink)
     }
@@ -528,6 +542,64 @@ mod tests {
         assert_eq!(sink.headers, 1, "header precedes the failure");
         assert_eq!(sink.slots, 2, "two slots served before the failure");
         assert_eq!(sink.flushes, 1, "error path must flush buffered records");
+    }
+
+    #[test]
+    fn shutdown_flag_stops_the_run_with_durable_output() {
+        let s = ScenarioConfig::tiny().build(68).unwrap();
+        let model = CostModel::paper();
+        let engine = ServeEngine::new(&s.network, &model, ServeConfig::new(3, 42));
+
+        /// Raises the shared flag after delivering `limit` slots.
+        #[derive(Debug)]
+        struct RaisingSource {
+            inner: TraceSource,
+            delivered: usize,
+            limit: usize,
+            flag: jocal_core::ShutdownFlag,
+        }
+
+        impl crate::source::DemandSource for RaisingSource {
+            fn len_hint(&self) -> Option<usize> {
+                self.inner.len_hint()
+            }
+
+            fn next_slot(
+                &mut self,
+                out: &mut jocal_sim::demand::DemandTrace,
+            ) -> Result<bool, ServeError> {
+                if self.delivered >= self.limit {
+                    self.flag.request();
+                }
+                self.delivered += 1;
+                self.inner.next_slot(out)
+            }
+        }
+
+        let flag = jocal_core::ShutdownFlag::new();
+        let mut source = RaisingSource {
+            inner: TraceSource::new(s.demand.clone()),
+            delivered: 0,
+            limit: 4,
+            flag: flag.clone(),
+        };
+        let engine = engine.with_shutdown(flag.clone());
+        let mut sink = MemorySink::default();
+        let report = engine
+            .run(
+                &mut source,
+                &mut Greedy,
+                CacheState::empty(&s.network),
+                &mut sink,
+            )
+            .unwrap();
+        assert!(flag.is_requested());
+        // The run stopped early but cleanly: header, every served
+        // slot and the summary all reached the sink.
+        assert!(report.summary.slots < s.demand.horizon());
+        assert!(sink.header.is_some());
+        assert_eq!(sink.slots.len(), report.summary.slots);
+        assert!(sink.summary.is_some());
     }
 
     #[test]

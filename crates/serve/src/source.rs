@@ -284,6 +284,15 @@ impl<R: BufRead> ChunkedTraceReader<R> {
             let v: f64 = field("lambda")?
                 .parse()
                 .map_err(|_| ServeError::config("trace", format!("line {line_no}: bad lambda")))?;
+            // `f64::parse` happily accepts "NaN"/"inf"; admitted here a
+            // non-finite rate would only surface as a solver panic many
+            // slots later, so reject it at the stream boundary.
+            if !v.is_finite() {
+                return Err(ServeError::config(
+                    "trace",
+                    format!("line {line_no}: non-finite lambda"),
+                ));
+            }
             return Ok(Some((t, n, m, k, v)));
         }
     }
@@ -379,6 +388,64 @@ mod tests {
         // Slot 0 reads fine (row for t=1 is held pending)...
         assert!(src.next_slot(&mut buf).unwrap());
         // ...then the out-of-order t=0 row surfaces as an error.
+        assert!(src.next_slot(&mut buf).is_err());
+    }
+
+    #[test]
+    fn chunked_reader_rejects_empty_chunk() {
+        // An empty stream has no magic line: a typed config error, not
+        // a panic or a silent zero-slot run.
+        let err = ChunkedTraceReader::new(BufReader::new(b"".as_slice())).unwrap_err();
+        assert!(matches!(err, ServeError::Config { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn chunked_reader_rejects_short_row_mid_stream() {
+        let s = ScenarioConfig::tiny().build(45).unwrap();
+        let csv = format!(
+            "{TRACE_MAGIC}\n# horizon=2 contents=1 classes_per_sbs=1\n\
+             t,sbs,class,content,lambda\n0,0,0,0,1.0\n1,0,0\n"
+        );
+        let mut src = ChunkedTraceReader::new(BufReader::new(csv.as_bytes())).unwrap();
+        let mut buf = s.demand.window(0, 1);
+        // The truncated `1,0,0` row is hit while looking ahead for the
+        // slot-0 boundary; a row that fails to parse has no trustworthy
+        // `t`, so the reader fails fast with a typed error naming the
+        // missing field and line instead of delivering a slot that may
+        // be incomplete.
+        let err = src.next_slot(&mut buf).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("missing field content"), "{msg}");
+        assert!(msg.contains("line 5"), "{msg}");
+    }
+
+    #[test]
+    fn chunked_reader_rejects_non_finite_lambda() {
+        let s = ScenarioConfig::tiny().build(46).unwrap();
+        for bad in ["NaN", "inf", "-inf"] {
+            let csv = format!(
+                "{TRACE_MAGIC}\n# horizon=1 contents=1 classes_per_sbs=1\n\
+                 t,sbs,class,content,lambda\n0,0,0,0,{bad}\n"
+            );
+            let mut src = ChunkedTraceReader::new(BufReader::new(csv.as_bytes())).unwrap();
+            let mut buf = s.demand.window(0, 1);
+            let err = src.next_slot(&mut buf).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("non-finite lambda"), "{bad}: {msg}");
+        }
+    }
+
+    #[test]
+    fn chunked_reader_rejects_out_of_shape_row() {
+        let s = ScenarioConfig::tiny().build(47).unwrap();
+        let csv = format!(
+            "{TRACE_MAGIC}\n# horizon=1 contents=1 classes_per_sbs=1\n\
+             t,sbs,class,content,lambda\n0,99,0,0,1.0\n"
+        );
+        let mut src = ChunkedTraceReader::new(BufReader::new(csv.as_bytes())).unwrap();
+        let mut buf = s.demand.window(0, 1);
+        // SBS 99 does not exist in the tiny topology: typed index
+        // error via `set_lambda`, not an out-of-bounds panic.
         assert!(src.next_slot(&mut buf).is_err());
     }
 

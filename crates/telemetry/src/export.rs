@@ -13,6 +13,13 @@ use crate::metric::{bucket_lower_bound, bucket_upper_bound, Entry, MetricKind, N
 use std::io::{self, Write};
 use std::sync::atomic::Ordering;
 
+/// The content type a Prometheus scrape endpoint must advertise for
+/// the text exposition format written by
+/// [`Telemetry::write_prometheus`](crate::Telemetry::write_prometheus).
+/// Serving layers (the gateway's `GET /metrics`) reuse this constant so
+/// the header and the body format can never drift apart.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
 /// Formats an `f64` for both Prometheus and JSON bodies: finite values
 /// via `Display` (shortest round-trip), non-finite mapped to the given
 /// fallbacks.

@@ -71,6 +71,7 @@ pub mod metric;
 pub mod trace;
 
 pub use event::{Event, FieldValue};
+pub use export::PROMETHEUS_CONTENT_TYPE;
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, SpanTimer};
 pub use trace::{ActiveSpan, SpanRecord, Tracer};
 
