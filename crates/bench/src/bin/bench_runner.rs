@@ -21,6 +21,11 @@
 //!   high-watermark from an open-loop phase driven at ~2× the measured
 //!   capacity against a small ingestion ring, so overload behavior is
 //!   diffable PR-over-PR.
+//! * `BENCH_observability.json` — serve throughput with the rolling
+//!   collector + SLO engine sampling in the background vs the same
+//!   enabled telemetry with nothing reading it, guarding the
+//!   "observation never slows serving" claim (CI asserts the delta
+//!   stays under 2%).
 //!
 //! Flags: `--out DIR` (default `.`), `--slots N`, `--runs K`,
 //! `--window W`, `--solves S`, `--cluster-slots N` (per-cell slots for
@@ -42,10 +47,32 @@ use jocal_sim::popularity::ZipfMandelbrot;
 use jocal_sim::scenario::ScenarioConfig;
 use jocal_sim::stream::StreamingDemand;
 use jocal_sim::topology::Network;
-use jocal_telemetry::Telemetry;
+use jocal_telemetry::{monotonic_us, BuildInfo, RollingCollector, SloEngine, SloSpec, Telemetry};
 use serde::Serialize;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// The binary's build identity, embedded in every bench artifact so a
+/// JSON file is attributable to a commit without external context.
+#[derive(Serialize)]
+struct BuildStamp {
+    version: String,
+    git_sha: String,
+    profile: String,
+}
+
+impl BuildStamp {
+    fn current() -> Self {
+        let info = BuildInfo::current();
+        BuildStamp {
+            version: info.version.to_string(),
+            git_sha: info.git_sha.to_string(),
+            profile: info.profile.to_string(),
+        }
+    }
+}
 
 #[derive(Serialize)]
 struct ServeBench {
@@ -413,6 +440,132 @@ fn bench_gateway(opts: &Options) -> GatewayBench {
     }
 }
 
+#[derive(Serialize)]
+struct ObservabilityBench {
+    bench: String,
+    build: BuildStamp,
+    slots: usize,
+    runs: usize,
+    sample_interval_ms: u64,
+    /// Median slots/sec with telemetry enabled but no rolling
+    /// collector or SLO engine (the pre-existing recording cost,
+    /// bounded separately by the `telemetry_overhead` bench).
+    median_slots_per_sec_off: f64,
+    /// Median slots/sec with telemetry enabled and a background
+    /// sampler driving the rolling collector + SLO engine — the
+    /// delta against `off` isolates the observability layer itself.
+    median_slots_per_sec_on: f64,
+    /// `(1 - median(on_i / off_i)) * 100` over interleaved run pairs:
+    /// positive means observability cost throughput. The pair-wise
+    /// ratio cancels machine drift that sequential medians would
+    /// absorb into the delta. CI gates on `|delta_pct| < 2`.
+    delta_pct: f64,
+}
+
+fn bench_observability(opts: &Options) -> ObservabilityBench {
+    const WINDOW: usize = 3;
+    // The gateway's production sampling cadence. On a single-core
+    // box a much hotter cadence measures scheduler contention, not
+    // the collector.
+    const SAMPLE_MS: u64 = 250;
+    let cfg = lean_config(WINDOW);
+    let network = cfg.build_network(42).expect("network builds");
+    let model = CostModel::paper();
+    // The delta gate is tight (2%), so this bench needs more and
+    // longer samples than the throughput benches: the delta is the
+    // median of per-pair on/off ratios, which cancels machine drift
+    // pair-wise, and each run is floored at 96 slots so per-run
+    // timing noise stays small relative to the gate.
+    let runs = opts.runs.max(25);
+    let slots = opts.slots.max(96);
+
+    let run_once = |telemetry: &Telemetry| -> f64 {
+        let engine = ServeEngine::new(&network, &model, ServeConfig::new(WINDOW, 42))
+            .with_telemetry(telemetry.clone());
+        let mut source = source_for(&cfg, &network, slots);
+        let mut policy = RhcPolicy::new(WINDOW, PrimalDualOptions::online());
+        let start = Instant::now();
+        let report = engine
+            .run(
+                &mut source,
+                &mut policy,
+                CacheState::empty(&network),
+                &mut NullSink,
+            )
+            .expect("serve run succeeds");
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(report.summary.slots, slots, "source ended early");
+        slots as f64 / elapsed
+    };
+    let median = |mut rates: Vec<f64>| -> f64 {
+        rates.sort_by(|a, b| a.total_cmp(b));
+        rates[rates.len() / 2]
+    };
+
+    // "Off" is telemetry enabled with nothing reading it; "on" adds a
+    // sampler thread doing exactly what the gateway's observability
+    // runtime does — rolling samples and SLO burn-rate evaluation on
+    // the production cadence — while the serve loop runs at full
+    // speed. The two sides are interleaved run-for-run so slow drift
+    // in machine state cancels out of the delta.
+    let telemetry_off = Telemetry::enabled();
+    let telemetry_on = Telemetry::enabled();
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let telemetry = telemetry_on.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut collector =
+                RollingCollector::with_windows(telemetry.clone(), &[100_000, 1_000_000]);
+            let mut slo = SloEngine::new(
+                vec![SloSpec::p99_below(
+                    "decide_p99",
+                    "serve_decide_us",
+                    10_000_000.0,
+                )],
+                100_000,
+                1_000_000,
+            );
+            while !stop.load(Ordering::SeqCst) {
+                collector.sample(monotonic_us());
+                slo.evaluate(&collector, &telemetry);
+                std::thread::sleep(std::time::Duration::from_millis(SAMPLE_MS));
+            }
+        })
+    };
+    let mut off_rates = Vec::with_capacity(runs);
+    let mut on_rates = Vec::with_capacity(runs);
+    for run in 0..=runs {
+        let off_rate = run_once(&telemetry_off);
+        let on_rate = run_once(&telemetry_on);
+        if run > 0 {
+            off_rates.push(off_rate);
+            on_rates.push(on_rate);
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    sampler.join().expect("sampler thread joins");
+    let ratios: Vec<f64> = off_rates
+        .iter()
+        .zip(on_rates.iter())
+        .map(|(off, on)| on / off)
+        .collect();
+    let delta_pct = (1.0 - median(ratios)) * 100.0;
+    let off = median(off_rates);
+    let on = median(on_rates);
+
+    ObservabilityBench {
+        bench: "observability".to_string(),
+        build: BuildStamp::current(),
+        slots,
+        runs,
+        sample_interval_ms: SAMPLE_MS,
+        median_slots_per_sec_off: off,
+        median_slots_per_sec_on: on,
+        delta_pct,
+    }
+}
+
 fn main() {
     let opts = parse_options();
     std::fs::create_dir_all(&opts.out).expect("create output dir");
@@ -477,6 +630,21 @@ fn main() {
         gateway.overload_shed_fraction,
         gateway.overload_rate_rps,
         gateway.queue_depth_highwater,
+        path.display()
+    );
+
+    let observability = bench_observability(&opts);
+    let path = opts.out.join("BENCH_observability.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&observability).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_observability.json");
+    println!(
+        "observability: off {:.1} vs on {:.1} slots/sec (delta {:+.2}%) -> {}",
+        observability.median_slots_per_sec_off,
+        observability.median_slots_per_sec_on,
+        observability.delta_pct,
         path.display()
     );
 }

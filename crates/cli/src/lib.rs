@@ -20,7 +20,8 @@ use jocal_core::workspace::Parallelism;
 use jocal_core::{CacheState, CostModel};
 use jocal_experiments::schemes::{build_online_policy, run_scheme_stoppable, RunConfig, Scheme};
 use jocal_gateway::{
-    run_loadgen, CellSpec, Gateway, GatewayConfig, GatewayStats, LoadgenConfig, LoadgenMode,
+    run_loadgen, CellSpec, Gateway, GatewayConfig, GatewayStats, HttpClient, LoadgenConfig,
+    LoadgenMode, ObservabilityConfig,
 };
 use jocal_online::ratio::RatioOptions;
 use jocal_serve::engine::{ServeConfig, ServeEngine, ServeReport};
@@ -31,7 +32,7 @@ use jocal_sim::predictor::NoiseModel;
 use jocal_sim::scenario::ScenarioConfig;
 use jocal_sim::stream::StreamingDemand;
 use jocal_sim::trace::write_trace;
-use jocal_telemetry::Telemetry;
+use jocal_telemetry::{BuildInfo, SloSpec, Telemetry};
 use std::error::Error;
 use std::fmt;
 use std::fs;
@@ -55,6 +56,11 @@ COMMANDS:
                     429, and SIGINT / POST /v1/shutdown drain cleanly
     loadgen         drive a running gateway with synthetic MU demand
                     (closed- or open-loop, millions of streams)
+    slo             query a running gateway's /debug/vars and print the
+                    SLO burn-rate report (state, fast/slow values,
+                    burn rates per objective)
+    top             live one-line-per-shard view of a running gateway:
+                    slot/request rates, request p99, slot staleness
     generate        generate a demand trace as CSV
     schemes         list available schemes
     example-config  print a sample scenario JSON to stdout
@@ -126,12 +132,40 @@ OPTIONS (gateway; also accepts --cells/--shards/--slots/--scheme/
                         (handy for scripts when binding port 0)
     --queue <Q>         per-cell ingestion-ring capacity; this is the
                         overload watermark — demand beyond it is shed
-                        with 429 + Retry-After (default 256)
+                        with 429 + Retry-After derived from the ring's
+                        observed drain rate (default 256)
     --http-workers <n>  HTTP worker threads (default 4)
 
     The gateway serves until every cell has consumed --slots demand
     slots, or until drained by SIGINT or POST /v1/shutdown; either way
     every cell flushes its sinks before exit.
+
+OPTIONS (gateway observability / SLOs):
+    --sample-ms <ms>    rolling time-series sample cadence (default
+                        250; 0 disables the background sampler — then
+                        only explicit samples land)
+    --slo-shed <f>      SLO: windowed shed fraction (429s over total
+                        requests) must stay below f, e.g. 0.05
+    --slo-p99-us <us>   SLO: windowed gateway request p99 must stay
+                        below <us> microseconds
+    --slo-ratio <B>     SLO: the certified empirical competitive ratio
+                        must stay below B (pair with --ratio to enable
+                        certification; the paper's CHC bound is 2.618)
+    --slo-fast-ms <ms>  fast burn window (default 1000): over target
+                        here means Warn
+    --slo-slow-ms <ms>  slow burn window (default 60000): over target
+                        in BOTH windows means Breach
+
+    A breached SLO flips GET /readyz to 503 (body \"slo breach\") until
+    both windows recover; every state change is emitted as a structured
+    slo_breach telemetry event. GET /debug/vars exposes the rolling
+    windows, gauges and SLO statuses as one JSON document, and
+    /metrics grows *_rate / *_window_{rate,p50,p99,max} series.
+
+OPTIONS (slo / top):
+    --target <addr>     gateway host:port to query (required)
+    --iterations <n>    top: refresh n times before exiting (default 1)
+    --interval-ms <ms>  top: delay between refreshes (default 1000)
 
 OPTIONS (loadgen):
     --target <addr>     gateway host:port to drive (required)
@@ -236,6 +270,24 @@ pub struct CliArgs {
     pub rate: Option<f64>,
     /// `--slots-per-request` (loadgen: demand slots per request body)
     pub slots_per_request: usize,
+    /// `--sample-ms` (gateway: rolling-sample cadence; `Some(0)`
+    /// disables the background sampler)
+    pub sample_ms: Option<u64>,
+    /// `--slo-shed` (gateway: shed-fraction SLO threshold)
+    pub slo_shed: Option<f64>,
+    /// `--slo-p99-us` (gateway: request-p99 SLO threshold in
+    /// microseconds)
+    pub slo_p99_us: Option<f64>,
+    /// `--slo-ratio` (gateway: empirical competitive-ratio SLO bound)
+    pub slo_ratio: Option<f64>,
+    /// `--slo-fast-ms` (gateway: fast burn window)
+    pub slo_fast_ms: Option<u64>,
+    /// `--slo-slow-ms` (gateway: slow burn window)
+    pub slo_slow_ms: Option<u64>,
+    /// `--iterations` (top: refresh count)
+    pub iterations: usize,
+    /// `--interval-ms` (top: delay between refreshes)
+    pub interval_ms: u64,
 }
 
 /// Parses a stream count with an optional `k`/`M` suffix (`250k`,
@@ -279,6 +331,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, Box<dyn Error>> {
         requests: 1_000,
         connections: 4,
         slots_per_request: 4,
+        iterations: 1,
+        interval_ms: 1_000,
         ..Default::default()
     };
     let mut i = 1;
@@ -473,6 +527,79 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, Box<dyn Error>> {
                 }
                 i += 2;
             }
+            "--sample-ms" => {
+                out.sample_ms = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|_| CliError::boxed("--sample-ms expects a u64 (0 disables)"))?,
+                );
+                i += 2;
+            }
+            "--slo-shed" => {
+                let f: f64 = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--slo-shed expects a fraction in (0, 1]"))?;
+                if !f.is_finite() || f <= 0.0 || f > 1.0 {
+                    return Err(CliError::boxed("--slo-shed must be a fraction in (0, 1]"));
+                }
+                out.slo_shed = Some(f);
+                i += 2;
+            }
+            "--slo-p99-us" => {
+                let us: f64 = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--slo-p99-us expects microseconds > 0"))?;
+                if !us.is_finite() || us <= 0.0 {
+                    return Err(CliError::boxed("--slo-p99-us must be > 0"));
+                }
+                out.slo_p99_us = Some(us);
+                i += 2;
+            }
+            "--slo-ratio" => {
+                let bound: f64 = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--slo-ratio expects a bound > 1"))?;
+                if !bound.is_finite() || bound <= 1.0 {
+                    return Err(CliError::boxed("--slo-ratio must be > 1"));
+                }
+                out.slo_ratio = Some(bound);
+                i += 2;
+            }
+            "--slo-fast-ms" => {
+                let ms: u64 = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--slo-fast-ms expects milliseconds >= 1"))?;
+                if ms == 0 {
+                    return Err(CliError::boxed("--slo-fast-ms must be at least 1"));
+                }
+                out.slo_fast_ms = Some(ms);
+                i += 2;
+            }
+            "--slo-slow-ms" => {
+                let ms: u64 = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--slo-slow-ms expects milliseconds >= 1"))?;
+                if ms == 0 {
+                    return Err(CliError::boxed("--slo-slow-ms must be at least 1"));
+                }
+                out.slo_slow_ms = Some(ms);
+                i += 2;
+            }
+            "--iterations" => {
+                out.iterations = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--iterations expects a usize >= 1"))?;
+                if out.iterations == 0 {
+                    return Err(CliError::boxed("--iterations must be at least 1"));
+                }
+                i += 2;
+            }
+            "--interval-ms" => {
+                out.interval_ms = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--interval-ms expects a u64"))?;
+                i += 2;
+            }
             other => return Err(CliError::boxed(format!("unknown flag {other}"))),
         }
     }
@@ -519,6 +646,7 @@ fn telemetry_for(args: &CliArgs) -> Telemetry {
         Telemetry::enabled()
     };
     jocal_gateway::preregister_headline_metrics(&telemetry);
+    telemetry.register_build_info();
     telemetry
 }
 
@@ -585,6 +713,11 @@ fn write_telemetry_outputs(
         let body = serde_json::to_string(header)
             .map_err(|e| CliError::boxed(format!("header serialization failed: {e}")))?;
         writeln!(w, "{{\"kind\":\"header\",\"data\":{body}}}")?;
+        writeln!(
+            w,
+            "{{\"kind\":\"build_info\",\"data\":{}}}",
+            BuildInfo::current().json()
+        )?;
         telemetry.write_events_jsonl(&mut w)?;
         telemetry.write_snapshot_jsonl(&mut w)?;
         w.flush()?;
@@ -878,6 +1011,12 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
         "loadgen" => {
             run_loadgen_command(args, out)?;
         }
+        "slo" => {
+            run_slo_command(args, out)?;
+        }
+        "top" => {
+            run_top_command(args, out)?;
+        }
         other => {
             return Err(CliError::boxed(format!(
                 "unknown command `{other}`; run `jocal help`"
@@ -1160,10 +1299,13 @@ pub fn run_gateway(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), B
         );
     }
 
+    let observability = observability_config(args);
+    let slo_count = observability.slos.len();
     let gateway_cfg = GatewayConfig {
         addr: args.addr.clone().unwrap_or_else(|| "127.0.0.1:0".into()),
         http_workers: args.http_workers,
         queue_capacity: args.queue,
+        observability,
         ..GatewayConfig::default()
     };
     let gateway = Gateway::start(
@@ -1179,6 +1321,12 @@ pub fn run_gateway(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), B
         "listening on {addr} ({} cells, {} shards, queue watermark {})",
         args.cells, args.shards, args.queue
     )?;
+    if slo_count > 0 {
+        writeln!(
+            out,
+            "slo watchdog       {slo_count} objective(s); breaches flip /readyz to 503"
+        )?;
+    }
     out.flush()?;
     if let Some(path) = &args.addr_out {
         fs::write(path, format!("{addr}\n"))
@@ -1287,6 +1435,259 @@ pub fn run_loadgen_command(
     Ok(())
 }
 
+/// Translates the `--slo-*` / `--sample-ms` flags into the gateway's
+/// [`ObservabilityConfig`]. Custom fast/slow windows are also added to
+/// the rolling-window set so `/debug/vars` shows exactly the windows
+/// the SLO engine burns against.
+fn observability_config(args: &CliArgs) -> ObservabilityConfig {
+    use std::time::Duration;
+    let mut obs = ObservabilityConfig::default();
+    if let Some(ms) = args.sample_ms {
+        obs.sample_interval = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if let Some(ms) = args.slo_fast_ms {
+        obs.fast_window = Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.slo_slow_ms {
+        obs.slow_window = Duration::from_millis(ms);
+    }
+    for w in [obs.fast_window, obs.slow_window] {
+        if !obs.windows.contains(&w) {
+            obs.windows.push(w);
+        }
+    }
+    obs.windows.sort();
+    if let Some(fraction) = args.slo_shed {
+        obs.slos.push(SloSpec::share_below(
+            "shed_fraction",
+            "gateway_rejected_overload",
+            "gateway_requests",
+            fraction,
+        ));
+    }
+    if let Some(us) = args.slo_p99_us {
+        obs.slos.push(SloSpec::p99_below(
+            "request_p99_us",
+            "gateway_request_us",
+            us,
+        ));
+    }
+    if let Some(bound) = args.slo_ratio {
+        obs.slos.push(SloSpec::gauge_below(
+            "empirical_ratio",
+            "serve_empirical_ratio",
+            bound,
+        ));
+    }
+    obs
+}
+
+/// Fetches and parses `GET /debug/vars` from a running gateway.
+fn fetch_debug_vars(target: &str) -> Result<serde::Value, Box<dyn Error>> {
+    let mut client = HttpClient::connect(target, std::time::Duration::from_secs(5))
+        .map_err(|e| CliError::boxed(format!("cannot connect to {target}: {e}")))?;
+    let resp = client
+        .request("GET", "/debug/vars", b"")
+        .map_err(|e| CliError::boxed(format!("GET /debug/vars failed: {e}")))?;
+    if resp.status != 200 {
+        return Err(CliError::boxed(format!(
+            "GET /debug/vars returned {}",
+            resp.status
+        )));
+    }
+    serde_json::from_slice(&resp.body)
+        .map_err(|e| CliError::boxed(format!("bad /debug/vars JSON: {e}")))
+}
+
+fn value_f64(v: &serde::Value) -> f64 {
+    match v {
+        serde::Value::Int(i) => *i as f64,
+        serde::Value::Float(f) => *f,
+        _ => 0.0,
+    }
+}
+
+fn value_str(v: &serde::Value) -> &str {
+    match v {
+        serde::Value::Str(s) => s,
+        _ => "?",
+    }
+}
+
+fn field_f64(obj: &serde::Value, key: &str) -> f64 {
+    obj.get(key).map(value_f64).unwrap_or(0.0)
+}
+
+fn field_str<'a>(obj: &'a serde::Value, key: &str) -> &'a str {
+    obj.get(key).map(value_str).unwrap_or("?")
+}
+
+fn series_label<'a>(series: &'a serde::Value, key: &str) -> Option<&'a str> {
+    match series.get("labels")?.get(key)? {
+        serde::Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Runs `jocal slo`: one-shot SLO burn-rate report from a running
+/// gateway's `/debug/vars`.
+///
+/// # Errors
+///
+/// Requires `--target`; propagates connection and parse failures.
+pub fn run_slo_command(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let target = args
+        .target
+        .as_deref()
+        .ok_or_else(|| CliError::boxed("slo requires --target <host:port>"))?;
+    let vars = fetch_debug_vars(target)?;
+    if let Some(build) = vars.get("build") {
+        writeln!(
+            out,
+            "build    {} @ {} ({})",
+            field_str(build, "version"),
+            field_str(build, "git_sha"),
+            field_str(build, "profile")
+        )?;
+    }
+    let ready = matches!(vars.get("ready"), Some(serde::Value::Bool(true)));
+    writeln!(out, "ready    {}", if ready { "yes" } else { "NO (503)" })?;
+    match vars.get("slos") {
+        Some(serde::Value::Array(slos)) if !slos.is_empty() => {
+            writeln!(
+                out,
+                "{:<18} {:<7} {:>12} {:>12} {:>9} {:>9} {:>12}",
+                "SLO", "STATE", "FAST", "SLOW", "BURN_F", "BURN_S", "THRESHOLD"
+            )?;
+            for s in slos {
+                writeln!(
+                    out,
+                    "{:<18} {:<7} {:>12.4} {:>12.4} {:>9.2} {:>9.2} {:>12.4}",
+                    field_str(s, "name"),
+                    field_str(s, "state"),
+                    field_f64(s, "value_fast"),
+                    field_f64(s, "value_slow"),
+                    field_f64(s, "burn_fast"),
+                    field_f64(s, "burn_slow"),
+                    field_f64(s, "threshold")
+                )?;
+            }
+        }
+        _ => writeln!(
+            out,
+            "no SLOs configured (start the gateway with --slo-shed / --slo-p99-us / --slo-ratio)"
+        )?,
+    }
+    Ok(())
+}
+
+/// Runs `jocal top`: a one-line-per-shard live view of a running
+/// gateway, refreshed `--iterations` times `--interval-ms` apart.
+///
+/// # Errors
+///
+/// Requires `--target`; propagates connection and parse failures.
+pub fn run_top_command(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let target = args
+        .target
+        .as_deref()
+        .ok_or_else(|| CliError::boxed("top requires --target <host:port>"))?;
+    for iteration in 0..args.iterations {
+        if iteration > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+        }
+        let vars = fetch_debug_vars(target)?;
+        render_top(&vars, out)?;
+    }
+    Ok(())
+}
+
+/// Renders one `jocal top` frame from a parsed `/debug/vars` document:
+/// a gateway headline (request rate/p99 over the shortest window) and
+/// one line per shard with slot/request rates and slot staleness.
+fn render_top(vars: &serde::Value, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let ready = matches!(vars.get("ready"), Some(serde::Value::Bool(true)));
+    let at_us = field_f64(vars, "at_us");
+    let empty = Vec::new();
+    let windows = match vars.get("windows") {
+        Some(serde::Value::Array(w)) => w,
+        _ => &empty,
+    };
+    let Some(view) = windows.first() else {
+        writeln!(
+            out,
+            "no rolling window formed yet (need two samples; is the sampler running?)"
+        )?;
+        return Ok(());
+    };
+    let counters = match view.get("counters") {
+        Some(serde::Value::Array(c)) => c.as_slice(),
+        _ => &[],
+    };
+    let histograms = match view.get("histograms") {
+        Some(serde::Value::Array(h)) => h.as_slice(),
+        _ => &[],
+    };
+    let rate_of = |name: &str, shard: Option<&str>| -> f64 {
+        counters
+            .iter()
+            .filter(|c| field_str(c, "name") == name)
+            .filter(|c| match shard {
+                Some(id) => series_label(c, "shard") == Some(id),
+                None => true,
+            })
+            .map(|c| field_f64(c, "rate"))
+            .sum()
+    };
+    let request_hist = histograms
+        .iter()
+        .find(|h| field_str(h, "name") == "gateway_request_us");
+    writeln!(
+        out,
+        "[{}] ready {}  http {:.1} req/s  p99 {:.0}us  demand {:.1} slots/s",
+        field_str(view, "window"),
+        if ready { "yes" } else { "NO" },
+        rate_of("gateway_requests", None),
+        request_hist.map(|h| field_f64(h, "p99")).unwrap_or(0.0),
+        rate_of("cluster_slots_total", None),
+    )?;
+    let mut shards: Vec<usize> = counters
+        .iter()
+        .filter(|c| field_str(c, "name") == "cluster_slots_total")
+        .filter_map(|c| series_label(c, "shard"))
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    shards.sort_unstable();
+    shards.dedup();
+    let gauges = match vars.get("gauges") {
+        Some(serde::Value::Array(g)) => g.as_slice(),
+        _ => &[],
+    };
+    for shard in shards {
+        let id = shard.to_string();
+        let stamp = gauges
+            .iter()
+            .filter(|g| field_str(g, "name") == "cluster_shard_last_slot_us")
+            .find(|g| series_label(g, "shard") == Some(id.as_str()))
+            .map(|g| field_f64(g, "value"))
+            .unwrap_or(0.0);
+        let staleness = if stamp > 0.0 && at_us >= stamp {
+            format!("{:.2}s ago", (at_us - stamp) / 1e6)
+        } else {
+            "n/a".to_string()
+        };
+        writeln!(
+            out,
+            "shard {:<3} slots/s {:>8.1}  req/s {:>10.1}  last slot {}",
+            id,
+            rate_of("cluster_slots_total", Some(&id)),
+            rate_of("cluster_requests_total", Some(&id)),
+            staleness
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1324,6 +1725,120 @@ mod tests {
         assert!(parse_args(&strings(&["run", "--bogus", "1"])).is_err());
         assert!(parse_args(&strings(&["run", "--seed"])).is_err());
         assert!(parse_args(&strings(&["run", "--seed", "abc"])).is_err());
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let args = parse_args(&strings(&[
+            "gateway",
+            "--slo-shed",
+            "0.05",
+            "--slo-p99-us",
+            "50000",
+            "--slo-ratio",
+            "2.618",
+            "--slo-fast-ms",
+            "500",
+            "--slo-slow-ms",
+            "5000",
+            "--sample-ms",
+            "50",
+        ]))
+        .unwrap();
+        assert_eq!(args.slo_shed, Some(0.05));
+        assert_eq!(args.slo_p99_us, Some(50_000.0));
+        assert_eq!(args.slo_ratio, Some(2.618));
+        assert_eq!(args.slo_fast_ms, Some(500));
+        assert_eq!(args.slo_slow_ms, Some(5_000));
+        assert_eq!(args.sample_ms, Some(50));
+        let obs = observability_config(&args);
+        assert_eq!(obs.slos.len(), 3);
+        assert_eq!(obs.fast_window, std::time::Duration::from_millis(500));
+        assert_eq!(obs.slow_window, std::time::Duration::from_millis(5_000));
+        // Custom burn windows join the rolling-window set, sorted.
+        assert!(obs.windows.contains(&std::time::Duration::from_millis(500)));
+        assert!(obs.windows.is_sorted());
+        assert_eq!(
+            obs.sample_interval,
+            Some(std::time::Duration::from_millis(50))
+        );
+
+        // --sample-ms 0 disables the background sampler.
+        let manual = parse_args(&strings(&["gateway", "--sample-ms", "0"])).unwrap();
+        assert_eq!(observability_config(&manual).sample_interval, None);
+
+        // Thresholds are validated.
+        assert!(parse_args(&strings(&["gateway", "--slo-shed", "-1"])).is_err());
+        assert!(parse_args(&strings(&["gateway", "--slo-shed", "1.5"])).is_err());
+        assert!(parse_args(&strings(&["gateway", "--slo-ratio", "0.9"])).is_err());
+        assert!(parse_args(&strings(&["gateway", "--slo-fast-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_top_flags_and_requires_target() {
+        let args = parse_args(&strings(&[
+            "top",
+            "--target",
+            "127.0.0.1:1",
+            "--iterations",
+            "3",
+            "--interval-ms",
+            "10",
+        ]))
+        .unwrap();
+        assert_eq!(args.command, "top");
+        assert_eq!(args.iterations, 3);
+        assert_eq!(args.interval_ms, 10);
+        assert!(parse_args(&strings(&["top", "--iterations", "0"])).is_err());
+        // Both slo and top refuse to run without --target.
+        for cmd in ["slo", "top"] {
+            let args = parse_args(&strings(&[cmd])).unwrap();
+            let mut buf = Vec::new();
+            let err = execute(&args, &mut buf).unwrap_err();
+            assert!(err.to_string().contains("--target"));
+        }
+    }
+
+    #[test]
+    fn render_top_reads_debug_vars_document() {
+        let doc = r#"{
+            "build": {"version": "0.1.0", "git_sha": "abc", "profile": "debug"},
+            "ready": true,
+            "at_us": 5000000,
+            "windows": [{
+                "window": "1s", "window_us": 1000000, "at_us": 5000000, "span_us": 1000000,
+                "counters": [
+                    {"name": "gateway_requests", "delta": 100, "rate": 100.0},
+                    {"name": "cluster_slots_total", "labels": {"shard": "0"}, "delta": 10, "rate": 10.0},
+                    {"name": "cluster_slots_total", "labels": {"shard": "1"}, "delta": 30, "rate": 30.0},
+                    {"name": "cluster_requests_total", "labels": {"shard": "0"}, "delta": 500, "rate": 500.0}
+                ],
+                "histograms": [
+                    {"name": "gateway_request_us", "count": 100, "rate": 100.0, "p50": 80.0, "p99": 240.0, "max": 255}
+                ]
+            }],
+            "gauges": [
+                {"name": "cluster_shard_last_slot_us", "labels": {"shard": "0"}, "value": 4000000}
+            ],
+            "slos": [
+                {"name": "shed_fraction", "state": "warn", "value_fast": 0.5,
+                 "value_slow": 0.01, "burn_fast": 10.0, "burn_slow": 0.2, "threshold": 0.05}
+            ]
+        }"#;
+        let vars: serde::Value = serde_json::from_str(doc).unwrap();
+        let mut buf = Vec::new();
+        render_top(&vars, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("ready yes"), "{text}");
+        assert!(text.contains("http 100.0 req/s"), "{text}");
+        assert!(text.contains("p99 240us"), "{text}");
+        // Total demand rate sums shard series; per-shard lines split it.
+        assert!(text.contains("demand 40.0 slots/s"), "{text}");
+        assert!(text.contains("shard 0"), "{text}");
+        assert!(text.contains("shard 1"), "{text}");
+        assert!(text.contains("1.00s ago"), "{text}");
+        // Shard 1 never wrote its staleness gauge.
+        assert!(text.contains("n/a"), "{text}");
     }
 
     #[test]

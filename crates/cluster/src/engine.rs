@@ -30,7 +30,7 @@ use jocal_serve::cell::CellCore;
 use jocal_serve::error::ServeError;
 use jocal_serve::metrics::{MetricsSink, RatioRecord, RunHeader, ServeSummary, SlotMetrics};
 use jocal_serve::source::DemandSource;
-use jocal_telemetry::{Counter, Telemetry};
+use jocal_telemetry::{monotonic_us, Counter, Gauge, Telemetry};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 
@@ -75,6 +75,9 @@ struct ShardSink {
     inner: Box<dyn MetricsSink + Send>,
     slots: Counter,
     requests: Counter,
+    /// Monotonic timestamp of the shard's last slot record — the
+    /// per-shard staleness signal a `GaugeAgeUs` SLO watches.
+    last_slot_us: Gauge,
 }
 
 impl MetricsSink for ShardSink {
@@ -85,6 +88,7 @@ impl MetricsSink for ShardSink {
     fn slot(&mut self, metrics: &SlotMetrics) -> Result<(), ServeError> {
         self.slots.incr();
         self.requests.add(metrics.requests);
+        self.last_slot_us.set(monotonic_us() as f64);
         self.inner.slot(metrics)
     }
 
@@ -222,6 +226,11 @@ impl ClusterEngine {
                 requests: self
                     .telemetry
                     .counter_with("cluster_requests_total", "shard", &label),
+                last_slot_us: self.telemetry.gauge_with(
+                    "cluster_shard_last_slot_us",
+                    "shard",
+                    &label,
+                ),
             };
             let core = match CellCore::start(
                 &network,

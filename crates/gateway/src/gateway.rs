@@ -23,7 +23,7 @@
 
 use crate::error::GatewayError;
 use crate::http::{read_request, write_response, HttpLimits, ReadOutcome, Request, Response};
-use crate::ring::{bounded_slot_ring, IngressHandle, PushError};
+use crate::ring::{bounded_slot_ring, IngressHandle, PushError, SlotTag, RETRY_AFTER_MIN_SECS};
 use crate::source::NetworkDemandSource;
 use jocal_cluster::{Cell, ClusterConfig, ClusterEngine, ClusterError, ClusterReport};
 use jocal_core::plan::CacheState;
@@ -34,7 +34,10 @@ use jocal_serve::source::{ChunkedTraceReader, DemandSource as _};
 use jocal_serve::{ServeConfig, ServeError};
 use jocal_sim::demand::DemandTrace;
 use jocal_sim::topology::Network;
-use jocal_telemetry::{Counter, Gauge, Histogram, Telemetry, PROMETHEUS_CONTENT_TYPE};
+use jocal_telemetry::{
+    monotonic_us, BuildInfo, Counter, FieldValue, Gauge, Histogram, RollingCollector, SloEngine,
+    SloSpec, SloStatus, Telemetry, PROMETHEUS_CONTENT_TYPE,
+};
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -62,6 +65,9 @@ pub struct GatewayConfig {
     pub read_timeout: Duration,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
+    /// Rolling time-series and SLO watchdog knobs. Inert when the
+    /// gateway's telemetry is disabled.
+    pub observability: ObservabilityConfig,
 }
 
 impl Default for GatewayConfig {
@@ -73,8 +79,91 @@ impl Default for GatewayConfig {
             pending_connections: 128,
             read_timeout: Duration::from_secs(5),
             max_body_bytes: 16 << 20,
+            observability: ObservabilityConfig::default(),
         }
     }
+}
+
+/// Knobs for the gateway's observability runtime: the rolling
+/// time-series collector behind `GET /debug/vars` and the `_rate` /
+/// `_window` Prometheus series, plus the SLO burn-rate watchdog that
+/// flips `/readyz` on breach.
+///
+/// The runtime only exists when the gateway's [`Telemetry`] is
+/// enabled; with disabled telemetry every knob here is inert and the
+/// request path is byte-identical to a gateway without observability.
+#[derive(Debug, Clone)]
+pub struct ObservabilityConfig {
+    /// Rolling aggregation windows (default 1s / 10s / 60s).
+    pub windows: Vec<Duration>,
+    /// Background sampling cadence. `None` disables the sampler
+    /// thread: samples are then taken only on explicit
+    /// [`GatewayHandle::observe_at`] calls, which is what deterministic
+    /// tests use.
+    pub sample_interval: Option<Duration>,
+    /// Declarative objectives; empty means `/readyz` is driven by the
+    /// drain state alone.
+    pub slos: Vec<SloSpec>,
+    /// Fast burn window (default 1s): trips Warn.
+    pub fast_window: Duration,
+    /// Slow burn window (default 60s): Breach needs both windows over
+    /// target.
+    pub slow_window: Duration,
+}
+
+impl Default for ObservabilityConfig {
+    fn default() -> Self {
+        ObservabilityConfig {
+            windows: vec![
+                Duration::from_secs(1),
+                Duration::from_secs(10),
+                Duration::from_secs(60),
+            ],
+            sample_interval: Some(Duration::from_millis(250)),
+            slos: Vec::new(),
+            fast_window: Duration::from_secs(1),
+            slow_window: Duration::from_secs(60),
+        }
+    }
+}
+
+impl ObservabilityConfig {
+    fn duration_us(d: Duration) -> u64 {
+        u64::try_from(d.as_micros()).unwrap_or(u64::MAX).max(1)
+    }
+
+    fn build_runtime(&self, telemetry: &Telemetry) -> Option<Mutex<ObsRuntime>> {
+        if !telemetry.is_enabled() {
+            return None;
+        }
+        let windows_us: Vec<u64> = self
+            .windows
+            .iter()
+            .copied()
+            .map(Self::duration_us)
+            .collect();
+        let collector = if windows_us.is_empty() {
+            RollingCollector::new(telemetry.clone())
+        } else {
+            RollingCollector::with_windows(telemetry.clone(), &windows_us)
+        };
+        let slo = SloEngine::new(
+            self.slos.clone(),
+            Self::duration_us(self.fast_window),
+            Self::duration_us(self.slow_window),
+        );
+        Some(Mutex::new(ObsRuntime { collector, slo }))
+    }
+}
+
+/// The lock-guarded observability state: one collector feeding one SLO
+/// engine. Sampling is explicit (the background sampler thread or a
+/// test's `observe_at`), never on the request path, so holding the
+/// lock briefly in `/metrics` and `/debug/vars` handlers is the only
+/// contention.
+struct ObsRuntime {
+    collector: RollingCollector,
+    slo: SloEngine,
 }
 
 /// Everything one serving cell behind the gateway needs — the same
@@ -250,6 +339,9 @@ struct Shared {
     cells: Vec<CellIngress>,
     telemetry: Telemetry,
     obs: GatewayObs,
+    obs_runtime: Option<Mutex<ObsRuntime>>,
+    slo_breached: AtomicBool,
+    next_request_id: AtomicU64,
     draining: AtomicBool,
     http_stop: AtomicBool,
     requests: AtomicU64,
@@ -266,6 +358,53 @@ impl Shared {
         for cell in &self.cells {
             cell.handle.close();
         }
+    }
+
+    /// The request's id: the inbound `x-request-id` when present, else
+    /// one minted from a process-local counter so replayed runs produce
+    /// the same id sequence (no clocks, no randomness).
+    fn request_id_for(&self, req: &Request) -> String {
+        match &req.request_id {
+            Some(id) => id.clone(),
+            None => {
+                let n = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+                format!("jocal-{n:016x}")
+            }
+        }
+    }
+
+    /// Takes one rolling sample at `at_us` and re-evaluates every SLO,
+    /// latching the breach flag `/readyz` reads. No-op when telemetry
+    /// is disabled.
+    fn observe_at(&self, at_us: u64) {
+        let Some(runtime) = &self.obs_runtime else {
+            return;
+        };
+        let highwater = self
+            .cells
+            .iter()
+            .map(|c| c.handle.highwater())
+            .max()
+            .unwrap_or(0);
+        self.obs.queue_highwater.set(highwater as f64);
+        let mut guard = runtime.lock().expect("obs runtime poisoned");
+        let rt = &mut *guard;
+        rt.collector.sample(at_us);
+        if !rt.slo.is_empty() {
+            rt.slo.evaluate(&rt.collector, &self.telemetry);
+            self.slo_breached
+                .store(rt.slo.any_breached(), Ordering::SeqCst);
+        }
+    }
+
+    /// Worst-case (largest) drain-derived retry hint across all cells,
+    /// used when shedding at accept where no single cell is implied.
+    fn retry_after_hint(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.handle.suggested_retry_after_secs())
+            .max()
+            .unwrap_or(RETRY_AFTER_MIN_SECS)
     }
 
     fn note_rejected(&self) {
@@ -320,6 +459,40 @@ impl GatewayHandle {
     pub fn stats(&self) -> GatewayStats {
         self.shared.stats()
     }
+
+    /// Takes one rolling sample at an explicit timestamp and
+    /// re-evaluates every SLO. Deterministic tests drive the whole
+    /// Warn → Breach → recover timeline through this; production uses
+    /// the background sampler (same code path, wall-clock stamps).
+    pub fn observe_at(&self, at_us: u64) {
+        self.shared.observe_at(at_us);
+    }
+
+    /// [`Self::observe_at`] with the current monotonic timestamp.
+    pub fn observe_now(&self) {
+        self.shared.observe_at(monotonic_us());
+    }
+
+    /// Whether any SLO is currently in breach (what flips `/readyz`).
+    #[must_use]
+    pub fn slo_breached(&self) -> bool {
+        self.shared.slo_breached.load(Ordering::SeqCst)
+    }
+
+    /// Latest evaluation of every configured SLO. Empty when telemetry
+    /// is disabled or no SLOs are configured.
+    #[must_use]
+    pub fn slo_statuses(&self) -> Vec<SloStatus> {
+        match &self.shared.obs_runtime {
+            Some(runtime) => runtime
+                .lock()
+                .expect("obs runtime poisoned")
+                .slo
+                .statuses()
+                .to_vec(),
+            None => Vec::new(),
+        }
+    }
 }
 
 /// A running gateway: HTTP frontend plus the serving cluster behind it.
@@ -367,13 +540,14 @@ impl Gateway {
         // Resolve every gateway metric up front so a 0-traffic scrape
         // already exposes the full name set.
         let obs = GatewayObs::resolve(telemetry);
+        telemetry.register_build_info();
 
         let mut ingress = Vec::with_capacity(cells.len());
         let mut cluster_cells = Vec::with_capacity(cells.len());
         for (id, spec) in cells.into_iter().enumerate() {
             let depth_gauge = telemetry.gauge_with("gateway_queue_depth", "cell", &id.to_string());
             let (handle, queue) = bounded_slot_ring(config.queue_capacity, depth_gauge);
-            let mut source = NetworkDemandSource::new(queue);
+            let mut source = NetworkDemandSource::new(queue).with_attribution(telemetry, id);
             if let Some(slots) = spec.expected_slots {
                 source = source.with_expected_slots(slots);
             }
@@ -400,6 +574,9 @@ impl Gateway {
             cells: ingress,
             telemetry: telemetry.clone(),
             obs,
+            obs_runtime: config.observability.build_runtime(telemetry),
+            slo_breached: AtomicBool::new(false),
+            next_request_id: AtomicU64::new(1),
             draining: AtomicBool::new(false),
             http_stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
@@ -430,7 +607,7 @@ impl Gateway {
                 .name("jocal-gateway-accept".to_string())
                 .spawn(move || acceptor_loop(&shared, &listener, &conns))?
         };
-        let workers = (0..config.http_workers)
+        let mut workers = (0..config.http_workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let conns = Arc::clone(&conns);
@@ -439,6 +616,21 @@ impl Gateway {
                     .spawn(move || worker_loop(&shared, &conns))
             })
             .collect::<Result<Vec<_>, _>>()?;
+        if shared.obs_runtime.is_some() {
+            if let Some(interval) = config.observability.sample_interval {
+                let shared = Arc::clone(&shared);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name("jocal-gateway-obs".to_string())
+                        .spawn(move || {
+                            while !shared.http_stop.load(Ordering::SeqCst) {
+                                shared.observe_at(monotonic_us());
+                                std::thread::sleep(interval);
+                            }
+                        })?,
+                );
+            }
+        }
 
         Ok(Gateway {
             shared,
@@ -508,10 +700,12 @@ fn acceptor_loop(shared: &Shared, listener: &TcpListener, conns: &ConnQueue) {
         match listener.accept() {
             Ok((stream, _)) => {
                 if let Err(stream) = conns.try_push(stream) {
-                    // Accept-queue overload: shed immediately.
+                    // Accept-queue overload: shed immediately, hinting
+                    // the worst-case ring drain time since no cell is
+                    // implied before the request is even read.
                     shared.note_rejected();
                     let resp = Response {
-                        extra: vec![("Retry-After", "1".to_string())],
+                        extra: vec![("Retry-After", shared.retry_after_hint().to_string())],
                         close: true,
                         ..Response::new(429, "Too Many Requests", "accept queue full\n")
                     };
@@ -554,7 +748,9 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 let started = Instant::now();
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 shared.obs.requests.incr();
-                let resp = route(shared, &req);
+                let rid = shared.request_id_for(&req);
+                let mut resp = route(shared, &req, &rid);
+                resp.extra.push(("X-Request-Id", rid));
                 let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                 shared.obs.request_us.observe(us);
                 // Drains close connections after the in-flight response
@@ -589,18 +785,21 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
-fn route(shared: &Shared, req: &Request) -> Response {
+fn route(shared: &Shared, req: &Request, rid: &str) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::new(200, "OK", "ok\n"),
         ("GET", "/readyz") => {
             if shared.draining.load(Ordering::SeqCst) {
                 Response::new(503, "Service Unavailable", "draining\n")
+            } else if shared.slo_breached.load(Ordering::SeqCst) {
+                Response::new(503, "Service Unavailable", "slo breach\n")
             } else {
                 Response::new(200, "OK", "ready\n")
             }
         }
         ("GET", "/metrics") => metrics_response(shared),
-        ("POST", "/v1/demand") => ingest(shared, req),
+        ("GET", "/debug/vars") => debug_vars_response(shared),
+        ("POST", "/v1/demand") => ingest(shared, req, rid),
         ("POST", "/v1/shutdown") => {
             shared.drain();
             Response {
@@ -608,9 +807,10 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 ..Response::json(200, "OK", "{\"draining\":true}\n")
             }
         }
-        (_, "/healthz" | "/readyz" | "/metrics" | "/v1/demand" | "/v1/shutdown") => {
-            Response::new(405, "Method Not Allowed", "method not allowed\n")
-        }
+        (
+            _,
+            "/healthz" | "/readyz" | "/metrics" | "/debug/vars" | "/v1/demand" | "/v1/shutdown",
+        ) => Response::new(405, "Method Not Allowed", "method not allowed\n"),
         _ => Response::new(404, "Not Found", "unknown path\n"),
     }
 }
@@ -627,13 +827,41 @@ fn metrics_response(shared: &Shared) -> Response {
     if shared.telemetry.write_prometheus(&mut body).is_err() {
         return Response::new(500, "Internal Server Error", "export failed\n");
     }
+    if let Some(runtime) = &shared.obs_runtime {
+        let rt = runtime.lock().expect("obs runtime poisoned");
+        if rt.collector.write_prometheus_windows(&mut body).is_err() {
+            return Response::new(500, "Internal Server Error", "export failed\n");
+        }
+    }
     Response {
         content_type: PROMETHEUS_CONTENT_TYPE,
         ..Response::new(200, "OK", body)
     }
 }
 
-fn ingest(shared: &Shared, req: &Request) -> Response {
+/// `GET /debug/vars`: one JSON document with the build stamp, readiness,
+/// every rolling window, the latest gauges and the SLO statuses —
+/// machine-readable state for `jocal slo` / `jocal top` without parsing
+/// Prometheus text.
+fn debug_vars_response(shared: &Shared) -> Response {
+    let Some(runtime) = &shared.obs_runtime else {
+        return Response::json(200, "OK", "{\"telemetry\":\"disabled\"}\n");
+    };
+    let rt = runtime.lock().expect("obs runtime poisoned");
+    let ready =
+        !shared.draining.load(Ordering::SeqCst) && !shared.slo_breached.load(Ordering::SeqCst);
+    let body = format!(
+        "{{\"build\":{},\"ready\":{ready},\"at_us\":{},\"windows\":{},\"gauges\":{},\"slos\":{}}}\n",
+        BuildInfo::current().json(),
+        rt.collector.latest_at_us().unwrap_or(0),
+        rt.collector.windows_json(),
+        rt.collector.gauges_json(),
+        rt.slo.statuses_json(),
+    );
+    Response::json(200, "OK", body)
+}
+
+fn ingest(shared: &Shared, req: &Request, rid: &str) -> Response {
     let cell_id = match req.query_param("cell") {
         Some(raw) => match raw.parse::<usize>() {
             Ok(id) => id,
@@ -660,7 +888,12 @@ fn ingest(shared: &Shared, req: &Request) -> Response {
         }
     };
     let accepted = slots.len();
-    match cell.handle.try_push_batch(slots) {
+    let tag: SlotTag = if shared.telemetry.is_enabled() {
+        Some(Arc::from(rid))
+    } else {
+        None
+    };
+    match cell.handle.try_push_batch_tagged(slots, tag) {
         Ok(depth) => Response::json(
             202,
             "Accepted",
@@ -668,8 +901,19 @@ fn ingest(shared: &Shared, req: &Request) -> Response {
         ),
         Err(PushError::Overloaded { depth, capacity }) => {
             shared.note_rejected();
+            let retry = cell.handle.suggested_retry_after_secs();
+            shared.telemetry.event(
+                "gateway_shed",
+                &[
+                    ("request_id", FieldValue::Text(rid.to_string())),
+                    ("cell", FieldValue::U64(cell_id as u64)),
+                    ("depth", FieldValue::U64(depth as u64)),
+                    ("capacity", FieldValue::U64(capacity as u64)),
+                    ("retry_after_secs", FieldValue::U64(retry)),
+                ],
+            );
             Response {
-                extra: vec![("Retry-After", "1".to_string())],
+                extra: vec![("Retry-After", retry.to_string())],
                 ..Response::new(
                     429,
                     "Too Many Requests",

@@ -41,7 +41,15 @@ pub(crate) struct Request {
     pub body: Vec<u8>,
     /// Whether the client wants the connection kept open.
     pub keep_alive: bool,
+    /// Inbound `x-request-id` header, if the client sent one (trimmed,
+    /// bounded at [`MAX_REQUEST_ID_BYTES`]). The gateway echoes it —
+    /// or a generated id — on every response.
+    pub request_id: Option<String>,
 }
+
+/// Longest accepted inbound `x-request-id`; longer values are truncated
+/// at a char boundary rather than rejected.
+pub(crate) const MAX_REQUEST_ID_BYTES: usize = 128;
 
 impl Request {
     /// Looks up a `key=value` pair in the query string.
@@ -106,6 +114,7 @@ pub(crate) fn read_request(
     let mut content_length: usize = 0;
     let mut keep_alive = http11;
     let mut expect_continue = false;
+    let mut request_id: Option<String> = None;
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -145,6 +154,17 @@ pub(crate) fn read_request(
                 }
             }
             "expect" => expect_continue = value.eq_ignore_ascii_case("100-continue"),
+            "x-request-id" if !value.is_empty() => {
+                let mut id = value.to_string();
+                if id.len() > MAX_REQUEST_ID_BYTES {
+                    let mut cut = MAX_REQUEST_ID_BYTES;
+                    while !id.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    id.truncate(cut);
+                }
+                request_id = Some(id);
+            }
             _ => {}
         }
     }
@@ -168,6 +188,7 @@ pub(crate) fn read_request(
         query,
         body,
         keep_alive,
+        request_id,
     }))
 }
 
@@ -306,11 +327,34 @@ impl HttpClient {
         target: &str,
         body: &[u8],
     ) -> io::Result<ClientResponse> {
-        let head = format!(
-            "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n",
+        self.request_with_headers(method, target, body, &[])
+    }
+
+    /// [`Self::request`] with extra request headers (e.g.
+    /// `x-request-id` for end-to-end attribution).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::request`].
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+        headers: &[(&str, &str)],
+    ) -> io::Result<ClientResponse> {
+        let mut head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n",
             self.host,
             body.len()
         );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(body)?;
         self.stream.flush()?;

@@ -46,10 +46,12 @@ pub mod ring;
 pub mod source;
 
 pub use error::GatewayError;
-pub use gateway::{CellSpec, Gateway, GatewayConfig, GatewayHandle, GatewayStats};
+pub use gateway::{
+    CellSpec, Gateway, GatewayConfig, GatewayHandle, GatewayStats, ObservabilityConfig,
+};
 pub use http::{ClientResponse, HttpClient};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenMode, LoadgenReport};
-pub use ring::{bounded_slot_ring, IngressHandle, PushError, SlotQueue};
+pub use ring::{bounded_slot_ring, retry_after_secs, IngressHandle, PushError, SlotQueue, SlotTag};
 pub use source::NetworkDemandSource;
 
 use jocal_telemetry::Telemetry;

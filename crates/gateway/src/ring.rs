@@ -14,6 +14,36 @@ use jocal_telemetry::Gauge;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
+/// Pop timestamps retained for the drain-rate estimate.
+const DRAIN_RATE_SAMPLES: usize = 64;
+
+/// Floor and ceiling for a computed `Retry-After`, in seconds.
+pub const RETRY_AFTER_MIN_SECS: u64 = 1;
+/// See [`RETRY_AFTER_MIN_SECS`].
+pub const RETRY_AFTER_MAX_SECS: u64 = 30;
+
+/// Seconds a shed client should wait before retrying, derived from the
+/// backlog and the observed drain rate: `ceil(pending / rate)`, clamped
+/// to `[1, 30]`. With no observed drain (a stalled or not-yet-started
+/// consumer) the estimate is the ceiling — retrying soon cannot help.
+#[must_use]
+pub fn retry_after_secs(pending: usize, drain_rate_per_sec: f64) -> u64 {
+    if pending == 0 {
+        return RETRY_AFTER_MIN_SECS;
+    }
+    if drain_rate_per_sec.is_nan() || drain_rate_per_sec <= 0.0 {
+        return RETRY_AFTER_MAX_SECS;
+    }
+    let secs = (pending as f64 / drain_rate_per_sec).ceil();
+    // f64→u64 casts saturate, so an absurd estimate still clamps.
+    (secs as u64).clamp(RETRY_AFTER_MIN_SECS, RETRY_AFTER_MAX_SECS)
+}
+
+/// A request tag carried with each admitted slot: which gateway request
+/// pushed it. Cheap to clone (`Arc<str>`); absent for slots admitted
+/// through the untagged path.
+pub type SlotTag = Option<Arc<str>>;
+
 /// Why a batch push was refused.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PushError {
@@ -31,9 +61,12 @@ pub enum PushError {
 
 #[derive(Debug)]
 struct RingState {
-    queue: VecDeque<DemandTrace>,
+    queue: VecDeque<(DemandTrace, SlotTag)>,
     closed: bool,
     highwater: usize,
+    /// Monotonic timestamps (µs) of recent pops, newest last — the
+    /// drain-rate estimator behind [`retry_after_secs`].
+    recent_pops: VecDeque<u64>,
 }
 
 #[derive(Debug)]
@@ -69,6 +102,7 @@ pub fn bounded_slot_ring(capacity: usize, depth_gauge: Gauge) -> (IngressHandle,
             queue: VecDeque::with_capacity(capacity.min(1024)),
             closed: false,
             highwater: 0,
+            recent_pops: VecDeque::with_capacity(DRAIN_RATE_SAMPLES),
         }),
         available: Condvar::new(),
         capacity,
@@ -92,6 +126,21 @@ impl IngressHandle {
     /// watermark, [`PushError::Closed`] after a drain. An empty batch on
     /// an open ring always succeeds.
     pub fn try_push_batch(&self, batch: Vec<DemandTrace>) -> Result<usize, PushError> {
+        self.try_push_batch_tagged(batch, None)
+    }
+
+    /// [`Self::try_push_batch`] with a request tag stamped on every
+    /// slot, so the consumer can attribute each slot back to the
+    /// gateway request that admitted it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::try_push_batch`].
+    pub fn try_push_batch_tagged(
+        &self,
+        batch: Vec<DemandTrace>,
+        tag: SlotTag,
+    ) -> Result<usize, PushError> {
         let mut state = self.shared.state.lock().expect("ring lock poisoned");
         if state.closed {
             return Err(PushError::Closed);
@@ -103,7 +152,9 @@ impl IngressHandle {
                 capacity: self.shared.capacity,
             });
         }
-        state.queue.extend(batch);
+        state
+            .queue
+            .extend(batch.into_iter().map(|slot| (slot, tag.clone())));
         let depth = state.queue.len();
         state.highwater = state.highwater.max(depth);
         self.shared.depth_gauge.set(depth as f64);
@@ -154,6 +205,31 @@ impl IngressHandle {
     pub fn is_closed(&self) -> bool {
         self.shared.state.lock().expect("ring lock poisoned").closed
     }
+
+    /// Slots per second the consumer has recently drained, estimated
+    /// over the last `DRAIN_RATE_SAMPLES` (64) pops. Zero until at
+    /// least two pops have been observed.
+    #[must_use]
+    pub fn drain_rate_per_sec(&self) -> f64 {
+        let state = self.shared.state.lock().expect("ring lock poisoned");
+        let pops = &state.recent_pops;
+        if pops.len() < 2 {
+            return 0.0;
+        }
+        let span_us = pops.back().unwrap().saturating_sub(*pops.front().unwrap());
+        if span_us == 0 {
+            return 0.0;
+        }
+        (pops.len() - 1) as f64 * 1e6 / span_us as f64
+    }
+
+    /// The `Retry-After` a shed producer should send: the current
+    /// backlog divided by the observed drain rate, via
+    /// [`retry_after_secs`].
+    #[must_use]
+    pub fn suggested_retry_after_secs(&self) -> u64 {
+        retry_after_secs(self.depth(), self.drain_rate_per_sec())
+    }
 }
 
 impl SlotQueue {
@@ -161,11 +237,23 @@ impl SlotQueue {
     /// Returns `None` once the ring is closed *and* drained.
     #[must_use]
     pub fn pop_blocking(&mut self) -> Option<DemandTrace> {
+        self.pop_blocking_tagged().map(|(slot, _)| slot)
+    }
+
+    /// [`Self::pop_blocking`], also returning the request tag the slot
+    /// was admitted under (if any).
+    #[must_use]
+    pub fn pop_blocking_tagged(&mut self) -> Option<(DemandTrace, SlotTag)> {
         let mut state = self.shared.state.lock().expect("ring lock poisoned");
         loop {
-            if let Some(slot) = state.queue.pop_front() {
+            if let Some(entry) = state.queue.pop_front() {
                 self.shared.depth_gauge.set(state.queue.len() as f64);
-                return Some(slot);
+                let now = jocal_telemetry::monotonic_us();
+                if state.recent_pops.len() >= DRAIN_RATE_SAMPLES {
+                    state.recent_pops.pop_front();
+                }
+                state.recent_pops.push_back(now);
+                return Some(entry);
             }
             if state.closed {
                 return None;
@@ -259,6 +347,57 @@ mod tests {
         // ...then the consumer sees end-of-stream instead of blocking.
         assert!(rx.pop_blocking().is_none());
         assert!(tx.is_closed());
+    }
+
+    #[test]
+    fn retry_after_is_backlog_over_drain_rate_clamped() {
+        // Empty ring: retry immediately.
+        assert_eq!(retry_after_secs(0, 100.0), 1);
+        // No observed drain: the ceiling, whatever the backlog.
+        assert_eq!(retry_after_secs(1, 0.0), 30);
+        assert_eq!(retry_after_secs(500, -1.0), 30);
+        assert_eq!(retry_after_secs(500, f64::NAN), 30);
+        // 10 pending at 5/s → ceil(2.0) = 2.
+        assert_eq!(retry_after_secs(10, 5.0), 2);
+        // Rounded up: 10 pending at 4/s → ceil(2.5) = 3.
+        assert_eq!(retry_after_secs(10, 4.0), 3);
+        // Fast drain clamps to the floor, slow drain to the ceiling.
+        assert_eq!(retry_after_secs(3, 1000.0), 1);
+        assert_eq!(retry_after_secs(10_000, 0.001), 30);
+        assert_eq!(retry_after_secs(usize::MAX, f64::MIN_POSITIVE), 30);
+    }
+
+    #[test]
+    fn drain_rate_needs_two_pops_then_tracks_consumption() {
+        let (tx, mut rx) = bounded_slot_ring(8, Gauge::disabled());
+        assert_eq!(tx.drain_rate_per_sec(), 0.0);
+        // With no drain observed the suggestion is the 30s ceiling.
+        tx.try_push_batch(vec![slot(); 4]).unwrap();
+        assert_eq!(tx.suggested_retry_after_secs(), 30);
+        let _ = rx.pop_blocking();
+        assert_eq!(tx.drain_rate_per_sec(), 0.0, "one pop is not a rate");
+        // Space the pops out so the measured span is nonzero.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let _ = rx.pop_blocking();
+        // Two pops milliseconds apart: hundreds of slots per second,
+        // so the suggestion collapses to the 1s floor.
+        assert!(tx.drain_rate_per_sec() > 0.0);
+        assert_eq!(tx.suggested_retry_after_secs(), 1);
+    }
+
+    #[test]
+    fn tags_ride_along_with_slots() {
+        let (tx, mut rx) = bounded_slot_ring(8, Gauge::disabled());
+        tx.try_push_batch_tagged(vec![slot(); 2], Some("req-7".into()))
+            .unwrap();
+        tx.try_push_batch(vec![slot()]).unwrap();
+        let (_, tag) = rx.pop_blocking_tagged().unwrap();
+        assert_eq!(tag.as_deref(), Some("req-7"));
+        let (_, tag) = rx.pop_blocking_tagged().unwrap();
+        assert_eq!(tag.as_deref(), Some("req-7"));
+        // The untagged path yields no tag.
+        let (_, tag) = rx.pop_blocking_tagged().unwrap();
+        assert!(tag.is_none());
     }
 
     #[test]

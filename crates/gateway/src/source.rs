@@ -12,6 +12,7 @@ use crate::ring::SlotQueue;
 use jocal_serve::source::DemandSource;
 use jocal_serve::ServeError;
 use jocal_sim::demand::DemandTrace;
+use jocal_telemetry::{FieldValue, Telemetry};
 
 /// Streams demand slots from a bounded ingestion ring.
 ///
@@ -20,11 +21,19 @@ use jocal_sim::demand::DemandTrace;
 /// would report) and terminates by itself after delivering that many
 /// slots. Without one the serving cell must bound the run via
 /// `max_slots`, and the stream ends when the ring is closed (drain).
+///
+/// With attribution wired ([`Self::with_attribution`]), every slot
+/// that carries a request tag emits one `slot_ingest` event linking
+/// `{request_id, cell, slot}` — the cross-layer joint between an HTTP
+/// 202 and the serving decision it caused. Events never feed back into
+/// decisions, so attribution cannot perturb the slot stream.
 #[derive(Debug)]
 pub struct NetworkDemandSource {
     queue: SlotQueue,
     expected: Option<usize>,
     delivered: usize,
+    telemetry: Telemetry,
+    cell: u64,
 }
 
 impl NetworkDemandSource {
@@ -36,6 +45,8 @@ impl NetworkDemandSource {
             queue,
             expected: None,
             delivered: 0,
+            telemetry: Telemetry::disabled(),
+            cell: 0,
         }
     }
 
@@ -46,6 +57,15 @@ impl NetworkDemandSource {
     #[must_use]
     pub fn with_expected_slots(mut self, slots: usize) -> Self {
         self.expected = Some(slots);
+        self
+    }
+
+    /// Enables request attribution: tagged slots emit `slot_ingest`
+    /// events naming the request, this cell, and the slot index.
+    #[must_use]
+    pub fn with_attribution(mut self, telemetry: &Telemetry, cell: usize) -> Self {
+        self.telemetry = telemetry.clone();
+        self.cell = cell as u64;
         self
     }
 
@@ -65,9 +85,19 @@ impl DemandSource for NetworkDemandSource {
         if self.expected.is_some_and(|cap| self.delivered >= cap) {
             return Ok(false);
         }
-        match self.queue.pop_blocking() {
-            Some(slot) => {
+        match self.queue.pop_blocking_tagged() {
+            Some((slot, tag)) => {
                 out.copy_slot_from(0, &slot, 0)?;
+                if let Some(tag) = tag {
+                    self.telemetry.event(
+                        "slot_ingest",
+                        &[
+                            ("request_id", FieldValue::Text(tag.to_string())),
+                            ("cell", FieldValue::U64(self.cell)),
+                            ("slot", FieldValue::U64(self.delivered as u64)),
+                        ],
+                    );
+                }
                 self.delivered += 1;
                 Ok(true)
             }

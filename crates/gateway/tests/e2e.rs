@@ -5,7 +5,9 @@
 use jocal_cluster::{Cell, ClusterConfig, ClusterEngine};
 use jocal_core::primal_dual::PrimalDualOptions;
 use jocal_core::{CoreError, Parallelism};
-use jocal_gateway::{preregister_headline_metrics, CellSpec, Gateway, GatewayConfig, HttpClient};
+use jocal_gateway::{
+    preregister_headline_metrics, CellSpec, Gateway, GatewayConfig, HttpClient, ObservabilityConfig,
+};
 use jocal_online::afhc::afhc_policy;
 use jocal_online::chc::ChcPolicy;
 use jocal_online::policy::{Action, OnlinePolicy, PolicyContext};
@@ -18,7 +20,7 @@ use jocal_serve::source::TraceSource;
 use jocal_sim::predictor::NoiseModel;
 use jocal_sim::scenario::ScenarioConfig;
 use jocal_sim::trace::write_trace;
-use jocal_telemetry::{Telemetry, PROMETHEUS_CONTENT_TYPE};
+use jocal_telemetry::{Event, FieldValue, SloSpec, SloState, Telemetry, PROMETHEUS_CONTENT_TYPE};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -65,6 +67,18 @@ fn cell_serve_config(cell: usize) -> ServeConfig {
     config
 }
 
+/// Looks up a string-valued event field (owned or static).
+fn field_text<'a>(ev: &'a Event, key: &str) -> Option<&'a str> {
+    ev.fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::Text(s) => Some(s.as_str()),
+            FieldValue::Str(s) => Some(*s),
+            _ => None,
+        })
+}
+
 /// One slot record as exact bits: `(slot, requests, sbs_served,
 /// spilled, bs_served, cost_total, repair_scaled_sbs, buffered_slots)`.
 type SlotBits = (usize, u64, u64, u64, u64, u64, usize, usize);
@@ -92,7 +106,11 @@ fn fingerprint(sink: &MemorySink) -> Vec<SlotBits> {
 /// The acceptance parity test: demand replayed through the gateway's
 /// `NetworkDemandSource` produces bit-identical ServeReport/ledger/
 /// ratio streams to the same trace fed via `TraceSource` in-process,
-/// for RHC/AFHC/CHC at 1 and 4 shards.
+/// for RHC/AFHC/CHC at 1 and 4 shards. The gateway side runs with
+/// the full observability stack on — enabled telemetry, request-id
+/// attribution of every ingested slot, a 5ms background sampler and
+/// live SLO evaluation — while the in-process side runs with
+/// telemetry disabled: observation must never change a decision.
 #[test]
 fn gateway_replay_is_bit_identical_to_in_process_trace() {
     let scenarios: Vec<_> = (0..CELLS)
@@ -149,9 +167,25 @@ fn gateway_replay_is_bit_identical_to_in_process_trace() {
             let config = GatewayConfig {
                 queue_capacity: 64,
                 http_workers: 2,
+                observability: ObservabilityConfig {
+                    windows: vec![Duration::from_millis(50), Duration::from_millis(500)],
+                    sample_interval: Some(Duration::from_millis(5)),
+                    slos: vec![
+                        SloSpec::share_below(
+                            "shed_fraction",
+                            "gateway_rejected_overload",
+                            "gateway_requests",
+                            0.9,
+                        ),
+                        SloSpec::p99_below("request_p99_us", "gateway_request_us", 60_000_000.0),
+                        SloSpec::gauge_below("empirical_ratio", "serve_empirical_ratio", 1e9),
+                    ],
+                    fast_window: Duration::from_millis(50),
+                    slow_window: Duration::from_millis(500),
+                },
                 ..GatewayConfig::default()
             };
-            let telemetry = Telemetry::disabled();
+            let telemetry = Telemetry::enabled();
             let gateway =
                 Gateway::start(&config, ClusterConfig::new(shards), specs, &telemetry).unwrap();
             let addr = gateway.local_addr().to_string();
@@ -176,6 +210,22 @@ fn gateway_replay_is_bit_identical_to_in_process_trace() {
             let (report, stats) = gateway.join().unwrap();
             assert_eq!(report.cells.len(), CELLS);
             assert_eq!(stats.worker_panics, 0);
+
+            // Attribution: every slot that entered a cell carries the
+            // generated request id of the HTTP request that delivered
+            // it, and nothing was dropped from the event buffer.
+            assert_eq!(telemetry.events_dropped(), 0);
+            let events = telemetry.take_events();
+            let ingests: Vec<_> = events.iter().filter(|e| e.name == "slot_ingest").collect();
+            assert_eq!(
+                ingests.len(),
+                CELLS * horizon,
+                "{name} x{shards}: every ingested slot must be attributed"
+            );
+            for ev in &ingests {
+                let rid = field_text(ev, "request_id").expect("slot_ingest carries request_id");
+                assert!(rid.starts_with("jocal-"), "generated id shape: {rid}");
+            }
 
             // --- Bit-exact comparison -------------------------------
             for i in 0..CELLS {
@@ -294,7 +344,18 @@ fn overload_burst_is_bounded_shed_and_drains_cleanly() {
             202 => accepted += 1,
             429 => {
                 shed += 1;
-                assert_eq!(resp.header("retry-after"), Some("1"));
+                // Retry-After is derived from the observed ring drain
+                // rate; with a dead consumer it saturates at the clamp
+                // ceiling, but any value inside the clamp is valid.
+                let retry: u64 = resp
+                    .header("retry-after")
+                    .expect("429 must carry Retry-After")
+                    .parse()
+                    .expect("Retry-After must be integral seconds");
+                assert!(
+                    (1..=30).contains(&retry),
+                    "Retry-After {retry} outside clamp"
+                );
             }
             other => panic!("unexpected status {other}"),
         }
@@ -550,4 +611,262 @@ fn loadgen_drives_a_gateway_end_to_end() {
     let (_, stats) = gateway.join().unwrap();
     assert_eq!(stats.worker_panics, 0);
     assert!(stats.requests >= 200);
+}
+
+/// The acceptance SLO test, on a virtual clock: with the background
+/// sampler off and `observe_at` driven manually, an induced overload
+/// burst walks the shed-fraction SLO Ok → Warn → Breach (flipping
+/// `/readyz` to 503) and a healthy tail walks it back to Ok — fully
+/// deterministically. Along the way: every response echoes
+/// `X-Request-Id` (inbound or generated), the shed event is attributed
+/// to the request id that was shed, and `Retry-After` is inside the
+/// clamp.
+#[test]
+fn slo_watchdog_walks_warn_breach_recover_on_a_virtual_clock() {
+    const Q: usize = 4;
+    let telemetry = Telemetry::enabled();
+    let config = GatewayConfig {
+        queue_capacity: Q,
+        http_workers: 1,
+        observability: ObservabilityConfig {
+            windows: vec![Duration::from_secs(1), Duration::from_secs(4)],
+            sample_interval: None, // manual observe_at only
+            slos: vec![SloSpec::share_below(
+                "shed_fraction",
+                "gateway_rejected_overload",
+                "gateway_requests",
+                0.5,
+            )],
+            fast_window: Duration::from_secs(1),
+            slow_window: Duration::from_secs(4),
+        },
+        ..GatewayConfig::default()
+    };
+    // The cell consumes exactly 2 slots, then the ring only fills.
+    let gateway = Gateway::start(
+        &config,
+        ClusterConfig::new(1),
+        vec![idle_cell(2, 1)],
+        &telemetry,
+    )
+    .unwrap();
+    let handle = gateway.handle();
+    let addr = gateway.local_addr().to_string();
+    let mut client = HttpClient::connect(&addr, Duration::from_secs(10)).unwrap();
+
+    // Feed the cell its 2 expected slots; the response to a request
+    // without an inbound id carries a generated, echoed X-Request-Id.
+    let resp = client
+        .request("POST", "/v1/demand", &demand_body(2))
+        .unwrap();
+    assert_eq!(resp.status, 202);
+    let generated = resp.header("x-request-id").expect("id echoed").to_string();
+    assert!(generated.starts_with("jocal-"), "generated id: {generated}");
+    wait_serve_finished(&gateway);
+
+    // Fill the ring to its watermark so every further POST sheds.
+    let one_slot = demand_body(1);
+    for _ in 0..Q {
+        let resp = client.request("POST", "/v1/demand", &one_slot).unwrap();
+        assert_eq!(resp.status, 202);
+    }
+
+    let readyz = |client: &mut HttpClient| {
+        let resp = client.request("GET", "/readyz", b"").unwrap();
+        (resp.status, String::from_utf8(resp.body).unwrap())
+    };
+
+    // t=1s: baseline sample. One sample -> windows unformable -> Ok.
+    handle.observe_at(1_000_000);
+
+    // Healthy phase: 30 requests, zero shed.
+    for _ in 0..30 {
+        let resp = client.request("GET", "/healthz", b"").unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    // t=2s: both windows clean.
+    handle.observe_at(2_000_000);
+    assert!(!handle.slo_breached());
+    assert_eq!(handle.slo_statuses()[0].state, SloState::Ok);
+    assert_eq!(readyz(&mut client), (200, "ready\n".to_string()));
+
+    // Overload, round one: 10 sheds. The first is explicitly tagged so
+    // the shed event can be pinned to it.
+    let resp = client
+        .request_with_headers(
+            "POST",
+            "/v1/demand",
+            &one_slot,
+            &[("x-request-id", "test-breach-probe")],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 429);
+    assert_eq!(resp.header("x-request-id"), Some("test-breach-probe"));
+    let retry: u64 = resp.header("retry-after").unwrap().parse().unwrap();
+    assert!(
+        (1..=30).contains(&retry),
+        "Retry-After {retry} outside clamp"
+    );
+    for _ in 0..9 {
+        let resp = client.request("POST", "/v1/demand", &one_slot).unwrap();
+        assert_eq!(resp.status, 429);
+    }
+    // t=3s: fast window ~91% shed (burn >= 1), slow window still
+    // diluted by the healthy phase (~24%, burn < 1) -> Warn, still
+    // ready.
+    handle.observe_at(3_000_000);
+    assert_eq!(handle.slo_statuses()[0].state, SloState::Warn);
+    assert!(!handle.slo_breached());
+    assert_eq!(readyz(&mut client), (200, "ready\n".to_string()));
+
+    // Overload, round two: 40 more sheds push the slow window over.
+    for _ in 0..40 {
+        let resp = client.request("POST", "/v1/demand", &one_slot).unwrap();
+        assert_eq!(resp.status, 429);
+    }
+    // t=4s: both windows burn >= 1 -> Breach; /readyz flips to 503.
+    handle.observe_at(4_000_000);
+    assert_eq!(handle.slo_statuses()[0].state, SloState::Breach);
+    assert!(handle.slo_breached());
+    assert_eq!(
+        readyz(&mut client),
+        (503, "slo breach\n".to_string()),
+        "a breached SLO must flip readiness"
+    );
+    let resp = client.request("GET", "/debug/vars", b"").unwrap();
+    assert_eq!(resp.status, 200);
+    let vars = String::from_utf8(resp.body).unwrap();
+    assert!(vars.contains("\"ready\":false"), "vars: {vars}");
+    assert!(vars.contains("\"state\":\"breach\""), "vars: {vars}");
+
+    // Recovery: a healthy tail dilutes both windows back under target.
+    for _ in 0..150 {
+        let resp = client.request("GET", "/healthz", b"").unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    // t=5s: fast window clean, slow window back to ~21% -> Ok again.
+    handle.observe_at(5_000_000);
+    assert_eq!(handle.slo_statuses()[0].state, SloState::Ok);
+    assert!(!handle.slo_breached());
+    assert_eq!(readyz(&mut client), (200, "ready\n".to_string()));
+
+    drop(client);
+    gateway.drain();
+    gateway.join().unwrap();
+
+    // Structured record of the whole walk: the shed event is
+    // attributed to the tagged request, and the watchdog logged every
+    // transition.
+    let events = telemetry.take_events();
+    assert!(
+        events.iter().any(|e| e.name == "gateway_shed"
+            && field_text(e, "request_id") == Some("test-breach-probe")),
+        "shed event must carry the id of the request that was shed"
+    );
+    let walk: Vec<(&str, &str)> = events
+        .iter()
+        .filter(|e| e.name == "slo_breach")
+        .map(|e| {
+            (
+                field_text(e, "from").unwrap_or(""),
+                field_text(e, "to").unwrap_or(""),
+            )
+        })
+        .collect();
+    assert_eq!(
+        walk,
+        vec![("ok", "warn"), ("warn", "breach"), ("breach", "ok")],
+        "the watchdog must log exactly the Ok -> Warn -> Breach -> Ok walk"
+    );
+}
+
+/// Value of an unlabeled metric in a Prometheus text body.
+fn metric_value(body: &str, name: &str) -> f64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+/// Satellite: scraping `/metrics` concurrently with a graceful drain
+/// keeps returning complete, consistently ordered expositions, and
+/// successive scrapes on one connection observe monotone counters.
+/// The first post-drain response closes the connection (drain stops
+/// keep-alive), which also bounds the scraper.
+#[test]
+fn metrics_scrape_stays_consistent_during_graceful_drain() {
+    let telemetry = Telemetry::enabled();
+    preregister_headline_metrics(&telemetry);
+    let config = GatewayConfig {
+        http_workers: 2,
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::start(
+        &config,
+        ClusterConfig::new(1),
+        vec![idle_cell(4, 1)],
+        &telemetry,
+    )
+    .unwrap();
+    let addr = gateway.local_addr().to_string();
+
+    let mut feeder = HttpClient::connect(&addr, Duration::from_secs(10)).unwrap();
+    let resp = feeder
+        .request("POST", "/v1/demand", &demand_body(4))
+        .unwrap();
+    assert_eq!(resp.status, 202);
+    wait_serve_finished(&gateway);
+
+    let scraper_addr = addr.clone();
+    let scraper = std::thread::spawn(move || {
+        let mut client = HttpClient::connect(&scraper_addr, Duration::from_secs(10)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut bodies = Vec::new();
+        while Instant::now() < deadline {
+            let Ok(resp) = client.request("GET", "/metrics", b"") else {
+                break;
+            };
+            assert_eq!(resp.status, 200);
+            let keep = resp.keep_alive;
+            bodies.push(String::from_utf8(resp.body).unwrap());
+            if !keep {
+                break; // drain observed: the gateway closed us out
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        bodies
+    });
+
+    // Let a few pre-drain scrapes land, then drain underneath them.
+    std::thread::sleep(Duration::from_millis(20));
+    gateway.drain();
+    let bodies = scraper.join().unwrap();
+    let (_, stats) = gateway.join().unwrap();
+    assert_eq!(stats.worker_panics, 0);
+
+    assert!(
+        bodies.len() >= 2,
+        "need scrapes on both sides of the drain, got {}",
+        bodies.len()
+    );
+    // Every scrape is a complete exposition with identical ordering.
+    let names = metric_names(&bodies[0]);
+    assert!(names.iter().any(|n| n == "gateway_requests"));
+    for body in &bodies {
+        assert_eq!(metric_names(body), names, "ordering must survive the drain");
+    }
+    // Each scrape counts itself before snapshotting, so successive
+    // same-connection scrapes observe strictly increasing requests.
+    let requests: Vec<f64> = bodies
+        .iter()
+        .map(|b| metric_value(b, "gateway_requests"))
+        .collect();
+    for pair in requests.windows(2) {
+        assert!(
+            pair[1] > pair[0],
+            "scrapes must observe monotone counters: {requests:?}"
+        );
+    }
 }

@@ -32,7 +32,7 @@ use jocal_online::repair::repair_slot;
 use jocal_sim::requests::sample_slot_rng;
 use jocal_sim::topology::Network;
 use jocal_sim::{ClassId, ContentId};
-use jocal_telemetry::{Counter, FieldValue, Histogram, Telemetry, Tracer};
+use jocal_telemetry::{Counter, FieldValue, Gauge, Histogram, Telemetry, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::ops::Add;
@@ -50,6 +50,9 @@ struct CellObs {
     tracer: Tracer,
     watchdog_ratio: Counter,
     watchdog_constraint: Counter,
+    /// Latest certified empirical competitive ratio — the level an
+    /// SLO like `ratio < 2.618` watches.
+    empirical_ratio: Gauge,
 }
 
 impl CellObs {
@@ -62,6 +65,7 @@ impl CellObs {
             tracer: telemetry.tracer(),
             watchdog_ratio: telemetry.counter("serve_watchdog_ratio_total"),
             watchdog_constraint: telemetry.counter("serve_watchdog_constraint_total"),
+            empirical_ratio: telemetry.gauge("serve_empirical_ratio"),
         }
     }
 }
@@ -373,6 +377,9 @@ impl CellCore {
                             ("bound", FieldValue::F64(record.bound)),
                         ],
                     );
+                }
+                if let Some(ratio) = record.ratio {
+                    self.obs.empirical_ratio.set(ratio);
                 }
                 sink.ratio(&record)?;
                 self.last_ratio = Some(record);

@@ -1,0 +1,38 @@
+//! Stamps the build with a git SHA and cargo profile so exported
+//! telemetry (Prometheus scrapes, JSONL streams, bench artifacts) is
+//! attributable to the exact build that produced it. Offline-safe: a
+//! missing `git` binary or a non-repo checkout degrades to `unknown`.
+
+use std::path::Path;
+use std::process::Command;
+
+fn git_short_sha() -> Option<String> {
+    let out = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let sha = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    if sha.is_empty() {
+        None
+    } else {
+        Some(sha)
+    }
+}
+
+fn main() {
+    let sha = git_short_sha().unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=JOCAL_GIT_SHA={sha}");
+    let profile = std::env::var("PROFILE").unwrap_or_else(|_| "unknown".to_string());
+    println!("cargo:rustc-env=JOCAL_BUILD_PROFILE={profile}");
+    // Re-stamp when HEAD moves; skip the hint when the workspace is not
+    // a git checkout (a missing path would force a rerun every build).
+    for head in ["../../.git/HEAD", "../../.git/index"] {
+        if Path::new(head).exists() {
+            println!("cargo:rerun-if-changed={head}");
+        }
+    }
+    println!("cargo:rerun-if-changed=build.rs");
+}

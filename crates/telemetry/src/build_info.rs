@@ -1,0 +1,105 @@
+//! Build attribution: which binary produced a scrape or an artifact.
+//!
+//! The crate's `build.rs` stamps the git SHA and cargo profile into the
+//! binary at compile time (falling back to `unknown` outside a git
+//! checkout), and this module surfaces the stamp three ways: as a
+//! struct for embedding in reports, as a `jocal_build_info` gauge in
+//! the Prometheus exposition (the conventional constant-`1` info
+//! metric), and as a JSON fragment for JSONL headers and `/debug/vars`.
+
+use crate::export::json_str;
+use crate::{Gauge, Telemetry};
+
+/// The compile-time build stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Workspace crate version (`CARGO_PKG_VERSION`).
+    pub version: &'static str,
+    /// Short git SHA of the checkout, or `unknown`.
+    pub git_sha: &'static str,
+    /// Cargo profile the binary was built under (`debug`/`release`).
+    pub profile: &'static str,
+}
+
+impl BuildInfo {
+    /// The stamp baked into this binary.
+    #[must_use]
+    pub fn current() -> Self {
+        BuildInfo {
+            version: env!("CARGO_PKG_VERSION"),
+            git_sha: env!("JOCAL_GIT_SHA"),
+            profile: env!("JOCAL_BUILD_PROFILE"),
+        }
+    }
+
+    /// The stamp as a JSON object, e.g.
+    /// `{"version":"0.1.0","git_sha":"abc123","profile":"release"}`.
+    #[must_use]
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"version\":{},\"git_sha\":{},\"profile\":{}}}",
+            json_str(self.version),
+            json_str(self.git_sha),
+            json_str(self.profile)
+        )
+    }
+}
+
+impl Telemetry {
+    /// Registers the conventional `jocal_build_info{version,git_sha,
+    /// profile} 1` info gauge so every Prometheus scrape carries the
+    /// build stamp. Idempotent; a no-op on disabled handles.
+    pub fn register_build_info(&self) -> Gauge {
+        let info = BuildInfo::current();
+        let gauge = self.gauge_with_labels(
+            "jocal_build_info",
+            &[
+                ("version", info.version),
+                ("git_sha", info.git_sha),
+                ("profile", info.profile),
+            ],
+        );
+        gauge.set(1.0);
+        gauge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_is_nonempty_and_renders_as_json() {
+        let info = BuildInfo::current();
+        assert!(!info.version.is_empty());
+        assert!(!info.git_sha.is_empty());
+        assert!(!info.profile.is_empty());
+        let json = info.json();
+        assert!(json.starts_with("{\"version\":\""), "{json}");
+        assert!(json.contains("\"git_sha\":\""), "{json}");
+        assert!(json.contains("\"profile\":\""), "{json}");
+    }
+
+    #[test]
+    fn build_info_gauge_lands_in_prometheus_with_all_labels() {
+        let tele = Telemetry::enabled();
+        tele.register_build_info();
+        let mut out = Vec::new();
+        tele.write_prometheus(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let info = BuildInfo::current();
+        assert!(text.contains("# TYPE jocal_build_info gauge"), "{text}");
+        let expected = format!(
+            "jocal_build_info{{version=\"{}\",git_sha=\"{}\",profile=\"{}\"}} 1",
+            info.version, info.git_sha, info.profile
+        );
+        assert!(text.contains(&expected), "{text}");
+    }
+
+    #[test]
+    fn disabled_handles_skip_registration() {
+        let tele = Telemetry::disabled();
+        let gauge = tele.register_build_info();
+        assert!(!gauge.is_enabled());
+    }
+}

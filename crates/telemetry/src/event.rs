@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// A field value attached to an [`Event`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FieldValue {
     /// An unsigned integer (counts, indices, microseconds).
     U64(u64),
@@ -18,6 +18,10 @@ pub enum FieldValue {
     F64(f64),
     /// A static string (reasons, policy names).
     Str(&'static str),
+    /// An owned string for runtime-determined values (request ids,
+    /// SLO names). Costs an allocation per event — reserve for cold
+    /// paths like shed records and state transitions.
+    Text(String),
 }
 
 /// One recorded event.

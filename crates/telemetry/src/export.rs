@@ -35,12 +35,12 @@ fn fmt_f64(value: f64, nan: &str, pos_inf: &str, neg_inf: &str) -> String {
     }
 }
 
-fn prom_f64(value: f64) -> String {
+pub(crate) fn prom_f64(value: f64) -> String {
     fmt_f64(value, "NaN", "+Inf", "-Inf")
 }
 
 /// JSON has no NaN/Inf; map them to null so consumers stay parseable.
-fn json_f64(value: f64) -> String {
+pub(crate) fn json_f64(value: f64) -> String {
     fmt_f64(value, "null", "null", "null")
 }
 
@@ -68,12 +68,14 @@ pub(crate) fn json_str(raw: &str) -> String {
     out
 }
 
-/// Renders `{key="value"}` (with `extra` appended) or the empty string.
+/// Renders `{k1="v1",k2="v2"}` (with `extra` appended) or the empty
+/// string.
 fn prom_labels(entry: &Entry, extra: Option<(&str, &str)>) -> String {
-    let mut pairs = Vec::new();
-    if !entry.label_key.is_empty() {
-        pairs.push((entry.label_key.as_str(), entry.label_value.as_str()));
-    }
+    let mut pairs: Vec<(&str, &str)> = entry
+        .labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
     if let Some(pair) = extra {
         pairs.push(pair);
     }
@@ -182,6 +184,7 @@ fn field_json(value: &FieldValue) -> String {
         FieldValue::U64(v) => format!("{v}"),
         FieldValue::F64(v) => json_f64(*v),
         FieldValue::Str(s) => json_str(s),
+        FieldValue::Text(s) => json_str(s),
     }
 }
 
@@ -228,11 +231,11 @@ pub(crate) fn write_snapshot_jsonl(
     for entry in entries {
         let mut body = String::from("{\"name\":");
         body.push_str(&json_str(&entry.name));
-        if !entry.label_key.is_empty() {
+        for (key, value) in &entry.labels {
             body.push(',');
-            body.push_str(&json_str(&entry.label_key));
+            body.push_str(&json_str(key));
             body.push(':');
-            body.push_str(&json_str(&entry.label_value));
+            body.push_str(&json_str(value));
         }
         match &entry.metric {
             MetricKind::Counter(cell) => {

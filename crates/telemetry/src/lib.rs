@@ -65,14 +65,20 @@
 //! assert!(!off.is_enabled());
 //! ```
 
+pub mod build_info;
 pub mod event;
 pub mod export;
 pub mod metric;
+pub mod rolling;
+pub mod slo;
 pub mod trace;
 
+pub use build_info::BuildInfo;
 pub use event::{Event, FieldValue};
 pub use export::PROMETHEUS_CONTENT_TYPE;
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, SpanTimer};
+pub use rolling::{RollingCollector, WindowView, WindowedCounter, WindowedHistogram};
+pub use slo::{SloEngine, SloSignal, SloSpec, SloState, SloStatus, SloTransition};
 pub use trace::{ActiveSpan, SpanRecord, Tracer};
 
 use event::EventLog;
@@ -80,7 +86,19 @@ use metric::{AtomicHistogram, Registry};
 use std::fmt;
 use std::io;
 use std::sync::atomic::AtomicU64;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Microseconds elapsed on a process-wide monotonic clock (anchored at
+/// the first call). Shared by every layer that stamps wall-time into a
+/// gauge (per-shard slot freshness) or samples the rolling collector,
+/// so "age" computations subtract timestamps from one clock.
+#[must_use]
+pub fn monotonic_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
 
 /// Default bound on buffered events (~1.5 MB of convergence trace).
 pub const DEFAULT_EVENT_CAPACITY: usize = 16_384;
@@ -182,9 +200,20 @@ impl Telemetry {
     /// Resolves a counter with one `{key="value"}` label pair.
     #[must_use]
     pub fn counter_with(&self, name: &str, label_key: &str, label_value: &str) -> Counter {
+        if label_key.is_empty() {
+            self.counter_with_labels(name, &[])
+        } else {
+            self.counter_with_labels(name, &[(label_key, label_value)])
+        }
+    }
+
+    /// Resolves a counter with an arbitrary label set (pairs exported
+    /// in the given order).
+    #[must_use]
+    pub fn counter_with_labels(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         Counter::from_cell(
             self.active()
-                .map(|inner| inner.registry.counter(name, label_key, label_value)),
+                .map(|inner| inner.registry.counter(name, labels)),
         )
     }
 
@@ -197,9 +226,20 @@ impl Telemetry {
     /// Resolves a gauge with one `{key="value"}` label pair.
     #[must_use]
     pub fn gauge_with(&self, name: &str, label_key: &str, label_value: &str) -> Gauge {
+        if label_key.is_empty() {
+            self.gauge_with_labels(name, &[])
+        } else {
+            self.gauge_with_labels(name, &[(label_key, label_value)])
+        }
+    }
+
+    /// Resolves a gauge with an arbitrary label set (pairs exported in
+    /// the given order).
+    #[must_use]
+    pub fn gauge_with_labels(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         Gauge::from_cell(
             self.active()
-                .map(|inner| inner.registry.gauge(name, label_key, label_value)),
+                .map(|inner| inner.registry.gauge(name, labels)),
         )
     }
 
@@ -212,10 +252,27 @@ impl Telemetry {
     /// Resolves a histogram with one `{key="value"}` label pair.
     #[must_use]
     pub fn histogram_with(&self, name: &str, label_key: &str, label_value: &str) -> Histogram {
+        if label_key.is_empty() {
+            self.histogram_with_labels(name, &[])
+        } else {
+            self.histogram_with_labels(name, &[(label_key, label_value)])
+        }
+    }
+
+    /// Resolves a histogram with an arbitrary label set (pairs exported
+    /// in the given order).
+    #[must_use]
+    pub fn histogram_with_labels(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         Histogram::from_cell(
             self.active()
-                .map(|inner| inner.registry.histogram(name, label_key, label_value)),
+                .map(|inner| inner.registry.histogram(name, labels)),
         )
+    }
+
+    /// A copy of every registered series (cells shared), or `None`
+    /// when disabled — the rolling collector's sampling surface.
+    pub(crate) fn registry_entries(&self) -> Option<Vec<metric::Entry>> {
+        self.active().map(|inner| inner.registry.entries())
     }
 
     /// Records a structured event (e.g. one primal-dual iteration).

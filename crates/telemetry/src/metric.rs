@@ -316,12 +316,12 @@ impl SpanTimer {
     }
 }
 
-/// One registered metric series.
+/// One registered metric series: a name plus zero or more label pairs
+/// in registration order.
 #[derive(Clone)]
 pub(crate) struct Entry {
     pub name: String,
-    pub label_key: String,
-    pub label_value: String,
+    pub labels: Vec<(String, String)>,
     pub metric: MetricKind,
 }
 
@@ -355,31 +355,35 @@ impl Registry {
     fn resolve(
         &self,
         name: &str,
-        label_key: &str,
-        label_value: &str,
+        labels: &[(&str, &str)],
         fresh: impl FnOnce() -> MetricKind,
     ) -> MetricKind {
         let mut entries = self.entries.lock().expect("telemetry registry poisoned");
         let probe = fresh();
         if let Some(entry) = entries.iter().find(|e| {
             e.name == name
-                && e.label_key == label_key
-                && e.label_value == label_value
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|((ek, ev), (k, v))| ek == k && ev == v)
                 && e.metric.matches(&probe)
         }) {
             return entry.metric.clone();
         }
         entries.push(Entry {
             name: name.to_string(),
-            label_key: label_key.to_string(),
-            label_value: label_value.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
             metric: probe.clone(),
         });
         probe
     }
 
-    pub(crate) fn counter(&self, name: &str, label_key: &str, label_value: &str) -> CounterCell {
-        match self.resolve(name, label_key, label_value, || {
+    pub(crate) fn counter(&self, name: &str, labels: &[(&str, &str)]) -> CounterCell {
+        match self.resolve(name, labels, || {
             MetricKind::Counter(Arc::new(AtomicU64::new(0)))
         }) {
             MetricKind::Counter(cell) => cell,
@@ -387,8 +391,8 @@ impl Registry {
         }
     }
 
-    pub(crate) fn gauge(&self, name: &str, label_key: &str, label_value: &str) -> GaugeCell {
-        match self.resolve(name, label_key, label_value, || {
+    pub(crate) fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> GaugeCell {
+        match self.resolve(name, labels, || {
             MetricKind::Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
         }) {
             MetricKind::Gauge(cell) => cell,
@@ -396,13 +400,8 @@ impl Registry {
         }
     }
 
-    pub(crate) fn histogram(
-        &self,
-        name: &str,
-        label_key: &str,
-        label_value: &str,
-    ) -> HistogramCell {
-        match self.resolve(name, label_key, label_value, || {
+    pub(crate) fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> HistogramCell {
+        match self.resolve(name, labels, || {
             MetricKind::Histogram(Arc::new(AtomicHistogram::default()))
         }) {
             MetricKind::Histogram(cell) => cell,

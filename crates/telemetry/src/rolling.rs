@@ -1,0 +1,689 @@
+//! Rolling windowed views over the cumulative metric registry.
+//!
+//! Every exporter in this crate is a point-in-time snapshot of
+//! monotonically growing state; operators need the other view — "what
+//! happened in the last 1s/10s/60s". The [`RollingCollector`] bridges
+//! the two without touching the hot path: a driver (the gateway's
+//! sampler thread, or a test with synthetic timestamps) calls
+//! [`RollingCollector::sample`], which copies the registry's counters
+//! and histogram states into a fixed-capacity ring. A windowed view is
+//! then the *delta* between the newest sample and the youngest sample
+//! at least one window old: counter deltas become rates, histogram
+//! bucket deltas merge into a sliding p50/p99/max, gauges report their
+//! latest value.
+//!
+//! Determinism and cost:
+//!
+//! * Sampling reads the same relaxed atomics the exporters read; it
+//!   never takes a metric lock while a recorder holds one, and it
+//!   perturbs no decision state. A collector over a disabled
+//!   [`Telemetry`] is inert — `sample` returns before allocating.
+//! * Timestamps are supplied by the caller (microseconds on any
+//!   monotonic clock), so tests drive window arithmetic with synthetic
+//!   time and stay deterministic.
+//! * Windowed quantiles inherit the power-of-two bucket resolution of
+//!   [`crate::metric::bucket_index`]; the windowed max is the upper
+//!   bound of the highest bucket that gained mass, clamped to the
+//!   cumulative max.
+
+use crate::export::{json_f64, json_str};
+use crate::metric::{bucket_upper_bound, HistogramSnapshot, MetricKind, NUM_BUCKETS};
+use crate::Telemetry;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// Default window set: 1s / 10s / 60s.
+pub const DEFAULT_WINDOWS_US: [u64; 3] = [1_000_000, 10_000_000, 60_000_000];
+
+/// Default bound on retained samples. At the gateway's default 250ms
+/// sampling interval this covers the 60s window with headroom.
+pub const DEFAULT_SAMPLE_CAPACITY: usize = 512;
+
+/// A metric series identity: name plus labels in registration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesKey {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs.
+    pub labels: Vec<(String, String)>,
+}
+
+/// One retained registry snapshot. Values are aligned with the
+/// collector's per-kind key lists; a sample taken before a series was
+/// registered simply has a shorter vector (missing = zero).
+#[derive(Debug)]
+struct Sample {
+    at_us: u64,
+    counters: Vec<u64>,
+    gauges: Vec<f64>,
+    histograms: Vec<HistogramSnapshot>,
+}
+
+/// A windowed counter: how much the series grew inside the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedCounter {
+    /// Series identity.
+    pub key: SeriesKey,
+    /// Growth over the window.
+    pub delta: u64,
+    /// Growth per second of window span.
+    pub rate_per_sec: f64,
+}
+
+/// A windowed histogram: the observations that landed in the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedHistogram {
+    /// Series identity.
+    pub key: SeriesKey,
+    /// Observations recorded inside the window.
+    pub count: u64,
+    /// Observations per second of window span.
+    pub rate_per_sec: f64,
+    /// Sliding median over the window's observations.
+    pub p50: f64,
+    /// Sliding 99th percentile over the window's observations.
+    pub p99: f64,
+    /// Upper bound of the highest bucket that gained mass, clamped to
+    /// the cumulative maximum (the window max at bucket resolution).
+    pub max: u64,
+    /// Per-bucket observation deltas (see
+    /// [`crate::metric::bucket_index`]) — kept so same-name series can
+    /// be merged for aggregate quantiles.
+    pub delta_buckets: [u64; NUM_BUCKETS],
+}
+
+/// The delta view over one window: newest sample minus the baseline
+/// sample (the youngest retained sample at least `window_us` old, or
+/// the oldest retained sample while history is still shorter than the
+/// window).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowView {
+    /// The nominal window this view was computed for.
+    pub window_us: u64,
+    /// Timestamp of the newest sample.
+    pub at_us: u64,
+    /// Actual span between baseline and newest sample (≥ the nominal
+    /// window once enough history exists).
+    pub span_us: u64,
+    /// Counter deltas, in registration order.
+    pub counters: Vec<WindowedCounter>,
+    /// Histogram deltas, in registration order.
+    pub histograms: Vec<WindowedHistogram>,
+}
+
+impl WindowView {
+    /// Sums the window delta of every counter series with this name
+    /// (label sets aggregated).
+    #[must_use]
+    pub fn counter_delta(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.key.name == name)
+            .map(|c| c.delta)
+            .sum()
+    }
+
+    /// Aggregate growth rate (per second) of every counter series with
+    /// this name.
+    #[must_use]
+    pub fn counter_rate(&self, name: &str) -> f64 {
+        if self.span_us == 0 {
+            return 0.0;
+        }
+        self.counter_delta(name) as f64 * 1e6 / self.span_us as f64
+    }
+
+    /// Windowed quantile over all histogram series with this name,
+    /// merged bucket-wise. Returns `None` when the name is unknown,
+    /// `Some(0.0)` when known but empty over the window.
+    #[must_use]
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        let mut merged: Option<HistogramSnapshot> = None;
+        for h in self.histograms.iter().filter(|h| h.key.name == name) {
+            let snap = merged.get_or_insert_with(HistogramSnapshot::default);
+            snap.count += h.count;
+            snap.max = snap.max.max(h.max);
+            for (out, &c) in snap.buckets.iter_mut().zip(h.delta_buckets.iter()) {
+                *out += c;
+            }
+        }
+        merged.map(|snap| snap.quantile(q))
+    }
+}
+
+/// Human label for a window duration: `"1s"`, `"10s"`, `"250ms"`.
+#[must_use]
+pub fn window_label(window_us: u64) -> String {
+    if window_us >= 1_000_000 && window_us.is_multiple_of(1_000_000) {
+        format!("{}s", window_us / 1_000_000)
+    } else {
+        format!("{}ms", window_us / 1_000)
+    }
+}
+
+/// Fixed-capacity ring of registry snapshots with windowed-delta views.
+#[derive(Debug)]
+pub struct RollingCollector {
+    telemetry: Telemetry,
+    windows_us: Vec<u64>,
+    capacity: usize,
+    counter_keys: Vec<SeriesKey>,
+    gauge_keys: Vec<SeriesKey>,
+    histogram_keys: Vec<SeriesKey>,
+    samples: VecDeque<Sample>,
+}
+
+impl RollingCollector {
+    /// A collector over `telemetry` with the default 1s/10s/60s windows
+    /// and sample capacity. Inert (and allocation-free to sample) when
+    /// the handle is disabled.
+    #[must_use]
+    pub fn new(telemetry: Telemetry) -> Self {
+        Self::with_windows(telemetry, &DEFAULT_WINDOWS_US)
+    }
+
+    /// A collector with an explicit window set (microseconds; order is
+    /// preserved in views and exports).
+    #[must_use]
+    pub fn with_windows(telemetry: Telemetry, windows_us: &[u64]) -> Self {
+        RollingCollector {
+            telemetry,
+            windows_us: windows_us.to_vec(),
+            capacity: DEFAULT_SAMPLE_CAPACITY,
+            counter_keys: Vec::new(),
+            gauge_keys: Vec::new(),
+            histogram_keys: Vec::new(),
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Overrides the retained-sample bound (≥ 2 to ever form a window).
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(2);
+        self
+    }
+
+    /// The configured windows, in configuration order.
+    #[must_use]
+    pub fn windows_us(&self) -> &[u64] {
+        &self.windows_us
+    }
+
+    /// Number of retained samples.
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Timestamp of the newest sample, if any.
+    #[must_use]
+    pub fn latest_at_us(&self) -> Option<u64> {
+        self.samples.back().map(|s| s.at_us)
+    }
+
+    /// Copies the registry into the ring, stamped `at_us` (caller's
+    /// monotonic clock). Out-of-order timestamps are ignored, so a
+    /// manual test driver and a background sampler cannot corrupt the
+    /// window ordering. A disabled handle returns before allocating.
+    pub fn sample(&mut self, at_us: u64) {
+        let Some(entries) = self.telemetry.registry_entries() else {
+            return;
+        };
+        if self.samples.back().is_some_and(|last| at_us <= last.at_us) {
+            return;
+        }
+        let mut counters = Vec::with_capacity(self.counter_keys.len());
+        let mut gauges = Vec::with_capacity(self.gauge_keys.len());
+        let mut histograms = Vec::with_capacity(self.histogram_keys.len());
+        for entry in &entries {
+            let key = || SeriesKey {
+                name: entry.name.clone(),
+                labels: entry.labels.clone(),
+            };
+            match &entry.metric {
+                MetricKind::Counter(cell) => {
+                    if counters.len() == self.counter_keys.len() {
+                        self.counter_keys.push(key());
+                    }
+                    counters.push(cell.load(std::sync::atomic::Ordering::Relaxed));
+                }
+                MetricKind::Gauge(cell) => {
+                    if gauges.len() == self.gauge_keys.len() {
+                        self.gauge_keys.push(key());
+                    }
+                    gauges.push(f64::from_bits(
+                        cell.load(std::sync::atomic::Ordering::Relaxed),
+                    ));
+                }
+                MetricKind::Histogram(cell) => {
+                    if histograms.len() == self.histogram_keys.len() {
+                        self.histogram_keys.push(key());
+                    }
+                    histograms.push(cell.snapshot());
+                }
+            }
+        }
+        self.samples.push_back(Sample {
+            at_us,
+            counters,
+            gauges,
+            histograms,
+        });
+        while self.samples.len() > self.capacity {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Latest sampled value of the first gauge series with this name.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let newest = self.samples.back()?;
+        let idx = self.gauge_keys.iter().position(|k| k.name == name)?;
+        newest.gauges.get(idx).copied()
+    }
+
+    /// The delta view for one window, or `None` until two samples with
+    /// a positive span exist.
+    #[must_use]
+    pub fn window_view(&self, window_us: u64) -> Option<WindowView> {
+        let newest = self.samples.back()?;
+        let cutoff = newest.at_us.saturating_sub(window_us);
+        let baseline = self
+            .samples
+            .iter()
+            .rev()
+            .find(|s| s.at_us <= cutoff)
+            .or_else(|| self.samples.front())?;
+        if baseline.at_us >= newest.at_us {
+            return None;
+        }
+        let span_us = newest.at_us - baseline.at_us;
+        let per_sec = |delta: u64| delta as f64 * 1e6 / span_us as f64;
+        let counters = self
+            .counter_keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| {
+                let now = newest.counters.get(i).copied().unwrap_or(0);
+                let then = baseline.counters.get(i).copied().unwrap_or(0);
+                let delta = now.saturating_sub(then);
+                WindowedCounter {
+                    key: key.clone(),
+                    delta,
+                    rate_per_sec: per_sec(delta),
+                }
+            })
+            .collect();
+        let histograms = self
+            .histogram_keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| {
+                let now = newest.histograms.get(i).copied().unwrap_or_default();
+                let then = baseline.histograms.get(i).copied().unwrap_or_default();
+                let mut delta = HistogramSnapshot {
+                    buckets: [0; NUM_BUCKETS],
+                    count: now.count.saturating_sub(then.count),
+                    sum: now.sum.saturating_sub(then.sum),
+                    max: 0,
+                };
+                let mut highest = None;
+                for (b, out) in delta.buckets.iter_mut().enumerate() {
+                    *out = now.buckets[b].saturating_sub(then.buckets[b]);
+                    if *out > 0 {
+                        highest = Some(b);
+                    }
+                }
+                delta.max = highest
+                    .map(|b| bucket_upper_bound(b).min(now.max))
+                    .unwrap_or(0);
+                WindowedHistogram {
+                    key: key.clone(),
+                    count: delta.count,
+                    rate_per_sec: per_sec(delta.count),
+                    p50: delta.quantile(0.5),
+                    p99: delta.quantile(0.99),
+                    max: delta.max,
+                    delta_buckets: delta.buckets,
+                }
+            })
+            .collect();
+        Some(WindowView {
+            window_us,
+            at_us: newest.at_us,
+            span_us,
+            counters,
+            histograms,
+        })
+    }
+
+    /// Views for every configured window that can be formed yet.
+    #[must_use]
+    pub fn views(&self) -> Vec<WindowView> {
+        self.windows_us
+            .iter()
+            .filter_map(|&w| self.window_view(w))
+            .collect()
+    }
+
+    /// The `"windows"` fragment of `/debug/vars`: a JSON array with one
+    /// object per formable window.
+    #[must_use]
+    pub fn windows_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, view) in self.views().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"window\":{},\"window_us\":{},\"at_us\":{},\"span_us\":{},\"counters\":[",
+                json_str(&window_label(view.window_us)),
+                view.window_us,
+                view.at_us,
+                view.span_us
+            ));
+            for (j, c) in view.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":{}{},\"delta\":{},\"rate\":{}}}",
+                    json_str(&c.key.name),
+                    labels_json(&c.key.labels),
+                    c.delta,
+                    json_f64(c.rate_per_sec)
+                ));
+            }
+            out.push_str("],\"histograms\":[");
+            for (j, h) in view.histograms.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":{}{},\"count\":{},\"rate\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                    json_str(&h.key.name),
+                    labels_json(&h.key.labels),
+                    h.count,
+                    json_f64(h.rate_per_sec),
+                    json_f64(h.p50),
+                    json_f64(h.p99),
+                    h.max
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+        out
+    }
+
+    /// The `"gauges"` fragment of `/debug/vars`: latest sampled value
+    /// per gauge series.
+    #[must_use]
+    pub fn gauges_json(&self) -> String {
+        let mut out = String::from("[");
+        if let Some(newest) = self.samples.back() {
+            for (i, key) in self.gauge_keys.iter().enumerate() {
+                let Some(value) = newest.gauges.get(i) else {
+                    continue;
+                };
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":{}{},\"value\":{}}}",
+                    json_str(&key.name),
+                    labels_json(&key.labels),
+                    json_f64(*value)
+                ));
+            }
+        }
+        out.push(']');
+        out
+    }
+
+    /// Appends the windowed series to a Prometheus exposition:
+    /// `<name>_rate{window=...}` gauges for counters, and
+    /// `<name>_window_{rate,p50,p99,max}{window=...}` gauges for
+    /// histograms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write_prometheus_windows(&self, out: &mut dyn Write) -> io::Result<()> {
+        let mut typed: Vec<String> = Vec::new();
+        let mut series = |out: &mut dyn Write,
+                          name: &str,
+                          key: &SeriesKey,
+                          window: &str,
+                          value: f64|
+         -> io::Result<()> {
+            if !typed.iter().any(|t| t == name) {
+                typed.push(name.to_string());
+                writeln!(out, "# TYPE {name} gauge")?;
+            }
+            let mut labels = format!("{{window=\"{window}\"");
+            for (k, v) in &key.labels {
+                labels.push_str(&format!(",{k}=\"{v}\""));
+            }
+            labels.push('}');
+            writeln!(out, "{name}{labels} {}", crate::export::prom_f64(value))
+        };
+        for view in self.views() {
+            let window = window_label(view.window_us);
+            for c in &view.counters {
+                series(
+                    out,
+                    &format!("{}_rate", c.key.name),
+                    &c.key,
+                    &window,
+                    c.rate_per_sec,
+                )?;
+            }
+            for h in &view.histograms {
+                let base = &h.key.name;
+                series(
+                    out,
+                    &format!("{base}_window_rate"),
+                    &h.key,
+                    &window,
+                    h.rate_per_sec,
+                )?;
+                series(out, &format!("{base}_window_p50"), &h.key, &window, h.p50)?;
+                series(out, &format!("{base}_window_p99"), &h.key, &window, h.p99)?;
+                series(
+                    out,
+                    &format!("{base}_window_max"),
+                    &h.key,
+                    &window,
+                    h.max as f64,
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn labels_json(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from(",\"labels\":{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(k));
+        out.push(':');
+        out.push_str(&json_str(v));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_telemetry_yields_an_inert_collector() {
+        let mut collector = RollingCollector::new(Telemetry::disabled());
+        collector.sample(0);
+        collector.sample(1_000_000);
+        assert_eq!(collector.sample_count(), 0);
+        assert!(collector.window_view(1_000_000).is_none());
+        assert_eq!(collector.windows_json(), "[]");
+    }
+
+    #[test]
+    fn counter_rate_is_delta_over_span() {
+        let tele = Telemetry::enabled();
+        let c = tele.counter("req_total");
+        let mut collector = RollingCollector::with_windows(tele, &[1_000_000]);
+        collector.sample(0);
+        c.add(50);
+        collector.sample(1_000_000);
+        let view = collector.window_view(1_000_000).unwrap();
+        assert_eq!(view.span_us, 1_000_000);
+        assert_eq!(view.counter_delta("req_total"), 50);
+        assert!((view.counter_rate("req_total") - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_baseline_is_youngest_sample_at_least_one_window_old() {
+        let tele = Telemetry::enabled();
+        let c = tele.counter("x_total");
+        let mut collector = RollingCollector::with_windows(tele, &[1_000_000]);
+        c.add(100);
+        collector.sample(0);
+        c.add(10);
+        collector.sample(500_000);
+        c.add(10);
+        collector.sample(1_000_000);
+        c.add(10);
+        collector.sample(1_500_000);
+        // Window [0.5s, 1.5s]: baseline is the 0.5s sample, so only the
+        // last two increments are inside.
+        let view = collector.window_view(1_000_000).unwrap();
+        assert_eq!(view.counter_delta("x_total"), 20);
+        assert_eq!(view.span_us, 1_000_000);
+    }
+
+    #[test]
+    fn windowed_histogram_sees_only_new_observations() {
+        let tele = Telemetry::enabled();
+        let h = tele.histogram("lat_us");
+        // Old regime: large latencies before the window opens.
+        for _ in 0..100 {
+            h.observe(10_000);
+        }
+        let mut collector = RollingCollector::with_windows(tele, &[1_000_000]);
+        collector.sample(0);
+        // New regime inside the window: small latencies.
+        for _ in 0..50 {
+            h.observe(8);
+        }
+        collector.sample(1_000_000);
+        let view = collector.window_view(1_000_000).unwrap();
+        let wh = &view.histograms[0];
+        assert_eq!(wh.count, 50);
+        assert!((wh.rate_per_sec - 50.0).abs() < 1e-9);
+        // The sliding p99 reflects the new regime (within its bucket's
+        // [8, 15] bounds), not the cumulative history dominated by
+        // 10ms observations.
+        assert!(wh.p99 <= 15.0, "windowed p99 {} should be small", wh.p99);
+        assert!(wh.max <= 15, "windowed max {} bounded by bucket", wh.max);
+        let cumulative = h.snapshot().quantile(0.99);
+        assert!(cumulative > 1_000.0, "cumulative p99 {cumulative}");
+        assert_eq!(view.histogram_quantile("lat_us", 0.99), Some(wh.p99));
+        assert_eq!(view.histogram_quantile("absent", 0.99), None);
+    }
+
+    #[test]
+    fn series_registered_after_the_first_sample_count_from_zero() {
+        let tele = Telemetry::enabled();
+        let mut collector = RollingCollector::with_windows(tele.clone(), &[1_000_000]);
+        collector.sample(0);
+        let late = tele.counter("late_total");
+        late.add(7);
+        collector.sample(1_000_000);
+        let view = collector.window_view(1_000_000).unwrap();
+        assert_eq!(view.counter_delta("late_total"), 7);
+    }
+
+    #[test]
+    fn capacity_bounds_retained_samples_and_ignores_stale_timestamps() {
+        let tele = Telemetry::enabled();
+        tele.counter("c_total").add(1);
+        let mut collector = RollingCollector::with_windows(tele, &[1_000]).with_capacity(4);
+        for t in 0..10u64 {
+            collector.sample(t * 1_000);
+        }
+        assert_eq!(collector.sample_count(), 4);
+        // Equal and backwards timestamps are dropped.
+        collector.sample(9_000);
+        collector.sample(5);
+        assert_eq!(collector.sample_count(), 4);
+        assert_eq!(collector.latest_at_us(), Some(9_000));
+    }
+
+    #[test]
+    fn gauges_report_latest_sampled_value() {
+        let tele = Telemetry::enabled();
+        let g = tele.gauge_with("depth", "cell", "0");
+        let mut collector = RollingCollector::new(tele);
+        g.set(3.0);
+        collector.sample(10);
+        g.set(7.0);
+        collector.sample(20);
+        assert_eq!(collector.gauge_value("depth"), Some(7.0));
+        assert_eq!(collector.gauge_value("absent"), None);
+        let json = collector.gauges_json();
+        assert!(json.contains("\"name\":\"depth\""), "{json}");
+        assert!(json.contains("\"labels\":{\"cell\":\"0\"}"), "{json}");
+        assert!(json.contains("\"value\":7"), "{json}");
+    }
+
+    #[test]
+    fn debug_vars_and_prometheus_fragments_render() {
+        let tele = Telemetry::enabled();
+        let c = tele.counter_with("shard_slots_total", "shard", "0");
+        let h = tele.histogram("req_us");
+        let mut collector = RollingCollector::with_windows(tele, &[1_000_000, 10_000_000]);
+        collector.sample(0);
+        c.add(25);
+        h.observe(100);
+        h.observe(200);
+        collector.sample(2_000_000);
+        let json = collector.windows_json();
+        assert!(json.starts_with("[{\"window\":\"1s\""), "{json}");
+        assert!(json.contains("\"window\":\"10s\""), "{json}");
+        assert!(
+            json.contains(
+                "\"name\":\"shard_slots_total\",\"labels\":{\"shard\":\"0\"},\"delta\":25"
+            ),
+            "{json}"
+        );
+        assert!(json.contains("\"name\":\"req_us\",\"count\":2"), "{json}");
+        let mut prom = Vec::new();
+        collector.write_prometheus_windows(&mut prom).unwrap();
+        let prom = String::from_utf8(prom).unwrap();
+        assert!(
+            prom.contains("# TYPE shard_slots_total_rate gauge"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("shard_slots_total_rate{window=\"1s\",shard=\"0\"} 12.5"),
+            "{prom}"
+        );
+        assert!(prom.contains("req_us_window_p99{window=\"1s\"}"), "{prom}");
+        assert!(prom.contains("req_us_window_max{window=\"10s\"}"), "{prom}");
+    }
+
+    #[test]
+    fn window_labels_format_seconds_and_milliseconds() {
+        assert_eq!(window_label(1_000_000), "1s");
+        assert_eq!(window_label(60_000_000), "60s");
+        assert_eq!(window_label(250_000), "250ms");
+    }
+}

@@ -1,0 +1,556 @@
+//! Declarative SLOs evaluated as multi-window burn rates.
+//!
+//! An [`SloSpec`] names a signal (a windowed histogram quantile, a
+//! windowed counter share, a gauge level, or a gauge-timestamp age)
+//! and a threshold the signal must stay **below**. The [`SloEngine`]
+//! evaluates every spec against two windows of a
+//! [`RollingCollector`] — a *fast* window that reacts to incidents and
+//! a *slow* window that filters blips — and folds the pair into a
+//! three-state machine per SLO:
+//!
+//! * burn = signal / threshold (how fast the error budget burns; 1.0
+//!   is exactly at target).
+//! * `Ok` — fast burn < 1: the recent window is within target.
+//! * `Warn` — fast burn ≥ 1 but slow burn < 1: the incident is recent
+//!   and the long-window budget still holds. Page-worthy but not yet
+//!   load-shedding material.
+//! * `Breach` — both burns ≥ 1: the degradation has persisted long
+//!   enough to eat the slow window's budget too. Consumers flip
+//!   `/readyz` to 503 on any breach so upstream load balancers move
+//!   traffic away.
+//!
+//! Recovery is the same machine run forward: once the fast window is
+//! clean again the state returns to `Ok` (via the same transition
+//! path), so a drained backlog heals readiness without manual resets.
+//! Every state change emits one structured `slo_breach` event carrying
+//! the SLO name, both burn rates, and the from/to states.
+
+use crate::rolling::{RollingCollector, WindowView};
+use crate::{FieldValue, Telemetry};
+
+/// The measured signal an SLO constrains.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloSignal {
+    /// Windowed quantile of a histogram (e.g. `request_us p99`).
+    HistogramQuantile {
+        /// Histogram metric name (same-name series merged).
+        metric: String,
+        /// Quantile in `[0, 1]`.
+        q: f64,
+    },
+    /// Windowed ratio of two counters (e.g. shed fraction =
+    /// rejected / requests). Zero when the denominator is idle.
+    CounterShare {
+        /// Numerator counter name.
+        part: String,
+        /// Denominator counter name.
+        total: String,
+    },
+    /// Latest value of a gauge (e.g. the certified competitive ratio).
+    /// Window-independent: both burns read the same level.
+    GaugeLevel {
+        /// Gauge metric name.
+        metric: String,
+    },
+    /// Age in microseconds of a gauge storing a
+    /// [`crate::monotonic_us`] timestamp (per-shard slot staleness).
+    /// Zero (healthy) until the gauge is first written.
+    GaugeAgeUs {
+        /// Gauge metric name.
+        metric: String,
+    },
+}
+
+/// One declarative objective: `signal < threshold`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Short stable name, used in events and reports.
+    pub name: String,
+    /// The measured signal.
+    pub signal: SloSignal,
+    /// The level the signal must stay strictly below.
+    pub threshold: f64,
+}
+
+impl SloSpec {
+    /// `metric p99 < threshold_us`.
+    #[must_use]
+    pub fn p99_below(name: &str, metric: &str, threshold_us: f64) -> Self {
+        SloSpec {
+            name: name.to_string(),
+            signal: SloSignal::HistogramQuantile {
+                metric: metric.to_string(),
+                q: 0.99,
+            },
+            threshold: threshold_us,
+        }
+    }
+
+    /// `part / total < fraction` over the window.
+    #[must_use]
+    pub fn share_below(name: &str, part: &str, total: &str, fraction: f64) -> Self {
+        SloSpec {
+            name: name.to_string(),
+            signal: SloSignal::CounterShare {
+                part: part.to_string(),
+                total: total.to_string(),
+            },
+            threshold: fraction,
+        }
+    }
+
+    /// `gauge < threshold` (e.g. `ratio < 2.618`).
+    #[must_use]
+    pub fn gauge_below(name: &str, metric: &str, threshold: f64) -> Self {
+        SloSpec {
+            name: name.to_string(),
+            signal: SloSignal::GaugeLevel {
+                metric: metric.to_string(),
+            },
+            threshold,
+        }
+    }
+
+    /// `now − gauge_timestamp < threshold_us` (slot staleness).
+    #[must_use]
+    pub fn staleness_below(name: &str, metric: &str, threshold_us: f64) -> Self {
+        SloSpec {
+            name: name.to_string(),
+            signal: SloSignal::GaugeAgeUs {
+                metric: metric.to_string(),
+            },
+            threshold: threshold_us,
+        }
+    }
+}
+
+/// Health state of one SLO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SloState {
+    /// Fast window within target.
+    #[default]
+    Ok,
+    /// Fast window over target, slow window still within.
+    Warn,
+    /// Both windows over target.
+    Breach,
+}
+
+impl SloState {
+    /// Stable lowercase name (`ok`/`warn`/`breach`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloState::Ok => "ok",
+            SloState::Warn => "warn",
+            SloState::Breach => "breach",
+        }
+    }
+}
+
+/// The latest evaluation of one SLO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// Spec name.
+    pub name: String,
+    /// Current state.
+    pub state: SloState,
+    /// Signal value over the fast window.
+    pub value_fast: f64,
+    /// Signal value over the slow window.
+    pub value_slow: f64,
+    /// `value_fast / threshold`.
+    pub burn_fast: f64,
+    /// `value_slow / threshold`.
+    pub burn_slow: f64,
+    /// The configured threshold.
+    pub threshold: f64,
+}
+
+/// A state change produced by one evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloTransition {
+    /// Spec name.
+    pub name: String,
+    /// State before the evaluation.
+    pub from: SloState,
+    /// State after the evaluation.
+    pub to: SloState,
+}
+
+/// Evaluates a set of [`SloSpec`]s against fast/slow rolling windows.
+#[derive(Debug)]
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    fast_window_us: u64,
+    slow_window_us: u64,
+    statuses: Vec<SloStatus>,
+}
+
+impl SloEngine {
+    /// An engine over `specs` with the given burn windows
+    /// (microseconds; fast should be shorter than slow). All SLOs
+    /// start `Ok`.
+    #[must_use]
+    pub fn new(specs: Vec<SloSpec>, fast_window_us: u64, slow_window_us: u64) -> Self {
+        let statuses = specs
+            .iter()
+            .map(|spec| SloStatus {
+                name: spec.name.clone(),
+                state: SloState::Ok,
+                value_fast: 0.0,
+                value_slow: 0.0,
+                burn_fast: 0.0,
+                burn_slow: 0.0,
+                threshold: spec.threshold,
+            })
+            .collect();
+        SloEngine {
+            specs,
+            fast_window_us,
+            slow_window_us,
+            statuses,
+        }
+    }
+
+    /// Whether the engine has any objectives.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The configured specs.
+    #[must_use]
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// The fast burn window in microseconds.
+    #[must_use]
+    pub fn fast_window_us(&self) -> u64 {
+        self.fast_window_us
+    }
+
+    /// The slow burn window in microseconds.
+    #[must_use]
+    pub fn slow_window_us(&self) -> u64 {
+        self.slow_window_us
+    }
+
+    /// Latest per-SLO statuses (in spec order).
+    #[must_use]
+    pub fn statuses(&self) -> &[SloStatus] {
+        &self.statuses
+    }
+
+    /// Whether any SLO is currently in `Breach`.
+    #[must_use]
+    pub fn any_breached(&self) -> bool {
+        self.statuses.iter().any(|s| s.state == SloState::Breach)
+    }
+
+    /// Re-evaluates every SLO against the collector's current windows,
+    /// emitting one `slo_breach` event per state change on `telemetry`
+    /// and returning the transitions. With fewer than two samples the
+    /// windows cannot form and every SLO holds its state.
+    pub fn evaluate(
+        &mut self,
+        collector: &RollingCollector,
+        telemetry: &Telemetry,
+    ) -> Vec<SloTransition> {
+        let fast = collector.window_view(self.fast_window_us);
+        let slow = collector.window_view(self.slow_window_us);
+        let (Some(fast), Some(slow)) = (fast, slow) else {
+            return Vec::new();
+        };
+        let mut transitions = Vec::new();
+        for (spec, status) in self.specs.iter().zip(self.statuses.iter_mut()) {
+            let value_fast = signal_value(&spec.signal, &fast, collector);
+            let value_slow = signal_value(&spec.signal, &slow, collector);
+            let burn = |value: f64| {
+                if spec.threshold > 0.0 {
+                    value / spec.threshold
+                } else if value > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            };
+            let burn_fast = burn(value_fast);
+            let burn_slow = burn(value_slow);
+            let next = if burn_fast >= 1.0 && burn_slow >= 1.0 {
+                SloState::Breach
+            } else if burn_fast >= 1.0 {
+                SloState::Warn
+            } else {
+                SloState::Ok
+            };
+            let prev = status.state;
+            status.state = next;
+            status.value_fast = value_fast;
+            status.value_slow = value_slow;
+            status.burn_fast = burn_fast;
+            status.burn_slow = burn_slow;
+            if next != prev {
+                telemetry.event(
+                    "slo_breach",
+                    &[
+                        ("slo", FieldValue::Text(spec.name.clone())),
+                        ("from", FieldValue::Str(prev.as_str())),
+                        ("to", FieldValue::Str(next.as_str())),
+                        ("value_fast", FieldValue::F64(value_fast)),
+                        ("value_slow", FieldValue::F64(value_slow)),
+                        ("burn_fast", FieldValue::F64(burn_fast)),
+                        ("burn_slow", FieldValue::F64(burn_slow)),
+                        ("threshold", FieldValue::F64(spec.threshold)),
+                    ],
+                );
+                transitions.push(SloTransition {
+                    name: spec.name.clone(),
+                    from: prev,
+                    to: next,
+                });
+            }
+        }
+        transitions
+    }
+
+    /// The `"slos"` fragment of `/debug/vars`: one JSON object per SLO
+    /// with its state, values, and burn rates.
+    #[must_use]
+    pub fn statuses_json(&self) -> String {
+        use crate::export::{json_f64, json_str};
+        let mut out = String::from("[");
+        for (i, s) in self.statuses.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"state\":{},\"value_fast\":{},\"value_slow\":{},\"burn_fast\":{},\"burn_slow\":{},\"threshold\":{}}}",
+                json_str(&s.name),
+                json_str(s.state.as_str()),
+                json_f64(s.value_fast),
+                json_f64(s.value_slow),
+                json_f64(s.burn_fast),
+                json_f64(s.burn_slow),
+                json_f64(s.threshold)
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn signal_value(signal: &SloSignal, view: &WindowView, collector: &RollingCollector) -> f64 {
+    match signal {
+        SloSignal::HistogramQuantile { metric, q } => {
+            view.histogram_quantile(metric, *q).unwrap_or(0.0)
+        }
+        SloSignal::CounterShare { part, total } => {
+            let total = view.counter_delta(total);
+            if total == 0 {
+                0.0
+            } else {
+                view.counter_delta(part) as f64 / total as f64
+            }
+        }
+        SloSignal::GaugeLevel { metric } => collector.gauge_value(metric).unwrap_or(0.0),
+        SloSignal::GaugeAgeUs { metric } => {
+            let stamp = collector.gauge_value(metric).unwrap_or(0.0);
+            if stamp <= 0.0 {
+                return 0.0;
+            }
+            (view.at_us as f64 - stamp).max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rolling::RollingCollector;
+
+    const FAST: u64 = 1_000_000;
+    const SLOW: u64 = 10_000_000;
+
+    fn shed_engine(threshold: f64) -> SloEngine {
+        SloEngine::new(
+            vec![SloSpec::share_below(
+                "shed_fraction",
+                "rejected_total",
+                "requests_total",
+                threshold,
+            )],
+            FAST,
+            SLOW,
+        )
+    }
+
+    #[test]
+    fn healthy_traffic_stays_ok_and_emits_nothing() {
+        let tele = Telemetry::enabled();
+        let requests = tele.counter("requests_total");
+        let _ = tele.counter("rejected_total");
+        let mut collector = RollingCollector::with_windows(tele.clone(), &[FAST, SLOW]);
+        let mut engine = shed_engine(0.05);
+        collector.sample(0);
+        requests.add(100);
+        collector.sample(FAST);
+        assert!(engine.evaluate(&collector, &tele).is_empty());
+        assert_eq!(engine.statuses()[0].state, SloState::Ok);
+        assert!(!engine.any_breached());
+        assert!(tele.take_events().is_empty());
+    }
+
+    #[test]
+    fn warn_then_breach_then_recover_with_transition_events() {
+        let tele = Telemetry::enabled();
+        let requests = tele.counter("requests_total");
+        let rejected = tele.counter("rejected_total");
+        let mut collector = RollingCollector::with_windows(tele.clone(), &[FAST, SLOW]);
+        let mut engine = shed_engine(0.05);
+
+        // t=0: baseline.
+        collector.sample(0);
+        // Healthy era: 400 requests, no sheds, sampled at t=9s.
+        requests.add(400);
+        collector.sample(9_000_000);
+        // Burst: 10 requests, 8 shed, sampled at t=10s. Fast window
+        // (baseline t=9s) sees 8/10 = 0.8 ≥ 0.05; slow window
+        // (baseline t=0) sees 8/410 ≈ 0.0195 < 0.05 → Warn.
+        requests.add(10);
+        rejected.add(8);
+        collector.sample(10_000_000);
+        let transitions = engine.evaluate(&collector, &tele);
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(transitions[0].from, SloState::Ok);
+        assert_eq!(transitions[0].to, SloState::Warn);
+        assert!(!engine.any_breached());
+
+        // Sustained burst: 20 more requests, all shed, t=11s. Fast
+        // window (baseline t=10s) is 20/20 = 1.0; slow window
+        // (baseline t=0 still, 11s of history < 10s cutoff at t=1s →
+        // baseline t=0) is 28/430 ≈ 0.065 ≥ 0.05 → Breach.
+        requests.add(20);
+        rejected.add(20);
+        collector.sample(11_000_000);
+        let transitions = engine.evaluate(&collector, &tele);
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(transitions[0].from, SloState::Warn);
+        assert_eq!(transitions[0].to, SloState::Breach);
+        assert!(engine.any_breached());
+
+        // Quiet second: no new traffic in the fast window → value 0 →
+        // recovery to Ok.
+        collector.sample(12_000_000);
+        let transitions = engine.evaluate(&collector, &tele);
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(transitions[0].from, SloState::Breach);
+        assert_eq!(transitions[0].to, SloState::Ok);
+        assert!(!engine.any_breached());
+
+        // Three transitions → three slo_breach events with burn fields.
+        let events: Vec<_> = tele
+            .take_events()
+            .into_iter()
+            .filter(|e| e.name == "slo_breach")
+            .collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0].fields[0],
+            ("slo", FieldValue::Text("shed_fraction".to_string()))
+        );
+        assert_eq!(events[1].fields[1], ("from", FieldValue::Str("warn")));
+        assert_eq!(events[1].fields[2], ("to", FieldValue::Str("breach")));
+    }
+
+    #[test]
+    fn p99_slo_tracks_the_windowed_quantile_not_the_cumulative() {
+        let tele = Telemetry::enabled();
+        let lat = tele.histogram("request_us");
+        let mut collector = RollingCollector::with_windows(tele.clone(), &[FAST, SLOW]);
+        let mut engine = SloEngine::new(
+            vec![SloSpec::p99_below("latency", "request_us", 1_000.0)],
+            FAST,
+            SLOW,
+        );
+        // Slow era before the collector starts watching.
+        for _ in 0..100 {
+            lat.observe(50_000);
+        }
+        collector.sample(0);
+        for _ in 0..100 {
+            lat.observe(50_000);
+        }
+        collector.sample(FAST);
+        engine.evaluate(&collector, &tele);
+        assert_eq!(engine.statuses()[0].state, SloState::Breach);
+        // Fast era: latencies fall; the windowed p99 recovers even
+        // though the cumulative histogram is still dominated by 50ms.
+        for _ in 0..100 {
+            lat.observe(10);
+        }
+        collector.sample(2 * FAST);
+        engine.evaluate(&collector, &tele);
+        assert_eq!(engine.statuses()[0].state, SloState::Ok);
+    }
+
+    #[test]
+    fn gauge_level_and_staleness_signals() {
+        let tele = Telemetry::enabled();
+        let ratio = tele.gauge("serve_empirical_ratio");
+        let stamp = tele.gauge_with("shard_last_slot_us", "shard", "0");
+        tele.counter("keepalive_total").add(1);
+        let mut collector = RollingCollector::with_windows(tele.clone(), &[FAST, SLOW]);
+        let mut engine = SloEngine::new(
+            vec![
+                SloSpec::gauge_below("ratio", "serve_empirical_ratio", 2.618),
+                SloSpec::staleness_below("staleness", "shard_last_slot_us", 2_000_000.0),
+            ],
+            FAST,
+            SLOW,
+        );
+        collector.sample(0);
+        ratio.set(1.9);
+        // Unwritten stamp (0) means "no slots yet", not "stale forever".
+        collector.sample(FAST);
+        engine.evaluate(&collector, &tele);
+        assert_eq!(engine.statuses()[0].state, SloState::Ok);
+        assert_eq!(engine.statuses()[1].state, SloState::Ok);
+        // Ratio drifts past the paper bound; the shard stamp is 5s old.
+        ratio.set(3.0);
+        stamp.set(1_000_000.0);
+        collector.sample(6_000_000);
+        engine.evaluate(&collector, &tele);
+        assert_eq!(engine.statuses()[0].state, SloState::Breach);
+        assert_eq!(engine.statuses()[1].state, SloState::Breach);
+        let ages = &engine.statuses()[1];
+        assert!((ages.value_fast - 5_000_000.0).abs() < 1.0);
+        // A fresh slot heals staleness; ratio back under the bound.
+        ratio.set(2.0);
+        stamp.set(6_500_000.0);
+        collector.sample(7_000_000);
+        engine.evaluate(&collector, &tele);
+        assert!(!engine.any_breached());
+    }
+
+    #[test]
+    fn no_windows_means_no_state_changes() {
+        let tele = Telemetry::enabled();
+        let collector = RollingCollector::with_windows(tele.clone(), &[FAST, SLOW]);
+        let mut engine = shed_engine(0.05);
+        assert!(engine.evaluate(&collector, &tele).is_empty());
+        assert_eq!(engine.statuses()[0].state, SloState::Ok);
+    }
+
+    #[test]
+    fn statuses_render_as_json() {
+        let engine = shed_engine(0.05);
+        let json = engine.statuses_json();
+        assert!(
+            json.starts_with("[{\"name\":\"shed_fraction\",\"state\":\"ok\""),
+            "{json}"
+        );
+        assert!(json.contains("\"threshold\":0.05"), "{json}");
+    }
+}
