@@ -78,6 +78,13 @@ OPTIONS (run / serve / generate):
     --eta <f64>       prediction noise (default from config)
     --commitment <r>  CHC commitment level (default 3)
     --horizon <T>     override the scenario horizon
+    --catalog <K>     override the catalog size (contents); production
+                      regimes pair a large catalog (10k+) with a low
+                      --density
+    --density <f>     demand sparsity in (0, 1]: each (slot, SBS,
+                      content) triple carries demand with probability f
+                      (deterministic mask shared by batch, serve and
+                      loadgen paths; default 1 = fully dense)
     --threads <n>     worker threads for per-SBS solves (0 = auto;
                       default auto, also settable via JOCAL_THREADS;
                       results are identical for every thread count)
@@ -223,6 +230,10 @@ pub struct CliArgs {
     pub commitment: usize,
     /// `--horizon`
     pub horizon: Option<usize>,
+    /// `--catalog` (override the scenario catalog size `K`)
+    pub catalog: Option<usize>,
+    /// `--density` (demand sparsity mask fraction in `(0, 1]`)
+    pub density: Option<f64>,
     /// `--threads` (`Some(0)` means auto-detect)
     pub threads: Option<usize>,
     /// `--slots` (serve: number of slots to stream)
@@ -397,6 +408,26 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, Box<dyn Error>> {
                         .parse()
                         .map_err(|_| CliError::boxed("--threads expects a usize"))?,
                 );
+                i += 2;
+            }
+            "--catalog" => {
+                let k: usize = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--catalog expects a usize >= 1"))?;
+                if k == 0 {
+                    return Err(CliError::boxed("--catalog must be at least 1"));
+                }
+                out.catalog = Some(k);
+                i += 2;
+            }
+            "--density" => {
+                let f: f64 = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--density expects a fraction in (0, 1]"))?;
+                if !f.is_finite() || f <= 0.0 || f > 1.0 {
+                    return Err(CliError::boxed("--density must lie in (0, 1]"));
+                }
+                out.density = Some(f);
                 i += 2;
             }
             "--slots" => {
@@ -769,6 +800,12 @@ fn load_config(args: &CliArgs) -> Result<ScenarioConfig, Box<dyn Error>> {
     if let Some(eta) = args.eta {
         config = config.with_eta(eta);
     }
+    if let Some(k) = args.catalog {
+        config = config.with_num_contents(k);
+    }
+    if let Some(f) = args.density {
+        config = config.with_nonzero_fraction(f);
+    }
     Ok(config)
 }
 
@@ -1062,7 +1099,8 @@ pub fn run_serve(args: &CliArgs) -> Result<ServeReport, Box<dyn Error>> {
         popularity,
         config.temporal.clone(),
         ScenarioConfig::demand_seed(args.seed),
-    )?;
+    )?
+    .with_nonzero_fraction(config.nonzero_fraction)?;
     let slots = args.slots.unwrap_or(config.horizon);
     let mut source = SyntheticSource::bounded(generator, network.clone(), slots);
 
@@ -1173,7 +1211,8 @@ pub fn run_serve_cluster(args: &CliArgs) -> Result<ClusterReport, Box<dyn Error>
             popularity,
             config.temporal.clone(),
             ScenarioConfig::demand_seed(seed),
-        )?;
+        )?
+        .with_nonzero_fraction(config.nonzero_fraction)?;
         let source = SyntheticSource::bounded(generator, network.clone(), slots);
         let policy = build_online_policy(scheme, &run_cfg).ok_or_else(|| {
             CliError::boxed("`serve` drives step-wise policies; `offline` has no step-wise form")
@@ -1718,6 +1757,32 @@ mod tests {
         assert!(parse_args(&strings(&["run", "--threads", "x"])).is_err());
         let unset = parse_args(&strings(&["run", "--scheme", "rhc"])).unwrap();
         assert_eq!(unset.threads, None);
+    }
+
+    #[test]
+    fn parses_catalog_and_density_flags() {
+        let args = parse_args(&strings(&[
+            "serve",
+            "--catalog",
+            "10000",
+            "--density",
+            "0.01",
+        ]))
+        .unwrap();
+        assert_eq!(args.catalog, Some(10_000));
+        assert_eq!(args.density, Some(0.01));
+        let cfg = load_config(&args).unwrap();
+        assert_eq!(cfg.num_contents, 10_000);
+        assert_eq!(cfg.nonzero_fraction, Some(0.01));
+        // Unset flags leave the scenario untouched.
+        let unset = parse_args(&strings(&["serve"])).unwrap();
+        let cfg = load_config(&unset).unwrap();
+        assert_eq!(cfg.num_contents, 30);
+        assert_eq!(cfg.nonzero_fraction, None);
+        // Validation.
+        assert!(parse_args(&strings(&["serve", "--catalog", "0"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--density", "0"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--density", "1.5"])).is_err());
     }
 
     #[test]

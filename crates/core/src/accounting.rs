@@ -9,6 +9,7 @@
 use crate::cost::CostModel;
 use crate::plan::{CachePlan, CacheState, LoadPlan};
 use crate::problem::ProblemInstance;
+use crate::sparse::SlotNonzeros;
 use jocal_sim::demand::DemandTrace;
 use jocal_sim::topology::Network;
 use serde::{Deserialize, Serialize};
@@ -79,6 +80,33 @@ pub fn evaluate_slot(
     slot
 }
 
+/// [`evaluate_slot`] driven by the slot's nonzero demand index instead
+/// of the dense trace — bit-identical (see [`crate::sparse`]) and
+/// `O(nnz)` per slot. The demand trace itself is not needed: the index
+/// carries every `λ` the operating costs read.
+#[must_use]
+pub fn evaluate_slot_sparse(
+    network: &Network,
+    model: &CostModel,
+    nonzeros: &SlotNonzeros,
+    prev: &CacheState,
+    cache: &CacheState,
+    y: &LoadPlan,
+    t: usize,
+) -> CostBreakdown {
+    let mut slot = CostBreakdown {
+        bs_operating: model.f_t_sparse(network, nonzeros, y, t),
+        sbs_operating: model.g_t_sparse(network, nonzeros, y, t),
+        ..Default::default()
+    };
+    for (n, sbs) in network.iter_sbs() {
+        let fetches = cache.fetches_from(prev, n);
+        slot.replacement += sbs.replacement_cost() * fetches as f64;
+        slot.replacement_count += fetches;
+    }
+    slot
+}
+
 /// Evaluates a full plan against ground-truth demand.
 ///
 /// `problem` supplies the network, demand, cost model and initial cache
@@ -101,18 +129,16 @@ pub fn evaluate_per_slot(
     let network = problem.network();
     let demand = problem.demand();
     let model = problem.cost_model();
+    let sparse = problem.sparse_enabled().then(|| problem.nonzeros());
     let mut out = Vec::with_capacity(x.horizon());
     let mut prev: &CacheState = problem.initial_cache();
     for t in 0..x.horizon().min(y.horizon()) {
-        out.push(evaluate_slot(
-            network,
-            model,
-            demand,
-            prev,
-            x.state(t),
-            y,
-            t,
-        ));
+        out.push(match sparse {
+            Some(nonzeros) => {
+                evaluate_slot_sparse(network, model, nonzeros, prev, x.state(t), y, t)
+            }
+            None => evaluate_slot(network, model, demand, prev, x.state(t), y, t),
+        });
         prev = x.state(t);
     }
     out

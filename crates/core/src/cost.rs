@@ -16,6 +16,7 @@
 //! `h(X^t, X^{t−1}) = Σ_n β_n Σ_k (x^t − x^{t−1})⁺` (eq. 8).
 
 use crate::plan::{CachePlan, CacheState, LoadPlan};
+use crate::sparse::SlotNonzeros;
 use jocal_sim::demand::DemandTrace;
 use jocal_sim::topology::{ClassId, ContentId, Network, SbsId};
 use serde::{Deserialize, Serialize};
@@ -149,6 +150,77 @@ impl CostModel {
         v
     }
 
+    /// [`CostModel::bs_load`] over the slot's nonzero demand entries
+    /// only — bit-identical (zero-λ terms contribute exactly `+0.0` to
+    /// the per-class inner sums, and empty classes contribute `+0.0` to
+    /// the outer sum; see [`crate::sparse`]), `O(nnz)` instead of
+    /// `O(M·K)`.
+    #[must_use]
+    pub fn bs_load_sparse(
+        &self,
+        network: &Network,
+        nonzeros: &SlotNonzeros,
+        y: &LoadPlan,
+        t: usize,
+        n: SbsId,
+    ) -> f64 {
+        let sbs = network.sbs(n).expect("sbs id validated by caller");
+        let classes = sbs.classes();
+        let k_total = network.num_contents();
+        let yb = y.tensor().sbs_slot_slice(t, n);
+        let entries = nonzeros.slot(t, n);
+        let mut u = 0.0;
+        let mut i = 0;
+        // Entries are in m·K + k order, so each class's run is
+        // contiguous: accumulate the per-class inner sum in the dense
+        // order, then apply ω_m — exactly the dense nesting.
+        while i < entries.len() {
+            let m = entries[i].idx as usize / k_total;
+            let class_end = (m + 1) * k_total;
+            let mut inner = 0.0;
+            while i < entries.len() && (entries[i].idx as usize) < class_end {
+                let e = entries[i];
+                inner += (1.0 - yb[e.idx as usize]) * e.lambda;
+                i += 1;
+            }
+            u += classes[m].omega_bs * inner;
+        }
+        u
+    }
+
+    /// [`CostModel::sbs_load`] over the slot's nonzero demand entries
+    /// only (same bit-parity argument as
+    /// [`CostModel::bs_load_sparse`]).
+    #[must_use]
+    pub fn sbs_load_sparse(
+        &self,
+        network: &Network,
+        nonzeros: &SlotNonzeros,
+        y: &LoadPlan,
+        t: usize,
+        n: SbsId,
+    ) -> f64 {
+        let sbs = network.sbs(n).expect("sbs id validated by caller");
+        let classes = sbs.classes();
+        let k_total = network.num_contents();
+        let yb = y.tensor().sbs_slot_slice(t, n);
+        let entries = nonzeros.slot(t, n);
+        let mut v = 0.0;
+        let mut i = 0;
+        while i < entries.len() {
+            let m = entries[i].idx as usize / k_total;
+            let class_end = (m + 1) * k_total;
+            let mut inner = 0.0;
+            while i < entries.len() && (entries[i].idx as usize) < class_end {
+                let e = entries[i];
+                inner += yb[e.idx as usize] * e.lambda;
+                i += 1;
+            }
+            v += classes[m].omega_sbs * inner;
+        }
+        v
+    }
+
     /// BS operating cost `f_t(Y^t)` (eq. 5 generalized).
     #[must_use]
     pub fn f_t(&self, network: &Network, demand: &DemandTrace, y: &LoadPlan, t: usize) -> f64 {
@@ -164,6 +236,44 @@ impl CostModel {
         network
             .iter_sbs()
             .map(|(n, _)| self.sbs_cost.value(self.sbs_load(network, demand, y, t, n)))
+            .sum()
+    }
+
+    /// [`CostModel::f_t`] over the slot's nonzero demand entries only
+    /// (bit-identical; see [`CostModel::bs_load_sparse`]).
+    #[must_use]
+    pub fn f_t_sparse(
+        &self,
+        network: &Network,
+        nonzeros: &SlotNonzeros,
+        y: &LoadPlan,
+        t: usize,
+    ) -> f64 {
+        network
+            .iter_sbs()
+            .map(|(n, _)| {
+                self.bs_cost
+                    .value(self.bs_load_sparse(network, nonzeros, y, t, n))
+            })
+            .sum()
+    }
+
+    /// [`CostModel::g_t`] over the slot's nonzero demand entries only
+    /// (bit-identical; see [`CostModel::sbs_load_sparse`]).
+    #[must_use]
+    pub fn g_t_sparse(
+        &self,
+        network: &Network,
+        nonzeros: &SlotNonzeros,
+        y: &LoadPlan,
+        t: usize,
+    ) -> f64 {
+        network
+            .iter_sbs()
+            .map(|(n, _)| {
+                self.sbs_cost
+                    .value(self.sbs_load_sparse(network, nonzeros, y, t, n))
+            })
             .sum()
     }
 
@@ -305,6 +415,33 @@ mod tests {
         let total = model.total(&n, &d, &CacheState::empty(&n), &x, &y);
         // t=0: f = (1·3 + 2·3)² = 81, g = 0, h = 5. t=1: demand zero → 0.
         assert!((total - 86.0).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn sparse_loads_match_dense_bitwise() {
+        let n = net();
+        let d = demand(&n);
+        let nz = crate::sparse::SlotNonzeros::from_demand(&d);
+        let model = CostModel::paper();
+        let mut y = LoadPlan::zeros(&n, 2);
+        y.set_y(0, SbsId(0), ClassId(1), ContentId(1), 0.75);
+        y.set_y(0, SbsId(0), ClassId(0), ContentId(0), 0.3);
+        for t in 0..2 {
+            let dense_u = model.bs_load(&n, &d, &y, t, SbsId(0));
+            let sparse_u = model.bs_load_sparse(&n, &nz, &y, t, SbsId(0));
+            assert_eq!(dense_u.to_bits(), sparse_u.to_bits(), "t={t}");
+            let dense_v = model.sbs_load(&n, &d, &y, t, SbsId(0));
+            let sparse_v = model.sbs_load_sparse(&n, &nz, &y, t, SbsId(0));
+            assert_eq!(dense_v.to_bits(), sparse_v.to_bits(), "t={t}");
+            assert_eq!(
+                model.f_t(&n, &d, &y, t).to_bits(),
+                model.f_t_sparse(&n, &nz, &y, t).to_bits()
+            );
+            assert_eq!(
+                model.g_t(&n, &d, &y, t).to_bits(),
+                model.g_t_sparse(&n, &nz, &y, t).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::accounting::CostBreakdown;
 use crate::cost::CostModel;
 use crate::plan::{CachePlan, CacheState, LoadPlan};
 use crate::problem::ProblemInstance;
+use crate::sparse::SlotNonzeros;
 use jocal_sim::demand::DemandTrace;
 use jocal_sim::topology::{ClassId, ContentId, Network};
 use serde::{Deserialize, Serialize};
@@ -185,6 +186,66 @@ pub fn ledger_slot(
     out
 }
 
+/// [`ledger_slot`] driven by the slot's nonzero demand index — bitwise
+/// equal to the dense attribution (every skipped term is an exact
+/// `+0.0`; see [`crate::sparse`]) in `O(nnz)` per slot. The index
+/// carries every `λ` the ledger reads, so no demand trace is needed.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors ledger_slot
+pub fn ledger_slot_sparse(
+    network: &Network,
+    model: &CostModel,
+    nonzeros: &SlotNonzeros,
+    prev: &CacheState,
+    cache: &CacheState,
+    y: &LoadPlan,
+    t: usize,
+    slot: usize,
+) -> SlotLedger {
+    let k_total = network.num_contents();
+    let mut out = SlotLedger {
+        slot,
+        per_sbs: Vec::with_capacity(network.num_sbs()),
+        ..Default::default()
+    };
+    for (n, sbs) in network.iter_sbs() {
+        let fetches = cache.fetches_from(prev, n);
+        let evictions = (prev.occupancy(n) + fetches).saturating_sub(cache.occupancy(n));
+        let mut entry = SbsLedger {
+            sbs: n.0,
+            bs_cost: model
+                .bs_cost
+                .value(model.bs_load_sparse(network, nonzeros, y, t, n)),
+            sbs_cost: model
+                .sbs_cost
+                .value(model.sbs_load_sparse(network, nonzeros, y, t, n)),
+            replacement: sbs.replacement_cost() * fetches as f64,
+            fetches,
+            evictions,
+            ..Default::default()
+        };
+        let yb = y.tensor().sbs_slot_slice(t, n);
+        for e in nonzeros.slot(t, n) {
+            let i = e.idx as usize;
+            entry.demand += e.lambda;
+            entry.offloaded += e.lambda * yb[i];
+            if cache.contains(n, ContentId(i % k_total)) {
+                entry.hit_demand += e.lambda;
+            }
+        }
+        out.bs_operating += entry.bs_cost;
+        out.sbs_operating += entry.sbs_cost;
+        out.replacement += entry.replacement;
+        out.fetches += entry.fetches;
+        out.evictions += entry.evictions;
+        out.demand += entry.demand;
+        out.offloaded += entry.offloaded;
+        out.hit_demand += entry.hit_demand;
+        out.per_sbs.push(entry);
+    }
+    out
+}
+
 /// Attributes a full executed plan slot by slot (the batch counterpart
 /// of the serving engine's streamed ledger).
 #[must_use]
@@ -192,20 +253,15 @@ pub fn ledger_plan(problem: &ProblemInstance, x: &CachePlan, y: &LoadPlan) -> Ve
     let network = problem.network();
     let demand = problem.demand();
     let model = problem.cost_model();
+    let sparse = problem.sparse_enabled().then(|| problem.nonzeros());
     let horizon = x.horizon().min(y.horizon());
     let mut out = Vec::with_capacity(horizon);
     let mut prev: &CacheState = problem.initial_cache();
     for t in 0..horizon {
-        out.push(ledger_slot(
-            network,
-            model,
-            demand,
-            prev,
-            x.state(t),
-            y,
-            t,
-            t,
-        ));
+        out.push(match sparse {
+            Some(nz) => ledger_slot_sparse(network, model, nz, prev, x.state(t), y, t, t),
+            None => ledger_slot(network, model, demand, prev, x.state(t), y, t, t),
+        });
         prev = x.state(t);
     }
     out
@@ -237,6 +293,21 @@ mod tests {
         // The per-SBS rows sum to the slot totals (same order → bitwise).
         let f: f64 = ledger.per_sbs.iter().map(|e| e.bs_cost).sum();
         assert_eq!(f.to_bits(), ledger.bs_operating.to_bits());
+    }
+
+    #[test]
+    fn sparse_ledger_matches_dense_bitwise() {
+        let s = ScenarioConfig::tiny().build(11).unwrap();
+        let model = CostModel::paper();
+        let nz = SlotNonzeros::from_demand(&s.demand);
+        let prev = CacheState::empty(&s.network);
+        let mut cache = CacheState::empty(&s.network);
+        cache.set(SbsId(0), ContentId(0), true);
+        let mut y = LoadPlan::zeros(&s.network, 1);
+        y.set_y(0, SbsId(0), ClassId(0), ContentId(0), 0.7);
+        let dense = ledger_slot(&s.network, &model, &s.demand, &prev, &cache, &y, 0, 0);
+        let sparse = ledger_slot_sparse(&s.network, &model, &nz, &prev, &cache, &y, 0, 0);
+        assert_eq!(dense, sparse);
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //!   with [`accounting`].
 //! * [`shutdown`] — the cooperative per-slot stop flag long runs check
 //!   so interrupts flush sinks instead of tearing the process down.
+//! * [`sparse`] — the nonzero demand index the slot-solve hot path
+//!   iterates instead of the dense `M·K` blocks (bit-identical to the
+//!   dense sweep; dense retained as the parity oracle).
 //!
 //! # Example
 //!
@@ -67,6 +70,7 @@ pub mod plan;
 pub mod primal_dual;
 pub mod problem;
 pub mod shutdown;
+pub mod sparse;
 pub mod tensor;
 pub mod workspace;
 
@@ -78,4 +82,5 @@ pub use observe::SubSolveMetrics;
 pub use plan::{CachePlan, CacheState, LoadPlan};
 pub use problem::ProblemInstance;
 pub use shutdown::ShutdownFlag;
-pub use workspace::{Parallelism, SbsSubproblem, SlotSolveStats, SlotWorkspace};
+pub use sparse::{NonzeroEntry, SlotNonzeros};
+pub use workspace::{Parallelism, SbsSubproblem, SlotSolveStats, SlotWorkspace, SparseSlotInput};

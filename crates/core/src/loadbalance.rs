@@ -35,7 +35,7 @@ use crate::plan::{CachePlan, LoadPlan};
 use crate::problem::ProblemInstance;
 use crate::tensor::Tensor4;
 use crate::workspace::{
-    parallel_map_with, Parallelism, SbsSubproblem, SlotSolveStats, SlotWorkspace,
+    parallel_map_with, Parallelism, SbsSubproblem, SlotSolveStats, SlotWorkspace, SparseSlotInput,
 };
 use crate::CoreError;
 use jocal_sim::topology::SbsId;
@@ -102,10 +102,43 @@ fn solve_sbs_column(
     cost_model: &CostModel,
 ) -> Result<(Vec<f64>, f64, SlotSolveStats), CoreError> {
     let block = sub.block_len();
-    let mut col = vec![0.0; horizon * block];
     let mut objective = 0.0;
     ws.stats = SlotSolveStats::default();
     sub.fill_weights(ws);
+    if sub.problem().sparse_enabled() {
+        // Sparse hot path: feed each slot's nonzero entries straight to
+        // the compressed solve — no dense demand/linear/upper staging —
+        // and collect the solutions *compactly*, one value per indexed
+        // entry in slot-then-entry order. The driver scatters them back
+        // through the same index. Bit-identical to the dense branch
+        // below (see `crate::sparse`).
+        let nonzeros = sub.problem().nonzeros();
+        let k_total = sub.problem().network().num_contents();
+        let n = sub.sbs_id();
+        let total: usize = (0..horizon).map(|t| nonzeros.slot(t, n).len()).sum();
+        let mut col = vec![0.0; total];
+        let mut off = 0;
+        for t in 0..horizon {
+            let entries = nonzeros.slot(t, n);
+            let input = SparseSlotInput {
+                k_total,
+                entries,
+                linear: mu.map(|mu| mu.sbs_slot_slice(t, n)),
+                cached: x.map(|x| (x.state(t), n)),
+                warm: warm.map(|w| w.tensor().sbs_slot_slice(t, n)),
+            };
+            objective += ws.solve_sparse_slot(
+                cost_model,
+                sub.bandwidth(),
+                input,
+                &mut col[off..off + entries.len()],
+            )?;
+            off += entries.len();
+        }
+        let stats = ws.stats.take();
+        return Ok((col, objective, stats));
+    }
+    let mut col = vec![0.0; horizon * block];
     for t in 0..horizon {
         sub.fill_demand(t, ws);
         match mu {
@@ -170,15 +203,34 @@ fn solve_columns_into(
         },
     );
     let mut objective = 0.0;
+    let sparse = problem.sparse_enabled().then(|| problem.nonzeros());
     for (i, (res, elapsed_us)) in results.into_iter().enumerate() {
         let (col, obj, stats) = res?;
         metrics.record(&stats, elapsed_us);
         let n = SbsId(i);
-        let block = out.tensor().sbs_block_len(n);
-        for t in 0..horizon {
-            out.tensor_mut()
-                .sbs_slot_slice_mut(t, n)
-                .copy_from_slice(&col[t * block..(t + 1) * block]);
+        if let Some(nonzeros) = sparse {
+            // Compact column: scatter each slot's values through the
+            // nonzero index. Positions outside the index stay untouched
+            // — they are provably zero at the optimum, and every caller
+            // hands in a plan whose off-index positions already hold
+            // `0.0` (fresh `LoadPlan::zeros`, or a double-buffer only
+            // ever written through this same index).
+            let mut off = 0;
+            for t in 0..horizon {
+                let entries = nonzeros.slot(t, n);
+                let slice = out.tensor_mut().sbs_slot_slice_mut(t, n);
+                for (j, e) in entries.iter().enumerate() {
+                    slice[e.idx as usize] = col[off + j];
+                }
+                off += entries.len();
+            }
+        } else {
+            let block = out.tensor().sbs_block_len(n);
+            for t in 0..horizon {
+                out.tensor_mut()
+                    .sbs_slot_slice_mut(t, n)
+                    .copy_from_slice(&col[t * block..(t + 1) * block]);
+            }
         }
         objective += obj;
     }

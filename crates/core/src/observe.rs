@@ -23,7 +23,9 @@ use jocal_telemetry::{Counter, Histogram, Telemetry};
 ///   `p2_fastpath_hits_total` — slot-solve counters;
 /// * `p2_pgd_iterations_total`, `p2_pgd_projections_total`,
 ///   `p2_pgd_converged_total`, `p2_pgd_budget_exhausted_total`,
-///   `p2_pgd_step_floor_hits_total` — inner PGD counters.
+///   `p2_pgd_step_floor_hits_total` — inner PGD counters;
+/// * `p2_sparse_slots_total`, `p2_dense_slots_total` — which slot-solve
+///   path (nonzero-indexed vs full dense block) answered each slot.
 #[derive(Debug, Clone, Default)]
 pub struct SubSolveMetrics {
     /// Per-SBS column solve latency (µs).
@@ -44,6 +46,10 @@ pub struct SubSolveMetrics {
     pub pgd_budget_exhausted: Counter,
     /// PGD line searches abandoned at the step floor.
     pub pgd_step_floor_hits: Counter,
+    /// Slots answered via the sparse nonzero-indexed path.
+    pub sparse_slots: Counter,
+    /// Slots answered via the dense full-block path.
+    pub dense_slots: Counter,
 }
 
 impl SubSolveMetrics {
@@ -74,6 +80,8 @@ impl SubSolveMetrics {
             pgd_budget_exhausted: telemetry
                 .counter(&format!("{prefix}_pgd_budget_exhausted_total")),
             pgd_step_floor_hits: telemetry.counter(&format!("{prefix}_pgd_step_floor_hits_total")),
+            sparse_slots: telemetry.counter(&format!("{prefix}_sparse_slots_total")),
+            dense_slots: telemetry.counter(&format!("{prefix}_dense_slots_total")),
         }
     }
 
@@ -100,6 +108,8 @@ impl SubSolveMetrics {
         self.pgd_converged.add(stats.pgd_converged);
         self.pgd_budget_exhausted.add(stats.pgd_budget_exhausted);
         self.pgd_step_floor_hits.add(stats.pgd_step_floor_hits);
+        self.sparse_slots.add(stats.sparse_slots);
+        self.dense_slots.add(stats.dense_slots);
     }
 }
 

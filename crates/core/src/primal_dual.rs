@@ -52,6 +52,17 @@ pub struct PrimalDualOptions {
     /// exact and the reduction order fixed, so every setting produces
     /// identical solutions; this only trades wall-clock time.
     pub parallelism: Parallelism,
+    /// ρ-aware absolute early exit for warm-started window solves:
+    /// `Some(rho)` stops the dual ascent as soon as
+    /// `UB − LB < ρ · min_n β_n` — once the remaining gap is smaller
+    /// than a ρ-fraction of the cheapest cache fetch, further ascent
+    /// cannot justify flipping a caching decision at rounding threshold
+    /// ρ (a heuristic granularity argument, not a proof: ties inside the
+    /// band are cut short). `None` (the default) disables the exit, so
+    /// iteration counts — and everything downstream — are unchanged
+    /// unless a caller opts in. Exits are counted in
+    /// `pd_early_exit_total`.
+    pub rho_early_exit: Option<f64>,
 }
 
 impl Default for PrimalDualOptions {
@@ -63,6 +74,7 @@ impl Default for PrimalDualOptions {
             step_scale: None,
             recovery_every: 1,
             parallelism: Parallelism::Auto,
+            rho_early_exit: None,
         }
     }
 }
@@ -81,6 +93,7 @@ impl PrimalDualOptions {
             step_scale: None,
             recovery_every: 3,
             parallelism: Parallelism::Auto,
+            rho_early_exit: None,
         }
     }
 }
@@ -144,6 +157,7 @@ struct PdMetrics {
     last_gap: Gauge,
     dual_residual: Histogram,
     mu_clipped: Counter,
+    early_exit: Counter,
     p1_us: Histogram,
     p2_us: Histogram,
     recovery_us: Histogram,
@@ -168,6 +182,7 @@ impl PdMetrics {
             last_gap: telemetry.gauge("pd_last_gap"),
             dual_residual: telemetry.histogram("pd_dual_residual_norm_1e6"),
             mu_clipped: telemetry.counter("pd_mu_clipped_total"),
+            early_exit: telemetry.counter("pd_early_exit_total"),
             p1_us: telemetry.histogram("pd_p1_solve_us"),
             p2_us: telemetry.histogram("pd_p2_solve_us"),
             recovery_us: telemetry.histogram("pd_recovery_solve_us"),
@@ -229,6 +244,30 @@ impl PrimalDualSolver {
         let demand = problem.demand();
         let model = problem.cost_model();
         let mut max_grad = 0.0_f64;
+        if problem.sparse_enabled() {
+            // Same accumulation driven by the nonzero index: skipped
+            // entries contribute exactly `+0.0` to the flat `u0` sum and
+            // to the `max` fold (see [`crate::sparse`]), so the estimate
+            // is bit-identical to the dense sweep below.
+            let nonzeros = problem.nonzeros();
+            let k_total = network.num_contents();
+            for t in 0..problem.horizon() {
+                for (n, sbs) in network.iter_sbs() {
+                    let classes = sbs.classes();
+                    let entries = nonzeros.slot(t, n);
+                    let mut u0 = 0.0;
+                    for e in entries {
+                        u0 += classes[e.idx as usize / k_total].omega_bs * e.lambda;
+                    }
+                    let dphi = model.bs_cost.derivative(u0);
+                    for e in entries {
+                        let g = dphi * classes[e.idx as usize / k_total].omega_bs * e.lambda;
+                        max_grad = max_grad.max(g);
+                    }
+                }
+            }
+            return (max_grad / 10.0).max(1e-6);
+        }
         for t in 0..problem.horizon() {
             for (n, sbs) in network.iter_sbs() {
                 let mut u0 = 0.0;
@@ -309,7 +348,26 @@ impl PrimalDualSolver {
                 mu = w.mu.clone();
             }
             if w.y.tensor().same_shape(&template) {
-                y_warm = w.y.clone();
+                if problem.sparse_enabled() {
+                    // Copy only indexed positions: off-index positions
+                    // must stay 0.0 so this buffer can host compact
+                    // sparse scatters once the double-buffers swap. The
+                    // solve reads warm starts at free (= indexed)
+                    // positions only, so the seed is bit-identical to a
+                    // full clone.
+                    let nonzeros = problem.nonzeros();
+                    for t in 0..horizon {
+                        for (n, _) in network.iter_sbs() {
+                            let src = w.y.tensor().sbs_slot_slice(t, n);
+                            let dst = y_warm.tensor_mut().sbs_slot_slice_mut(t, n);
+                            for e in nonzeros.slot(t, n) {
+                                dst[e.idx as usize] = src[e.idx as usize];
+                            }
+                        }
+                    }
+                } else {
+                    y_warm = w.y.clone();
+                }
                 have_warm = true;
             }
         }
@@ -332,7 +390,59 @@ impl PrimalDualSolver {
             Some((hold, y_hold, breakdown))
         };
 
-        let mut violation = vec![0.0; template.len()];
+        // Sparse dual update: the active coordinate set is the λ-support
+        // (where P2 can place load) unioned with the warm multiplier
+        // support (stale entries the dense update would overwrite).
+        // Every coordinate outside the union keeps a zero load AND a
+        // zero multiplier for the whole solve — `[0 + δ·(0 − x)]⁺ = 0` —
+        // so skipping it is exact (see `DualAscent::ascend_at`). Built
+        // once per solve with a single dense scan of the (warm)
+        // multipliers; indices are ascending in the flat (t, n, m, k)
+        // layout. Note the clip count and the residual norm below are
+        // then measured over the active set only, so `pd_mu_clipped_total`
+        // and `pd_dual_residual_norm_1e6` can differ from a dense-oracle
+        // run (which also counts cached-but-undemanded coordinates);
+        // decisions and bounds do not.
+        let k_total = network.num_contents();
+        let sparse = problem.sparse_enabled();
+        let active: Vec<usize> = if sparse {
+            let nonzeros = problem.nonzeros();
+            let mu_flat = mu.as_slice();
+            let mut active = Vec::with_capacity(nonzeros.total_nonzeros());
+            let mut base = 0usize;
+            for t in 0..horizon {
+                for (n, sbs) in network.iter_sbs() {
+                    let block = sbs.num_classes() * k_total;
+                    let mu_block = &mu_flat[base..base + block];
+                    let mut prev = 0usize;
+                    for e in nonzeros.slot(t, n) {
+                        let j = e.idx as usize;
+                        for (w, &m) in mu_block.iter().enumerate().take(j).skip(prev) {
+                            if m != 0.0 {
+                                active.push(base + w);
+                            }
+                        }
+                        active.push(base + j);
+                        prev = j + 1;
+                    }
+                    for (w, &m) in mu_block.iter().enumerate().skip(prev) {
+                        if m != 0.0 {
+                            active.push(base + w);
+                        }
+                    }
+                    base += block;
+                }
+            }
+            active
+        } else {
+            Vec::new()
+        };
+        let min_beta = network
+            .iter_sbs()
+            .map(|(_, sbs)| sbs.replacement_cost())
+            .fold(f64::INFINITY, f64::min);
+
+        let mut violation = vec![0.0; if sparse { active.len() } else { template.len() }];
         let mut history = Vec::with_capacity(opts.max_iterations);
         for l in 0..opts.max_iterations {
             iterations = l + 1;
@@ -405,28 +515,71 @@ impl PrimalDualSolver {
                 break;
             }
 
+            // ρ-aware absolute exit: once the remaining gap is below a
+            // ρ-fraction of the cheapest fetch, further ascent cannot
+            // change a caching decision at rounding threshold ρ.
+            if let Some(rho) = opts.rho_early_exit {
+                let abs_gap = ascent.upper_bound() - ascent.lower_bound();
+                if abs_gap.is_finite() && abs_gap < rho * min_beta {
+                    pd.early_exit.incr();
+                    pd.tracer.finish(iter_trace);
+                    break;
+                }
+            }
+
             // --- Dual update (eq. 15–17). --------------------------------
             let step = ascent.current_step();
             let y_data = y_plan.tensor().as_slice();
-            // x needs expanding to the (t, n, m, k) layout.
-            let mut idx = 0usize;
-            for t in 0..horizon {
-                for (n, sbs) in network.iter_sbs() {
-                    for _m in 0..sbs.num_classes() {
-                        for k in 0..network.num_contents() {
+            if sparse {
+                // x expands only at active coordinates; everywhere else
+                // both the load and the multiplier are identically zero,
+                // so the projected step is a no-op there.
+                let mut ai = 0usize;
+                let mut base = 0usize;
+                for t in 0..horizon {
+                    for (n, sbs) in network.iter_sbs() {
+                        let end = base + sbs.num_classes() * k_total;
+                        while ai < active.len() && active[ai] < end {
+                            let idx = active[ai];
+                            let k = (idx - base) % k_total;
                             let xv = if x_plan.state(t).contains(n, ContentId(k)) {
                                 1.0
                             } else {
                                 0.0
                             };
-                            violation[idx] = y_data[idx] - xv;
-                            idx += 1;
+                            violation[ai] = y_data[idx] - xv;
+                            ai += 1;
+                        }
+                        base = end;
+                    }
+                }
+                ascent.ascend_at(&active, &violation);
+                let mu_flat = mu.as_mut_slice();
+                let mult = ascent.multipliers();
+                for &idx in &active {
+                    mu_flat[idx] = mult[idx];
+                }
+            } else {
+                // x needs expanding to the (t, n, m, k) layout.
+                let mut idx = 0usize;
+                for t in 0..horizon {
+                    for (n, sbs) in network.iter_sbs() {
+                        for _m in 0..sbs.num_classes() {
+                            for k in 0..network.num_contents() {
+                                let xv = if x_plan.state(t).contains(n, ContentId(k)) {
+                                    1.0
+                                } else {
+                                    0.0
+                                };
+                                violation[idx] = y_data[idx] - xv;
+                                idx += 1;
+                            }
                         }
                     }
                 }
+                ascent.ascend(&violation);
+                mu.as_mut_slice().copy_from_slice(ascent.multipliers());
             }
-            ascent.ascend(&violation);
-            mu.as_mut_slice().copy_from_slice(ascent.multipliers());
 
             if observing {
                 // Convergence trace: everything off the decision path.
@@ -659,6 +812,39 @@ mod tests {
             assert!(iters.iter().any(|i| sub.parent == Some(i.id)), "{sub:?}");
         }
         assert!(spans.iter().any(|s| s.name == "recovery"));
+    }
+
+    #[test]
+    fn rho_early_exit_saves_iterations_and_stays_feasible() {
+        let s = ScenarioConfig::tiny().build(7).unwrap();
+        let problem = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
+        let base = PrimalDualOptions {
+            max_iterations: 30,
+            epsilon: 1e-12,
+            ..Default::default()
+        };
+        let slow = PrimalDualSolver::new(base).solve(&problem).unwrap();
+        // A huge ρ makes the absolute-gap test pass as soon as both
+        // bounds are finite, i.e. after the first iteration.
+        let tele = Telemetry::enabled();
+        let fast = PrimalDualSolver::new(PrimalDualOptions {
+            rho_early_exit: Some(1e12),
+            ..base
+        })
+        .with_telemetry(tele.clone())
+        .solve(&problem)
+        .unwrap();
+        assert_eq!(fast.iterations, 1);
+        assert!(fast.iterations < slow.iterations);
+        assert_eq!(tele.counter("pd_early_exit_total").get(), 1);
+        verify_feasible(&s.network, &s.demand, &fast.cache_plan, &fast.load_plan).unwrap();
+        // Opting out reproduces the baseline exactly.
+        let again = PrimalDualSolver::new(base).solve(&problem).unwrap();
+        assert_eq!(again.iterations, slow.iterations);
+        assert_eq!(
+            again.breakdown.total().to_bits(),
+            slow.breakdown.total().to_bits()
+        );
     }
 
     #[test]

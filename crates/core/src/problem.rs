@@ -2,9 +2,11 @@
 
 use crate::cost::CostModel;
 use crate::plan::CacheState;
+use crate::sparse::SlotNonzeros;
 use crate::CoreError;
 use jocal_sim::demand::DemandTrace;
 use jocal_sim::topology::Network;
+use std::sync::Arc;
 
 /// One instance of the joint caching and load-balancing problem: a
 /// network, a demand trace over the decision horizon, the cost model and
@@ -12,13 +14,21 @@ use jocal_sim::topology::Network;
 ///
 /// For the offline problem the demand is the ground truth over all of
 /// `T`; for the online algorithms each decision step builds an instance
-/// from the *predicted* window and the current cache state.
+/// from the *predicted* window and the current cache state. The network
+/// and demand are held behind [`Arc`] so per-window instances share
+/// rather than clone them, and every instance carries a
+/// [`SlotNonzeros`] index over its demand: the solvers iterate nonzero
+/// demand entries only (bit-identical to the dense sweep; see
+/// [`crate::sparse`]), unless [`ProblemInstance::with_dense_oracle`]
+/// pins the instance to the dense reference path.
 #[derive(Debug, Clone)]
 pub struct ProblemInstance {
-    network: Network,
-    demand: DemandTrace,
+    network: Arc<Network>,
+    demand: Arc<DemandTrace>,
+    nonzeros: Arc<SlotNonzeros>,
     cost_model: CostModel,
     initial_cache: CacheState,
+    dense_oracle: bool,
 }
 
 impl ProblemInstance {
@@ -31,6 +41,32 @@ impl ProblemInstance {
     pub fn new(
         network: Network,
         demand: DemandTrace,
+        cost_model: CostModel,
+        initial_cache: CacheState,
+    ) -> Result<Self, CoreError> {
+        ProblemInstance::from_parts(
+            Arc::new(network),
+            Arc::new(demand),
+            None,
+            cost_model,
+            initial_cache,
+        )
+    }
+
+    /// Creates an instance from shared parts — the allocation-free
+    /// constructor the online policies use for per-window instances.
+    /// Pass a prebuilt `nonzeros` index (e.g. maintained incrementally
+    /// across windows) to skip the dense indexing pass; `None` builds
+    /// it here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] when any shape (including a
+    /// provided index) does not match.
+    pub fn from_parts(
+        network: Arc<Network>,
+        demand: Arc<DemandTrace>,
+        nonzeros: Option<Arc<SlotNonzeros>>,
         cost_model: CostModel,
         initial_cache: CacheState,
     ) -> Result<Self, CoreError> {
@@ -67,11 +103,24 @@ impl ProblemInstance {
         if demand.horizon() == 0 {
             return Err(CoreError::shape("demand horizon must be positive"));
         }
+        let nonzeros = match nonzeros {
+            Some(index) => {
+                if !index.matches(&demand) {
+                    return Err(CoreError::shape(
+                        "nonzero index shape does not match the demand",
+                    ));
+                }
+                index
+            }
+            None => Arc::new(SlotNonzeros::from_demand(&demand)),
+        };
         Ok(ProblemInstance {
             network,
             demand,
+            nonzeros,
             cost_model,
             initial_cache,
+            dense_oracle: false,
         })
     }
 
@@ -86,10 +135,37 @@ impl ProblemInstance {
         ProblemInstance::new(network, demand, CostModel::paper(), initial)
     }
 
+    /// Pins this instance to the dense reference path: solvers and
+    /// evaluators ignore the nonzero index and sweep the full `M·K`
+    /// blocks. The sparse path is bit-identical by construction, so
+    /// this exists purely as the test oracle the parity suite compares
+    /// against (and as an escape hatch for near-full-density workloads
+    /// where the dense sweep's simpler memory pattern can win).
+    #[must_use]
+    pub fn with_dense_oracle(mut self) -> Self {
+        self.dense_oracle = true;
+        self
+    }
+
+    /// Whether solvers should take the sparse (nonzero-indexed) path.
+    #[inline]
+    #[must_use]
+    pub fn sparse_enabled(&self) -> bool {
+        !self.dense_oracle
+    }
+
     /// The network topology.
     #[inline]
     #[must_use]
     pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The shared network handle (cheap to clone into derived
+    /// instances).
+    #[inline]
+    #[must_use]
+    pub fn network_arc(&self) -> &Arc<Network> {
         &self.network
     }
 
@@ -98,6 +174,13 @@ impl ProblemInstance {
     #[must_use]
     pub fn demand(&self) -> &DemandTrace {
         &self.demand
+    }
+
+    /// The nonzero index over this instance's demand.
+    #[inline]
+    #[must_use]
+    pub fn nonzeros(&self) -> &SlotNonzeros {
+        &self.nonzeros
     }
 
     /// The cost model.
@@ -136,12 +219,15 @@ impl ProblemInstance {
         if len == 0 {
             return Err(CoreError::shape("window length must be positive"));
         }
-        ProblemInstance::new(
-            self.network.clone(),
-            self.demand.window(start, len),
+        let mut instance = ProblemInstance::from_parts(
+            Arc::clone(&self.network),
+            Arc::new(self.demand.window(start, len)),
+            None,
             self.cost_model,
             initial,
-        )
+        )?;
+        instance.dense_oracle = self.dense_oracle;
+        Ok(instance)
     }
 
     /// Replaces the demand (e.g. with a predicted window), keeping the
@@ -152,12 +238,15 @@ impl ProblemInstance {
     /// Returns [`CoreError::ShapeMismatch`] if the new demand shape does
     /// not match.
     pub fn with_demand(&self, demand: DemandTrace) -> Result<ProblemInstance, CoreError> {
-        ProblemInstance::new(
-            self.network.clone(),
-            demand,
+        let mut instance = ProblemInstance::from_parts(
+            Arc::clone(&self.network),
+            Arc::new(demand),
+            None,
             self.cost_model,
             self.initial_cache.clone(),
-        )
+        )?;
+        instance.dense_oracle = self.dense_oracle;
+        Ok(instance)
     }
 
     /// Replaces the initial cache state.
@@ -167,12 +256,16 @@ impl ProblemInstance {
     /// Returns [`CoreError::ShapeMismatch`] if the state shape does not
     /// match.
     pub fn with_initial_cache(&self, initial: CacheState) -> Result<ProblemInstance, CoreError> {
-        ProblemInstance::new(
-            self.network.clone(),
-            self.demand.clone(),
-            self.cost_model,
-            initial,
-        )
+        if initial.num_sbs() != self.network.num_sbs()
+            || initial.num_contents() != self.network.num_contents()
+        {
+            return Err(CoreError::shape(
+                "initial cache state shape does not match the network",
+            ));
+        }
+        let mut instance = self.clone();
+        instance.initial_cache = initial;
+        Ok(instance)
     }
 }
 
@@ -188,6 +281,9 @@ mod tests {
         let p = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
         assert_eq!(p.horizon(), s.config.horizon);
         assert_eq!(p.initial_cache().occupancy(SbsId(0)), 0);
+        assert!(p.sparse_enabled());
+        assert!(p.nonzeros().matches(p.demand()));
+        assert!(!p.clone().with_dense_oracle().sparse_enabled());
     }
 
     #[test]
@@ -214,11 +310,42 @@ mod tests {
     }
 
     #[test]
+    fn from_parts_rejects_stale_index() {
+        let s = ScenarioConfig::tiny().build(1).unwrap();
+        let network = Arc::new(s.network.clone());
+        let demand = Arc::new(s.demand.clone());
+        let stale = Arc::new(SlotNonzeros::from_demand(&s.demand.window(0, 2)));
+        let err = ProblemInstance::from_parts(
+            Arc::clone(&network),
+            Arc::clone(&demand),
+            Some(stale),
+            CostModel::paper(),
+            CacheState::empty(&s.network),
+        );
+        assert!(err.is_err());
+        let ok = ProblemInstance::from_parts(
+            network,
+            Arc::clone(&demand),
+            Some(Arc::new(SlotNonzeros::from_demand(&demand))),
+            CostModel::paper(),
+            CacheState::empty(&s.network),
+        )
+        .unwrap();
+        assert_eq!(
+            ok.nonzeros(),
+            &SlotNonzeros::from_demand(&s.demand),
+            "provided index adopted as-is"
+        );
+    }
+
+    #[test]
     fn with_demand_checks_shape() {
         let s = ScenarioConfig::tiny().build(1).unwrap();
         let p = ProblemInstance::fresh(s.network.clone(), s.demand.clone()).unwrap();
         let shorter = s.demand.window(0, 3);
         let w = p.with_demand(shorter).unwrap();
         assert_eq!(w.horizon(), 3);
+        // Derived instances share the network rather than cloning it.
+        assert!(Arc::ptr_eq(p.network_arc(), w.network_arc()));
     }
 }

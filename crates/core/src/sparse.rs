@@ -1,0 +1,306 @@
+//! Nonzero index over a demand trace: the sparse hot-path substrate.
+//!
+//! At production catalog sizes the demand tensor is overwhelmingly
+//! zero — a 10k-item catalog sees nonzero `λ` for well under 1% of
+//! `(class, content)` pairs per slot — yet `Tensor4`/`DemandTrace` are
+//! flat dense storage and every dense solver pass walks the full
+//! `M·K` block. [`SlotNonzeros`] is a CSR-style index built once at
+//! demand ingest: per `(slot, SBS)` it lists the nonzero entries of
+//! the demand block in index order, so the P2 slot solve, cost
+//! evaluation, ledger decomposition and the dual update iterate
+//! `O(nnz)` instead of `O(M·K)`.
+//!
+//! # Why skipping zero-λ terms is *bitwise* safe
+//!
+//! Every quantity the sparse paths reproduce is a sum of terms of the
+//! form `ω·λ`, `ω·λ·y` or `λ·(1−y)` accumulated in index order, with
+//! `λ ≥ 0`, `ω ≥ 0` and `y ∈ [0, 1]`. A zero-λ term contributes
+//! exactly `+0.0`, and IEEE-754 addition of `+0.0` to an accumulator
+//! that is not `-0.0` is the identity — and the accumulators start at
+//! `+0.0` and only ever add non-negative terms, so they are never
+//! `-0.0`. Summing the nonzero terms in the same index order therefore
+//! produces the *same bits* as the dense sweep. The same argument
+//! covers `max` folds (`max(acc, +0.0)` with `acc ≥ 0` is the
+//! identity). This is what lets the sparse path be the default while
+//! the dense path remains a drop-in test oracle (see
+//! `ProblemInstance::with_dense_oracle` and the `sparse_parity`
+//! property suite).
+//!
+//! Zero-λ *variables* need no numeric treatment at all: in P2 a
+//! variable with `λ = 0` has objective contribution `μ·y` with
+//! `μ ≥ 0`, so `y = 0` is optimal and the dense free-set filter
+//! already excludes it (see `SlotWorkspace::solve_filled_slot`). The
+//! nonzero index *is* the candidate free set.
+
+use jocal_sim::demand::DemandTrace;
+use jocal_sim::topology::SbsId;
+
+/// One nonzero demand entry within an SBS slot block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonzeroEntry {
+    /// Flat index `m·K + k` within the SBS's `(class, content)` block.
+    pub idx: u32,
+    /// The demand rate `λ > 0` at that entry.
+    pub lambda: f64,
+}
+
+/// CSR-style nonzero index over a [`DemandTrace`]: per `(slot, SBS)`,
+/// the nonzero `(class, content)` entries in block-index order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SlotNonzeros {
+    horizon: usize,
+    num_sbs: usize,
+    /// `offsets[t·N + n] .. offsets[t·N + n + 1]` bounds the entries of
+    /// slot `t`, SBS `n`; length `horizon·num_sbs + 1`.
+    offsets: Vec<usize>,
+    entries: Vec<NonzeroEntry>,
+    /// Total dense entries (`Σ_n M_n·K` per slot times horizon), for
+    /// density reporting.
+    dense_len: usize,
+}
+
+impl SlotNonzeros {
+    /// Builds the index with one dense pass over `demand`.
+    #[must_use]
+    pub fn from_demand(demand: &DemandTrace) -> Self {
+        let mut index = SlotNonzeros::default();
+        index.rebuild_from(demand);
+        index
+    }
+
+    /// Rebuilds the index in place, reusing allocations.
+    pub fn rebuild_from(&mut self, demand: &DemandTrace) {
+        self.horizon = demand.horizon();
+        self.num_sbs = demand.num_sbs();
+        self.entries.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.dense_len = 0;
+        for t in 0..self.horizon {
+            self.dense_len += self.scan_slot(demand, t, t);
+        }
+    }
+
+    /// Scans source slot `src_t` of `demand` into the index as slot
+    /// `dst_t` (which must be the next unindexed slot). Returns the
+    /// dense length of the slot.
+    fn scan_slot(&mut self, demand: &DemandTrace, dst_t: usize, src_t: usize) -> usize {
+        debug_assert_eq!(self.offsets.len(), dst_t * self.num_sbs + 1);
+        let mut dense = 0;
+        for n in 0..self.num_sbs {
+            let block = demand.sbs_slot_slice(src_t, SbsId(n));
+            dense += block.len();
+            for (i, &lambda) in block.iter().enumerate() {
+                if lambda > 0.0 {
+                    self.entries.push(NonzeroEntry {
+                        idx: i as u32,
+                        lambda,
+                    });
+                }
+            }
+            self.offsets.push(self.entries.len());
+        }
+        dense
+    }
+
+    /// Advances the index by `shift` slots and appends the trailing
+    /// `shift` slots rescanned from `demand` — the incremental build
+    /// used by receding-horizon windows, where `demand` is the already
+    /// shifted window buffer and only its tail is new. `O(nnz)` instead
+    /// of a full `O(dense)` rescan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` does not have the indexed shape or
+    /// `shift > horizon`.
+    pub fn shift_append(&mut self, demand: &DemandTrace, shift: usize) {
+        assert!(shift <= self.horizon, "shift exceeds indexed horizon");
+        assert_eq!(demand.horizon(), self.horizon, "window length changed");
+        assert_eq!(demand.num_sbs(), self.num_sbs, "network shape changed");
+        if shift == 0 {
+            return;
+        }
+        let per_slot_dense = self.dense_len / self.horizon.max(1);
+        let cut = self.offsets[shift * self.num_sbs];
+        self.entries.drain(..cut);
+        self.offsets.drain(..shift * self.num_sbs);
+        for off in &mut self.offsets {
+            *off -= cut;
+        }
+        let keep = self.horizon - shift;
+        self.dense_len = keep * per_slot_dense;
+        for t in keep..self.horizon {
+            self.dense_len += self.scan_slot(demand, t, t);
+        }
+    }
+
+    /// The nonzero entries of slot `t` at SBS `n`, in block-index order.
+    #[inline]
+    #[must_use]
+    pub fn slot(&self, t: usize, n: SbsId) -> &[NonzeroEntry] {
+        let cell = t * self.num_sbs + n.0;
+        &self.entries[self.offsets[cell]..self.offsets[cell + 1]]
+    }
+
+    /// Indexed horizon.
+    #[inline]
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Indexed SBS count.
+    #[inline]
+    #[must_use]
+    pub fn num_sbs(&self) -> usize {
+        self.num_sbs
+    }
+
+    /// Total nonzero entries over all slots and SBSs.
+    #[inline]
+    #[must_use]
+    pub fn total_nonzeros(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Nonzero entries in slot `t` (all SBSs).
+    #[must_use]
+    pub fn slot_nonzeros(&self, t: usize) -> usize {
+        let lo = self.offsets[t * self.num_sbs];
+        let hi = self.offsets[(t + 1) * self.num_sbs];
+        hi - lo
+    }
+
+    /// Fraction of dense entries that are nonzero, in `[0, 1]`.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        if self.dense_len == 0 {
+            0.0
+        } else {
+            self.entries.len() as f64 / self.dense_len as f64
+        }
+    }
+
+    /// Whether the index shape matches `demand`.
+    #[must_use]
+    pub fn matches(&self, demand: &DemandTrace) -> bool {
+        self.horizon == demand.horizon() && self.num_sbs == demand.num_sbs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocal_sim::topology::{ClassId, ContentId, MuClass, Network};
+
+    fn net() -> Network {
+        Network::builder(4)
+            .sbs(
+                2,
+                10.0,
+                1.0,
+                vec![
+                    MuClass::new(0.5, 0.0, 1.0).unwrap(),
+                    MuClass::new(0.2, 0.1, 1.0).unwrap(),
+                ],
+            )
+            .unwrap()
+            .sbs(1, 5.0, 2.0, vec![MuClass::new(1.0, 0.0, 1.0).unwrap()])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn trace() -> DemandTrace {
+        let n = net();
+        let mut d = DemandTrace::zeros(&n, 3);
+        d.set_lambda(0, SbsId(0), ClassId(0), ContentId(1), 2.0)
+            .unwrap();
+        d.set_lambda(0, SbsId(0), ClassId(1), ContentId(3), 0.5)
+            .unwrap();
+        d.set_lambda(1, SbsId(1), ClassId(0), ContentId(0), 1.5)
+            .unwrap();
+        d.set_lambda(2, SbsId(0), ClassId(0), ContentId(2), 4.0)
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn index_lists_nonzeros_in_block_order() {
+        let idx = SlotNonzeros::from_demand(&trace());
+        assert_eq!(idx.horizon(), 3);
+        assert_eq!(idx.num_sbs(), 2);
+        assert_eq!(idx.total_nonzeros(), 4);
+        let slot0 = idx.slot(0, SbsId(0));
+        // SBS 0 block is 2 classes × 4 contents: idx 1 = (m0, k1),
+        // idx 7 = (m1, k3).
+        assert_eq!(slot0.len(), 2);
+        assert_eq!(slot0[0].idx, 1);
+        assert_eq!(slot0[0].lambda, 2.0);
+        assert_eq!(slot0[1].idx, 7);
+        assert_eq!(slot0[1].lambda, 0.5);
+        assert!(idx.slot(0, SbsId(1)).is_empty());
+        assert_eq!(idx.slot(1, SbsId(1)).len(), 1);
+        assert_eq!(idx.slot_nonzeros(0), 2);
+        assert_eq!(idx.slot_nonzeros(1), 1);
+        // Dense size: (8 + 4) per slot × 3 slots = 36 → density 4/36.
+        assert!((idx.density() - 4.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_and_full_density_edges() {
+        let n = net();
+        let zeros = DemandTrace::zeros(&n, 2);
+        let idx = SlotNonzeros::from_demand(&zeros);
+        assert_eq!(idx.total_nonzeros(), 0);
+        assert_eq!(idx.density(), 0.0);
+        assert!(idx.slot(1, SbsId(0)).is_empty());
+
+        let mut full = DemandTrace::zeros(&n, 1);
+        for (sid, sbs) in n.iter_sbs() {
+            for m in 0..sbs.num_classes() {
+                for k in 0..n.num_contents() {
+                    full.set_lambda(0, sid, ClassId(m), ContentId(k), 1.0)
+                        .unwrap();
+                }
+            }
+        }
+        let idx = SlotNonzeros::from_demand(&full);
+        assert_eq!(idx.density(), 1.0);
+        assert_eq!(idx.total_nonzeros(), 12);
+    }
+
+    #[test]
+    fn rebuild_reuses_and_matches_fresh_build() {
+        let d = trace();
+        let mut idx = SlotNonzeros::from_demand(&DemandTrace::zeros(&net(), 1));
+        idx.rebuild_from(&d);
+        assert_eq!(idx, SlotNonzeros::from_demand(&d));
+        assert!(idx.matches(&d));
+    }
+
+    #[test]
+    fn shift_append_matches_full_rescan() {
+        let n = net();
+        let mut window = trace();
+        let mut idx = SlotNonzeros::from_demand(&window);
+        // Shift the buffer by one slot and refresh the tail, the way a
+        // receding-horizon window advances.
+        let mut next = DemandTrace::zeros(&n, 3);
+        next.copy_slot_from(0, &window, 1).unwrap();
+        next.copy_slot_from(1, &window, 2).unwrap();
+        next.set_lambda(2, SbsId(1), ClassId(0), ContentId(3), 9.0)
+            .unwrap();
+        window = next;
+        idx.shift_append(&window, 1);
+        assert_eq!(idx, SlotNonzeros::from_demand(&window));
+
+        // Shift by the full horizon: everything rescanned.
+        idx.shift_append(&window, 3);
+        assert_eq!(idx, SlotNonzeros::from_demand(&window));
+        // Shift by zero: no-op.
+        let before = idx.clone();
+        idx.shift_append(&window, 0);
+        assert_eq!(idx, before);
+    }
+}

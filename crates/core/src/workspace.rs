@@ -20,8 +20,9 @@
 
 use crate::cost::CostModel;
 use crate::fastslot::{solve_bs_only_slot_into, FastSlotScratch};
-use crate::plan::CachePlan;
+use crate::plan::{CachePlan, CacheState};
 use crate::problem::ProblemInstance;
+use crate::sparse::NonzeroEntry;
 use crate::tensor::Tensor4;
 use crate::CoreError;
 use jocal_optim::pgd::{minimize_with_scratch, PgdOptions, PgdScratch};
@@ -175,6 +176,10 @@ pub struct SlotSolveStats {
     pub pgd_budget_exhausted: u64,
     /// Line searches abandoned at the step floor.
     pub pgd_step_floor_hits: u64,
+    /// Slot solves answered via the sparse nonzero-indexed path.
+    pub sparse_slots: u64,
+    /// Slot solves answered via the dense full-block path.
+    pub dense_slots: u64,
 }
 
 impl SlotSolveStats {
@@ -188,6 +193,8 @@ impl SlotSolveStats {
         self.pgd_converged += other.pgd_converged;
         self.pgd_budget_exhausted += other.pgd_budget_exhausted;
         self.pgd_step_floor_hits += other.pgd_step_floor_hits;
+        self.sparse_slots += other.sparse_slots;
+        self.dense_slots += other.dense_slots;
     }
 
     /// Takes the accumulated counts, resetting `self` to zero.
@@ -231,6 +238,7 @@ pub struct SlotWorkspace {
     a: Vec<f64>,
     b: Vec<f64>,
     free: Vec<usize>,
+    fpos: Vec<usize>,
     fa: Vec<f64>,
     fb: Vec<f64>,
     flinear: Vec<f64>,
@@ -284,6 +292,7 @@ impl SlotWorkspace {
             return Err(CoreError::shape("omega_sbs length mismatch"));
         }
         self.stats.solves += 1;
+        self.stats.dense_slots += 1;
         if m_total == 0 || self.lambda.is_empty() {
             self.stats.trivial_slots += 1;
             out.fill(0.0);
@@ -444,6 +453,220 @@ impl SlotWorkspace {
         }
         Ok(run.objective)
     }
+
+    /// Solves one `(n, t)` slot of `P2` from its nonzero demand entries
+    /// only, writing the optimal fractions *compactly* into `out` — one
+    /// value per indexed entry, in entry order (entries bounded to zero
+    /// by the cache get an explicit `0.0`) — and returning the slot
+    /// objective. Callers scatter `out[j]` to flat position
+    /// `entries[j].idx`; every position outside the index is zero at
+    /// the optimum and must already hold `0.0` in the destination.
+    ///
+    /// Bit-identical to filling the dense buffers and calling
+    /// [`SlotWorkspace::solve_filled_slot`]: zero-λ entries contribute
+    /// exactly `+0.0` to every accumulated sum and are provably zero at
+    /// the optimum (their objective term is `μ·y` with `μ ≥ 0`), so
+    /// skipping them in index order reproduces the dense free set,
+    /// coefficients and `u₀` to the bit (see [`crate::sparse`]). Runtime
+    /// and output size are `O(nnz)` — no `O(M·K)` pass anywhere.
+    ///
+    /// Only the per-class weight buffers (`omega_bs`, `omega_sbs`) need
+    /// to be filled beforehand; demand, multipliers, bounds and warm
+    /// start all arrive through `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] on inconsistent input
+    /// lengths and propagates sub-solver failures.
+    pub fn solve_sparse_slot(
+        &mut self,
+        cost_model: &CostModel,
+        bandwidth: f64,
+        input: SparseSlotInput<'_>,
+        out: &mut [f64],
+    ) -> Result<f64, CoreError> {
+        let m_total = self.omega_bs.len();
+        if self.omega_sbs.len() != m_total {
+            return Err(CoreError::shape("omega_sbs length mismatch"));
+        }
+        self.stats.solves += 1;
+        self.stats.sparse_slots += 1;
+        let n_entries = m_total * input.k_total;
+        if out.len() != input.entries.len() {
+            return Err(CoreError::shape(format!(
+                "compact slot output length {} != {} indexed entries",
+                out.len(),
+                input.entries.len()
+            )));
+        }
+        if n_entries == 0 {
+            self.stats.trivial_slots += 1;
+            out.fill(0.0);
+            return Ok(0.0);
+        }
+        if let Some(linear) = input.linear {
+            if linear.len() != n_entries {
+                return Err(CoreError::shape("linear length mismatch"));
+            }
+            // Dual feasibility (μ ≥ 0) is what makes the nonzero index a
+            // superset of the dense free set: a zero-λ entry can only
+            // enter the dense free set through `linear < 0`.
+            debug_assert!(linear.iter().all(|&v| v >= 0.0));
+        }
+        let have_warm = input.warm.is_some_and(|w| w.len() == n_entries);
+
+        let SlotWorkspace {
+            omega_bs,
+            omega_sbs,
+            free,
+            fpos,
+            fa,
+            fb,
+            flinear,
+            fupper,
+            flambda,
+            flo,
+            fy,
+            fastslot,
+            pgd,
+            stats,
+            ..
+        } = self;
+
+        // Single pass over the nonzeros: accumulate u₀ = Σ ω λ in index
+        // order (bit-equal to the dense sum — zero terms add +0.0) and
+        // gather the compressed arrays for the free entries directly.
+        // `free` keeps each member's flat `m·K + k` index (for warm and
+        // multiplier reads), `fpos` its ordinal in `entries` (for the
+        // compact output scatter).
+        free.clear();
+        fpos.clear();
+        fa.clear();
+        fb.clear();
+        flinear.clear();
+        fupper.clear();
+        flambda.clear();
+        let mut u0 = 0.0;
+        for (j, e) in input.entries.iter().enumerate() {
+            let i = e.idx as usize;
+            debug_assert!(i < n_entries, "nonzero index out of block bounds");
+            debug_assert!(e.lambda > 0.0, "indexed entry must be nonzero");
+            let m = i / input.k_total;
+            let ai = omega_bs[m] * e.lambda;
+            u0 += ai;
+            let up = match input.cached {
+                Some((state, n)) => {
+                    if state.contains(n, ContentId(i % input.k_total)) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                None => 1.0,
+            };
+            if up > 0.0 {
+                free.push(i);
+                fpos.push(j);
+                fa.push(ai);
+                fb.push(omega_sbs[m] * e.lambda);
+                flinear.push(input.linear.map_or(0.0, |l| l[i]));
+                fupper.push(up);
+                flambda.push(e.lambda);
+            }
+        }
+
+        if free.is_empty() {
+            stats.trivial_slots += 1;
+            out.fill(0.0);
+            return Ok(cost_model.bs_cost.value(u0) + cost_model.sbs_cost.value(0.0));
+        }
+        flo.clear();
+        flo.resize(free.len(), 0.0);
+
+        let mut pgd_opts = slot_pgd_options();
+        if !have_warm && fb.iter().all(|&v| v == 0.0) && flinear.iter().all(|&v| v >= 0.0) {
+            solve_bs_only_slot_into(
+                cost_model.bs_cost,
+                u0,
+                &*fa,
+                &*flinear,
+                &*flambda,
+                &*fupper,
+                bandwidth,
+                fastslot,
+                fy,
+            )?;
+            stats.fastpath_hits += 1;
+            pgd_opts.max_iters = 80;
+        } else {
+            fy.clear();
+            if have_warm {
+                let warm = input.warm.expect("have_warm implies a warm block");
+                fy.extend(free.iter().map(|&i| warm[i]));
+            } else {
+                fy.resize(free.len(), 0.0);
+            }
+        }
+
+        let bs = cost_model.bs_cost;
+        let sbs = cost_model.sbs_cost;
+        let objective = |y: &[f64]| -> f64 {
+            let served_bs: f64 = fa.iter().zip(y).map(|(ai, yi)| ai * yi).sum();
+            let served_sbs: f64 = fb.iter().zip(y).map(|(bi, yi)| bi * yi).sum();
+            let lin: f64 = flinear.iter().zip(y).map(|(ci, yi)| ci * yi).sum();
+            bs.value(u0 - served_bs) + sbs.value(served_sbs) + lin
+        };
+        let gradient = |y: &[f64], g: &mut [f64]| {
+            let served_bs: f64 = fa.iter().zip(y.iter()).map(|(ai, yi)| ai * yi).sum();
+            let served_sbs: f64 = fb.iter().zip(y.iter()).map(|(bi, yi)| bi * yi).sum();
+            let dphi = bs.derivative(u0 - served_bs);
+            let dpsi = sbs.derivative(served_sbs);
+            for (gi, ((&ai, &bi), &ci)) in g
+                .iter_mut()
+                .zip(fa.iter().zip(fb.iter()).zip(flinear.iter()))
+            {
+                *gi = -dphi * ai + dpsi * bi + ci;
+            }
+        };
+        let project = |y: &mut [f64]| {
+            let p = project_box_budget(&*y, &*flo, &*fupper, &*flambda, bandwidth)
+                .expect("box-budget projection cannot fail: 0 is feasible");
+            y.copy_from_slice(&p);
+        };
+
+        let run = minimize_with_scratch(objective, gradient, project, fy, pgd_opts, pgd)?;
+        stats.pgd_iterations += run.iterations as u64;
+        stats.pgd_projections += run.projections as u64;
+        stats.pgd_step_floor_hits += run.step_floor_hits as u64;
+        if run.converged {
+            stats.pgd_converged += 1;
+        } else {
+            stats.pgd_budget_exhausted += 1;
+        }
+        out.fill(0.0);
+        for (slot, &j) in fpos.iter().enumerate() {
+            out[j] = fy[slot];
+        }
+        Ok(run.objective)
+    }
+}
+
+/// Inputs for [`SlotWorkspace::solve_sparse_slot`]: the nonzero view of
+/// one `(n, t)` demand block plus the dense side inputs that are read
+/// *at* nonzero positions only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SparseSlotInput<'a> {
+    /// Catalog size `K`, decomposing flat `m·K + k` entry indices.
+    pub k_total: usize,
+    /// The block's nonzero demand entries, in index order.
+    pub entries: &'a [NonzeroEntry],
+    /// Dense linear-coefficient block (the multipliers `μ ≥ 0`), or
+    /// `None` for all-zero coefficients.
+    pub linear: Option<&'a [f64]>,
+    /// Cache state bounding `y ≤ x`; `None` leaves all entries free.
+    pub cached: Option<(&'a CacheState, SbsId)>,
+    /// Dense warm-start block, consulted at free entries.
+    pub warm: Option<&'a [f64]>,
 }
 
 /// A borrowed view of one SBS's share of a [`ProblemInstance`]: its
@@ -478,6 +701,12 @@ impl<'a> SbsSubproblem<'a> {
     #[must_use]
     pub fn sbs_id(&self) -> SbsId {
         self.n
+    }
+
+    /// The problem instance this view borrows from.
+    #[must_use]
+    pub fn problem(&self) -> &'a ProblemInstance {
+        self.problem
     }
 
     /// The underlying SBS (capacity, bandwidth, classes).

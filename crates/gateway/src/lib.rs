@@ -65,8 +65,13 @@ pub fn preregister_headline_metrics(telemetry: &Telemetry) {
     let _ = telemetry.histogram("pd_iterations");
     let _ = telemetry.counter("pd_iterations_total");
     let _ = telemetry.histogram("pd_dual_residual_norm_1e6");
+    let _ = telemetry.counter("pd_early_exit_total");
     let _ = telemetry.histogram("window_solve_us");
+    let _ = telemetry.counter("window_incremental_builds_total");
+    let _ = telemetry.counter("window_full_builds_total");
     let _ = telemetry.counter("chc_rounding_flips_total");
     let _ = telemetry.counter("repair_scale_passes_total");
     let _ = telemetry.histogram("repair_scale_pct");
+    let _ = telemetry.counter("p2_sparse_slots_total");
+    let _ = telemetry.histogram("serve_slot_nonzeros");
 }

@@ -16,9 +16,9 @@
 use crate::observe::{RoundingMetrics, WindowMetrics};
 use crate::policy::{carry_warm_start, Action, OnlinePolicy, PolicyContext};
 use crate::rounding::RoundingPolicy;
+use crate::window::WindowBuilder;
 use jocal_core::plan::{CacheState, LoadPlan};
 use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver, WarmStart};
-use jocal_core::problem::ProblemInstance;
 use jocal_core::CoreError;
 use jocal_sim::topology::{ClassId, ContentId};
 use jocal_telemetry::Telemetry;
@@ -38,6 +38,9 @@ struct FhcVersion {
     virtual_cache: CacheState,
     /// Dual warm start for its next window solve.
     warm: Option<WarmStart>,
+    /// Incremental window assembly state (each version recedes by its
+    /// own commitment stride, so each owns a builder).
+    builder: WindowBuilder,
 }
 
 /// Committed Horizon Control with rounding.
@@ -153,14 +156,12 @@ impl ChcPolicy {
         ctx: &PolicyContext<'_>,
     ) -> Result<(), CoreError> {
         let len = self.window.min(ctx.horizon.saturating_sub(t)).max(1);
-        let predicted = ctx.predictor.predict(t, len);
         let version = &mut self.versions[v];
-        let problem = ProblemInstance::new(
-            ctx.network.clone(),
-            predicted,
-            *ctx.cost_model,
-            version.virtual_cache.clone(),
-        )?;
+        let problem = version
+            .builder
+            .build(ctx, t, len, version.virtual_cache.clone())?;
+        self.metrics
+            .record_build(version.builder.last_was_incremental());
         let trace = self
             .metrics
             .tracer
@@ -209,6 +210,7 @@ impl OnlinePolicy for ChcPolicy {
                     planned: VecDeque::new(),
                     virtual_cache: ctx.current_cache.clone(),
                     warm: None,
+                    builder: WindowBuilder::default(),
                 })
                 .collect();
             self.started = true;

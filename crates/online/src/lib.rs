@@ -58,8 +58,10 @@ pub mod rhc;
 pub mod rounding;
 pub mod runner;
 pub mod theory;
+pub mod window;
 
 pub use observe::{RepairMetrics, RoundingMetrics, WindowMetrics};
 pub use policy::{Action, OnlinePolicy, PolicyContext};
 pub use ratio::{DualBoundTracker, RatioOptions, RatioSample};
 pub use rounding::RoundingPolicy;
+pub use window::WindowBuilder;

@@ -22,6 +22,12 @@ pub struct WindowMetrics {
     pub solve_us: Histogram,
     /// Window solves performed.
     pub solves: Counter,
+    /// Windows assembled incrementally (shift-and-append over the
+    /// previous window's overlap; see [`crate::window::WindowBuilder`]).
+    pub incremental_builds: Counter,
+    /// Windows assembled by full rebuild (first window, horizon-
+    /// truncated tails, or a decision-time-keyed predictor).
+    pub full_builds: Counter,
     /// Causal tracer for `window_solve` spans (disabled by default).
     pub tracer: Tracer,
 }
@@ -43,7 +49,22 @@ impl WindowMetrics {
         WindowMetrics {
             solve_us: telemetry.histogram_with("window_solve_us", "policy", policy),
             solves: telemetry.counter_with("window_solves_total", "policy", policy),
+            incremental_builds: telemetry.counter_with(
+                "window_incremental_builds_total",
+                "policy",
+                policy,
+            ),
+            full_builds: telemetry.counter_with("window_full_builds_total", "policy", policy),
             tracer: telemetry.tracer(),
+        }
+    }
+
+    /// Records which assembly path one window build took.
+    pub fn record_build(&self, incremental: bool) {
+        if incremental {
+            self.incremental_builds.incr();
+        } else {
+            self.full_builds.incr();
         }
     }
 

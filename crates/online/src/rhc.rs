@@ -14,9 +14,9 @@
 
 use crate::observe::WindowMetrics;
 use crate::policy::{carry_warm_start, Action, OnlinePolicy, PolicyContext};
+use crate::window::WindowBuilder;
 use jocal_core::plan::LoadPlan;
 use jocal_core::primal_dual::{PrimalDualOptions, PrimalDualSolver, WarmStart};
-use jocal_core::problem::ProblemInstance;
 use jocal_core::CoreError;
 use jocal_telemetry::Telemetry;
 
@@ -26,6 +26,7 @@ pub struct RhcPolicy {
     window: usize,
     solver: PrimalDualSolver,
     warm: Option<WarmStart>,
+    builder: WindowBuilder,
     metrics: WindowMetrics,
 }
 
@@ -44,6 +45,7 @@ impl RhcPolicy {
             window,
             solver: PrimalDualSolver::new(options),
             warm: None,
+            builder: WindowBuilder::default(),
             metrics: WindowMetrics::disabled(),
         }
     }
@@ -65,13 +67,9 @@ impl OnlinePolicy for RhcPolicy {
         // Never plan past the horizon (the paper zero-pads Λ beyond T; an
         // explicitly shorter window avoids wasted work).
         let len = self.window.min(ctx.horizon.saturating_sub(t)).max(1);
-        let predicted = ctx.predictor.predict(t, len);
-        let problem = ProblemInstance::new(
-            ctx.network.clone(),
-            predicted,
-            *ctx.cost_model,
-            ctx.current_cache.clone(),
-        )?;
+        let problem = self.builder.build(ctx, t, len, ctx.current_cache.clone())?;
+        self.metrics
+            .record_build(self.builder.last_was_incremental());
         let trace = self
             .metrics
             .tracer
@@ -96,6 +94,7 @@ impl OnlinePolicy for RhcPolicy {
 
     fn reset(&mut self) {
         self.warm = None;
+        self.builder.reset();
     }
 
     fn instrument(&mut self, telemetry: &Telemetry) {

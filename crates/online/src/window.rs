@@ -1,0 +1,277 @@
+//! Incremental window assembly for the receding/committed-horizon
+//! policies.
+//!
+//! Every online controller solves a `w`-slot prediction window per
+//! decision. Naively that means, per slot: clone the network, material-
+//! ize a fresh `w`-slot demand trace, and rescan it into a nonzero
+//! index. [`WindowBuilder`] removes all three costs for the common
+//! case:
+//!
+//! - The network is cloned **once** into an [`Arc`] and shared by every
+//!   subsequent [`jocal_core::problem::ProblemInstance`] (they only need
+//!   shared ownership, never mutation).
+//! - When the predictor is *re-request stable*
+//!   ([`PredictionWindow::stable_predictions`]), consecutive windows
+//!   agree on their overlap bit-exactly, so the demand buffer shifts its
+//!   overlap forward in place ([`DemandTrace::shift_slots`]) and only
+//!   the freshly exposed tail slots are predicted.
+//! - The nonzero index advances with the window
+//!   ([`SlotNonzeros::shift_append`]): `O(nnz)` instead of an `O(dense)`
+//!   rescan.
+//!
+//! The incremental path is bit-identical to a full rebuild *by
+//! construction* — the overlap is a `memmove` of values the full
+//! rebuild would re-predict identically (that is what stability means),
+//! and the tail slots come from the same `predict` oracle. Unstable
+//! predictors (noise keyed by decision time) simply take the full
+//! rebuild path every time, preserving their exact historical behavior.
+
+use crate::policy::PolicyContext;
+use jocal_core::plan::CacheState;
+use jocal_core::problem::ProblemInstance;
+use jocal_core::{CoreError, SlotNonzeros};
+use jocal_sim::demand::DemandTrace;
+use jocal_sim::topology::Network;
+use std::sync::Arc;
+
+/// Reusable per-policy (or per-FHC-version) window state.
+///
+/// A builder is bound to whatever network its context last presented:
+/// a topology change invalidates the shared [`Arc`] and the window
+/// buffers. Policies reset it alongside their own state.
+#[derive(Debug, Clone, Default)]
+pub struct WindowBuilder {
+    network: Option<Arc<Network>>,
+    demand: Option<Arc<DemandTrace>>,
+    nonzeros: Option<Arc<SlotNonzeros>>,
+    last_start: usize,
+    incremental_builds: u64,
+    full_builds: u64,
+    last_was_incremental: bool,
+}
+
+impl WindowBuilder {
+    /// Assembles the [`ProblemInstance`] for the window of `len` slots
+    /// starting at absolute slot `t`, incrementally when the predictor
+    /// allows it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProblemInstance::from_parts`] shape validation.
+    pub fn build(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        t: usize,
+        len: usize,
+        initial_cache: CacheState,
+    ) -> Result<ProblemInstance, CoreError> {
+        let network = match &self.network {
+            Some(shared) if shared.as_ref() == ctx.network => Arc::clone(shared),
+            _ => {
+                let shared = Arc::new(ctx.network.clone());
+                self.network = Some(Arc::clone(&shared));
+                self.demand = None;
+                self.nonzeros = None;
+                shared
+            }
+        };
+
+        let reusable = ctx.predictor.stable_predictions()
+            && self.demand.as_ref().is_some_and(|d| d.horizon() == len)
+            && t >= self.last_start
+            && t - self.last_start < len;
+
+        let (demand, nonzeros) = if reusable {
+            let shift = t - self.last_start;
+            let demand_arc = self.demand.as_mut().expect("checked in `reusable`");
+            let nonzeros_arc = self
+                .nonzeros
+                .as_mut()
+                .expect("demand and nonzeros are built together");
+            if shift > 0 {
+                // The previous ProblemInstance is dropped by now, so
+                // both make_mut calls are refcount-1 in-place edits.
+                let d = Arc::make_mut(demand_arc);
+                d.shift_slots(shift);
+                for local in len - shift..len {
+                    let one = ctx.predictor.predict(t + local, 1);
+                    d.copy_slot_from(local, &one, 0)?;
+                }
+                Arc::make_mut(nonzeros_arc).shift_append(d, shift);
+            }
+            self.incremental_builds += 1;
+            self.last_was_incremental = true;
+            (Arc::clone(demand_arc), Arc::clone(nonzeros_arc))
+        } else {
+            let predicted = Arc::new(ctx.predictor.predict(t, len));
+            // Reuse the previous index's allocations when we are their
+            // only owner.
+            let mut index = self
+                .nonzeros
+                .take()
+                .and_then(|arc| Arc::try_unwrap(arc).ok())
+                .unwrap_or_default();
+            index.rebuild_from(&predicted);
+            let index = Arc::new(index);
+            self.demand = Some(Arc::clone(&predicted));
+            self.nonzeros = Some(Arc::clone(&index));
+            self.full_builds += 1;
+            self.last_was_incremental = false;
+            (predicted, index)
+        };
+        self.last_start = t;
+        ProblemInstance::from_parts(
+            network,
+            demand,
+            Some(nonzeros),
+            *ctx.cost_model,
+            initial_cache,
+        )
+    }
+
+    /// Whether the most recent [`WindowBuilder::build`] took the
+    /// incremental (shift-and-append) path.
+    #[inline]
+    #[must_use]
+    pub fn last_was_incremental(&self) -> bool {
+        self.last_was_incremental
+    }
+
+    /// Windows assembled incrementally since construction/reset.
+    #[inline]
+    #[must_use]
+    pub fn incremental_builds(&self) -> u64 {
+        self.incremental_builds
+    }
+
+    /// Windows assembled by full rebuild since construction/reset.
+    #[inline]
+    #[must_use]
+    pub fn full_builds(&self) -> u64 {
+        self.full_builds
+    }
+
+    /// Drops all cached state (network Arc, window buffers, counters).
+    pub fn reset(&mut self) {
+        *self = WindowBuilder::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocal_core::CostModel;
+    use jocal_sim::predictor::{NoisyPredictor, PerfectPredictor, PredictionWindow};
+    use jocal_sim::scenario::ScenarioConfig;
+
+    fn ctx<'a>(
+        s: &'a jocal_sim::scenario::Scenario,
+        model: &'a CostModel,
+        predictor: &'a dyn jocal_sim::predictor::PredictionWindow,
+        cache: &'a CacheState,
+    ) -> PolicyContext<'a> {
+        PolicyContext {
+            network: &s.network,
+            cost_model: model,
+            predictor,
+            current_cache: cache,
+            horizon: s.demand.horizon(),
+        }
+    }
+
+    #[test]
+    fn incremental_windows_match_full_rebuilds_bitwise() {
+        let s = ScenarioConfig::tiny().with_horizon(8).build(21).unwrap();
+        let model = CostModel::paper();
+        let predictor = PerfectPredictor::new(s.demand.clone());
+        let cache = CacheState::empty(&s.network);
+        let c = ctx(&s, &model, &predictor, &cache);
+        let w = 3;
+        let mut inc = WindowBuilder::default();
+        for t in 0..s.demand.horizon() {
+            let len = w.min(s.demand.horizon() - t).max(1);
+            let p_inc = inc.build(&c, t, len, cache.clone()).unwrap();
+            let mut full = WindowBuilder::default();
+            let p_full = full.build(&c, t, len, cache.clone()).unwrap();
+            assert_eq!(p_inc.demand(), p_full.demand(), "slot {t}");
+            assert_eq!(
+                p_inc.nonzeros().total_nonzeros(),
+                p_full.nonzeros().total_nonzeros(),
+                "slot {t}"
+            );
+            for wt in 0..len {
+                for (n, _) in s.network.iter_sbs() {
+                    assert_eq!(
+                        p_inc.nonzeros().slot(wt, n),
+                        p_full.nonzeros().slot(wt, n),
+                        "slot {t} window slot {wt}"
+                    );
+                }
+            }
+        }
+        // Steady state reuses; the first build and the horizon-truncated
+        // tail windows rebuild.
+        assert!(inc.incremental_builds() > 0);
+        assert!(inc.full_builds() >= 1);
+    }
+
+    #[test]
+    fn network_is_shared_not_recloned() {
+        let s = ScenarioConfig::tiny().with_horizon(6).build(3).unwrap();
+        let model = CostModel::paper();
+        let predictor = PerfectPredictor::new(s.demand.clone());
+        let cache = CacheState::empty(&s.network);
+        let c = ctx(&s, &model, &predictor, &cache);
+        let mut b = WindowBuilder::default();
+        let p0 = b.build(&c, 0, 3, cache.clone()).unwrap();
+        let p1 = b.build(&c, 1, 3, cache.clone()).unwrap();
+        assert!(Arc::ptr_eq(p0.network_arc(), p1.network_arc()));
+    }
+
+    #[test]
+    fn noisy_predictor_forces_full_rebuilds() {
+        let s = ScenarioConfig::tiny().with_horizon(6).build(3).unwrap();
+        let model = CostModel::paper();
+        let predictor = NoisyPredictor::new(s.demand.clone(), 0.3, 7);
+        let cache = CacheState::empty(&s.network);
+        let c = ctx(&s, &model, &predictor, &cache);
+        let mut b = WindowBuilder::default();
+        for t in 0..4 {
+            let p = b.build(&c, t, 3, cache.clone()).unwrap();
+            // Full rebuild reproduces the predictor's historical output.
+            assert_eq!(p.demand(), &predictor.predict(t, 3), "slot {t}");
+            assert!(!b.last_was_incremental());
+        }
+        assert_eq!(b.full_builds(), 4);
+        assert_eq!(b.incremental_builds(), 0);
+    }
+
+    #[test]
+    fn zero_eta_noisy_predictor_is_stable() {
+        let s = ScenarioConfig::tiny().with_horizon(6).build(3).unwrap();
+        let model = CostModel::paper();
+        let predictor = NoisyPredictor::new(s.demand.clone(), 0.0, 7);
+        let cache = CacheState::empty(&s.network);
+        let c = ctx(&s, &model, &predictor, &cache);
+        let mut b = WindowBuilder::default();
+        b.build(&c, 0, 3, cache.clone()).unwrap();
+        b.build(&c, 1, 3, cache.clone()).unwrap();
+        assert!(b.last_was_incremental());
+    }
+
+    #[test]
+    fn reset_clears_all_state() {
+        let s = ScenarioConfig::tiny().with_horizon(6).build(3).unwrap();
+        let model = CostModel::paper();
+        let predictor = PerfectPredictor::new(s.demand.clone());
+        let cache = CacheState::empty(&s.network);
+        let c = ctx(&s, &model, &predictor, &cache);
+        let mut b = WindowBuilder::default();
+        b.build(&c, 0, 3, cache.clone()).unwrap();
+        b.reset();
+        assert_eq!(b.incremental_builds(), 0);
+        assert_eq!(b.full_builds(), 0);
+        let p = b.build(&c, 0, 3, cache.clone()).unwrap();
+        assert_eq!(p.demand(), &predictor.predict(0, 3));
+    }
+}

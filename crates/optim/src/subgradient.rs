@@ -186,6 +186,39 @@ impl DualAscent {
         self.iteration += 1;
     }
 
+    /// Performs one projected ascent step over a *sparse* subgradient:
+    /// `μ_i ← [μ_i + δ_l g_j]⁺` for each `(i, g_j)` in
+    /// `indices × violation`, leaving every other coordinate untouched,
+    /// then advances the iteration counter once.
+    ///
+    /// The caller guarantees that every coordinate outside `indices` has
+    /// a zero subgradient **and** a zero multiplier, so skipping it is
+    /// exact: `[0 + δ·0]⁺ = 0`. With that invariant the touched
+    /// coordinates see the same arithmetic as [`Self::ascend`], making
+    /// the sparse and dense updates bit-identical. `last_clipped` counts
+    /// projections among the touched coordinates only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or an index is out of range.
+    pub fn ascend_at(&mut self, indices: &[usize], violation: &[f64]) {
+        assert_eq!(
+            violation.len(),
+            indices.len(),
+            "sparse subgradient dimension mismatch"
+        );
+        let delta = self.schedule.step(self.iteration);
+        let mut clipped = 0;
+        for (&i, g) in indices.iter().zip(violation) {
+            let mu = &mut self.multipliers[i];
+            let raw = *mu + delta * g;
+            clipped += usize::from(raw < 0.0);
+            *mu = raw.max(0.0);
+        }
+        self.clipped_last = clipped;
+        self.iteration += 1;
+    }
+
     /// Resets multipliers, bounds and the iteration counter.
     pub fn reset(&mut self) {
         self.multipliers.iter_mut().for_each(|m| *m = 0.0);
@@ -228,6 +261,32 @@ mod tests {
         assert_eq!(d.iteration(), 1);
         // Exactly one coordinate hit the non-negativity projection.
         assert_eq!(d.last_clipped(), 1);
+    }
+
+    #[test]
+    fn sparse_ascend_matches_dense_on_support() {
+        let schedule = StepSchedule::ScaledHarmonic {
+            scale: 0.7,
+            alpha: 0.3,
+        };
+        let mut dense = DualAscent::new(4, schedule);
+        let mut sparse = DualAscent::new(4, schedule);
+        // Support {1, 3}; off-support coordinates have zero subgradient
+        // and zero multiplier throughout.
+        for round in 0..5 {
+            let g1 = 0.4 - 0.1 * round as f64;
+            let g3 = -0.9 + 0.5 * round as f64;
+            dense.ascend(&[0.0, g1, 0.0, g3]);
+            sparse.ascend_at(&[1, 3], &[g1, g3]);
+            assert_eq!(dense.iteration(), sparse.iteration());
+            for i in 0..4 {
+                assert_eq!(
+                    dense.multipliers()[i].to_bits(),
+                    sparse.multipliers()[i].to_bits(),
+                    "round {round} coord {i}"
+                );
+            }
+        }
     }
 
     #[test]

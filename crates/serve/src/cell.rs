@@ -21,10 +21,10 @@ use crate::metrics::{
 };
 use crate::source::DemandSource;
 use crate::window::SlidingWindow;
-use jocal_core::accounting::{evaluate_slot, CostBreakdown};
-use jocal_core::ledger::ledger_slot;
+use jocal_core::accounting::{evaluate_slot_sparse, CostBreakdown};
+use jocal_core::ledger::ledger_slot_sparse;
 use jocal_core::plan::{CacheState, LoadPlan};
-use jocal_core::{CostModel, ShutdownFlag};
+use jocal_core::{CostModel, ShutdownFlag, SlotNonzeros};
 use jocal_online::observe::RepairMetrics;
 use jocal_online::policy::{OnlinePolicy, PolicyContext};
 use jocal_online::ratio::{slot_constraint_violations, DualBoundTracker};
@@ -46,6 +46,9 @@ struct CellObs {
     decide_us: Histogram,
     slots_total: Counter,
     requests_total: Counter,
+    /// Nonzero `(class, content)` demand coordinates in each served
+    /// slot — the size of the sparse cost/ledger sweeps.
+    slot_nonzeros: Histogram,
     repair_metrics: RepairMetrics,
     tracer: Tracer,
     watchdog_ratio: Counter,
@@ -61,6 +64,7 @@ impl CellObs {
             decide_us: telemetry.histogram_with("serve_decide_us", "policy", policy),
             slots_total: telemetry.counter("serve_slots_total"),
             requests_total: telemetry.counter("serve_requests_total"),
+            slot_nonzeros: telemetry.histogram("serve_slot_nonzeros"),
             repair_metrics: RepairMetrics::resolve(telemetry),
             tracer: telemetry.tracer(),
             watchdog_ratio: telemetry.counter("serve_watchdog_ratio_total"),
@@ -115,6 +119,9 @@ pub struct CellCore {
     rng: StdRng,
     prev_cache: CacheState,
     slot_load: LoadPlan,
+    /// Reusable nonzero index over the realized slot, rebuilt in place
+    /// each step (`O(nnz)` cost/ledger sweeps instead of `O(N·M·K)`).
+    truth_nonzeros: SlotNonzeros,
     histogram: LatencyHistogram,
     totals: Totals,
 }
@@ -191,6 +198,7 @@ impl CellCore {
             rng: StdRng::seed_from_u64(config.seed),
             prev_cache: initial,
             slot_load: LoadPlan::zeros(network, 1),
+            truth_nonzeros: SlotNonzeros::default(),
             histogram: LatencyHistogram::default(),
             totals: Totals::default(),
         })
@@ -282,10 +290,16 @@ impl CellCore {
         self.obs.tracer.finish(repair_trace);
 
         // --- Charge realized costs -----------------------------------
-        let cost = evaluate_slot(
+        // Sparse sweep over the realized slot's nonzero coordinates;
+        // bit-identical to the dense evaluation (see jocal_core::sparse).
+        self.truth_nonzeros.rebuild_from(truth);
+        self.obs
+            .slot_nonzeros
+            .observe(self.truth_nonzeros.total_nonzeros() as u64);
+        let cost = evaluate_slot_sparse(
             &self.network,
             &self.cost_model,
-            truth,
+            &self.truth_nonzeros,
             &self.prev_cache,
             &action.cache,
             &self.slot_load,
@@ -314,10 +328,10 @@ impl CellCore {
         // Both read executed state only; neither can perturb a
         // decision bit.
         if self.config.ledger {
-            let ledger = ledger_slot(
+            let ledger = ledger_slot_sparse(
                 &self.network,
                 &self.cost_model,
-                truth,
+                &self.truth_nonzeros,
                 &self.prev_cache,
                 &action.cache,
                 &self.slot_load,

@@ -152,6 +152,16 @@ impl PredictionWindow for WindowPredictor<'_> {
         self.noise.apply(&mut out, now);
         out
     }
+
+    fn stable_predictions(&self) -> bool {
+        // Buffered slots hold ground truth keyed by absolute slot and
+        // never change once buffered, and a drained source stays
+        // drained (so a slot cannot flip from unbuffered-zero to
+        // buffered-truth inside a reused overlap). With zero noise the
+        // view is therefore re-request stable; nonzero noise is keyed
+        // by decision time, same as the batch predictors.
+        self.noise.eta() == 0.0
+    }
 }
 
 #[cfg(test)]
@@ -273,5 +283,24 @@ mod tests {
         window.fill(2, &mut source).unwrap();
         assert_eq!(window.buffered(), 2);
         assert!(window.peak_buffered() <= 2);
+    }
+
+    #[test]
+    fn window_predictor_is_stable_exactly_when_noise_free() {
+        let s = ScenarioConfig::tiny().build(55).unwrap();
+        let mut source = TraceSource::new(s.demand.clone());
+        let mut window = SlidingWindow::new(&s.network);
+        window.fill(2, &mut source).unwrap();
+        use jocal_sim::predictor::PredictionWindow as _;
+        // η = 0: buffered truth is keyed by absolute slot, so the view
+        // is re-request stable and policies may build incrementally.
+        assert!(window
+            .predictor(NoiseModel::new(0.0, 9))
+            .stable_predictions());
+        // η > 0: noise draws are keyed by decision time, matching the
+        // batch predictors' instability.
+        assert!(!window
+            .predictor(NoiseModel::new(0.1, 9))
+            .stable_predictions());
     }
 }

@@ -458,6 +458,26 @@ impl DemandTrace {
         Ok(())
     }
 
+    /// Shifts the trace `shift` slots toward the present in place: slot
+    /// `t` receives the former slot `t + shift` (a straight `memmove`,
+    /// so values round-trip bit-exactly) and the vacated tail slots are
+    /// zeroed. The primitive behind incremental window assembly: a
+    /// receding-horizon buffer advances by reusing its overlap instead
+    /// of re-copying the whole window. `shift ≥ horizon` clears the
+    /// trace.
+    pub fn shift_slots(&mut self, shift: usize) {
+        if shift == 0 {
+            return;
+        }
+        let width = self.total_classes() * self.num_contents;
+        if shift >= self.horizon {
+            self.data.fill(0.0);
+            return;
+        }
+        self.data.copy_within(shift * width.., 0);
+        self.data[(self.horizon - shift) * width..].fill(0.0);
+    }
+
     /// Copies the window `[start, start + len)` into a fresh trace whose
     /// local slot 0 corresponds to absolute slot `start`. Slots beyond the
     /// source horizon are zero (matching the paper's `Λ^t = 0, t ≥ T`).

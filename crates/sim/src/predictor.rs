@@ -28,6 +28,22 @@ pub trait PredictionWindow: fmt::Debug {
     /// Local slot `0` of the returned trace corresponds to absolute slot
     /// `now`. Slots past the true horizon are zero.
     fn predict(&self, now: usize, horizon: usize) -> DemandTrace;
+
+    /// Whether the prediction for an absolute slot is independent of the
+    /// decision time and window length it is requested from — i.e.
+    /// `predict(a, h₁)` and `predict(b, h₂)` agree bit-exactly wherever
+    /// their windows overlap.
+    ///
+    /// Incremental window assembly relies on this: a stable predictor's
+    /// receding window can shift its overlap forward and predict only
+    /// the freshly exposed slots, bit-identical to a full rebuild. The
+    /// default is `false` (always rebuild), which is the safe answer for
+    /// any oracle whose noise or model is keyed by decision time —
+    /// [`NoisyPredictor`] with `η > 0` and [`PersistencePredictor`]
+    /// both are.
+    fn stable_predictions(&self) -> bool {
+        false
+    }
 }
 
 /// A source of demand predictions that also owns the full ground truth
@@ -147,6 +163,10 @@ impl PredictionWindow for PerfectPredictor {
     fn predict(&self, now: usize, horizon: usize) -> DemandTrace {
         self.truth.window(now, horizon)
     }
+
+    fn stable_predictions(&self) -> bool {
+        true
+    }
 }
 
 impl Predictor for PerfectPredictor {
@@ -209,6 +229,12 @@ impl PredictionWindow for NoisyPredictor {
         let mut window = self.truth.window(now, horizon);
         self.noise.apply(&mut window, now);
         window
+    }
+
+    fn stable_predictions(&self) -> bool {
+        // Noise draws are keyed by decision time, so only the
+        // noise-free case is re-request stable.
+        self.noise.eta() == 0.0
     }
 }
 

@@ -16,7 +16,8 @@
 
 use crate::demand::{DemandGenerator, DemandTrace, TemporalPattern};
 use crate::popularity::ZipfMandelbrot;
-use crate::topology::{MuClass, Network};
+use crate::stream::{sparsity_keep, validate_nonzero_fraction};
+use crate::topology::{ClassId, ContentId, MuClass, Network};
 use crate::SimError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -56,6 +57,16 @@ pub struct ScenarioConfig {
     pub prediction_window: usize,
     /// Prediction perturbation `η`.
     pub eta: f64,
+    /// Fraction of `(t, n, k)` triples that carry any demand (`None`
+    /// disables the mask). Production traces over large catalogs are
+    /// sparse — most contents see no requests at an SBS in a slot —
+    /// and this mask reproduces that regime deterministically: kept
+    /// triples are chosen by a stateless hash of the demand seed shared
+    /// across MU classes ([`crate::stream::sparsity_keep`]), identically
+    /// in the batch and streaming generators. Omitted in serialized
+    /// configs from before this field existed; the vendored serde maps
+    /// a missing key to `None`.
+    pub nonzero_fraction: Option<f64>,
 }
 
 impl ScenarioConfig {
@@ -92,6 +103,7 @@ impl ScenarioConfig {
             temporal: TemporalPattern::Jitter { sigma: 0.15 },
             prediction_window: 10,
             eta: 0.1,
+            nonzero_fraction: None,
         }
     }
 
@@ -114,6 +126,7 @@ impl ScenarioConfig {
             temporal: TemporalPattern::Jitter { sigma: 0.1 },
             prediction_window: 3,
             eta: 0.1,
+            nonzero_fraction: None,
         }
     }
 
@@ -156,6 +169,21 @@ impl ScenarioConfig {
     #[must_use]
     pub fn with_horizon(mut self, horizon: usize) -> Self {
         self.horizon = horizon;
+        self
+    }
+
+    /// Sets the catalog size `K` (builder style).
+    #[must_use]
+    pub fn with_num_contents(mut self, num_contents: usize) -> Self {
+        self.num_contents = num_contents;
+        self
+    }
+
+    /// Sets the demand sparsity mask fraction (builder style): each
+    /// `(t, n, k)` triple carries demand with probability `fraction`.
+    #[must_use]
+    pub fn with_nonzero_fraction(mut self, fraction: f64) -> Self {
+        self.nonzero_fraction = Some(fraction);
         self
     }
 
@@ -241,6 +269,9 @@ impl ScenarioConfig {
         if !(0.0..=1.0).contains(&self.eta) {
             return Err(SimError::config("eta", "must lie in [0, 1]"));
         }
+        if let Some(f) = self.nonzero_fraction {
+            validate_nonzero_fraction(f)?;
+        }
         Ok(())
     }
 
@@ -252,11 +283,29 @@ impl ScenarioConfig {
     pub fn build(&self, seed: u64) -> Result<Scenario, SimError> {
         let network = self.build_network(seed)?;
         let popularity = ZipfMandelbrot::new(self.num_contents, self.zipf_alpha, self.zipf_q)?;
-        let demand = DemandGenerator::new(popularity, self.temporal.clone()).generate(
+        let mut demand = DemandGenerator::new(popularity, self.temporal.clone()).generate(
             &network,
             self.horizon,
             Self::demand_seed(seed),
         )?;
+        if let Some(fraction) = self.nonzero_fraction {
+            // Keyed by the demand seed: a StreamingDemand built from the
+            // same seed masks the identical (t, n, k) triples, keeping
+            // batch and streaming bit-identical.
+            let mask_seed = Self::demand_seed(seed);
+            for t in 0..self.horizon {
+                for (n, sbs) in network.iter_sbs() {
+                    for k in 0..self.num_contents {
+                        if sparsity_keep(mask_seed, t, n.0, k, fraction) {
+                            continue;
+                        }
+                        for m in 0..sbs.num_classes() {
+                            demand.set_lambda(t, n, ClassId(m), ContentId(k), 0.0)?;
+                        }
+                    }
+                }
+            }
+        }
         Ok(Scenario {
             config: self.clone(),
             network,
@@ -396,6 +445,104 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn configs_without_nonzero_fraction_still_parse() {
+        // JSON written before the sparsity mask existed has no
+        // `nonzero_fraction` key; deserialization must fill None.
+        let json = serde_json::to_string(&ScenarioConfig::tiny()).unwrap();
+        let stripped = json.replace(",\"nonzero_fraction\":null", "");
+        assert_ne!(json, stripped, "field should serialize as null");
+        let back: ScenarioConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, ScenarioConfig::tiny());
+    }
+
+    #[test]
+    fn nonzero_fraction_masks_batch_and_streaming_identically() {
+        use crate::stream::StreamingDemand;
+        let cfg = ScenarioConfig::tiny()
+            .with_temporal(TemporalPattern::Stationary)
+            .with_nonzero_fraction(0.4);
+        let s = cfg.build(9).unwrap();
+        let pop = ZipfMandelbrot::new(cfg.num_contents, cfg.zipf_alpha, cfg.zipf_q).unwrap();
+        let gen = StreamingDemand::new(
+            pop,
+            TemporalPattern::Stationary,
+            ScenarioConfig::demand_seed(9),
+        )
+        .unwrap()
+        .with_nonzero_fraction(Some(0.4))
+        .unwrap();
+        let mut zeroed = 0usize;
+        let mut kept = 0usize;
+        for t in 0..s.demand.horizon() {
+            let slot = gen.slot(&s.network, t).unwrap();
+            for (n, sbs) in s.network.iter_sbs() {
+                for m in 0..sbs.num_classes() {
+                    for k in 0..cfg.num_contents {
+                        let batch = s.demand.lambda(t, n, ClassId(m), ContentId(k));
+                        assert_eq!(
+                            slot.lambda(0, n, ClassId(m), ContentId(k)),
+                            batch,
+                            "t={t} m={m} k={k}"
+                        );
+                        if batch == 0.0 {
+                            zeroed += 1;
+                        } else {
+                            kept += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(zeroed > 0, "mask should drop some triples");
+        assert!(kept > 0, "mask should keep some triples");
+    }
+
+    #[test]
+    fn nonzero_fraction_realizes_target_density() {
+        let cfg = ScenarioConfig::tiny()
+            .with_num_contents(400)
+            .with_nonzero_fraction(0.1);
+        let s = cfg.build(4).unwrap();
+        let mut nonzero = 0usize;
+        let mut total = 0usize;
+        for t in 0..s.demand.horizon() {
+            for (n, _) in s.network.iter_sbs() {
+                for k in 0..400 {
+                    total += 1;
+                    let any = (0..cfg.classes_per_sbs)
+                        .any(|m| s.demand.lambda(t, n, ClassId(m), ContentId(k)) != 0.0);
+                    if any {
+                        nonzero += 1;
+                    }
+                }
+            }
+        }
+        let density = nonzero as f64 / total as f64;
+        assert!(
+            (0.05..=0.15).contains(&density),
+            "realized density {density} far from target 0.1"
+        );
+    }
+
+    #[test]
+    fn nonzero_fraction_one_is_identity_and_bad_fractions_rejected() {
+        let base = ScenarioConfig::tiny().build(3).unwrap();
+        let full = ScenarioConfig::tiny()
+            .with_nonzero_fraction(1.0)
+            .build(3)
+            .unwrap();
+        assert_eq!(base.demand, full.demand);
+        assert!(ScenarioConfig::tiny()
+            .with_nonzero_fraction(0.0)
+            .build(3)
+            .is_err());
+        assert!(ScenarioConfig::tiny()
+            .with_nonzero_fraction(1.5)
+            .build(3)
+            .is_err());
     }
 
     #[test]

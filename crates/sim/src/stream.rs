@@ -35,6 +35,7 @@ pub struct StreamingDemand {
     probs: Vec<f64>,
     pattern: TemporalPattern,
     seed: u64,
+    nonzero_fraction: Option<f64>,
 }
 
 impl StreamingDemand {
@@ -54,7 +55,28 @@ impl StreamingDemand {
             probs: popularity.probabilities(),
             pattern,
             seed,
+            nonzero_fraction: None,
         })
+    }
+
+    /// Applies the deterministic sparsity mask (builder style): each
+    /// `(t, n, k)` triple keeps its demand with probability `fraction`,
+    /// shared across MU classes. Pass `None` to disable.
+    ///
+    /// Keyed by this generator's seed via [`sparsity_keep`], so a
+    /// [`crate::scenario::ScenarioConfig`] with the same
+    /// `nonzero_fraction` and demand seed produces the identical masked
+    /// trace through the batch path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] unless `fraction ∈ (0, 1]`.
+    pub fn with_nonzero_fraction(mut self, fraction: Option<f64>) -> Result<Self, SimError> {
+        if let Some(f) = fraction {
+            validate_nonzero_fraction(f)?;
+        }
+        self.nonzero_fraction = fraction;
+        Ok(self)
     }
 
     /// Generates the demand of slot `t` as a horizon-1 trace shaped for
@@ -83,6 +105,11 @@ impl StreamingDemand {
         for (n, sbs) in network.iter_sbs() {
             for (m, class) in sbs.classes().iter().enumerate() {
                 for (k, scale) in content_scale.iter().enumerate() {
+                    if let Some(f) = self.nonzero_fraction {
+                        if !sparsity_keep(self.seed, t, n.0, k, f) {
+                            continue; // trace is zero-initialized
+                        }
+                    }
                     let jitter = if let TemporalPattern::Jitter { sigma } = self.pattern {
                         (1.0 + sigma * (unit_hash(self.seed, t, n.0, k) * 2.0 - 1.0)).max(0.0)
                     } else {
@@ -94,6 +121,36 @@ impl StreamingDemand {
             }
         }
         Ok(trace)
+    }
+}
+
+/// Salt decorrelating the sparsity-mask hash stream from the jitter
+/// hash stream (both are keyed by the same `(seed, t, n, k)`).
+const SPARSITY_SALT: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// Deterministic keep-decision of the sparsity mask: `(t, n, k)` keeps
+/// its demand iff a stateless uniform draw lands below `fraction`.
+///
+/// Shared across MU classes (the mask models which contents see *any*
+/// demand at an SBS in a slot) and shared between the batch
+/// ([`crate::scenario::ScenarioConfig`]) and streaming
+/// ([`StreamingDemand`]) generators, which is what keeps the two paths
+/// bit-identical under masking. `fraction ≥ 1` keeps everything.
+#[must_use]
+pub fn sparsity_keep(seed: u64, t: usize, n: usize, k: usize, fraction: f64) -> bool {
+    fraction >= 1.0 || unit_hash(seed ^ SPARSITY_SALT, t, n, k) < fraction
+}
+
+/// Validates a sparsity-mask fraction: finite and in `(0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] otherwise.
+pub fn validate_nonzero_fraction(fraction: f64) -> Result<(), SimError> {
+    if fraction.is_finite() && fraction > 0.0 && fraction <= 1.0 {
+        Ok(())
+    } else {
+        Err(SimError::config("nonzero_fraction", "must lie in (0, 1]"))
     }
 }
 
@@ -202,6 +259,31 @@ mod tests {
         let at = |t: usize| gen.slot(&n, t).unwrap().total_at(0);
         assert!(at(2) > at(0));
         assert!(at(6) < at(0));
+    }
+
+    #[test]
+    fn sparsity_mask_is_shared_across_classes_and_validated() {
+        let masked = StreamingDemand::new(pop(), TemporalPattern::Stationary, 9)
+            .unwrap()
+            .with_nonzero_fraction(Some(0.5))
+            .unwrap();
+        let n = net();
+        let mut any_zeroed = false;
+        for t in 0..16 {
+            let slot = masked.slot(&n, t).unwrap();
+            for k in 0..5 {
+                let a = slot.lambda(0, SbsId(0), ClassId(0), ContentId(k));
+                let b = slot.lambda(0, SbsId(0), ClassId(1), ContentId(k));
+                // Either both classes are masked out or neither is.
+                assert_eq!(a == 0.0, b == 0.0, "t={t} k={k}");
+                any_zeroed |= a == 0.0;
+            }
+        }
+        assert!(any_zeroed);
+        let gen = StreamingDemand::new(pop(), TemporalPattern::Stationary, 9).unwrap();
+        assert!(gen.clone().with_nonzero_fraction(Some(0.0)).is_err());
+        assert!(gen.clone().with_nonzero_fraction(Some(2.0)).is_err());
+        assert!(gen.with_nonzero_fraction(None).is_ok());
     }
 
     #[test]

@@ -19,7 +19,10 @@ enum Item {
     /// `struct S;`
     UnitStruct { name: String },
     /// `enum E { ... }`
-    Enum { name: String, variants: Vec<Variant> },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// One enum variant.
@@ -201,11 +204,7 @@ fn serialize_impl(item: &Item) -> String {
         Item::NamedStruct { name, fields } => {
             let pushes: String = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
-                    )
-                })
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
@@ -320,9 +319,7 @@ fn deserialize_impl(item: &Item) -> String {
         }
         Item::TupleStruct { name, arity: 1 } => (
             name,
-            format!(
-                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
-            ),
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"),
         ),
         Item::TupleStruct { name, arity } => {
             let inits: String = (0..*arity)
@@ -342,15 +339,17 @@ fn deserialize_impl(item: &Item) -> String {
                 ),
             )
         }
-        Item::UnitStruct { name } => (
-            name,
-            format!("::std::result::Result::Ok({name})"),
-        ),
+        Item::UnitStruct { name } => (name, format!("::std::result::Result::Ok({name})")),
         Item::Enum { name, variants } => {
             let unit_arms: String = variants
                 .iter()
                 .filter(|v| matches!(v.shape, VariantShape::Unit))
-                .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),", vn = v.name))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
                 .collect();
             let tagged_arms: String = variants
                 .iter()
