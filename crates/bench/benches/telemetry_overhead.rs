@@ -67,9 +67,13 @@ fn allocations() -> u64 {
 }
 
 /// Every telemetry call the engine and policies issue per slot, against
-/// disabled handles: must allocate nothing.
+/// disabled handles: must allocate nothing. The disabled flight
+/// recorder rides in the same loop — `record_with` must not even
+/// invoke its frame-building closure, and `tag_slot` / `trigger` must
+/// be single Option checks.
 fn disabled_slot_loop_allocates_nothing() {
     let telemetry = Telemetry::disabled();
+    let recorder = jocal_flightrec::FlightRecorder::disabled();
     let window = WindowMetrics::resolve(&telemetry, "RHC");
     let rounding = RoundingMetrics::resolve(&telemetry, "CHC(w=3,r=2)");
     let repair = RepairMetrics::resolve(&telemetry);
@@ -93,6 +97,9 @@ fn disabled_slot_loop_allocates_nothing() {
         let inner = tracer.start("decide");
         tracer.finish(inner);
         tracer.finish(slot_trace);
+        recorder.record_with(|| panic!("disabled recorder must never build a frame"));
+        recorder.tag_slot(i, "req-tag");
+        recorder.trigger("slo_breach", Some(i), format_args!("detail {i}"));
     }
     let delta = allocations() - before;
     assert_eq!(

@@ -19,6 +19,7 @@ use jocal_cluster::{Cell, ClusterConfig, ClusterEngine, ClusterReport};
 use jocal_core::workspace::Parallelism;
 use jocal_core::{CacheState, CostModel};
 use jocal_experiments::schemes::{build_online_policy, run_scheme_stoppable, RunConfig, Scheme};
+use jocal_flightrec::{first_divergence, Capture, CaptureHeader, FlightRecorder, B64, H64};
 use jocal_gateway::{
     run_loadgen, CellSpec, Gateway, GatewayConfig, GatewayStats, HttpClient, LoadgenConfig,
     LoadgenMode, ObservabilityConfig,
@@ -26,12 +27,15 @@ use jocal_gateway::{
 use jocal_online::ratio::RatioOptions;
 use jocal_serve::engine::{ServeConfig, ServeEngine, ServeReport};
 use jocal_serve::metrics::{JsonLinesSink, MetricsSink, NullSink, RunHeader, SplitLedgerSink};
-use jocal_serve::source::SyntheticSource;
+use jocal_serve::source::{DemandSource, SyntheticSource};
+use jocal_serve::ServeError;
+use jocal_sim::demand::DemandTrace;
 use jocal_sim::popularity::ZipfMandelbrot;
 use jocal_sim::predictor::NoiseModel;
 use jocal_sim::scenario::ScenarioConfig;
 use jocal_sim::stream::StreamingDemand;
 use jocal_sim::trace::write_trace;
+use jocal_sim::{ClassId, ContentId, SbsId};
 use jocal_telemetry::{BuildInfo, SloSpec, Telemetry};
 use std::error::Error;
 use std::fmt;
@@ -61,6 +65,13 @@ COMMANDS:
                     burn rates per objective)
     top             live one-line-per-shard view of a running gateway:
                     slot/request rates, request p99, slot staleness
+    replay          re-execute a flight-recorder capture through the
+                    real solver stack and verify the recorded decisions
+                    are bit-identical (or report the first divergence:
+                    slot, SBS, field, captured vs replayed bits)
+    inspect         summarize a capture without re-running it: header,
+                    frame window, trigger causes, request-id tags, cost
+                    decomposition
     generate        generate a demand trace as CSV
     schemes         list available schemes
     example-config  print a sample scenario JSON to stdout
@@ -168,6 +179,32 @@ OPTIONS (gateway observability / SLOs):
     slo_breach telemetry event. GET /debug/vars exposes the rolling
     windows, gauges and SLO statuses as one JSON document, and
     /metrics grows *_rate / *_window_{rate,p50,p99,max} series.
+
+OPTIONS (flight recorder; serve / gateway):
+    --flightrec <dir>   record a black-box capture to this directory: a
+                        bounded, crash-safe on-disk ring of per-slot
+                        frames (realized demand, predictor digest,
+                        cache/load decisions, cost decomposition, ratio
+                        state) plus a self-describing header. Multi-cell
+                        runs write one capture per cell under <dir>/cellI
+    --flightrec-capacity <n>  frames retained in the ring (default 4096;
+                        `jocal replay` needs the ring to still hold
+                        slot 0, so size it to the run)
+    --debug-endpoints   gateway: enable POST /debug/panic, a deliberate
+                        worker panic for drill-testing the worker_panic
+                        dump trigger (off by default)
+
+    Triggered dumps: an SLO breach, a ratio-watchdog or realized-
+    constraint violation, or a caught worker panic appends a trigger
+    record (cause, slot, recent request ids) to every cell's capture.
+
+OPTIONS (replay / inspect):
+    jocal replay <capture>    <capture> is a --flightrec directory (one
+                              cell); exits nonzero on divergence
+    jocal inspect <capture>   prints the capture summary and, for each
+                              trigger, the +/-3-slot frame window
+    --threads <n>             replay: solver threads (decisions are
+                              identical for every thread count)
 
 OPTIONS (slo / top):
     --target <addr>     gateway host:port to query (required)
@@ -299,6 +336,14 @@ pub struct CliArgs {
     pub iterations: usize,
     /// `--interval-ms` (top: delay between refreshes)
     pub interval_ms: u64,
+    /// `--flightrec` (serve/gateway: flight-recorder capture directory)
+    pub flightrec: Option<PathBuf>,
+    /// `--flightrec-capacity` (frames retained in the capture ring)
+    pub flightrec_capacity: usize,
+    /// `--debug-endpoints` (gateway: enable `POST /debug/panic`)
+    pub debug_endpoints: bool,
+    /// Positional capture directory (`replay` / `inspect`)
+    pub capture: Option<PathBuf>,
 }
 
 /// Parses a stream count with an optional `k`/`M` suffix (`250k`,
@@ -344,6 +389,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, Box<dyn Error>> {
         slots_per_request: 4,
         iterations: 1,
         interval_ms: 1_000,
+        flightrec_capacity: 4096,
         ..Default::default()
     };
     let mut i = 1;
@@ -631,6 +677,28 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, Box<dyn Error>> {
                     .map_err(|_| CliError::boxed("--interval-ms expects a u64"))?;
                 i += 2;
             }
+            "--flightrec" => {
+                out.flightrec = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
+            "--flightrec-capacity" => {
+                out.flightrec_capacity = value(i)?
+                    .parse()
+                    .map_err(|_| CliError::boxed("--flightrec-capacity expects a usize >= 1"))?;
+                if out.flightrec_capacity == 0 {
+                    return Err(CliError::boxed("--flightrec-capacity must be at least 1"));
+                }
+                i += 2;
+            }
+            "--debug-endpoints" => {
+                out.debug_endpoints = true;
+                i += 1;
+            }
+            other if !other.starts_with('-') && out.capture.is_none() => {
+                // Positional capture directory for `replay` / `inspect`.
+                out.capture = Some(PathBuf::from(other));
+                i += 1;
+            }
             other => return Err(CliError::boxed(format!("unknown flag {other}"))),
         }
     }
@@ -679,6 +747,50 @@ fn telemetry_for(args: &CliArgs) -> Telemetry {
     jocal_gateway::preregister_headline_metrics(&telemetry);
     telemetry.register_build_info();
     telemetry
+}
+
+/// Builds the flight recorder for one serving cell: disabled unless
+/// `--flightrec` was given, otherwise a crash-safe on-disk ring at
+/// `dir` with a self-describing header carrying everything `jocal
+/// replay` needs (scenario config, seeds, scheme, window, eta, ledger
+/// and ratio settings, build stamp).
+#[allow(clippy::too_many_arguments)]
+fn flightrec_for(
+    args: &CliArgs,
+    dir: Option<PathBuf>,
+    scheme: Scheme,
+    config: &ScenarioConfig,
+    run_cfg: &RunConfig,
+    cell: usize,
+    seed: u64,
+    noise_seed: u64,
+    slots: usize,
+    telemetry: &Telemetry,
+) -> Result<FlightRecorder, Box<dyn Error>> {
+    let Some(dir) = dir else {
+        return Ok(FlightRecorder::disabled());
+    };
+    let build = BuildInfo::current();
+    let mut header = CaptureHeader::new(
+        scheme.label(),
+        args.scheme.clone().unwrap_or_else(|| "rhc".into()),
+    );
+    header.commitment = args.commitment as u64;
+    header.cell = cell as u64;
+    header.seed = H64(seed);
+    header.noise_seed = H64(noise_seed);
+    header.eta = B64(run_cfg.eta);
+    header.window = run_cfg.window as u64;
+    header.horizon = Some(slots as u64);
+    header.ledger = args.ledger_out.is_some();
+    header.ratio_block = args.ratio.map(|b| b as u64);
+    header.capacity = args.flightrec_capacity as u64;
+    header.scenario = Some(serde::Serialize::to_value(config));
+    header.build_version = build.version.to_string();
+    header.build_git_sha = build.git_sha.to_string();
+    header.build_profile = build.profile.to_string();
+    FlightRecorder::to_dir(&dir, header, args.flightrec_capacity, telemetry)
+        .map_err(|e| CliError::boxed(format!("cannot create capture {}: {e}", dir.display())))
 }
 
 /// SIGINT-to-[`ShutdownFlag`] bridge. The handler only flips an atomic
@@ -967,6 +1079,11 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
                     writeln!(out, "wrote {}", cell_path(path, i).display())?;
                 }
             }
+            if let Some(dir) = &args.flightrec {
+                for i in 0..args.cells {
+                    writeln!(out, "wrote {}", dir.join(format!("cell{i}")).display())?;
+                }
+            }
             for path in [
                 &args.telemetry_out,
                 &args.prom_out,
@@ -1035,6 +1152,7 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
                 &args.prom_out,
                 &args.trace_out,
                 &args.folded_out,
+                &args.flightrec,
             ]
             .into_iter()
             .flatten()
@@ -1044,6 +1162,12 @@ pub fn execute(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<d
         }
         "gateway" => {
             run_gateway(args, out)?;
+        }
+        "replay" => {
+            run_replay(args, out)?;
+        }
+        "inspect" => {
+            run_inspect(args, out)?;
         }
         "loadgen" => {
             run_loadgen_command(args, out)?;
@@ -1113,8 +1237,21 @@ pub fn run_serve(args: &CliArgs) -> Result<ServeReport, Box<dyn Error>> {
     });
     let model = CostModel::paper();
     let telemetry = telemetry_for(args);
+    let recorder = flightrec_for(
+        args,
+        args.flightrec.clone(),
+        scheme,
+        &config,
+        &run_cfg,
+        0,
+        args.seed,
+        run_cfg.predictor_seed,
+        slots,
+        &telemetry,
+    )?;
     let engine = ServeEngine::new(&network, &model, serve_cfg)
         .with_telemetry(telemetry.clone())
+        .with_recorder(recorder)
         .with_shutdown(interrupt::install());
     let initial = CacheState::empty(&network);
 
@@ -1235,6 +1372,18 @@ pub fn run_serve_cluster(args: &CliArgs) -> Result<ClusterReport, Box<dyn Error>
             Some(path) => Box::new(SplitLedgerSink::new(primary, open(&cell_path(path, i))?)),
             None => primary,
         };
+        let recorder = flightrec_for(
+            args,
+            args.flightrec.as_ref().map(|d| d.join(format!("cell{i}"))),
+            scheme,
+            &config,
+            &run_cfg,
+            i,
+            seed,
+            ScenarioConfig::cell_seed(run_cfg.predictor_seed, i),
+            slots,
+            &telemetry,
+        )?;
         cells.push(
             Cell::new(
                 network,
@@ -1244,6 +1393,7 @@ pub fn run_serve_cluster(args: &CliArgs) -> Result<ClusterReport, Box<dyn Error>
                 policy,
             )
             .with_sink(sink)
+            .with_recorder(recorder)
             .with_shutdown(interrupt::install()),
         );
     }
@@ -1331,10 +1481,23 @@ pub fn run_gateway(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), B
             Some(path) => Box::new(SplitLedgerSink::new(primary, open(&cell_path(path, i))?)),
             None => primary,
         };
+        let recorder = flightrec_for(
+            args,
+            args.flightrec.as_ref().map(|d| d.join(format!("cell{i}"))),
+            scheme,
+            &config,
+            &run_cfg,
+            i,
+            seed,
+            ScenarioConfig::cell_seed(run_cfg.predictor_seed, i),
+            slots,
+            &telemetry,
+        )?;
         specs.push(
             CellSpec::new(network, CostModel::paper(), serve_cfg, policy)
                 .with_sink(sink)
-                .with_expected_slots(slots),
+                .with_expected_slots(slots)
+                .with_recorder(recorder),
         );
     }
 
@@ -1345,6 +1508,7 @@ pub fn run_gateway(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), B
         http_workers: args.http_workers,
         queue_capacity: args.queue,
         observability,
+        debug_endpoints: args.debug_endpoints,
         ..GatewayConfig::default()
     };
     let gateway = Gateway::start(
@@ -1364,6 +1528,14 @@ pub fn run_gateway(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), B
         writeln!(
             out,
             "slo watchdog       {slo_count} objective(s); breaches flip /readyz to 503"
+        )?;
+    }
+    if let Some(dir) = &args.flightrec {
+        writeln!(
+            out,
+            "flight recorder    capturing to {} ({} frames/cell; triggered dumps on)",
+            dir.display(),
+            args.flightrec_capacity
         )?;
     }
     out.flush()?;
@@ -1405,6 +1577,353 @@ pub fn run_gateway(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), B
     for path in [&args.metrics_out, &args.ledger_out].into_iter().flatten() {
         for i in 0..args.cells {
             writeln!(out, "wrote {}", cell_path(path, i).display())?;
+        }
+    }
+    if let Some(dir) = &args.flightrec {
+        for i in 0..args.cells {
+            writeln!(out, "wrote {}", dir.join(format!("cell{i}")).display())?;
+        }
+    }
+    Ok(())
+}
+
+/// Streams the realized demand recovered from a capture's frames —
+/// the replay engine's [`DemandSource`]. `len_hint` reports the
+/// *original* declared horizon so the policies plan against the same
+/// `T` the recorded run did.
+#[derive(Debug)]
+struct CaptureSource {
+    slots: std::collections::VecDeque<DemandTrace>,
+    horizon: Option<usize>,
+}
+
+impl DemandSource for CaptureSource {
+    fn len_hint(&self) -> Option<usize> {
+        self.horizon
+    }
+
+    fn next_slot(&mut self, out: &mut DemandTrace) -> Result<bool, ServeError> {
+        match self.slots.pop_front() {
+            Some(slot) => {
+                out.copy_slot_from(0, &slot, 0)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+/// Loads the capture named by the positional argument.
+fn load_capture(args: &CliArgs, command: &str) -> Result<(PathBuf, Capture), Box<dyn Error>> {
+    let dir = args.capture.clone().ok_or_else(|| {
+        CliError::boxed(format!(
+            "{command} requires a capture directory: jocal {command} <capture>"
+        ))
+    })?;
+    let capture = Capture::load(&dir)
+        .map_err(|e| CliError::boxed(format!("cannot load capture {}: {e}", dir.display())))?;
+    Ok((dir, capture))
+}
+
+/// Runs `jocal replay <capture>`: rebuilds the recorded engine
+/// configuration from the capture header, re-executes the recorded
+/// demand through the real solver stack, and verifies every replayed
+/// frame is bit-identical to the captured one. On divergence the
+/// error names the first differing slot, SBS and field with the
+/// captured and replayed bit patterns.
+///
+/// # Errors
+///
+/// Fails on unreadable/ring-wrapped captures, scenario or scheme
+/// mismatches, engine failures, and any decision divergence.
+pub fn run_replay(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let (dir, capture) = load_capture(args, "replay")?;
+    let header = &capture.header;
+    if capture.frames.is_empty() {
+        return Err(CliError::boxed(format!(
+            "{}: capture holds no frames; nothing to replay",
+            dir.display()
+        )));
+    }
+    if capture.frames[0].slot != 0 {
+        return Err(CliError::boxed(format!(
+            "{}: capture ring wrapped — the oldest retained frame is slot {} \
+             (ring capacity {}); replay must start from slot 0, so re-record \
+             with a larger --flightrec-capacity",
+            dir.display(),
+            capture.frames[0].slot,
+            header.capacity
+        )));
+    }
+    let scenario = header.scenario.as_ref().ok_or_else(|| {
+        CliError::boxed("capture header carries no scenario config; cannot rebuild the network")
+    })?;
+    let config: ScenarioConfig = serde::Deserialize::from_value(scenario)
+        .map_err(|e| CliError::boxed(format!("bad scenario config in capture header: {e}")))?;
+    let network = config.build_network(header.seed.get())?;
+    let num_sbs = network.num_sbs();
+    let num_contents = network.num_contents();
+
+    // Recover the realized demand stream, sparse frame by sparse frame.
+    let mut slots = std::collections::VecDeque::with_capacity(capture.frames.len());
+    for frame in &capture.frames {
+        if frame.demand.len() != num_sbs {
+            return Err(CliError::boxed(format!(
+                "frame {}: demand covers {} SBSs but the scenario network has {num_sbs}",
+                frame.slot,
+                frame.demand.len()
+            )));
+        }
+        let mut trace = DemandTrace::zeros(&network, 1);
+        for (n, entries) in frame.demand.iter().enumerate() {
+            for e in entries {
+                let m = ClassId(e.idx as usize / num_contents);
+                let k = ContentId(e.idx as usize % num_contents);
+                trace.set_lambda(0, SbsId(n), m, k, e.lambda.get())?;
+            }
+        }
+        slots.push_back(trace);
+    }
+    let mut source = CaptureSource {
+        slots,
+        horizon: header.horizon.map(|h| h as usize),
+    };
+
+    // Rebuild the engine exactly as recorded; --threads may differ
+    // (decisions are thread-count-invariant by construction).
+    let scheme = parse_scheme(&header.scheme, header.commitment as usize)?;
+    let mut run_cfg = RunConfig {
+        window: header.window as usize,
+        eta: header.eta.get(),
+        predictor_seed: header.noise_seed.get(),
+        ..Default::default()
+    };
+    if let Some(n) = args.threads {
+        run_cfg.online_opts.parallelism = if n == 0 {
+            Parallelism::Auto
+        } else {
+            Parallelism::Threads(n)
+        };
+    }
+    let mut policy = build_online_policy(scheme, &run_cfg).ok_or_else(|| {
+        CliError::boxed("capture records an offline scheme; replay drives step-wise policies")
+    })?;
+    let mut serve_cfg = ServeConfig::new(header.window as usize, header.seed.get());
+    serve_cfg.noise = NoiseModel::new(header.eta.get(), header.noise_seed.get());
+    serve_cfg.ledger = header.ledger;
+    serve_cfg.max_slots = Some(capture.frames.len());
+    serve_cfg.ratio = header.ratio_block.map(|block| RatioOptions {
+        block: block as usize,
+        ..RatioOptions::default()
+    });
+    let recorder = FlightRecorder::in_memory(header.clone(), capture.frames.len());
+    let model = CostModel::paper();
+    let engine = ServeEngine::new(&network, &model, serve_cfg).with_recorder(recorder.clone());
+    let mut sink = NullSink;
+    engine.run(
+        &mut source,
+        policy.as_mut(),
+        CacheState::empty(&network),
+        &mut sink,
+    )?;
+    let replayed = recorder.snapshot();
+    // An interrupted run's final `window - 1` decisions looked ahead at
+    // buffered demand slots that never completed and so were never
+    // recorded; replay zero-pads there instead. Only a complete capture
+    // (frames cover the declared horizon, where the original window
+    // zero-padded identically) is verifiable to the last slot.
+    let complete = header.horizon.map(|h| h as usize) == Some(capture.frames.len());
+    let verifiable = if complete {
+        capture.frames.len()
+    } else {
+        capture
+            .frames
+            .len()
+            .saturating_sub((header.window as usize).saturating_sub(1))
+    };
+    if verifiable == 0 {
+        return Err(CliError::boxed(format!(
+            "{}: capture is too short to verify — {} frames from an interrupted run \
+             with window {}; every recorded decision depended on look-ahead demand \
+             that was never recorded",
+            dir.display(),
+            capture.frames.len(),
+            header.window
+        )));
+    }
+    let replayed_prefix = replayed
+        .get(..verifiable.min(replayed.len()))
+        .unwrap_or(&[]);
+    match first_divergence(&capture.frames[..verifiable], replayed_prefix) {
+        None => {
+            let last = &capture.frames[verifiable - 1];
+            writeln!(
+                out,
+                "replay verified: {} frames bit-identical (policy {}, slots {}..={})",
+                verifiable, header.policy, capture.frames[0].slot, last.slot
+            )?;
+            if !complete {
+                writeln!(
+                    out,
+                    "note: interrupted capture — the final {} of {} frames used \
+                     look-ahead demand beyond the recording and are not verifiable",
+                    capture.frames.len() - verifiable,
+                    capture.frames.len()
+                )?;
+            }
+            if let Some(ratio) = capture.frames.iter().rev().find_map(|f| f.ratio.as_ref()) {
+                if let Some(r) = ratio.ratio {
+                    writeln!(
+                        out,
+                        "empirical ratio    {:.4} over {} blocks (replayed identically)",
+                        r.get(),
+                        ratio.blocks
+                    )?;
+                }
+            }
+            Ok(())
+        }
+        Some(d) => Err(CliError::boxed(format!(
+            "replay DIVERGED from capture {}: {d}",
+            dir.display()
+        ))),
+    }
+}
+
+/// Runs `jocal inspect <capture>`: prints the capture header, frame
+/// window, aggregate cost decomposition, request-id tags, and — for
+/// every triggered dump — the trigger cause plus the ±3-slot frame
+/// window around it.
+///
+/// # Errors
+///
+/// Fails on unreadable or malformed captures.
+pub fn run_inspect(args: &CliArgs, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let (dir, capture) = load_capture(args, "inspect")?;
+    let h = &capture.header;
+    writeln!(out, "capture        {}", dir.display())?;
+    writeln!(
+        out,
+        "policy         {} (scheme {}, commitment {})",
+        h.policy, h.scheme, h.commitment
+    )?;
+    writeln!(
+        out,
+        "cell           {}  seed {}  noise seed {}",
+        h.cell, h.seed, h.noise_seed
+    )?;
+    writeln!(
+        out,
+        "window / eta   {} / {}  ledger {}  ratio block {}",
+        h.window,
+        h.eta.get(),
+        h.ledger,
+        h.ratio_block
+            .map_or_else(|| "off".to_string(), |b| b.to_string())
+    )?;
+    writeln!(
+        out,
+        "recorded by    {} @ {} ({}); ring capacity {}",
+        h.build_version, h.build_git_sha, h.build_profile, h.capacity
+    )?;
+    match capture.slot_range() {
+        Some((first, last)) => writeln!(
+            out,
+            "frames         {} (slots {first}..={last}{})",
+            capture.frames.len(),
+            if first > 0 { "; ring wrapped" } else { "" }
+        )?,
+        None => writeln!(out, "frames         0")?,
+    }
+    let mut requests = 0u64;
+    let (mut bs, mut sbs, mut repl) = (0.0f64, 0.0f64, 0.0f64);
+    let mut replacements = 0u64;
+    let mut tagged: Vec<(u64, &str)> = Vec::new();
+    for f in &capture.frames {
+        requests += f.requests;
+        bs += f.cost.bs_operating.get();
+        sbs += f.cost.sbs_operating.get();
+        repl += f.cost.replacement.get();
+        replacements += f.cost.replacement_count;
+        if let Some(tag) = &f.tag {
+            tagged.push((f.slot, tag));
+        }
+    }
+    writeln!(out, "requests       {requests}")?;
+    writeln!(
+        out,
+        "cost           total {:.3} (bs {bs:.3}  sbs {sbs:.3}  replacement {repl:.3}; {replacements} replacements)",
+        bs + sbs + repl
+    )?;
+    if tagged.is_empty() {
+        writeln!(out, "request tags   none")?;
+    } else {
+        writeln!(
+            out,
+            "request tags   {} tagged frames (first: slot {} <- {})",
+            tagged.len(),
+            tagged[0].0,
+            tagged[0].1
+        )?;
+    }
+    if let Some(ratio) = capture.frames.iter().rev().find_map(|f| f.ratio.as_ref()) {
+        match ratio.ratio {
+            Some(r) => writeln!(
+                out,
+                "ratio          {:.4} over {} blocks ({} slots; bound exceeded: {})",
+                r.get(),
+                ratio.blocks,
+                ratio.covered_slots,
+                ratio.exceeds_bound
+            )?,
+            None => writeln!(
+                out,
+                "ratio          n/a ({} blocks certified)",
+                ratio.blocks
+            )?,
+        }
+    }
+    if capture.triggers.is_empty() {
+        writeln!(out, "triggers       none")?;
+        return Ok(());
+    }
+    writeln!(out, "triggers       {}", capture.triggers.len())?;
+    for trig in &capture.triggers {
+        let at = trig
+            .slot
+            .map_or_else(|| "run scope".to_string(), |s| format!("slot {s}"));
+        writeln!(
+            out,
+            "  [{}] at {at} ({} frames recorded): {}",
+            trig.kind, trig.frames_recorded, trig.detail
+        )?;
+        if !trig.recent_tags.is_empty() {
+            writeln!(out, "    recent requests: {}", trig.recent_tags.join(", "))?;
+        }
+        let Some(slot) = trig.slot else { continue };
+        let lo = slot.saturating_sub(3);
+        for f in capture
+            .frames
+            .iter()
+            .filter(|f| f.slot >= lo && f.slot <= slot + 3)
+        {
+            writeln!(
+                out,
+                "    slot {:>6}{} requests {:>7} cost {:>10.3} repl {:>3} solve {:>6}us{}{}",
+                f.slot,
+                if f.slot == slot { "*" } else { " " },
+                f.requests,
+                f.cost.bs_operating.get() + f.cost.sbs_operating.get() + f.cost.replacement.get(),
+                f.cost.replacement_count,
+                f.solve_us,
+                f.ratio
+                    .as_ref()
+                    .and_then(|r| r.ratio)
+                    .map_or_else(String::new, |r| format!(" ratio {:.4}", r.get())),
+                f.tag
+                    .as_ref()
+                    .map_or_else(String::new, |t| format!(" <- {t}"))
+            )?;
         }
     }
     Ok(())

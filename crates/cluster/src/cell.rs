@@ -2,6 +2,7 @@
 
 use jocal_core::plan::CacheState;
 use jocal_core::{CostModel, ShutdownFlag};
+use jocal_flightrec::FlightRecorder;
 use jocal_online::policy::OnlinePolicy;
 use jocal_serve::engine::ServeConfig;
 use jocal_serve::metrics::{MetricsSink, NullSink};
@@ -27,6 +28,7 @@ pub struct Cell {
     pub(crate) initial: CacheState,
     pub(crate) sink: Box<dyn MetricsSink + Send>,
     pub(crate) shutdown: ShutdownFlag,
+    pub(crate) recorder: FlightRecorder,
 }
 
 impl fmt::Debug for Cell {
@@ -58,7 +60,16 @@ impl Cell {
             initial,
             sink: Box::new(NullSink),
             shutdown: ShutdownFlag::default(),
+            recorder: FlightRecorder::disabled(),
         }
+    }
+
+    /// Attaches a flight recorder capturing this cell's per-slot frames
+    /// and watchdog triggers (defaults to disabled, which is free).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Attaches a cooperative stop flag checked before every slot: when

@@ -217,6 +217,7 @@ impl ClusterEngine {
                 initial,
                 sink,
                 shutdown,
+                recorder,
             } = cell;
             let mut sink = ShardSink {
                 inner: sink,
@@ -244,6 +245,7 @@ impl ClusterEngine {
             ) {
                 Ok(mut core) => {
                     core.set_shutdown(shutdown);
+                    core.set_recorder(recorder);
                     core
                 }
                 Err(e) => {

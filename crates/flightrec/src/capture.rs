@@ -1,0 +1,215 @@
+//! Reading a capture directory back: header, frames, triggers.
+
+use crate::frame::{CaptureHeader, Frame, TriggerRecord, FORMAT_VERSION, MAGIC};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Error loading or validating a capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaptureError {
+    /// Filesystem failure.
+    Io(String),
+    /// Malformed header or frame JSON.
+    Parse(String),
+    /// Structurally valid JSON that violates the capture format.
+    Format(String),
+}
+
+impl fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaptureError::Io(m) => write!(f, "capture io error: {m}"),
+            CaptureError::Parse(m) => write!(f, "capture parse error: {m}"),
+            CaptureError::Format(m) => write!(f, "capture format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
+/// A fully loaded capture.
+#[derive(Debug, Clone)]
+pub struct Capture {
+    /// The self-describing header.
+    pub header: CaptureHeader,
+    /// Retained frames, oldest first, contiguous by slot.
+    pub frames: Vec<Frame>,
+    /// Trigger records, in append order.
+    pub triggers: Vec<TriggerRecord>,
+}
+
+impl Capture {
+    /// Loads a capture directory written by
+    /// [`crate::FlightRecorder::to_dir`].
+    ///
+    /// Crash tolerance: exactly one torn (unparseable, newline-less
+    /// tail) line at the end of the newest segment is dropped, since
+    /// the recorder flushes line-by-line and a crash can lose at most
+    /// the line in flight. A parse failure anywhere else is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaptureError`] on missing/corrupt files, a wrong
+    /// magic/version, or non-contiguous frame slots.
+    pub fn load(dir: impl AsRef<Path>) -> Result<Self, CaptureError> {
+        let dir = dir.as_ref();
+        let header_path = dir.join("header.json");
+        let header_text = std::fs::read_to_string(&header_path)
+            .map_err(|e| CaptureError::Io(format!("{}: {e}", header_path.display())))?;
+        let header: CaptureHeader = serde_json::from_str(&header_text)
+            .map_err(|e| CaptureError::Parse(format!("header.json: {e}")))?;
+        if header.magic != MAGIC {
+            return Err(CaptureError::Format(format!(
+                "bad magic {:?} (expected {MAGIC:?})",
+                header.magic
+            )));
+        }
+        if header.version != FORMAT_VERSION {
+            return Err(CaptureError::Format(format!(
+                "unsupported capture version {} (this build reads {FORMAT_VERSION})",
+                header.version
+            )));
+        }
+
+        let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| CaptureError::Io(format!("{}: {e}", dir.display())))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| CaptureError::Io(e.to_string()))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(index) = name
+                .strip_prefix("frames-")
+                .and_then(|rest| rest.strip_suffix(".jsonl"))
+            {
+                let index: u64 = index.parse().map_err(|_| {
+                    CaptureError::Format(format!("unexpected segment name {name:?}"))
+                })?;
+                segments.push((index, entry.path()));
+            }
+        }
+        segments.sort_unstable_by_key(|(index, _)| *index);
+
+        let mut frames: Vec<Frame> = Vec::new();
+        let newest = segments.last().map(|(index, _)| *index);
+        for (index, path) in &segments {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CaptureError::Io(format!("{}: {e}", path.display())))?;
+            let is_newest = Some(*index) == newest;
+            let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+            for (i, line) in lines.iter().enumerate() {
+                match serde_json::from_str::<Frame>(line) {
+                    Ok(frame) => frames.push(frame),
+                    // Only the final line of the newest segment may be
+                    // torn by a crash; the recorder flushes per line.
+                    Err(_) if is_newest && i + 1 == lines.len() && !text.ends_with('\n') => {}
+                    Err(e) => {
+                        return Err(CaptureError::Parse(format!(
+                            "{} line {}: {e}",
+                            path.display(),
+                            i + 1
+                        )));
+                    }
+                }
+            }
+        }
+        for pair in frames.windows(2) {
+            if pair[1].slot != pair[0].slot + 1 {
+                return Err(CaptureError::Format(format!(
+                    "frames are not contiguous: slot {} follows slot {}",
+                    pair[1].slot, pair[0].slot
+                )));
+            }
+        }
+
+        let mut triggers = Vec::new();
+        let trigger_path = dir.join("trigger.jsonl");
+        if trigger_path.exists() {
+            let text = std::fs::read_to_string(&trigger_path)
+                .map_err(|e| CaptureError::Io(format!("{}: {e}", trigger_path.display())))?;
+            let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+            for (i, line) in lines.iter().enumerate() {
+                match serde_json::from_str::<TriggerRecord>(line) {
+                    Ok(record) => triggers.push(record),
+                    Err(_) if i + 1 == lines.len() && !text.ends_with('\n') => {}
+                    Err(e) => {
+                        return Err(CaptureError::Parse(format!(
+                            "{} line {}: {e}",
+                            trigger_path.display(),
+                            i + 1
+                        )));
+                    }
+                }
+            }
+        }
+
+        Ok(Capture {
+            header,
+            frames,
+            triggers,
+        })
+    }
+
+    /// Slot range `[first, last]` of the retained frames, if any.
+    #[must_use]
+    pub fn slot_range(&self) -> Option<(u64, u64)> {
+        match (self.frames.first(), self.frames.last()) {
+            (Some(first), Some(last)) => Some((first.slot, last.slot)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_directory_is_an_io_error() {
+        let err = Capture::load("/nonexistent/jocal-capture").unwrap_err();
+        assert!(matches!(err, CaptureError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let dir = std::env::temp_dir().join(format!(
+            "jocal-flightrec-magic-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut header = CaptureHeader::new("p", "s");
+        header.magic = "not-a-capture".to_string();
+        std::fs::write(
+            dir.join("header.json"),
+            serde_json::to_string(&header).unwrap(),
+        )
+        .unwrap();
+        let err = Capture::load(&dir).unwrap_err();
+        assert!(matches!(err, CaptureError::Format(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_before_the_tail_is_an_error() {
+        let dir = std::env::temp_dir().join(format!(
+            "jocal-flightrec-corrupt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let header = CaptureHeader::new("p", "s");
+        std::fs::write(
+            dir.join("header.json"),
+            serde_json::to_string(&header).unwrap(),
+        )
+        .unwrap();
+        // A garbage line followed by a valid newline-terminated tail is
+        // corruption, not a crash artifact.
+        std::fs::write(dir.join("frames-000000.jsonl"), "garbage\n").unwrap();
+        let err = Capture::load(&dir).unwrap_err();
+        assert!(matches!(err, CaptureError::Parse(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,721 @@
+//! Capture frame format: the per-slot record the recorder persists and
+//! the replay engine re-derives.
+//!
+//! Everything a frame stores is either exact integer state or an f64
+//! round-tripped through [`B64`] (the raw bit pattern as 16 hex
+//! digits), so a capture written on one build and parsed on another
+//! reconstructs bit-identical floats — the property the whole replay
+//! contract rests on. JSON's shortest-round-trip float rendering would
+//! also survive a round trip, but hex bits make the intent explicit
+//! and keep perturbed-capture diffs human-readable down to the ulp.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// An `f64` that serializes as its IEEE-754 bit pattern in hex.
+///
+/// `B64(1.5)` renders as `"3ff8000000000000"`. Comparison is on bits,
+/// so `-0.0 != 0.0` and NaN payloads are preserved — a frame diff
+/// reports exactly what the engine computed, not what compares equal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct B64(pub f64);
+
+impl B64 {
+    /// The wrapped float.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The raw bit pattern.
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.0.to_bits()
+    }
+}
+
+impl From<f64> for B64 {
+    fn from(v: f64) -> Self {
+        B64(v)
+    }
+}
+
+impl PartialEq for B64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+
+impl Eq for B64 {}
+
+impl fmt::Display for B64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({:016x})", self.0, self.0.to_bits())
+    }
+}
+
+impl Serialize for B64 {
+    fn to_value(&self) -> Value {
+        Value::Str(format!("{:016x}", self.0.to_bits()))
+    }
+}
+
+impl Deserialize for B64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => {
+                let bits = u64::from_str_radix(s, 16)
+                    .map_err(|_| DeError::new(format!("invalid f64 bit pattern {s:?}")))?;
+                Ok(B64(f64::from_bits(bits)))
+            }
+            // Tolerate plain numbers (hand-edited captures).
+            Value::Float(f) => Ok(B64(*f)),
+            Value::Int(i) => Ok(B64(*i as f64)),
+            other => Err(DeError::expected("hex f64 bits", other)),
+        }
+    }
+}
+
+/// A `u64` that serializes as 16 hex digits.
+///
+/// Derived cell seeds are hashes spanning the full 64-bit space, which
+/// JSON's signed-integer representation cannot round-trip; hex strings
+/// can, and match the [`B64`] convention.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct H64(pub u64);
+
+impl H64 {
+    /// The wrapped integer.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for H64 {
+    fn from(v: u64) -> Self {
+        H64(v)
+    }
+}
+
+impl fmt::Display for H64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Serialize for H64 {
+    fn to_value(&self) -> Value {
+        Value::Str(format!("{:016x}", self.0))
+    }
+}
+
+impl Deserialize for H64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => {
+                let bits = u64::from_str_radix(s, 16)
+                    .map_err(|_| DeError::new(format!("invalid u64 hex pattern {s:?}")))?;
+                Ok(H64(bits))
+            }
+            // Tolerate plain integers (hand-edited captures); negative
+            // values reinterpret as the original two's-complement bits.
+            Value::Int(i) => Ok(H64(*i as u64)),
+            other => Err(DeError::expected("hex u64", other)),
+        }
+    }
+}
+
+/// One realized-demand nonzero: the flattened `(class, content)` index
+/// and its arrival rate, mirroring `jocal_core::sparse::NonzeroEntry`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandEntry {
+    /// Flattened index `m * K + k`.
+    pub idx: u32,
+    /// Arrival rate at that coordinate.
+    pub lambda: B64,
+}
+
+/// Per-slot cost decomposition, bit-exact.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostFrame {
+    /// BS operating cost `f_t`.
+    pub bs_operating: B64,
+    /// SBS operating cost `g_t`.
+    pub sbs_operating: B64,
+    /// Cache replacement cost `h(x_{t-1}, x_t)`.
+    pub replacement: B64,
+    /// Number of newly fetched contents.
+    pub replacement_count: u64,
+}
+
+/// Snapshot of the competitive-ratio tracker after the slot, present
+/// when the serving run has `--ratio` enabled and the slot completed a
+/// block (mirrors `jocal_serve::RatioRecord`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatioFrame {
+    /// Completed dual-bound blocks so far.
+    pub blocks: u64,
+    /// Slots covered by completed blocks.
+    pub covered_slots: u64,
+    /// Realized online cost over covered slots.
+    pub realized_cost: B64,
+    /// Dual lower bound over covered slots.
+    pub lower_bound: B64,
+    /// Running empirical competitive ratio, if the bound is positive.
+    pub ratio: Option<B64>,
+    /// Whether the ratio exceeds the paper's 2.618 guarantee.
+    pub exceeds_bound: bool,
+}
+
+/// One slot of recorded engine state: what came in, what the policy
+/// decided, and what it cost.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Absolute slot index.
+    pub slot: u64,
+    /// Request id that delivered this slot (gateway ingest), if any.
+    pub tag: Option<String>,
+    /// Realized demand per SBS, sparse (`demand[n]` for SBS `n`).
+    pub demand: Vec<Vec<DemandEntry>>,
+    /// FNV-1a fold over the predicted window's f64 bits, recomputable
+    /// at replay because the noise model is a stateless hash.
+    pub pred_digest: String,
+    /// Cached content ids per SBS after the decision.
+    pub cache: Vec<Vec<u32>>,
+    /// Dispatched load at the demand support, parallel to `demand`
+    /// (`load[n][i]` pairs with `demand[n][i]`).
+    pub load: Vec<Vec<B64>>,
+    /// Slot cost decomposition.
+    pub cost: CostFrame,
+    /// Requests dispatched this slot.
+    pub requests: u64,
+    /// Requests served at SBSs.
+    pub sbs_served: B64,
+    /// Requests spilled from SBS to BS by per-request sampling.
+    pub spilled: B64,
+    /// Requests served at the BS.
+    pub bs_served: B64,
+    /// SBSs whose load the repair pass had to scale.
+    pub repair_scaled_sbs: u64,
+    /// Wall-clock decision time in microseconds (diagnostic only —
+    /// excluded from replay comparison).
+    pub solve_us: u64,
+    /// Ratio-tracker snapshot, when a block completed this slot.
+    pub ratio: Option<RatioFrame>,
+}
+
+/// Self-describing capture header: everything `jocal replay` needs to
+/// rebuild the exact engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaptureHeader {
+    /// Format marker, always `"jocal-flightrec"`.
+    pub magic: String,
+    /// Format version.
+    pub version: u32,
+    /// Human-readable policy label (e.g. `"CHC(r=3)"`).
+    pub policy: String,
+    /// CLI scheme name the replay parses (e.g. `"chc"`).
+    pub scheme: String,
+    /// Commitment level for CHC-style schemes.
+    pub commitment: u64,
+    /// Cell index within a multi-cell run.
+    pub cell: u64,
+    /// Engine seed (policy + dispatch RNG). Hex-encoded on disk: cell
+    /// seeds are derived hashes that use the full 64-bit space, which
+    /// JSON's i64 integers cannot carry.
+    pub seed: H64,
+    /// Prediction-noise seed (hex-encoded on disk, like [`seed`]).
+    ///
+    /// [`seed`]: CaptureHeader::seed
+    pub noise_seed: H64,
+    /// Prediction-noise magnitude `eta`.
+    pub eta: B64,
+    /// Prediction window length `w`.
+    pub window: u64,
+    /// Declared run horizon, if the source declared one.
+    pub horizon: Option<u64>,
+    /// Whether the per-slot cost ledger was enabled.
+    pub ledger: bool,
+    /// Ratio-tracker block length `B`, when enabled.
+    pub ratio_block: Option<u64>,
+    /// Ring capacity the recorder was configured with.
+    pub capacity: u64,
+    /// Scenario configuration (serialized `ScenarioConfig`), when the
+    /// run was scenario-driven; replay rebuilds the network from it.
+    pub scenario: Option<Value>,
+    /// Crate version of the recording build.
+    pub build_version: String,
+    /// Git commit of the recording build.
+    pub build_git_sha: String,
+    /// Build profile (debug/release) of the recording build.
+    pub build_profile: String,
+}
+
+/// The header `magic` marker.
+pub const MAGIC: &str = "jocal-flightrec";
+
+/// The current capture format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+impl CaptureHeader {
+    /// A header with the format markers set and everything else at a
+    /// neutral default; callers fill in the run parameters.
+    #[must_use]
+    pub fn new(policy: impl Into<String>, scheme: impl Into<String>) -> Self {
+        CaptureHeader {
+            magic: MAGIC.to_string(),
+            version: FORMAT_VERSION,
+            policy: policy.into(),
+            scheme: scheme.into(),
+            commitment: 1,
+            cell: 0,
+            seed: H64(0),
+            noise_seed: H64(0),
+            eta: B64(0.0),
+            window: 1,
+            horizon: None,
+            ledger: false,
+            ratio_block: None,
+            capacity: 0,
+            scenario: None,
+            build_version: String::new(),
+            build_git_sha: String::new(),
+            build_profile: String::new(),
+        }
+    }
+}
+
+/// A trigger event appended to a capture when a watchdog fires: SLO
+/// breach, ratio watchdog, constraint violation, or worker panic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriggerRecord {
+    /// Trigger kind (`slo_breach`, `ratio_watchdog`,
+    /// `constraint_violation`, `worker_panic`).
+    pub kind: String,
+    /// Slot the trigger fired at, when slot-scoped.
+    pub slot: Option<u64>,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Frames recorded up to the trigger.
+    pub frames_recorded: u64,
+    /// Most recent request-id tags seen before the trigger.
+    pub recent_tags: Vec<String>,
+}
+
+/// First point where a replayed run diverges from its capture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// Slot of the first differing frame.
+    pub slot: u64,
+    /// SBS index, when the differing field is per-SBS.
+    pub sbs: Option<u64>,
+    /// Name of the first differing field.
+    pub field: String,
+    /// Captured value, rendered.
+    pub captured: String,
+    /// Replayed value, rendered.
+    pub replayed: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot {} ", self.slot)?;
+        if let Some(n) = self.sbs {
+            write!(f, "sbs {n} ")?;
+        }
+        write!(
+            f,
+            "field {}: captured {} != replayed {}",
+            self.field, self.captured, self.replayed
+        )
+    }
+}
+
+/// Folds one f64 bit pattern into an FNV-1a style digest accumulator.
+#[must_use]
+pub fn fold_bits(acc: u64, bits: u64) -> u64 {
+    let mut h = acc;
+    for shift in [0u32, 16, 32, 48] {
+        h = (h ^ ((bits >> shift) & 0xffff)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The digest seed (FNV-1a offset basis).
+pub const DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+macro_rules! diverge {
+    ($slot:expr, $sbs:expr, $field:expr, $a:expr, $b:expr) => {
+        return Some(Divergence {
+            slot: $slot,
+            sbs: $sbs,
+            field: $field.to_string(),
+            captured: format!("{}", $a),
+            replayed: format!("{}", $b),
+        })
+    };
+}
+
+/// Compares two frames field by field, returning the first difference.
+///
+/// `solve_us` (wall clock) and `tag` (transport metadata) are
+/// excluded: replay re-executes decisions, not timing or ingest.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn diff_frames(captured: &Frame, replayed: &Frame) -> Option<Divergence> {
+    let slot = captured.slot;
+    if captured.slot != replayed.slot {
+        diverge!(slot, None, "slot", captured.slot, replayed.slot);
+    }
+    if captured.demand.len() != replayed.demand.len() {
+        diverge!(
+            slot,
+            None,
+            "demand.num_sbs",
+            captured.demand.len(),
+            replayed.demand.len()
+        );
+    }
+    for (n, (a, b)) in captured.demand.iter().zip(&replayed.demand).enumerate() {
+        let n64 = Some(n as u64);
+        if a.len() != b.len() {
+            diverge!(slot, n64, "demand.nonzeros", a.len(), b.len());
+        }
+        for (ea, eb) in a.iter().zip(b) {
+            if ea.idx != eb.idx {
+                diverge!(slot, n64, "demand.idx", ea.idx, eb.idx);
+            }
+            if ea.lambda != eb.lambda {
+                diverge!(slot, n64, "demand.lambda", ea.lambda, eb.lambda);
+            }
+        }
+    }
+    if captured.pred_digest != replayed.pred_digest {
+        diverge!(
+            slot,
+            None,
+            "pred_digest",
+            captured.pred_digest,
+            replayed.pred_digest
+        );
+    }
+    if captured.cache.len() != replayed.cache.len() {
+        diverge!(
+            slot,
+            None,
+            "cache.num_sbs",
+            captured.cache.len(),
+            replayed.cache.len()
+        );
+    }
+    for (n, (a, b)) in captured.cache.iter().zip(&replayed.cache).enumerate() {
+        if a != b {
+            diverge!(
+                slot,
+                Some(n as u64),
+                "cache",
+                format!("{a:?}"),
+                format!("{b:?}")
+            );
+        }
+    }
+    if captured.load.len() != replayed.load.len() {
+        diverge!(
+            slot,
+            None,
+            "load.num_sbs",
+            captured.load.len(),
+            replayed.load.len()
+        );
+    }
+    for (n, (a, b)) in captured.load.iter().zip(&replayed.load).enumerate() {
+        let n64 = Some(n as u64);
+        if a.len() != b.len() {
+            diverge!(slot, n64, "load.len", a.len(), b.len());
+        }
+        for (ya, yb) in a.iter().zip(b) {
+            if ya != yb {
+                diverge!(slot, n64, "load.y", ya, yb);
+            }
+        }
+    }
+    if captured.cost.bs_operating != replayed.cost.bs_operating {
+        diverge!(
+            slot,
+            None,
+            "cost.bs_operating",
+            captured.cost.bs_operating,
+            replayed.cost.bs_operating
+        );
+    }
+    if captured.cost.sbs_operating != replayed.cost.sbs_operating {
+        diverge!(
+            slot,
+            None,
+            "cost.sbs_operating",
+            captured.cost.sbs_operating,
+            replayed.cost.sbs_operating
+        );
+    }
+    if captured.cost.replacement != replayed.cost.replacement {
+        diverge!(
+            slot,
+            None,
+            "cost.replacement",
+            captured.cost.replacement,
+            replayed.cost.replacement
+        );
+    }
+    if captured.cost.replacement_count != replayed.cost.replacement_count {
+        diverge!(
+            slot,
+            None,
+            "cost.replacement_count",
+            captured.cost.replacement_count,
+            replayed.cost.replacement_count
+        );
+    }
+    if captured.requests != replayed.requests {
+        diverge!(slot, None, "requests", captured.requests, replayed.requests);
+    }
+    if captured.sbs_served != replayed.sbs_served {
+        diverge!(
+            slot,
+            None,
+            "sbs_served",
+            captured.sbs_served,
+            replayed.sbs_served
+        );
+    }
+    if captured.spilled != replayed.spilled {
+        diverge!(slot, None, "spilled", captured.spilled, replayed.spilled);
+    }
+    if captured.bs_served != replayed.bs_served {
+        diverge!(
+            slot,
+            None,
+            "bs_served",
+            captured.bs_served,
+            replayed.bs_served
+        );
+    }
+    if captured.repair_scaled_sbs != replayed.repair_scaled_sbs {
+        diverge!(
+            slot,
+            None,
+            "repair_scaled_sbs",
+            captured.repair_scaled_sbs,
+            replayed.repair_scaled_sbs
+        );
+    }
+    match (&captured.ratio, &replayed.ratio) {
+        (None, None) => {}
+        (Some(_), None) => diverge!(slot, None, "ratio", "present", "absent"),
+        (None, Some(_)) => diverge!(slot, None, "ratio", "absent", "present"),
+        (Some(a), Some(b)) => {
+            if a.blocks != b.blocks {
+                diverge!(slot, None, "ratio.blocks", a.blocks, b.blocks);
+            }
+            if a.covered_slots != b.covered_slots {
+                diverge!(
+                    slot,
+                    None,
+                    "ratio.covered_slots",
+                    a.covered_slots,
+                    b.covered_slots
+                );
+            }
+            if a.realized_cost != b.realized_cost {
+                diverge!(
+                    slot,
+                    None,
+                    "ratio.realized_cost",
+                    a.realized_cost,
+                    b.realized_cost
+                );
+            }
+            if a.lower_bound != b.lower_bound {
+                diverge!(
+                    slot,
+                    None,
+                    "ratio.lower_bound",
+                    a.lower_bound,
+                    b.lower_bound
+                );
+            }
+            match (a.ratio, b.ratio) {
+                (None, None) => {}
+                (Some(ra), Some(rb)) if ra == rb => {}
+                (ra, rb) => diverge!(
+                    slot,
+                    None,
+                    "ratio.ratio",
+                    ra.map_or_else(|| "none".to_string(), |v| v.to_string()),
+                    rb.map_or_else(|| "none".to_string(), |v| v.to_string())
+                ),
+            }
+            if a.exceeds_bound != b.exceeds_bound {
+                diverge!(
+                    slot,
+                    None,
+                    "ratio.exceeds_bound",
+                    a.exceeds_bound,
+                    b.exceeds_bound
+                );
+            }
+        }
+    }
+    None
+}
+
+/// First divergence across two frame sequences (in slot order), or
+/// `None` when they are bit-identical on every compared field.
+#[must_use]
+pub fn first_divergence(captured: &[Frame], replayed: &[Frame]) -> Option<Divergence> {
+    for (a, b) in captured.iter().zip(replayed) {
+        if let Some(d) = diff_frames(a, b) {
+            return Some(d);
+        }
+    }
+    if captured.len() != replayed.len() {
+        let slot = captured
+            .len()
+            .min(replayed.len())
+            .checked_sub(1)
+            .map_or(0, |i| captured[i].slot + 1);
+        return Some(Divergence {
+            slot,
+            sbs: None,
+            field: "frame_count".to_string(),
+            captured: captured.len().to_string(),
+            replayed: replayed.len().to_string(),
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b64_round_trips_exact_bit_patterns() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            -1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::from_bits(0xffff_ffff_ffff_ffff),
+        ] {
+            let b = B64(v);
+            let json = serde_json::to_string(&b).unwrap();
+            let back: B64 = serde_json::from_str(&json).unwrap();
+            assert_eq!(b.bits(), back.bits(), "bits drifted for {v}");
+        }
+        // -0.0 and 0.0 are distinct at the bit level.
+        assert_ne!(B64(0.0), B64(-0.0));
+        assert_eq!(B64(0.0), B64(0.0));
+    }
+
+    #[test]
+    fn frame_round_trips_through_json() {
+        let frame = Frame {
+            slot: 42,
+            tag: Some("jocal-00ab".to_string()),
+            demand: vec![
+                vec![DemandEntry {
+                    idx: 7,
+                    lambda: B64(0.25),
+                }],
+                vec![],
+            ],
+            pred_digest: "deadbeefdeadbeef".to_string(),
+            cache: vec![vec![1, 3], vec![]],
+            load: vec![vec![B64(0.125)], vec![]],
+            cost: CostFrame {
+                bs_operating: B64(1.5),
+                sbs_operating: B64(-0.0),
+                replacement: B64(2.0),
+                replacement_count: 3,
+            },
+            requests: 10,
+            sbs_served: B64(6.0),
+            spilled: B64(1.0),
+            bs_served: B64(4.0),
+            repair_scaled_sbs: 1,
+            solve_us: 123,
+            ratio: Some(RatioFrame {
+                blocks: 2,
+                covered_slots: 20,
+                realized_cost: B64(100.0),
+                lower_bound: B64(80.0),
+                ratio: Some(B64(1.25)),
+                exceeds_bound: false,
+            }),
+        };
+        let json = serde_json::to_string(&frame).unwrap();
+        let back: Frame = serde_json::from_str(&json).unwrap();
+        assert_eq!(frame, back);
+    }
+
+    #[test]
+    fn header_round_trips_through_json() {
+        let mut header = CaptureHeader::new("CHC(r=3)", "chc");
+        header.seed = H64(0xdead_beef_dead_beef);
+        header.noise_seed = H64(7);
+        header.eta = B64(0.2);
+        header.window = 3;
+        header.horizon = Some(100);
+        header.ledger = true;
+        header.ratio_block = Some(10);
+        header.scenario = Some(Value::Object(vec![("num_sbs".to_string(), Value::Int(4))]));
+        let json = serde_json::to_string_pretty(&header).unwrap();
+        let back: CaptureHeader = serde_json::from_str(&json).unwrap();
+        assert_eq!(header, back);
+        assert_eq!(back.magic, MAGIC);
+    }
+
+    #[test]
+    fn diff_reports_first_divergence_with_slot_sbs_field() {
+        let mut a = Frame {
+            slot: 5,
+            ..Frame::default()
+        };
+        a.demand = vec![vec![DemandEntry {
+            idx: 3,
+            lambda: B64(1.0),
+        }]];
+        let mut b = a.clone();
+        assert!(diff_frames(&a, &b).is_none());
+        b.demand[0][0].lambda = B64(1.0 + f64::EPSILON);
+        let d = diff_frames(&a, &b).expect("one-ulp difference is detected");
+        assert_eq!(d.slot, 5);
+        assert_eq!(d.sbs, Some(0));
+        assert_eq!(d.field, "demand.lambda");
+        // solve_us and tag are excluded from comparison.
+        b = a.clone();
+        b.solve_us = 999;
+        b.tag = Some("other".to_string());
+        assert!(diff_frames(&a, &b).is_none());
+    }
+
+    #[test]
+    fn sequence_diff_reports_frame_count_mismatch() {
+        let frames: Vec<Frame> = (0..3)
+            .map(|slot| Frame {
+                slot,
+                ..Frame::default()
+            })
+            .collect();
+        assert!(first_divergence(&frames, &frames).is_none());
+        let d = first_divergence(&frames, &frames[..2]).expect("length mismatch detected");
+        assert_eq!(d.field, "frame_count");
+        assert_eq!(d.captured, "3");
+        assert_eq!(d.replayed, "2");
+    }
+}

@@ -1,0 +1,29 @@
+//! Black-box flight recorder and deterministic incident replay.
+//!
+//! The serving stack is deterministic end to end — a seed, a scenario,
+//! and a policy fully determine every decision, and the parity suites
+//! assert it bit for bit. This crate converts that guarantee into an
+//! operational tool: [`FlightRecorder`] captures a bounded, crash-safe
+//! ring of per-slot [`Frame`]s (realized demand in the sparse
+//! `SlotNonzeros` encoding, a predictor digest, the policy's cache and
+//! load decisions, cost/dispatch/ratio state) under a self-describing
+//! [`CaptureHeader`] carrying seeds, scenario, and build metadata.
+//! `jocal replay` re-executes a capture through the real solver stack
+//! and asserts bit-identical decisions; `jocal inspect` summarizes
+//! what the recorder saw around a trigger.
+//!
+//! Like the rest of the observability layer, the disabled recorder is
+//! free: every operation on [`FlightRecorder::disabled`] is a single
+//! `Option` check with no allocation, asserted by the
+//! counting-allocator bench in `jocal-bench`.
+
+pub mod capture;
+pub mod frame;
+pub mod recorder;
+
+pub use capture::{Capture, CaptureError};
+pub use frame::{
+    diff_frames, first_divergence, fold_bits, CaptureHeader, CostFrame, DemandEntry, Divergence,
+    Frame, RatioFrame, TriggerRecord, B64, DIGEST_SEED, FORMAT_VERSION, H64, MAGIC,
+};
+pub use recorder::{FlightRecorder, SEGMENTS};

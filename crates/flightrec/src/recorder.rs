@@ -1,0 +1,518 @@
+//! The flight recorder: a bounded, crash-safe ring of capture frames.
+//!
+//! [`FlightRecorder`] is a cheap clonable handle in the same style as
+//! [`jocal_telemetry::Telemetry`]: the disabled default is a single
+//! `Option` check and allocates nothing on any path (asserted by the
+//! counting-allocator bench), so it can live on the serving hot path
+//! unconditionally. Enabled recorders write either to memory (replay
+//! re-execution, tests) or to a capture directory.
+//!
+//! # On-disk layout and crash safety
+//!
+//! A capture directory holds:
+//!
+//! - `header.json` — the self-describing [`CaptureHeader`], written
+//!   and flushed at recorder creation, so even a capture that crashes
+//!   before its first frame identifies itself.
+//! - `frames-NNNNNN.jsonl` — frame segments, one JSON frame per line,
+//!   flushed per frame. The ring keeps the newest [`SEGMENTS`]
+//!   completed segments plus the one being written and deletes older
+//!   ones, bounding disk use while always retaining at least
+//!   `capacity` frames once that many have been recorded.
+//! - `trigger.jsonl` — appended [`TriggerRecord`]s, flushed per
+//!   record.
+//!
+//! Because every line is flushed before the recorder moves on, a
+//! crash (or `kill -9`) loses at most the line being written;
+//! [`crate::Capture::load`] tolerates exactly one torn trailing line
+//! in the newest segment and rejects corruption anywhere else.
+
+use crate::frame::{CaptureHeader, Frame, TriggerRecord};
+use jocal_telemetry::{Counter, Telemetry};
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Completed segments retained alongside the one being written.
+pub const SEGMENTS: usize = 4;
+
+/// Upper bound on buffered request-id tags awaiting their frame.
+const MAX_PENDING_TAGS: usize = 1024;
+
+/// Request-id tags kept for trigger records.
+const RECENT_TAGS: usize = 8;
+
+/// Cheap clonable recorder handle; the default is disabled and free.
+#[derive(Clone, Default)]
+pub struct FlightRecorder {
+    inner: Option<Arc<Inner>>,
+}
+
+struct Inner {
+    header: CaptureHeader,
+    frames_total: Counter,
+    bytes_total: Counter,
+    dropped_total: Counter,
+    telemetry: Telemetry,
+    state: Mutex<RecState>,
+}
+
+struct RecState {
+    sink: Sink,
+    pending_tags: VecDeque<(u64, String)>,
+    recent_tags: VecDeque<String>,
+    frames: u64,
+    triggers: Vec<TriggerRecord>,
+}
+
+enum Sink {
+    Memory {
+        ring: VecDeque<Frame>,
+        capacity: usize,
+    },
+    Dir {
+        dir: PathBuf,
+        seg: BufWriter<File>,
+        seg_index: u64,
+        seg_frames: u64,
+        frames_per_seg: u64,
+    },
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("frames-{index:06}.jsonl"))
+}
+
+impl FlightRecorder {
+    /// A recorder that records nothing; every operation is a single
+    /// `None` branch with no allocation.
+    #[must_use]
+    pub fn disabled() -> Self {
+        FlightRecorder { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// An in-memory ring keeping the newest `capacity` frames. Used by
+    /// replay re-execution and tests; counters are inert.
+    #[must_use]
+    pub fn in_memory(header: CaptureHeader, capacity: usize) -> Self {
+        let mut header = header;
+        header.capacity = capacity as u64;
+        FlightRecorder {
+            inner: Some(Arc::new(Inner {
+                header,
+                frames_total: Counter::disabled(),
+                bytes_total: Counter::disabled(),
+                dropped_total: Counter::disabled(),
+                telemetry: Telemetry::disabled(),
+                state: Mutex::new(RecState {
+                    sink: Sink::Memory {
+                        ring: VecDeque::new(),
+                        capacity: capacity.max(1),
+                    },
+                    pending_tags: VecDeque::new(),
+                    recent_tags: VecDeque::new(),
+                    frames: 0,
+                    triggers: Vec::new(),
+                }),
+            })),
+        }
+    }
+
+    /// A recorder writing a capture directory at `dir`, retaining at
+    /// least the newest `capacity` frames. The header is written and
+    /// flushed immediately so a crashed capture still identifies
+    /// itself. `flightrec_*` counters resolve against `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory or header cannot be created.
+    pub fn to_dir(
+        dir: impl AsRef<Path>,
+        header: CaptureHeader,
+        capacity: usize,
+        telemetry: &Telemetry,
+    ) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let capacity = capacity.max(1);
+        let mut header = header;
+        header.capacity = capacity as u64;
+        let header_json = serde_json::to_string_pretty(&header)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let mut hf = File::create(dir.join("header.json"))?;
+        hf.write_all(header_json.as_bytes())?;
+        hf.write_all(b"\n")?;
+        hf.sync_all()?;
+        let frames_per_seg = (capacity as u64).div_ceil(SEGMENTS as u64).max(1);
+        let seg = BufWriter::new(File::create(segment_path(&dir, 0))?);
+        Ok(FlightRecorder {
+            inner: Some(Arc::new(Inner {
+                header,
+                frames_total: telemetry.counter("flightrec_frames_total"),
+                bytes_total: telemetry.counter("flightrec_bytes"),
+                dropped_total: telemetry.counter("flightrec_frames_dropped"),
+                telemetry: telemetry.clone(),
+                state: Mutex::new(RecState {
+                    sink: Sink::Dir {
+                        dir,
+                        seg,
+                        seg_index: 0,
+                        seg_frames: 0,
+                        frames_per_seg,
+                    },
+                    pending_tags: VecDeque::new(),
+                    recent_tags: VecDeque::new(),
+                    frames: 0,
+                    triggers: Vec::new(),
+                }),
+            })),
+        })
+    }
+
+    /// The capture header, when enabled.
+    #[must_use]
+    pub fn header(&self) -> Option<&CaptureHeader> {
+        self.inner.as_deref().map(|inner| &inner.header)
+    }
+
+    /// Records the frame produced by `build`. The closure only runs
+    /// when the recorder is enabled, so the disabled path neither
+    /// allocates nor touches the frame fields.
+    pub fn record_with<F: FnOnce() -> Frame>(&self, build: F) {
+        let Some(inner) = &self.inner else { return };
+        let mut frame = build();
+        let Ok(mut st) = inner.state.lock() else {
+            inner.dropped_total.incr();
+            return;
+        };
+        // Attach the most recent ingest tag addressed to this slot;
+        // tags for slots the ring already passed are dropped.
+        while st
+            .pending_tags
+            .front()
+            .is_some_and(|(slot, _)| *slot < frame.slot)
+        {
+            st.pending_tags.pop_front();
+        }
+        if st
+            .pending_tags
+            .front()
+            .is_some_and(|(slot, _)| *slot == frame.slot)
+        {
+            frame.tag = st.pending_tags.pop_front().map(|(_, tag)| tag);
+        }
+        st.frames += 1;
+        inner.frames_total.incr();
+        match &mut st.sink {
+            Sink::Memory { ring, capacity } => {
+                if ring.len() == *capacity {
+                    ring.pop_front();
+                }
+                ring.push_back(frame);
+            }
+            Sink::Dir {
+                dir,
+                seg,
+                seg_index,
+                seg_frames,
+                frames_per_seg,
+            } => {
+                let line = match serde_json::to_string(&frame) {
+                    Ok(line) => line,
+                    Err(_) => {
+                        inner.dropped_total.incr();
+                        return;
+                    }
+                };
+                let write = seg
+                    .write_all(line.as_bytes())
+                    .and_then(|()| seg.write_all(b"\n"))
+                    .and_then(|()| seg.flush());
+                if write.is_err() {
+                    inner.dropped_total.incr();
+                    return;
+                }
+                inner.bytes_total.add(line.len() as u64 + 1);
+                *seg_frames += 1;
+                if *seg_frames >= *frames_per_seg {
+                    // Rotate: start a fresh segment, drop the oldest
+                    // beyond the retention window.
+                    *seg_index += 1;
+                    *seg_frames = 0;
+                    match File::create(segment_path(dir, *seg_index)) {
+                        Ok(f) => *seg = BufWriter::new(f),
+                        Err(_) => {
+                            inner.dropped_total.incr();
+                            return;
+                        }
+                    }
+                    if let Some(old) = seg_index.checked_sub(SEGMENTS as u64 + 1) {
+                        let _ = std::fs::remove_file(segment_path(dir, old));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Notes that `slot` was delivered by the request tagged `tag`
+    /// (gateway ingest). The tag is attached to the slot's frame when
+    /// it is recorded. No-op (and no allocation) when disabled.
+    pub fn tag_slot(&self, slot: u64, tag: &str) {
+        let Some(inner) = &self.inner else { return };
+        let Ok(mut st) = inner.state.lock() else {
+            return;
+        };
+        if st.pending_tags.len() == MAX_PENDING_TAGS {
+            st.pending_tags.pop_front();
+        }
+        st.pending_tags.push_back((slot, tag.to_string()));
+        if st.recent_tags.len() == RECENT_TAGS {
+            st.recent_tags.pop_front();
+        }
+        st.recent_tags.push_back(tag.to_string());
+    }
+
+    /// Appends a trigger record (SLO breach, ratio watchdog,
+    /// constraint violation, worker panic) and bumps
+    /// `flightrec_dumps_total{trigger=kind}`. `detail` is only
+    /// rendered when the recorder is enabled, so callers can pass
+    /// `format_args!` without allocating on the disabled path.
+    pub fn trigger(&self, kind: &str, slot: Option<u64>, detail: fmt::Arguments<'_>) {
+        let Some(inner) = &self.inner else { return };
+        let Ok(mut st) = inner.state.lock() else {
+            return;
+        };
+        let record = TriggerRecord {
+            kind: kind.to_string(),
+            slot,
+            detail: detail.to_string(),
+            frames_recorded: st.frames,
+            recent_tags: st.recent_tags.iter().cloned().collect(),
+        };
+        inner
+            .telemetry
+            .counter_with("flightrec_dumps_total", "trigger", kind)
+            .incr();
+        if let Sink::Dir { dir, .. } = &st.sink {
+            if let Ok(line) = serde_json::to_string(&record) {
+                let appended = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(dir.join("trigger.jsonl"))
+                    .and_then(|mut f| {
+                        f.write_all(line.as_bytes())?;
+                        f.write_all(b"\n")?;
+                        f.sync_all()
+                    });
+                if appended.is_err() {
+                    inner.dropped_total.incr();
+                }
+            }
+        }
+        st.triggers.push(record);
+    }
+
+    /// Frames currently retained, oldest first. For in-memory
+    /// recorders this is the ring; for directory recorders read the
+    /// capture back with [`crate::Capture::load`] instead (returns
+    /// empty here).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Frame> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let Ok(st) = inner.state.lock() else {
+            return Vec::new();
+        };
+        match &st.sink {
+            Sink::Memory { ring, .. } => ring.iter().cloned().collect(),
+            Sink::Dir { .. } => Vec::new(),
+        }
+    }
+
+    /// Triggers recorded so far, in order.
+    #[must_use]
+    pub fn triggers(&self) -> Vec<TriggerRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        inner
+            .state
+            .lock()
+            .map(|st| st.triggers.clone())
+            .unwrap_or_default()
+    }
+
+    /// Total frames recorded (including frames the ring has evicted).
+    #[must_use]
+    pub fn frames_recorded(&self) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        inner.state.lock().map(|st| st.frames).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::Capture;
+    use crate::frame::{B64, H64};
+
+    fn frame(slot: u64) -> Frame {
+        Frame {
+            slot,
+            requests: slot + 1,
+            sbs_served: B64(slot as f64),
+            ..Frame::default()
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = FlightRecorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.record_with(|| unreachable!("closure must not run when disabled"));
+        rec.tag_slot(0, "jocal-1");
+        rec.trigger("slo_breach", None, format_args!("unused"));
+        assert!(rec.snapshot().is_empty());
+        assert!(rec.triggers().is_empty());
+        assert_eq!(rec.frames_recorded(), 0);
+    }
+
+    #[test]
+    fn memory_ring_keeps_newest_capacity_frames() {
+        let rec = FlightRecorder::in_memory(CaptureHeader::new("p", "s"), 3);
+        for slot in 0..7 {
+            rec.record_with(|| frame(slot));
+        }
+        let frames = rec.snapshot();
+        assert_eq!(
+            frames.iter().map(|f| f.slot).collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
+        assert_eq!(rec.frames_recorded(), 7);
+    }
+
+    #[test]
+    fn tags_attach_to_their_slot_and_stale_tags_drop() {
+        let rec = FlightRecorder::in_memory(CaptureHeader::new("p", "s"), 8);
+        rec.tag_slot(0, "req-a");
+        rec.tag_slot(2, "req-b");
+        rec.record_with(|| frame(0));
+        rec.record_with(|| frame(1));
+        rec.record_with(|| frame(2));
+        let frames = rec.snapshot();
+        assert_eq!(frames[0].tag.as_deref(), Some("req-a"));
+        assert_eq!(frames[1].tag, None);
+        assert_eq!(frames[2].tag.as_deref(), Some("req-b"));
+        // A tag for an already-passed slot is discarded, not misfiled.
+        rec.tag_slot(1, "req-late");
+        rec.record_with(|| frame(3));
+        assert_eq!(rec.snapshot()[3].tag, None);
+    }
+
+    #[test]
+    fn dir_ring_rotates_segments_and_retains_capacity() {
+        let dir = std::env::temp_dir().join(format!(
+            "jocal-flightrec-rot-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let telemetry = Telemetry::enabled();
+        let rec =
+            FlightRecorder::to_dir(&dir, CaptureHeader::new("p", "s"), 8, &telemetry).unwrap();
+        // 8 frames/ring -> 2 frames/segment; 40 frames laps the ring
+        // several times over.
+        for slot in 0..40 {
+            rec.record_with(|| frame(slot));
+        }
+        rec.trigger("ratio_watchdog", Some(39), format_args!("ratio {}", 3.0));
+        let capture = Capture::load(&dir).unwrap();
+        assert!(
+            capture.frames.len() >= 8,
+            "retention keeps at least capacity frames, got {}",
+            capture.frames.len()
+        );
+        let last = capture.frames.last().unwrap();
+        assert_eq!(last.slot, 39, "newest frame survives rotation");
+        // Frames are contiguous and oldest-first.
+        for pair in capture.frames.windows(2) {
+            assert_eq!(pair[1].slot, pair[0].slot + 1);
+        }
+        assert_eq!(capture.triggers.len(), 1);
+        assert_eq!(capture.triggers[0].kind, "ratio_watchdog");
+        assert_eq!(capture.triggers[0].frames_recorded, 40);
+        // Old segments are actually deleted.
+        let segs = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("frames-"))
+            .count();
+        assert!(segs <= SEGMENTS + 1, "{segs} segments retained");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_survives_a_capture_with_no_frames() {
+        let dir = std::env::temp_dir().join(format!(
+            "jocal-flightrec-hdr-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let telemetry = Telemetry::disabled();
+        let mut header = CaptureHeader::new("RHC", "rhc");
+        header.seed = H64(17);
+        let rec = FlightRecorder::to_dir(&dir, header, 16, &telemetry).unwrap();
+        drop(rec);
+        let capture = Capture::load(&dir).unwrap();
+        assert_eq!(capture.header.seed, H64(17));
+        assert_eq!(capture.header.capacity, 16);
+        assert!(capture.frames.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_tolerated() {
+        let dir = std::env::temp_dir().join(format!(
+            "jocal-flightrec-torn-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let telemetry = Telemetry::disabled();
+        let rec =
+            FlightRecorder::to_dir(&dir, CaptureHeader::new("p", "s"), 100, &telemetry).unwrap();
+        for slot in 0..5 {
+            rec.record_with(|| frame(slot));
+        }
+        drop(rec);
+        // Simulate a crash mid-write: truncate the newest segment so
+        // its last line is torn.
+        let seg = segment_path(&dir, 0);
+        let contents = std::fs::read_to_string(&seg).unwrap();
+        let cut = contents.len() - 10;
+        std::fs::write(&seg, &contents[..cut]).unwrap();
+        let capture = Capture::load(&dir).unwrap();
+        assert_eq!(capture.frames.len(), 4, "only the torn frame is lost");
+        assert_eq!(capture.frames.last().unwrap().slot, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

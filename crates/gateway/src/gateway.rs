@@ -28,6 +28,7 @@ use crate::source::NetworkDemandSource;
 use jocal_cluster::{Cell, ClusterConfig, ClusterEngine, ClusterError, ClusterReport};
 use jocal_core::plan::CacheState;
 use jocal_core::CostModel;
+use jocal_flightrec::FlightRecorder;
 use jocal_online::policy::OnlinePolicy;
 use jocal_serve::metrics::{MetricsSink, NullSink};
 use jocal_serve::source::{ChunkedTraceReader, DemandSource as _};
@@ -36,7 +37,7 @@ use jocal_sim::demand::DemandTrace;
 use jocal_sim::topology::Network;
 use jocal_telemetry::{
     monotonic_us, BuildInfo, Counter, FieldValue, Gauge, Histogram, RollingCollector, SloEngine,
-    SloSpec, SloStatus, Telemetry, PROMETHEUS_CONTENT_TYPE,
+    SloSpec, SloState, SloStatus, Telemetry, PROMETHEUS_CONTENT_TYPE,
 };
 use std::collections::VecDeque;
 use std::io::BufReader;
@@ -68,6 +69,10 @@ pub struct GatewayConfig {
     /// Rolling time-series and SLO watchdog knobs. Inert when the
     /// gateway's telemetry is disabled.
     pub observability: ObservabilityConfig,
+    /// Enables fault-injection endpoints (`POST /debug/panic`) used to
+    /// exercise the worker-panic isolation and flight-recorder trigger
+    /// paths end to end. Never enable on a real deployment.
+    pub debug_endpoints: bool,
 }
 
 impl Default for GatewayConfig {
@@ -80,6 +85,7 @@ impl Default for GatewayConfig {
             read_timeout: Duration::from_secs(5),
             max_body_bytes: 16 << 20,
             observability: ObservabilityConfig::default(),
+            debug_endpoints: false,
         }
     }
 }
@@ -180,6 +186,7 @@ pub struct CellSpec {
     pub(crate) initial: CacheState,
     pub(crate) sink: Box<dyn MetricsSink + Send>,
     pub(crate) expected_slots: Option<usize>,
+    pub(crate) recorder: FlightRecorder,
 }
 
 impl std::fmt::Debug for CellSpec {
@@ -210,7 +217,17 @@ impl CellSpec {
             initial,
             sink: Box::new(NullSink),
             expected_slots: None,
+            recorder: FlightRecorder::disabled(),
         }
+    }
+
+    /// Attaches a flight recorder: the cell emits per-slot capture
+    /// frames tagged with the request ids that delivered them, and the
+    /// gateway appends trigger records on SLO breach or worker panic.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Overrides the initial cache state (defaults to empty).
@@ -342,6 +359,14 @@ struct Shared {
     obs_runtime: Option<Mutex<ObsRuntime>>,
     slo_breached: AtomicBool,
     next_request_id: AtomicU64,
+    /// Per-boot stamp mixed into generated request ids so two
+    /// incidents' logs never collide across restarts.
+    boot_stamp: u32,
+    /// Per-cell flight recorders (disabled handles when recording is
+    /// off) — the gateway fires `slo_breach` / `worker_panic` triggers
+    /// into all of them.
+    recorders: Vec<FlightRecorder>,
+    debug_endpoints: bool,
     draining: AtomicBool,
     http_stop: AtomicBool,
     requests: AtomicU64,
@@ -361,15 +386,27 @@ impl Shared {
     }
 
     /// The request's id: the inbound `x-request-id` when present, else
-    /// one minted from a process-local counter so replayed runs produce
-    /// the same id sequence (no clocks, no randomness).
+    /// one minted as `jocal-<boot>-<n>`. The boot stamp (hashed from
+    /// the build stamp, start time and a process-local launch counter)
+    /// makes ids unique across restarts, while the counter suffix
+    /// stays deterministic within a run — two requests in one run
+    /// never collide, and two runs' logs are distinguishable.
     fn request_id_for(&self, req: &Request) -> String {
         match &req.request_id {
             Some(id) => id.clone(),
             None => {
                 let n = self.next_request_id.fetch_add(1, Ordering::Relaxed);
-                format!("jocal-{n:016x}")
+                format!("jocal-{:08x}-{n:012x}", self.boot_stamp)
             }
+        }
+    }
+
+    /// Fires a trigger into every cell's flight recorder. Only called
+    /// on rare transitions (breach latch, caught panic), never on the
+    /// per-request path.
+    fn trigger_recorders(&self, kind: &str, detail: &str) {
+        for recorder in &self.recorders {
+            recorder.trigger(kind, None, format_args!("{detail}"));
         }
     }
 
@@ -392,8 +429,20 @@ impl Shared {
         rt.collector.sample(at_us);
         if !rt.slo.is_empty() {
             rt.slo.evaluate(&rt.collector, &self.telemetry);
-            self.slo_breached
-                .store(rt.slo.any_breached(), Ordering::SeqCst);
+            let breached = rt.slo.any_breached();
+            let was = self.slo_breached.swap(breached, Ordering::SeqCst);
+            if breached && !was {
+                // New breach: dump into every cell's flight recorder
+                // exactly once per Ok->Breach transition.
+                let names: Vec<&str> = rt
+                    .slo
+                    .statuses()
+                    .iter()
+                    .filter(|s| s.state == SloState::Breach)
+                    .map(|s| s.name.as_str())
+                    .collect();
+                self.trigger_recorders("slo_breach", &format!("slo breach: {}", names.join(",")));
+            }
         }
     }
 
@@ -544,10 +593,13 @@ impl Gateway {
 
         let mut ingress = Vec::with_capacity(cells.len());
         let mut cluster_cells = Vec::with_capacity(cells.len());
+        let mut recorders = Vec::with_capacity(cells.len());
         for (id, spec) in cells.into_iter().enumerate() {
             let depth_gauge = telemetry.gauge_with("gateway_queue_depth", "cell", &id.to_string());
             let (handle, queue) = bounded_slot_ring(config.queue_capacity, depth_gauge);
-            let mut source = NetworkDemandSource::new(queue).with_attribution(telemetry, id);
+            let mut source = NetworkDemandSource::new(queue)
+                .with_attribution(telemetry, id)
+                .with_recorder(spec.recorder.clone());
             if let Some(slots) = spec.expected_slots {
                 source = source.with_expected_slots(slots);
             }
@@ -562,8 +614,10 @@ impl Gateway {
                     spec.policy,
                 )
                 .with_initial(spec.initial)
-                .with_sink(spec.sink),
+                .with_sink(spec.sink)
+                .with_recorder(spec.recorder.clone()),
             );
+            recorders.push(spec.recorder);
         }
 
         let listener = TcpListener::bind(&config.addr)?;
@@ -577,6 +631,9 @@ impl Gateway {
             obs_runtime: config.observability.build_runtime(telemetry),
             slo_breached: AtomicBool::new(false),
             next_request_id: AtomicU64::new(1),
+            boot_stamp: boot_stamp(),
+            recorders,
+            debug_endpoints: config.debug_endpoints,
             draining: AtomicBool::new(false),
             http_stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
@@ -721,6 +778,29 @@ fn acceptor_loop(shared: &Shared, listener: &TcpListener, conns: &ConnQueue) {
     }
 }
 
+/// A per-boot stamp mixed into generated request ids: an FNV-1a hash
+/// of the build stamp, the gateway's start time and a process-local
+/// launch counter, folded to 32 bits. Two gateway boots (restarts, or
+/// two gateways in one process) get distinct stamps, so
+/// `jocal-<boot>-<n>` ids never collide across incidents even though
+/// the `n` counter deterministically restarts at 1 every run.
+fn boot_stamp() -> u32 {
+    static LAUNCHES: AtomicU64 = AtomicU64::new(0);
+    let build = BuildInfo::current();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in build.git_sha.bytes().chain(build.version.bytes()) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= monotonic_us().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= LAUNCHES
+        .fetch_add(1, Ordering::Relaxed)
+        .wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 29;
+    (h ^ (h >> 32)) as u32
+}
+
 fn worker_loop(shared: &Shared, conns: &ConnQueue) {
     while let Some(stream) = conns.pop_blocking() {
         // A handler bug must cost one connection, never the worker: the
@@ -729,6 +809,10 @@ fn worker_loop(shared: &Shared, conns: &ConnQueue) {
         if result.is_err() {
             shared.panics.fetch_add(1, Ordering::Relaxed);
             shared.obs.panics.incr();
+            shared.trigger_recorders(
+                "worker_panic",
+                "http worker caught a panic; connection dropped",
+            );
         }
     }
 }
@@ -800,6 +884,12 @@ fn route(shared: &Shared, req: &Request, rid: &str) -> Response {
         ("GET", "/metrics") => metrics_response(shared),
         ("GET", "/debug/vars") => debug_vars_response(shared),
         ("POST", "/v1/demand") => ingest(shared, req, rid),
+        // Fault injection, opt-in via GatewayConfig::debug_endpoints:
+        // panics inside the handler so the worker's catch_unwind path
+        // (count, metric, flight-recorder trigger) runs for real.
+        ("POST", "/debug/panic") if shared.debug_endpoints => {
+            panic!("debug-induced worker panic (request {rid})")
+        }
         ("POST", "/v1/shutdown") => {
             shared.drain();
             Response {

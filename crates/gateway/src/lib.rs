@@ -74,4 +74,18 @@ pub fn preregister_headline_metrics(telemetry: &Telemetry) {
     let _ = telemetry.histogram("repair_scale_pct");
     let _ = telemetry.counter("p2_sparse_slots_total");
     let _ = telemetry.histogram("serve_slot_nonzeros");
+    // Flight-recorder headline set: present in a scrape even before a
+    // frame is written or a trigger fires.
+    let _ = telemetry.counter("flightrec_frames_total");
+    let _ = telemetry.counter("flightrec_bytes");
+    let _ = telemetry.counter("flightrec_frames_dropped");
+    for trigger in [
+        "slo_breach",
+        "ratio_watchdog",
+        "constraint_violation",
+        "worker_panic",
+    ] {
+        let _ = telemetry.counter_with("flightrec_dumps_total", "trigger", trigger);
+    }
+    let _ = telemetry.counter("slo_signal_missing_total");
 }

@@ -9,6 +9,7 @@
 //! to in-process replays of the same trace.
 
 use crate::ring::SlotQueue;
+use jocal_flightrec::FlightRecorder;
 use jocal_serve::source::DemandSource;
 use jocal_serve::ServeError;
 use jocal_sim::demand::DemandTrace;
@@ -33,6 +34,7 @@ pub struct NetworkDemandSource {
     expected: Option<usize>,
     delivered: usize,
     telemetry: Telemetry,
+    recorder: FlightRecorder,
     cell: u64,
 }
 
@@ -46,8 +48,18 @@ impl NetworkDemandSource {
             expected: None,
             delivered: 0,
             telemetry: Telemetry::disabled(),
+            recorder: FlightRecorder::disabled(),
             cell: 0,
         }
+    }
+
+    /// Attaches a flight recorder: tagged slots register their request
+    /// id with it, so the capture frame for slot `t` carries the id of
+    /// the HTTP request that delivered it.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Declares the number of slots the network will deliver: the
@@ -89,6 +101,7 @@ impl DemandSource for NetworkDemandSource {
             Some((slot, tag)) => {
                 out.copy_slot_from(0, &slot, 0)?;
                 if let Some(tag) = tag {
+                    self.recorder.tag_slot(self.delivered as u64, &tag);
                     self.telemetry.event(
                         "slot_ingest",
                         &[

@@ -870,3 +870,141 @@ fn metrics_scrape_stays_consistent_during_graceful_drain() {
         );
     }
 }
+
+/// The acceptance incident-capture test: a gateway with per-cell
+/// flight recorders and debug endpoints on. A deterministic SLO
+/// breach (virtual-clock watchdog walk) and an injected worker panic
+/// must each land a trigger record in the on-disk capture; ingested
+/// slots must carry the request ids that delivered them; and the
+/// capture must load back readable with its frames intact.
+#[test]
+fn triggered_dumps_record_slo_breach_and_worker_panic() {
+    use jocal_flightrec::{Capture, CaptureHeader, FlightRecorder};
+
+    const Q: usize = 4;
+    let dir = std::env::temp_dir().join(format!("jocal-gw-flightrec-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let telemetry = Telemetry::enabled();
+    let mut header = CaptureHeader::new("Idle", "idle");
+    header.capacity = 64;
+    let recorder = FlightRecorder::to_dir(&dir, header, 64, &telemetry).unwrap();
+
+    let config = GatewayConfig {
+        queue_capacity: Q,
+        http_workers: 2,
+        debug_endpoints: true,
+        observability: ObservabilityConfig {
+            windows: vec![Duration::from_secs(1), Duration::from_secs(4)],
+            sample_interval: None, // manual observe_at only
+            slos: vec![SloSpec::share_below(
+                "shed_fraction",
+                "gateway_rejected_overload",
+                "gateway_requests",
+                0.5,
+            )],
+            fast_window: Duration::from_secs(1),
+            slow_window: Duration::from_secs(4),
+        },
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::start(
+        &config,
+        ClusterConfig::new(1),
+        vec![idle_cell(2, 1).with_recorder(recorder.clone())],
+        &telemetry,
+    )
+    .unwrap();
+    let handle = gateway.handle();
+    let addr = gateway.local_addr().to_string();
+    let mut client = HttpClient::connect(&addr, Duration::from_secs(10)).unwrap();
+
+    // Feed the cell its 2 expected slots under a known request id, so
+    // the ingested slots are tagged with it in the capture.
+    let resp = client
+        .request_with_headers(
+            "POST",
+            "/v1/demand",
+            &demand_body(2),
+            &[("x-request-id", "incident-probe-1")],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 202);
+    wait_serve_finished(&gateway);
+
+    // Deterministic breach: fill the ring, then an all-shed phase
+    // pushes both burn windows over target.
+    let one_slot = demand_body(1);
+    for _ in 0..Q {
+        assert_eq!(
+            client
+                .request("POST", "/v1/demand", &one_slot)
+                .unwrap()
+                .status,
+            202
+        );
+    }
+    handle.observe_at(1_000_000);
+    for _ in 0..30 {
+        assert_eq!(
+            client
+                .request("POST", "/v1/demand", &one_slot)
+                .unwrap()
+                .status,
+            429
+        );
+    }
+    handle.observe_at(2_000_000);
+    for _ in 0..30 {
+        assert_eq!(
+            client
+                .request("POST", "/v1/demand", &one_slot)
+                .unwrap()
+                .status,
+            429
+        );
+    }
+    handle.observe_at(3_000_000);
+    assert!(handle.slo_breached(), "the walk must end in Breach");
+
+    // Injected worker panic: the worker dies mid-connection (the
+    // request errors out or returns nothing), the panic is isolated,
+    // and the trigger lands in the capture.
+    let mut panic_client = HttpClient::connect(&addr, Duration::from_secs(2)).unwrap();
+    let _ = panic_client.request("POST", "/debug/panic", b"");
+    drop(panic_client);
+
+    drop(client);
+    gateway.drain();
+    let (_, stats) = gateway.join().unwrap();
+    assert_eq!(stats.worker_panics, 1, "exactly the injected panic");
+
+    // The capture on disk tells the whole story.
+    let capture = Capture::load(&dir).unwrap();
+    assert_eq!(capture.frames.len(), 2, "both served slots captured");
+    assert!(
+        capture
+            .frames
+            .iter()
+            .all(|f| f.tag.as_deref() == Some("incident-probe-1")),
+        "ingested slots must carry the delivering request id: {:?}",
+        capture
+            .frames
+            .iter()
+            .map(|f| f.tag.clone())
+            .collect::<Vec<_>>()
+    );
+    let kinds: Vec<&str> = capture.triggers.iter().map(|t| t.kind.as_str()).collect();
+    assert!(kinds.contains(&"slo_breach"), "triggers: {kinds:?}");
+    assert!(kinds.contains(&"worker_panic"), "triggers: {kinds:?}");
+    let breach = capture
+        .triggers
+        .iter()
+        .find(|t| t.kind == "slo_breach")
+        .unwrap();
+    assert!(
+        breach.detail.contains("shed_fraction"),
+        "breach trigger names the violated objective: {}",
+        breach.detail
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -11,7 +11,8 @@
 //!   subsequent [`jocal_core::problem::ProblemInstance`] (they only need
 //!   shared ownership, never mutation).
 //! - When the predictor is *re-request stable*
-//!   ([`PredictionWindow::stable_predictions`]), consecutive windows
+//!   ([`jocal_sim::predictor::PredictionWindow::stable_predictions`]),
+//!   consecutive windows
 //!   agree on their overlap bit-exactly, so the demand buffer shifts its
 //!   overlap forward in place ([`DemandTrace::shift_slots`]) and only
 //!   the freshly exposed tail slots are predicted.

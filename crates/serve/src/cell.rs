@@ -25,13 +25,15 @@ use jocal_core::accounting::{evaluate_slot_sparse, CostBreakdown};
 use jocal_core::ledger::ledger_slot_sparse;
 use jocal_core::plan::{CacheState, LoadPlan};
 use jocal_core::{CostModel, ShutdownFlag, SlotNonzeros};
+use jocal_flightrec::{fold_bits, DemandEntry, FlightRecorder, Frame, RatioFrame, B64};
 use jocal_online::observe::RepairMetrics;
 use jocal_online::policy::{OnlinePolicy, PolicyContext};
 use jocal_online::ratio::{slot_constraint_violations, DualBoundTracker};
 use jocal_online::repair::repair_slot;
+use jocal_sim::predictor::PredictionWindow as _;
 use jocal_sim::requests::sample_slot_rng;
 use jocal_sim::topology::Network;
-use jocal_sim::{ClassId, ContentId};
+use jocal_sim::{ClassId, ContentId, SbsId};
 use jocal_telemetry::{Counter, FieldValue, Gauge, Histogram, Telemetry, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -115,6 +117,7 @@ pub struct CellCore {
     tracker: Option<DualBoundTracker>,
     last_ratio: Option<RatioRecord>,
     shutdown: ShutdownFlag,
+    recorder: FlightRecorder,
     window: SlidingWindow,
     rng: StdRng,
     prev_cache: CacheState,
@@ -194,6 +197,7 @@ impl CellCore {
             tracker,
             last_ratio: None,
             shutdown: ShutdownFlag::default(),
+            recorder: FlightRecorder::disabled(),
             window: SlidingWindow::new(network),
             rng: StdRng::seed_from_u64(config.seed),
             prev_cache: initial,
@@ -218,6 +222,14 @@ impl CellCore {
     /// durable, well-formed output.
     pub fn set_shutdown(&mut self, shutdown: ShutdownFlag) {
         self.shutdown = shutdown;
+    }
+
+    /// Attaches a flight recorder. Each subsequent [`CellCore::step`]
+    /// emits one capture [`Frame`] (and trigger records when a
+    /// watchdog fires); the default disabled recorder costs one
+    /// `None` branch per slot and allocates nothing.
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.recorder = recorder;
     }
 
     /// Serves one slot: tops up the window, decides, repairs, charges
@@ -345,6 +357,7 @@ impl CellCore {
             );
             sink.ledger(&ledger)?;
         }
+        let mut slot_ratio: Option<RatioRecord> = None;
         if let Some(tracker) = self.tracker.as_mut() {
             let violations = slot_constraint_violations(
                 &self.network,
@@ -362,6 +375,11 @@ impl CellCore {
                         ("slot", FieldValue::U64(t as u64)),
                         ("families", FieldValue::U64(violations.len() as u64)),
                     ],
+                );
+                self.recorder.trigger(
+                    "constraint_violation",
+                    Some(t as u64),
+                    format_args!("{} constraint families violated", violations.len()),
                 );
             }
             let block_trace = self.obs.tracer.start("ratio_block");
@@ -391,12 +409,22 @@ impl CellCore {
                             ("bound", FieldValue::F64(record.bound)),
                         ],
                     );
+                    self.recorder.trigger(
+                        "ratio_watchdog",
+                        Some(t as u64),
+                        format_args!(
+                            "empirical ratio {} exceeds bound {}",
+                            record.ratio.unwrap_or(f64::INFINITY),
+                            record.bound
+                        ),
+                    );
                 }
                 if let Some(ratio) = record.ratio {
                     self.obs.empirical_ratio.set(ratio);
                 }
                 sink.ratio(&record)?;
                 self.last_ratio = Some(record);
+                slot_ratio = Some(record);
             }
         }
 
@@ -407,10 +435,105 @@ impl CellCore {
         self.obs.requests_total.add(dispatch.requests);
         self.obs.repair_metrics.record(&repair);
 
+        // Disabled recorders skip the closure entirely; frames only
+        // read executed state, so recording cannot perturb a decision.
+        self.recorder
+            .record_with(|| self.build_frame(&metrics, &action.cache, slot_ratio.as_ref()));
+
         self.prev_cache = action.cache;
         self.window.advance();
         self.obs.tracer.finish(slot_trace);
         Ok(true)
+    }
+
+    /// Assembles the capture frame for the slot just served, reading
+    /// only post-decision state (the realized nonzeros, repaired load,
+    /// cache vector, cost and dispatch results).
+    fn build_frame(
+        &self,
+        metrics: &SlotMetrics,
+        cache: &CacheState,
+        ratio: Option<&RatioRecord>,
+    ) -> Frame {
+        let num_sbs = self.network.num_sbs();
+        let num_contents = self.network.num_contents();
+        let mut demand = Vec::with_capacity(num_sbs);
+        let mut load = Vec::with_capacity(num_sbs);
+        let mut cache_ids = Vec::with_capacity(num_sbs);
+        for n in 0..num_sbs {
+            let id = SbsId(n);
+            let entries = self.truth_nonzeros.slot(0, id);
+            demand.push(
+                entries
+                    .iter()
+                    .map(|e| DemandEntry {
+                        idx: e.idx,
+                        lambda: B64(e.lambda),
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            load.push(
+                entries
+                    .iter()
+                    .map(|e| {
+                        let m = ClassId(e.idx as usize / num_contents);
+                        let k = ContentId(e.idx as usize % num_contents);
+                        B64(self.slot_load.y(0, id, m, k))
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            cache_ids.push(
+                cache
+                    .cached_items(id)
+                    .iter()
+                    .map(|c| c.0 as u32)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        // Digest the canonical window-length prediction at this slot.
+        // The noise model is a stateless hash of (seed, slot, coords),
+        // so replay recomputes the identical digest from the rebuilt
+        // demand stream — any predictor-input drift shows up here.
+        let pred = self
+            .window
+            .predictor(self.config.noise)
+            .predict(metrics.slot, self.config.window);
+        let mut digest = jocal_flightrec::DIGEST_SEED;
+        for t_local in 0..pred.horizon() {
+            for n in 0..num_sbs {
+                for &v in pred.sbs_slot_slice(t_local, SbsId(n)) {
+                    digest = fold_bits(digest, v.to_bits());
+                }
+            }
+        }
+        Frame {
+            slot: metrics.slot as u64,
+            tag: None,
+            demand,
+            pred_digest: format!("{digest:016x}"),
+            cache: cache_ids,
+            load,
+            cost: jocal_flightrec::CostFrame {
+                bs_operating: B64(metrics.cost.bs_operating),
+                sbs_operating: B64(metrics.cost.sbs_operating),
+                replacement: B64(metrics.cost.replacement),
+                replacement_count: metrics.cost.replacement_count as u64,
+            },
+            requests: metrics.requests,
+            sbs_served: B64(metrics.sbs_served),
+            spilled: B64(metrics.spilled),
+            bs_served: B64(metrics.bs_served),
+            repair_scaled_sbs: metrics.repair_scaled_sbs as u64,
+            solve_us: metrics.solve_us,
+            ratio: ratio.map(|r| RatioFrame {
+                blocks: r.blocks as u64,
+                covered_slots: r.covered_slots as u64,
+                realized_cost: B64(r.realized_cost),
+                lower_bound: B64(r.lower_bound),
+                ratio: r.ratio.map(B64),
+                exceeds_bound: r.exceeds_bound,
+            }),
+        }
     }
 
     /// Finishes the run: emits the [`ServeSummary`] to `sink` and

@@ -22,6 +22,7 @@ use crate::metrics::{MetricsSink, RatioRecord, ServeSummary};
 use crate::source::DemandSource;
 use jocal_core::plan::{CacheState, LoadPlan};
 use jocal_core::{CostModel, ShutdownFlag};
+use jocal_flightrec::FlightRecorder;
 use jocal_online::policy::OnlinePolicy;
 use jocal_online::ratio::RatioOptions;
 use jocal_sim::predictor::NoiseModel;
@@ -92,6 +93,7 @@ pub struct ServeEngine<'a> {
     config: ServeConfig,
     telemetry: Telemetry,
     shutdown: ShutdownFlag,
+    recorder: FlightRecorder,
 }
 
 impl<'a> ServeEngine<'a> {
@@ -109,6 +111,7 @@ impl<'a> ServeEngine<'a> {
             config,
             telemetry: Telemetry::disabled(),
             shutdown: ShutdownFlag::default(),
+            recorder: FlightRecorder::disabled(),
         }
     }
 
@@ -138,6 +141,16 @@ impl<'a> ServeEngine<'a> {
     #[must_use]
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Attaches a flight recorder: each served slot emits one capture
+    /// frame and watchdog trips append trigger records. Recording
+    /// reads executed state only — recorder-on and recorder-off runs
+    /// are bit-identical.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Drives `policy` over `source` until exhaustion (or `max_slots`),
@@ -185,6 +198,7 @@ impl<'a> ServeEngine<'a> {
             sink,
         )?;
         cell.set_shutdown(self.shutdown.clone());
+        cell.set_recorder(self.recorder.clone());
         while cell.step(source, policy, sink)? {}
         cell.finish(sink)
     }

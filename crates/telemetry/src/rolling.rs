@@ -628,6 +628,94 @@ mod tests {
     }
 
     #[test]
+    fn window_views_stay_correct_at_exactly_capacity_and_one_past() {
+        let tele = Telemetry::enabled();
+        let c = tele.counter("c_total");
+        let mut collector = RollingCollector::with_windows(tele, &[2_000_000]).with_capacity(4);
+        // Seconds 0..=3: +10/s after the baseline sample. The fourth
+        // sample fills the ring to exactly its capacity.
+        collector.sample(0);
+        for t in 1..=3u64 {
+            c.add(10);
+            collector.sample(t * 1_000_000);
+        }
+        assert_eq!(collector.sample_count(), 4);
+        let view = collector.window_view(2_000_000).unwrap();
+        assert_eq!(view.span_us, 2_000_000);
+        assert_eq!(view.counter_delta("c_total"), 20);
+        assert!((view.counter_rate("c_total") - 10.0).abs() < 1e-9);
+        // One past capacity: the t=0 sample is evicted, and the window
+        // arithmetic must keep using the in-window baseline (t=2s),
+        // not an index that shifted with the pop.
+        c.add(10);
+        collector.sample(4_000_000);
+        assert_eq!(collector.sample_count(), 4);
+        let view = collector.window_view(2_000_000).unwrap();
+        assert_eq!(view.span_us, 2_000_000);
+        assert_eq!(view.counter_delta("c_total"), 20);
+        assert!((view.counter_rate("c_total") - 10.0).abs() < 1e-9);
+        // A window wider than the retained history degrades gracefully:
+        // baseline falls back to the (post-eviction) oldest sample, and
+        // the reported span owns up to the shortfall.
+        let wide = collector.window_view(60_000_000).unwrap();
+        assert_eq!(wide.span_us, 3_000_000);
+        assert_eq!(wide.counter_delta("c_total"), 30);
+    }
+
+    #[test]
+    fn full_ring_lap_keeps_rates_and_merged_quantiles_windowed() {
+        let tele = Telemetry::enabled();
+        let c = tele.counter("c_total");
+        let h0 = tele.histogram_with("req_us", "shard", "0");
+        let h1 = tele.histogram_with("req_us", "shard", "1");
+        let mut collector = RollingCollector::with_windows(tele, &[3_000_000]).with_capacity(4);
+        // Two full laps of the 4-sample ring: a slow regime (10ms on
+        // shard 1) for seconds 1..=4, then a fast regime (8us on shard
+        // 0) for seconds 5..=8. Every retained sample after the lap
+        // was written post-eviction.
+        collector.sample(0);
+        for t in 1..=8u64 {
+            c.add(10);
+            for _ in 0..3 {
+                if t <= 4 {
+                    h1.observe(10_000);
+                } else {
+                    h0.observe(8);
+                }
+            }
+            collector.sample(t * 1_000_000);
+        }
+        assert_eq!(collector.sample_count(), 4);
+        let view = collector.window_view(3_000_000).unwrap();
+        // Window [5s, 8s]: seconds 6..=8, all fast-regime.
+        assert_eq!(view.span_us, 3_000_000);
+        assert_eq!(view.counter_delta("c_total"), 30);
+        assert!((view.counter_rate("c_total") - 10.0).abs() < 1e-9);
+        let shard0 = &view.histograms[0];
+        assert_eq!(shard0.key.labels, vec![("shard".into(), "0".into())]);
+        assert_eq!(shard0.count, 9);
+        assert!((shard0.rate_per_sec - 3.0).abs() < 1e-9);
+        assert!(shard0.p50 <= 15.0, "windowed p50 {}", shard0.p50);
+        assert!(shard0.p99 <= 15.0, "windowed p99 {}", shard0.p99);
+        // The slow-regime shard gained nothing inside the window, and
+        // the name-merged quantile sees only fast-regime mass — the
+        // cumulative 10ms history never leaks through the wrap.
+        let shard1 = &view.histograms[1];
+        assert_eq!(shard1.count, 0);
+        assert_eq!(view.histogram_quantile("req_us", 0.99), Some(shard0.p99));
+
+        // A late slow-regime burst on shard 1 folds into the merged
+        // tail while the median stays fast-regime.
+        h1.observe(10_000);
+        collector.sample(9_000_000);
+        let view = collector.window_view(3_000_000).unwrap();
+        let p50 = view.histogram_quantile("req_us", 0.5).unwrap();
+        let p99 = view.histogram_quantile("req_us", 0.99).unwrap();
+        assert!(p50 <= 15.0, "merged p50 {p50}");
+        assert!(p99 >= 8_192.0, "merged p99 {p99}");
+    }
+
+    #[test]
     fn gauges_report_latest_sampled_value() {
         let tele = Telemetry::enabled();
         let g = tele.gauge_with("depth", "cell", "0");

@@ -165,6 +165,11 @@ pub struct SloStatus {
     pub burn_slow: f64,
     /// The configured threshold.
     pub threshold: f64,
+    /// Whether the last evaluation found the signal's metric missing
+    /// (never registered): the state and values above are **held** at
+    /// their previous reading rather than evaluated against a phantom
+    /// `0.0`, and `slo_signal_missing_total` counts the occurrence.
+    pub missing: bool,
 }
 
 /// A state change produced by one evaluation.
@@ -203,6 +208,7 @@ impl SloEngine {
                 burn_fast: 0.0,
                 burn_slow: 0.0,
                 threshold: spec.threshold,
+                missing: false,
             })
             .collect();
         SloEngine {
@@ -265,8 +271,20 @@ impl SloEngine {
         };
         let mut transitions = Vec::new();
         for (spec, status) in self.specs.iter().zip(self.statuses.iter_mut()) {
-            let value_fast = signal_value(&spec.signal, &fast, collector);
-            let value_slow = signal_value(&spec.signal, &slow, collector);
+            let (Some(value_fast), Some(value_slow)) = (
+                signal_value(&spec.signal, &fast, collector),
+                signal_value(&spec.signal, &slow, collector),
+            ) else {
+                // Missing signal: the metric was never registered, so
+                // there is nothing to measure. Evaluating it as 0.0
+                // would let a dead gauge read as "passing" and mask a
+                // real breach — hold the previous state instead and
+                // count the occurrence.
+                status.missing = true;
+                telemetry.counter("slo_signal_missing_total").incr();
+                continue;
+            };
+            status.missing = false;
             let burn = |value: f64| {
                 if spec.threshold > 0.0 {
                     value / spec.threshold
@@ -326,14 +344,15 @@ impl SloEngine {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"name\":{},\"state\":{},\"value_fast\":{},\"value_slow\":{},\"burn_fast\":{},\"burn_slow\":{},\"threshold\":{}}}",
+                "{{\"name\":{},\"state\":{},\"value_fast\":{},\"value_slow\":{},\"burn_fast\":{},\"burn_slow\":{},\"threshold\":{},\"missing\":{}}}",
                 json_str(&s.name),
                 json_str(s.state.as_str()),
                 json_f64(s.value_fast),
                 json_f64(s.value_slow),
                 json_f64(s.burn_fast),
                 json_f64(s.burn_slow),
-                json_f64(s.threshold)
+                json_f64(s.threshold),
+                s.missing
             ));
         }
         out.push(']');
@@ -341,26 +360,35 @@ impl SloEngine {
     }
 }
 
-fn signal_value(signal: &SloSignal, view: &WindowView, collector: &RollingCollector) -> f64 {
+/// Evaluates one signal over a window. `None` means the underlying
+/// metric has never been registered — an unmeasurable signal, distinct
+/// from a measured zero (a registered-but-quiet histogram still reads
+/// `Some(0.0)`, so quiet-window recovery is unaffected). Counter
+/// shares read unregistered counters as zero deltas by construction:
+/// "no traffic" and "counter not yet created" are the same idle
+/// observation there.
+fn signal_value(
+    signal: &SloSignal,
+    view: &WindowView,
+    collector: &RollingCollector,
+) -> Option<f64> {
     match signal {
-        SloSignal::HistogramQuantile { metric, q } => {
-            view.histogram_quantile(metric, *q).unwrap_or(0.0)
-        }
+        SloSignal::HistogramQuantile { metric, q } => view.histogram_quantile(metric, *q),
         SloSignal::CounterShare { part, total } => {
             let total = view.counter_delta(total);
-            if total == 0 {
+            Some(if total == 0 {
                 0.0
             } else {
                 view.counter_delta(part) as f64 / total as f64
-            }
+            })
         }
-        SloSignal::GaugeLevel { metric } => collector.gauge_value(metric).unwrap_or(0.0),
+        SloSignal::GaugeLevel { metric } => collector.gauge_value(metric),
         SloSignal::GaugeAgeUs { metric } => {
-            let stamp = collector.gauge_value(metric).unwrap_or(0.0);
+            let stamp = collector.gauge_value(metric)?;
             if stamp <= 0.0 {
-                return 0.0;
+                return Some(0.0);
             }
-            (view.at_us as f64 - stamp).max(0.0)
+            Some((view.at_us as f64 - stamp).max(0.0))
         }
     }
 }
@@ -532,6 +560,77 @@ mod tests {
         collector.sample(7_000_000);
         engine.evaluate(&collector, &tele);
         assert!(!engine.any_breached());
+    }
+
+    #[test]
+    fn missing_gauge_holds_state_and_counts_instead_of_reading_zero() {
+        let tele = Telemetry::enabled();
+        let mut collector = RollingCollector::with_windows(tele.clone(), &[FAST, SLOW]);
+        // `gauge_above`-style specs would breach at 0.0; the real
+        // hazard is the inverse: a dead gauge reading 0.0 under a
+        // "below" spec looks permanently healthy. Either way the
+        // signal must come back Missing, not 0.0.
+        let mut engine = SloEngine::new(
+            vec![SloSpec::gauge_below(
+                "ratio",
+                "serve_empirical_ratio",
+                2.618,
+            )],
+            FAST,
+            SLOW,
+        );
+        collector.sample(0);
+        collector.sample(FAST);
+        // The gauge was never registered: no transitions, state held
+        // at the default Ok, and the miss is counted.
+        assert!(engine.evaluate(&collector, &tele).is_empty());
+        assert_eq!(engine.statuses()[0].state, SloState::Ok);
+        assert!(engine.statuses()[0].missing);
+        assert_eq!(tele.counter("slo_signal_missing_total").get(), 1);
+        assert!(engine.statuses_json().contains("\"missing\":true"));
+
+        // The gauge appears (already past the bound): the very first
+        // measured evaluation transitions straight to Breach — the
+        // Missing era never laundered the signal into "passing".
+        let ratio = tele.gauge("serve_empirical_ratio");
+        ratio.set(3.0);
+        collector.sample(2 * FAST);
+        let transitions = engine.evaluate(&collector, &tele);
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(transitions[0].to, SloState::Breach);
+        assert!(!engine.statuses()[0].missing);
+        assert_eq!(tele.counter("slo_signal_missing_total").get(), 1);
+    }
+
+    #[test]
+    fn missing_histogram_holds_a_prior_breach() {
+        let tele = Telemetry::enabled();
+        let lat = tele.histogram("request_us");
+        let mut collector = RollingCollector::with_windows(tele.clone(), &[FAST, SLOW]);
+        let mut engine = SloEngine::new(
+            vec![
+                SloSpec::p99_below("latency", "request_us", 1_000.0),
+                SloSpec::p99_below("ghost", "never_registered_us", 1_000.0),
+            ],
+            FAST,
+            SLOW,
+        );
+        collector.sample(0);
+        lat.observe(50_000);
+        collector.sample(FAST);
+        engine.evaluate(&collector, &tele);
+        assert_eq!(engine.statuses()[0].state, SloState::Breach);
+        // The ghost histogram never reports: it holds Ok as Missing
+        // every round while the measured SLO keeps evaluating — and a
+        // registered-but-quiet window still reads 0.0 (recovery), not
+        // Missing.
+        assert!(engine.statuses()[1].missing);
+        collector.sample(2 * FAST);
+        engine.evaluate(&collector, &tele);
+        assert_eq!(engine.statuses()[0].state, SloState::Ok);
+        assert!(!engine.statuses()[0].missing);
+        assert!(engine.statuses()[1].missing);
+        assert_eq!(tele.counter("slo_signal_missing_total").get(), 2);
     }
 
     #[test]
